@@ -1,0 +1,75 @@
+//! Cost models mapping kernel work to simulated CPU seconds.
+//!
+//! The simulator needs each task's CPU demand without running the kernel.
+//! We count the kernel's floating-point operations and apply a fixed
+//! effective rate. The default rate (0.8 GFLOP/s per core) is calibrated
+//! to the paper's era — a 2.4 GHz Xeon X3430 core running a memory-bound
+//! stencil sustains well under its peak. The load balancer only ever sees
+//! *relative* loads, so the absolute rate sets the time scale, not the
+//! figures' shape.
+
+use cloudlb_sim::SimRng;
+
+/// Flop-count → seconds conversion.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FlopCost {
+    /// Effective sustained rate, flops per second.
+    pub flops_per_sec: f64,
+}
+
+impl Default for FlopCost {
+    fn default() -> Self {
+        FlopCost { flops_per_sec: 0.8e9 }
+    }
+}
+
+impl FlopCost {
+    /// Seconds needed for `flops` floating-point operations.
+    pub fn seconds(&self, flops: f64) -> f64 {
+        assert!(flops >= 0.0);
+        flops / self.flops_per_sec
+    }
+}
+
+/// Deterministic per-chare speed jitter: a multiplicative factor in
+/// `[1 − frac, 1 + frac]`, stable for a `(seed, chare)` pair. Models the
+/// small static heterogeneity real runs always show without breaking
+/// reproducibility.
+pub fn chare_jitter(seed: u64, chare: usize, frac: f64) -> f64 {
+    assert!((0.0..1.0).contains(&frac), "jitter fraction {frac}");
+    if frac == 0.0 {
+        return 1.0;
+    }
+    let mut rng = SimRng::new(seed ^ (chare as u64).wrapping_mul(0x9E3779B97F4A7C15));
+    1.0 + frac * (2.0 * rng.f64() - 1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seconds_scale_linearly() {
+        let c = FlopCost::default();
+        assert!((c.seconds(0.8e9) - 1.0).abs() < 1e-12);
+        assert!((c.seconds(8e6) - 0.01).abs() < 1e-12);
+        assert_eq!(c.seconds(0.0), 0.0);
+    }
+
+    #[test]
+    fn jitter_is_stable_and_bounded() {
+        for chare in 0..100 {
+            let a = chare_jitter(7, chare, 0.05);
+            let b = chare_jitter(7, chare, 0.05);
+            assert_eq!(a, b);
+            assert!((0.95..=1.05).contains(&a), "{a}");
+        }
+    }
+
+    #[test]
+    fn jitter_differs_across_chares_and_seeds() {
+        assert_ne!(chare_jitter(1, 0, 0.1), chare_jitter(1, 1, 0.1));
+        assert_ne!(chare_jitter(1, 0, 0.1), chare_jitter(2, 0, 0.1));
+        assert_eq!(chare_jitter(1, 0, 0.0), 1.0);
+    }
+}

@@ -1,0 +1,267 @@
+//! Block decomposition helpers for 2-D and 3-D chare arrays.
+//!
+//! The paper's stencil applications decompose a global grid into a 2-D
+//! array of chares (several per core); Mol3D decomposes 3-D space into
+//! cells. These helpers own the index arithmetic: chare linearization,
+//! block extents (with remainders spread evenly), and face-neighbor
+//! topology (no wraparound — physical domains have boundaries).
+
+/// Split `points` into `chunks` contiguous ranges whose lengths differ by
+/// at most one. Returns `(start, len)` per chunk.
+pub fn decompose(points: usize, chunks: usize) -> Vec<(usize, usize)> {
+    assert!(chunks > 0 && points >= chunks, "cannot split {points} points into {chunks}");
+    let base = points / chunks;
+    let extra = points % chunks;
+    let mut out = Vec::with_capacity(chunks);
+    let mut start = 0;
+    for c in 0..chunks {
+        let len = base + usize::from(c < extra);
+        out.push((start, len));
+        start += len;
+    }
+    out
+}
+
+/// A 2-D grid of `nx × ny` points split into `cx × cy` chare blocks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Block2D {
+    /// Global points in x.
+    pub nx: usize,
+    /// Global points in y.
+    pub ny: usize,
+    /// Chare blocks in x.
+    pub cx: usize,
+    /// Chare blocks in y.
+    pub cy: usize,
+}
+
+impl Block2D {
+    /// Construct, validating that every block is nonempty.
+    pub fn new(nx: usize, ny: usize, cx: usize, cy: usize) -> Self {
+        assert!(cx > 0 && cy > 0 && nx >= cx && ny >= cy, "degenerate {nx}x{ny} / {cx}x{cy}");
+        Block2D { nx, ny, cx, cy }
+    }
+
+    /// Number of chares.
+    pub fn num_chares(&self) -> usize {
+        self.cx * self.cy
+    }
+
+    /// Linear chare index of block `(bx, by)`.
+    pub fn index(&self, bx: usize, by: usize) -> usize {
+        debug_assert!(bx < self.cx && by < self.cy);
+        by * self.cx + bx
+    }
+
+    /// Block coordinates of chare `idx`.
+    pub fn coords(&self, idx: usize) -> (usize, usize) {
+        debug_assert!(idx < self.num_chares());
+        (idx % self.cx, idx / self.cx)
+    }
+
+    /// Point extent of chare `idx`: `(x0, width, y0, height)`.
+    pub fn extent(&self, idx: usize) -> (usize, usize, usize, usize) {
+        let (bx, by) = self.coords(idx);
+        let (x0, w) = decompose(self.nx, self.cx)[bx];
+        let (y0, h) = decompose(self.ny, self.cy)[by];
+        (x0, w, y0, h)
+    }
+
+    /// Face neighbors (west, east, north, south — those that exist).
+    pub fn neighbors(&self, idx: usize) -> Vec<usize> {
+        let (bx, by) = self.coords(idx);
+        let mut out = Vec::with_capacity(4);
+        if bx > 0 {
+            out.push(self.index(bx - 1, by));
+        }
+        if bx + 1 < self.cx {
+            out.push(self.index(bx + 1, by));
+        }
+        if by > 0 {
+            out.push(self.index(bx, by - 1));
+        }
+        if by + 1 < self.cy {
+            out.push(self.index(bx, by + 1));
+        }
+        out
+    }
+
+    /// Length (in points) of the face shared with neighbor `nb`; panics if
+    /// `nb` is not a face neighbor of `idx`.
+    pub fn face_len(&self, idx: usize, nb: usize) -> usize {
+        let (bx, by) = self.coords(idx);
+        let (nbx, nby) = self.coords(nb);
+        let (_, w, _, h) = self.extent(idx);
+        if by == nby && (nbx + 1 == bx || bx + 1 == nbx) {
+            h
+        } else if bx == nbx && (nby + 1 == by || by + 1 == nby) {
+            w
+        } else {
+            panic!("{nb} is not a face neighbor of {idx}")
+        }
+    }
+}
+
+/// A 3-D grid of cells `cx × cy × cz` (unit cells; used by Mol3D and
+/// Stencil3D).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Block3D {
+    /// Cells in x.
+    pub cx: usize,
+    /// Cells in y.
+    pub cy: usize,
+    /// Cells in z.
+    pub cz: usize,
+}
+
+impl Block3D {
+    /// Construct a nonempty cell grid.
+    pub fn new(cx: usize, cy: usize, cz: usize) -> Self {
+        assert!(cx > 0 && cy > 0 && cz > 0);
+        Block3D { cx, cy, cz }
+    }
+
+    /// Number of cells.
+    pub fn num_chares(&self) -> usize {
+        self.cx * self.cy * self.cz
+    }
+
+    /// Linear index of cell `(x, y, z)`.
+    pub fn index(&self, x: usize, y: usize, z: usize) -> usize {
+        debug_assert!(x < self.cx && y < self.cy && z < self.cz);
+        (z * self.cy + y) * self.cx + x
+    }
+
+    /// Cell coordinates of `idx`.
+    pub fn coords(&self, idx: usize) -> (usize, usize, usize) {
+        let x = idx % self.cx;
+        let y = (idx / self.cx) % self.cy;
+        let z = idx / (self.cx * self.cy);
+        (x, y, z)
+    }
+
+    /// Face neighbors (up to 6).
+    pub fn neighbors(&self, idx: usize) -> Vec<usize> {
+        let (x, y, z) = self.coords(idx);
+        let mut out = Vec::with_capacity(6);
+        if x > 0 {
+            out.push(self.index(x - 1, y, z));
+        }
+        if x + 1 < self.cx {
+            out.push(self.index(x + 1, y, z));
+        }
+        if y > 0 {
+            out.push(self.index(x, y - 1, z));
+        }
+        if y + 1 < self.cy {
+            out.push(self.index(x, y + 1, z));
+        }
+        if z > 0 {
+            out.push(self.index(x, y, z - 1));
+        }
+        if z + 1 < self.cz {
+            out.push(self.index(x, y, z + 1));
+        }
+        out
+    }
+}
+
+/// Pick a near-square 2-D factorization `cx × cy = n` with `cx >= cy`.
+pub fn near_square_factors(n: usize) -> (usize, usize) {
+    assert!(n > 0);
+    let mut best = (n, 1);
+    let mut d = 1;
+    while d * d <= n {
+        if n.is_multiple_of(d) {
+            best = (n / d, d);
+        }
+        d += 1;
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn decompose_covers_exactly() {
+        let parts = decompose(10, 3);
+        assert_eq!(parts, vec![(0, 4), (4, 3), (7, 3)]);
+        let total: usize = parts.iter().map(|p| p.1).sum();
+        assert_eq!(total, 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot split")]
+    fn decompose_rejects_too_many_chunks() {
+        decompose(2, 3);
+    }
+
+    #[test]
+    fn block2d_roundtrip_and_neighbors() {
+        let g = Block2D::new(100, 80, 4, 3);
+        assert_eq!(g.num_chares(), 12);
+        for idx in 0..12 {
+            let (bx, by) = g.coords(idx);
+            assert_eq!(g.index(bx, by), idx);
+            for nb in g.neighbors(idx) {
+                assert!(g.neighbors(nb).contains(&idx), "asymmetric {idx}<->{nb}");
+            }
+        }
+        // Corner has 2 neighbors, interior has 4.
+        assert_eq!(g.neighbors(0).len(), 2);
+        assert_eq!(g.neighbors(g.index(1, 1)).len(), 4);
+    }
+
+    #[test]
+    fn block2d_extents_tile_the_domain() {
+        let g = Block2D::new(101, 53, 4, 3);
+        let mut area = 0;
+        for idx in 0..g.num_chares() {
+            let (_, w, _, h) = g.extent(idx);
+            area += w * h;
+        }
+        assert_eq!(area, 101 * 53);
+    }
+
+    #[test]
+    fn face_lengths_match_shared_edges() {
+        let g = Block2D::new(64, 64, 2, 2);
+        let a = g.index(0, 0);
+        let e = g.index(1, 0); // east neighbor
+        let s = g.index(0, 1); // south neighbor
+        assert_eq!(g.face_len(a, e), 32); // vertical face: height
+        assert_eq!(g.face_len(a, s), 32); // horizontal face: width
+    }
+
+    #[test]
+    #[should_panic(expected = "not a face neighbor")]
+    fn face_len_rejects_diagonal() {
+        let g = Block2D::new(64, 64, 2, 2);
+        g.face_len(g.index(0, 0), g.index(1, 1));
+    }
+
+    #[test]
+    fn block3d_roundtrip_and_neighbors() {
+        let g = Block3D::new(3, 4, 5);
+        assert_eq!(g.num_chares(), 60);
+        for idx in 0..60 {
+            let (x, y, z) = g.coords(idx);
+            assert_eq!(g.index(x, y, z), idx);
+            for nb in g.neighbors(idx) {
+                assert!(g.neighbors(nb).contains(&idx));
+            }
+        }
+        assert_eq!(g.neighbors(0).len(), 3);
+        assert_eq!(g.neighbors(g.index(1, 1, 1)).len(), 6);
+    }
+
+    #[test]
+    fn near_square() {
+        assert_eq!(near_square_factors(16), (4, 4));
+        assert_eq!(near_square_factors(48), (8, 6));
+        assert_eq!(near_square_factors(7), (7, 1));
+        assert_eq!(near_square_factors(1), (1, 1));
+    }
+}

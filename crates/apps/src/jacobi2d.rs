@@ -1,0 +1,297 @@
+//! Jacobi2D — "a canonical benchmark that iteratively applies a 5-point
+//! stencil over a 2D grid of points" (paper §V).
+//!
+//! The global `nx × ny` grid is split into `cx × cy` chare blocks. Each
+//! iteration a block exchanges edge ghosts with its face neighbors and
+//! relaxes `u ← ⅕(u + west + east + north + south)` with Dirichlet
+//! boundaries (the global west edge held at 1.0, every other edge at 0).
+//! Iteration 0 is the ghost bootstrap: blocks publish their edges and do
+//! not update.
+
+use crate::cost::{chare_jitter, FlopCost};
+use crate::grids::{near_square_factors, Block2D};
+use cloudlb_runtime::program::{ChareKernel, IterativeApp};
+
+/// Boundary value on the global west edge (drives a non-trivial solution).
+const WEST_BC: f64 = 1.0;
+/// Flops per updated grid point (4 adds + 1 multiply).
+const FLOPS_PER_POINT: f64 = 5.0;
+
+/// The Jacobi2D application.
+#[derive(Debug, Clone)]
+pub struct Jacobi2D {
+    /// Decomposition of the global grid.
+    pub grid: Block2D,
+    /// Flop→seconds model for the simulator.
+    pub cost: FlopCost,
+    /// Static per-chare speed jitter fraction.
+    pub jitter_frac: f64,
+    /// Seed for the jitter.
+    pub seed: u64,
+}
+
+impl Jacobi2D {
+    /// Custom decomposition.
+    pub fn new(grid: Block2D) -> Self {
+        Jacobi2D { grid, cost: FlopCost::default(), jitter_frac: 0.02, seed: 0x1ACB }
+    }
+
+    /// Paper-style sizing for `pes` cores: 16 chares per core (the
+    /// over-decomposition §III prescribes), 160×160 points per block
+    /// (≈ 160 µs of CPU per task at the default rate).
+    pub fn for_pes(pes: usize) -> Self {
+        assert!(pes > 0);
+        let (cx, cy) = near_square_factors(16 * pes);
+        Jacobi2D::new(Block2D::new(cx * 160, cy * 160, cx, cy))
+    }
+}
+
+impl IterativeApp for Jacobi2D {
+    fn name(&self) -> &'static str {
+        "Jacobi2D"
+    }
+
+    fn num_chares(&self) -> usize {
+        self.grid.num_chares()
+    }
+
+    fn neighbors(&self, idx: usize) -> Vec<usize> {
+        self.grid.neighbors(idx)
+    }
+
+    fn message_bytes(&self, from: usize, to: usize) -> usize {
+        self.grid.face_len(from, to) * std::mem::size_of::<f64>()
+    }
+
+    fn state_bytes(&self, idx: usize) -> usize {
+        let (_, w, _, h) = self.grid.extent(idx);
+        w * h * std::mem::size_of::<f64>() + 64
+    }
+
+    fn task_cost(&self, idx: usize, _iter: usize) -> f64 {
+        let (_, w, _, h) = self.grid.extent(idx);
+        self.cost.seconds((w * h) as f64 * FLOPS_PER_POINT)
+            * chare_jitter(self.seed, idx, self.jitter_frac)
+    }
+
+    fn make_kernel(&self, idx: usize) -> Box<dyn ChareKernel> {
+        Box::new(JacobiKernel::new(self.grid, idx))
+    }
+
+    fn unpack_kernel(&self, idx: usize, bytes: &[u8]) -> Option<Box<dyn ChareKernel>> {
+        let mut k = JacobiKernel::new(self.grid, idx);
+        let mut r = cloudlb_runtime::pup::PupReader::new(bytes);
+        k.u = r.f64s();
+        assert_eq!(k.u.len(), k.w * k.h, "PUP buffer does not match block shape");
+        assert!(r.exhausted());
+        Some(Box::new(k))
+    }
+}
+
+/// Which side of a block a neighbor touches.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Side {
+    West,
+    East,
+    North,
+    South,
+}
+
+/// Live state of one Jacobi block.
+pub struct JacobiKernel {
+    w: usize,
+    h: usize,
+    /// `true` when the block touches the global west edge (Dirichlet 1.0).
+    west_bc: bool,
+    u: Vec<f64>,
+    scratch: Vec<f64>,
+    /// `(neighbor chare, side it sits on)`.
+    sides: Vec<(usize, Side)>,
+    /// Latest ghosts per side (same order as `sides`).
+    ghosts: Vec<Vec<f64>>,
+}
+
+impl JacobiKernel {
+    /// Build the block for chare `idx` of `grid`, initialized to zero.
+    pub fn new(grid: Block2D, idx: usize) -> Self {
+        let (bx, by) = grid.coords(idx);
+        let (_, w, _, h) = grid.extent(idx);
+        let mut sides = Vec::new();
+        if bx > 0 {
+            sides.push((grid.index(bx - 1, by), Side::West));
+        }
+        if bx + 1 < grid.cx {
+            sides.push((grid.index(bx + 1, by), Side::East));
+        }
+        if by > 0 {
+            sides.push((grid.index(bx, by - 1), Side::North));
+        }
+        if by + 1 < grid.cy {
+            sides.push((grid.index(bx, by + 1), Side::South));
+        }
+        let ghosts = sides
+            .iter()
+            .map(|&(_, s)| match s {
+                Side::West | Side::East => vec![0.0; h],
+                Side::North | Side::South => vec![0.0; w],
+            })
+            .collect();
+        JacobiKernel { w, h, west_bc: bx == 0, u: vec![0.0; w * h], scratch: vec![0.0; w * h], sides, ghosts }
+    }
+
+    fn edge(&self, side: Side) -> Vec<f64> {
+        match side {
+            Side::West => (0..self.h).map(|y| self.u[y * self.w]).collect(),
+            Side::East => (0..self.h).map(|y| self.u[y * self.w + self.w - 1]).collect(),
+            Side::North => self.u[..self.w].to_vec(),
+            Side::South => self.u[(self.h - 1) * self.w..].to_vec(),
+        }
+    }
+
+    fn ghost(&self, side: Side) -> Option<&[f64]> {
+        self.sides
+            .iter()
+            .position(|&(_, s)| s == side)
+            .map(|i| self.ghosts[i].as_slice())
+    }
+
+    fn relax(&mut self) {
+        let (w, h) = (self.w, self.h);
+        for y in 0..h {
+            for x in 0..w {
+                let c = self.u[y * w + x];
+                let west = if x > 0 {
+                    self.u[y * w + x - 1]
+                } else if let Some(g) = self.ghost(Side::West) {
+                    g[y]
+                } else if self.west_bc {
+                    WEST_BC
+                } else {
+                    0.0
+                };
+                let east = if x + 1 < w {
+                    self.u[y * w + x + 1]
+                } else {
+                    self.ghost(Side::East).map_or(0.0, |g| g[y])
+                };
+                let north = if y > 0 {
+                    self.u[(y - 1) * w + x]
+                } else {
+                    self.ghost(Side::North).map_or(0.0, |g| g[x])
+                };
+                let south = if y + 1 < h {
+                    self.u[(y + 1) * w + x]
+                } else {
+                    self.ghost(Side::South).map_or(0.0, |g| g[x])
+                };
+                self.scratch[y * w + x] = 0.2 * (c + west + east + north + south);
+            }
+        }
+        std::mem::swap(&mut self.u, &mut self.scratch);
+    }
+}
+
+impl ChareKernel for JacobiKernel {
+    fn compute(&mut self, iter: usize, inbox: &[(usize, Vec<f64>)]) -> Vec<(usize, Vec<f64>)> {
+        if iter > 0 {
+            for (from, data) in inbox {
+                let slot = self
+                    .sides
+                    .iter()
+                    .position(|&(nb, _)| nb == *from)
+                    .unwrap_or_else(|| panic!("ghost from non-neighbor {from}"));
+                debug_assert_eq!(self.ghosts[slot].len(), data.len());
+                self.ghosts[slot].clone_from(data);
+            }
+            self.relax();
+        }
+        self.sides.iter().map(|&(nb, side)| (nb, self.edge(side))).collect()
+    }
+
+    fn checksum(&self) -> f64 {
+        self.u.iter().sum()
+    }
+
+    fn state_bytes(&self) -> usize {
+        self.u.len() * std::mem::size_of::<f64>() + 64
+    }
+
+    fn pack(&self) -> Option<Vec<u8>> {
+        // Ghosts are rewritten from the inbox every iteration, so only the
+        // field plane needs to travel.
+        let mut w = cloudlb_runtime::pup::PupWriter::new();
+        w.f64s(&self.u);
+        Some(w.finish())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cloudlb_runtime::program::validate_app;
+    use cloudlb_runtime::thread_exec::serial_reference;
+
+    fn small() -> Jacobi2D {
+        Jacobi2D::new(Block2D::new(24, 24, 3, 3))
+    }
+
+    #[test]
+    fn app_is_valid_and_sized() {
+        validate_app(&small());
+        let app = Jacobi2D::for_pes(4);
+        validate_app(&app);
+        assert_eq!(app.num_chares(), 64);
+    }
+
+    #[test]
+    fn costs_scale_with_block_area() {
+        let app = small();
+        let c = app.task_cost(0, 0);
+        assert!(c > 0.0);
+        let big = Jacobi2D::new(Block2D::new(48, 48, 3, 3));
+        assert!(big.task_cost(0, 0) > 3.0 * c, "quadrupled area ≈ 4x cost");
+    }
+
+    #[test]
+    fn heat_flows_in_from_the_west_boundary() {
+        let app = small();
+        let sums = serial_reference(&app, 40);
+        let total: f64 = sums.values().sum();
+        assert!(total > 0.0, "west BC must inject heat, total {total}");
+        // West-column blocks are hotter than east-column blocks.
+        let west: f64 = [0, 3, 6].iter().map(|i| sums[i]).sum();
+        let east: f64 = [2, 5, 8].iter().map(|i| sums[i]).sum();
+        assert!(west > east, "west {west} east {east}");
+    }
+
+    #[test]
+    fn serial_reference_is_deterministic() {
+        let app = small();
+        assert_eq!(serial_reference(&app, 10), serial_reference(&app, 10));
+    }
+
+    #[test]
+    fn solution_is_bounded_by_boundary_values() {
+        let app = small();
+        let mut kernels: Vec<_> = (0..9).map(|i| app.make_kernel(i)).collect();
+        let mut inbox: Vec<Vec<(usize, Vec<f64>)>> = vec![Vec::new(); 9];
+        for iter in 0..60 {
+            let mut next: Vec<Vec<(usize, Vec<f64>)>> = vec![Vec::new(); 9];
+            for (i, k) in kernels.iter_mut().enumerate() {
+                for (nb, data) in k.compute(iter, &inbox[i]) {
+                    assert!(data.iter().all(|v| (0.0..=WEST_BC).contains(v)), "out of range");
+                    next[nb].push((i, data));
+                }
+            }
+            inbox = next;
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "non-neighbor")]
+    fn kernel_rejects_foreign_ghosts() {
+        let app = small();
+        let mut k = app.make_kernel(4); // center block, neighbors 1,3,5,7
+        k.compute(1, &[(8, vec![0.0; 8])]);
+    }
+}

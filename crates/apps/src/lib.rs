@@ -1,0 +1,67 @@
+#![warn(missing_docs)]
+//! The paper's three evaluation applications, implemented as chare-array
+//! programs for the `cloudlb-runtime`:
+//!
+//! * [`Jacobi2D`] — "a canonical benchmark that
+//!   iteratively applies a 5-point stencil over a 2D grid of points";
+//! * [`Wave2D`] — "a tightly coupled 5-point stencil
+//!   application" solving the 2-D wave equation (the app used in the
+//!   paper's Figures 1 and 3 and as the interfering background job);
+//! * [`Mol3D`] — "a classical molecular dynamics code":
+//!   cell-decomposed Lennard-Jones particles with reflective-wall
+//!   integration, giving naturally imbalanced, communication-heavier
+//!   tasks;
+//!
+//! plus [`Stencil3D`], a 7-point 3-D stencil used by
+//! the extension experiments.
+//!
+//! Every app provides both the real numerical kernel (thread executor,
+//! correctness tests) and a calibrated cost model (deterministic
+//! simulator). Costs are derived from the kernel's floating-point
+//! operation count at a fixed effective rate, so relative task weights —
+//! the only thing the load balancer observes — match the real kernels.
+
+pub mod cost;
+pub mod grids;
+pub mod jacobi2d;
+pub mod mol3d;
+pub mod stencil3d;
+pub mod wave2d;
+
+pub use jacobi2d::Jacobi2D;
+pub use mol3d::Mol3D;
+pub use stencil3d::Stencil3D;
+pub use wave2d::Wave2D;
+
+/// The paper's applications by name, with a decomposition sized for `pes`
+/// cores (the over-decomposition the paper prescribes). Panics on unknown
+/// names; recognized: `jacobi2d`, `wave2d`, `mol3d`, `stencil3d`.
+pub fn by_name(name: &str, pes: usize) -> Box<dyn cloudlb_runtime::IterativeApp> {
+    match name.to_ascii_lowercase().as_str() {
+        "jacobi2d" => Box::new(Jacobi2D::for_pes(pes)),
+        "wave2d" => Box::new(Wave2D::for_pes(pes)),
+        "mol3d" => Box::new(Mol3D::for_pes(pes)),
+        "stencil3d" => Box::new(Stencil3D::for_pes(pes)),
+        other => panic!("unknown application {other:?}"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use cloudlb_runtime::program::validate_app;
+
+    #[test]
+    fn registry_builds_all_apps() {
+        for name in ["jacobi2d", "wave2d", "mol3d", "stencil3d"] {
+            let app = super::by_name(name, 4);
+            validate_app(app.as_ref());
+            assert!(app.num_chares() >= 4 * 8, "{name} under-decomposed");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown application")]
+    fn registry_rejects_unknown() {
+        super::by_name("nope", 4);
+    }
+}

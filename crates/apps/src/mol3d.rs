@@ -1,0 +1,330 @@
+//! Mol3D — "a classical molecular dynamics code" (paper §V).
+//!
+//! Space is decomposed into a 3-D grid of unit cells, one chare per cell.
+//! Each cell owns a set of Lennard-Jones particles; every iteration it
+//! exchanges particle positions with its six face-neighbor cells, computes
+//! short-range LJ forces from its own and neighboring particles, and
+//! advances velocities/positions (velocity-Verlet style with reflective
+//! cell walls, so ownership stays static — a deliberate mini-MD
+//! simplification documented in DESIGN.md).
+//!
+//! Two properties matter to the load balancer and match real MD:
+//! * **inherent imbalance** — particle counts follow a density gradient
+//!   across x, so per-cell costs differ by up to ~4× (cost ∝ n·(n+Σn_nb));
+//! * **communication weight** — messages carry whole particle sets, not
+//!   thin block edges, making migration and latency costlier (the paper's
+//!   Mol3D is the most interference-sensitive application).
+
+use crate::cost::{chare_jitter, FlopCost};
+use crate::grids::Block3D;
+use cloudlb_runtime::program::{ChareKernel, IterativeApp};
+use cloudlb_sim::SimRng;
+
+/// Flops charged per particle pair examined.
+const FLOPS_PER_PAIR: f64 = 45.0;
+/// LJ interaction cutoff (cell units; cells have unit extent).
+const CUTOFF2: f64 = 0.64;
+/// LJ energy scale (small: keeps the explicit integrator stable).
+const EPSILON: f64 = 1e-4;
+/// LJ length scale σ².
+const SIGMA2: f64 = 0.04;
+/// Integration step.
+const DT: f64 = 1e-3;
+/// Minimum r² in the force law (avoids the 1/r¹⁴ singularity).
+const MIN_R2: f64 = 1e-3;
+
+/// The Mol3D application.
+#[derive(Debug, Clone)]
+pub struct Mol3D {
+    /// The cell grid.
+    pub cells: Block3D,
+    /// Particles per cell (inherent imbalance lives here).
+    pub particles: Vec<usize>,
+    /// Flop→seconds model.
+    pub cost: FlopCost,
+    /// Static per-chare speed jitter fraction.
+    pub jitter_frac: f64,
+    /// Seed for particle initialization and jitter.
+    pub seed: u64,
+}
+
+impl Mol3D {
+    /// Build with a linear density gradient along x: cells range from
+    /// `base` to `2·base` particles.
+    pub fn with_gradient(cells: Block3D, base: usize) -> Self {
+        assert!(base >= 2, "need at least two particles per cell");
+        let particles = (0..cells.num_chares())
+            .map(|idx| {
+                let (x, _, _) = cells.coords(idx);
+                base + base * x / cells.cx.max(1)
+            })
+            .collect();
+        Mol3D { cells, particles, cost: FlopCost::default(), jitter_frac: 0.02, seed: 0x301D }
+    }
+
+    /// Paper-style sizing for `pes` cores: 16 cells per core in a
+    /// `(4·k) × 2 × 2`-ish box, ~48–96 particles per cell.
+    pub fn for_pes(pes: usize) -> Self {
+        assert!(pes > 0);
+        // 16·pes cells: fix z = 4, near-square the rest.
+        let rest = 4 * pes;
+        let (cx, cy) = crate::grids::near_square_factors(rest);
+        Mol3D::with_gradient(Block3D::new(cx, cy, 4), 48)
+    }
+
+    /// Pairs examined by cell `idx` per iteration: own×(own + neighbors).
+    fn pairs(&self, idx: usize) -> f64 {
+        let own = self.particles[idx] as f64;
+        let nb: usize = self.cells.neighbors(idx).iter().map(|&j| self.particles[j]).sum();
+        own * (own + nb as f64)
+    }
+}
+
+impl IterativeApp for Mol3D {
+    fn name(&self) -> &'static str {
+        "Mol3D"
+    }
+
+    fn num_chares(&self) -> usize {
+        self.cells.num_chares()
+    }
+
+    fn neighbors(&self, idx: usize) -> Vec<usize> {
+        self.cells.neighbors(idx)
+    }
+
+    fn message_bytes(&self, from: usize, _to: usize) -> usize {
+        // Positions of every owned particle: 3 × f64.
+        self.particles[from] * 3 * std::mem::size_of::<f64>()
+    }
+
+    fn state_bytes(&self, idx: usize) -> usize {
+        // Positions + velocities + bookkeeping.
+        self.particles[idx] * 6 * std::mem::size_of::<f64>() + 128
+    }
+
+    fn task_cost(&self, idx: usize, _iter: usize) -> f64 {
+        self.cost.seconds(self.pairs(idx) * FLOPS_PER_PAIR)
+            * chare_jitter(self.seed, idx, self.jitter_frac)
+    }
+
+    fn make_kernel(&self, idx: usize) -> Box<dyn ChareKernel> {
+        Box::new(MolKernel::new(self, idx))
+    }
+
+    fn unpack_kernel(&self, idx: usize, bytes: &[u8]) -> Option<Box<dyn ChareKernel>> {
+        let mut k = MolKernel::new(self, idx);
+        let mut r = cloudlb_runtime::pup::PupReader::new(bytes);
+        let pos = r.f64s();
+        let vel = r.f64s();
+        assert_eq!(pos.len(), self.particles[idx] * 3, "PUP particle count mismatch");
+        assert_eq!(vel.len(), self.particles[idx] * 3);
+        k.pos = pos.chunks_exact(3).map(|c| [c[0], c[1], c[2]]).collect();
+        k.vel = vel.chunks_exact(3).map(|c| [c[0], c[1], c[2]]).collect();
+        assert!(r.exhausted());
+        Some(Box::new(k))
+    }
+}
+
+/// Live state of one cell: its particles.
+pub struct MolKernel {
+    /// Cell origin in space (cells are unit cubes).
+    origin: [f64; 3],
+    pos: Vec<[f64; 3]>,
+    vel: Vec<[f64; 3]>,
+    neighbors: Vec<usize>,
+}
+
+impl MolKernel {
+    fn new(app: &Mol3D, idx: usize) -> Self {
+        let (x, y, z) = app.cells.coords(idx);
+        let origin = [x as f64, y as f64, z as f64];
+        let n = app.particles[idx];
+        let mut rng = SimRng::new(app.seed ^ (idx as u64).wrapping_mul(0x9E3779B97F4A7C15));
+        let pos = (0..n)
+            .map(|_| {
+                [
+                    origin[0] + rng.range_f64(0.05, 0.95),
+                    origin[1] + rng.range_f64(0.05, 0.95),
+                    origin[2] + rng.range_f64(0.05, 0.95),
+                ]
+            })
+            .collect();
+        let vel = (0..n)
+            .map(|_| {
+                [
+                    rng.normal(0.0, 0.05),
+                    rng.normal(0.0, 0.05),
+                    rng.normal(0.0, 0.05),
+                ]
+            })
+            .collect();
+        MolKernel { origin, pos, vel, neighbors: app.cells.neighbors(idx) }
+    }
+
+    fn flatten(&self) -> Vec<f64> {
+        self.pos.iter().flat_map(|p| p.iter().copied()).collect()
+    }
+
+    /// Accumulate the LJ force on `p` from source point `q`.
+    fn lj_force(p: &[f64; 3], q: &[f64; 3], f: &mut [f64; 3]) {
+        let d = [p[0] - q[0], p[1] - q[1], p[2] - q[2]];
+        let r2 = (d[0] * d[0] + d[1] * d[1] + d[2] * d[2]).max(MIN_R2);
+        if r2 >= CUTOFF2 {
+            return;
+        }
+        let s2 = SIGMA2 / r2;
+        let s6 = s2 * s2 * s2;
+        // F = 24ε(2·s¹² − s⁶)/r² · d
+        let mag = 24.0 * EPSILON * (2.0 * s6 * s6 - s6) / r2;
+        f[0] += mag * d[0];
+        f[1] += mag * d[1];
+        f[2] += mag * d[2];
+    }
+
+    fn step(&mut self, ghost_positions: &[[f64; 3]]) {
+        let n = self.pos.len();
+        let mut forces = vec![[0.0f64; 3]; n];
+        for (i, fi) in forces.iter_mut().enumerate() {
+            let pi = self.pos[i];
+            for (j, pj) in self.pos.iter().enumerate() {
+                if i != j {
+                    Self::lj_force(&pi, pj, fi);
+                }
+            }
+            for q in ghost_positions {
+                Self::lj_force(&pi, q, fi);
+            }
+        }
+        for ((pos, vel), force) in self.pos.iter_mut().zip(&mut self.vel).zip(&forces) {
+            for k in 0..3 {
+                vel[k] += DT * force[k];
+                pos[k] += DT * vel[k];
+                // Reflect at the cell walls (keeps ownership static).
+                let lo = self.origin[k];
+                let hi = lo + 1.0;
+                if pos[k] < lo {
+                    pos[k] = 2.0 * lo - pos[k];
+                    vel[k] = -vel[k];
+                } else if pos[k] > hi {
+                    pos[k] = 2.0 * hi - pos[k];
+                    vel[k] = -vel[k];
+                }
+            }
+        }
+    }
+}
+
+impl ChareKernel for MolKernel {
+    fn compute(&mut self, iter: usize, inbox: &[(usize, Vec<f64>)]) -> Vec<(usize, Vec<f64>)> {
+        if iter > 0 {
+            // Deterministic force order: sort ghosts by sender.
+            let mut entries: Vec<&(usize, Vec<f64>)> = inbox.iter().collect();
+            entries.sort_by_key(|e| e.0);
+            let mut ghosts = Vec::new();
+            for (_, data) in entries {
+                for c in data.chunks_exact(3) {
+                    ghosts.push([c[0], c[1], c[2]]);
+                }
+            }
+            self.step(&ghosts);
+        }
+        let flat = self.flatten();
+        self.neighbors.iter().map(|&nb| (nb, flat.clone())).collect()
+    }
+
+    fn checksum(&self) -> f64 {
+        self.pos.iter().chain(self.vel.iter()).flat_map(|v| v.iter()).sum()
+    }
+
+    fn state_bytes(&self) -> usize {
+        self.pos.len() * 6 * std::mem::size_of::<f64>() + 128
+    }
+
+    fn pack(&self) -> Option<Vec<u8>> {
+        let mut w = cloudlb_runtime::pup::PupWriter::new();
+        let flat = |v: &Vec<[f64; 3]>| v.iter().flat_map(|p| p.iter().copied()).collect::<Vec<_>>();
+        w.f64s(&flat(&self.pos)).f64s(&flat(&self.vel));
+        Some(w.finish())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cloudlb_runtime::program::validate_app;
+    use cloudlb_runtime::thread_exec::serial_reference;
+
+    fn tiny() -> Mol3D {
+        Mol3D::with_gradient(Block3D::new(3, 2, 2), 4)
+    }
+
+    #[test]
+    fn app_is_valid_and_imbalanced() {
+        let app = tiny();
+        validate_app(&app);
+        // Density gradient → rightmost cells cost more.
+        let left = app.task_cost(app.cells.index(0, 0, 0), 0);
+        let right = app.task_cost(app.cells.index(2, 0, 0), 0);
+        assert!(right > 1.3 * left, "left {left}, right {right}");
+    }
+
+    #[test]
+    fn for_pes_shapes() {
+        let app = Mol3D::for_pes(4);
+        validate_app(&app);
+        assert_eq!(app.num_chares(), 64);
+        assert!(app.particles.iter().all(|&n| (48..=96).contains(&n)));
+    }
+
+    #[test]
+    fn particles_stay_in_their_cells() {
+        let app = tiny();
+        let mut k = MolKernel::new(&app, 0);
+        let before = k.pos.clone();
+        for iter in 0..50 {
+            k.compute(iter, &[]);
+        }
+        for p in &k.pos {
+            for d in 0..3 {
+                assert!(
+                    p[d] >= k.origin[d] - 1e-9 && p[d] <= k.origin[d] + 1.0 + 1e-9,
+                    "escaped: {p:?} from {:?}",
+                    k.origin
+                );
+            }
+        }
+        assert_ne!(before, k.pos, "particles must move");
+    }
+
+    #[test]
+    fn dynamics_are_stable_and_deterministic() {
+        let app = tiny();
+        let a = serial_reference(&app, 20);
+        let b = serial_reference(&app, 20);
+        assert_eq!(a, b);
+        for (c, s) in a {
+            assert!(s.is_finite(), "cell {c} diverged");
+        }
+    }
+
+    #[test]
+    fn message_bytes_track_particle_counts() {
+        let app = tiny();
+        let i = app.cells.index(0, 0, 0);
+        let j = app.cells.index(2, 0, 0);
+        let nb_i = app.neighbors(i)[0];
+        let nb_j = app.neighbors(j)[0];
+        assert!(app.message_bytes(j, nb_j) > app.message_bytes(i, nb_i));
+    }
+
+    #[test]
+    fn cutoff_limits_forces() {
+        let mut f = [0.0; 3];
+        MolKernel::lj_force(&[0.0, 0.0, 0.0], &[2.0, 0.0, 0.0], &mut f);
+        assert_eq!(f, [0.0, 0.0, 0.0], "beyond cutoff");
+        MolKernel::lj_force(&[0.0, 0.0, 0.0], &[0.1, 0.0, 0.0], &mut f);
+        assert!(f[0] != 0.0, "inside cutoff");
+        assert!(f.iter().all(|v| v.is_finite()));
+    }
+}

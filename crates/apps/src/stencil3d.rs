@@ -1,0 +1,259 @@
+//! Stencil3D — a 7-point 3-D Jacobi relaxation, used by the extension
+//! experiments (not in the paper's evaluation, but the natural "next
+//! workload" its future-work section points toward: more neighbors per
+//! chare, larger ghost faces, heavier migration state).
+
+use crate::cost::{chare_jitter, FlopCost};
+use crate::grids::Block3D;
+use cloudlb_runtime::program::{ChareKernel, IterativeApp};
+
+/// Flops per updated point (6 adds + 1 multiply).
+const FLOPS_PER_POINT: f64 = 7.0;
+
+/// The Stencil3D application: a `cx×cy×cz` grid of cubic blocks, each
+/// `b³` points.
+#[derive(Debug, Clone)]
+pub struct Stencil3D {
+    /// Chare/cell grid.
+    pub cells: Block3D,
+    /// Points per block edge.
+    pub block: usize,
+    /// Flop→seconds model.
+    pub cost: FlopCost,
+    /// Static per-chare jitter fraction.
+    pub jitter_frac: f64,
+    /// Jitter seed.
+    pub seed: u64,
+}
+
+impl Stencil3D {
+    /// Custom decomposition.
+    pub fn new(cells: Block3D, block: usize) -> Self {
+        assert!(block >= 2, "block edge must be >= 2");
+        Stencil3D { cells, block, cost: FlopCost::default(), jitter_frac: 0.02, seed: 0x3D3D }
+    }
+
+    /// 16 chares per core in a `(4k)×2×2`-ish box of 32³-point blocks.
+    pub fn for_pes(pes: usize) -> Self {
+        assert!(pes > 0);
+        let (cx, cy) = crate::grids::near_square_factors(4 * pes);
+        Stencil3D::new(Block3D::new(cx, cy, 4), 32)
+    }
+}
+
+impl IterativeApp for Stencil3D {
+    fn name(&self) -> &'static str {
+        "Stencil3D"
+    }
+
+    fn num_chares(&self) -> usize {
+        self.cells.num_chares()
+    }
+
+    fn neighbors(&self, idx: usize) -> Vec<usize> {
+        self.cells.neighbors(idx)
+    }
+
+    fn message_bytes(&self, _from: usize, _to: usize) -> usize {
+        // One face of the block.
+        self.block * self.block * std::mem::size_of::<f64>()
+    }
+
+    fn state_bytes(&self, _idx: usize) -> usize {
+        self.block.pow(3) * std::mem::size_of::<f64>() + 64
+    }
+
+    fn task_cost(&self, idx: usize, _iter: usize) -> f64 {
+        self.cost.seconds(self.block.pow(3) as f64 * FLOPS_PER_POINT)
+            * chare_jitter(self.seed, idx, self.jitter_frac)
+    }
+
+    fn make_kernel(&self, idx: usize) -> Box<dyn ChareKernel> {
+        Box::new(Stencil3DKernel::new(self, idx))
+    }
+
+    fn unpack_kernel(&self, idx: usize, bytes: &[u8]) -> Option<Box<dyn ChareKernel>> {
+        let mut k = Stencil3DKernel::new(self, idx);
+        let mut r = cloudlb_runtime::pup::PupReader::new(bytes);
+        k.u = r.f64s();
+        assert_eq!(k.u.len(), self.block.pow(3), "PUP buffer does not match block shape");
+        assert!(r.exhausted());
+        Some(Box::new(k))
+    }
+}
+
+/// One cubic block with six face ghosts.
+pub struct Stencil3DKernel {
+    b: usize,
+    u: Vec<f64>,
+    scratch: Vec<f64>,
+    /// `(neighbor chare, axis 0..3, +1 side?)`.
+    faces: Vec<(usize, usize, bool)>,
+    ghosts: Vec<Vec<f64>>,
+    /// Source block: hottest at the domain origin.
+    source: bool,
+}
+
+impl Stencil3DKernel {
+    fn new(app: &Stencil3D, idx: usize) -> Self {
+        let (x, y, z) = app.cells.coords(idx);
+        let b = app.block;
+        let mut faces = Vec::new();
+        let coords = [x, y, z];
+        let dims = [app.cells.cx, app.cells.cy, app.cells.cz];
+        for axis in 0..3 {
+            if coords[axis] > 0 {
+                let mut c = coords;
+                c[axis] -= 1;
+                faces.push((app.cells.index(c[0], c[1], c[2]), axis, false));
+            }
+            if coords[axis] + 1 < dims[axis] {
+                let mut c = coords;
+                c[axis] += 1;
+                faces.push((app.cells.index(c[0], c[1], c[2]), axis, true));
+            }
+        }
+        let ghosts = faces.iter().map(|_| vec![0.0; b * b]).collect();
+        Stencil3DKernel {
+            b,
+            u: vec![0.0; b * b * b],
+            scratch: vec![0.0; b * b * b],
+            faces,
+            ghosts,
+            source: idx == 0,
+        }
+    }
+
+    #[inline]
+    fn at(&self, x: usize, y: usize, z: usize) -> f64 {
+        self.u[(z * self.b + y) * self.b + x]
+    }
+
+    fn face(&self, axis: usize, plus: bool) -> Vec<f64> {
+        let b = self.b;
+        let fixed = if plus { b - 1 } else { 0 };
+        let mut out = Vec::with_capacity(b * b);
+        for i in 0..b {
+            for j in 0..b {
+                let v = match axis {
+                    0 => self.at(fixed, j, i),
+                    1 => self.at(j, fixed, i),
+                    _ => self.at(j, i, fixed),
+                };
+                out.push(v);
+            }
+        }
+        out
+    }
+
+    fn ghost_at(&self, axis: usize, plus: bool, j: usize, i: usize) -> f64 {
+        self.faces
+            .iter()
+            .position(|&(_, a, p)| a == axis && p == plus)
+            .map_or(0.0, |slot| self.ghosts[slot][i * self.b + j])
+    }
+
+    fn relax(&mut self) {
+        let b = self.b;
+        for z in 0..b {
+            for y in 0..b {
+                for x in 0..b {
+                    let c = self.at(x, y, z);
+                    let xm = if x > 0 { self.at(x - 1, y, z) } else { self.ghost_at(0, false, y, z) };
+                    let xp = if x + 1 < b { self.at(x + 1, y, z) } else { self.ghost_at(0, true, y, z) };
+                    let ym = if y > 0 { self.at(x, y - 1, z) } else { self.ghost_at(1, false, x, z) };
+                    let yp = if y + 1 < b { self.at(x, y + 1, z) } else { self.ghost_at(1, true, x, z) };
+                    let zm = if z > 0 { self.at(x, y, z - 1) } else { self.ghost_at(2, false, x, y) };
+                    let zp = if z + 1 < b { self.at(x, y, z + 1) } else { self.ghost_at(2, true, x, y) };
+                    self.scratch[(z * b + y) * b + x] = (c + xm + xp + ym + yp + zm + zp) / 7.0;
+                }
+            }
+        }
+        std::mem::swap(&mut self.u, &mut self.scratch);
+        if self.source {
+            // Hold a hot point: keeps the field non-trivial.
+            self.u[0] = 1.0;
+        }
+    }
+}
+
+impl ChareKernel for Stencil3DKernel {
+    fn compute(&mut self, iter: usize, inbox: &[(usize, Vec<f64>)]) -> Vec<(usize, Vec<f64>)> {
+        if iter == 0 && self.source {
+            self.u[0] = 1.0;
+        }
+        if iter > 0 {
+            for (from, data) in inbox {
+                let slot = self
+                    .faces
+                    .iter()
+                    .position(|&(nb, _, _)| nb == *from)
+                    .unwrap_or_else(|| panic!("ghost from non-neighbor {from}"));
+                self.ghosts[slot].clone_from(data);
+            }
+            self.relax();
+        }
+        self.faces.iter().map(|&(nb, axis, plus)| (nb, self.face(axis, plus))).collect()
+    }
+
+    fn checksum(&self) -> f64 {
+        self.u.iter().sum()
+    }
+
+    fn state_bytes(&self) -> usize {
+        self.u.len() * std::mem::size_of::<f64>() + 64
+    }
+
+    fn pack(&self) -> Option<Vec<u8>> {
+        let mut w = cloudlb_runtime::pup::PupWriter::new();
+        w.f64s(&self.u);
+        Some(w.finish())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cloudlb_runtime::program::validate_app;
+    use cloudlb_runtime::thread_exec::serial_reference;
+
+    fn tiny() -> Stencil3D {
+        Stencil3D::new(Block3D::new(2, 2, 2), 4)
+    }
+
+    #[test]
+    fn app_is_valid() {
+        validate_app(&tiny());
+        validate_app(&Stencil3D::for_pes(4));
+    }
+
+    #[test]
+    fn heat_spreads_from_the_source_block() {
+        let app = tiny();
+        let sums = serial_reference(&app, 30);
+        assert!(sums[&0] > 0.0, "source block holds heat");
+        // The far corner receives some energy after 30 sweeps.
+        let far = app.cells.index(1, 1, 1);
+        assert!(sums[&far] > 0.0, "heat must reach block {far}: {sums:?}");
+        // And everything stays bounded by the source value.
+        for (c, s) in &sums {
+            assert!(*s >= 0.0 && *s <= 64.0, "block {c} out of bounds: {s}");
+        }
+    }
+
+    #[test]
+    fn faces_have_block_squared_points() {
+        let app = tiny();
+        let mut k = app.make_kernel(0);
+        let out = k.compute(0, &[]);
+        assert_eq!(out.len(), 3); // corner block: 3 faces
+        assert!(out.iter().all(|(_, d)| d.len() == 16));
+    }
+
+    #[test]
+    fn cost_scales_with_block_volume() {
+        let small = Stencil3D::new(Block3D::new(2, 2, 2), 4);
+        let big = Stencil3D::new(Block3D::new(2, 2, 2), 8);
+        assert!(big.task_cost(0, 0) > 7.0 * small.task_cost(0, 0));
+    }
+}

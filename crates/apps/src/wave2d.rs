@@ -1,0 +1,293 @@
+//! Wave2D — "a tightly coupled 5-point stencil application" (paper §IV)
+//! solving the 2-D wave equation with leapfrog time stepping:
+//!
+//! ```text
+//! u_next = 2·u − u_prev + c²·(Δt/Δx)² · ∇²u
+//! ```
+//!
+//! This is the app the paper uses for its timeline figures (1 and 3) *and*
+//! as the interfering background job. The decomposition mirrors
+//! [`Jacobi2D`](crate::jacobi2d::Jacobi2D) but each point costs more flops
+//! and carries two state planes.
+
+use crate::cost::{chare_jitter, FlopCost};
+use crate::grids::{near_square_factors, Block2D};
+use cloudlb_runtime::program::{ChareKernel, IterativeApp};
+
+/// Flops per updated point (laplacian + leapfrog combine).
+const FLOPS_PER_POINT: f64 = 8.0;
+/// Courant factor `(c·Δt/Δx)²`; < 0.5 keeps the scheme stable in 2-D.
+const COURANT2: f64 = 0.25;
+
+/// The Wave2D application.
+#[derive(Debug, Clone)]
+pub struct Wave2D {
+    /// Decomposition of the global grid.
+    pub grid: Block2D,
+    /// Flop→seconds model for the simulator.
+    pub cost: FlopCost,
+    /// Static per-chare speed jitter fraction.
+    pub jitter_frac: f64,
+    /// Seed for the jitter.
+    pub seed: u64,
+}
+
+impl Wave2D {
+    /// Custom decomposition.
+    pub fn new(grid: Block2D) -> Self {
+        Wave2D { grid, cost: FlopCost::default(), jitter_frac: 0.02, seed: 0x2AFE }
+    }
+
+    /// Paper-style sizing: 16 chares per core, 160×160 points per block.
+    pub fn for_pes(pes: usize) -> Self {
+        assert!(pes > 0);
+        let (cx, cy) = near_square_factors(16 * pes);
+        Wave2D::new(Block2D::new(cx * 160, cy * 160, cx, cy))
+    }
+}
+
+impl IterativeApp for Wave2D {
+    fn name(&self) -> &'static str {
+        "Wave2D"
+    }
+
+    fn num_chares(&self) -> usize {
+        self.grid.num_chares()
+    }
+
+    fn neighbors(&self, idx: usize) -> Vec<usize> {
+        self.grid.neighbors(idx)
+    }
+
+    fn message_bytes(&self, from: usize, to: usize) -> usize {
+        self.grid.face_len(from, to) * std::mem::size_of::<f64>()
+    }
+
+    fn state_bytes(&self, idx: usize) -> usize {
+        let (_, w, _, h) = self.grid.extent(idx);
+        2 * w * h * std::mem::size_of::<f64>() + 64
+    }
+
+    fn task_cost(&self, idx: usize, _iter: usize) -> f64 {
+        let (_, w, _, h) = self.grid.extent(idx);
+        self.cost.seconds((w * h) as f64 * FLOPS_PER_POINT)
+            * chare_jitter(self.seed, idx, self.jitter_frac)
+    }
+
+    fn make_kernel(&self, idx: usize) -> Box<dyn ChareKernel> {
+        Box::new(WaveKernel::new(self.grid, idx))
+    }
+
+    fn unpack_kernel(&self, idx: usize, bytes: &[u8]) -> Option<Box<dyn ChareKernel>> {
+        let mut k = WaveKernel::new(self.grid, idx);
+        let mut r = cloudlb_runtime::pup::PupReader::new(bytes);
+        k.u = r.f64s();
+        k.u_prev = r.f64s();
+        assert_eq!(k.u.len(), k.w * k.h, "PUP buffer does not match block shape");
+        assert_eq!(k.u_prev.len(), k.w * k.h);
+        assert!(r.exhausted());
+        Some(Box::new(k))
+    }
+}
+
+/// Live state of one Wave2D block: two time planes plus ghosts.
+pub struct WaveKernel {
+    w: usize,
+    h: usize,
+    u: Vec<f64>,
+    u_prev: Vec<f64>,
+    scratch: Vec<f64>,
+    sides: Vec<(usize, SideW)>,
+    ghosts: Vec<Vec<f64>>,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum SideW {
+    West,
+    East,
+    North,
+    South,
+}
+
+impl WaveKernel {
+    /// Build chare `idx`'s block with a Gaussian pulse centered in the
+    /// global domain.
+    pub fn new(grid: Block2D, idx: usize) -> Self {
+        let (bx, by) = grid.coords(idx);
+        let (x0, w, y0, h) = grid.extent(idx);
+        let mut sides = Vec::new();
+        if bx > 0 {
+            sides.push((grid.index(bx - 1, by), SideW::West));
+        }
+        if bx + 1 < grid.cx {
+            sides.push((grid.index(bx + 1, by), SideW::East));
+        }
+        if by > 0 {
+            sides.push((grid.index(bx, by - 1), SideW::North));
+        }
+        if by + 1 < grid.cy {
+            sides.push((grid.index(bx, by + 1), SideW::South));
+        }
+        let ghosts = sides
+            .iter()
+            .map(|&(_, s)| match s {
+                SideW::West | SideW::East => vec![0.0; h],
+                SideW::North | SideW::South => vec![0.0; w],
+            })
+            .collect();
+
+        // Initial condition: a Gaussian displacement pulse at the global
+        // domain center, zero initial velocity (u_prev = u).
+        let (gx, gy) = (grid.nx as f64 / 2.0, grid.ny as f64 / 2.0);
+        let sigma2 = (grid.nx.min(grid.ny) as f64 / 16.0).powi(2);
+        let mut u = vec![0.0; w * h];
+        for y in 0..h {
+            for x in 0..w {
+                let dx = (x0 + x) as f64 - gx;
+                let dy = (y0 + y) as f64 - gy;
+                u[y * w + x] = (-(dx * dx + dy * dy) / (2.0 * sigma2)).exp();
+            }
+        }
+        WaveKernel { w, h, u_prev: u.clone(), scratch: vec![0.0; w * h], u, sides, ghosts }
+    }
+
+    fn edge(&self, side: SideW) -> Vec<f64> {
+        match side {
+            SideW::West => (0..self.h).map(|y| self.u[y * self.w]).collect(),
+            SideW::East => (0..self.h).map(|y| self.u[y * self.w + self.w - 1]).collect(),
+            SideW::North => self.u[..self.w].to_vec(),
+            SideW::South => self.u[(self.h - 1) * self.w..].to_vec(),
+        }
+    }
+
+    fn ghost(&self, side: SideW) -> Option<&[f64]> {
+        self.sides
+            .iter()
+            .position(|&(_, s)| s == side)
+            .map(|i| self.ghosts[i].as_slice())
+    }
+
+    fn step(&mut self) {
+        let (w, h) = (self.w, self.h);
+        for y in 0..h {
+            for x in 0..w {
+                let c = self.u[y * w + x];
+                let west = if x > 0 {
+                    self.u[y * w + x - 1]
+                } else {
+                    self.ghost(SideW::West).map_or(0.0, |g| g[y])
+                };
+                let east = if x + 1 < w {
+                    self.u[y * w + x + 1]
+                } else {
+                    self.ghost(SideW::East).map_or(0.0, |g| g[y])
+                };
+                let north = if y > 0 {
+                    self.u[(y - 1) * w + x]
+                } else {
+                    self.ghost(SideW::North).map_or(0.0, |g| g[x])
+                };
+                let south = if y + 1 < h {
+                    self.u[(y + 1) * w + x]
+                } else {
+                    self.ghost(SideW::South).map_or(0.0, |g| g[x])
+                };
+                let lap = west + east + north + south - 4.0 * c;
+                self.scratch[y * w + x] = 2.0 * c - self.u_prev[y * w + x] + COURANT2 * lap;
+            }
+        }
+        std::mem::swap(&mut self.u_prev, &mut self.u);
+        std::mem::swap(&mut self.u, &mut self.scratch);
+    }
+}
+
+impl ChareKernel for WaveKernel {
+    fn compute(&mut self, iter: usize, inbox: &[(usize, Vec<f64>)]) -> Vec<(usize, Vec<f64>)> {
+        if iter > 0 {
+            for (from, data) in inbox {
+                let slot = self
+                    .sides
+                    .iter()
+                    .position(|&(nb, _)| nb == *from)
+                    .unwrap_or_else(|| panic!("ghost from non-neighbor {from}"));
+                self.ghosts[slot].clone_from(data);
+            }
+            self.step();
+        }
+        self.sides.iter().map(|&(nb, side)| (nb, self.edge(side))).collect()
+    }
+
+    fn checksum(&self) -> f64 {
+        // Sum of both planes: sensitive to any state corruption.
+        self.u.iter().sum::<f64>() + self.u_prev.iter().sum::<f64>()
+    }
+
+    fn state_bytes(&self) -> usize {
+        2 * self.u.len() * std::mem::size_of::<f64>() + 64
+    }
+
+    fn pack(&self) -> Option<Vec<u8>> {
+        let mut w = cloudlb_runtime::pup::PupWriter::new();
+        w.f64s(&self.u).f64s(&self.u_prev);
+        Some(w.finish())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cloudlb_runtime::program::validate_app;
+    use cloudlb_runtime::thread_exec::serial_reference;
+
+    fn small() -> Wave2D {
+        Wave2D::new(Block2D::new(32, 32, 4, 2))
+    }
+
+    #[test]
+    fn app_is_valid() {
+        validate_app(&small());
+        validate_app(&Wave2D::for_pes(8));
+    }
+
+    #[test]
+    fn wave_propagates_outward() {
+        let app = small();
+        let before = serial_reference(&app, 1);
+        let after = serial_reference(&app, 30);
+        // The pulse starts centered (chares 1,2,5,6 carry it); after 30
+        // steps energy reaches the corner blocks.
+        let corner_before = before[&0].abs() + before[&7].abs();
+        let corner_after = after[&0].abs() + after[&7].abs();
+        assert!(
+            corner_after > corner_before,
+            "corners before {corner_before}, after {corner_after}"
+        );
+    }
+
+    #[test]
+    fn scheme_is_stable() {
+        // Bounded checksums after many steps (Courant condition holds).
+        let app = small();
+        let sums = serial_reference(&app, 200);
+        for (chare, s) in sums {
+            assert!(s.is_finite() && s.abs() < 1e6, "chare {chare} diverged: {s}");
+        }
+    }
+
+    #[test]
+    fn wave_costs_exceed_jacobi_costs() {
+        // Same grid → Wave2D does more flops per point.
+        let w = Wave2D::new(Block2D::new(24, 24, 3, 3));
+        let j = crate::jacobi2d::Jacobi2D::new(Block2D::new(24, 24, 3, 3));
+        // Compare de-jittered costs.
+        let wc = w.task_cost(0, 0) / crate::cost::chare_jitter(w.seed, 0, w.jitter_frac);
+        let jc = j.task_cost(0, 0) / crate::cost::chare_jitter(j.seed, 0, j.jitter_frac);
+        assert!(wc > jc);
+    }
+
+    #[test]
+    fn state_includes_two_planes() {
+        let app = small();
+        assert_eq!(app.state_bytes(0), 2 * 8 * 16 * 8 + 64);
+    }
+}

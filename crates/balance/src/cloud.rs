@@ -1,0 +1,328 @@
+//! The paper's Algorithm 1: *Refinement Load Balancing for VM Interference*.
+//!
+//! Variable glossary (paper Table I):
+//!
+//! | Variable   | Description                                          |
+//! |------------|------------------------------------------------------|
+//! | `p`        | number of cores                                      |
+//! | `T_avg`    | average execution time per core (Eq. 1)              |
+//! | `t_i^p`    | CPU time of task `i` assigned to core `p`            |
+//! | `m_i^k`    | core to which task `i` is assigned during step `k`   |
+//! | `overheap` | heap of overloaded cores                             |
+//! | `O_p`      | background load for core `p` (Eq. 2)                 |
+//! | `underset` | set of underloaded cores                             |
+//!
+//! The algorithm classifies each core as overloaded (`isHeavy`: total load
+//! exceeds `T_avg` by more than `ε`) or underloaded (`isLight`), then
+//! repeatedly pops the most-overloaded donor and moves its biggest
+//! transferable task to an underloaded core that will not become overloaded
+//! by receiving it, updating the heap and set until no overloaded core
+//! remains (or no further transfer is possible — the paper implicitly
+//! assumes one is, we must terminate regardless).
+
+use crate::db::{LbStats, TaskId};
+use crate::strategy::{LbStrategy, Migration};
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// The paper's interference-aware refinement balancer.
+#[derive(Debug, Clone)]
+pub struct CloudRefineLb {
+    /// Tolerance `ε` as a fraction of `T_avg` (paper: "the deviation from
+    /// the average load that the cloud operator is willing to allow").
+    pub epsilon_frac: f64,
+    /// Include the background term `O_p`. `true` is the paper's scheme;
+    /// `false` degrades it to classic RefineLB (used as a baseline).
+    pub account_bg: bool,
+}
+
+impl Default for CloudRefineLb {
+    fn default() -> Self {
+        CloudRefineLb { epsilon_frac: 0.05, account_bg: true }
+    }
+}
+
+impl CloudRefineLb {
+    /// Paper configuration with an explicit tolerance fraction.
+    pub fn with_epsilon(epsilon_frac: f64) -> Self {
+        assert!(epsilon_frac >= 0.0 && epsilon_frac.is_finite());
+        CloudRefineLb { epsilon_frac, ..Default::default() }
+    }
+}
+
+/// Max-heap entry ordered by load, ties broken by core index for
+/// determinism.
+#[derive(Debug, PartialEq)]
+struct HeapEntry {
+    load: f64,
+    pe: usize,
+}
+
+impl Eq for HeapEntry {}
+
+impl Ord for HeapEntry {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.load
+            .total_cmp(&other.load)
+            .then_with(|| other.pe.cmp(&self.pe))
+    }
+}
+
+impl PartialOrd for HeapEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Shared refinement engine used by both [`CloudRefineLb`] and the classic
+/// [`crate::refine::RefineLb`].
+pub(crate) fn refine_plan(stats: &LbStats, epsilon_frac: f64, account_bg: bool) -> Vec<Migration> {
+    stats.validate();
+    let p = stats.num_pes;
+    if p == 0 || stats.tasks.is_empty() {
+        return Vec::new();
+    }
+
+    // Current per-core load: Σ t_i (+ O_p when interference-aware).
+    let mut loads = stats.task_loads();
+    if account_bg {
+        for (l, o) in loads.iter_mut().zip(&stats.bg_load) {
+            *l += o;
+        }
+    }
+    let t_avg = loads.iter().sum::<f64>() / p as f64;
+    let eps = epsilon_frac * t_avg;
+
+    // Per-core task lists sorted ascending by load, so the biggest
+    // transferable task is found with a partition-point search.
+    let mut tasks_on: Vec<Vec<(f64, TaskId, usize)>> = vec![Vec::new(); p];
+    for (idx, t) in stats.tasks.iter().enumerate() {
+        tasks_on[t.pe].push((t.load, t.id, idx));
+    }
+    for list in &mut tasks_on {
+        list.sort_by(|a, b| a.0.total_cmp(&b.0).then_with(|| a.1.cmp(&b.1)));
+    }
+
+    let is_heavy = |load: f64| load - t_avg > eps;
+    let is_light = |load: f64| t_avg - load > eps;
+
+    // Lines 2–8: build overheap and underset.
+    let mut overheap = BinaryHeap::new();
+    let mut underset: Vec<usize> = Vec::new();
+    for (pe, &load) in loads.iter().enumerate() {
+        if is_heavy(load) {
+            overheap.push(HeapEntry { load, pe });
+        } else if is_light(load) {
+            underset.push(pe);
+        }
+    }
+
+    let mut plan = Vec::new();
+
+    // Lines 10–15: drain the overheap.
+    while let Some(HeapEntry { load, pe: donor }) = overheap.pop() {
+        // Stale heap entries (loads change as we migrate) are skipped.
+        if (load - loads[donor]).abs() > 1e-12 {
+            if is_heavy(loads[donor]) {
+                overheap.push(HeapEntry { load: loads[donor], pe: donor });
+            }
+            continue;
+        }
+        if underset.is_empty() {
+            break; // nobody can receive
+        }
+
+        // getBestCoreAndTask(donor, underset): the least-loaded underloaded
+        // core has the most headroom; the best task is the biggest one that
+        // fits that headroom without overloading the receiver (line 12).
+        let &best_core = underset
+            .iter()
+            .min_by(|&&a, &&b| loads[a].total_cmp(&loads[b]).then_with(|| a.cmp(&b)))
+            .expect("underset nonempty");
+        let headroom = t_avg + eps - loads[best_core];
+        let donor_tasks = &mut tasks_on[donor];
+        // Largest task with load <= headroom: partition point over the
+        // ascending list, then step back one.
+        let cut = donor_tasks.partition_point(|&(l, _, _)| l <= headroom);
+        if cut == 0 {
+            // Nothing fits anywhere (best_core had maximal headroom):
+            // this donor cannot be improved; drop it to guarantee
+            // termination.
+            continue;
+        }
+        let (task_load, task_id, _) = donor_tasks.remove(cut - 1);
+
+        // Line 13: m_bestTask^k = bestCore.
+        plan.push(Migration { task: task_id, from: donor, to: best_core });
+
+        // Line 14: updateHeapAndSet().
+        loads[donor] -= task_load;
+        loads[best_core] += task_load;
+        if is_heavy(loads[donor]) {
+            overheap.push(HeapEntry { load: loads[donor], pe: donor });
+        } else if is_light(loads[donor]) {
+            underset.push(donor);
+        }
+        if !is_light(loads[best_core]) {
+            underset.retain(|&c| c != best_core);
+        }
+    }
+
+    plan
+}
+
+impl LbStrategy for CloudRefineLb {
+    fn name(&self) -> &'static str {
+        if self.account_bg {
+            "CloudRefineLB"
+        } else {
+            "RefineLB"
+        }
+    }
+
+    fn plan(&mut self, stats: &LbStats) -> Vec<Migration> {
+        refine_plan(stats, self.epsilon_frac, self.account_bg)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::db::TaskInfo;
+    use crate::strategy::{apply_plan, validate_plan};
+
+    fn stats(num_pes: usize, tasks: &[(u64, usize, f64)], bg: &[f64]) -> LbStats {
+        let mut s = LbStats::new(num_pes);
+        s.tasks = tasks
+            .iter()
+            .map(|&(id, pe, load)| TaskInfo { id: TaskId(id), pe, load, bytes: 4096 })
+            .collect();
+        s.bg_load = bg.to_vec();
+        s
+    }
+
+    /// 32 tasks of 0.25 s on 4 cores (8 chares per core — the paper's
+    /// over-decomposition), core 0 carrying an interfering load of 2.0 s:
+    /// the paper's Fig. 1 situation. The balancer must shed core 0.
+    fn interfered() -> LbStats {
+        let tasks: Vec<(u64, usize, f64)> =
+            (0..32).map(|i| (i, (i % 4) as usize, 0.25)).collect();
+        stats(4, &tasks, &[2.0, 0.0, 0.0, 0.0])
+    }
+
+    #[test]
+    fn sheds_load_from_interfered_core() {
+        let mut lb = CloudRefineLb::default();
+        let plan = lb.plan(&interfered());
+        validate_plan(&interfered(), &plan);
+        assert!(!plan.is_empty());
+        assert!(plan.iter().all(|m| m.from == 0), "only the interfered core donates: {plan:?}");
+        // Post-LB total loads within epsilon of T_avg (2.5).
+        let after = apply_plan(&interfered(), &plan);
+        let loads = after.total_loads();
+        let t_avg = after.t_avg();
+        for (pe, l) in loads.iter().enumerate() {
+            assert!(l - t_avg <= 0.05 * t_avg + 1.0 + 1e-9, "pe{pe} load {l} vs avg {t_avg}");
+        }
+    }
+
+    #[test]
+    fn classic_refine_ignores_background() {
+        // Same snapshot; with account_bg = false the tasks are already
+        // perfectly balanced, so classic refinement does nothing. This is
+        // exactly the gap the paper fills.
+        let mut lb = CloudRefineLb { account_bg: false, ..Default::default() };
+        assert!(lb.plan(&interfered()).is_empty());
+    }
+
+    #[test]
+    fn balanced_input_produces_empty_plan() {
+        let s = stats(4, &[(0, 0, 1.0), (1, 1, 1.0), (2, 2, 1.0), (3, 3, 1.0)], &[0.0; 4]);
+        assert!(CloudRefineLb::default().plan(&s).is_empty());
+    }
+
+    #[test]
+    fn receiver_is_never_overloaded_by_a_transfer() {
+        // Donor has one huge task that would overload any receiver; the
+        // algorithm must refuse to move it (line 12's constraint).
+        let s = stats(2, &[(0, 0, 10.0), (1, 1, 1.0)], &[0.0, 0.0]);
+        let plan = CloudRefineLb::default().plan(&s);
+        assert!(plan.is_empty(), "moving the 10.0 task would overload pe1: {plan:?}");
+    }
+
+    #[test]
+    fn moves_biggest_fitting_task_first() {
+        // Donor pe0: tasks 3.0, 2.0, 1.0; pe1 empty. T_avg = 3.0.
+        // Headroom on pe1 = 3.0 + eps; the biggest fitting task is 3.0.
+        let s = stats(2, &[(0, 0, 3.0), (1, 0, 2.0), (2, 0, 1.0)], &[0.0, 0.0]);
+        let plan = CloudRefineLb::default().plan(&s);
+        assert_eq!(plan.first().map(|m| m.task), Some(TaskId(0)));
+    }
+
+    #[test]
+    fn all_cores_overloaded_by_bg_terminates() {
+        // Interference everywhere: underset is empty; nothing to do.
+        let s = stats(2, &[(0, 0, 1.0), (1, 1, 1.0)], &[5.0, 5.0]);
+        let plan = CloudRefineLb::default().plan(&s);
+        assert!(plan.is_empty());
+    }
+
+    #[test]
+    fn no_tasks_on_overloaded_core_terminates() {
+        // Overload is purely background; there is nothing to migrate away.
+        let s = stats(2, &[(0, 1, 1.0)], &[9.0, 0.0]);
+        let plan = CloudRefineLb::default().plan(&s);
+        assert!(plan.is_empty());
+    }
+
+    #[test]
+    fn epsilon_zero_still_terminates() {
+        let mut lb = CloudRefineLb::with_epsilon(0.0);
+        let s = interfered();
+        let plan = lb.plan(&s);
+        validate_plan(&s, &plan);
+    }
+
+    #[test]
+    fn larger_epsilon_tolerates_more_imbalance() {
+        let tight = CloudRefineLb::with_epsilon(0.01).plan(&interfered());
+        let loose = CloudRefineLb::with_epsilon(1.0).plan(&interfered());
+        assert!(loose.len() <= tight.len());
+        assert!(loose.is_empty(), "ε = 100% tolerates the 4-core example");
+    }
+
+    #[test]
+    fn deterministic_plans() {
+        let s = interfered();
+        let a = CloudRefineLb::default().plan(&s);
+        let b = CloudRefineLb::default().plan(&s);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn empty_and_trivial_inputs() {
+        assert!(CloudRefineLb::default().plan(&LbStats::new(0)).is_empty());
+        assert!(CloudRefineLb::default().plan(&LbStats::new(4)).is_empty());
+        let one_pe = stats(1, &[(0, 0, 1.0)], &[3.0]);
+        assert!(CloudRefineLb::default().plan(&one_pe).is_empty());
+    }
+
+    #[test]
+    fn fig3_scenario_migrates_back_when_interference_moves() {
+        // Interference moves from core 1 to core 3 (paper Fig. 3). The
+        // balancer reacts to the *current* snapshot only.
+        let tasks: Vec<(u64, usize, f64)> =
+            (0..32).map(|i| (i, (i % 4) as usize, 0.25)).collect();
+        let phase_a = stats(4, &tasks, &[0.0, 2.0, 0.0, 0.0]);
+        let plan_a = CloudRefineLb::default().plan(&phase_a);
+        assert!(!plan_a.is_empty());
+        assert!(plan_a.iter().all(|m| m.from == 1));
+
+        // After LB, interference ends on 1 and appears on 3.
+        let after_a = apply_plan(&phase_a, &plan_a);
+        let mut phase_b = after_a.clone();
+        phase_b.bg_load = vec![0.0, 0.0, 0.0, 2.0];
+        let plan_b = CloudRefineLb::default().plan(&phase_b);
+        assert!(plan_b.iter().all(|m| m.from == 3), "{plan_b:?}");
+    }
+}

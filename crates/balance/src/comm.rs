@@ -1,0 +1,220 @@
+//! Communication-aware refinement — an extension the paper's future work
+//! points toward ("Due to the inferior performance of network…", §VI).
+//!
+//! Identical to [`CloudRefineLb`](crate::cloud::CloudRefineLb) in *what*
+//! it balances (task load plus the interference term `O_p`), but when a
+//! task can go to several underloaded cores it prefers the core hosting
+//! the task's communication partners. In a virtualized cluster where
+//! cross-node messages pay the network-virtualization penalty, placing
+//! ghost-exchange neighbors together converts remote messages into local
+//! ones without giving up any load balance.
+
+use crate::db::{LbStats, TaskId};
+use crate::strategy::{LbStrategy, Migration};
+use std::cmp::Ordering;
+use std::collections::{BinaryHeap, HashMap};
+
+/// Interference- and communication-aware refinement balancer.
+#[derive(Debug, Clone)]
+pub struct CommRefineLb {
+    /// Tolerance `ε` as a fraction of `T_avg` (as in Algorithm 1).
+    pub epsilon_frac: f64,
+}
+
+impl Default for CommRefineLb {
+    fn default() -> Self {
+        CommRefineLb { epsilon_frac: 0.05 }
+    }
+}
+
+#[derive(Debug, PartialEq)]
+struct HeapEntry {
+    load: f64,
+    pe: usize,
+}
+
+impl Eq for HeapEntry {}
+impl Ord for HeapEntry {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.load.total_cmp(&other.load).then_with(|| other.pe.cmp(&self.pe))
+    }
+}
+impl PartialOrd for HeapEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl LbStrategy for CommRefineLb {
+    fn name(&self) -> &'static str {
+        "CommRefineLB"
+    }
+
+    fn plan(&mut self, stats: &LbStats) -> Vec<Migration> {
+        stats.validate();
+        let p = stats.num_pes;
+        if p == 0 || stats.tasks.is_empty() {
+            return Vec::new();
+        }
+
+        let mut loads = stats.task_loads();
+        for (l, o) in loads.iter_mut().zip(&stats.bg_load) {
+            *l += o;
+        }
+        let t_avg = loads.iter().sum::<f64>() / p as f64;
+        let eps = self.epsilon_frac * t_avg;
+        let is_heavy = |load: f64| load - t_avg > eps;
+        let is_light = |load: f64| t_avg - load > eps;
+
+        // Evolving task→pe mapping (for affinity lookups as we migrate).
+        let mut placement: HashMap<TaskId, usize> =
+            stats.tasks.iter().map(|t| (t.id, t.pe)).collect();
+        let adjacency = stats.comm_adjacency();
+
+        let mut tasks_on: Vec<Vec<(f64, TaskId)>> = vec![Vec::new(); p];
+        for t in &stats.tasks {
+            tasks_on[t.pe].push((t.load, t.id));
+        }
+        for list in &mut tasks_on {
+            list.sort_by(|a, b| a.0.total_cmp(&b.0).then_with(|| a.1.cmp(&b.1)));
+        }
+
+        let mut overheap = BinaryHeap::new();
+        let mut underset: Vec<usize> = Vec::new();
+        for (pe, &load) in loads.iter().enumerate() {
+            if is_heavy(load) {
+                overheap.push(HeapEntry { load, pe });
+            } else if is_light(load) {
+                underset.push(pe);
+            }
+        }
+
+        let mut plan = Vec::new();
+        while let Some(HeapEntry { load, pe: donor }) = overheap.pop() {
+            if (load - loads[donor]).abs() > 1e-12 {
+                if is_heavy(loads[donor]) {
+                    overheap.push(HeapEntry { load: loads[donor], pe: donor });
+                }
+                continue;
+            }
+            if underset.is_empty() {
+                break;
+            }
+
+            // Biggest task that fits the *maximum* headroom anywhere.
+            let max_headroom = underset
+                .iter()
+                .map(|&c| t_avg + eps - loads[c])
+                .fold(f64::NEG_INFINITY, f64::max);
+            let donor_tasks = &mut tasks_on[donor];
+            let cut = donor_tasks.partition_point(|&(l, _)| l <= max_headroom);
+            if cut == 0 {
+                continue; // nothing fits anywhere
+            }
+            let (task_load, task_id) = donor_tasks.remove(cut - 1);
+
+            // Among receivers with room, prefer communication affinity;
+            // ties go to the least-loaded core, then the lowest index.
+            let affinity = |core: usize| -> u64 {
+                adjacency.get(&task_id).map_or(0, |peers| {
+                    peers
+                        .iter()
+                        .filter(|(peer, _)| placement.get(peer) == Some(&core))
+                        .map(|(_, bytes)| *bytes)
+                        .sum()
+                })
+            };
+            let &best_core = underset
+                .iter()
+                .filter(|&&c| t_avg + eps - loads[c] >= task_load)
+                .max_by(|&&a, &&b| {
+                    affinity(a)
+                        .cmp(&affinity(b))
+                        .then_with(|| loads[b].total_cmp(&loads[a]))
+                        .then_with(|| b.cmp(&a))
+                })
+                .expect("cut > 0 implies a receiver with room");
+
+            plan.push(Migration { task: task_id, from: donor, to: best_core });
+            placement.insert(task_id, best_core);
+            loads[donor] -= task_load;
+            loads[best_core] += task_load;
+            if is_heavy(loads[donor]) {
+                overheap.push(HeapEntry { load: loads[donor], pe: donor });
+            } else if is_light(loads[donor]) {
+                underset.push(donor);
+            }
+            if !is_light(loads[best_core]) {
+                underset.retain(|&c| c != best_core);
+            }
+        }
+        plan
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::db::{CommEdge, TaskInfo};
+    use crate::strategy::{apply_plan, validate_plan};
+
+    /// 4 cores, 8 chares/core of 0.25, interference on core 0, and a comm
+    /// graph where core 0's tasks talk to tasks on core 3.
+    fn stats_with_affinity() -> LbStats {
+        let mut s = LbStats::new(4);
+        for i in 0..32u64 {
+            s.tasks.push(TaskInfo { id: TaskId(i), pe: (i % 4) as usize, load: 0.25, bytes: 1024 });
+        }
+        s.bg_load = vec![2.0, 0.0, 0.0, 0.0];
+        // Tasks on pe0 (ids 0,4,8,...) each talk to a task on pe3
+        // (ids 3,7,11,...).
+        s.comm = (0..8)
+            .map(|k| CommEdge { a: TaskId(4 * k), b: TaskId(4 * k + 3), bytes: 1 << 20 })
+            .collect();
+        s
+    }
+
+    #[test]
+    fn plans_are_valid_and_balance_like_cloud_refine() {
+        let s = stats_with_affinity();
+        let plan = CommRefineLb::default().plan(&s);
+        validate_plan(&s, &plan);
+        assert!(!plan.is_empty());
+        let after = apply_plan(&s, &plan);
+        let cloud_plan = crate::cloud::CloudRefineLb::default().plan(&s);
+        let after_cloud = apply_plan(&s, &cloud_plan);
+        let max = |st: &LbStats| st.total_loads().into_iter().fold(0.0, f64::max);
+        assert!((max(&after) - max(&after_cloud)).abs() < 0.26, "balance quality comparable");
+    }
+
+    #[test]
+    fn prefers_the_core_hosting_partners() {
+        let s = stats_with_affinity();
+        let plan = CommRefineLb::default().plan(&s);
+        // Every migrated task (from pe0) communicates with a partner on
+        // pe3; the first moves must choose pe3 while it has headroom.
+        assert_eq!(plan[0].to, 3, "{plan:?}");
+    }
+
+    #[test]
+    fn without_comm_data_degenerates_to_least_loaded() {
+        let mut s = stats_with_affinity();
+        s.comm.clear();
+        let plan = CommRefineLb::default().plan(&s);
+        validate_plan(&s, &plan);
+        // Least-loaded receiver is pe1 (tie broken by index).
+        assert_eq!(plan[0].to, 1, "{plan:?}");
+    }
+
+    #[test]
+    fn deterministic() {
+        let s = stats_with_affinity();
+        assert_eq!(CommRefineLb::default().plan(&s), CommRefineLb::default().plan(&s));
+    }
+
+    #[test]
+    fn empty_inputs() {
+        assert!(CommRefineLb::default().plan(&LbStats::new(0)).is_empty());
+        assert!(CommRefineLb::default().plan(&LbStats::new(3)).is_empty());
+    }
+}

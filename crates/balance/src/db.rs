@@ -1,0 +1,215 @@
+//! The load-balancing database snapshot.
+//!
+//! Mirrors what the Charm++ LB framework hands a strategy: for every
+//! migratable task its measured load and current core, plus — the paper's
+//! addition — the measured background (interference) load `O_p` per core.
+//! Loads are in seconds of CPU over the last LB window.
+
+use serde::{Deserialize, Serialize};
+
+/// Globally unique identifier of a migratable task (chare).
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+pub struct TaskId(pub u64);
+
+/// One migratable task's entry in the database.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TaskInfo {
+    /// Task identity (stable across migrations).
+    pub id: TaskId,
+    /// Core currently hosting the task.
+    pub pe: usize,
+    /// Measured (or predicted) CPU seconds for the next LB window — the
+    /// paper's `t_i^p`, assumed persistent (§III).
+    pub load: f64,
+    /// Serialized size, for migration-cost models.
+    pub bytes: u64,
+}
+
+/// One edge of the task communication graph (undirected; `bytes` is the
+/// total window traffic both ways).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CommEdge {
+    /// One endpoint.
+    pub a: TaskId,
+    /// The other endpoint.
+    pub b: TaskId,
+    /// Bytes exchanged over the LB window.
+    pub bytes: u64,
+}
+
+/// Snapshot fed to a strategy at one load-balancing step.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct LbStats {
+    /// Number of cores `P` available to the application.
+    pub num_pes: usize,
+    /// Every migratable task.
+    pub tasks: Vec<TaskInfo>,
+    /// The paper's `O_p`: background CPU seconds per core over the window
+    /// (Eq. 2). All zeros when interference accounting is disabled.
+    pub bg_load: Vec<f64>,
+    /// Task communication graph (optional; empty when the runtime does not
+    /// instrument communication). Used by communication-aware strategies.
+    #[serde(default)]
+    pub comm: Vec<CommEdge>,
+}
+
+impl LbStats {
+    /// Empty database for `num_pes` cores.
+    pub fn new(num_pes: usize) -> Self {
+        LbStats { num_pes, tasks: Vec::new(), bg_load: vec![0.0; num_pes], comm: Vec::new() }
+    }
+
+    /// Panics if the snapshot is internally inconsistent (wrong vector
+    /// sizes, out-of-range PEs, negative or non-finite loads).
+    pub fn validate(&self) {
+        assert_eq!(self.bg_load.len(), self.num_pes, "bg_load length != num_pes");
+        for t in &self.tasks {
+            assert!(t.pe < self.num_pes, "task {:?} on out-of-range pe {}", t.id, t.pe);
+            assert!(t.load.is_finite() && t.load >= 0.0, "task {:?} load {}", t.id, t.load);
+        }
+        for (p, o) in self.bg_load.iter().enumerate() {
+            assert!(o.is_finite() && *o >= 0.0, "bg load {o} on pe {p}");
+        }
+        for e in &self.comm {
+            assert!(self.task(e.a).is_some(), "comm edge references unknown task {:?}", e.a);
+            assert!(self.task(e.b).is_some(), "comm edge references unknown task {:?}", e.b);
+            assert_ne!(e.a, e.b, "self-communication edge on {:?}", e.a);
+        }
+    }
+
+    /// For every task, its communication partners and byte volumes
+    /// (adjacency view of [`LbStats::comm`]).
+    pub fn comm_adjacency(&self) -> std::collections::HashMap<TaskId, Vec<(TaskId, u64)>> {
+        let mut adj: std::collections::HashMap<TaskId, Vec<(TaskId, u64)>> =
+            std::collections::HashMap::new();
+        for e in &self.comm {
+            adj.entry(e.a).or_default().push((e.b, e.bytes));
+            adj.entry(e.b).or_default().push((e.a, e.bytes));
+        }
+        adj
+    }
+
+    /// Sum of task loads per core (no background term).
+    pub fn task_loads(&self) -> Vec<f64> {
+        let mut loads = vec![0.0; self.num_pes];
+        for t in &self.tasks {
+            loads[t.pe] += t.load;
+        }
+        loads
+    }
+
+    /// Total perceived load per core: `Σ t_i^p + O_p`.
+    pub fn total_loads(&self) -> Vec<f64> {
+        let mut loads = self.task_loads();
+        for (l, o) in loads.iter_mut().zip(&self.bg_load) {
+            *l += o;
+        }
+        loads
+    }
+
+    /// The paper's Eq. 1: `T_avg = Σ_p (Σ_i t_i^p + O_p) / P`.
+    pub fn t_avg(&self) -> f64 {
+        if self.num_pes == 0 {
+            return 0.0;
+        }
+        self.total_loads().iter().sum::<f64>() / self.num_pes as f64
+    }
+
+    /// Ids of tasks hosted on `pe`, in database order.
+    pub fn tasks_on(&self, pe: usize) -> Vec<TaskId> {
+        self.tasks.iter().filter(|t| t.pe == pe).map(|t| t.id).collect()
+    }
+
+    /// Look up a task by id.
+    pub fn task(&self, id: TaskId) -> Option<&TaskInfo> {
+        self.tasks.iter().find(|t| t.id == id)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    pub(crate) fn stats(num_pes: usize, tasks: &[(u64, usize, f64)], bg: &[f64]) -> LbStats {
+        let mut s = LbStats::new(num_pes);
+        s.tasks = tasks
+            .iter()
+            .map(|&(id, pe, load)| TaskInfo { id: TaskId(id), pe, load, bytes: 1024 })
+            .collect();
+        s.bg_load = bg.to_vec();
+        s
+    }
+
+    #[test]
+    fn eq1_average_includes_background() {
+        // Two cores: tasks 1.0 + 2.0 on pe0, 1.0 on pe1, plus O_1 = 2.0.
+        let s = stats(2, &[(0, 0, 1.0), (1, 0, 2.0), (2, 1, 1.0)], &[0.0, 2.0]);
+        assert_eq!(s.task_loads(), vec![3.0, 1.0]);
+        assert_eq!(s.total_loads(), vec![3.0, 3.0]);
+        assert!((s.t_avg() - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn lookup_helpers() {
+        let s = stats(2, &[(7, 0, 1.0), (8, 1, 2.0)], &[0.0, 0.0]);
+        assert_eq!(s.tasks_on(1), vec![TaskId(8)]);
+        assert_eq!(s.task(TaskId(7)).unwrap().pe, 0);
+        assert!(s.task(TaskId(99)).is_none());
+    }
+
+    #[test]
+    fn validate_accepts_good_snapshot() {
+        stats(3, &[(0, 2, 0.5)], &[0.0, 0.0, 1.0]).validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "out-of-range pe")]
+    fn validate_rejects_bad_pe() {
+        stats(2, &[(0, 5, 0.5)], &[0.0, 0.0]).validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "bg_load length")]
+    fn validate_rejects_ragged_bg() {
+        stats(3, &[], &[0.0]).validate();
+    }
+
+    #[test]
+    fn empty_db_is_sane() {
+        let s = LbStats::new(0);
+        assert_eq!(s.t_avg(), 0.0);
+        s.validate();
+    }
+
+    #[test]
+    fn comm_adjacency_is_symmetric() {
+        let mut s = stats(2, &[(0, 0, 1.0), (1, 1, 1.0), (2, 1, 1.0)], &[0.0, 0.0]);
+        s.comm = vec![
+            CommEdge { a: TaskId(0), b: TaskId(1), bytes: 100 },
+            CommEdge { a: TaskId(1), b: TaskId(2), bytes: 50 },
+        ];
+        s.validate();
+        let adj = s.comm_adjacency();
+        assert_eq!(adj[&TaskId(0)], vec![(TaskId(1), 100)]);
+        assert_eq!(adj[&TaskId(1)], vec![(TaskId(0), 100), (TaskId(2), 50)]);
+        assert_eq!(adj[&TaskId(2)], vec![(TaskId(1), 50)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown task")]
+    fn comm_edges_must_reference_tasks() {
+        let mut s = stats(1, &[(0, 0, 1.0)], &[0.0]);
+        s.comm = vec![CommEdge { a: TaskId(0), b: TaskId(9), bytes: 1 }];
+        s.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "self-communication")]
+    fn self_comm_edges_rejected() {
+        let mut s = stats(1, &[(0, 0, 1.0)], &[0.0]);
+        s.comm = vec![CommEdge { a: TaskId(0), b: TaskId(0), bytes: 1 }];
+        s.validate();
+    }
+}

@@ -1,0 +1,156 @@
+//! Migration-gain gating — the paper's future-work strategy.
+//!
+//! §VI: "we also plan to explore a strategy where load balancing decisions
+//! are performed every time a load balancer is invoked, however, data
+//! migration is performed only if we expect gains that can offset the cost
+//! of migration." This wrapper implements that: it always runs the inner
+//! strategy, estimates the plan's benefit (per-iteration makespan reduction
+//! times the remaining horizon) and its cost (bytes over the network plus
+//! per-object overhead), and drops the plan when the cost wins.
+
+use crate::db::LbStats;
+use crate::strategy::{apply_plan, LbStrategy, Migration};
+use serde::{Deserialize, Serialize};
+
+/// Cost/benefit parameters for the gate.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct GateConfig {
+    /// Effective migration bandwidth (bytes per second) — degraded in the
+    /// cloud, which is exactly why the paper wants this gate.
+    pub bytes_per_sec: f64,
+    /// Fixed per-object pack/unpack/reroute overhead (seconds).
+    pub per_object_cost_s: f64,
+    /// How many LB windows of benefit to credit (remaining run horizon,
+    /// in units of the current window).
+    pub horizon_windows: f64,
+}
+
+impl Default for GateConfig {
+    fn default() -> Self {
+        GateConfig { bytes_per_sec: 50e6, per_object_cost_s: 0.002, horizon_windows: 5.0 }
+    }
+}
+
+impl GateConfig {
+    /// Estimated wall-clock cost of committing `plan` (seconds).
+    pub fn cost_s(&self, stats: &LbStats, plan: &[Migration]) -> f64 {
+        plan.iter()
+            .map(|m| {
+                let bytes = stats.task(m.task).map_or(0, |t| t.bytes) as f64;
+                bytes / self.bytes_per_sec + self.per_object_cost_s
+            })
+            .sum()
+    }
+
+    /// Estimated benefit: reduction in the per-window makespan (the max
+    /// over cores of `Σ t_i + O_p`) credited over the horizon.
+    pub fn gain_s(&self, stats: &LbStats, plan: &[Migration]) -> f64 {
+        let before = max_load(stats);
+        let after = max_load(&apply_plan(stats, plan));
+        (before - after).max(0.0) * self.horizon_windows
+    }
+}
+
+fn max_load(stats: &LbStats) -> f64 {
+    stats.total_loads().into_iter().fold(0.0, f64::max)
+}
+
+/// Wraps any strategy with the gain/cost gate.
+pub struct GainGatedLb<S: LbStrategy> {
+    inner: S,
+    /// Gate parameters.
+    pub config: GateConfig,
+    /// How many plans the gate has vetoed (for reports/ablations).
+    pub vetoed: usize,
+}
+
+impl<S: LbStrategy> GainGatedLb<S> {
+    /// Gate `inner` with `config`.
+    pub fn new(inner: S, config: GateConfig) -> Self {
+        GainGatedLb { inner, config, vetoed: 0 }
+    }
+}
+
+impl<S: LbStrategy> LbStrategy for GainGatedLb<S> {
+    fn name(&self) -> &'static str {
+        "GainGated"
+    }
+
+    fn plan(&mut self, stats: &LbStats) -> Vec<Migration> {
+        let plan = self.inner.plan(stats);
+        if plan.is_empty() {
+            return plan;
+        }
+        let gain = self.config.gain_s(stats, &plan);
+        let cost = self.config.cost_s(stats, &plan);
+        if gain >= cost {
+            plan
+        } else {
+            self.vetoed += 1;
+            Vec::new()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cloud::CloudRefineLb;
+    use crate::db::{TaskId, TaskInfo};
+
+    fn interfered(bytes: u64) -> LbStats {
+        let mut s = LbStats::new(4);
+        for i in 0..32u64 {
+            s.tasks.push(TaskInfo { id: TaskId(i), pe: (i % 4) as usize, load: 0.25, bytes });
+        }
+        s.bg_load = vec![2.0, 0.0, 0.0, 0.0];
+        s
+    }
+
+    #[test]
+    fn cheap_migrations_pass_the_gate() {
+        let mut lb = GainGatedLb::new(CloudRefineLb::default(), GateConfig::default());
+        let plan = lb.plan(&interfered(1024));
+        assert!(!plan.is_empty());
+        assert_eq!(lb.vetoed, 0);
+    }
+
+    #[test]
+    fn expensive_migrations_are_vetoed() {
+        // Gigantic objects over a slow cloud network with a short horizon.
+        let cfg = GateConfig { bytes_per_sec: 1e6, per_object_cost_s: 0.5, horizon_windows: 1.0 };
+        let mut lb = GainGatedLb::new(CloudRefineLb::default(), cfg);
+        let plan = lb.plan(&interfered(100_000_000));
+        assert!(plan.is_empty());
+        assert_eq!(lb.vetoed, 1);
+    }
+
+    #[test]
+    fn gate_is_transparent_when_inner_plans_nothing() {
+        let balanced = LbStats::new(4);
+        let mut lb = GainGatedLb::new(CloudRefineLb::default(), GateConfig::default());
+        assert!(lb.plan(&balanced).is_empty());
+        assert_eq!(lb.vetoed, 0);
+    }
+
+    #[test]
+    fn gain_and_cost_estimates_are_sane() {
+        let s = interfered(1_000_000);
+        let plan = CloudRefineLb::default().plan(&s);
+        let cfg = GateConfig::default();
+        assert!(cfg.gain_s(&s, &plan) > 0.0);
+        let expected_cost = plan.len() as f64 * (1_000_000.0 / cfg.bytes_per_sec + cfg.per_object_cost_s);
+        assert!((cfg.cost_s(&s, &plan) - expected_cost).abs() < 1e-9);
+    }
+
+    #[test]
+    fn longer_horizon_amortizes_cost() {
+        let s = interfered(40_000_000);
+        let short = GateConfig { horizon_windows: 0.1, ..Default::default() };
+        let long = GateConfig { horizon_windows: 1000.0, ..Default::default() };
+        let mut lb_short = GainGatedLb::new(CloudRefineLb::default(), short);
+        let mut lb_long = GainGatedLb::new(CloudRefineLb::default(), long);
+        assert!(lb_short.plan(&s).is_empty());
+        assert!(!lb_long.plan(&s).is_empty());
+    }
+}

@@ -1,0 +1,42 @@
+#![warn(missing_docs)]
+//! Load-balancing strategies for `cloudlb`.
+//!
+//! This crate is a pure-algorithm library: it consumes an [`LbStats`]
+//! snapshot (per-task measured loads, per-core background loads, the
+//! current task→core mapping) and produces a migration plan. It knows
+//! nothing about chares, messages or simulators, which keeps the paper's
+//! Algorithm 1 testable in isolation and reusable by both executors.
+//!
+//! Strategies:
+//! * [`NoLb`] — the paper's `noLB` baseline.
+//! * [`GreedyLb`] — classic Charm++ GreedyLB (largest task to least-loaded
+//!   core, from scratch); high-churn baseline.
+//! * [`RefineLb`] — classic refinement balancing that only sees load
+//!   *internal* to the application (what existed before the paper).
+//! * [`CloudRefineLb`] — the paper's contribution (its Algorithm 1):
+//!   refinement that also accounts for the interference term `O_p`.
+//! * [`GainGatedLb`] — the paper's future-work variant: compute the plan,
+//!   but commit it only when the predicted gain offsets migration cost.
+//! * [`CommRefineLb`] — an extension: interference-aware refinement that
+//!   breaks receiver ties by communication affinity (fewer cross-node
+//!   ghost messages on a virtualized network).
+
+pub mod cloud;
+pub mod comm;
+pub mod db;
+pub mod gated;
+pub mod greedy;
+pub mod metrics;
+pub mod predict;
+pub mod refine;
+pub mod strategy;
+
+pub use cloud::CloudRefineLb;
+pub use comm::CommRefineLb;
+pub use db::{CommEdge, LbStats, TaskId, TaskInfo};
+pub use gated::{GainGatedLb, GateConfig};
+pub use greedy::GreedyLb;
+pub use metrics::{ImbalanceMetrics, PlanMetrics};
+pub use predict::{ExpAverage, LastValue, Predictor};
+pub use refine::RefineLb;
+pub use strategy::{LbStrategy, Migration, NoLb};

@@ -1,0 +1,134 @@
+//! Imbalance and plan-quality metrics used by reports and ablations.
+
+use crate::db::LbStats;
+use crate::strategy::Migration;
+use serde::{Deserialize, Serialize};
+
+/// Load-distribution metrics for one snapshot (Eq. 3's left-hand sides).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ImbalanceMetrics {
+    /// The paper's `T_avg` (Eq. 1).
+    pub t_avg: f64,
+    /// Largest per-core total load.
+    pub max_load: f64,
+    /// Smallest per-core total load.
+    pub min_load: f64,
+    /// `max / avg` ratio; 1.0 is perfect balance.
+    pub ratio: f64,
+    /// Population standard deviation of per-core loads.
+    pub std_dev: f64,
+    /// Number of cores violating `|load − T_avg| < ε` for the given
+    /// tolerance fraction.
+    pub violations: usize,
+}
+
+impl ImbalanceMetrics {
+    /// Compute metrics over `stats` with tolerance `epsilon_frac · T_avg`.
+    pub fn compute(stats: &LbStats, epsilon_frac: f64) -> Self {
+        let loads = stats.total_loads();
+        let t_avg = stats.t_avg();
+        let max_load = loads.iter().copied().fold(0.0, f64::max);
+        let min_load = loads.iter().copied().fold(f64::INFINITY, f64::min).min(max_load);
+        let var = if loads.is_empty() {
+            0.0
+        } else {
+            loads.iter().map(|l| (l - t_avg).powi(2)).sum::<f64>() / loads.len() as f64
+        };
+        let eps = epsilon_frac * t_avg;
+        ImbalanceMetrics {
+            t_avg,
+            max_load,
+            min_load,
+            ratio: if t_avg > 0.0 { max_load / t_avg } else { 1.0 },
+            std_dev: var.sqrt(),
+            violations: loads.iter().filter(|l| (**l - t_avg).abs() > eps).count(),
+        }
+    }
+
+    /// Eq. 3 satisfied: every core within ε of the average.
+    pub fn is_balanced(&self) -> bool {
+        self.violations == 0
+    }
+}
+
+/// Cost-side metrics of a migration plan.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct PlanMetrics {
+    /// Number of migrations.
+    pub migrations: usize,
+    /// Total bytes moved.
+    pub bytes: u64,
+}
+
+impl PlanMetrics {
+    /// Compute plan metrics against the snapshot (for byte counts).
+    pub fn compute(stats: &LbStats, plan: &[Migration]) -> Self {
+        PlanMetrics {
+            migrations: plan.len(),
+            bytes: plan.iter().map(|m| stats.task(m.task).map_or(0, |t| t.bytes)).sum(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::db::{TaskId, TaskInfo};
+
+    fn stats() -> LbStats {
+        let mut s = LbStats::new(2);
+        s.tasks.push(TaskInfo { id: TaskId(0), pe: 0, load: 3.0, bytes: 10 });
+        s.tasks.push(TaskInfo { id: TaskId(1), pe: 1, load: 1.0, bytes: 20 });
+        s
+    }
+
+    #[test]
+    fn imbalance_numbers() {
+        let m = ImbalanceMetrics::compute(&stats(), 0.05);
+        assert_eq!(m.t_avg, 2.0);
+        assert_eq!(m.max_load, 3.0);
+        assert_eq!(m.min_load, 1.0);
+        assert!((m.ratio - 1.5).abs() < 1e-12);
+        assert!((m.std_dev - 1.0).abs() < 1e-12);
+        assert_eq!(m.violations, 2);
+        assert!(!m.is_balanced());
+    }
+
+    #[test]
+    fn balanced_snapshot_passes_eq3() {
+        let mut s = LbStats::new(2);
+        s.tasks.push(TaskInfo { id: TaskId(0), pe: 0, load: 1.0, bytes: 0 });
+        s.tasks.push(TaskInfo { id: TaskId(1), pe: 1, load: 1.0, bytes: 0 });
+        let m = ImbalanceMetrics::compute(&s, 0.05);
+        assert!(m.is_balanced());
+        assert!((m.ratio - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn background_counts_toward_imbalance() {
+        let mut s = LbStats::new(2);
+        s.tasks.push(TaskInfo { id: TaskId(0), pe: 0, load: 1.0, bytes: 0 });
+        s.tasks.push(TaskInfo { id: TaskId(1), pe: 1, load: 1.0, bytes: 0 });
+        s.bg_load = vec![2.0, 0.0];
+        let m = ImbalanceMetrics::compute(&s, 0.05);
+        assert_eq!(m.max_load, 3.0);
+        assert!(!m.is_balanced());
+    }
+
+    #[test]
+    fn plan_metrics_count_bytes() {
+        let s = stats();
+        let plan = vec![Migration { task: TaskId(1), from: 1, to: 0 }];
+        let pm = PlanMetrics::compute(&s, &plan);
+        assert_eq!(pm.migrations, 1);
+        assert_eq!(pm.bytes, 20);
+    }
+
+    #[test]
+    fn empty_cases() {
+        let m = ImbalanceMetrics::compute(&LbStats::new(0), 0.05);
+        assert_eq!(m.ratio, 1.0);
+        let pm = PlanMetrics::compute(&LbStats::new(0), &[]);
+        assert_eq!(pm, PlanMetrics::default());
+    }
+}

@@ -1,0 +1,124 @@
+//! Load prediction under the principle of persistence.
+//!
+//! The paper (§III) predicts "future loads will be almost the same as
+//! measured loads (principle of persistence)" — i.e. a last-value
+//! predictor. An exponential moving average is provided as a smoother
+//! alternative for noisy measurements (used in the ABL-INSTR ablation,
+//! where wall-time instrumentation injects interference noise into task
+//! loads).
+
+use crate::db::TaskId;
+use std::collections::HashMap;
+
+/// Predicts a task's next-window load from its observation history.
+pub trait Predictor: Send {
+    /// Feed one measured load for `task`.
+    fn observe(&mut self, task: TaskId, load: f64);
+
+    /// Predicted load for the next window; `None` before any observation.
+    fn predict(&self, task: TaskId) -> Option<f64>;
+
+    /// Drop state for a task that no longer exists.
+    fn forget(&mut self, task: TaskId);
+}
+
+/// The paper's persistence principle: next load = last measured load.
+#[derive(Debug, Clone, Default)]
+pub struct LastValue {
+    last: HashMap<TaskId, f64>,
+}
+
+impl Predictor for LastValue {
+    fn observe(&mut self, task: TaskId, load: f64) {
+        self.last.insert(task, load);
+    }
+
+    fn predict(&self, task: TaskId) -> Option<f64> {
+        self.last.get(&task).copied()
+    }
+
+    fn forget(&mut self, task: TaskId) {
+        self.last.remove(&task);
+    }
+}
+
+/// Exponential moving average: `ema ← α·x + (1−α)·ema`.
+#[derive(Debug, Clone)]
+pub struct ExpAverage {
+    /// Smoothing factor in `(0, 1]`; 1.0 degenerates to [`LastValue`].
+    pub alpha: f64,
+    ema: HashMap<TaskId, f64>,
+}
+
+impl ExpAverage {
+    /// Create with smoothing factor `alpha ∈ (0, 1]`.
+    pub fn new(alpha: f64) -> Self {
+        assert!(alpha > 0.0 && alpha <= 1.0, "alpha {alpha} out of (0, 1]");
+        ExpAverage { alpha, ema: HashMap::new() }
+    }
+}
+
+impl Predictor for ExpAverage {
+    fn observe(&mut self, task: TaskId, load: f64) {
+        let e = self.ema.entry(task).or_insert(load);
+        *e = self.alpha * load + (1.0 - self.alpha) * *e;
+    }
+
+    fn predict(&self, task: TaskId) -> Option<f64> {
+        self.ema.get(&task).copied()
+    }
+
+    fn forget(&mut self, task: TaskId) {
+        self.ema.remove(&task);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn last_value_tracks_latest() {
+        let mut p = LastValue::default();
+        assert_eq!(p.predict(TaskId(0)), None);
+        p.observe(TaskId(0), 1.0);
+        p.observe(TaskId(0), 3.0);
+        assert_eq!(p.predict(TaskId(0)), Some(3.0));
+        p.forget(TaskId(0));
+        assert_eq!(p.predict(TaskId(0)), None);
+    }
+
+    #[test]
+    fn ema_smooths_spikes() {
+        let mut p = ExpAverage::new(0.5);
+        p.observe(TaskId(1), 1.0);
+        p.observe(TaskId(1), 1.0);
+        p.observe(TaskId(1), 5.0); // one noisy window
+        let pred = p.predict(TaskId(1)).unwrap();
+        assert!(pred > 1.0 && pred < 5.0, "{pred}");
+        assert!((pred - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ema_alpha_one_is_last_value() {
+        let mut p = ExpAverage::new(1.0);
+        p.observe(TaskId(2), 4.0);
+        p.observe(TaskId(2), 9.0);
+        assert_eq!(p.predict(TaskId(2)), Some(9.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of (0, 1]")]
+    fn ema_rejects_bad_alpha() {
+        ExpAverage::new(0.0);
+    }
+
+    #[test]
+    fn ema_converges_to_constant_signal() {
+        let mut p = ExpAverage::new(0.3);
+        for _ in 0..100 {
+            p.observe(TaskId(3), 2.5);
+        }
+        assert!((p.predict(TaskId(3)).unwrap() - 2.5).abs() < 1e-9);
+    }
+}

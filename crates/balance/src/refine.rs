@@ -1,0 +1,76 @@
+//! Classic refinement load balancing (pre-paper state of the art).
+//!
+//! Identical to the paper's Algorithm 1 *except* that it only sees load
+//! internal to the application — `O_p` is ignored. Under VM interference
+//! it therefore sees a perfectly balanced application and does nothing,
+//! which is exactly the failure mode motivating the paper.
+
+use crate::cloud::refine_plan;
+use crate::db::LbStats;
+use crate::strategy::{LbStrategy, Migration};
+
+/// Classic RefineLB: refinement over application-internal load only.
+#[derive(Debug, Clone)]
+pub struct RefineLb {
+    /// Tolerance as a fraction of `T_avg`.
+    pub epsilon_frac: f64,
+}
+
+impl Default for RefineLb {
+    fn default() -> Self {
+        RefineLb { epsilon_frac: 0.05 }
+    }
+}
+
+impl LbStrategy for RefineLb {
+    fn name(&self) -> &'static str {
+        "RefineLB"
+    }
+
+    fn plan(&mut self, stats: &LbStats) -> Vec<Migration> {
+        refine_plan(stats, self.epsilon_frac, false)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::db::{TaskId, TaskInfo};
+    use crate::strategy::{apply_plan, validate_plan};
+
+    fn skewed() -> LbStats {
+        // Application-internal imbalance: pe0 hosts 12 tasks, pe1 hosts 4.
+        let mut s = LbStats::new(2);
+        for i in 0..16u64 {
+            let pe = if i < 12 { 0 } else { 1 };
+            s.tasks.push(TaskInfo { id: TaskId(i), pe, load: 0.5, bytes: 64 });
+        }
+        s
+    }
+
+    #[test]
+    fn fixes_internal_imbalance() {
+        let mut lb = RefineLb::default();
+        let s = skewed();
+        let plan = lb.plan(&s);
+        validate_plan(&s, &plan);
+        let after = apply_plan(&s, &plan);
+        let loads = after.task_loads();
+        assert!((loads[0] - loads[1]).abs() <= 0.5 + 1e-9, "{loads:?}");
+    }
+
+    #[test]
+    fn blind_to_interference() {
+        let mut s = skewed();
+        // Heavy interference on pe1 — classic refinement cannot see it and
+        // still plans as if pe1 were the underloaded core.
+        s.bg_load = vec![0.0, 100.0];
+        let plan = RefineLb::default().plan(&s);
+        assert!(plan.iter().all(|m| m.to == 1), "classic refine dumps onto the interfered core");
+    }
+
+    #[test]
+    fn name_distinguishes_from_cloud_variant() {
+        assert_eq!(RefineLb::default().name(), "RefineLB");
+    }
+}

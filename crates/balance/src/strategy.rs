@@ -1,0 +1,152 @@
+//! Strategy trait, migration plans, and the `noLB` baseline.
+
+use crate::db::{LbStats, TaskId};
+use serde::{Deserialize, Serialize};
+
+/// One planned object migration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Migration {
+    /// Task to move.
+    pub task: TaskId,
+    /// Core it currently lives on.
+    pub from: usize,
+    /// Destination core.
+    pub to: usize,
+}
+
+/// A load-balancing strategy: plans migrations from a database snapshot.
+///
+/// Strategies are pure planners — committing the plan (actually moving
+/// objects) is the runtime's job, mirroring the Charm++ split between the
+/// LB strategy and the LB framework. Implementations must be
+/// deterministic: the same snapshot yields the same plan.
+pub trait LbStrategy: Send {
+    /// Human-readable name (used in reports and registries).
+    fn name(&self) -> &'static str;
+
+    /// Plan migrations for the snapshot. The returned plan must be valid
+    /// per [`validate_plan`].
+    fn plan(&mut self, stats: &LbStats) -> Vec<Migration>;
+}
+
+/// The `noLB` baseline: never migrates.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NoLb;
+
+impl LbStrategy for NoLb {
+    fn name(&self) -> &'static str {
+        "NoLB"
+    }
+
+    fn plan(&mut self, _stats: &LbStats) -> Vec<Migration> {
+        Vec::new()
+    }
+}
+
+/// Check a plan against a snapshot: every migrated task exists, `from`
+/// matches its current core, destinations are in range, and no task is
+/// migrated twice. Panics with a description on violation.
+pub fn validate_plan(stats: &LbStats, plan: &[Migration]) {
+    let mut seen = std::collections::HashSet::new();
+    for m in plan {
+        assert!(seen.insert(m.task), "task {:?} migrated twice", m.task);
+        let t = stats
+            .task(m.task)
+            .unwrap_or_else(|| panic!("plan references unknown task {:?}", m.task));
+        assert_eq!(t.pe, m.from, "task {:?} is on pe {}, plan says {}", m.task, t.pe, m.from);
+        assert!(m.to < stats.num_pes, "destination pe {} out of range", m.to);
+        assert_ne!(m.from, m.to, "no-op migration of {:?}", m.task);
+    }
+}
+
+/// Apply a plan to a snapshot, producing the predicted post-LB database.
+pub fn apply_plan(stats: &LbStats, plan: &[Migration]) -> LbStats {
+    validate_plan(stats, plan);
+    let mut out = stats.clone();
+    for m in plan {
+        if let Some(t) = out.tasks.iter_mut().find(|t| t.id == m.task) {
+            t.pe = m.to;
+        }
+    }
+    out
+}
+
+/// Construct a strategy by name, for config-driven harnesses. Recognized:
+/// `nolb`, `greedy`, `greedybg`, `refine`, `cloudrefine`, `commrefine`
+/// (case-insensitive).
+pub fn by_name(name: &str) -> Option<Box<dyn LbStrategy>> {
+    match name.to_ascii_lowercase().as_str() {
+        "nolb" => Some(Box::new(NoLb)),
+        "greedy" => Some(Box::new(crate::greedy::GreedyLb::classic())),
+        "greedybg" => Some(Box::new(crate::greedy::GreedyLb::interference_aware())),
+        "refine" => Some(Box::new(crate::refine::RefineLb::default())),
+        "cloudrefine" => Some(Box::new(crate::cloud::CloudRefineLb::default())),
+        "commrefine" => Some(Box::new(crate::comm::CommRefineLb::default())),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::db::TaskInfo;
+
+    fn stats() -> LbStats {
+        let mut s = LbStats::new(2);
+        s.tasks.push(TaskInfo { id: TaskId(1), pe: 0, load: 1.0, bytes: 8 });
+        s.tasks.push(TaskInfo { id: TaskId(2), pe: 0, load: 1.0, bytes: 8 });
+        s
+    }
+
+    #[test]
+    fn nolb_never_migrates() {
+        let mut lb = NoLb;
+        assert!(lb.plan(&stats()).is_empty());
+        assert_eq!(lb.name(), "NoLB");
+    }
+
+    #[test]
+    fn apply_plan_moves_tasks() {
+        let s = stats();
+        let plan = vec![Migration { task: TaskId(2), from: 0, to: 1 }];
+        let after = apply_plan(&s, &plan);
+        assert_eq!(after.task(TaskId(2)).unwrap().pe, 1);
+        assert_eq!(after.task(TaskId(1)).unwrap().pe, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown task")]
+    fn validate_rejects_unknown_task() {
+        validate_plan(&stats(), &[Migration { task: TaskId(99), from: 0, to: 1 }]);
+    }
+
+    #[test]
+    #[should_panic(expected = "migrated twice")]
+    fn validate_rejects_duplicate_migration() {
+        let plan = vec![
+            Migration { task: TaskId(1), from: 0, to: 1 },
+            Migration { task: TaskId(1), from: 0, to: 1 },
+        ];
+        validate_plan(&stats(), &plan);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn validate_rejects_bad_destination() {
+        validate_plan(&stats(), &[Migration { task: TaskId(1), from: 0, to: 9 }]);
+    }
+
+    #[test]
+    #[should_panic(expected = "no-op migration")]
+    fn validate_rejects_noop() {
+        validate_plan(&stats(), &[Migration { task: TaskId(1), from: 0, to: 0 }]);
+    }
+
+    #[test]
+    fn registry_resolves_known_names() {
+        for n in ["nolb", "greedy", "greedybg", "refine", "CloudRefine", "commrefine"] {
+            assert!(by_name(n).is_some(), "{n} not found");
+        }
+        assert!(by_name("bogus").is_none());
+    }
+}

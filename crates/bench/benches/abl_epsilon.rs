@@ -1,0 +1,52 @@
+//! ABL-EPS — sensitivity to the tolerance `ε` of Eq. 3 ("the deviation
+//! from the average load that the cloud operator is willing to allow").
+//!
+//! Small ε chases balance aggressively (more migrations); large ε
+//! tolerates imbalance (fewer migrations, higher penalty). The paper
+//! leaves ε to the operator; this ablation maps the trade-off.
+
+use cloudlb_balance::CloudRefineLb;
+use cloudlb_core::report::{pct, Table};
+use cloudlb_core::scenario::Scenario;
+use cloudlb_runtime::SimExecutor;
+
+fn main() {
+    cloudlb_bench::header("ABL-EPS — ε sweep (Jacobi2D, 8 cores, 100 iterations)");
+    let scn = Scenario::paper("jacobi2d", 8, "cloudrefine");
+    let base = {
+        let b = scn.base_of();
+        let app = b.build_app();
+        let bg = b.bg_script(app.as_ref());
+        SimExecutor::new(app.as_ref(), b.run_config(), bg).run()
+    };
+
+    let mut table = Table::new(&["epsilon", "penalty %", "migrations", "LB steps"]);
+    let mut results = Vec::new();
+    for eps in [0.0, 0.02, 0.05, 0.10, 0.25, 0.50] {
+        let app = scn.build_app();
+        let bg = scn.bg_script(app.as_ref());
+        let run = SimExecutor::new(app.as_ref(), scn.run_config(), bg)
+            .run_with_strategy(Box::new(CloudRefineLb::with_epsilon(eps)));
+        let penalty = run.timing_penalty_vs(&base);
+        table.row(vec![
+            format!("{eps:.2}"),
+            pct(penalty),
+            run.migrations.to_string(),
+            run.lb_steps.to_string(),
+        ]);
+        results.push((eps, penalty, run.migrations));
+    }
+    print!("{}", table.markdown());
+
+    let tightest = results.first().expect("nonempty");
+    let loosest = results.last().expect("nonempty");
+    assert!(
+        tightest.2 >= loosest.2,
+        "tight ε must migrate at least as much as loose ε"
+    );
+    assert!(
+        loosest.1 >= tightest.1 - 0.02,
+        "loose ε should not beat tight ε on penalty"
+    );
+    println!("\nABL-EPS OK: migrations fall and penalty rises as ε loosens.");
+}

@@ -1,0 +1,59 @@
+//! ABL-GATED — the paper's future-work variant (§VI): "data migration is
+//! performed only if we expect gains that can offset the cost of
+//! migration."
+//!
+//! Sweeps the modelled migration cost. With cheap migration the gate is
+//! transparent; as migration gets expensive (slow virtualized network,
+//! heavy objects) the gate starts vetoing plans, trading penalty for
+//! moved bytes.
+
+use cloudlb_balance::{CloudRefineLb, GainGatedLb, GateConfig};
+use cloudlb_core::report::{pct, Table};
+use cloudlb_core::scenario::Scenario;
+use cloudlb_runtime::SimExecutor;
+
+fn main() {
+    cloudlb_bench::header("ABL-GATED — migration-gain gating (Mol3D, 8 cores)");
+    let scn = Scenario::paper("mol3d", 8, "cloudrefine");
+    let base = {
+        let b = scn.base_of();
+        let app = b.build_app();
+        let bg = b.bg_script(app.as_ref());
+        SimExecutor::new(app.as_ref(), b.run_config(), bg).run()
+    };
+
+    let mut table =
+        Table::new(&["per-object cost", "bandwidth B/s", "penalty %", "migrations"]);
+    let mut rows = Vec::new();
+    for (cost_s, bw) in [(0.0005, 100e6), (0.01, 10e6), (0.1, 1e6), (2.0, 1e5)] {
+        let app = scn.build_app();
+        let bg = scn.bg_script(app.as_ref());
+        let gate = GateConfig {
+            bytes_per_sec: bw,
+            per_object_cost_s: cost_s,
+            horizon_windows: 3.0,
+        };
+        let gated = GainGatedLb::new(CloudRefineLb::default(), gate);
+        let run = SimExecutor::new(app.as_ref(), scn.run_config(), bg)
+            .run_with_strategy(Box::new(gated));
+        let p = run.timing_penalty_vs(&base);
+        table.row(vec![
+            format!("{cost_s:.4} s"),
+            format!("{bw:.0}"),
+            pct(p),
+            run.migrations.to_string(),
+        ]);
+        rows.push((cost_s, p, run.migrations));
+    }
+    print!("{}", table.markdown());
+
+    let cheap = rows.first().expect("nonempty");
+    let dear = rows.last().expect("nonempty");
+    assert!(cheap.2 > 0, "cheap migration must pass the gate");
+    assert_eq!(dear.2, 0, "prohibitive migration cost must veto everything");
+    assert!(
+        dear.1 > cheap.1,
+        "with everything vetoed the penalty reverts toward noLB"
+    );
+    println!("\nABL-GATED OK: the gate interpolates between CloudRefine and noLB.");
+}

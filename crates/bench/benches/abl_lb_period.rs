@@ -1,0 +1,49 @@
+//! ABL-PERIOD — how often to balance (paper §III: "periodically remaps
+//! objects to processors as the application execution progresses").
+//!
+//! Short periods react fast but pay the LB barrier + migration cost more
+//! often; long periods leave imbalance standing. The sweep exposes the
+//! U-shaped trade-off.
+
+use cloudlb_core::report::{pct, Table};
+use cloudlb_core::scenario::Scenario;
+use cloudlb_runtime::SimExecutor;
+
+fn main() {
+    cloudlb_bench::header("ABL-PERIOD — LB period sweep (Wave2D, 8 cores, 100 iterations)");
+    let mut scn = Scenario::paper("wave2d", 8, "cloudrefine");
+    let base = {
+        let b = scn.base_of();
+        let app = b.build_app();
+        let bg = b.bg_script(app.as_ref());
+        SimExecutor::new(app.as_ref(), b.run_config(), bg).run()
+    };
+
+    let mut table = Table::new(&["period", "penalty %", "LB steps", "migrations"]);
+    let mut penalties = Vec::new();
+    for period in [2usize, 5, 10, 20, 50] {
+        scn.lb_period = period;
+        let app = scn.build_app();
+        let bg = scn.bg_script(app.as_ref());
+        let run = SimExecutor::new(app.as_ref(), scn.run_config(), bg).run();
+        let p = run.timing_penalty_vs(&base);
+        table.row(vec![
+            period.to_string(),
+            pct(p),
+            run.lb_steps.to_string(),
+            run.migrations.to_string(),
+        ]);
+        penalties.push((period, p));
+    }
+    print!("{}", table.markdown());
+
+    // The longest period must be clearly worse than the best choice (it
+    // leaves the first half of the run unbalanced).
+    let best = penalties.iter().map(|(_, p)| *p).fold(f64::INFINITY, f64::min);
+    let longest = penalties.last().expect("nonempty").1;
+    assert!(
+        longest > best + 0.05,
+        "period 50 ({longest:.3}) should trail the best ({best:.3})"
+    );
+    println!("\nABL-PERIOD OK: best penalty {:.1} %, period-50 penalty {:.1} %.", best * 100.0, longest * 100.0);
+}

@@ -1,0 +1,69 @@
+//! ABL-ODF — over-decomposition factor (chares per core).
+//!
+//! Paper §III: "Typically the number of objects needs to be more than the
+//! number of available processors for efficient execution." Refinement
+//! can only move whole chares, so with 1–2 chares per core there is no
+//! transferable granule small enough to fit a receiver's headroom and the
+//! balancer cannot improve anything; with ≥ 4 chares per core it can.
+//!
+//! Because each decomposition changes the app itself (block sizes, message
+//! latencies), the meaningful metric is each decomposition's *own*
+//! noLB→LB penalty reduction, not penalties across decompositions.
+
+use cloudlb_apps::grids::{near_square_factors, Block2D};
+use cloudlb_apps::Jacobi2D;
+use cloudlb_core::report::{pct, Table};
+use cloudlb_core::scenario::Scenario;
+use cloudlb_runtime::SimExecutor;
+
+fn main() {
+    cloudlb_bench::header("ABL-ODF — chares per core (Jacobi2D, 8 cores, 100 iterations)");
+    let pes = 8usize;
+    let mut table =
+        Table::new(&["chares/core", "chares", "noLB %", "LB %", "reduction %", "migrations"]);
+    let mut reductions = Vec::new();
+    for odf in [1usize, 2, 4, 8, 16, 32] {
+        let (cx, cy) = near_square_factors(odf * pes);
+        // Keep total work roughly constant: total points ≈ 1280×640.
+        let (bx, by) = (1280 / cx, 640 / cy);
+        let app = Jacobi2D::new(Block2D::new(cx * bx, cy * by, cx, cy));
+
+        let scn = Scenario::paper("jacobi2d", pes, "cloudrefine");
+        let base = SimExecutor::new(&app, scn.base_of().run_config(), Default::default()).run();
+        let mut nolb_cfg = scn.run_config();
+        nolb_cfg.lb.strategy = "nolb".into();
+        let nolb = SimExecutor::new(&app, nolb_cfg, scn.bg_script(&app)).run();
+        let lb = SimExecutor::new(&app, scn.run_config(), scn.bg_script(&app)).run();
+
+        let p_nolb = nolb.timing_penalty_vs(&base);
+        let p_lb = lb.timing_penalty_vs(&base);
+        let reduction = 1.0 - p_lb / p_nolb;
+        table.row(vec![
+            odf.to_string(),
+            app.grid.num_chares().to_string(),
+            pct(p_nolb),
+            pct(p_lb),
+            pct(reduction),
+            lb.migrations.to_string(),
+        ]);
+        reductions.push((odf, reduction, lb.migrations));
+    }
+    print!("{}", table.markdown());
+
+    let coarse = reductions[0]; // 1 chare per core: nothing can move
+    let fine = reductions[3]; // 8 chares per core
+    assert_eq!(coarse.2, 0, "odf=1 has no transferable granule");
+    assert!(coarse.1 < 0.10, "odf=1 cannot improve: reduction {:.2}", coarse.1);
+    assert!(fine.2 > 0, "odf=8 must migrate");
+    assert!(
+        fine.1 > coarse.1 + 0.3,
+        "over-decomposition must pay off: odf=8 reduction {:.2} vs odf=1 {:.2}",
+        fine.1,
+        coarse.1
+    );
+    println!(
+        "\nABL-ODF OK: penalty reduction grows from {:.0} % (1 chare/core) to {:.0} % (8 chares/core).",
+        coarse.1 * 100.0,
+        fine.1 * 100.0
+    );
+}

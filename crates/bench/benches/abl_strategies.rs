@@ -1,0 +1,71 @@
+//! ABL-STRAT — strategy comparison: the paper's CloudRefineLB against
+//! classic RefineLB (interference-blind), GreedyLB (from scratch), an
+//! interference-aware greedy, and noLB.
+//!
+//! Two claims from the paper are checked:
+//! * §II vs Brunner et al.: the refinement approach "achieves load
+//!   balance while minimizing task migrations" — CloudRefine must migrate
+//!   far less than the greedy rebalancer at comparable penalty;
+//! * §IV: strategies that only see application-internal load cannot react
+//!   to interference — classic RefineLB must land near noLB.
+
+use cloudlb_core::report::{pct, Table};
+use cloudlb_core::scenario::Scenario;
+use cloudlb_runtime::SimExecutor;
+use std::collections::HashMap;
+
+fn main() {
+    cloudlb_bench::header("ABL-STRAT — strategies (Jacobi2D, 8 cores, 100 iterations)");
+    let scn = Scenario::paper("jacobi2d", 8, "cloudrefine");
+    let base = {
+        let b = scn.base_of();
+        let app = b.build_app();
+        let bg = b.bg_script(app.as_ref());
+        SimExecutor::new(app.as_ref(), b.run_config(), bg).run()
+    };
+
+    let mut table = Table::new(&["strategy", "penalty %", "migrations", "bytes moved"]);
+    let mut by_name: HashMap<&str, (f64, usize)> = HashMap::new();
+    for strategy in ["nolb", "refine", "greedy", "greedybg", "cloudrefine"] {
+        let mut s = scn.clone();
+        s.strategy = strategy.to_string();
+        let app = s.build_app();
+        let bg = s.bg_script(app.as_ref());
+        let run = SimExecutor::new(app.as_ref(), s.run_config(), bg).run();
+        let p = run.timing_penalty_vs(&base);
+        table.row(vec![
+            strategy.to_string(),
+            pct(p),
+            run.migrations.to_string(),
+            run.migration_bytes.to_string(),
+        ]);
+        by_name.insert(strategy, (p, run.migrations));
+    }
+    print!("{}", table.markdown());
+
+    let nolb = by_name["nolb"];
+    let refine = by_name["refine"];
+    let greedybg = by_name["greedybg"];
+    let cloud = by_name["cloudrefine"];
+
+    assert!(
+        (refine.0 - nolb.0).abs() < 0.15,
+        "interference-blind RefineLB should land near noLB ({:.2} vs {:.2})",
+        refine.0,
+        nolb.0
+    );
+    assert!(cloud.0 < 0.6 * nolb.0, "CloudRefine must at least nearly halve the penalty");
+    assert!(
+        cloud.1 < greedybg.1,
+        "CloudRefine ({}) must migrate less than interference-aware greedy ({})",
+        cloud.1,
+        greedybg.1
+    );
+    assert!(
+        cloud.0 <= greedybg.0 + 0.1,
+        "CloudRefine penalty {:.2} should be competitive with greedy {:.2}",
+        cloud.0,
+        greedybg.0
+    );
+    println!("\nABL-STRAT OK: interference-awareness is necessary; refinement minimizes churn.");
+}

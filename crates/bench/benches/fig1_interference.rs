@@ -1,0 +1,34 @@
+//! FIG1 — "BG task on Core#4 disturbing load balance" (paper Fig. 1).
+//!
+//! Wave2D on 4 cores, no load balancing; a 1-core background job arrives
+//! on the last core after a few iterations. Reproduces the paper's two
+//! observations: the interfered iteration's timeline is visibly longer,
+//! and the interfered core's task bars inflate (Projections cannot
+//! separate the context-switched background time).
+
+use cloudlb_core::figures::fig1;
+
+fn main() {
+    cloudlb_bench::header("Fig. 1 — background task on core 3 disturbs load balance");
+    let out = fig1(20);
+
+    println!("mean iteration time, no interference : {:8.2} ms", out.quiet_iter_s * 1e3);
+    println!("mean iteration time, with interference: {:8.2} ms", out.interfered_iter_s * 1e3);
+    println!(
+        "stretch factor: {:.2}x (paper: roughly 2x under fair CPU sharing)",
+        out.interfered_iter_s / out.quiet_iter_s
+    );
+    println!("\nTimeline (one quiet iteration, then one interfered iteration):\n");
+    println!("{}", out.timeline);
+
+    let path = std::env::temp_dir().join("cloudlb_fig1.svg");
+    if std::fs::write(&path, &out.svg).is_ok() {
+        println!("SVG timeline: {}", path.display());
+    }
+
+    assert!(
+        out.interfered_iter_s > 1.5 * out.quiet_iter_s,
+        "FIG1 shape violated: interference must visibly stretch iterations"
+    );
+    println!("\nFIG1 OK: interfered iterations are {:.2}x longer", out.interfered_iter_s / out.quiet_iter_s);
+}

@@ -1,0 +1,54 @@
+//! FIG2 — "Effect of load balancing in execution time" (paper Fig. 2 a–c).
+//!
+//! For each application (Jacobi2D, Wave2D, Mol3D) and each core count
+//! (4–32), prints the four series of the paper's bar groups: app timing
+//! penalty without/with LB and background-job timing penalty without/with
+//! LB, averaged over seeds.
+//!
+//! Expected shape (not absolute numbers): noLB penalties stay high and
+//! roughly flat (≈90 % fair-share, up to ≈400 % for Mol3D's preferred
+//! background job); LB penalties are at least halved and fall as cores
+//! grow; the background job also speeds up under LB for the fair-shared
+//! apps.
+
+use cloudlb_bench::Settings;
+use cloudlb_core::figures::{eval_matrix, fig2_table};
+
+fn main() {
+    let s = Settings::from_env();
+    cloudlb_bench::header("Fig. 2 — timing penalty vs cores");
+    println!(
+        "(cores {:?}, {} iterations, seeds {:?})",
+        s.cores, s.iterations, s.seeds
+    );
+
+    for app in ["jacobi2d", "wave2d", "mol3d"] {
+        let points = eval_matrix(app, &s.cores, s.iterations, &s.seeds);
+        println!("\nFig. 2 ({app})");
+        print!("{}", fig2_table(&points).markdown());
+
+        // Shape checks — who wins, and how the trend goes.
+        for p in &points {
+            assert!(
+                p.penalty_lb < p.penalty_nolb,
+                "{app}@{}: LB must beat noLB",
+                p.cores
+            );
+        }
+        let first = points.first().expect("nonempty");
+        let last = points.last().expect("nonempty");
+        assert!(
+            last.penalty_lb <= first.penalty_lb + 0.02,
+            "{app}: LB penalty should not grow with cores ({:.3} -> {:.3})",
+            first.penalty_lb,
+            last.penalty_lb
+        );
+        if app == "mol3d" {
+            assert!(
+                first.penalty_nolb > 2.5,
+                "mol3d noLB penalty should reach the paper's ~400% magnitude"
+            );
+        }
+    }
+    println!("\nFIG2 OK: LB wins everywhere, penalties shrink with cores.");
+}

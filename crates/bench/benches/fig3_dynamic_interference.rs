@@ -1,0 +1,35 @@
+//! FIG3 — "Cores timeline showing effect of load balancing for a 4 core
+//! run with background load on Core1 and then Core3" (paper Fig. 3 a–e).
+//!
+//! Wave2D, 4 cores, CloudRefineLB. Interference lands on core 1, the
+//! balancer sheds that core; the job leaves and the balancer migrates
+//! work back; a new job lands on core 3 and the balancer reacts again.
+
+use cloudlb_core::figures::fig3;
+
+fn main() {
+    cloudlb_bench::header("Fig. 3 — balancer tracks interference core 1 → core 3");
+    let out = fig3(60, 6);
+
+    println!("{:<26} iteration time", "phase");
+    for (label, secs) in &out.phases {
+        println!("{label:<26} {:8.2} ms", secs * 1e3);
+    }
+    println!("\nmigrations committed: {}", out.migrations);
+    println!("\n{}", out.timeline);
+
+    let path = std::env::temp_dir().join("cloudlb_fig3.svg");
+    if std::fs::write(&path, &out.svg).is_ok() {
+        println!("SVG timeline: {}", path.display());
+    }
+
+    let v: Vec<f64> = out.phases.iter().map(|(_, x)| *x).collect();
+    assert!(out.migrations > 0, "FIG3 requires migrations");
+    assert!(v[0] > 1.2 * v[1], "phase (a) must be slower than (b)");
+    assert!(v[3] > 1.2 * v[4], "phase (d) must be slower than (e)");
+    println!(
+        "\nFIG3 OK: rebalancing recovered {:.0}% after core 1 and {:.0}% after core 3.",
+        (1.0 - v[1] / v[0]) * 100.0,
+        (1.0 - v[4] / v[3]) * 100.0
+    );
+}

@@ -1,0 +1,45 @@
+//! FIG4 — "Effect of load balancing in energy and power consumption"
+//! (paper Fig. 4 a–c).
+//!
+//! Same run matrix as Fig. 2; prints average power per node (W) and the
+//! energy overhead normalized to the interference-free base run, for the
+//! noLB and LB arms.
+//!
+//! Expected shape: LB draws *more* power (idle gaps disappear) yet has
+//! *less* energy overhead (the 40 W base power stops burning through the
+//! stretched noLB run) — the paper's central energy argument.
+
+use cloudlb_bench::Settings;
+use cloudlb_core::figures::{eval_matrix, fig4_table};
+
+fn main() {
+    let s = Settings::from_env();
+    cloudlb_bench::header("Fig. 4 — power and normalized energy overhead vs cores");
+    println!(
+        "(power model: 40 W base / 170 W max per 4-core node, as measured on the paper's testbed)"
+    );
+
+    for app in ["jacobi2d", "wave2d", "mol3d"] {
+        let points = eval_matrix(app, &s.cores, s.iterations, &s.seeds);
+        println!("\nFig. 4 ({app})");
+        print!("{}", fig4_table(&points).markdown());
+
+        for p in &points {
+            assert!(
+                p.power_lb_w > p.power_nolb_w,
+                "{app}@{}: LB must draw more power ({:.1} vs {:.1} W)",
+                p.cores,
+                p.power_lb_w,
+                p.power_nolb_w
+            );
+            assert!(
+                p.energy_overhead_lb < p.energy_overhead_nolb,
+                "{app}@{}: LB must cut the energy overhead",
+                p.cores
+            );
+            assert!((40.0..=170.0).contains(&p.power_lb_w));
+            assert!((40.0..=170.0).contains(&p.power_nolb_w));
+        }
+    }
+    println!("\nFIG4 OK: higher power, lower energy under load balancing.");
+}

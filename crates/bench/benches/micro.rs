@@ -1,0 +1,94 @@
+//! MICRO — criterion microbenchmarks of the performance-critical pieces:
+//! strategy planning, event-queue throughput, the proportional-share core
+//! advance, and the real Jacobi kernel.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use std::hint::black_box;
+
+use cloudlb_apps::grids::Block2D;
+use cloudlb_apps::Jacobi2D;
+use cloudlb_balance::{CloudRefineLb, GreedyLb, LbStats, LbStrategy, TaskId, TaskInfo};
+use cloudlb_runtime::program::IterativeApp;
+use cloudlb_sim::core_sched::{Core, FgLabel};
+use cloudlb_sim::{Dur, EventQueue, Time};
+
+/// An interfered 32-core database with 16 tasks per core.
+fn big_db() -> LbStats {
+    let mut db = LbStats::new(32);
+    for i in 0..(32 * 16) as u64 {
+        db.tasks.push(TaskInfo {
+            id: TaskId(i),
+            pe: (i % 32) as usize,
+            load: 0.01 + (i % 7) as f64 * 0.001,
+            bytes: 200 * 1024,
+        });
+    }
+    db.bg_load[0] = 0.2;
+    db.bg_load[1] = 0.2;
+    db
+}
+
+fn bench_strategies(c: &mut Criterion) {
+    let db = big_db();
+    c.bench_function("cloud_refine_plan_512_tasks_32_pes", |b| {
+        b.iter(|| CloudRefineLb::default().plan(black_box(&db)))
+    });
+    c.bench_function("greedy_plan_512_tasks_32_pes", |b| {
+        b.iter(|| GreedyLb::interference_aware().plan(black_box(&db)))
+    });
+}
+
+fn bench_event_queue(c: &mut Criterion) {
+    c.bench_function("event_queue_push_pop_10k", |b| {
+        b.iter_batched(
+            EventQueue::<u32>::new,
+            |mut q| {
+                for i in 0..10_000u32 {
+                    q.schedule(Time::from_us((i as u64 * 7919) % 100_000), i);
+                }
+                while let Some(ev) = q.pop() {
+                    black_box(ev);
+                }
+            },
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+fn bench_core_advance(c: &mut Criterion) {
+    c.bench_function("core_advance_1k_tasks_with_bg", |b| {
+        b.iter(|| {
+            let mut core = Core::new(0);
+            core.add_bg(0, None, 1.0);
+            let mut events = Vec::new();
+            for i in 0..1_000u64 {
+                core.start_fg(FgLabel { chare: i }, Dur::from_us(100), 1.0);
+                let now = core.next_completion().expect("finite fg");
+                core.advance(now, &mut events, None);
+                events.clear();
+            }
+            black_box(core.stat())
+        })
+    });
+}
+
+fn bench_jacobi_kernel(c: &mut Criterion) {
+    let app = Jacobi2D::new(Block2D::new(320, 320, 2, 2)); // 160×160 blocks
+    c.bench_function("jacobi_kernel_160x160_step", |b| {
+        b.iter_batched(
+            || app.make_kernel(0),
+            |mut k| {
+                let boot = k.compute(0, &[]);
+                black_box(k.compute(1, &boot));
+            },
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_strategies, bench_event_queue, bench_core_advance, bench_jacobi_kernel
+}
+criterion_main!(benches);

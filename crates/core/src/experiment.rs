@@ -1,0 +1,190 @@
+//! Experiment execution: base / noLB / LB triples, seed averaging, and
+//! the paper's metrics.
+//!
+//! For each `(application, core count)` cell the paper reports:
+//! * **timing penalty** of the parallel job, with and without LB, as a
+//!   percentage of the interference-free run (Fig. 2);
+//! * **timing penalty of the background job** under both regimes (Fig. 2);
+//! * **average power** per node and **energy overhead** normalized to the
+//!   interference-free run (Fig. 4).
+//!
+//! `evaluate` reproduces one cell by running the three scenarios over a
+//! set of seeds and averaging — the paper averages three repeated runs.
+
+use crate::scenario::Scenario;
+use cloudlb_runtime::{RunResult, SimExecutor};
+use cloudlb_sim::stats::mean;
+use serde::{Deserialize, Serialize};
+
+/// Execute a single scenario.
+pub fn run_scenario(s: &Scenario) -> RunResult {
+    let app = s.build_app();
+    let bg = s.bg_script(app.as_ref());
+    SimExecutor::new(app.as_ref(), s.run_config(), bg).run()
+}
+
+/// Averaged metrics for one `(app, cores)` cell.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EvalPoint {
+    /// Application name.
+    pub app: String,
+    /// Core count.
+    pub cores: usize,
+    /// App timing penalty without LB (fraction, e.g. 1.0 = +100 %).
+    pub penalty_nolb: f64,
+    /// App timing penalty with the paper's balancer.
+    pub penalty_lb: f64,
+    /// Background-job timing penalty without LB.
+    pub bg_penalty_nolb: f64,
+    /// Background-job timing penalty with LB.
+    pub bg_penalty_lb: f64,
+    /// Average power per node, interference-free base run (W).
+    pub power_base_w: f64,
+    /// Average power per node without LB (W).
+    pub power_nolb_w: f64,
+    /// Average power per node with LB (W).
+    pub power_lb_w: f64,
+    /// Energy overhead vs base without LB (fraction).
+    pub energy_overhead_nolb: f64,
+    /// Energy overhead vs base with LB (fraction).
+    pub energy_overhead_lb: f64,
+    /// Mean migrations per LB run.
+    pub migrations: f64,
+    /// Mean LB steps per LB run.
+    pub lb_steps: f64,
+}
+
+impl EvalPoint {
+    /// Fractional reduction of the app timing penalty achieved by LB
+    /// (the paper's headline claims ≥ 0.5 here).
+    pub fn penalty_reduction(&self) -> f64 {
+        if self.penalty_nolb <= 0.0 {
+            return 0.0;
+        }
+        1.0 - self.penalty_lb / self.penalty_nolb
+    }
+
+    /// Fractional reduction of the energy overhead achieved by LB.
+    pub fn energy_reduction(&self) -> f64 {
+        if self.energy_overhead_nolb <= 0.0 {
+            return 0.0;
+        }
+        1.0 - self.energy_overhead_lb / self.energy_overhead_nolb
+    }
+}
+
+/// Run the base / noLB / LB triple for one cell, averaged over `seeds`.
+///
+/// `lb_strategy` is the balanced arm's registry name (the paper's scheme
+/// is `cloudrefine`; ablations swap in others). `iterations` scales run
+/// length (the figures use 100).
+pub fn evaluate(
+    app: &str,
+    cores: usize,
+    iterations: usize,
+    lb_strategy: &str,
+    seeds: &[u64],
+) -> EvalPoint {
+    assert!(!seeds.is_empty());
+    let mut penalty_nolb = Vec::new();
+    let mut penalty_lb = Vec::new();
+    let mut bg_nolb = Vec::new();
+    let mut bg_lb = Vec::new();
+    let mut power_base = Vec::new();
+    let mut power_nolb = Vec::new();
+    let mut power_lb = Vec::new();
+    let mut energy_nolb = Vec::new();
+    let mut energy_lb = Vec::new();
+    let mut migrations = Vec::new();
+    let mut lb_steps = Vec::new();
+
+    for &seed in seeds {
+        let mut lb_scn = Scenario::paper(app, cores, lb_strategy);
+        lb_scn.iterations = iterations;
+        lb_scn.seed = seed;
+        let mut nolb_scn = Scenario { strategy: "nolb".into(), ..lb_scn.clone() };
+        nolb_scn.seed = seed;
+        let base_scn = lb_scn.base_of();
+
+        let base = run_scenario(&base_scn);
+        let nolb = run_scenario(&nolb_scn);
+        let lb = run_scenario(&lb_scn);
+
+        penalty_nolb.push(nolb.timing_penalty_vs(&base));
+        penalty_lb.push(lb.timing_penalty_vs(&base));
+        if let Some(p) = nolb.bg_penalties.get(&0) {
+            bg_nolb.push(*p);
+        }
+        if let Some(p) = lb.bg_penalties.get(&0) {
+            bg_lb.push(*p);
+        }
+        power_base.push(base.energy.avg_power_per_node_w);
+        power_nolb.push(nolb.energy.avg_power_per_node_w);
+        power_lb.push(lb.energy.avg_power_per_node_w);
+        energy_nolb.push(nolb.energy_overhead_vs(&base));
+        energy_lb.push(lb.energy_overhead_vs(&base));
+        migrations.push(lb.migrations as f64);
+        lb_steps.push(lb.lb_steps as f64);
+    }
+
+    EvalPoint {
+        app: app.to_string(),
+        cores,
+        penalty_nolb: mean(&penalty_nolb),
+        penalty_lb: mean(&penalty_lb),
+        bg_penalty_nolb: mean(&bg_nolb),
+        bg_penalty_lb: mean(&bg_lb),
+        power_base_w: mean(&power_base),
+        power_nolb_w: mean(&power_nolb),
+        power_lb_w: mean(&power_lb),
+        energy_overhead_nolb: mean(&energy_nolb),
+        energy_overhead_lb: mean(&energy_lb),
+        migrations: mean(&migrations),
+        lb_steps: mean(&lb_steps),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// One small but end-to-end cell: Jacobi2D on 4 cores over the paper's
+    /// 100-iteration horizon (shorter runs leave the pre-first-LB window
+    /// dominating the average). This is the paper's whole story in one
+    /// assertion set, so it is worth its couple of seconds.
+    #[test]
+    fn jacobi_4core_cell_reproduces_paper_shape() {
+        let p = evaluate("jacobi2d", 4, 100, "cloudrefine", &[1]);
+        // Interference with fair sharing roughly doubles the noLB run.
+        assert!(p.penalty_nolb > 0.6, "noLB penalty {:.2}", p.penalty_nolb);
+        // 4 cores is the hardest cell (the capacity bound is 4/3, and
+        // Algorithm 1 stops refining once interfered cores stop looking
+        // heavy): the paper's own Fig. 2 is worst here too. Require a 40 %
+        // cut at P = 4; the ≥ 50 % headline is asserted at P ≥ 8 by the
+        // claim_headline integration test.
+        assert!(
+            p.penalty_reduction() >= 0.4,
+            "reduction {:.2} (noLB {:.2} → LB {:.2})",
+            p.penalty_reduction(),
+            p.penalty_nolb,
+            p.penalty_lb
+        );
+        // LB runs hotter but uses less energy (Fig. 4 shape).
+        assert!(p.power_lb_w > p.power_nolb_w, "{:.1} vs {:.1}", p.power_lb_w, p.power_nolb_w);
+        assert!(p.energy_overhead_lb < p.energy_overhead_nolb);
+        assert!(p.migrations > 0.0);
+    }
+
+    #[test]
+    fn evaluate_is_deterministic_per_seed() {
+        let a = evaluate("wave2d", 4, 20, "cloudrefine", &[7]);
+        let b = evaluate("wave2d", 4, 20, "cloudrefine", &[7]);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "!seeds.is_empty()")]
+    fn evaluate_requires_seeds() {
+        evaluate("jacobi2d", 4, 10, "cloudrefine", &[]);
+    }
+}

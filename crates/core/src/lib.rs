@@ -1,0 +1,23 @@
+#![warn(missing_docs)]
+//! High-level experiment API for the `cloudlb` reproduction.
+//!
+//! This crate turns the runtime + simulator + strategies into the paper's
+//! experiments:
+//!
+//! * [`scenario`] — declarative descriptions of the paper's runs (which
+//!   app, how many cores, which interference pattern, which balancer);
+//! * [`experiment`] — executes scenario triples (base / noLB / LB),
+//!   averages seeds, and computes the paper's metrics: timing penalty,
+//!   background-job penalty, average node power, normalized energy
+//!   overhead;
+//! * [`figures`] — one driver per paper artifact (Figures 1–4) returning
+//!   structured series plus rendered tables/timelines;
+//! * [`report`] — markdown/CSV table formatting shared by the harness.
+
+pub mod experiment;
+pub mod figures;
+pub mod report;
+pub mod scenario;
+
+pub use experiment::{evaluate, run_scenario, EvalPoint};
+pub use scenario::{BgPattern, Scenario};

@@ -1,0 +1,121 @@
+//! Table rendering (markdown and CSV) shared by the benchmark harness.
+
+/// A simple column-aligned table.
+#[derive(Debug, Clone, Default)]
+pub struct Table {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Start a table with the given column headers.
+    pub fn new(headers: &[&str]) -> Self {
+        Table { headers: headers.iter().map(|s| s.to_string()).collect(), rows: Vec::new() }
+    }
+
+    /// Append a row; must match the header count.
+    pub fn row(&mut self, cells: Vec<String>) -> &mut Self {
+        assert_eq!(cells.len(), self.headers.len(), "ragged row");
+        self.rows.push(cells);
+        self
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// `true` when the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Render as a GitHub-style markdown table.
+    pub fn markdown(&self) -> String {
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (w, c) in widths.iter_mut().zip(row) {
+                *w = (*w).max(c.len());
+            }
+        }
+        let fmt_row = |cells: &[String]| {
+            let mut line = String::from("|");
+            for (c, w) in cells.iter().zip(&widths) {
+                line.push_str(&format!(" {c:w$} |"));
+            }
+            line.push('\n');
+            line
+        };
+        let mut out = fmt_row(&self.headers);
+        out.push('|');
+        for w in &widths {
+            out.push_str(&format!("{:-<1$}|", "", w + 2));
+        }
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row));
+        }
+        out
+    }
+
+    /// Render as CSV (no quoting; cells must not contain commas).
+    pub fn csv(&self) -> String {
+        let mut out = self.headers.join(",");
+        out.push('\n');
+        for row in &self.rows {
+            debug_assert!(row.iter().all(|c| !c.contains(',')), "cell with comma");
+            out.push_str(&row.join(","));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Format a fraction as a percentage with one decimal, e.g. `0.416` →
+/// `"41.6"`.
+pub fn pct(frac: f64) -> String {
+    format!("{:.1}", frac * 100.0)
+}
+
+/// Format watts with one decimal.
+pub fn watts(w: f64) -> String {
+    format!("{w:.1}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn markdown_rendering_aligns() {
+        let mut t = Table::new(&["cores", "penalty"]);
+        t.row(vec!["4".into(), "98.2".into()]);
+        t.row(vec!["32".into(), "6.1".into()]);
+        let md = t.markdown();
+        assert!(md.starts_with("| cores | penalty |"));
+        assert!(md.contains("|-------|---------|"));
+        assert_eq!(md.lines().count(), 4);
+        assert_eq!(t.len(), 2);
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    fn csv_rendering() {
+        let mut t = Table::new(&["a", "b"]);
+        t.row(vec!["1".into(), "2".into()]);
+        assert_eq!(t.csv(), "a,b\n1,2\n");
+    }
+
+    #[test]
+    #[should_panic(expected = "ragged row")]
+    fn ragged_rows_rejected() {
+        Table::new(&["a"]).row(vec!["1".into(), "2".into()]);
+    }
+
+    #[test]
+    fn formatting_helpers() {
+        assert_eq!(pct(0.4163), "41.6");
+        assert_eq!(pct(4.0), "400.0");
+        assert_eq!(watts(105.25), "105.2");
+    }
+}

@@ -1,0 +1,386 @@
+//! AMPI-style veneer: MPI-shaped programs on the migratable runtime.
+//!
+//! Paper §III: "MPI programs can leverage the capabilities of Charm++
+//! runtime system using the adaptive implementation of MPI (AMPI) where
+//! user specifies large number of MPI processes implemented as user-level
+//! threads by the runtime" — i.e. over-decompose into many ranks, let the
+//! runtime migrate them.
+//!
+//! This module is the equivalent veneer for `cloudlb`: an
+//! [`AmpiProgram`] describes a bulk-synchronous MPI program (`size` ranks,
+//! a static peer topology, one `superstep` per iteration that receives
+//! last superstep's messages and posts this superstep's sends), and
+//! [`AmpiAdapter`] turns it into an
+//! `IterativeApp` (see [`crate::program`]) whose chares are the
+//! ranks. Both executors — including live migration between OS threads —
+//! then work unmodified, exactly the benefit the paper attributes to AMPI.
+//!
+//! Restrictions vs. real AMPI (documented in DESIGN.md): communication is
+//! BSP (every rank exchanges one message with each declared peer per
+//! superstep; no wildcard receives, no mid-step blocking calls). The
+//! paper's workloads — iterative stencils and MD — fit this shape.
+
+use crate::program::{ChareKernel, IterativeApp};
+
+/// One MPI-style rank: user state plus a superstep function.
+pub trait AmpiRank: Send {
+    /// Execute one superstep. `inbox` holds `(peer, data)` for every peer
+    /// (sorted by peer; empty on superstep 0). Must return exactly one
+    /// message per declared peer.
+    fn superstep(&mut self, step: usize, inbox: &[(usize, Vec<f64>)]) -> Vec<(usize, Vec<f64>)>;
+
+    /// Digest of rank state, for migration-safety checks.
+    fn checksum(&self) -> f64;
+
+    /// PUP the rank state for serialized migration (optional; see
+    /// [`crate::pup`]).
+    fn pack(&self) -> Option<Vec<u8>> {
+        None
+    }
+}
+
+/// An MPI-style bulk-synchronous program.
+pub trait AmpiProgram: Send + Sync {
+    /// Program name.
+    fn name(&self) -> &'static str;
+
+    /// `MPI_Comm_size`: number of ranks. The paper prescribes many more
+    /// ranks than cores ("virtualization ratio" in AMPI terms).
+    fn size(&self) -> usize;
+
+    /// Ranks this rank exchanges messages with, every superstep. Must be
+    /// symmetric and self-free.
+    fn peers(&self, rank: usize) -> Vec<usize>;
+
+    /// Instantiate rank state.
+    fn make_rank(&self, rank: usize) -> Box<dyn AmpiRank>;
+
+    /// Reconstruct a rank from PUPed bytes (optional counterpart of
+    /// [`AmpiRank::pack`]).
+    fn unpack_rank(&self, rank: usize, bytes: &[u8]) -> Option<Box<dyn AmpiRank>> {
+        let _ = (rank, bytes);
+        None
+    }
+
+    /// CPU seconds of `rank`'s superstep (simulator cost model).
+    fn rank_cost(&self, rank: usize, step: usize) -> f64;
+
+    /// Message payload size in bytes between two peers.
+    fn message_bytes(&self, _from: usize, _to: usize) -> usize {
+        1024
+    }
+
+    /// Migratable state size of a rank.
+    fn state_bytes(&self, _rank: usize) -> usize {
+        64 * 1024
+    }
+}
+
+/// Adapts an [`AmpiProgram`] to the runtime's [`IterativeApp`] interface:
+/// ranks become chares, supersteps become iterations.
+pub struct AmpiAdapter<P: AmpiProgram>(pub P);
+
+impl<P: AmpiProgram> IterativeApp for AmpiAdapter<P> {
+    fn name(&self) -> &'static str {
+        self.0.name()
+    }
+
+    fn num_chares(&self) -> usize {
+        self.0.size()
+    }
+
+    fn neighbors(&self, idx: usize) -> Vec<usize> {
+        self.0.peers(idx)
+    }
+
+    fn message_bytes(&self, from: usize, to: usize) -> usize {
+        self.0.message_bytes(from, to)
+    }
+
+    fn state_bytes(&self, idx: usize) -> usize {
+        self.0.state_bytes(idx)
+    }
+
+    fn task_cost(&self, idx: usize, iter: usize) -> f64 {
+        self.0.rank_cost(idx, iter)
+    }
+
+    fn make_kernel(&self, idx: usize) -> Box<dyn ChareKernel> {
+        Box::new(RankKernel {
+            rank: idx,
+            peers: self.0.peers(idx),
+            state_bytes: self.0.state_bytes(idx),
+            inner: self.0.make_rank(idx),
+        })
+    }
+
+    fn unpack_kernel(&self, idx: usize, bytes: &[u8]) -> Option<Box<dyn ChareKernel>> {
+        self.0.unpack_rank(idx, bytes).map(|inner| {
+            Box::new(RankKernel {
+                rank: idx,
+                peers: self.0.peers(idx),
+                state_bytes: self.0.state_bytes(idx),
+                inner,
+            }) as Box<dyn ChareKernel>
+        })
+    }
+}
+
+/// Kernel wrapper enforcing the BSP contract on user superstep code.
+struct RankKernel {
+    rank: usize,
+    peers: Vec<usize>,
+    state_bytes: usize,
+    inner: Box<dyn AmpiRank>,
+}
+
+impl ChareKernel for RankKernel {
+    fn compute(&mut self, iter: usize, inbox: &[(usize, Vec<f64>)]) -> Vec<(usize, Vec<f64>)> {
+        let out = self.inner.superstep(iter, inbox);
+        // BSP contract: exactly one message to each declared peer.
+        assert_eq!(
+            out.len(),
+            self.peers.len(),
+            "rank {}: superstep {iter} sent {} messages, expected one per peer ({})",
+            self.rank,
+            out.len(),
+            self.peers.len()
+        );
+        for (to, _) in &out {
+            assert!(
+                self.peers.contains(to),
+                "rank {}: message to non-peer {to}",
+                self.rank
+            );
+        }
+        out
+    }
+
+    fn checksum(&self) -> f64 {
+        self.inner.checksum()
+    }
+
+    fn state_bytes(&self) -> usize {
+        self.state_bytes
+    }
+
+    fn pack(&self) -> Option<Vec<u8>> {
+        self.inner.pack()
+    }
+}
+
+/// A ready-made AMPI demo program: 1-D ring halo exchange with a skewed
+/// per-rank workload (ranks in the upper half do `skew`× the flops) —
+/// the "existing MPI application" the paper says can benefit unmodified.
+#[derive(Debug, Clone)]
+pub struct RingHalo {
+    /// Number of ranks.
+    pub ranks: usize,
+    /// CPU seconds of a light rank's superstep.
+    pub cost_s: f64,
+    /// Work multiplier for the upper half of the ranks.
+    pub skew: f64,
+}
+
+impl RingHalo {
+    /// `ranks` ranks (≥ 3) with the given base cost and skew.
+    pub fn new(ranks: usize, cost_s: f64, skew: f64) -> Self {
+        assert!(ranks >= 3, "ring needs >= 3 ranks");
+        assert!(skew >= 1.0);
+        RingHalo { ranks, cost_s, skew }
+    }
+}
+
+impl AmpiProgram for RingHalo {
+    fn name(&self) -> &'static str {
+        "ampi-ring-halo"
+    }
+
+    fn size(&self) -> usize {
+        self.ranks
+    }
+
+    fn peers(&self, rank: usize) -> Vec<usize> {
+        vec![(rank + self.ranks - 1) % self.ranks, (rank + 1) % self.ranks]
+    }
+
+    fn make_rank(&self, rank: usize) -> Box<dyn AmpiRank> {
+        let n = self.ranks;
+        Box::new(RingHaloRank {
+            left: (rank + n - 1) % n,
+            right: (rank + 1) % n,
+            value: rank as f64,
+            left_sum: 0.0,
+            right_sum: 0.0,
+        })
+    }
+
+    fn rank_cost(&self, rank: usize, _step: usize) -> f64 {
+        if rank >= self.ranks / 2 {
+            self.cost_s * self.skew
+        } else {
+            self.cost_s
+        }
+    }
+
+    fn unpack_rank(&self, rank: usize, bytes: &[u8]) -> Option<Box<dyn AmpiRank>> {
+        let n = self.ranks;
+        let mut r = crate::pup::PupReader::new(bytes);
+        let rank_state = RingHaloRank {
+            left: (rank + n - 1) % n,
+            right: (rank + 1) % n,
+            value: r.f64(),
+            left_sum: r.f64(),
+            right_sum: r.f64(),
+        };
+        assert!(r.exhausted(), "trailing bytes in ring-halo PUP buffer");
+        Some(Box::new(rank_state))
+    }
+}
+
+struct RingHaloRank {
+    left: usize,
+    right: usize,
+    value: f64,
+    left_sum: f64,
+    right_sum: f64,
+}
+
+impl AmpiRank for RingHaloRank {
+    fn pack(&self) -> Option<Vec<u8>> {
+        let mut w = crate::pup::PupWriter::new();
+        w.f64(self.value).f64(self.left_sum).f64(self.right_sum);
+        Some(w.finish())
+    }
+
+    fn superstep(&mut self, _step: usize, inbox: &[(usize, Vec<f64>)]) -> Vec<(usize, Vec<f64>)> {
+        // Accumulate halo values by sender (inbox is sorted by peer).
+        for (from, data) in inbox {
+            let s: f64 = data.iter().sum();
+            if *from == self.left {
+                self.left_sum += s;
+            } else {
+                self.right_sum += s;
+            }
+        }
+        self.value = 0.5 * self.value + 0.25 * (self.left_sum - self.right_sum).tanh() + 1.0;
+        vec![(self.left, vec![self.value]), (self.right, vec![self.value, self.value])]
+    }
+
+    fn checksum(&self) -> f64 {
+        self.value + self.left_sum + self.right_sum
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{LbConfig, RunConfig};
+    use crate::program::validate_app;
+    use crate::sim_exec::SimExecutor;
+    use crate::thread_exec::{serial_reference, ThreadExecutor, ThreadRunConfig};
+    use cloudlb_sim::interference::BgScript;
+    use cloudlb_sim::ClusterConfig;
+
+    fn app() -> AmpiAdapter<RingHalo> {
+        AmpiAdapter(RingHalo::new(16, 0.001, 2.0))
+    }
+
+    #[test]
+    fn adapter_produces_a_valid_app() {
+        validate_app(&app());
+        assert_eq!(app().num_chares(), 16);
+        assert_eq!(app().neighbors(0), vec![15, 1]);
+    }
+
+    #[test]
+    fn skew_shows_up_in_costs() {
+        let a = app();
+        assert_eq!(a.task_cost(0, 0), 0.001);
+        assert_eq!(a.task_cost(15, 0), 0.002);
+    }
+
+    #[test]
+    fn runs_under_the_simulator_and_balances_skew() {
+        // Internal (application) imbalance: the classic AMPI benefit —
+        // over-decomposed ranks get balanced without interference.
+        let a = app();
+        let mut cfg = RunConfig {
+            cluster: ClusterConfig { nodes: 1, cores_per_node: 4, trace: false },
+            ..RunConfig::paper(4, 60)
+        };
+        cfg.lb = LbConfig { strategy: "cloudrefine".into(), period: 10, ..Default::default() };
+        let lb = SimExecutor::new(&a, cfg.clone(), BgScript::none()).run();
+        cfg.lb.strategy = "nolb".into();
+        let nolb = SimExecutor::new(&a, cfg, BgScript::none()).run();
+        assert!(lb.migrations > 0, "skewed ranks must trigger migrations");
+        assert!(
+            lb.app_time.as_secs_f64() < 0.9 * nolb.app_time.as_secs_f64(),
+            "LB {:.4}s !< noLB {:.4}s",
+            lb.app_time.as_secs_f64(),
+            nolb.app_time.as_secs_f64()
+        );
+    }
+
+    #[test]
+    fn migrates_live_between_threads_without_corruption() {
+        let a = AmpiAdapter(RingHalo::new(12, 0.0, 1.0));
+        let mut cfg = ThreadRunConfig::new(3, 10);
+        cfg.lb = LbConfig { strategy: "greedy".into(), period: 3, ..Default::default() };
+        let run = ThreadExecutor::run(&a, cfg);
+        assert_eq!(run.checksums, serial_reference(&a, 10));
+    }
+
+    #[test]
+    fn migrates_as_pup_bytes_between_threads() {
+        let a = AmpiAdapter(RingHalo::new(12, 0.0, 1.0));
+        let mut cfg = ThreadRunConfig::new(3, 10);
+        cfg.lb = LbConfig { strategy: "greedy".into(), period: 3, ..Default::default() };
+        cfg.serialize_migration = true;
+        let run = ThreadExecutor::run(&a, cfg);
+        assert!(run.migrations > 0);
+        assert_eq!(run.checksums, serial_reference(&a, 10));
+    }
+
+    struct BadRank;
+    impl AmpiRank for BadRank {
+        fn superstep(&mut self, _: usize, _: &[(usize, Vec<f64>)]) -> Vec<(usize, Vec<f64>)> {
+            Vec::new() // violates the one-message-per-peer contract
+        }
+        fn checksum(&self) -> f64 {
+            0.0
+        }
+    }
+    struct BadProgram;
+    impl AmpiProgram for BadProgram {
+        fn name(&self) -> &'static str {
+            "bad"
+        }
+        fn size(&self) -> usize {
+            3
+        }
+        fn peers(&self, rank: usize) -> Vec<usize> {
+            vec![(rank + 2) % 3, (rank + 1) % 3]
+        }
+        fn make_rank(&self, _: usize) -> Box<dyn AmpiRank> {
+            Box::new(BadRank)
+        }
+        fn rank_cost(&self, _: usize, _: usize) -> f64 {
+            0.0
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "expected one per peer")]
+    fn bsp_contract_is_enforced() {
+        let a = AmpiAdapter(BadProgram);
+        let mut k = a.make_kernel(0);
+        k.compute(0, &[]);
+    }
+
+    #[test]
+    #[should_panic(expected = ">= 3 ranks")]
+    fn tiny_ring_rejected() {
+        RingHalo::new(2, 0.001, 1.0);
+    }
+}

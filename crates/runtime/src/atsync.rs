@@ -1,0 +1,108 @@
+//! AtSync-style load-balancing barrier.
+//!
+//! Charm++ applications call `AtSync()` at iteration boundaries; the LB
+//! framework waits for every chare, runs the strategy, migrates, and then
+//! resumes all of them. This module holds that state machine: which
+//! iterations are LB boundaries, which chares have arrived, and when the
+//! barrier is full.
+
+/// Barrier state for periodic load balancing.
+#[derive(Debug)]
+pub struct AtSync {
+    period: usize,
+    /// Chares currently parked at the barrier.
+    held: Vec<usize>,
+    in_lb: bool,
+}
+
+impl AtSync {
+    /// Balance every `period` iterations (`period >= 1`).
+    pub fn new(period: usize) -> Self {
+        assert!(period >= 1, "LB period must be >= 1");
+        AtSync { period, held: Vec::new(), in_lb: false }
+    }
+
+    /// `true` if a chare about to start `iter` must park at the barrier
+    /// first. Boundaries fall *before* iterations `period, 2·period, …` —
+    /// never before iteration 0 (nothing has been measured yet).
+    pub fn is_boundary(&self, iter: usize) -> bool {
+        iter > 0 && iter.is_multiple_of(self.period)
+    }
+
+    /// Park a chare at the barrier. Returns `true` when it was the
+    /// `expected`-th arrival, i.e. the barrier is full and LB may start.
+    pub fn park(&mut self, chare: usize, expected: usize) -> bool {
+        debug_assert!(!self.held.contains(&chare), "chare {chare} parked twice");
+        self.held.push(chare);
+        self.held.len() == expected
+    }
+
+    /// Number of chares currently parked.
+    pub fn parked(&self) -> usize {
+        self.held.len()
+    }
+
+    /// Mark the LB step as running (blocks task starts in the executors).
+    pub fn begin_lb(&mut self) {
+        debug_assert!(!self.in_lb);
+        self.in_lb = true;
+    }
+
+    /// `true` while the LB step (strategy + migration) is in progress.
+    pub fn lb_in_progress(&self) -> bool {
+        self.in_lb
+    }
+
+    /// Finish the LB step and release all parked chares (sorted for
+    /// determinism).
+    pub fn release(&mut self) -> Vec<usize> {
+        debug_assert!(self.in_lb);
+        self.in_lb = false;
+        let mut out = std::mem::take(&mut self.held);
+        out.sort_unstable();
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn boundaries_every_period() {
+        let b = AtSync::new(5);
+        assert!(!b.is_boundary(0));
+        assert!(!b.is_boundary(4));
+        assert!(b.is_boundary(5));
+        assert!(!b.is_boundary(6));
+        assert!(b.is_boundary(10));
+    }
+
+    #[test]
+    fn period_one_balances_every_iteration() {
+        let b = AtSync::new(1);
+        assert!(!b.is_boundary(0));
+        assert!(b.is_boundary(1));
+        assert!(b.is_boundary(2));
+    }
+
+    #[test]
+    #[should_panic(expected = ">= 1")]
+    fn zero_period_rejected() {
+        AtSync::new(0);
+    }
+
+    #[test]
+    fn barrier_fills_then_releases_sorted() {
+        let mut b = AtSync::new(2);
+        assert!(!b.park(2, 3));
+        assert!(!b.park(0, 3));
+        assert_eq!(b.parked(), 2);
+        assert!(b.park(1, 3));
+        b.begin_lb();
+        assert!(b.lb_in_progress());
+        assert_eq!(b.release(), vec![0, 1, 2]);
+        assert!(!b.lb_in_progress());
+        assert_eq!(b.parked(), 0);
+    }
+}

@@ -1,0 +1,241 @@
+//! The runtime side of the load-balancing database: measurement windows
+//! and the paper's background-load estimation.
+//!
+//! Between two LB steps ("the window", length `T_lb`) the runtime records
+//! every task execution. At the LB step it combines those measurements
+//! with `/proc/stat` idle counters to estimate each core's background load
+//! per the paper's Eq. 2:
+//!
+//! ```text
+//! O_p = T_lb − Σ_i t_i^p − t_idle^p
+//! ```
+//!
+//! and produces the [`LbStats`] snapshot handed to a strategy.
+
+use crate::config::InstrumentMode;
+use cloudlb_balance::{LbStats, TaskId, TaskInfo};
+use cloudlb_sim::{Dur, ProcStat, Time};
+
+/// One task execution measurement.
+#[derive(Debug, Clone, Copy)]
+pub struct TaskSample {
+    /// Which chare ran.
+    pub task: TaskId,
+    /// Core it ran on.
+    pub pe: usize,
+    /// Pure CPU consumed.
+    pub cpu: Dur,
+    /// Wall-clock extent (≥ CPU under interference).
+    pub wall: Dur,
+}
+
+/// Accumulates measurements for one LB window.
+#[derive(Debug)]
+pub struct LbWindow {
+    num_pes: usize,
+    start: Time,
+    start_stat: ProcStat,
+    /// Per-task accumulated (cpu, wall) this window, dense by task index.
+    per_task: Vec<(Dur, Dur)>,
+    /// Per-PE sum of the *instrumented* task times this window.
+    pe_task_time: Vec<Dur>,
+    mode: InstrumentMode,
+}
+
+impl LbWindow {
+    /// Open a window at `start` with the given `/proc/stat` baseline.
+    pub fn open(
+        num_pes: usize,
+        num_tasks: usize,
+        start: Time,
+        start_stat: ProcStat,
+        mode: InstrumentMode,
+    ) -> Self {
+        assert_eq!(start_stat.cores.len(), num_pes, "procstat/PE mismatch");
+        LbWindow {
+            num_pes,
+            start,
+            start_stat,
+            per_task: vec![(Dur::ZERO, Dur::ZERO); num_tasks],
+            pe_task_time: vec![Dur::ZERO; num_pes],
+            mode,
+        }
+    }
+
+    /// Record one completed task execution.
+    pub fn record(&mut self, s: TaskSample) {
+        debug_assert!(s.wall >= s.cpu, "wall {} < cpu {}", s.wall, s.cpu);
+        let (cpu, wall) = &mut self.per_task[s.task.0 as usize];
+        *cpu += s.cpu;
+        *wall += s.wall;
+        self.pe_task_time[s.pe] += match self.mode {
+            InstrumentMode::CpuTime => s.cpu,
+            InstrumentMode::WallTime => s.wall,
+        };
+    }
+
+    /// Window length so far.
+    pub fn elapsed(&self, now: Time) -> Dur {
+        now.since(self.start)
+    }
+
+    /// The paper's Eq. 2, per core: `O_p = T_lb − Σ t_i − t_idle`, clamped
+    /// at zero (measurement noise can make the raw value slightly
+    /// negative).
+    pub fn background_loads(&self, now: Time, now_stat: &ProcStat) -> Vec<f64> {
+        let t_lb = self.elapsed(now).as_secs_f64();
+        (0..self.num_pes)
+            .map(|p| {
+                let idle = now_stat.idle_since(&self.start_stat, p).as_secs_f64();
+                let tasks = self.pe_task_time[p].as_secs_f64();
+                (t_lb - tasks - idle).max(0.0)
+            })
+            .collect()
+    }
+
+    /// Build the strategy snapshot: per-task instrumented loads, the
+    /// current mapping, per-task state bytes, and `O_p` per core.
+    pub fn build_stats(
+        &self,
+        now: Time,
+        now_stat: &ProcStat,
+        mapping: &[usize],
+        state_bytes: impl Fn(usize) -> u64,
+    ) -> LbStats {
+        assert_eq!(mapping.len(), self.per_task.len(), "mapping/task mismatch");
+        let mut stats = LbStats::new(self.num_pes);
+        stats.tasks = self
+            .per_task
+            .iter()
+            .enumerate()
+            .map(|(i, &(cpu, wall))| TaskInfo {
+                id: TaskId(i as u64),
+                pe: mapping[i],
+                load: match self.mode {
+                    InstrumentMode::CpuTime => cpu.as_secs_f64(),
+                    InstrumentMode::WallTime => wall.as_secs_f64(),
+                },
+                bytes: state_bytes(i),
+            })
+            .collect();
+        stats.bg_load = self.background_loads(now, now_stat);
+        stats.validate();
+        stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cloudlb_sim::core_sched::CoreStat;
+
+    fn stat(per_core: &[(u64, u64, u64)]) -> ProcStat {
+        ProcStat {
+            cores: per_core
+                .iter()
+                .map(|&(fg, bg, idle)| CoreStat { fg_us: fg, bg_us: bg, idle_us: idle })
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn eq2_recovers_background_load_exactly() {
+        // Window of 10 s on 2 cores. Core 0: 4 s of tasks, 3 s bg, 3 s
+        // idle. Core 1: 8 s of tasks, no bg, 2 s idle.
+        let start = stat(&[(0, 0, 0), (0, 0, 0)]);
+        let mut w = LbWindow::open(2, 2, Time::ZERO, start, InstrumentMode::CpuTime);
+        w.record(TaskSample {
+            task: TaskId(0),
+            pe: 0,
+            cpu: Dur::from_secs_f64(4.0),
+            wall: Dur::from_secs_f64(7.0),
+        });
+        w.record(TaskSample {
+            task: TaskId(1),
+            pe: 1,
+            cpu: Dur::from_secs_f64(8.0),
+            wall: Dur::from_secs_f64(8.0),
+        });
+        let end_stat = stat(&[(4_000_000, 3_000_000, 3_000_000), (8_000_000, 0, 2_000_000)]);
+        let bg = w.background_loads(Time::from_us(10_000_000), &end_stat);
+        assert!((bg[0] - 3.0).abs() < 1e-9, "{bg:?}");
+        assert!(bg[1].abs() < 1e-9, "{bg:?}");
+    }
+
+    #[test]
+    fn wall_mode_attributes_interference_to_tasks() {
+        // Same scenario under wall-time instrumentation: the task on core 0
+        // absorbs its co-scheduled bg time; Eq. 2 then sees only the bg
+        // that ran outside task windows.
+        let start = stat(&[(0, 0, 0)]);
+        let mut w = LbWindow::open(1, 1, Time::ZERO, start, InstrumentMode::WallTime);
+        w.record(TaskSample {
+            task: TaskId(0),
+            pe: 0,
+            cpu: Dur::from_secs_f64(4.0),
+            wall: Dur::from_secs_f64(8.0), // 4 s of bg interleaved
+        });
+        // Core busy the whole 10 s: 4 fg + 6 bg, zero idle.
+        let end_stat = stat(&[(4_000_000, 6_000_000, 0)]);
+        let now = Time::from_us(10_000_000);
+        let bg = w.background_loads(now, &end_stat);
+        // 10 − 8 (wall-inflated task) − 0 idle = 2 s (the bg outside task).
+        assert!((bg[0] - 2.0).abs() < 1e-9, "{bg:?}");
+        let stats = w.build_stats(now, &end_stat, &[0], |_| 128);
+        assert!((stats.tasks[0].load - 8.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn eq2_clamps_negative_noise() {
+        let start = stat(&[(0, 0, 0)]);
+        let mut w = LbWindow::open(1, 1, Time::ZERO, start, InstrumentMode::CpuTime);
+        w.record(TaskSample {
+            task: TaskId(0),
+            pe: 0,
+            cpu: Dur::from_secs_f64(6.0),
+            wall: Dur::from_secs_f64(6.0),
+        });
+        // Idle counter claims 5 s: 10 − 6 − 5 < 0 → clamp.
+        let end_stat = stat(&[(6_000_000, 0, 5_000_000)]);
+        let bg = w.background_loads(Time::from_us(10_000_000), &end_stat);
+        assert_eq!(bg[0], 0.0);
+    }
+
+    #[test]
+    fn build_stats_uses_mapping_and_bytes() {
+        let start = stat(&[(0, 0, 0), (0, 0, 0)]);
+        let mut w = LbWindow::open(2, 3, Time::ZERO, start, InstrumentMode::CpuTime);
+        for (i, pe) in [(0u64, 1usize), (1, 0), (2, 1)] {
+            w.record(TaskSample {
+                task: TaskId(i),
+                pe,
+                cpu: Dur::from_ms(10 * (i + 1)),
+                wall: Dur::from_ms(10 * (i + 1)),
+            });
+        }
+        let end_stat = stat(&[(20_000, 0, 980_000), (40_000, 0, 960_000)]);
+        let stats =
+            w.build_stats(Time::from_us(1_000_000), &end_stat, &[1, 0, 1], |i| 100 + i as u64);
+        assert_eq!(stats.tasks.len(), 3);
+        assert_eq!(stats.tasks[0].pe, 1);
+        assert_eq!(stats.tasks[2].bytes, 102);
+        assert!((stats.tasks[1].load - 0.02).abs() < 1e-9);
+    }
+
+    #[test]
+    fn multiple_samples_per_task_accumulate() {
+        let start = stat(&[(0, 0, 0)]);
+        let mut w = LbWindow::open(1, 1, Time::ZERO, start, InstrumentMode::CpuTime);
+        for _ in 0..5 {
+            w.record(TaskSample {
+                task: TaskId(0),
+                pe: 0,
+                cpu: Dur::from_ms(2),
+                wall: Dur::from_ms(2),
+            });
+        }
+        let end_stat = stat(&[(10_000, 0, 90_000)]);
+        let stats = w.build_stats(Time::from_us(100_000), &end_stat, &[0], |_| 0);
+        assert!((stats.tasks[0].load - 0.01).abs() < 1e-9);
+    }
+}

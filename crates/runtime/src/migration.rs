@@ -1,0 +1,88 @@
+//! Migration commit helpers: applying a plan to the chare→core mapping and
+//! costing the data movement.
+//!
+//! The paper reports wall-clock times that "include the time taken for
+//! object migration" (§V), so the simulator must charge for it. The model:
+//! migrations out of each source core are serialized on that core's NIC,
+//! different cores transfer in parallel, and the LB step ends when the
+//! slowest core finishes — plus a fixed strategy/barrier cost.
+
+use cloudlb_balance::Migration;
+use cloudlb_sim::{Dur, NetworkModel};
+
+/// Apply `plan` to `mapping` (chare index → core). Panics if a migration's
+/// `from` disagrees with the mapping — that would mean the plan was built
+/// from a stale snapshot.
+pub fn commit(mapping: &mut [usize], plan: &[Migration]) {
+    for m in plan {
+        let slot = &mut mapping[m.task.0 as usize];
+        assert_eq!(*slot, m.from, "stale plan: task {:?} is on {} not {}", m.task, *slot, m.from);
+        *slot = m.to;
+    }
+}
+
+/// Wall-clock duration of committing `plan`: per-source-core serialized
+/// transfers, cores in parallel, so the cost is the max per-core sum.
+pub fn transfer_time(
+    plan: &[Migration],
+    net: &NetworkModel,
+    state_bytes: impl Fn(usize) -> usize,
+    same_node: impl Fn(usize, usize) -> bool,
+    num_pes: usize,
+) -> Dur {
+    let mut per_src = vec![Dur::ZERO; num_pes];
+    for m in plan {
+        let bytes = state_bytes(m.task.0 as usize);
+        per_src[m.from] += net.migration_delay(bytes, same_node(m.from, m.to));
+    }
+    per_src.into_iter().max().unwrap_or(Dur::ZERO)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cloudlb_balance::TaskId;
+
+    fn mig(task: u64, from: usize, to: usize) -> Migration {
+        Migration { task: TaskId(task), from, to }
+    }
+
+    #[test]
+    fn commit_rewrites_mapping() {
+        let mut mapping = vec![0, 0, 1, 1];
+        commit(&mut mapping, &[mig(0, 0, 2), mig(3, 1, 0)]);
+        assert_eq!(mapping, vec![2, 0, 1, 0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "stale plan")]
+    fn commit_rejects_stale_plan() {
+        let mut mapping = vec![1];
+        commit(&mut mapping, &[mig(0, 0, 2)]);
+    }
+
+    #[test]
+    fn transfer_time_is_max_over_sources() {
+        let net = NetworkModel::default();
+        // Two migrations from core 0 (serialized), one from core 1.
+        let plan = vec![mig(0, 0, 2), mig(1, 0, 3), mig(2, 1, 2)];
+        let t = transfer_time(&plan, &net, |_| 1_000_000, |_, _| false, 4);
+        let single = net.migration_delay(1_000_000, false);
+        assert_eq!(t, single + single);
+    }
+
+    #[test]
+    fn intra_node_migrations_are_cheaper() {
+        let net = NetworkModel::default();
+        let plan = vec![mig(0, 0, 1)];
+        let near = transfer_time(&plan, &net, |_| 1_000_000, |_, _| true, 2);
+        let far = transfer_time(&plan, &net, |_| 1_000_000, |_, _| false, 2);
+        assert!(near < far);
+    }
+
+    #[test]
+    fn empty_plan_costs_nothing() {
+        let net = NetworkModel::default();
+        assert_eq!(transfer_time(&[], &net, |_| 0, |_, _| true, 4), Dur::ZERO);
+    }
+}

@@ -1,0 +1,112 @@
+//! Message types for the thread executor.
+//!
+//! Worker↔worker traffic carries ghost exchanges and live chare
+//! migrations; worker↔coordinator traffic carries the AtSync/LB protocol.
+//! Everything is `Send` (kernels are boxed `Send` trait objects), which is
+//! what makes ownership-transfer migration safe in Rust: a chare is *moved*
+//! between threads, never shared.
+
+use crate::program::ChareKernel;
+use std::collections::HashMap;
+
+/// Ghost payload: `(neighbor_index, data)` pairs buffered per iteration.
+pub type InboxEntry = Vec<(usize, Vec<f64>)>;
+
+/// Worker-bound messages.
+pub enum WorkerMsg {
+    /// A ghost message for `chare` at iteration `iter`, sent by `from`.
+    Ghost {
+        /// Destination chare.
+        chare: usize,
+        /// Iteration the payload feeds.
+        iter: usize,
+        /// Sending chare (the receiver's neighbor index).
+        from: usize,
+        /// Payload.
+        data: Vec<f64>,
+    },
+    /// A migrating chare: its live kernel plus any buffered ghosts.
+    Migrate {
+        /// The chare being moved.
+        chare: usize,
+        /// Its live state.
+        kernel: Box<dyn ChareKernel>,
+        /// The iteration it will execute next.
+        next_iter: usize,
+        /// Ghosts it had already received, keyed by iteration.
+        pending: HashMap<usize, InboxEntry>,
+    },
+    /// A migrating chare shipped as PUPed bytes (Charm++-style serialized
+    /// migration; the destination reconstructs via
+    /// `IterativeApp::unpack_kernel`).
+    MigrateBytes {
+        /// The chare being moved.
+        chare: usize,
+        /// Its packed state.
+        bytes: Vec<u8>,
+        /// The iteration it will execute next.
+        next_iter: usize,
+        /// Ghosts it had already received, keyed by iteration.
+        pending: HashMap<usize, InboxEntry>,
+    },
+    /// Coordinator asks for this window's measurements.
+    CollectStats,
+    /// Coordinator instructs this worker to emigrate chares: `(chare, to)`.
+    DoMigrations(Vec<(usize, usize)>),
+    /// LB step finished; resume execution and open a new window.
+    Resume,
+    /// Run is over; report final state and exit.
+    Shutdown,
+}
+
+/// One task measurement in the thread executor (microsecond units).
+#[derive(Debug, Clone, Copy)]
+pub struct ThreadSample {
+    /// Which chare ran.
+    pub chare: usize,
+    /// Kernel compute time (µs) — the "CPU time" of the paper's Eq. 2.
+    pub cpu_us: u64,
+    /// Wall extent including injected interference (µs).
+    pub wall_us: u64,
+}
+
+/// Coordinator-bound messages.
+pub enum CtrlMsg {
+    /// A chare parked at the AtSync barrier on `pe`.
+    Parked {
+        /// Reporting worker.
+        pe: usize,
+        /// The parked chare.
+        chare: usize,
+    },
+    /// Reply to `CollectStats`.
+    Stats {
+        /// Reporting worker.
+        pe: usize,
+        /// Task measurements since the window opened.
+        samples: Vec<ThreadSample>,
+        /// Time spent blocked waiting for messages (µs).
+        idle_us: u64,
+        /// Window wall time (µs).
+        window_us: u64,
+    },
+    /// A migrated chare was installed at its destination.
+    MigArrived {
+        /// The chare that arrived.
+        chare: usize,
+    },
+    /// A chare completed its final iteration.
+    Finished {
+        /// The chare that finished.
+        chare: usize,
+    },
+    /// Final report at shutdown: checksums of the chares the worker owns.
+    Final {
+        /// Reporting worker.
+        pe: usize,
+        /// `(chare, checksum)` pairs.
+        checksums: Vec<(usize, f64)>,
+        /// Total task CPU µs executed by this worker over the whole run.
+        total_task_us: u64,
+    },
+}

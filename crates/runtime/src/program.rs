@@ -1,0 +1,274 @@
+//! Application interface: how an iterative HPC program describes itself to
+//! the runtime.
+//!
+//! The paper's applications (Jacobi2D, Wave2D, Mol3D) are tightly coupled
+//! iterative codes decomposed into chare arrays. The runtime needs two
+//! views of such a program:
+//!
+//! * a **shape/cost view** ([`IterativeApp`]) — chare count, neighbor
+//!   topology, message and state sizes, and a per-iteration CPU-cost model
+//!   used by the deterministic simulator;
+//! * a **real-compute view** ([`ChareKernel`]) — live state plus an actual
+//!   numerical kernel, used by the thread executor (and by validation
+//!   tests that compare against a serial reference).
+
+/// A live, migratable chare: owns state and performs real computation.
+///
+/// Kernels are `Send` so the thread executor can migrate them between
+/// worker threads — the Rust equivalent of Charm++ PUP-based migration,
+/// with ownership transfer playing the role of pack/unpack.
+pub trait ChareKernel: Send {
+    /// Execute one iteration. `inbox` holds `(neighbor_index, ghost_data)`
+    /// pairs from every neighbor, sorted by neighbor index (an executor
+    /// protocol guarantee, so floating-point accumulation order — and thus
+    /// checksums — cannot depend on message timing). Returns the ghost
+    /// data to send for the *next* iteration as `(neighbor_index, data)`.
+    fn compute(&mut self, iter: usize, inbox: &[(usize, Vec<f64>)]) -> Vec<(usize, Vec<f64>)>;
+
+    /// Order-independent digest of the state, for migration-safety tests.
+    fn checksum(&self) -> f64;
+
+    /// Approximate size of migratable state in bytes.
+    fn state_bytes(&self) -> usize;
+
+    /// PUP the kernel's state into bytes for serialized migration
+    /// (Charm++-style). `None` (the default) means the kernel only
+    /// supports ownership-move migration.
+    fn pack(&self) -> Option<Vec<u8>> {
+        None
+    }
+}
+
+/// An iterative chare-array application.
+pub trait IterativeApp: Send + Sync {
+    /// Short name for reports.
+    fn name(&self) -> &'static str;
+
+    /// Number of chares (the paper over-decomposes: several per core).
+    fn num_chares(&self) -> usize;
+
+    /// Neighbors of chare `idx` — it must receive one message from each of
+    /// them before running an iteration, and sends one to each afterwards.
+    fn neighbors(&self, idx: usize) -> Vec<usize>;
+
+    /// Ghost-message payload size in bytes between two neighbors.
+    fn message_bytes(&self, from: usize, to: usize) -> usize;
+
+    /// Migratable state size of chare `idx` in bytes.
+    fn state_bytes(&self, idx: usize) -> usize;
+
+    /// CPU seconds chare `idx`'s task needs at iteration `iter` (simulator
+    /// cost model; calibrated against the real kernel).
+    fn task_cost(&self, idx: usize, iter: usize) -> f64;
+
+    /// Instantiate the real kernel for chare `idx` (thread executor).
+    fn make_kernel(&self, idx: usize) -> Box<dyn ChareKernel>;
+
+    /// Reconstruct chare `idx` from bytes produced by
+    /// [`ChareKernel::pack`]. `None` (the default) means the app does not
+    /// support serialized migration.
+    fn unpack_kernel(&self, idx: usize, bytes: &[u8]) -> Option<Box<dyn ChareKernel>> {
+        let _ = (idx, bytes);
+        None
+    }
+}
+
+/// Sanity-check an application's topology: neighbor indices in range, no
+/// self-edges, symmetry (stencil exchanges are bidirectional), positive
+/// costs. Panics with a description on violation.
+pub fn validate_app(app: &dyn IterativeApp) {
+    let n = app.num_chares();
+    assert!(n > 0, "{}: no chares", app.name());
+    for i in 0..n {
+        for j in app.neighbors(i) {
+            assert!(j < n, "{}: chare {i} has out-of-range neighbor {j}", app.name());
+            assert_ne!(i, j, "{}: chare {i} neighbors itself", app.name());
+            assert!(
+                app.neighbors(j).contains(&i),
+                "{}: edge {i}->{j} not symmetric",
+                app.name()
+            );
+            assert!(app.message_bytes(i, j) > 0, "{}: empty message {i}->{j}", app.name());
+        }
+        assert!(
+            app.task_cost(i, 0).is_finite() && app.task_cost(i, 0) >= 0.0,
+            "{}: bad cost for chare {i}",
+            app.name()
+        );
+    }
+}
+
+/// A minimal synthetic app used by runtime unit tests: a ring of chares
+/// with uniform (or per-chare) costs and tiny real kernels that accumulate
+/// neighbor values (so migration correctness is observable).
+#[derive(Debug, Clone)]
+pub struct SyntheticApp {
+    /// Number of chares in the ring.
+    pub chares: usize,
+    /// Per-chare CPU seconds per iteration.
+    pub cost_s: Vec<f64>,
+    /// Ghost size in bytes.
+    pub msg_bytes: usize,
+    /// State size in bytes.
+    pub state_bytes: usize,
+}
+
+impl SyntheticApp {
+    /// Uniform ring: `chares` chares each costing `cost_s` per iteration.
+    pub fn ring(chares: usize, cost_s: f64) -> Self {
+        assert!(chares >= 3, "ring needs >= 3 chares");
+        SyntheticApp { chares, cost_s: vec![cost_s; chares], msg_bytes: 64, state_bytes: 4096 }
+    }
+}
+
+impl IterativeApp for SyntheticApp {
+    fn name(&self) -> &'static str {
+        "synthetic-ring"
+    }
+
+    fn num_chares(&self) -> usize {
+        self.chares
+    }
+
+    fn neighbors(&self, idx: usize) -> Vec<usize> {
+        let n = self.chares;
+        vec![(idx + n - 1) % n, (idx + 1) % n]
+    }
+
+    fn message_bytes(&self, _from: usize, _to: usize) -> usize {
+        self.msg_bytes
+    }
+
+    fn state_bytes(&self, _idx: usize) -> usize {
+        self.state_bytes
+    }
+
+    fn task_cost(&self, idx: usize, _iter: usize) -> f64 {
+        self.cost_s[idx]
+    }
+
+    fn make_kernel(&self, idx: usize) -> Box<dyn ChareKernel> {
+        Box::new(RingKernel {
+            neighbors: self.neighbors(idx),
+            value: idx as f64,
+            acc: 0.0,
+            bytes: self.state_bytes,
+        })
+    }
+
+    fn unpack_kernel(&self, idx: usize, bytes: &[u8]) -> Option<Box<dyn ChareKernel>> {
+        let mut r = crate::pup::PupReader::new(bytes);
+        let kernel = RingKernel {
+            neighbors: self.neighbors(idx),
+            value: r.f64(),
+            acc: r.f64(),
+            bytes: self.state_bytes,
+        };
+        assert!(r.exhausted(), "trailing bytes in ring-kernel PUP buffer");
+        Some(Box::new(kernel))
+    }
+}
+
+/// Kernel for [`SyntheticApp`]: exchanges its value with both ring
+/// neighbors and accumulates what it hears. It knows its neighbor list so
+/// it can send ghosts on iteration 0, before anything has arrived.
+#[derive(Debug)]
+struct RingKernel {
+    neighbors: Vec<usize>,
+    value: f64,
+    acc: f64,
+    bytes: usize,
+}
+
+impl ChareKernel for RingKernel {
+    fn compute(&mut self, _iter: usize, inbox: &[(usize, Vec<f64>)]) -> Vec<(usize, Vec<f64>)> {
+        for (_, data) in inbox {
+            self.acc += data.iter().sum::<f64>();
+        }
+        self.value += 1.0;
+        self.neighbors.iter().map(|&n| (n, vec![self.value])).collect()
+    }
+
+    fn checksum(&self) -> f64 {
+        self.value + self.acc
+    }
+
+    fn state_bytes(&self) -> usize {
+        self.bytes
+    }
+
+    fn pack(&self) -> Option<Vec<u8>> {
+        let mut w = crate::pup::PupWriter::new();
+        w.f64(self.value).f64(self.acc);
+        Some(w.finish())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn synthetic_ring_is_valid() {
+        validate_app(&SyntheticApp::ring(8, 0.001));
+    }
+
+    #[test]
+    fn ring_neighbors_wrap() {
+        let app = SyntheticApp::ring(5, 0.001);
+        assert_eq!(app.neighbors(0), vec![4, 1]);
+        assert_eq!(app.neighbors(4), vec![3, 0]);
+    }
+
+    #[test]
+    #[should_panic(expected = ">= 3 chares")]
+    fn tiny_ring_rejected() {
+        SyntheticApp::ring(2, 0.001);
+    }
+
+    #[test]
+    fn kernel_computes_and_checksums() {
+        let app = SyntheticApp::ring(4, 0.001);
+        let mut k = app.make_kernel(1);
+        let before = k.checksum();
+        let out = k.compute(0, &[(0, vec![2.0]), (2, vec![3.0])]);
+        assert_eq!(out.len(), 2);
+        assert!(k.checksum() > before);
+        assert!(k.state_bytes() > 0);
+    }
+
+    struct Broken;
+    impl IterativeApp for Broken {
+        fn name(&self) -> &'static str {
+            "broken"
+        }
+        fn num_chares(&self) -> usize {
+            2
+        }
+        fn neighbors(&self, idx: usize) -> Vec<usize> {
+            if idx == 0 {
+                vec![1]
+            } else {
+                vec![] // asymmetric!
+            }
+        }
+        fn message_bytes(&self, _: usize, _: usize) -> usize {
+            1
+        }
+        fn state_bytes(&self, _: usize) -> usize {
+            1
+        }
+        fn task_cost(&self, _: usize, _: usize) -> f64 {
+            0.0
+        }
+        fn make_kernel(&self, _: usize) -> Box<dyn ChareKernel> {
+            unimplemented!()
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "not symmetric")]
+    fn validate_catches_asymmetry() {
+        validate_app(&Broken);
+    }
+}

@@ -1,0 +1,153 @@
+//! PUP — pack/unpack support for serialized chare migration.
+//!
+//! Charm++ migrates objects by PUPing them into a byte buffer, shipping
+//! the buffer, and reconstructing at the destination. Inside one Rust
+//! process the thread executor can simply *move* a boxed kernel, but the
+//! byte path is what a distributed deployment would use — so kernels can
+//! opt into it ([`crate::program::ChareKernel::pack`] /
+//! [`crate::program::IterativeApp::unpack_kernel`]) and the thread
+//! executor exercises it when
+//! [`serialize_migration`](crate::thread_exec::ThreadRunConfig::serialize_migration)
+//! is set, verifying that serialization round-trips preserve state
+//! exactly.
+//!
+//! This module holds the tiny, dependency-free buffer codec those
+//! implementations share (little-endian, length-prefixed vectors).
+
+/// Serializer: appends primitive values to a growing buffer.
+#[derive(Debug, Default)]
+pub struct PupWriter {
+    buf: Vec<u8>,
+}
+
+impl PupWriter {
+    /// Empty writer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Append a `u64`.
+    pub fn u64(&mut self, v: u64) -> &mut Self {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+        self
+    }
+
+    /// Append a `usize` (as `u64`).
+    pub fn usize(&mut self, v: usize) -> &mut Self {
+        self.u64(v as u64)
+    }
+
+    /// Append an `f64`.
+    pub fn f64(&mut self, v: f64) -> &mut Self {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+        self
+    }
+
+    /// Append a length-prefixed `f64` slice.
+    pub fn f64s(&mut self, vs: &[f64]) -> &mut Self {
+        self.usize(vs.len());
+        for v in vs {
+            self.f64(*v);
+        }
+        self
+    }
+
+    /// Finish and take the buffer.
+    pub fn finish(self) -> Vec<u8> {
+        self.buf
+    }
+}
+
+/// Deserializer over a byte slice; panics on malformed input (migration
+/// buffers are produced by this crate — corruption is a bug, not a
+/// recoverable condition).
+#[derive(Debug)]
+pub struct PupReader<'a> {
+    buf: &'a [u8],
+    at: usize,
+}
+
+impl<'a> PupReader<'a> {
+    /// Read from `buf`.
+    pub fn new(buf: &'a [u8]) -> Self {
+        PupReader { buf, at: 0 }
+    }
+
+    fn take(&mut self, n: usize) -> &'a [u8] {
+        let s = &self.buf[self.at..self.at + n];
+        self.at += n;
+        s
+    }
+
+    /// Read a `u64`.
+    pub fn u64(&mut self) -> u64 {
+        u64::from_le_bytes(self.take(8).try_into().expect("8 bytes"))
+    }
+
+    /// Read a `usize`.
+    pub fn usize(&mut self) -> usize {
+        self.u64() as usize
+    }
+
+    /// Read an `f64`.
+    pub fn f64(&mut self) -> f64 {
+        f64::from_le_bytes(self.take(8).try_into().expect("8 bytes"))
+    }
+
+    /// Read a length-prefixed `f64` vector.
+    pub fn f64s(&mut self) -> Vec<f64> {
+        let n = self.usize();
+        (0..n).map(|_| self.f64()).collect()
+    }
+
+    /// `true` when every byte has been consumed (catches format drift).
+    pub fn exhausted(&self) -> bool {
+        self.at == self.buf.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_mixed_payload() {
+        let mut w = PupWriter::new();
+        w.u64(42).f64(-1.5).f64s(&[1.0, 2.0, 3.0]).usize(7);
+        let buf = w.finish();
+        let mut r = PupReader::new(&buf);
+        assert_eq!(r.u64(), 42);
+        assert_eq!(r.f64(), -1.5);
+        assert_eq!(r.f64s(), vec![1.0, 2.0, 3.0]);
+        assert_eq!(r.usize(), 7);
+        assert!(r.exhausted());
+    }
+
+    #[test]
+    fn empty_vector_roundtrips() {
+        let mut w = PupWriter::new();
+        w.f64s(&[]);
+        let buf = w.finish();
+        let mut r = PupReader::new(&buf);
+        assert!(r.f64s().is_empty());
+        assert!(r.exhausted());
+    }
+
+    #[test]
+    fn nan_and_infinities_survive() {
+        let mut w = PupWriter::new();
+        w.f64(f64::NAN).f64(f64::INFINITY).f64(f64::NEG_INFINITY);
+        let buf = w.finish();
+        let mut r = PupReader::new(&buf);
+        assert!(r.f64().is_nan());
+        assert_eq!(r.f64(), f64::INFINITY);
+        assert_eq!(r.f64(), f64::NEG_INFINITY);
+    }
+
+    #[test]
+    #[should_panic]
+    fn truncated_buffer_panics() {
+        let mut r = PupReader::new(&[1, 2, 3]);
+        r.u64();
+    }
+}

@@ -1,0 +1,113 @@
+//! Iteration-completion tracking (the runtime's reduction substrate).
+//!
+//! Charm++ applications detect iteration boundaries with contribute/reduce;
+//! here a counter plays that role: every chare contributes once per
+//! iteration, and when all have, the iteration's completion instant is
+//! recorded. Iteration *times* — the quantity the paper's Figures 1 and 3
+//! visualize as timeline lengths — are the gaps between completions.
+
+use cloudlb_sim::{Dur, Time};
+
+/// Tracks per-iteration completion across all chares.
+#[derive(Debug)]
+pub struct IterationTracker {
+    num_chares: usize,
+    /// Contributions received per iteration (dense, grows as needed).
+    counts: Vec<usize>,
+    /// Completion instant of each fully finished iteration.
+    completions: Vec<Option<Time>>,
+}
+
+impl IterationTracker {
+    /// Track `num_chares` contributors over `iterations` iterations.
+    pub fn new(num_chares: usize, iterations: usize) -> Self {
+        assert!(num_chares > 0);
+        IterationTracker {
+            num_chares,
+            counts: vec![0; iterations],
+            completions: vec![None; iterations],
+        }
+    }
+
+    /// Record that one chare finished `iter` at `now`. Returns `true` when
+    /// this contribution completed the iteration.
+    pub fn contribute(&mut self, iter: usize, now: Time) -> bool {
+        let c = &mut self.counts[iter];
+        *c += 1;
+        assert!(*c <= self.num_chares, "over-contribution at iteration {iter}");
+        if *c == self.num_chares {
+            self.completions[iter] = Some(now);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Completion instant of `iter`, if all chares contributed.
+    pub fn completion(&self, iter: usize) -> Option<Time> {
+        self.completions.get(iter).copied().flatten()
+    }
+
+    /// `true` once every iteration completed.
+    pub fn all_done(&self) -> bool {
+        self.completions.iter().all(|c| c.is_some())
+    }
+
+    /// Per-iteration wall times (gap between consecutive completions; the
+    /// first iteration is measured from time zero). Panics if incomplete.
+    pub fn iteration_times(&self) -> Vec<Dur> {
+        let mut prev = Time::ZERO;
+        self.completions
+            .iter()
+            .enumerate()
+            .map(|(i, c)| {
+                let t = c.unwrap_or_else(|| panic!("iteration {i} incomplete"));
+                let d = t.since(prev);
+                prev = t;
+                d
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn completes_only_when_all_contribute() {
+        let mut tr = IterationTracker::new(3, 2);
+        assert!(!tr.contribute(0, Time::from_us(10)));
+        assert!(!tr.contribute(0, Time::from_us(20)));
+        assert_eq!(tr.completion(0), None);
+        assert!(tr.contribute(0, Time::from_us(30)));
+        assert_eq!(tr.completion(0), Some(Time::from_us(30)));
+        assert!(!tr.all_done());
+    }
+
+    #[test]
+    fn iteration_times_are_gaps() {
+        let mut tr = IterationTracker::new(1, 3);
+        tr.contribute(0, Time::from_us(100));
+        tr.contribute(1, Time::from_us(250));
+        tr.contribute(2, Time::from_us(600));
+        assert!(tr.all_done());
+        let times: Vec<u64> = tr.iteration_times().iter().map(|d| d.as_us()).collect();
+        assert_eq!(times, vec![100, 150, 350]);
+    }
+
+    #[test]
+    #[should_panic(expected = "over-contribution")]
+    fn over_contribution_is_caught() {
+        let mut tr = IterationTracker::new(1, 1);
+        tr.contribute(0, Time::ZERO);
+        tr.contribute(0, Time::ZERO);
+    }
+
+    #[test]
+    #[should_panic(expected = "incomplete")]
+    fn times_require_completion() {
+        let tr = IterationTracker::new(2, 1);
+        tr.iteration_times();
+    }
+}

@@ -1,0 +1,128 @@
+//! Run outcome: everything the experiment harness needs to compute the
+//! paper's metrics (timing penalty, BG penalty, power, energy overhead).
+
+use cloudlb_sim::core_sched::BgJobId;
+use cloudlb_sim::power::EnergyReport;
+use cloudlb_sim::{Dur, Time};
+use cloudlb_trace::TraceLog;
+use std::collections::BTreeMap;
+
+/// Result of one application run.
+#[derive(Debug)]
+pub struct RunResult {
+    /// Wall time from start to the last chare finishing the last iteration.
+    pub app_time: Dur,
+    /// Per-iteration wall times.
+    pub iter_times: Vec<Dur>,
+    /// Energy/power over the application's execution window.
+    pub energy: EnergyReport,
+    /// Timing penalty of each *finite* background job that completed:
+    /// `(wall − standalone) / standalone`.
+    pub bg_penalties: BTreeMap<BgJobId, f64>,
+    /// Number of LB steps that ran.
+    pub lb_steps: usize,
+    /// Total migrations committed.
+    pub migrations: usize,
+    /// Total bytes migrated.
+    pub migration_bytes: u64,
+    /// Final chare→core mapping.
+    pub final_mapping: Vec<usize>,
+    /// Ghost messages delivered between cores of the same node.
+    pub local_msgs: u64,
+    /// Ghost messages that crossed nodes (paying the virtualized network).
+    pub remote_msgs: u64,
+    /// Projections-style trace, when enabled.
+    pub trace: Option<TraceLog>,
+    /// Instant the application finished.
+    pub end_time: Time,
+}
+
+impl RunResult {
+    /// Mean iteration time in seconds.
+    pub fn mean_iter_s(&self) -> f64 {
+        if self.iter_times.is_empty() {
+            return 0.0;
+        }
+        self.iter_times.iter().map(|d| d.as_secs_f64()).sum::<f64>() / self.iter_times.len() as f64
+    }
+
+    /// The paper's application timing penalty against a reference
+    /// (interference-free) run: `(T − T_ref) / T_ref`.
+    pub fn timing_penalty_vs(&self, reference: &RunResult) -> f64 {
+        let base = reference.app_time.as_secs_f64();
+        assert!(base > 0.0, "reference run has zero duration");
+        self.app_time.as_secs_f64() / base - 1.0
+    }
+
+    /// The paper's energy overhead against a reference run:
+    /// `(E − E_ref) / E_ref`.
+    pub fn energy_overhead_vs(&self, reference: &RunResult) -> f64 {
+        let base = reference.energy.energy_j;
+        assert!(base > 0.0, "reference run consumed zero energy");
+        self.energy.energy_j / base - 1.0
+    }
+
+    /// Fraction of ghost messages that crossed nodes (0 when no messages
+    /// were sent).
+    pub fn remote_msg_fraction(&self) -> f64 {
+        let total = self.local_msgs + self.remote_msgs;
+        if total == 0 {
+            0.0
+        } else {
+            self.remote_msgs as f64 / total as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn result(app_s: f64, energy_j: f64) -> RunResult {
+        RunResult {
+            app_time: Dur::from_secs_f64(app_s),
+            iter_times: vec![Dur::from_secs_f64(app_s / 2.0); 2],
+            energy: EnergyReport { energy_j, ..Default::default() },
+            bg_penalties: BTreeMap::new(),
+            lb_steps: 0,
+            migrations: 0,
+            migration_bytes: 0,
+            final_mapping: vec![],
+            local_msgs: 0,
+            remote_msgs: 0,
+            trace: None,
+            end_time: Time::from_us((app_s * 1e6) as u64),
+        }
+    }
+
+    #[test]
+    fn penalties_are_relative() {
+        let base = result(10.0, 1000.0);
+        let run = result(15.0, 1200.0);
+        assert!((run.timing_penalty_vs(&base) - 0.5).abs() < 1e-12);
+        assert!((run.energy_overhead_vs(&base) - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mean_iteration_time() {
+        let r = result(10.0, 1.0);
+        assert!((r.mean_iter_s() - 5.0).abs() < 1e-12);
+        let empty = RunResult { iter_times: vec![], ..result(1.0, 1.0) };
+        assert_eq!(empty.mean_iter_s(), 0.0);
+    }
+
+    #[test]
+    fn remote_fraction() {
+        let mut r = result(1.0, 1.0);
+        assert_eq!(r.remote_msg_fraction(), 0.0);
+        r.local_msgs = 3;
+        r.remote_msgs = 1;
+        assert!((r.remote_msg_fraction() - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero duration")]
+    fn zero_reference_rejected() {
+        result(1.0, 1.0).timing_penalty_vs(&result(0.0, 1.0));
+    }
+}

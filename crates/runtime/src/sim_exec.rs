@@ -1,0 +1,634 @@
+//! The deterministic simulated executor.
+//!
+//! Drives an `IterativeApp` (see [`crate::program`]) over the
+//! `cloudlb-sim` cluster in virtual time. Execution is message-driven, as
+//! in Charm++: a chare runs iteration `k` once it has received all of its
+//! neighbors' ghost messages for `k`, computes (consuming CPU on its core,
+//! shared with any interfering background tasks), then sends ghosts for
+//! `k+1`. Every `period` iterations the chares park at an AtSync barrier,
+//! the runtime builds the LB database (task measurements + Eq. 2
+//! background loads), runs the configured strategy, commits migrations
+//! (charging network transfer time), and resumes.
+//!
+//! Everything — scheduling, interference, measurement, migration — is
+//! bit-for-bit reproducible from the configuration.
+
+use crate::atsync::AtSync;
+use crate::config::RunConfig;
+use crate::lbdb::{LbWindow, TaskSample};
+use crate::migration;
+use crate::program::{validate_app, IterativeApp};
+use crate::reduction::IterationTracker;
+use crate::result::RunResult;
+use cloudlb_balance::{LbStrategy, TaskId};
+use cloudlb_sim::core_sched::CoreEvent;
+use cloudlb_sim::interference::{BgAction, BgLedger, BgScript};
+use cloudlb_sim::{Cluster, Dur, EventQueue, FgLabel, ProcStat, Time};
+use cloudlb_trace::Activity;
+use std::collections::{BTreeMap, HashMap, VecDeque};
+
+/// Events driving the simulation.
+#[derive(Debug, Clone, Copy)]
+enum Ev {
+    /// A ghost message for `iter` arrives at `chare`.
+    Msg { chare: usize, iter: usize },
+    /// Revisit a core because an entity completes there.
+    Wake,
+    /// Apply an interference action.
+    Bg(BgAction),
+    /// The LB step (strategy + migrations) finished.
+    LbDone,
+}
+
+/// Per-chare lifecycle state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum CState {
+    /// Waiting for ghost messages for `next_iter`.
+    Waiting,
+    /// In its PE's ready queue.
+    Queued,
+    /// Executing on its PE.
+    Running,
+    /// Parked at the AtSync barrier.
+    Parked,
+    /// Completed all iterations.
+    Finished,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Running {
+    chare: usize,
+    iter: usize,
+    start: Time,
+    cpu: Dur,
+}
+
+/// Simulated-run executor. Construct, then [`SimExecutor::run`].
+pub struct SimExecutor<'a> {
+    app: &'a dyn IterativeApp,
+    cfg: RunConfig,
+    bg: BgScript,
+}
+
+impl<'a> SimExecutor<'a> {
+    /// Prepare a run of `app` under `cfg` with interference `bg`.
+    pub fn new(app: &'a dyn IterativeApp, cfg: RunConfig, bg: BgScript) -> Self {
+        validate_app(app);
+        if let Some(c) = bg.max_core() {
+            assert!(c < cfg.cluster.total_cores(), "bg script targets core {c} beyond cluster");
+        }
+        assert!(cfg.iterations > 0, "need at least one iteration");
+        SimExecutor { app, cfg, bg }
+    }
+
+    /// Execute the run to completion and return its metrics.
+    pub fn run(self) -> RunResult {
+        let strategy = self.cfg.lb.make_strategy();
+        self.run_with_strategy(strategy)
+    }
+
+    /// Execute with an explicit strategy object (bypasses the registry;
+    /// used for the gain-gated wrapper and custom strategies).
+    pub fn run_with_strategy(self, strategy: Box<dyn LbStrategy>) -> RunResult {
+        Sim::new(self.app, self.cfg, &self.bg, strategy).run()
+    }
+}
+
+struct Sim<'a> {
+    app: &'a dyn IterativeApp,
+    cfg: RunConfig,
+    strategy: Box<dyn LbStrategy>,
+
+    queue: EventQueue<Ev>,
+    cluster: Cluster,
+    ledger: BgLedger,
+    /// Background jobs seen starting (for penalty reporting).
+    seen_bg: Vec<u32>,
+
+    /// chare → core.
+    mapping: Vec<usize>,
+    /// Per-core FIFO of ready chares.
+    ready: Vec<VecDeque<usize>>,
+    /// Per-core running task record.
+    running: Vec<Option<Running>>,
+    /// Per-core pending Wake handle and its instant.
+    wake: Vec<Option<(u64, Time)>>,
+    /// (chare, iter) → ghost messages received.
+    inbox: HashMap<(usize, usize), usize>,
+    /// chare → next iteration to execute.
+    next_iter: Vec<usize>,
+    /// chare → expected ghosts per iteration (= neighbor count).
+    expected: Vec<usize>,
+    state: Vec<CState>,
+
+    tracker: IterationTracker,
+    atsync: AtSync,
+    window: LbWindow,
+    /// Relative speed per core (occupancy = work / speed).
+    speeds: Vec<f64>,
+
+    finished: usize,
+    app_end: Option<Time>,
+    energy: Option<cloudlb_sim::power::EnergyReport>,
+    pending_bg: usize,
+    lb_steps: usize,
+    migrations: usize,
+    migration_bytes: u64,
+    local_msgs: u64,
+    remote_msgs: u64,
+}
+
+impl<'a> Sim<'a> {
+    fn new(
+        app: &'a dyn IterativeApp,
+        cfg: RunConfig,
+        bg: &BgScript,
+        strategy: Box<dyn LbStrategy>,
+    ) -> Self {
+        let pes = cfg.cluster.total_cores();
+        let n = app.num_chares();
+        let cluster = Cluster::new(cfg.cluster.clone());
+        let mapping = cfg.initial_map.place(n, pes);
+        let start_stat = ProcStat::snapshot(&cluster);
+        let window = LbWindow::open(pes, n, Time::ZERO, start_stat, cfg.lb.instrument);
+
+        let mut queue = EventQueue::new();
+        let mut pending_bg = 0;
+        for (t, action) in &bg.actions {
+            if let BgAction::Start { demand: Some(_), .. } = action {
+                pending_bg += 1;
+            }
+            queue.schedule(*t, Ev::Bg(*action));
+        }
+
+        let expected = (0..n).map(|i| app.neighbors(i).len()).collect();
+        let tracker = IterationTracker::new(n, cfg.iterations);
+        let atsync = AtSync::new(cfg.lb.period);
+        let speeds = cfg.resolved_speeds();
+
+        Sim {
+            app,
+            strategy,
+            queue,
+            cluster,
+            ledger: BgLedger::new(),
+            seen_bg: Vec::new(),
+            mapping,
+            ready: vec![VecDeque::new(); pes],
+            running: vec![None; pes],
+            wake: vec![None; pes],
+            inbox: HashMap::new(),
+            next_iter: vec![0; n],
+            expected,
+            state: vec![CState::Queued; n],
+            tracker,
+            atsync,
+            window,
+            speeds,
+            finished: 0,
+            app_end: None,
+            energy: None,
+            pending_bg,
+            lb_steps: 0,
+            migrations: 0,
+            migration_bytes: 0,
+            local_msgs: 0,
+            remote_msgs: 0,
+            cfg,
+        }
+    }
+
+    fn num_pes(&self) -> usize {
+        self.ready.len()
+    }
+
+    fn run(mut self) -> RunResult {
+        // Iteration 0 needs no messages: everyone starts queued.
+        for chare in 0..self.app.num_chares() {
+            let pe = self.mapping[chare];
+            self.ready[pe].push_back(chare);
+        }
+        for pe in 0..self.num_pes() {
+            self.try_start(pe, Time::ZERO);
+            self.reschedule_wake(pe);
+        }
+
+        while !(self.app_end.is_some() && self.pending_bg == 0) {
+            let Some((t, ev)) = self.queue.pop() else {
+                panic!(
+                    "deadlock: event queue empty with app {} and {} bg tasks pending",
+                    if self.app_end.is_some() { "done" } else { "RUNNING" },
+                    self.pending_bg
+                );
+            };
+            // Settle all cores up to `t`; completions land exactly at `t`
+            // because wakes are kept in sync with composition changes.
+            let completions = self.cluster.advance_to(t);
+            for (ct, ce) in completions {
+                debug_assert_eq!(ct, t, "late completion discovered: {ce:?} at {ct:?} vs {t:?}");
+                match ce {
+                    CoreEvent::FgDone { core } => self.on_task_done(core, ct),
+                    CoreEvent::BgDone { core: _, job } => {
+                        self.ledger.on_task_done(job, ct);
+                        self.pending_bg -= 1;
+                    }
+                }
+            }
+            match ev {
+                Ev::Msg { chare, iter } => self.on_msg(chare, iter, t),
+                Ev::Wake => {} // completions already handled above
+                Ev::Bg(action) => self.on_bg(action, t),
+                Ev::LbDone => self.on_lb_done(t),
+            }
+            // Refresh wakes (no-op for cores whose next completion is
+            // unchanged).
+            for core in 0..self.num_pes() {
+                self.reschedule_wake(core);
+            }
+        }
+
+        let end = self.app_end.expect("loop exited before app completion");
+        let mut bg_penalties = BTreeMap::new();
+        for job in &self.seen_bg {
+            if let Some(p) = self.ledger.timing_penalty(*job) {
+                bg_penalties.insert(*job, p);
+            }
+        }
+        RunResult {
+            app_time: end.since(Time::ZERO),
+            iter_times: self.tracker.iteration_times(),
+            energy: self.energy.expect("energy metered at app completion"),
+            bg_penalties,
+            lb_steps: self.lb_steps,
+            migrations: self.migrations,
+            migration_bytes: self.migration_bytes,
+            final_mapping: self.mapping.clone(),
+            local_msgs: self.local_msgs,
+            remote_msgs: self.remote_msgs,
+            trace: self.cluster.take_trace(),
+            end_time: end,
+        }
+    }
+
+    /// Start the next ready task on `pe` if the core is free and no LB step
+    /// is in progress.
+    fn try_start(&mut self, pe: usize, now: Time) {
+        if self.atsync.lb_in_progress() || self.cluster.fg_busy(pe) {
+            return;
+        }
+        let Some(chare) = self.ready[pe].pop_front() else {
+            return;
+        };
+        debug_assert_eq!(self.state[chare], CState::Queued);
+        let iter = self.next_iter[chare];
+        // Occupancy on this core: work, perturbed by noise, divided by the
+        // core's delivered speed.
+        let cpu = Dur::from_secs_f64(
+            self.app.task_cost(chare, iter) * self.cost_noise(chare, iter) / self.speeds[pe],
+        );
+        self.cluster.start_fg(pe, FgLabel { chare: chare as u64 }, cpu, 1.0);
+        self.running[pe] = Some(Running { chare, iter, start: now, cpu });
+        self.state[chare] = CState::Running;
+    }
+
+    fn on_task_done(&mut self, core: usize, now: Time) {
+        let run = self.running[core].take().expect("FgDone without a running record");
+        let Running { chare, iter, start, cpu } = run;
+        self.state[chare] = CState::Waiting;
+        self.window.record(TaskSample {
+            task: TaskId(chare as u64),
+            pe: core,
+            cpu,
+            wall: now.since(start),
+        });
+
+        // Send ghosts for the next iteration.
+        let next = iter + 1;
+        if next < self.cfg.iterations {
+            for nb in self.app.neighbors(chare) {
+                let bytes = self.app.message_bytes(chare, nb);
+                let same = self.cluster.same_node(self.mapping[chare], self.mapping[nb]);
+                if same {
+                    self.local_msgs += 1;
+                } else {
+                    self.remote_msgs += 1;
+                }
+                let delay = self.cfg.network.delay(bytes, same);
+                self.queue.schedule(now + delay, Ev::Msg { chare: nb, iter: next });
+            }
+        }
+
+        // Contribute to the iteration reduction.
+        self.tracker.contribute(iter, now);
+
+        // Decide this chare's continuation.
+        if next >= self.cfg.iterations {
+            self.state[chare] = CState::Finished;
+            self.finished += 1;
+            if self.finished == self.app.num_chares() {
+                self.app_end = Some(now);
+                self.energy = Some(self.cfg.power.meter(&self.cluster, now));
+            }
+        } else if self.atsync.is_boundary(next) {
+            self.state[chare] = CState::Parked;
+            self.next_iter[chare] = next;
+            if self.atsync.park(chare, self.app.num_chares()) {
+                self.start_lb(now);
+            }
+        } else {
+            self.next_iter[chare] = next;
+            self.maybe_ready(chare, now);
+        }
+
+        self.try_start(core, now);
+    }
+
+    fn on_msg(&mut self, chare: usize, iter: usize, now: Time) {
+        *self.inbox.entry((chare, iter)).or_insert(0) += 1;
+        if self.state[chare] == CState::Waiting && self.next_iter[chare] == iter {
+            self.maybe_ready(chare, now);
+        }
+    }
+
+    /// Queue `chare` if all ghosts for its next iteration have arrived.
+    fn maybe_ready(&mut self, chare: usize, now: Time) {
+        debug_assert_eq!(self.state[chare], CState::Waiting);
+        let iter = self.next_iter[chare];
+        let have = self.inbox.get(&(chare, iter)).copied().unwrap_or(0);
+        if have >= self.expected[chare] {
+            self.inbox.remove(&(chare, iter));
+            let pe = self.mapping[chare];
+            self.ready[pe].push_back(chare);
+            self.state[chare] = CState::Queued;
+            self.try_start(pe, now);
+        }
+    }
+
+    fn on_bg(&mut self, action: BgAction, now: Time) {
+        match action {
+            BgAction::Start { job, core, demand, weight } => {
+                self.cluster.add_bg(core, job, demand, weight);
+                self.ledger.on_start(job, now, demand);
+                if !self.seen_bg.contains(&job) {
+                    self.seen_bg.push(job);
+                }
+                if let Some(t) = self.cluster.trace_mut() {
+                    t.marker(now.as_us(), format!("bg job {job} starts on core {core}"));
+                }
+            }
+            BgAction::Stop { job, core } => {
+                self.cluster.remove_bg(core, job);
+                if let Some(t) = self.cluster.trace_mut() {
+                    t.marker(now.as_us(), format!("bg job {job} leaves core {core}"));
+                }
+            }
+        }
+    }
+
+    fn start_lb(&mut self, now: Time) {
+        self.atsync.begin_lb();
+        let now_stat = ProcStat::snapshot(&self.cluster);
+        let app = self.app;
+        let mut stats =
+            self.window.build_stats(now, &now_stat, &self.mapping, |i| app.state_bytes(i) as u64);
+        // Instrument the communication graph for comm-aware strategies:
+        // each neighbor pair exchanges one message per direction per
+        // iteration, `period` iterations per window.
+        let period = self.cfg.lb.period as u64;
+        for chare in 0..app.num_chares() {
+            for nb in app.neighbors(chare) {
+                if nb > chare {
+                    let bytes = (app.message_bytes(chare, nb) + app.message_bytes(nb, chare))
+                        as u64
+                        * period;
+                    stats.comm.push(cloudlb_balance::CommEdge {
+                        a: TaskId(chare as u64),
+                        b: TaskId(nb as u64),
+                        bytes,
+                    });
+                }
+            }
+        }
+        let plan = self.strategy.plan(&stats);
+        cloudlb_balance::strategy::validate_plan(&stats, &plan);
+
+        let transfer = {
+            let cluster = &self.cluster;
+            migration::transfer_time(
+                &plan,
+                &self.cfg.network,
+                |i| app.state_bytes(i),
+                |a, b| cluster.same_node(a, b),
+                self.ready.len(),
+            )
+        };
+        let cost = Dur::from_secs_f64(self.cfg.lb.step_cost_s) + transfer;
+
+        self.migration_bytes +=
+            plan.iter().map(|m| stats.task(m.task).map_or(0, |t| t.bytes)).sum::<u64>();
+        self.migrations += plan.len();
+        self.lb_steps += 1;
+        migration::commit(&mut self.mapping, &plan);
+
+        // Record the LB pause on every core's timeline.
+        let end = now + cost;
+        let num_pes = self.ready.len();
+        if let Some(t) = self.cluster.trace_mut() {
+            t.marker(
+                now.as_us(),
+                format!("LB step {} ({} migrations)", self.lb_steps, plan.len()),
+            );
+            for pe in 0..num_pes {
+                t.record(pe, now.as_us(), end.as_us(), Activity::LoadBalance);
+            }
+        }
+        self.queue.schedule(end, Ev::LbDone);
+    }
+
+    fn on_lb_done(&mut self, now: Time) {
+        let released = self.atsync.release();
+        // Open a fresh measurement window at the resume instant.
+        self.window = LbWindow::open(
+            self.ready.len(),
+            self.app.num_chares(),
+            now,
+            ProcStat::snapshot(&self.cluster),
+            self.cfg.lb.instrument,
+        );
+        for chare in released {
+            self.state[chare] = CState::Waiting;
+            self.maybe_ready(chare, now);
+        }
+        for pe in 0..self.ready.len() {
+            self.try_start(pe, now);
+        }
+    }
+
+    /// Deterministic per-execution cost perturbation (see
+    /// [`RunConfig::cost_noise_frac`]).
+    fn cost_noise(&self, chare: usize, iter: usize) -> f64 {
+        let f = self.cfg.cost_noise_frac;
+        if f == 0.0 {
+            return 1.0;
+        }
+        let key = self
+            .cfg
+            .seed
+            .wrapping_mul(0x9E3779B97F4A7C15)
+            .wrapping_add((chare as u64) << 32 | iter as u64);
+        let u = cloudlb_sim::SimRng::new(key).f64();
+        (1.0 + f * (2.0 * u - 1.0)).max(0.05)
+    }
+
+    /// Keep exactly one pending Wake per core, at its next completion
+    /// instant. Skips queue churn when that instant is unchanged.
+    fn reschedule_wake(&mut self, core: usize) {
+        let next = self.cluster.next_completion(core);
+        match (self.wake[core], next) {
+            (Some((_, t_old)), Some(t_new)) if t_old == t_new => {}
+            (None, None) => {}
+            (old, new) => {
+                if let Some((h, _)) = old {
+                    self.queue.cancel(h);
+                }
+                self.wake[core] = new.map(|t| (self.queue.schedule(t, Ev::Wake), t));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{LbConfig, RunConfig};
+    use crate::program::SyntheticApp;
+    use cloudlb_sim::ClusterConfig;
+
+    fn small_cfg(iters: usize, strategy: &str) -> RunConfig {
+        RunConfig {
+            cluster: ClusterConfig { nodes: 1, cores_per_node: 4, trace: false },
+            lb: LbConfig { strategy: strategy.into(), period: 5, ..Default::default() },
+            iterations: iters,
+            ..RunConfig::paper(4, iters)
+        }
+    }
+
+    #[test]
+    fn interference_free_run_completes_with_uniform_iterations() {
+        let app = SyntheticApp::ring(16, 0.001);
+        let r = SimExecutor::new(&app, small_cfg(10, "nolb"), BgScript::none()).run();
+        assert_eq!(r.iter_times.len(), 10);
+        assert_eq!(r.lb_steps, 1); // boundary before iteration 5
+        assert_eq!(r.migrations, 0);
+        // 4 chares per core × 1 ms each ≈ 4 ms per iteration (+ latency).
+        let mean = r.mean_iter_s();
+        assert!((0.004..0.006).contains(&mean), "mean iter {mean}");
+    }
+
+    #[test]
+    fn interference_doubles_nolb_iterations() {
+        let app = SyntheticApp::ring(16, 0.001);
+        let base = SimExecutor::new(&app, small_cfg(10, "nolb"), BgScript::none()).run();
+        let bg = BgScript::steady(0, &[0], Time::ZERO, None, 1.0);
+        let run = SimExecutor::new(&app, small_cfg(10, "nolb"), bg).run();
+        let penalty = run.timing_penalty_vs(&base);
+        assert!(penalty > 0.7, "expected ~100% penalty, got {penalty}");
+    }
+
+    #[test]
+    fn cloud_refine_reduces_penalty_and_migrates() {
+        let app = SyntheticApp::ring(32, 0.001);
+        let base = SimExecutor::new(&app, small_cfg(40, "nolb"), BgScript::none()).run();
+        let bg = BgScript::steady(0, &[0], Time::ZERO, None, 1.0);
+        let nolb = SimExecutor::new(&app, small_cfg(40, "nolb"), bg.clone()).run();
+        let lb = SimExecutor::new(&app, small_cfg(40, "cloudrefine"), bg).run();
+        assert!(lb.migrations > 0, "balancer should migrate under interference");
+        let p_nolb = nolb.timing_penalty_vs(&base);
+        let p_lb = lb.timing_penalty_vs(&base);
+        assert!(
+            p_lb < 0.5 * p_nolb,
+            "LB penalty {p_lb:.3} should be under half of noLB {p_nolb:.3}"
+        );
+    }
+
+    #[test]
+    fn deterministic_runs() {
+        let app = SyntheticApp::ring(16, 0.0005);
+        let bg = BgScript::steady(3, &[1], Time::from_us(500), Some(Dur::from_ms(30)), 1.0);
+        let a = SimExecutor::new(&app, small_cfg(12, "cloudrefine"), bg.clone()).run();
+        let b = SimExecutor::new(&app, small_cfg(12, "cloudrefine"), bg).run();
+        assert_eq!(a.app_time, b.app_time);
+        assert_eq!(a.iter_times, b.iter_times);
+        assert_eq!(a.final_mapping, b.final_mapping);
+        assert_eq!(a.migrations, b.migrations);
+    }
+
+    #[test]
+    fn finite_bg_job_reports_penalty() {
+        let app = SyntheticApp::ring(16, 0.001);
+        // BG job with 20 ms of work per core on 2 cores, fair sharing.
+        let bg = BgScript::steady(7, &[0, 1], Time::ZERO, Some(Dur::from_ms(20)), 1.0);
+        let r = SimExecutor::new(&app, small_cfg(30, "nolb"), bg).run();
+        let p = r.bg_penalties.get(&7).copied().expect("bg job finished");
+        assert!(p > 0.3, "bg competed with the app, penalty {p}");
+    }
+
+    #[test]
+    fn bg_job_mostly_alone_has_small_penalty() {
+        // A short app (2 iterations) next to a long bg job: almost all of
+        // the bg's work runs after the app ends, at full speed.
+        let app = SyntheticApp::ring(16, 0.001);
+        let bg = BgScript::steady(1, &[0, 1], Time::ZERO, Some(Dur::from_ms(200)), 1.0);
+        let r = SimExecutor::new(&app, small_cfg(2, "nolb"), bg).run();
+        let p = r.bg_penalties.get(&1).copied().expect("finished");
+        assert!(p < 0.1, "bg barely impeded, penalty {p}");
+        // Contrast: a bg job that competes for its whole life.
+        let bg = BgScript::steady(2, &[0, 1], Time::ZERO, Some(Dur::from_ms(10)), 1.0);
+        let r2 = SimExecutor::new(&app, small_cfg(30, "nolb"), bg).run();
+        let p2 = r2.bg_penalties.get(&2).copied().expect("finished");
+        assert!(p2 > p, "competing bg {p2} vs mostly-alone {p}");
+    }
+
+    #[test]
+    fn trace_records_tasks_and_markers() {
+        let app = SyntheticApp::ring(8, 0.001);
+        let cfg = small_cfg(6, "cloudrefine").with_trace();
+        let bg = BgScript::pulse(0, 2, Time::from_us(100), Time::from_us(20_000), 1.0);
+        let r = SimExecutor::new(&app, cfg, bg).run();
+        let trace = r.trace.expect("tracing enabled");
+        assert!(trace.markers().iter().any(|(_, l)| l.contains("bg job 0 starts")));
+        let tasks = trace.time_where(0, 0, u64::MAX, |a| matches!(a, Activity::Task { .. }));
+        assert!(tasks > 0);
+    }
+
+    #[test]
+    fn migration_cost_appears_in_wall_time() {
+        let app = SyntheticApp::ring(32, 0.001);
+        let bg = BgScript::steady(0, &[0], Time::ZERO, None, 1.0);
+        let mut cheap = small_cfg(40, "cloudrefine");
+        cheap.lb.step_cost_s = 0.0001;
+        let mut dear = cheap.clone();
+        dear.lb.step_cost_s = 0.050;
+        let fast = SimExecutor::new(&app, cheap, bg.clone()).run();
+        let slow = SimExecutor::new(&app, dear, bg).run();
+        assert!(slow.app_time > fast.app_time);
+    }
+
+    #[test]
+    #[should_panic(expected = "beyond cluster")]
+    fn bg_script_outside_cluster_rejected() {
+        let app = SyntheticApp::ring(8, 0.001);
+        let bg = BgScript::steady(0, &[99], Time::ZERO, None, 1.0);
+        SimExecutor::new(&app, small_cfg(5, "nolb"), bg);
+    }
+
+    #[test]
+    fn lb_period_counts_steps() {
+        let app = SyntheticApp::ring(8, 0.001);
+        let mut cfg = small_cfg(20, "nolb");
+        cfg.lb.period = 4;
+        let r = SimExecutor::new(&app, cfg, BgScript::none()).run();
+        // Boundaries before iterations 4, 8, 12, 16 → 4 steps.
+        assert_eq!(r.lb_steps, 4);
+    }
+}

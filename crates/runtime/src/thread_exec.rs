@@ -1,0 +1,685 @@
+//! Real multi-threaded executor with live object migration.
+//!
+//! One OS thread per PE; chares are boxed kernels owned by exactly one
+//! worker at a time. Ghost messages and migrations travel over crossbeam
+//! channels; a coordinator thread runs the AtSync/LB protocol. Interference
+//! is *injected*: a background schedule makes a worker burn
+//! `weight × task_cpu` of extra CPU around each task in the affected
+//! iteration range — the portable equivalent of a co-scheduled noisy
+//! neighbour under CFS (on a laptop we cannot pin interfering processes to
+//! specific cores the way the paper's testbed does, so the executor
+//! reproduces the *schedule* a fair-share OS would produce).
+//!
+//! This executor exists to demonstrate that the runtime design is real —
+//! kernels compute actual numbers, migration moves live state, and the
+//! instrumentation (Eq. 2) works from observable quantities only. The
+//! paper's figures are generated with the deterministic simulator.
+
+use crate::config::{InitialMap, InstrumentMode, LbConfig};
+use crate::msg::{CtrlMsg, InboxEntry, ThreadSample, WorkerMsg};
+use crate::program::IterativeApp;
+use cloudlb_balance::{LbStats, TaskId, TaskInfo};
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use std::collections::{BTreeMap, HashMap, HashSet, VecDeque};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Interference injected on one PE over an iteration range.
+#[derive(Debug, Clone, Copy)]
+pub struct ThreadBg {
+    /// Affected worker.
+    pub pe: usize,
+    /// First iteration (inclusive) whose tasks are slowed.
+    pub from_iter: usize,
+    /// Last iteration (exclusive).
+    pub to_iter: usize,
+    /// Background weight: each task burns `weight × cpu` extra.
+    pub weight: f64,
+}
+
+/// Thread-executor configuration.
+#[derive(Debug, Clone)]
+pub struct ThreadRunConfig {
+    /// Number of worker threads (PEs).
+    pub pes: usize,
+    /// Iterations to run.
+    pub iterations: usize,
+    /// LB setup (strategy, period, instrumentation mode).
+    pub lb: LbConfig,
+    /// Injected interference.
+    pub bg: Vec<ThreadBg>,
+    /// Initial placement.
+    pub initial_map: InitialMap,
+    /// Migrate chares as PUPed bytes instead of moving the boxed kernel
+    /// (requires the app to implement `pack`/`unpack_kernel`). This is the
+    /// path a distributed deployment would take; tests use it to prove
+    /// serialization round-trips preserve state exactly.
+    pub serialize_migration: bool,
+}
+
+impl ThreadRunConfig {
+    /// Small default: `pes` workers, `iterations` iterations, no bg.
+    pub fn new(pes: usize, iterations: usize) -> Self {
+        ThreadRunConfig {
+            pes,
+            iterations,
+            lb: LbConfig::default(),
+            bg: Vec::new(),
+            initial_map: InitialMap::Block,
+            serialize_migration: false,
+        }
+    }
+}
+
+/// Outcome of a threaded run.
+#[derive(Debug)]
+pub struct ThreadRunResult {
+    /// Wall time of the whole run.
+    pub wall: std::time::Duration,
+    /// Final checksum of every chare (order-independent digest of state).
+    pub checksums: BTreeMap<usize, f64>,
+    /// LB steps executed.
+    pub lb_steps: usize,
+    /// Migrations committed.
+    pub migrations: usize,
+    /// Final chare→PE mapping.
+    pub final_mapping: Vec<usize>,
+    /// Per-PE total task CPU µs (for balance assertions).
+    pub per_pe_task_us: Vec<u64>,
+}
+
+/// The threaded executor.
+pub struct ThreadExecutor;
+
+impl ThreadExecutor {
+    /// Run `app` under `cfg`. Panics on protocol violations (they indicate
+    /// bugs, not recoverable conditions).
+    pub fn run(app: &dyn IterativeApp, cfg: ThreadRunConfig) -> ThreadRunResult {
+        assert!(cfg.pes > 0 && cfg.iterations > 0);
+        crate::program::validate_app(app);
+        let n = app.num_chares();
+        let mapping: Arc<Vec<AtomicUsize>> = Arc::new(
+            cfg.initial_map
+                .place(n, cfg.pes)
+                .into_iter()
+                .map(AtomicUsize::new)
+                .collect(),
+        );
+
+        let (ctrl_tx, ctrl_rx) = unbounded::<CtrlMsg>();
+        let mut worker_tx: Vec<Sender<WorkerMsg>> = Vec::with_capacity(cfg.pes);
+        let mut worker_rx: Vec<Option<Receiver<WorkerMsg>>> = Vec::with_capacity(cfg.pes);
+        for _ in 0..cfg.pes {
+            let (tx, rx) = unbounded();
+            worker_tx.push(tx);
+            worker_rx.push(Some(rx));
+        }
+
+        let start = Instant::now();
+        let result = std::thread::scope(|scope| {
+            for (pe, slot) in worker_rx.iter_mut().enumerate() {
+                let rx = slot.take().expect("receiver taken once");
+                let txs = worker_tx.clone();
+                let ctrl = ctrl_tx.clone();
+                let mapping = Arc::clone(&mapping);
+                let cfg = cfg.clone();
+                scope.spawn(move || {
+                    Worker::new(pe, app, cfg, rx, txs, ctrl, mapping, start).run();
+                });
+            }
+            drop(ctrl_tx);
+            coordinator(app, &cfg, ctrl_rx, &worker_tx, &mapping)
+        });
+        ThreadRunResult { wall: start.elapsed(), ..result }
+    }
+}
+
+fn coordinator(
+    app: &dyn IterativeApp,
+    cfg: &ThreadRunConfig,
+    ctrl_rx: Receiver<CtrlMsg>,
+    worker_tx: &[Sender<WorkerMsg>],
+    mapping: &[AtomicUsize],
+) -> ThreadRunResult {
+    let n = app.num_chares();
+    let mut strategy = cfg.lb.make_strategy();
+    let mut parked: HashSet<usize> = HashSet::new();
+    let mut finished = 0usize;
+    let mut lb_steps = 0usize;
+    let mut migrations = 0usize;
+    let mut in_lb = false;
+    let mut stats_replies: Vec<Option<(Vec<ThreadSample>, u64, u64)>> = vec![None; cfg.pes];
+    let mut pending_arrivals = 0usize;
+    let mut planned: Vec<(usize, usize)> = Vec::new();
+
+    while finished < n {
+        match ctrl_rx.recv().expect("workers alive") {
+            CtrlMsg::Parked { pe: _, chare } => {
+                assert!(parked.insert(chare), "chare {chare} parked twice");
+                if parked.len() == n - finished && !in_lb {
+                    // Barrier full → collect this window's measurements.
+                    in_lb = true;
+                    for tx in worker_tx {
+                        tx.send(WorkerMsg::CollectStats).expect("worker alive");
+                    }
+                }
+            }
+            CtrlMsg::Stats { pe, samples, idle_us, window_us } => {
+                stats_replies[pe] = Some((samples, idle_us, window_us));
+                if stats_replies.iter().all(Option::is_some) {
+                    // Build the LB database (Eq. 1–3) from observables.
+                    let mut db = LbStats::new(cfg.pes);
+                    let mut per_task = vec![(0u64, 0u64); n];
+                    let mut pe_task_us = vec![0u64; cfg.pes];
+                    let mut bg = vec![0.0f64; cfg.pes];
+                    for (pe, reply) in stats_replies.iter_mut().enumerate() {
+                        let (samples, idle_us, window_us) = reply.take().expect("checked");
+                        for s in &samples {
+                            per_task[s.chare].0 += s.cpu_us;
+                            per_task[s.chare].1 += s.wall_us;
+                            pe_task_us[pe] += match cfg.lb.instrument {
+                                InstrumentMode::CpuTime => s.cpu_us,
+                                InstrumentMode::WallTime => s.wall_us,
+                            };
+                        }
+                        bg[pe] = (window_us.saturating_sub(pe_task_us[pe]).saturating_sub(idle_us))
+                            as f64
+                            / 1e6;
+                    }
+                    db.bg_load = bg;
+                    db.tasks = (0..n)
+                        .map(|i| TaskInfo {
+                            id: TaskId(i as u64),
+                            pe: mapping[i].load(Ordering::SeqCst),
+                            load: match cfg.lb.instrument {
+                                InstrumentMode::CpuTime => per_task[i].0,
+                                InstrumentMode::WallTime => per_task[i].1,
+                            } as f64
+                                / 1e6,
+                            bytes: app.state_bytes(i) as u64,
+                        })
+                        .collect();
+                    let plan = strategy.plan(&db);
+                    cloudlb_balance::strategy::validate_plan(&db, &plan);
+                    lb_steps += 1;
+                    migrations += plan.len();
+                    // Commit the mapping *before* any movement so ghosts
+                    // route to the new owners.
+                    for m in &plan {
+                        mapping[m.task.0 as usize].store(m.to, Ordering::SeqCst);
+                    }
+                    planned = plan.iter().map(|m| (m.task.0 as usize, m.to)).collect();
+                    pending_arrivals = plan.len();
+                    if plan.is_empty() {
+                        resume(worker_tx, &mut in_lb, &mut parked);
+                    } else {
+                        let mut by_src: HashMap<usize, Vec<(usize, usize)>> = HashMap::new();
+                        for m in &plan {
+                            by_src.entry(m.from).or_default().push((m.task.0 as usize, m.to));
+                        }
+                        for (src, moves) in by_src {
+                            worker_tx[src].send(WorkerMsg::DoMigrations(moves)).expect("alive");
+                        }
+                    }
+                }
+            }
+            CtrlMsg::MigArrived { chare } => {
+                assert!(planned.iter().any(|(c, _)| *c == chare), "unexpected arrival {chare}");
+                pending_arrivals -= 1;
+                if pending_arrivals == 0 {
+                    resume(worker_tx, &mut in_lb, &mut parked);
+                }
+            }
+            CtrlMsg::Finished { chare: _ } => {
+                finished += 1;
+            }
+            CtrlMsg::Final { .. } => unreachable!("Final before Shutdown"),
+        }
+    }
+
+    // All chares done: collect final state.
+    for tx in worker_tx {
+        tx.send(WorkerMsg::Shutdown).expect("worker alive");
+    }
+    let mut checksums = BTreeMap::new();
+    let mut per_pe_task_us = vec![0u64; cfg.pes];
+    let mut finals = 0;
+    while finals < cfg.pes {
+        if let CtrlMsg::Final { pe, checksums: cs, total_task_us } =
+            ctrl_rx.recv().expect("workers finishing")
+        {
+            for (chare, sum) in cs {
+                checksums.insert(chare, sum);
+            }
+            per_pe_task_us[pe] = total_task_us;
+            finals += 1;
+        } // stragglers from the main phase are benign here
+
+    }
+    assert_eq!(checksums.len(), n, "missing checksums");
+
+    ThreadRunResult {
+        wall: std::time::Duration::ZERO, // filled by caller
+        checksums,
+        lb_steps,
+        migrations,
+        final_mapping: mapping.iter().map(|m| m.load(Ordering::SeqCst)).collect(),
+        per_pe_task_us,
+    }
+}
+
+fn resume(worker_tx: &[Sender<WorkerMsg>], in_lb: &mut bool, parked: &mut HashSet<usize>) {
+    *in_lb = false;
+    parked.clear();
+    for tx in worker_tx {
+        tx.send(WorkerMsg::Resume).expect("worker alive");
+    }
+}
+
+struct Worker<'a> {
+    pe: usize,
+    app: &'a dyn IterativeApp,
+    cfg: ThreadRunConfig,
+    rx: Receiver<WorkerMsg>,
+    txs: Vec<Sender<WorkerMsg>>,
+    ctrl: Sender<CtrlMsg>,
+    mapping: Arc<Vec<AtomicUsize>>,
+    start: Instant,
+
+    kernels: HashMap<usize, Box<dyn crate::program::ChareKernel>>,
+    next_iter: HashMap<usize, usize>,
+    /// Buffered ghosts: (chare, iter) → entries. May hold data for chares
+    /// not (yet) owned here.
+    inbox: HashMap<(usize, usize), InboxEntry>,
+    ready: VecDeque<usize>,
+    parked: HashSet<usize>,
+    in_lb: bool,
+
+    samples: Vec<ThreadSample>,
+    idle_us: u64,
+    window_start_us: u64,
+    total_task_us: u64,
+}
+
+impl<'a> Worker<'a> {
+    #[allow(clippy::too_many_arguments)]
+    fn new(
+        pe: usize,
+        app: &'a dyn IterativeApp,
+        cfg: ThreadRunConfig,
+        rx: Receiver<WorkerMsg>,
+        txs: Vec<Sender<WorkerMsg>>,
+        ctrl: Sender<CtrlMsg>,
+        mapping: Arc<Vec<AtomicUsize>>,
+        start: Instant,
+    ) -> Self {
+        let mut kernels = HashMap::new();
+        let mut next_iter = HashMap::new();
+        for chare in 0..app.num_chares() {
+            if mapping[chare].load(Ordering::SeqCst) == pe {
+                kernels.insert(chare, app.make_kernel(chare));
+                next_iter.insert(chare, 0usize);
+            }
+        }
+        Worker {
+            pe,
+            app,
+            cfg,
+            rx,
+            txs,
+            ctrl,
+            mapping,
+            start,
+            ready: kernels.keys().copied().collect::<std::collections::BTreeSet<_>>().into_iter().collect(),
+            kernels,
+            next_iter,
+            inbox: HashMap::new(),
+            parked: HashSet::new(),
+            in_lb: false,
+            samples: Vec::new(),
+            idle_us: 0,
+            window_start_us: 0,
+            total_task_us: 0,
+        }
+    }
+
+    fn now_us(&self) -> u64 {
+        self.start.elapsed().as_micros() as u64
+    }
+
+    fn bg_weight(&self, iter: usize) -> f64 {
+        self.cfg
+            .bg
+            .iter()
+            .filter(|b| b.pe == self.pe && (b.from_iter..b.to_iter).contains(&iter))
+            .map(|b| b.weight)
+            .sum()
+    }
+
+    fn run(mut self) {
+        loop {
+            // Execute everything ready (unless an LB step is in progress).
+            while !self.in_lb {
+                let Some(chare) = self.ready.pop_front() else { break };
+                self.execute(chare);
+            }
+            // Block for the next message, accounting the wait as idle.
+            let t0 = Instant::now();
+            let Ok(msg) = self.rx.recv() else { return };
+            self.idle_us += t0.elapsed().as_micros() as u64;
+            if !self.handle(msg) {
+                return;
+            }
+        }
+    }
+
+    fn execute(&mut self, chare: usize) {
+        let iter = self.next_iter[&chare];
+        let mut entries = self.inbox.remove(&(chare, iter)).unwrap_or_default();
+        // Protocol guarantee: inbox sorted by sender, so float accumulation
+        // order (and therefore checksums) is independent of message timing.
+        entries.sort_by_key(|e| e.0);
+        let kernel = self.kernels.get_mut(&chare).expect("ready implies owned");
+
+        let t0 = Instant::now();
+        let out = kernel.compute(iter, &entries);
+        let cpu_us = t0.elapsed().as_micros().max(1) as u64;
+
+        // Inject interference: burn weight × cpu of extra wall time, the
+        // schedule a fair-share OS would have imposed.
+        let w = self.bg_weight(iter);
+        if w > 0.0 {
+            let burn = std::time::Duration::from_micros((cpu_us as f64 * w) as u64);
+            let spin = Instant::now();
+            while spin.elapsed() < burn {
+                std::hint::spin_loop();
+            }
+        }
+        let wall_us = t0.elapsed().as_micros().max(1) as u64;
+        self.samples.push(ThreadSample { chare, cpu_us, wall_us });
+        self.total_task_us += cpu_us;
+
+        // Route ghosts for the next iteration.
+        let next = iter + 1;
+        if next < self.cfg.iterations {
+            for (nb, data) in out {
+                let dst = self.mapping[nb].load(Ordering::SeqCst);
+                let msg = WorkerMsg::Ghost { chare: nb, iter: next, from: chare, data };
+                if dst == self.pe {
+                    self.handle_ghost(nb, next, chare, match msg {
+                        WorkerMsg::Ghost { data, .. } => data,
+                        _ => unreachable!(),
+                    });
+                } else {
+                    self.txs[dst].send(msg).expect("peer alive");
+                }
+            }
+        }
+
+        *self.next_iter.get_mut(&chare).expect("owned") = next;
+        if next >= self.cfg.iterations {
+            self.ctrl.send(CtrlMsg::Finished { chare }).expect("coordinator alive");
+        } else if next.is_multiple_of(self.cfg.lb.period) {
+            self.parked.insert(chare);
+            self.ctrl.send(CtrlMsg::Parked { pe: self.pe, chare }).expect("coordinator alive");
+        } else {
+            self.check_ready(chare);
+        }
+    }
+
+    fn check_ready(&mut self, chare: usize) {
+        if self.parked.contains(&chare) || !self.kernels.contains_key(&chare) {
+            return;
+        }
+        let Some(&iter) = self.next_iter.get(&chare) else { return };
+        if iter >= self.cfg.iterations {
+            return;
+        }
+        let have = self.inbox.get(&(chare, iter)).map_or(0, |v| v.len());
+        let expected = self.app.neighbors(chare).len();
+        if have >= expected && !self.ready.contains(&chare) {
+            self.ready.push_back(chare);
+        }
+    }
+
+    fn handle_ghost(&mut self, chare: usize, iter: usize, from: usize, data: Vec<f64>) {
+        let owner = self.mapping[chare].load(Ordering::SeqCst);
+        if owner != self.pe {
+            // The chare moved (or never lived here): forward.
+            self.txs[owner]
+                .send(WorkerMsg::Ghost { chare, iter, from, data })
+                .expect("peer alive");
+            return;
+        }
+        self.inbox.entry((chare, iter)).or_default().push((from, data));
+        self.check_ready(chare);
+    }
+
+    /// Install a migrated-in chare; it stays parked until Resume.
+    fn install(
+        &mut self,
+        chare: usize,
+        kernel: Box<dyn crate::program::ChareKernel>,
+        next_iter: usize,
+        pending: HashMap<usize, InboxEntry>,
+    ) {
+        self.kernels.insert(chare, kernel);
+        self.next_iter.insert(chare, next_iter);
+        for (iter, mut entries) in pending {
+            self.inbox.entry((chare, iter)).or_default().append(&mut entries);
+        }
+        self.parked.insert(chare);
+        self.ctrl.send(CtrlMsg::MigArrived { chare }).expect("coordinator alive");
+    }
+
+    /// Returns `false` on shutdown.
+    fn handle(&mut self, msg: WorkerMsg) -> bool {
+        match msg {
+            WorkerMsg::Ghost { chare, iter, from, data } => {
+                self.handle_ghost(chare, iter, from, data);
+            }
+            WorkerMsg::CollectStats => {
+                self.in_lb = true;
+                let now = self.now_us();
+                self.ctrl
+                    .send(CtrlMsg::Stats {
+                        pe: self.pe,
+                        samples: std::mem::take(&mut self.samples),
+                        idle_us: self.idle_us,
+                        window_us: now - self.window_start_us,
+                    })
+                    .expect("coordinator alive");
+            }
+            WorkerMsg::DoMigrations(moves) => {
+                for (chare, to) in moves {
+                    let kernel = self.kernels.remove(&chare).expect("migrating owned chare");
+                    let next_iter = self.next_iter.remove(&chare).expect("owned");
+                    self.parked.remove(&chare);
+                    let pending: HashMap<usize, InboxEntry> = {
+                        let keys: Vec<(usize, usize)> = self
+                            .inbox
+                            .keys()
+                            .filter(|(c, _)| *c == chare)
+                            .copied()
+                            .collect();
+                        keys.into_iter()
+                            .map(|k| (k.1, self.inbox.remove(&k).expect("present")))
+                            .collect()
+                    };
+                    let msg = if self.cfg.serialize_migration {
+                        let bytes = kernel.pack().unwrap_or_else(|| {
+                            panic!("serialize_migration set but chare {chare} does not pack")
+                        });
+                        WorkerMsg::MigrateBytes { chare, bytes, next_iter, pending }
+                    } else {
+                        WorkerMsg::Migrate { chare, kernel, next_iter, pending }
+                    };
+                    self.txs[to].send(msg).expect("peer alive");
+                }
+            }
+            WorkerMsg::Migrate { chare, kernel, next_iter, pending } => {
+                self.install(chare, kernel, next_iter, pending);
+            }
+            WorkerMsg::MigrateBytes { chare, bytes, next_iter, pending } => {
+                let kernel = self.app.unpack_kernel(chare, &bytes).unwrap_or_else(|| {
+                    panic!("received PUPed chare {chare} but the app cannot unpack")
+                });
+                self.install(chare, kernel, next_iter, pending);
+            }
+            WorkerMsg::Resume => {
+                self.in_lb = false;
+                self.idle_us = 0;
+                self.window_start_us = self.now_us();
+                let owned: Vec<usize> = {
+                    let mut v: Vec<usize> = self.parked.drain().collect();
+                    v.sort_unstable();
+                    v
+                };
+                for chare in owned {
+                    self.check_ready(chare);
+                }
+            }
+            WorkerMsg::Shutdown => {
+                let checksums =
+                    self.kernels.iter().map(|(c, k)| (*c, k.checksum())).collect::<Vec<_>>();
+                self.ctrl
+                    .send(CtrlMsg::Final {
+                        pe: self.pe,
+                        checksums,
+                        total_task_us: self.total_task_us,
+                    })
+                    .expect("coordinator alive");
+                return false;
+            }
+        }
+        true
+    }
+}
+
+/// Single-threaded reference execution: runs every chare's kernel in
+/// program order and returns the final checksums. Used to prove that
+/// parallel execution with migrations computes the same numbers.
+pub fn serial_reference(app: &dyn IterativeApp, iterations: usize) -> BTreeMap<usize, f64> {
+    let n = app.num_chares();
+    let mut kernels: Vec<_> = (0..n).map(|i| app.make_kernel(i)).collect();
+    // inbox[chare] for the current iteration.
+    let mut inbox: Vec<InboxEntry> = vec![Vec::new(); n];
+    for iter in 0..iterations {
+        let mut next_inbox: Vec<InboxEntry> = vec![Vec::new(); n];
+        for (chare, kernel) in kernels.iter_mut().enumerate() {
+            // Same protocol guarantee as the workers: sorted by sender.
+            inbox[chare].sort_by_key(|e| e.0);
+            let out = kernel.compute(iter, &inbox[chare]);
+            for (nb, data) in out {
+                next_inbox[nb].push((chare, data));
+            }
+        }
+        inbox = next_inbox;
+    }
+    kernels.iter().enumerate().map(|(i, k)| (i, k.checksum())).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::program::SyntheticApp;
+
+    fn cfg(pes: usize, iters: usize, strategy: &str, period: usize) -> ThreadRunConfig {
+        ThreadRunConfig {
+            pes,
+            iterations: iters,
+            lb: LbConfig { strategy: strategy.into(), period, ..Default::default() },
+            bg: Vec::new(),
+            initial_map: InitialMap::Block,
+            serialize_migration: false,
+        }
+    }
+
+    #[test]
+    fn parallel_matches_serial_reference_without_lb() {
+        let app = SyntheticApp::ring(12, 0.0);
+        let r = ThreadExecutor::run(&app, cfg(3, 8, "nolb", 4));
+        let reference = serial_reference(&app, 8);
+        assert_eq!(r.checksums, reference);
+        assert_eq!(r.migrations, 0);
+        // Boundaries fall before iteration 4 only (iteration 8 is the end).
+        assert_eq!(r.lb_steps, 1);
+    }
+
+    #[test]
+    fn migrations_preserve_numerics() {
+        // Interference on pe0 forces the balancer to move live chares; the
+        // computation must be unaffected.
+        let app = SyntheticApp::ring(16, 0.0);
+        let mut c = cfg(4, 12, "cloudrefine", 4);
+        c.bg.push(ThreadBg { pe: 0, from_iter: 0, to_iter: 12, weight: 3.0 });
+        let r = ThreadExecutor::run(&app, c);
+        let reference = serial_reference(&app, 12);
+        assert_eq!(r.checksums, reference);
+        assert!(r.lb_steps >= 1);
+    }
+
+    #[test]
+    fn greedy_forces_migrations_and_stays_correct() {
+        let app = SyntheticApp::ring(10, 0.0);
+        let r = ThreadExecutor::run(&app, cfg(2, 9, "greedy", 3));
+        assert_eq!(r.checksums, serial_reference(&app, 9));
+        // Greedy rebalances from scratch; with 10 chares on 2 pes it
+        // almost surely moves something at some step.
+        assert!(r.final_mapping.iter().all(|&p| p < 2));
+    }
+
+    #[test]
+    fn single_pe_run_works() {
+        let app = SyntheticApp::ring(5, 0.0);
+        let r = ThreadExecutor::run(&app, cfg(1, 6, "cloudrefine", 2));
+        assert_eq!(r.checksums, serial_reference(&app, 6));
+        assert_eq!(r.final_mapping, vec![0; 5]);
+    }
+
+    #[test]
+    fn serialized_migration_matches_move_migration() {
+        let app = SyntheticApp::ring(16, 0.0);
+        let mut c = cfg(4, 12, "cloudrefine", 4);
+        c.bg.push(ThreadBg { pe: 0, from_iter: 0, to_iter: 12, weight: 3.0 });
+        c.serialize_migration = true;
+        let r = ThreadExecutor::run(&app, c);
+        assert_eq!(r.checksums, serial_reference(&app, 12));
+    }
+
+    #[test]
+    fn period_longer_than_run_means_no_lb() {
+        let app = SyntheticApp::ring(6, 0.0);
+        let r = ThreadExecutor::run(&app, cfg(2, 5, "cloudrefine", 50));
+        assert_eq!(r.lb_steps, 0);
+        assert_eq!(r.migrations, 0);
+        assert_eq!(r.checksums, serial_reference(&app, 5));
+    }
+
+    #[test]
+    fn more_workers_than_chares() {
+        let app = SyntheticApp::ring(3, 0.0);
+        let r = ThreadExecutor::run(&app, cfg(6, 4, "cloudrefine", 2));
+        assert_eq!(r.checksums, serial_reference(&app, 4));
+        assert!(r.final_mapping.iter().all(|&p| p < 6));
+    }
+
+    #[test]
+    fn interference_on_multiple_workers_still_correct() {
+        let app = SyntheticApp::ring(16, 0.0);
+        let mut c = cfg(4, 12, "cloudrefine", 4);
+        c.bg.push(ThreadBg { pe: 0, from_iter: 0, to_iter: 6, weight: 2.0 });
+        c.bg.push(ThreadBg { pe: 2, from_iter: 6, to_iter: 12, weight: 3.0 });
+        let r = ThreadExecutor::run(&app, c);
+        assert_eq!(r.checksums, serial_reference(&app, 12));
+    }
+
+    #[test]
+    fn per_pe_task_time_is_recorded() {
+        let app = SyntheticApp::ring(8, 0.0);
+        let r = ThreadExecutor::run(&app, cfg(2, 4, "nolb", 2));
+        assert_eq!(r.per_pe_task_us.len(), 2);
+        assert!(r.per_pe_task_us.iter().all(|&us| us > 0));
+    }
+}

@@ -1,0 +1,54 @@
+//! Property-based tests of the thread executor: random worker counts,
+//! decompositions, LB settings, interference schedules and migration modes
+//! must always compute exactly what a serial execution computes.
+//!
+//! This is the strongest correctness statement about the migratable-object
+//! machinery: whatever the balancer does — however chares bounce between
+//! OS threads, as moved boxes or as PUPed bytes, under whatever timing the
+//! scheduler produces — the numbers cannot change.
+
+use cloudlb_runtime::program::SyntheticApp;
+use cloudlb_runtime::thread_exec::{serial_reference, ThreadBg, ThreadExecutor, ThreadRunConfig};
+use cloudlb_runtime::{InitialMap, LbConfig};
+use proptest::prelude::*;
+
+proptest! {
+    // Each case spawns real threads; keep the count moderate.
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn threads_always_match_serial_reference(
+        chares in 3usize..20,
+        pes in 1usize..6,
+        iters in 1usize..12,
+        period in 1usize..8,
+        strategy_ix in 0usize..4,
+        serialize in any::<bool>(),
+        round_robin in any::<bool>(),
+        bg in proptest::option::of((0usize..6, 0usize..12, 1usize..12, 1u32..4)),
+    ) {
+        let strategy = ["nolb", "cloudrefine", "greedybg", "commrefine"][strategy_ix];
+        let app = SyntheticApp::ring(chares, 0.0);
+        let mut cfg = ThreadRunConfig::new(pes, iters);
+        cfg.lb = LbConfig { strategy: strategy.into(), period, ..Default::default() };
+        cfg.serialize_migration = serialize;
+        cfg.initial_map = if round_robin { InitialMap::RoundRobin } else { InitialMap::Block };
+        if let Some((pe, from, len, weight)) = bg {
+            cfg.bg.push(ThreadBg {
+                pe: pe % pes,
+                from_iter: from.min(iters),
+                to_iter: (from + len).min(iters),
+                weight: weight as f64,
+            });
+        }
+        let run = ThreadExecutor::run(&app, cfg);
+        prop_assert_eq!(&run.checksums, &serial_reference(&app, iters));
+        prop_assert_eq!(run.final_mapping.len(), chares);
+        prop_assert!(run.final_mapping.iter().all(|&p| p < pes));
+        if strategy == "nolb" {
+            prop_assert_eq!(run.migrations, 0);
+        }
+        let expected_steps = if iters == 0 { 0 } else { (iters - 1) / period };
+        prop_assert_eq!(run.lb_steps, expected_steps);
+    }
+}

@@ -1,0 +1,207 @@
+//! Cluster topology: nodes × cores, shared trace, global advancement.
+//!
+//! Mirrors the paper's testbed shape (8 single-socket nodes with a quad-core
+//! Xeon each; experiments use 4–32 cores). Core indices are global; core
+//! `i` lives on node `i / cores_per_node`.
+
+use crate::core_sched::{BgJobId, Core, CoreEvent, CoreStat, FgLabel};
+use crate::time::{Dur, Time};
+use cloudlb_trace::TraceLog;
+use serde::{Deserialize, Serialize};
+
+/// Shape and instrumentation options for a simulated cluster.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ClusterConfig {
+    /// Number of nodes (machines). The paper's testbed has 8.
+    pub nodes: usize,
+    /// Cores per node. The paper's Xeon X3430 has 4.
+    pub cores_per_node: usize,
+    /// Record a Projections-style trace (adds memory proportional to events).
+    pub trace: bool,
+}
+
+impl ClusterConfig {
+    /// Paper-testbed shape for a run on `cores` cores (4 cores per node).
+    pub fn paper_testbed(cores: usize) -> Self {
+        assert!(cores > 0 && cores.is_multiple_of(4), "paper runs use multiples of 4 cores");
+        ClusterConfig { nodes: cores / 4, cores_per_node: 4, trace: false }
+    }
+
+    /// Total core count.
+    pub fn total_cores(&self) -> usize {
+        self.nodes * self.cores_per_node
+    }
+}
+
+/// A simulated cluster of proportional-share cores.
+#[derive(Debug)]
+pub struct Cluster {
+    cfg: ClusterConfig,
+    cores: Vec<Core>,
+    trace: Option<TraceLog>,
+}
+
+impl Cluster {
+    /// Build the cluster described by `cfg`.
+    pub fn new(cfg: ClusterConfig) -> Self {
+        let n = cfg.total_cores();
+        assert!(n > 0, "cluster must have at least one core");
+        Cluster {
+            cores: (0..n).map(Core::new).collect(),
+            trace: if cfg.trace { Some(TraceLog::new(n)) } else { None },
+            cfg,
+        }
+    }
+
+    /// Cluster configuration.
+    pub fn config(&self) -> &ClusterConfig {
+        &self.cfg
+    }
+
+    /// Total number of cores.
+    pub fn num_cores(&self) -> usize {
+        self.cores.len()
+    }
+
+    /// Node hosting global core `core`.
+    pub fn node_of(&self, core: usize) -> usize {
+        core / self.cfg.cores_per_node
+    }
+
+    /// `true` when both cores share a node (affects message latency).
+    pub fn same_node(&self, a: usize, b: usize) -> bool {
+        self.node_of(a) == self.node_of(b)
+    }
+
+    /// Advance *all* cores to `to`, collecting completion events
+    /// (timestamped, sorted by time then core).
+    pub fn advance_to(&mut self, to: Time) -> Vec<(Time, CoreEvent)> {
+        let mut events = Vec::new();
+        for core in &mut self.cores {
+            core.advance(to, &mut events, self.trace.as_mut());
+        }
+        events.sort_by_key(|(t, e)| {
+            (*t, match e {
+                CoreEvent::FgDone { core } => *core,
+                CoreEvent::BgDone { core, .. } => *core,
+            })
+        });
+        events
+    }
+
+    /// Begin a foreground task on `core` (see [`Core::start_fg`]).
+    pub fn start_fg(&mut self, core: usize, label: FgLabel, demand: Dur, weight: f64) {
+        self.cores[core].start_fg(label, demand, weight);
+    }
+
+    /// `true` while `core` executes a foreground task.
+    pub fn fg_busy(&self, core: usize) -> bool {
+        self.cores[core].fg_busy()
+    }
+
+    /// Attach a background task of `job` to `core`.
+    pub fn add_bg(&mut self, core: usize, job: BgJobId, demand: Option<Dur>, weight: f64) {
+        self.cores[core].add_bg(job, demand, weight);
+    }
+
+    /// Detach all of `job`'s background tasks from `core`; returns CPU consumed.
+    pub fn remove_bg(&mut self, core: usize, job: BgJobId) -> Dur {
+        self.cores[core].remove_bg(job)
+    }
+
+    /// Background jobs currently on `core`.
+    pub fn bg_jobs_on(&self, core: usize) -> Vec<BgJobId> {
+        self.cores[core].bg_jobs()
+    }
+
+    /// Earliest completion on `core` under the current composition.
+    pub fn next_completion(&self, core: usize) -> Option<Time> {
+        self.cores[core].next_completion()
+    }
+
+    /// `/proc/stat` snapshot for one core.
+    pub fn core_stat(&self, core: usize) -> CoreStat {
+        self.cores[core].stat()
+    }
+
+    /// `/proc/stat` snapshot for every core.
+    pub fn stats(&self) -> Vec<CoreStat> {
+        self.cores.iter().map(|c| c.stat()).collect()
+    }
+
+    /// Borrow the trace log (if tracing is enabled).
+    pub fn trace(&self) -> Option<&TraceLog> {
+        self.trace.as_ref()
+    }
+
+    /// Borrow the trace log mutably (for markers).
+    pub fn trace_mut(&mut self) -> Option<&mut TraceLog> {
+        self.trace.as_mut()
+    }
+
+    /// Take ownership of the trace log, leaving tracing disabled.
+    pub fn take_trace(&mut self) -> Option<TraceLog> {
+        self.trace.take()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_testbed_shapes() {
+        let c = ClusterConfig::paper_testbed(32);
+        assert_eq!(c.nodes, 8);
+        assert_eq!(c.cores_per_node, 4);
+        assert_eq!(c.total_cores(), 32);
+    }
+
+    #[test]
+    #[should_panic(expected = "multiples of 4")]
+    fn paper_testbed_rejects_odd_core_counts() {
+        ClusterConfig::paper_testbed(6);
+    }
+
+    #[test]
+    fn node_mapping() {
+        let cl = Cluster::new(ClusterConfig { nodes: 2, cores_per_node: 4, trace: false });
+        assert_eq!(cl.node_of(0), 0);
+        assert_eq!(cl.node_of(3), 0);
+        assert_eq!(cl.node_of(4), 1);
+        assert!(cl.same_node(1, 2));
+        assert!(!cl.same_node(3, 4));
+    }
+
+    #[test]
+    fn advance_collects_sorted_events() {
+        let mut cl = Cluster::new(ClusterConfig { nodes: 1, cores_per_node: 2, trace: false });
+        cl.start_fg(1, FgLabel { chare: 1 }, Dur::from_ms(2), 1.0);
+        cl.start_fg(0, FgLabel { chare: 0 }, Dur::from_ms(1), 1.0);
+        let ev = cl.advance_to(Time::from_us(10_000));
+        assert_eq!(ev.len(), 2);
+        assert_eq!(ev[0], (Time::from_us(1_000), CoreEvent::FgDone { core: 0 }));
+        assert_eq!(ev[1], (Time::from_us(2_000), CoreEvent::FgDone { core: 1 }));
+    }
+
+    #[test]
+    fn trace_enabled_records() {
+        let mut cl = Cluster::new(ClusterConfig { nodes: 1, cores_per_node: 1, trace: true });
+        cl.start_fg(0, FgLabel { chare: 0 }, Dur::from_ms(1), 1.0);
+        cl.advance_to(Time::from_us(1_000));
+        let log = cl.take_trace().unwrap();
+        assert_eq!(log.intervals(0).len(), 1);
+        assert!(cl.trace().is_none());
+    }
+
+    #[test]
+    fn stats_snapshot_all_cores() {
+        let mut cl = Cluster::new(ClusterConfig { nodes: 1, cores_per_node: 3, trace: false });
+        cl.add_bg(2, 0, None, 1.0);
+        cl.advance_to(Time::from_us(5_000));
+        let st = cl.stats();
+        assert_eq!(st.len(), 3);
+        assert_eq!(st[0].idle_us, 5_000);
+        assert_eq!(st[2].bg_us, 5_000);
+    }
+}

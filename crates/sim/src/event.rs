@@ -1,0 +1,186 @@
+//! Deterministic discrete-event queue.
+//!
+//! A thin priority queue over `(time, sequence)` pairs. Ties at the same
+//! virtual instant pop in insertion (FIFO) order, which makes whole-cluster
+//! simulations bit-for-bit reproducible regardless of hash-map iteration or
+//! allocation order elsewhere.
+
+use crate::time::Time;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// A pending event: payload `E` scheduled at an instant.
+#[derive(Debug)]
+struct Entry<E> {
+    at: Time,
+    seq: u64,
+    payload: E,
+}
+
+/// Deterministic event queue with FIFO tie-breaking.
+#[derive(Debug)]
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Reverse<(Time, u64)>>,
+    // Payloads are kept out of the heap so `E` needs no ordering traits.
+    slots: std::collections::HashMap<u64, Entry<E>>,
+    next_seq: u64,
+    now: Time,
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// Empty queue with the clock at [`Time::ZERO`].
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            slots: std::collections::HashMap::new(),
+            next_seq: 0,
+            now: Time::ZERO,
+        }
+    }
+
+    /// Current virtual time — the timestamp of the last popped event.
+    pub fn now(&self) -> Time {
+        self.now
+    }
+
+    /// Schedule `payload` at instant `at`. Scheduling in the past (before
+    /// `now`) is a logic error and panics in debug builds; in release it
+    /// clamps to `now` to keep time monotonic.
+    pub fn schedule(&mut self, at: Time, payload: E) -> u64 {
+        debug_assert!(at >= self.now, "scheduling into the past: {at:?} < {:?}", self.now);
+        let at = at.max(self.now);
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Reverse((at, seq)));
+        self.slots.insert(seq, Entry { at, seq, payload });
+        seq
+    }
+
+    /// Cancel a previously scheduled event by the handle `schedule` returned.
+    /// Returns the payload if it had not fired yet.
+    pub fn cancel(&mut self, handle: u64) -> Option<E> {
+        self.slots.remove(&handle).map(|e| e.payload)
+    }
+
+    /// Pop the earliest pending event, advancing the clock to its timestamp.
+    pub fn pop(&mut self) -> Option<(Time, E)> {
+        while let Some(Reverse((at, seq))) = self.heap.pop() {
+            if let Some(entry) = self.slots.remove(&seq) {
+                debug_assert_eq!(entry.at, at);
+                debug_assert_eq!(entry.seq, seq);
+                self.now = at;
+                return Some((at, entry.payload));
+            }
+            // Cancelled: skip the stale heap node.
+        }
+        None
+    }
+
+    /// Timestamp of the earliest pending event without popping it.
+    pub fn peek_time(&mut self) -> Option<Time> {
+        while let Some(Reverse((at, seq))) = self.heap.peek().copied() {
+            if self.slots.contains_key(&seq) {
+                return Some(at);
+            }
+            self.heap.pop();
+        }
+        None
+    }
+
+    /// Number of live (non-cancelled) pending events.
+    pub fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// `true` when no live events remain.
+    pub fn is_empty(&self) -> bool {
+        self.slots.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::Dur;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.schedule(Time::from_us(30), "c");
+        q.schedule(Time::from_us(10), "a");
+        q.schedule(Time::from_us(20), "b");
+        assert_eq!(q.pop().unwrap().1, "a");
+        assert_eq!(q.pop().unwrap().1, "b");
+        assert_eq!(q.pop().unwrap().1, "c");
+        assert!(q.pop().is_none());
+    }
+
+    #[test]
+    fn ties_pop_fifo() {
+        let mut q = EventQueue::new();
+        let t = Time::from_us(5);
+        for i in 0..10 {
+            q.schedule(t, i);
+        }
+        for i in 0..10 {
+            assert_eq!(q.pop().unwrap().1, i);
+        }
+    }
+
+    #[test]
+    fn clock_advances_with_pops() {
+        let mut q = EventQueue::new();
+        q.schedule(Time::from_us(100), ());
+        assert_eq!(q.now(), Time::ZERO);
+        q.pop();
+        assert_eq!(q.now(), Time::from_us(100));
+    }
+
+    #[test]
+    fn cancel_removes_event() {
+        let mut q = EventQueue::new();
+        let h = q.schedule(Time::from_us(10), "x");
+        q.schedule(Time::from_us(20), "y");
+        assert_eq!(q.cancel(h), Some("x"));
+        assert_eq!(q.cancel(h), None);
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.pop().unwrap().1, "y");
+    }
+
+    #[test]
+    fn peek_time_skips_cancelled() {
+        let mut q = EventQueue::new();
+        let h = q.schedule(Time::from_us(10), 1);
+        q.schedule(Time::from_us(25), 2);
+        q.cancel(h);
+        assert_eq!(q.peek_time(), Some(Time::from_us(25)));
+    }
+
+    #[test]
+    fn schedule_relative_pattern() {
+        let mut q = EventQueue::new();
+        q.schedule(Time::ZERO + Dur::from_ms(1), 1u32);
+        let (t, _) = q.pop().unwrap();
+        q.schedule(t + Dur::from_ms(1), 2u32);
+        let (t2, v) = q.pop().unwrap();
+        assert_eq!(v, 2);
+        assert_eq!(t2, Time::from_us(2_000));
+    }
+
+    #[test]
+    fn len_and_is_empty_track_cancellations() {
+        let mut q: EventQueue<()> = EventQueue::new();
+        assert!(q.is_empty());
+        let h = q.schedule(Time::from_us(1), ());
+        assert_eq!(q.len(), 1);
+        q.cancel(h);
+        assert!(q.is_empty());
+        assert!(q.pop().is_none());
+    }
+}

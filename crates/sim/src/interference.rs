@@ -1,0 +1,269 @@
+//! Background (interfering) job scripts and bookkeeping.
+//!
+//! The paper's experiments inject interference in three patterns, all
+//! expressible as a [`BgScript`] — a timed list of start/stop actions:
+//!
+//! * **Fig. 1**: a 1-core job arrives on core 4 after a few iterations;
+//! * **Fig. 2 / Fig. 4**: a 2-core Wave2D job runs alongside the parallel
+//!   application for the whole experiment, with a fixed amount of work so
+//!   its own *timing penalty* can be measured;
+//! * **Fig. 3**: a job on core 1, which later finishes, followed by a new
+//!   job on core 3 ("interfering tasks ... might come and go randomly").
+//!
+//! [`BgLedger`] tracks each job's start, per-core completions and computes
+//! the paper's background timing-penalty metric.
+
+use crate::core_sched::BgJobId;
+use crate::rng::SimRng;
+use crate::time::{Dur, Time};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// A timed interference action.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum BgAction {
+    /// Attach one task of `job` to `core`.
+    Start {
+        /// Job identifier (shared by all of the job's per-core tasks).
+        job: BgJobId,
+        /// Target core.
+        core: usize,
+        /// CPU demand of this task; `None` runs until an explicit `Stop`.
+        demand: Option<Dur>,
+        /// Scheduler weight relative to the application's weight of 1.0.
+        weight: f64,
+    },
+    /// Remove `job`'s task(s) from `core` (for open-ended jobs).
+    Stop {
+        /// Job identifier.
+        job: BgJobId,
+        /// Core to clear.
+        core: usize,
+    },
+}
+
+/// A deterministic schedule of interference actions, sorted by time.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct BgScript {
+    /// `(when, what)` pairs in nondecreasing time order.
+    pub actions: Vec<(Time, BgAction)>,
+}
+
+impl BgScript {
+    /// Empty script (the interference-free base runs).
+    pub fn none() -> Self {
+        BgScript::default()
+    }
+
+    /// One job spanning `cores`, each task with the same demand and weight,
+    /// all starting at `start`. This is the paper's steady 2-core job when
+    /// `cores.len() == 2`.
+    pub fn steady(
+        job: BgJobId,
+        cores: &[usize],
+        start: Time,
+        demand_per_core: Option<Dur>,
+        weight: f64,
+    ) -> Self {
+        BgScript {
+            actions: cores
+                .iter()
+                .map(|&core| (start, BgAction::Start { job, core, demand: demand_per_core, weight }))
+                .collect(),
+        }
+    }
+
+    /// A job on `core` alive during `[start, stop)` (open-ended demand with
+    /// an explicit stop) — the Fig. 1 / Fig. 3 building block.
+    pub fn pulse(job: BgJobId, core: usize, start: Time, stop: Time, weight: f64) -> Self {
+        assert!(stop > start, "pulse must have positive length");
+        BgScript {
+            actions: vec![
+                (start, BgAction::Start { job, core, demand: None, weight }),
+                (stop, BgAction::Stop { job, core }),
+            ],
+        }
+    }
+
+    /// Random interference: Poisson-ish arrivals of single-core pulses over
+    /// `[0, horizon)`, each on a random core with an exponential duration.
+    /// Used by robustness tests; fully determined by the RNG seed.
+    pub fn random(
+        rng: &mut SimRng,
+        num_cores: usize,
+        horizon: Time,
+        mean_gap: Dur,
+        mean_len: Dur,
+        weight: f64,
+        first_job: BgJobId,
+    ) -> Self {
+        assert!(num_cores > 0);
+        let mut script = BgScript::none();
+        let mut t = Time::ZERO + Dur::from_secs_f64(rng.exp(mean_gap.as_secs_f64()));
+        let mut job = first_job;
+        while t < horizon {
+            let core = rng.below(num_cores as u64) as usize;
+            let len = Dur::from_secs_f64(rng.exp(mean_len.as_secs_f64())).max(Dur::from_ms(1));
+            script = script.merge(BgScript::pulse(job, core, t, t + len, weight));
+            job += 1;
+            t += Dur::from_secs_f64(rng.exp(mean_gap.as_secs_f64()));
+        }
+        script
+    }
+
+    /// Combine two scripts, keeping time order (stable for equal times).
+    pub fn merge(mut self, other: BgScript) -> Self {
+        self.actions.extend(other.actions);
+        self.actions.sort_by_key(|(t, _)| *t);
+        self
+    }
+
+    /// Largest core index referenced, if any (for config validation).
+    pub fn max_core(&self) -> Option<usize> {
+        self.actions
+            .iter()
+            .map(|(_, a)| match a {
+                BgAction::Start { core, .. } | BgAction::Stop { core, .. } => *core,
+            })
+            .max()
+    }
+}
+
+#[derive(Debug, Clone, Default)]
+struct JobRecord {
+    start: Option<Time>,
+    tasks_started: usize,
+    tasks_finished: usize,
+    /// Per-task CPU demand; the job alone would finish in `max` of these.
+    max_task_demand: Dur,
+    finish: Option<Time>,
+}
+
+/// Tracks background-job lifecycles and computes the paper's BG timing
+/// penalty: extra wall time relative to running alone, as a fraction.
+#[derive(Debug, Clone, Default)]
+pub struct BgLedger {
+    jobs: HashMap<BgJobId, JobRecord>,
+}
+
+impl BgLedger {
+    /// Fresh ledger.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record that one of `job`'s tasks started at `t` with `demand`.
+    pub fn on_start(&mut self, job: BgJobId, t: Time, demand: Option<Dur>) {
+        let rec = self.jobs.entry(job).or_default();
+        rec.start = Some(rec.start.map_or(t, |s| s.min(t)));
+        rec.tasks_started += 1;
+        if let Some(d) = demand {
+            rec.max_task_demand = rec.max_task_demand.max(d);
+        }
+    }
+
+    /// Record that one of `job`'s tasks completed its demand at `t`.
+    pub fn on_task_done(&mut self, job: BgJobId, t: Time) {
+        let rec = self.jobs.entry(job).or_default();
+        rec.tasks_finished += 1;
+        if rec.tasks_finished >= rec.tasks_started {
+            rec.finish = Some(rec.finish.map_or(t, |f| f.max(t)));
+        }
+    }
+
+    /// Completion instant of `job` (all tasks done), if it finished.
+    pub fn finish_time(&self, job: BgJobId) -> Option<Time> {
+        self.jobs.get(&job).and_then(|r| r.finish)
+    }
+
+    /// The paper's BG timing penalty for `job`:
+    /// `(wall_time − standalone_time) / standalone_time`, where
+    /// standalone time is the largest per-task demand (tasks run in
+    /// parallel on distinct cores when alone). `None` until the job
+    /// finishes or if it had no finite demand.
+    pub fn timing_penalty(&self, job: BgJobId) -> Option<f64> {
+        let rec = self.jobs.get(&job)?;
+        let finish = rec.finish?;
+        let start = rec.start?;
+        let standalone = rec.max_task_demand;
+        if standalone.is_zero() {
+            return None;
+        }
+        let wall = (finish - start).as_secs_f64();
+        Some(wall / standalone.as_secs_f64() - 1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn steady_script_targets_all_cores() {
+        let s = BgScript::steady(0, &[2, 5], Time::from_us(100), Some(Dur::from_ms(1)), 1.0);
+        assert_eq!(s.actions.len(), 2);
+        assert_eq!(s.max_core(), Some(5));
+        assert!(s.actions.iter().all(|(t, _)| *t == Time::from_us(100)));
+    }
+
+    #[test]
+    fn pulse_orders_start_before_stop() {
+        let s = BgScript::pulse(1, 3, Time::from_us(10), Time::from_us(50), 1.0);
+        assert!(matches!(s.actions[0].1, BgAction::Start { .. }));
+        assert!(matches!(s.actions[1].1, BgAction::Stop { .. }));
+    }
+
+    #[test]
+    #[should_panic(expected = "positive length")]
+    fn degenerate_pulse_rejected() {
+        BgScript::pulse(1, 0, Time::from_us(5), Time::from_us(5), 1.0);
+    }
+
+    #[test]
+    fn merge_sorts_by_time() {
+        let a = BgScript::pulse(0, 0, Time::from_us(100), Time::from_us(200), 1.0);
+        let b = BgScript::pulse(1, 1, Time::from_us(50), Time::from_us(150), 1.0);
+        let m = a.merge(b);
+        let times: Vec<u64> = m.actions.iter().map(|(t, _)| t.as_us()).collect();
+        assert_eq!(times, vec![50, 100, 150, 200]);
+    }
+
+    #[test]
+    fn random_script_is_deterministic_and_in_horizon() {
+        let mut r1 = SimRng::new(99);
+        let mut r2 = SimRng::new(99);
+        let h = Time::from_us(1_000_000);
+        let s1 = BgScript::random(&mut r1, 4, h, Dur::from_ms(50), Dur::from_ms(30), 1.0, 10);
+        let s2 = BgScript::random(&mut r2, 4, h, Dur::from_ms(50), Dur::from_ms(30), 1.0, 10);
+        assert_eq!(s1, s2);
+        assert!(!s1.actions.is_empty());
+        for (t, a) in &s1.actions {
+            if matches!(a, BgAction::Start { .. }) {
+                assert!(*t < h);
+            }
+        }
+        assert!(s1.max_core().unwrap() < 4);
+    }
+
+    #[test]
+    fn ledger_penalty_for_parallel_tasks() {
+        let mut l = BgLedger::new();
+        // 2-core job, each task needs 10 s; alone it finishes in 10 s.
+        l.on_start(7, Time::from_us(0), Some(Dur::from_secs_f64(10.0)));
+        l.on_start(7, Time::from_us(0), Some(Dur::from_secs_f64(10.0)));
+        assert_eq!(l.timing_penalty(7), None); // not done yet
+        l.on_task_done(7, Time::from_us(15_000_000));
+        assert_eq!(l.timing_penalty(7), None); // one task still running
+        l.on_task_done(7, Time::from_us(20_000_000));
+        let p = l.timing_penalty(7).unwrap();
+        assert!((p - 1.0).abs() < 1e-9, "penalty {p}"); // 20 s vs 10 s alone
+    }
+
+    #[test]
+    fn ledger_open_ended_job_has_no_penalty() {
+        let mut l = BgLedger::new();
+        l.on_start(1, Time::ZERO, None);
+        l.on_task_done(1, Time::from_us(100));
+        assert_eq!(l.timing_penalty(1), None);
+    }
+}

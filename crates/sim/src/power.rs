@@ -1,0 +1,160 @@
+//! Power and energy model.
+//!
+//! The paper's testbed reports per-node power each second; base power is
+//! 40 W per node and the peak under a fully compute-bound load is 170 W
+//! (§V-B). Dynamic power is dominated by how much computation the cores do,
+//! so the standard linear model applies:
+//!
+//! ```text
+//! P_node(t) = base + (max − base) · u_node(t)
+//! ```
+//!
+//! where `u_node` is the mean busy fraction of the node's cores (background
+//! work burns power too). Because the simulator's `/proc/stat` counters are
+//! exact, integrating this model over a run needs no sampling: energy is
+//! `base · T · nodes + (max − base) / cores_per_node · Σ_c busy_c`.
+
+use crate::cluster::Cluster;
+use crate::core_sched::CoreStat;
+use crate::time::{Dur, Time};
+use serde::{Deserialize, Serialize};
+
+/// Linear utilization→power model for one node.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PowerModel {
+    /// Power drawn by an idle node (W). Paper: 40 W.
+    pub base_w: f64,
+    /// Power drawn by a fully busy node (W). Paper: 170 W.
+    pub max_w: f64,
+}
+
+impl Default for PowerModel {
+    fn default() -> Self {
+        PowerModel { base_w: 40.0, max_w: 170.0 }
+    }
+}
+
+/// Energy/power accounting for one run.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct EnergyReport {
+    /// Total energy over the measured window, all nodes (J).
+    pub energy_j: f64,
+    /// Mean power per node over the window (W) — what Fig. 4 plots.
+    pub avg_power_per_node_w: f64,
+    /// Window length (s).
+    pub duration_s: f64,
+    /// Number of nodes metered.
+    pub nodes: usize,
+}
+
+impl PowerModel {
+    /// Instantaneous node power at busy fraction `u ∈ [0, 1]`.
+    pub fn node_power_w(&self, u: f64) -> f64 {
+        debug_assert!((0.0..=1.0 + 1e-9).contains(&u), "utilization {u} out of range");
+        self.base_w + (self.max_w - self.base_w) * u.clamp(0.0, 1.0)
+    }
+
+    /// Integrate energy for a run that lasted until `end`, given final core
+    /// counters and the node topology. Counter totals must cover `[0, end]`.
+    pub fn energy(
+        &self,
+        stats: &[CoreStat],
+        cores_per_node: usize,
+        end: Time,
+    ) -> EnergyReport {
+        assert!(cores_per_node > 0);
+        assert_eq!(stats.len() % cores_per_node, 0, "ragged node layout");
+        let nodes = stats.len() / cores_per_node;
+        let t = end.as_secs_f64();
+        let busy_core_seconds: f64 =
+            stats.iter().map(|s| Dur::from_us(s.busy_us()).as_secs_f64()).sum();
+        let energy_j = self.base_w * t * nodes as f64
+            + (self.max_w - self.base_w) * busy_core_seconds / cores_per_node as f64;
+        EnergyReport {
+            energy_j,
+            avg_power_per_node_w: if t > 0.0 { energy_j / t / nodes as f64 } else { 0.0 },
+            duration_s: t,
+            nodes,
+        }
+    }
+
+    /// Convenience: meter a cluster that has been advanced to `end`.
+    pub fn meter(&self, cluster: &Cluster, end: Time) -> EnergyReport {
+        self.energy(&cluster.stats(), cluster.config().cores_per_node, end)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn stat(fg: u64, bg: u64, idle: u64) -> CoreStat {
+        CoreStat { fg_us: fg, bg_us: bg, idle_us: idle }
+    }
+
+    #[test]
+    fn idle_node_draws_base_power() {
+        let m = PowerModel::default();
+        let stats = vec![stat(0, 0, 1_000_000); 4];
+        let r = m.energy(&stats, 4, Time::from_us(1_000_000));
+        assert!((r.energy_j - 40.0).abs() < 1e-9);
+        assert!((r.avg_power_per_node_w - 40.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn saturated_node_draws_max_power() {
+        let m = PowerModel::default();
+        let stats = vec![stat(1_000_000, 0, 0); 4];
+        let r = m.energy(&stats, 4, Time::from_us(1_000_000));
+        assert!((r.avg_power_per_node_w - 170.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn background_work_burns_power_too() {
+        let m = PowerModel::default();
+        let app_only = vec![stat(1_000_000, 0, 0), stat(0, 0, 1_000_000)];
+        let with_bg = vec![stat(1_000_000, 0, 0), stat(0, 1_000_000, 0)];
+        let e1 = m.energy(&app_only, 2, Time::from_us(1_000_000)).energy_j;
+        let e2 = m.energy(&with_bg, 2, Time::from_us(1_000_000)).energy_j;
+        assert!(e2 > e1);
+    }
+
+    #[test]
+    fn multi_node_scales_base_power() {
+        let m = PowerModel::default();
+        let stats = vec![stat(0, 0, 1_000_000); 8]; // two idle 4-core nodes
+        let r = m.energy(&stats, 4, Time::from_us(1_000_000));
+        assert_eq!(r.nodes, 2);
+        assert!((r.energy_j - 80.0).abs() < 1e-9);
+        assert!((r.avg_power_per_node_w - 40.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn instantaneous_power_is_linear_and_clamped() {
+        let m = PowerModel::default();
+        assert!((m.node_power_w(0.5) - 105.0).abs() < 1e-9);
+        assert_eq!(m.node_power_w(0.0), 40.0);
+        assert_eq!(m.node_power_w(1.0), 170.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "ragged")]
+    fn ragged_layout_rejected() {
+        PowerModel::default().energy(&[stat(0, 0, 0); 5], 4, Time::ZERO);
+    }
+
+    #[test]
+    fn lb_tradeoff_shape_higher_power_lower_energy() {
+        // The Fig. 4 story in miniature: a balanced run is shorter but
+        // busier; it draws more power yet less energy.
+        let m = PowerModel::default();
+        // noLB: 2 s run, half the cores idle-waiting.
+        let nolb = vec![stat(2_000_000, 0, 0), stat(500_000, 0, 1_500_000)];
+        let r_nolb = m.energy(&nolb, 2, Time::from_us(2_000_000));
+        // LB: same total work (2.5 core-seconds) in 1.25 s, fully busy.
+        let lb = vec![stat(1_250_000, 0, 0), stat(1_250_000, 0, 0)];
+        let r_lb = m.energy(&lb, 2, Time::from_us(1_250_000));
+        assert!(r_lb.avg_power_per_node_w > r_nolb.avg_power_per_node_w);
+        assert!(r_lb.energy_j < r_nolb.energy_j);
+    }
+}

@@ -1,0 +1,197 @@
+//! Virtual time types.
+//!
+//! The simulator counts microseconds in `u64`. Two newtypes keep instants
+//! and spans from being mixed up: [`Time`] is an absolute instant since the
+//! start of the simulation, [`Dur`] is a span. Microsecond resolution is
+//! fine for the paper's workloads (task grains are hundreds of microseconds
+//! to milliseconds; runs last seconds to minutes).
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::ops::{Add, AddAssign, Div, Mul, Sub};
+
+/// An absolute instant in virtual time (microseconds since simulation start).
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct Time(u64);
+
+/// A span of virtual time (microseconds).
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct Dur(u64);
+
+impl Time {
+    /// The simulation epoch.
+    pub const ZERO: Time = Time(0);
+    /// Largest representable instant; used as an "never" sentinel.
+    pub const MAX: Time = Time(u64::MAX);
+
+    /// Construct from microseconds.
+    pub const fn from_us(us: u64) -> Self {
+        Time(us)
+    }
+
+    /// Instant as microseconds.
+    pub const fn as_us(self) -> u64 {
+        self.0
+    }
+
+    /// Instant as fractional seconds.
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1e6
+    }
+
+    /// Span from `earlier` to `self`; saturates at zero if `earlier` is later.
+    pub fn since(self, earlier: Time) -> Dur {
+        Dur(self.0.saturating_sub(earlier.0))
+    }
+}
+
+impl Dur {
+    /// The empty span.
+    pub const ZERO: Dur = Dur(0);
+
+    /// Construct from microseconds.
+    pub const fn from_us(us: u64) -> Self {
+        Dur(us)
+    }
+
+    /// Construct from milliseconds.
+    pub const fn from_ms(ms: u64) -> Self {
+        Dur(ms * 1_000)
+    }
+
+    /// Construct from fractional seconds, rounding to the nearest µs.
+    /// Negative inputs clamp to zero.
+    pub fn from_secs_f64(s: f64) -> Self {
+        Dur((s.max(0.0) * 1e6).round() as u64)
+    }
+
+    /// Span in microseconds.
+    pub const fn as_us(self) -> u64 {
+        self.0
+    }
+
+    /// Span as fractional seconds.
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1e6
+    }
+
+    /// `true` for the empty span.
+    pub fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+}
+
+impl Add<Dur> for Time {
+    type Output = Time;
+    fn add(self, rhs: Dur) -> Time {
+        Time(self.0.saturating_add(rhs.0))
+    }
+}
+
+impl AddAssign<Dur> for Time {
+    fn add_assign(&mut self, rhs: Dur) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sub<Time> for Time {
+    type Output = Dur;
+    fn sub(self, rhs: Time) -> Dur {
+        debug_assert!(self >= rhs, "time went backwards: {self:?} - {rhs:?}");
+        Dur(self.0.saturating_sub(rhs.0))
+    }
+}
+
+impl Add for Dur {
+    type Output = Dur;
+    fn add(self, rhs: Dur) -> Dur {
+        Dur(self.0.saturating_add(rhs.0))
+    }
+}
+
+impl AddAssign for Dur {
+    fn add_assign(&mut self, rhs: Dur) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sub for Dur {
+    type Output = Dur;
+    fn sub(self, rhs: Dur) -> Dur {
+        Dur(self.0.saturating_sub(rhs.0))
+    }
+}
+
+impl Mul<f64> for Dur {
+    type Output = Dur;
+    fn mul(self, rhs: f64) -> Dur {
+        debug_assert!(rhs >= 0.0, "negative duration scale {rhs}");
+        Dur((self.0 as f64 * rhs).round() as u64)
+    }
+}
+
+impl Div<u64> for Dur {
+    type Output = Dur;
+    fn div(self, rhs: u64) -> Dur {
+        Dur(self.0 / rhs)
+    }
+}
+
+impl fmt::Display for Time {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.3}s", self.as_secs_f64())
+    }
+}
+
+impl fmt::Display for Dur {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.3}s", self.as_secs_f64())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_conversion() {
+        assert_eq!(Time::from_us(1_500_000).as_secs_f64(), 1.5);
+        assert_eq!(Dur::from_secs_f64(0.25).as_us(), 250_000);
+        assert_eq!(Dur::from_ms(3).as_us(), 3_000);
+        assert_eq!(Dur::from_secs_f64(-1.0), Dur::ZERO);
+    }
+
+    #[test]
+    fn arithmetic() {
+        let t = Time::from_us(100) + Dur::from_us(50);
+        assert_eq!(t.as_us(), 150);
+        assert_eq!((t - Time::from_us(100)).as_us(), 50);
+        assert_eq!((Dur::from_us(30) + Dur::from_us(12)).as_us(), 42);
+        assert_eq!((Dur::from_us(30) - Dur::from_us(12)).as_us(), 18);
+        assert_eq!((Dur::from_us(100) * 0.5).as_us(), 50);
+        assert_eq!((Dur::from_us(100) / 4).as_us(), 25);
+    }
+
+    #[test]
+    fn since_saturates() {
+        assert_eq!(Time::from_us(5).since(Time::from_us(9)), Dur::ZERO);
+        assert_eq!(Time::from_us(9).since(Time::from_us(5)).as_us(), 4);
+    }
+
+    #[test]
+    fn ordering() {
+        assert!(Time::from_us(1) < Time::from_us(2));
+        assert!(Time::MAX > Time::from_us(u64::MAX - 1));
+        assert!(Dur::from_us(7) > Dur::ZERO);
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(format!("{}", Time::from_us(1_500_000)), "1.500s");
+        assert_eq!(format!("{}", Dur::from_us(2_000)), "0.002s");
+    }
+}

@@ -1,0 +1,159 @@
+//! Trace event and interval types.
+
+use serde::{Deserialize, Serialize};
+
+/// What a PE was doing during an [`Interval`].
+///
+/// The variants mirror the activity classes that the Charm++ Projections
+/// timeline distinguishes, plus a `Background` class for co-located
+/// interfering work that the paper's scheme must detect indirectly.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Activity {
+    /// Executing an application task (an entry method of a chare).
+    Task {
+        /// Global chare identifier whose entry method ran.
+        chare: u64,
+    },
+    /// CPU consumed by an interfering (background) job co-located on the core.
+    Background {
+        /// Background job identifier.
+        job: u32,
+    },
+    /// The core had no runnable work at all.
+    Idle,
+    /// Running the load-balancing step (measurement + strategy + commit).
+    LoadBalance,
+    /// Packing/unpacking/transferring a migrating chare.
+    Migration {
+        /// The chare being moved.
+        chare: u64,
+    },
+    /// Runtime bookkeeping that is neither a task nor LB (scheduling,
+    /// message handling, reductions).
+    Overhead,
+}
+
+impl Activity {
+    /// One-character glyph used by the ASCII timeline renderer.
+    pub fn glyph(&self) -> char {
+        match self {
+            Activity::Task { chare } => {
+                // Distinguish chares cyclically like Projections' colors.
+                const GLYPHS: [char; 8] = ['#', '@', '%', '&', '=', '+', '*', 'o'];
+                GLYPHS[(chare % GLYPHS.len() as u64) as usize]
+            }
+            Activity::Background { .. } => 'b',
+            Activity::Idle => '.',
+            Activity::LoadBalance => 'L',
+            Activity::Migration { .. } => 'M',
+            Activity::Overhead => '~',
+        }
+    }
+
+    /// `true` for activities that consume CPU cycles (everything but idle).
+    pub fn is_busy(&self) -> bool {
+        !matches!(self, Activity::Idle)
+    }
+
+    /// `true` if this activity belongs to the application under test (as
+    /// opposed to background interference or idleness).
+    pub fn is_application(&self) -> bool {
+        matches!(
+            self,
+            Activity::Task { .. }
+                | Activity::LoadBalance
+                | Activity::Migration { .. }
+                | Activity::Overhead
+        )
+    }
+
+    /// Fill color used by the SVG renderer.
+    pub fn color(&self) -> String {
+        match self {
+            Activity::Task { chare } => {
+                // Deterministic pastel palette keyed by chare id.
+                const PALETTE: [&str; 8] = [
+                    "#4c78a8", "#f58518", "#54a24b", "#e45756", "#72b7b2", "#b279a2",
+                    "#ff9da6", "#9d755d",
+                ];
+                PALETTE[(chare % PALETTE.len() as u64) as usize].to_string()
+            }
+            Activity::Background { .. } => "#bab0ac".to_string(),
+            Activity::Idle => "#f5f5f5".to_string(),
+            Activity::LoadBalance => "#222222".to_string(),
+            Activity::Migration { .. } => "#eeca3b".to_string(),
+            Activity::Overhead => "#d8d8d8".to_string(),
+        }
+    }
+}
+
+/// A half-open time interval `[start, end)` in microseconds during which a PE
+/// performed a single [`Activity`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Interval {
+    /// Start time in microseconds.
+    pub start: u64,
+    /// End time in microseconds (exclusive); `end >= start`.
+    pub end: u64,
+    /// What was running.
+    pub activity: Activity,
+}
+
+impl Interval {
+    /// Construct an interval; panics (debug) if `end < start`.
+    pub fn new(start: u64, end: u64, activity: Activity) -> Self {
+        debug_assert!(end >= start, "interval end {end} before start {start}");
+        Interval { start, end, activity }
+    }
+
+    /// Interval length in microseconds.
+    pub fn duration(&self) -> u64 {
+        self.end - self.start
+    }
+
+    /// Length of the overlap between this interval and `[lo, hi)`.
+    pub fn overlap(&self, lo: u64, hi: u64) -> u64 {
+        let s = self.start.max(lo);
+        let e = self.end.min(hi);
+        e.saturating_sub(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn glyphs_are_stable_per_chare() {
+        let a = Activity::Task { chare: 3 };
+        let b = Activity::Task { chare: 3 };
+        let c = Activity::Task { chare: 4 };
+        assert_eq!(a.glyph(), b.glyph());
+        assert_ne!(a.glyph(), c.glyph());
+    }
+
+    #[test]
+    fn busy_classification() {
+        assert!(Activity::Task { chare: 0 }.is_busy());
+        assert!(Activity::Background { job: 0 }.is_busy());
+        assert!(!Activity::Idle.is_busy());
+        assert!(Activity::LoadBalance.is_busy());
+    }
+
+    #[test]
+    fn application_classification_excludes_background() {
+        assert!(Activity::Task { chare: 0 }.is_application());
+        assert!(!Activity::Background { job: 1 }.is_application());
+        assert!(!Activity::Idle.is_application());
+    }
+
+    #[test]
+    fn interval_duration_and_overlap() {
+        let iv = Interval::new(100, 300, Activity::Idle);
+        assert_eq!(iv.duration(), 200);
+        assert_eq!(iv.overlap(0, 1000), 200);
+        assert_eq!(iv.overlap(150, 250), 100);
+        assert_eq!(iv.overlap(300, 400), 0);
+        assert_eq!(iv.overlap(0, 100), 0);
+    }
+}

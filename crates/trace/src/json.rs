@@ -1,0 +1,39 @@
+//! JSON export of trace logs, for offline analysis with external tools
+//! (the moral equivalent of Projections' log files).
+
+use crate::log::TraceLog;
+
+/// Serialize the log to a pretty-printed JSON string.
+pub fn to_json(log: &TraceLog) -> String {
+    serde_json::to_string_pretty(log).expect("TraceLog serialization cannot fail")
+}
+
+/// Parse a log previously produced by [`to_json`].
+pub fn from_json(s: &str) -> Result<TraceLog, serde_json::Error> {
+    serde_json::from_str(s)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::Activity;
+
+    #[test]
+    fn roundtrip() {
+        let mut log = TraceLog::new(3);
+        log.record(0, 0, 10, Activity::Task { chare: 42 });
+        log.record(2, 5, 9, Activity::Migration { chare: 42 });
+        log.marker(7, "m");
+        let json = to_json(&log);
+        let back = from_json(&json).unwrap();
+        assert_eq!(back.num_pes(), 3);
+        assert_eq!(back.intervals(0), log.intervals(0));
+        assert_eq!(back.intervals(2), log.intervals(2));
+        assert_eq!(back.markers(), log.markers());
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(from_json("not json").is_err());
+    }
+}

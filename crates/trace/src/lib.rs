@@ -1,0 +1,36 @@
+#![warn(missing_docs)]
+//! Projections-style tracing for `cloudlb`.
+//!
+//! The paper uses the Charm++ *Projections* tool to visualize per-core
+//! timelines (its Figures 1 and 3). This crate is the equivalent substrate:
+//! executors record typed activity intervals per processing element (PE),
+//! and the renderers turn those logs into ASCII timelines (for terminals and
+//! test assertions) or SVG (for reports).
+//!
+//! Time is carried as plain `u64` microseconds so that both the virtual-time
+//! simulator and the real-time thread executor can record into the same log
+//! without depending on each other's clock types.
+//!
+//! # Example
+//!
+//! ```
+//! use cloudlb_trace::{Activity, TraceLog, timeline::TimelineOptions};
+//!
+//! let mut log = TraceLog::new(2);
+//! log.record(0, 0, 1_000, Activity::Task { chare: 7 });
+//! log.record(1, 0, 2_000, Activity::Background { job: 0 });
+//! let art = cloudlb_trace::timeline::render_ascii(&log, &TimelineOptions::default());
+//! assert!(art.contains("pe   0"));
+//! ```
+
+pub mod event;
+pub mod json;
+pub mod log;
+pub mod profile;
+pub mod stats;
+pub mod svg;
+pub mod timeline;
+
+pub use event::{Activity, Interval};
+pub use log::TraceLog;
+pub use stats::{LogSummary, PeSummary};

@@ -1,0 +1,181 @@
+//! Per-PE interval logs.
+
+use crate::event::{Activity, Interval};
+use serde::{Deserialize, Serialize};
+
+/// A trace of one run: for every PE, the ordered list of activity intervals.
+///
+/// Executors append intervals in nondecreasing start order per PE. Gaps
+/// between recorded intervals are interpreted as [`Activity::Idle`] by the
+/// renderers and statistics, so executors may record only busy time.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct TraceLog {
+    /// `pes[p]` holds the intervals recorded on PE `p`.
+    pes: Vec<Vec<Interval>>,
+    /// Optional labelled time markers (e.g. "LB step 3", "BG job arrives").
+    markers: Vec<(u64, String)>,
+}
+
+impl TraceLog {
+    /// Create an empty log for `num_pes` processing elements.
+    pub fn new(num_pes: usize) -> Self {
+        TraceLog { pes: vec![Vec::new(); num_pes], markers: Vec::new() }
+    }
+
+    /// Number of PEs in the log.
+    pub fn num_pes(&self) -> usize {
+        self.pes.len()
+    }
+
+    /// Record that PE `pe` performed `activity` during `[start, end)`.
+    ///
+    /// Zero-length intervals are dropped. Out-of-order appends are accepted
+    /// but renderers assume per-PE ordering, so executors should not rely on
+    /// it; `sort()` restores the invariant.
+    pub fn record(&mut self, pe: usize, start: u64, end: u64, activity: Activity) {
+        if end <= start {
+            return;
+        }
+        self.pes[pe].push(Interval::new(start, end, activity));
+    }
+
+    /// Add a labelled marker at time `t` (rendered as a caption line).
+    pub fn marker(&mut self, t: u64, label: impl Into<String>) {
+        self.markers.push((t, label.into()));
+    }
+
+    /// All markers, in insertion order.
+    pub fn markers(&self) -> &[(u64, String)] {
+        &self.markers
+    }
+
+    /// Intervals recorded on PE `pe`.
+    pub fn intervals(&self, pe: usize) -> &[Interval] {
+        &self.pes[pe]
+    }
+
+    /// Restore per-PE start-time ordering after out-of-order appends.
+    pub fn sort(&mut self) {
+        for pe in &mut self.pes {
+            pe.sort_by_key(|iv| (iv.start, iv.end));
+        }
+    }
+
+    /// Earliest recorded start time, or 0 for an empty log.
+    pub fn start_time(&self) -> u64 {
+        self.pes
+            .iter()
+            .flat_map(|v| v.iter().map(|iv| iv.start))
+            .min()
+            .unwrap_or(0)
+    }
+
+    /// Latest recorded end time, or 0 for an empty log.
+    pub fn end_time(&self) -> u64 {
+        self.pes
+            .iter()
+            .flat_map(|v| v.iter().map(|iv| iv.end))
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Merge another log (same PE count) into this one. Used by the thread
+    /// executor where each worker records locally and logs are joined at the
+    /// end of the run.
+    pub fn merge(&mut self, other: TraceLog) {
+        assert_eq!(
+            self.pes.len(),
+            other.pes.len(),
+            "cannot merge logs with different PE counts"
+        );
+        for (dst, src) in self.pes.iter_mut().zip(other.pes) {
+            dst.extend(src);
+        }
+        self.markers.extend(other.markers);
+        self.sort();
+    }
+
+    /// Total busy time (any non-idle activity) on PE `pe` within `[lo, hi)`.
+    pub fn busy_in(&self, pe: usize, lo: u64, hi: u64) -> u64 {
+        self.pes[pe]
+            .iter()
+            .filter(|iv| iv.activity.is_busy())
+            .map(|iv| iv.overlap(lo, hi))
+            .sum()
+    }
+
+    /// Total time attributed to `pred`-matching activities on `pe` in `[lo, hi)`.
+    pub fn time_where(&self, pe: usize, lo: u64, hi: u64, pred: impl Fn(&Activity) -> bool) -> u64 {
+        self.pes[pe]
+            .iter()
+            .filter(|iv| pred(&iv.activity))
+            .map(|iv| iv.overlap(lo, hi))
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> TraceLog {
+        let mut log = TraceLog::new(2);
+        log.record(0, 0, 100, Activity::Task { chare: 1 });
+        log.record(0, 100, 150, Activity::Overhead);
+        log.record(1, 0, 60, Activity::Background { job: 0 });
+        log.record(1, 80, 120, Activity::Task { chare: 2 });
+        log
+    }
+
+    #[test]
+    fn records_and_reads_back() {
+        let log = sample();
+        assert_eq!(log.num_pes(), 2);
+        assert_eq!(log.intervals(0).len(), 2);
+        assert_eq!(log.intervals(1).len(), 2);
+        assert_eq!(log.start_time(), 0);
+        assert_eq!(log.end_time(), 150);
+    }
+
+    #[test]
+    fn zero_length_intervals_are_dropped() {
+        let mut log = TraceLog::new(1);
+        log.record(0, 50, 50, Activity::Idle);
+        assert!(log.intervals(0).is_empty());
+    }
+
+    #[test]
+    fn busy_in_window() {
+        let log = sample();
+        assert_eq!(log.busy_in(0, 0, 150), 150);
+        assert_eq!(log.busy_in(1, 0, 150), 100); // 60 bg + 40 task
+        assert_eq!(log.busy_in(1, 0, 100), 80); // 60 bg + 20 task
+    }
+
+    #[test]
+    fn time_where_filters_by_activity() {
+        let log = sample();
+        let bg = log.time_where(1, 0, 200, |a| matches!(a, Activity::Background { .. }));
+        assert_eq!(bg, 60);
+        let tasks = log.time_where(1, 0, 200, |a| matches!(a, Activity::Task { .. }));
+        assert_eq!(tasks, 40);
+    }
+
+    #[test]
+    fn merge_combines_and_sorts() {
+        let mut a = TraceLog::new(1);
+        a.record(0, 100, 200, Activity::Idle);
+        let mut b = TraceLog::new(1);
+        b.record(0, 0, 50, Activity::Task { chare: 0 });
+        a.merge(b);
+        assert_eq!(a.intervals(0)[0].start, 0);
+        assert_eq!(a.intervals(0)[1].start, 100);
+    }
+
+    #[test]
+    #[should_panic(expected = "different PE counts")]
+    fn merge_rejects_mismatched_pe_counts() {
+        let mut a = TraceLog::new(1);
+        a.merge(TraceLog::new(2));
+    }
+}

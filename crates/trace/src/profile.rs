@@ -1,0 +1,117 @@
+//! Usage-profile rendering: Projections' "usage profile" view — one bar
+//! per PE showing how its time divided between application work,
+//! background interference, load balancing and idleness.
+
+use crate::log::TraceLog;
+use crate::stats::{summarize, LogSummary};
+
+/// Options for the profile renderer.
+#[derive(Debug, Clone)]
+pub struct ProfileOptions {
+    /// Bar width in character cells.
+    pub width: usize,
+    /// Window start (µs); `None` = log start.
+    pub start: Option<u64>,
+    /// Window end (µs); `None` = log end.
+    pub end: Option<u64>,
+}
+
+impl Default for ProfileOptions {
+    fn default() -> Self {
+        ProfileOptions { width: 60, start: None, end: None }
+    }
+}
+
+/// Render per-PE usage bars: `#` application task time, `b` background,
+/// `L` load balancing (incl. migration), `.` idle/overhead. A percentage
+/// column gives the application share.
+pub fn render_profile(log: &TraceLog, opts: &ProfileOptions) -> String {
+    let lo = opts.start.unwrap_or_else(|| log.start_time());
+    let hi = opts.end.unwrap_or_else(|| log.end_time()).max(lo + 1);
+    let summary = summarize(log, lo, hi);
+    render_summary(&summary, opts.width)
+}
+
+/// Render a precomputed [`LogSummary`] as usage bars.
+pub fn render_summary(summary: &LogSummary, width: usize) -> String {
+    let width = width.max(10);
+    let mut out = String::new();
+    out.push_str(&format!(
+        "usage profile over [{} us, {} us):\n",
+        summary.start, summary.end
+    ));
+    for (pe, s) in summary.pes.iter().enumerate() {
+        let w = s.window_us.max(1) as f64;
+        let app = s.task_us as f64 / w;
+        let bg = s.background_us as f64 / w;
+        let lb = (s.lb_us + s.migration_us) as f64 / w;
+        let cells = |frac: f64| ((frac * width as f64).round() as usize).min(width);
+        let (na, nb, nl) = (cells(app), cells(bg), cells(lb));
+        let nidle = width.saturating_sub(na + nb + nl);
+        out.push_str(&format!("pe {pe:>3} |"));
+        out.extend(std::iter::repeat_n('#', na));
+        out.extend(std::iter::repeat_n('b', nb));
+        out.extend(std::iter::repeat_n('L', nl));
+        out.extend(std::iter::repeat_n('.', nidle));
+        out.push_str(&format!("| {:5.1}% app, {:5.1}% bg\n", app * 100.0, bg * 100.0));
+    }
+    out.push_str(&format!(
+        "mean utilization: {:.1}%\n",
+        summary.mean_utilization() * 100.0
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::Activity;
+
+    fn log() -> TraceLog {
+        let mut log = TraceLog::new(2);
+        log.record(0, 0, 600, Activity::Task { chare: 0 });
+        log.record(0, 600, 700, Activity::LoadBalance);
+        log.record(1, 0, 500, Activity::Background { job: 0 });
+        log
+    }
+
+    #[test]
+    fn renders_one_bar_per_pe_with_shares() {
+        let art = render_profile(&log(), &ProfileOptions { width: 10, ..Default::default() });
+        let rows: Vec<&str> = art.lines().filter(|l| l.starts_with("pe ")).collect();
+        assert_eq!(rows.len(), 2);
+        let bar = |row: &str| row.split('|').nth(1).expect("bar segment").to_string();
+        // PE 0: 600/700 task ≈ 9 cells, 100/700 LB ≈ 1 cell.
+        assert_eq!(bar(rows[0]).matches('#').count(), 9);
+        assert_eq!(bar(rows[0]).matches('L').count(), 1);
+        assert!(rows[0].contains("85.7% app"));
+        // PE 1: 500/700 background ≈ 7 cells, rest idle.
+        assert_eq!(bar(rows[1]).matches('b').count(), 7);
+        assert_eq!(bar(rows[1]).matches('.').count(), 3);
+    }
+
+    #[test]
+    fn reports_mean_utilization() {
+        let art = render_profile(&log(), &ProfileOptions::default());
+        // PE0 fully busy, PE1 busy 5/7: mean ≈ 85.7 %.
+        assert!(art.contains("mean utilization: 85.7%"), "{art}");
+    }
+
+    #[test]
+    fn empty_log_is_safe() {
+        let log = TraceLog::new(1);
+        let art = render_profile(&log, &ProfileOptions::default());
+        assert!(art.contains("pe   0"));
+    }
+
+    #[test]
+    fn window_restriction_changes_shares() {
+        let art = render_profile(
+            &log(),
+            &ProfileOptions { width: 10, start: Some(600), end: Some(700) },
+        );
+        let rows: Vec<&str> = art.lines().filter(|l| l.starts_with("pe ")).collect();
+        let bar = rows[0].split('|').nth(1).expect("bar segment");
+        assert_eq!(bar.matches('L').count(), 10); // pure LB window
+    }
+}

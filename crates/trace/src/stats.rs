@@ -1,0 +1,173 @@
+//! Summary statistics over trace logs: utilization, idle fraction,
+//! per-activity breakdowns. These back the quantitative assertions in the
+//! figure harnesses (e.g. "core 4 shows long task bars under interference").
+
+use crate::event::Activity;
+use crate::log::TraceLog;
+use serde::{Deserialize, Serialize};
+
+/// Per-PE time breakdown over a window.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct PeSummary {
+    /// Time spent executing application tasks (µs).
+    pub task_us: u64,
+    /// Time consumed by background/interfering jobs (µs).
+    pub background_us: u64,
+    /// Time in load balancing (µs).
+    pub lb_us: u64,
+    /// Time migrating objects (µs).
+    pub migration_us: u64,
+    /// Runtime overhead (µs).
+    pub overhead_us: u64,
+    /// Explicitly recorded or implied idle time (µs).
+    pub idle_us: u64,
+    /// Window length (µs).
+    pub window_us: u64,
+}
+
+impl PeSummary {
+    /// Fraction of the window spent busy (anything but idle), in `[0, 1]`.
+    pub fn utilization(&self) -> f64 {
+        if self.window_us == 0 {
+            return 0.0;
+        }
+        1.0 - self.idle_us as f64 / self.window_us as f64
+    }
+
+    /// Fraction of the window spent on the application under test.
+    pub fn app_fraction(&self) -> f64 {
+        if self.window_us == 0 {
+            return 0.0;
+        }
+        (self.task_us + self.lb_us + self.migration_us + self.overhead_us) as f64
+            / self.window_us as f64
+    }
+}
+
+/// Whole-log summary: one [`PeSummary`] per PE over `[start, end)`.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct LogSummary {
+    /// Window start (µs).
+    pub start: u64,
+    /// Window end (µs).
+    pub end: u64,
+    /// Per-PE breakdowns.
+    pub pes: Vec<PeSummary>,
+}
+
+impl LogSummary {
+    /// Mean utilization across PEs.
+    pub fn mean_utilization(&self) -> f64 {
+        if self.pes.is_empty() {
+            return 0.0;
+        }
+        self.pes.iter().map(|p| p.utilization()).sum::<f64>() / self.pes.len() as f64
+    }
+
+    /// Max over PEs of total application time (µs) — the makespan driver for
+    /// a tightly coupled iteration.
+    pub fn max_app_us(&self) -> u64 {
+        self.pes
+            .iter()
+            .map(|p| p.task_us + p.lb_us + p.migration_us + p.overhead_us)
+            .max()
+            .unwrap_or(0)
+    }
+}
+
+/// Summarize `log` over the window `[lo, hi)`. Unrecorded time inside the
+/// window counts as idle.
+pub fn summarize(log: &TraceLog, lo: u64, hi: u64) -> LogSummary {
+    assert!(hi >= lo, "window end before start");
+    let window = hi - lo;
+    let mut pes = Vec::with_capacity(log.num_pes());
+    for pe in 0..log.num_pes() {
+        let mut s = PeSummary { window_us: window, ..Default::default() };
+        for iv in log.intervals(pe) {
+            let ov = iv.overlap(lo, hi);
+            if ov == 0 {
+                continue;
+            }
+            match iv.activity {
+                Activity::Task { .. } => s.task_us += ov,
+                Activity::Background { .. } => s.background_us += ov,
+                Activity::LoadBalance => s.lb_us += ov,
+                Activity::Migration { .. } => s.migration_us += ov,
+                Activity::Overhead => s.overhead_us += ov,
+                Activity::Idle => {} // folded into the implicit idle below
+            }
+        }
+        let busy = s.task_us + s.background_us + s.lb_us + s.migration_us + s.overhead_us;
+        s.idle_us = window.saturating_sub(busy);
+        pes.push(s);
+    }
+    LogSummary { start: lo, end: hi, pes }
+}
+
+/// Summarize the full extent of the log.
+pub fn summarize_all(log: &TraceLog) -> LogSummary {
+    summarize(log, log.start_time(), log.end_time())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn log() -> TraceLog {
+        let mut log = TraceLog::new(2);
+        log.record(0, 0, 400, Activity::Task { chare: 0 });
+        log.record(0, 400, 500, Activity::LoadBalance);
+        log.record(1, 0, 100, Activity::Task { chare: 1 });
+        log.record(1, 100, 300, Activity::Background { job: 0 });
+        log
+    }
+
+    #[test]
+    fn summarize_accounts_every_microsecond() {
+        let s = summarize(&log(), 0, 500);
+        for pe in &s.pes {
+            let total = pe.task_us
+                + pe.background_us
+                + pe.lb_us
+                + pe.migration_us
+                + pe.overhead_us
+                + pe.idle_us;
+            assert_eq!(total, 500);
+        }
+        assert_eq!(s.pes[0].task_us, 400);
+        assert_eq!(s.pes[0].lb_us, 100);
+        assert_eq!(s.pes[0].idle_us, 0);
+        assert_eq!(s.pes[1].background_us, 200);
+        assert_eq!(s.pes[1].idle_us, 200);
+    }
+
+    #[test]
+    fn utilization_and_app_fraction() {
+        let s = summarize(&log(), 0, 500);
+        assert!((s.pes[0].utilization() - 1.0).abs() < 1e-9);
+        assert!((s.pes[1].utilization() - 0.6).abs() < 1e-9);
+        assert!((s.pes[1].app_fraction() - 0.2).abs() < 1e-9);
+    }
+
+    #[test]
+    fn window_clipping() {
+        let s = summarize(&log(), 50, 150);
+        assert_eq!(s.pes[0].task_us, 100);
+        assert_eq!(s.pes[1].task_us, 50);
+        assert_eq!(s.pes[1].background_us, 50);
+    }
+
+    #[test]
+    fn mean_utilization_and_max_app() {
+        let s = summarize(&log(), 0, 500);
+        assert!((s.mean_utilization() - 0.8).abs() < 1e-9);
+        assert_eq!(s.max_app_us(), 500);
+    }
+
+    #[test]
+    fn empty_window_is_safe() {
+        let s = summarize(&log(), 100, 100);
+        assert_eq!(s.pes[0].utilization(), 0.0);
+        assert_eq!(s.pes[0].app_fraction(), 0.0);
+    }
+}

@@ -1,0 +1,159 @@
+//! SVG timeline rendering — a closer visual analogue of the Projections
+//! screenshots in the paper's Figures 1 and 3 (colored bars per chare, grey
+//! for interference, white for idle).
+
+use crate::log::TraceLog;
+
+/// Options for SVG rendering.
+#[derive(Debug, Clone)]
+pub struct SvgOptions {
+    /// Total drawing width in pixels.
+    pub width_px: u32,
+    /// Height of each PE row in pixels.
+    pub row_height_px: u32,
+    /// Window start (µs); `None` = log start.
+    pub start: Option<u64>,
+    /// Window end (µs); `None` = log end.
+    pub end: Option<u64>,
+    /// Figure title.
+    pub title: String,
+}
+
+impl Default for SvgOptions {
+    fn default() -> Self {
+        SvgOptions {
+            width_px: 900,
+            row_height_px: 26,
+            start: None,
+            end: None,
+            title: String::new(),
+        }
+    }
+}
+
+const LEFT_MARGIN: u32 = 60;
+const TOP_MARGIN: u32 = 30;
+
+/// Render the log as an SVG document string.
+pub fn render_svg(log: &TraceLog, opts: &SvgOptions) -> String {
+    let lo = opts.start.unwrap_or_else(|| log.start_time());
+    let hi = opts.end.unwrap_or_else(|| log.end_time()).max(lo + 1);
+    let span = (hi - lo) as f64;
+    let plot_w = opts.width_px.saturating_sub(LEFT_MARGIN + 10).max(10) as f64;
+    let rows = log.num_pes() as u32;
+    let height = TOP_MARGIN + rows * (opts.row_height_px + 4) + 30;
+
+    let mut s = String::with_capacity(4096);
+    s.push_str(&format!(
+        "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"{}\" height=\"{}\" \
+         font-family=\"sans-serif\" font-size=\"11\">\n",
+        opts.width_px, height
+    ));
+    if !opts.title.is_empty() {
+        s.push_str(&format!(
+            "<text x=\"{}\" y=\"18\" font-size=\"14\">{}</text>\n",
+            LEFT_MARGIN,
+            xml_escape(&opts.title)
+        ));
+    }
+    for pe in 0..log.num_pes() {
+        let y = TOP_MARGIN + pe as u32 * (opts.row_height_px + 4);
+        s.push_str(&format!(
+            "<text x=\"4\" y=\"{}\">pe {}</text>\n",
+            y + opts.row_height_px / 2 + 4,
+            pe
+        ));
+        // Row background (idle).
+        s.push_str(&format!(
+            "<rect x=\"{LEFT_MARGIN}\" y=\"{y}\" width=\"{plot_w:.1}\" height=\"{}\" \
+             fill=\"#f5f5f5\" stroke=\"#cccccc\"/>\n",
+            opts.row_height_px
+        ));
+        for iv in log.intervals(pe) {
+            if iv.end <= lo || iv.start >= hi {
+                continue;
+            }
+            let x0 = LEFT_MARGIN as f64 + (iv.start.max(lo) - lo) as f64 / span * plot_w;
+            let x1 = LEFT_MARGIN as f64 + (iv.end.min(hi) - lo) as f64 / span * plot_w;
+            let w = (x1 - x0).max(0.25);
+            s.push_str(&format!(
+                "<rect x=\"{x0:.2}\" y=\"{y}\" width=\"{w:.2}\" height=\"{}\" fill=\"{}\">\
+                 <title>{:?} [{} us, {} us)</title></rect>\n",
+                opts.row_height_px,
+                iv.activity.color(),
+                iv.activity,
+                iv.start,
+                iv.end
+            ));
+        }
+    }
+    // Markers as vertical dashed lines.
+    for (t, label) in log.markers() {
+        if *t < lo || *t >= hi {
+            continue;
+        }
+        let x = LEFT_MARGIN as f64 + (*t - lo) as f64 / span * plot_w;
+        let y1 = TOP_MARGIN + rows * (opts.row_height_px + 4);
+        s.push_str(&format!(
+            "<line x1=\"{x:.1}\" y1=\"{TOP_MARGIN}\" x2=\"{x:.1}\" y2=\"{y1}\" \
+             stroke=\"#cc0000\" stroke-dasharray=\"4 3\"/>\n\
+             <text x=\"{:.1}\" y=\"{}\" fill=\"#cc0000\">{}</text>\n",
+            x + 3.0,
+            y1 + 14,
+            xml_escape(label)
+        ));
+    }
+    s.push_str("</svg>\n");
+    s
+}
+
+fn xml_escape(s: &str) -> String {
+    s.replace('&', "&amp;").replace('<', "&lt;").replace('>', "&gt;")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::Activity;
+
+    fn log() -> TraceLog {
+        let mut log = TraceLog::new(2);
+        log.record(0, 0, 500, Activity::Task { chare: 3 });
+        log.record(1, 100, 400, Activity::Background { job: 0 });
+        log.marker(250, "lb <step>");
+        log
+    }
+
+    #[test]
+    fn produces_wellformed_svg_shell() {
+        let svg = render_svg(&log(), &SvgOptions::default());
+        assert!(svg.starts_with("<svg"));
+        assert!(svg.trim_end().ends_with("</svg>"));
+        assert_eq!(svg.matches("<rect").count(), 4); // 2 row bg + 2 intervals
+    }
+
+    #[test]
+    fn escapes_marker_labels() {
+        let svg = render_svg(&log(), &SvgOptions::default());
+        assert!(svg.contains("lb &lt;step&gt;"));
+    }
+
+    #[test]
+    fn title_rendered_when_set() {
+        let svg = render_svg(
+            &log(),
+            &SvgOptions { title: "Fig 1".into(), ..Default::default() },
+        );
+        assert!(svg.contains("Fig 1"));
+    }
+
+    #[test]
+    fn window_clips_intervals() {
+        let svg = render_svg(
+            &log(),
+            &SvgOptions { start: Some(600), end: Some(700), ..Default::default() },
+        );
+        // Only the two row backgrounds remain.
+        assert_eq!(svg.matches("<rect").count(), 2);
+    }
+}

@@ -1,0 +1,154 @@
+//! ASCII timeline rendering, in the spirit of the Projections timelines the
+//! paper uses for its Figures 1 and 3.
+//!
+//! Each PE becomes one row of fixed-width characters; every character cell
+//! covers `window / width` microseconds and shows the glyph of the activity
+//! that dominated that cell. Idle shows as `.`, background interference as
+//! `b`, tasks as per-chare glyphs.
+
+use crate::event::Activity;
+use crate::log::TraceLog;
+
+/// Options controlling ASCII rendering.
+#[derive(Debug, Clone)]
+pub struct TimelineOptions {
+    /// Output width in character cells.
+    pub width: usize,
+    /// Window start (µs); `None` = start of the log.
+    pub start: Option<u64>,
+    /// Window end (µs); `None` = end of the log.
+    pub end: Option<u64>,
+    /// Render the marker caption lines below the timeline.
+    pub show_markers: bool,
+}
+
+impl Default for TimelineOptions {
+    fn default() -> Self {
+        TimelineOptions { width: 80, start: None, end: None, show_markers: true }
+    }
+}
+
+/// Render `log` as a multi-line ASCII timeline.
+pub fn render_ascii(log: &TraceLog, opts: &TimelineOptions) -> String {
+    let lo = opts.start.unwrap_or_else(|| log.start_time());
+    let hi = opts.end.unwrap_or_else(|| log.end_time()).max(lo + 1);
+    let width = opts.width.max(1);
+    let cell = ((hi - lo) as f64 / width as f64).max(1e-9);
+
+    let mut out = String::new();
+    out.push_str(&format!("time window: [{lo} us, {hi} us), cell = {cell:.1} us\n"));
+    for pe in 0..log.num_pes() {
+        let mut row = vec!['.'; width];
+        // For each cell pick the activity with the largest overlap.
+        let mut occupancy = vec![0u64; width];
+        for iv in log.intervals(pe) {
+            if iv.end <= lo || iv.start >= hi {
+                continue;
+            }
+            let first = (((iv.start.max(lo) - lo) as f64) / cell) as usize;
+            let last = ((((iv.end.min(hi) - lo) as f64) / cell).ceil() as usize).min(width);
+            for (c, row_c) in row.iter_mut().enumerate().take(last).skip(first) {
+                let cl = lo + (c as f64 * cell) as u64;
+                let ch = lo + ((c + 1) as f64 * cell) as u64;
+                let ov = iv.overlap(cl, ch.max(cl + 1));
+                if ov > occupancy[c] {
+                    occupancy[c] = ov;
+                    *row_c = iv.activity.glyph();
+                }
+            }
+        }
+        out.push_str(&format!("pe {pe:>3} |"));
+        out.extend(row);
+        out.push_str("|\n");
+    }
+    if opts.show_markers {
+        for (t, label) in log.markers() {
+            if *t >= lo && *t < hi {
+                let col = (((*t - lo) as f64) / cell) as usize;
+                out.push_str(&format!("{:>width$}^ {label} (t={t} us)\n", "", width = col + 8));
+            }
+        }
+    }
+    out.push_str(&legend());
+    out
+}
+
+/// Legend describing the glyphs.
+pub fn legend() -> String {
+    let entries = [
+        (Activity::Task { chare: 0 }, "task (glyph varies by chare)"),
+        (Activity::Background { job: 0 }, "background/interfering job"),
+        (Activity::Idle, "idle"),
+        (Activity::LoadBalance, "load balancing"),
+        (Activity::Migration { chare: 0 }, "migration"),
+        (Activity::Overhead, "runtime overhead"),
+    ];
+    let mut s = String::from("legend: ");
+    for (i, (a, desc)) in entries.iter().enumerate() {
+        if i > 0 {
+            s.push_str(", ");
+        }
+        s.push_str(&format!("{}={desc}", a.glyph()));
+    }
+    s.push('\n');
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn log() -> TraceLog {
+        let mut log = TraceLog::new(2);
+        log.record(0, 0, 500, Activity::Task { chare: 0 });
+        log.record(0, 500, 1000, Activity::Idle);
+        log.record(1, 0, 1000, Activity::Background { job: 0 });
+        log.marker(500, "bg ends");
+        log
+    }
+
+    #[test]
+    fn renders_one_row_per_pe() {
+        let art = render_ascii(&log(), &TimelineOptions::default());
+        assert!(art.contains("pe   0 |"));
+        assert!(art.contains("pe   1 |"));
+    }
+
+    #[test]
+    fn glyphs_reflect_activities() {
+        let opts = TimelineOptions { width: 10, ..Default::default() };
+        let art = render_ascii(&log(), &opts);
+        let rows: Vec<&str> = art.lines().filter(|l| l.starts_with("pe ")).collect();
+        // PE 0: first half tasks, second half idle.
+        assert!(rows[0].contains('#'));
+        assert!(rows[0].contains('.'));
+        // PE 1: all background.
+        assert_eq!(rows[1].matches('b').count(), 10);
+    }
+
+    #[test]
+    fn markers_rendered_when_enabled() {
+        let art = render_ascii(&log(), &TimelineOptions::default());
+        assert!(art.contains("bg ends"));
+        let art2 = render_ascii(
+            &log(),
+            &TimelineOptions { show_markers: false, ..Default::default() },
+        );
+        assert!(!art2.contains("bg ends"));
+    }
+
+    #[test]
+    fn window_restriction() {
+        let opts = TimelineOptions { width: 10, start: Some(500), end: Some(1000), ..Default::default() };
+        let art = render_ascii(&log(), &opts);
+        let rows: Vec<&str> = art.lines().filter(|l| l.starts_with("pe ")).collect();
+        assert_eq!(rows[0].matches('.').count(), 10); // pe0 idle in window
+    }
+
+    #[test]
+    fn empty_log_renders() {
+        let log = TraceLog::new(1);
+        let art = render_ascii(&log, &TimelineOptions::default());
+        assert!(art.contains("pe   0"));
+    }
+}

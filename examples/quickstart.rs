@@ -1,0 +1,56 @@
+//! Quickstart: the paper's headline experiment in ~40 lines.
+//!
+//! Runs Jacobi2D on 8 simulated cores three ways — interference-free,
+//! interfered without load balancing, and interfered with the paper's
+//! CloudRefineLB — and prints the timing penalties and energy overheads.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use cloudlb::prelude::*;
+
+fn main() {
+    let cores = 8;
+    let iterations = 100;
+
+    // The paper's scenario: a 2-core background job (their Wave2D 2-core
+    // run) interfering with the application on cores 0 and 1.
+    let lb = Scenario::paper("jacobi2d", cores, "cloudrefine");
+    let nolb = Scenario { strategy: "nolb".into(), ..lb.clone() };
+    let base = lb.base_of();
+
+    println!("Jacobi2D on {cores} cores, {iterations} iterations, 2-core interfering job\n");
+
+    let base_run = run_scenario(&base);
+    println!(
+        "interference-free base : {:>8.3} s  @ {:>5.1} W/node",
+        base_run.app_time.as_secs_f64(),
+        base_run.energy.avg_power_per_node_w
+    );
+
+    let nolb_run = run_scenario(&nolb);
+    println!(
+        "interfered, noLB       : {:>8.3} s  @ {:>5.1} W/node  (timing penalty {:>5.1} %)",
+        nolb_run.app_time.as_secs_f64(),
+        nolb_run.energy.avg_power_per_node_w,
+        nolb_run.timing_penalty_vs(&base_run) * 100.0
+    );
+
+    let lb_run = run_scenario(&lb);
+    println!(
+        "interfered, CloudRefine: {:>8.3} s  @ {:>5.1} W/node  (timing penalty {:>5.1} %, {} migrations over {} LB steps)",
+        lb_run.app_time.as_secs_f64(),
+        lb_run.energy.avg_power_per_node_w,
+        lb_run.timing_penalty_vs(&base_run) * 100.0,
+        lb_run.migrations,
+        lb_run.lb_steps
+    );
+
+    let e_nolb = nolb_run.energy_overhead_vs(&base_run) * 100.0;
+    let e_lb = lb_run.energy_overhead_vs(&base_run) * 100.0;
+    println!("\nenergy overhead vs base: noLB {e_nolb:.1} %  → LB {e_lb:.1} %");
+    let reduction =
+        (1.0 - lb_run.timing_penalty_vs(&base_run) / nolb_run.timing_penalty_vs(&base_run)) * 100.0;
+    println!("timing-penalty reduction from load balancing: {reduction:.1} %");
+}

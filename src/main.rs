@@ -1,0 +1,275 @@
+//! `cloudlb` command-line interface.
+//!
+//! ```text
+//! cloudlb run   --app jacobi2d --cores 8 --strategy cloudrefine [--iters N] [--seed S] [--json]
+//! cloudlb fig1 | fig2 | fig3 | fig4 [--fast]
+//! cloudlb matrix --app mol3d [--fast] [--json]
+//! ```
+//!
+//! `run` executes one paper scenario (base + interfered) and reports the
+//! timing penalty, power and energy overhead; the `fig*` subcommands
+//! regenerate the paper's figures; `matrix` prints both the Fig. 2 and
+//! Fig. 4 tables for one application.
+
+use cloudlb::core_api::experiment::{evaluate, run_scenario};
+use cloudlb::core_api::figures;
+use cloudlb::core_api::scenario::Scenario;
+use cloudlb::trace::profile::{render_profile, ProfileOptions};
+use cloudlb::trace::svg::{render_svg, SvgOptions};
+use cloudlb::trace::timeline::{render_ascii, TimelineOptions};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(cmd) = args.first() else {
+        eprintln!("{USAGE}");
+        return ExitCode::FAILURE;
+    };
+    let opts = match Opts::parse(&args[1..]) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("error: {e}\n\n{USAGE}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match cmd.as_str() {
+        "run" => cmd_run(&opts),
+        "fig1" => {
+            let out = figures::fig1(20);
+            println!(
+                "quiet {:.2} ms, interfered {:.2} ms ({:.2}x)\n{}",
+                out.quiet_iter_s * 1e3,
+                out.interfered_iter_s * 1e3,
+                out.interfered_iter_s / out.quiet_iter_s,
+                out.timeline
+            );
+            ExitCode::SUCCESS
+        }
+        "fig2" | "fig4" => {
+            let points = figures::eval_matrix(&opts.app, &opts.cores_list(), opts.iters, &opts.seeds);
+            let table = if cmd == "fig2" {
+                figures::fig2_table(&points)
+            } else {
+                figures::fig4_table(&points)
+            };
+            print!("{}", table.markdown());
+            ExitCode::SUCCESS
+        }
+        "fig3" => {
+            let out = figures::fig3(60, 6);
+            for (label, s) in &out.phases {
+                println!("{label:<26} {:8.2} ms", s * 1e3);
+            }
+            println!("\n{}", out.timeline);
+            ExitCode::SUCCESS
+        }
+        "trace" => cmd_trace(&opts),
+        "matrix" => {
+            let points = figures::eval_matrix(&opts.app, &opts.cores_list(), opts.iters, &opts.seeds);
+            if opts.json {
+                println!("{}", serde_json_string(&points));
+            } else {
+                println!("Fig. 2 ({})", opts.app);
+                print!("{}", figures::fig2_table(&points).markdown());
+                println!("\nFig. 4 ({})", opts.app);
+                print!("{}", figures::fig4_table(&points).markdown());
+            }
+            ExitCode::SUCCESS
+        }
+        other => {
+            eprintln!("unknown command {other:?}\n\n{USAGE}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// Resolve the scenario: either from `--scenario file.json` or from flags.
+fn scenario_from(opts: &Opts) -> Result<Scenario, String> {
+    if let Some(path) = &opts.scenario_file {
+        let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+        return serde_json::from_str(&text).map_err(|e| format!("{path}: {e}"));
+    }
+    let mut scn = Scenario::paper(&opts.app, opts.cores, &opts.strategy);
+    scn.iterations = opts.iters;
+    scn.seed = opts.seeds[0];
+    Ok(scn)
+}
+
+fn cmd_trace(opts: &Opts) -> ExitCode {
+    let mut scn = match scenario_from(opts) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    scn.trace = true;
+    let run = run_scenario(&scn);
+    let trace = run.trace.expect("tracing enabled");
+    println!("{}", render_ascii(&trace, &TimelineOptions { width: 110, ..Default::default() }));
+    println!("{}", render_profile(&trace, &ProfileOptions::default()));
+    let path = std::env::temp_dir().join("cloudlb_trace.svg");
+    let svg = render_svg(
+        &trace,
+        &SvgOptions { title: format!("{} on {} cores", scn.app, scn.cores), ..Default::default() },
+    );
+    match std::fs::write(&path, svg) {
+        Ok(()) => println!("SVG timeline: {}", path.display()),
+        Err(e) => eprintln!("could not write SVG: {e}"),
+    }
+    ExitCode::SUCCESS
+}
+
+fn cmd_run(opts: &Opts) -> ExitCode {
+    let scn = match scenario_from(opts) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let base = run_scenario(&scn.base_of());
+    let run = run_scenario(&scn);
+    if opts.json {
+        let p = evaluate(&scn.app, scn.cores, scn.iterations, &scn.strategy, &opts.seeds);
+        println!("{}", serde_json_string(&p));
+    } else {
+        println!(
+            "{} on {} cores, strategy {}: base {:.3} s, interfered {:.3} s \
+             (penalty {:.1} %), {} migrations, {:.1} W/node, energy overhead {:.1} %",
+            scn.app,
+            scn.cores,
+            scn.strategy,
+            base.app_time.as_secs_f64(),
+            run.app_time.as_secs_f64(),
+            run.timing_penalty_vs(&base) * 100.0,
+            run.migrations,
+            run.energy.avg_power_per_node_w,
+            run.energy_overhead_vs(&base) * 100.0,
+        );
+    }
+    ExitCode::SUCCESS
+}
+
+fn serde_json_string<T: serde::Serialize>(value: &T) -> String {
+    serde_json::to_string_pretty(value).expect("serializable")
+}
+
+const USAGE: &str = "usage:
+  cloudlb run    --app <name> --cores <n> [--strategy <s>] [--iters <n>] [--seed <s>] [--json]
+  cloudlb run    --scenario <file.json> [--json]
+  cloudlb trace  --app <name> --cores <n> [--strategy <s>] [--iters <n>]
+  cloudlb fig1 | fig3
+  cloudlb fig2 | fig4 [--app <name>] [--fast]
+  cloudlb matrix --app <name> [--fast] [--json]
+
+apps: jacobi2d wave2d mol3d stencil3d
+strategies: nolb greedy greedybg refine cloudrefine commrefine";
+
+/// Hand-rolled flag parsing (no CLI dependency).
+struct Opts {
+    app: String,
+    cores: usize,
+    strategy: String,
+    iters: usize,
+    seeds: Vec<u64>,
+    json: bool,
+    fast: bool,
+    scenario_file: Option<String>,
+}
+
+impl Opts {
+    fn parse(args: &[String]) -> Result<Opts, String> {
+        let mut o = Opts {
+            app: "jacobi2d".into(),
+            cores: 8,
+            strategy: "cloudrefine".into(),
+            iters: 100,
+            seeds: vec![1],
+            json: false,
+            fast: false,
+            scenario_file: None,
+        };
+        let mut it = args.iter();
+        while let Some(flag) = it.next() {
+            let mut value = |name: &str| {
+                it.next().cloned().ok_or_else(|| format!("{name} requires a value"))
+            };
+            match flag.as_str() {
+                "--app" => o.app = value("--app")?,
+                "--cores" => {
+                    o.cores = value("--cores")?.parse().map_err(|e| format!("--cores: {e}"))?
+                }
+                "--strategy" => o.strategy = value("--strategy")?,
+                "--iters" => {
+                    o.iters = value("--iters")?.parse().map_err(|e| format!("--iters: {e}"))?
+                }
+                "--seed" => {
+                    o.seeds = vec![value("--seed")?.parse().map_err(|e| format!("--seed: {e}"))?]
+                }
+                "--json" => o.json = true,
+                "--fast" => o.fast = true,
+                "--scenario" => o.scenario_file = Some(value("--scenario")?),
+                other => return Err(format!("unknown flag {other:?}")),
+            }
+        }
+        if o.cores == 0 || !o.cores.is_multiple_of(4) {
+            return Err("--cores must be a positive multiple of 4 (4-core nodes)".into());
+        }
+        if o.iters == 0 {
+            return Err("--iters must be positive".into());
+        }
+        Ok(o)
+    }
+
+    fn cores_list(&self) -> Vec<usize> {
+        if self.fast {
+            vec![4, 8]
+        } else {
+            vec![4, 8, 16, 32]
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(args: &[&str]) -> Result<Opts, String> {
+        Opts::parse(&args.iter().map(|s| s.to_string()).collect::<Vec<_>>())
+    }
+
+    #[test]
+    fn defaults() {
+        let o = parse(&[]).unwrap();
+        assert_eq!(o.app, "jacobi2d");
+        assert_eq!(o.cores, 8);
+        assert!(!o.json);
+        assert_eq!(o.cores_list(), vec![4, 8, 16, 32]);
+    }
+
+    #[test]
+    fn full_flag_set() {
+        let o = parse(&[
+            "--app", "mol3d", "--cores", "16", "--strategy", "commrefine", "--iters", "50",
+            "--seed", "9", "--json", "--fast",
+        ])
+        .unwrap();
+        assert_eq!(o.app, "mol3d");
+        assert_eq!(o.cores, 16);
+        assert_eq!(o.strategy, "commrefine");
+        assert_eq!(o.iters, 50);
+        assert_eq!(o.seeds, vec![9]);
+        assert!(o.json && o.fast);
+        assert_eq!(o.cores_list(), vec![4, 8]);
+    }
+
+    #[test]
+    fn rejections() {
+        assert!(parse(&["--cores", "6"]).is_err());
+        assert!(parse(&["--cores"]).is_err());
+        assert!(parse(&["--iters", "0"]).is_err());
+        assert!(parse(&["--bogus"]).is_err());
+        assert!(parse(&["--seed", "x"]).is_err());
+    }
+}

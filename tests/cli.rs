@@ -1,0 +1,85 @@
+//! End-to-end tests of the `cloudlb` CLI binary.
+
+use std::process::Command;
+
+fn cloudlb(args: &[&str]) -> std::process::Output {
+    Command::new(env!("CARGO_BIN_EXE_cloudlb"))
+        .args(args)
+        .output()
+        .expect("binary runs")
+}
+
+#[test]
+fn run_subcommand_reports_penalty() {
+    let out = cloudlb(&["run", "--app", "jacobi2d", "--cores", "4", "--iters", "20"]);
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("jacobi2d on 4 cores"), "{stdout}");
+    assert!(stdout.contains("penalty"), "{stdout}");
+    assert!(stdout.contains("W/node"), "{stdout}");
+}
+
+#[test]
+fn run_subcommand_json_is_parseable() {
+    let out = cloudlb(&[
+        "run", "--app", "wave2d", "--cores", "4", "--iters", "20", "--json",
+    ]);
+    assert!(out.status.success());
+    let v: serde_json::Value =
+        serde_json::from_slice(&out.stdout).expect("valid JSON on stdout");
+    assert_eq!(v["app"], "wave2d");
+    assert_eq!(v["cores"], 4);
+    assert!(v["penalty_nolb"].as_f64().expect("number") > 0.0);
+}
+
+#[test]
+fn fig1_subcommand_prints_a_timeline() {
+    let out = cloudlb(&["fig1"]);
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("interfered"), "{stdout}");
+    assert!(stdout.contains("pe   0"), "{stdout}");
+}
+
+#[test]
+fn bad_flags_fail_with_usage() {
+    for args in [&["run", "--cores", "7"][..], &["bogus"][..], &[][..]] {
+        let out = cloudlb(args);
+        assert!(!out.status.success(), "{args:?} should fail");
+        let stderr = String::from_utf8_lossy(&out.stderr);
+        assert!(stderr.contains("usage:"), "{stderr}");
+    }
+}
+
+#[test]
+fn trace_subcommand_renders_timeline_and_profile() {
+    let out = cloudlb(&["trace", "--app", "jacobi2d", "--cores", "4", "--iters", "10"]);
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("legend:"), "{stdout}");
+    assert!(stdout.contains("usage profile"), "{stdout}");
+    assert!(stdout.contains("% app"), "{stdout}");
+}
+
+#[test]
+fn scenario_file_drives_a_run() {
+    let path = std::env::temp_dir().join("cloudlb_cli_test_scenario.json");
+    std::fs::write(
+        &path,
+        r#"{"app":"wave2d","cores":4,"iterations":15,"strategy":"cloudrefine",
+            "lb_period":5,"bg":{"TwoCore":{"demand_frac":1.0}},"bg_weight":1.0,
+            "seed":3,"trace":false}"#,
+    )
+    .expect("temp file");
+    let out = cloudlb(&["run", "--scenario", path.to_str().expect("utf8")]);
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("wave2d on 4 cores"), "{stdout}");
+}
+
+#[test]
+fn missing_scenario_file_fails_cleanly() {
+    let out = cloudlb(&["run", "--scenario", "/nonexistent/scn.json"]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("error:"));
+}

@@ -1,0 +1,84 @@
+//! FIG3 semantics end-to-end: the balancer must *track* interference that
+//! comes and goes (paper §V-A: "a successful load balancing mechanism
+//! should be robust to dynamic changes in interfering tasks as they might
+//! come and go randomly").
+
+use cloudlb::core_api::figures;
+use cloudlb::prelude::*;
+use cloudlb::sim::SimRng;
+
+#[test]
+fn fig3_phases_recover_after_each_disturbance() {
+    let out = figures::fig3(60, 6);
+    let v: Vec<f64> = out.phases.iter().map(|(_, x)| *x).collect();
+    assert!(out.migrations > 0);
+    // Overloaded peaks exceed their rebalanced floors by a clear margin.
+    assert!(v[0] > 1.3 * v[1], "(a) {:.4} vs (b) {:.4}", v[0], v[1]);
+    assert!(v[3] > 1.3 * v[4], "(d) {:.4} vs (e) {:.4}", v[3], v[4]);
+    // The quiet middle phase runs no slower than the overloaded peaks.
+    assert!(v[2] < v[0] && v[2] < v[3]);
+}
+
+#[test]
+fn balancer_survives_random_interference() {
+    // Poisson-ish pulses on random cores; the LB run must complete, beat
+    // the noLB run, and remain deterministic per seed.
+    let app = Jacobi2D::for_pes(4);
+    // Sparse pulses (relative to the ~0.15 s base run): mostly one core
+    // interfered at a time, which is the regime the balancer targets.
+    // Dense multi-core interference (every core overloaded) is covered by
+    // failure_injection::all_cores_interfered_still_completes.
+    let horizon = Time::from_us(400_000);
+    let mk_script = |seed: u64| {
+        let mut rng = SimRng::new(seed);
+        BgScript::random(&mut rng, 4, horizon, Dur::from_ms(120), Dur::from_ms(150), 1.0, 50)
+    };
+
+    let mut cfg = RunConfig::paper(4, 60);
+    cfg.lb = LbConfig { strategy: "cloudrefine".into(), period: 6, ..Default::default() };
+    let lb = SimExecutor::new(&app, cfg.clone(), mk_script(7)).run();
+
+    let mut nolb_cfg = cfg.clone();
+    nolb_cfg.lb.strategy = "nolb".into();
+    let nolb = SimExecutor::new(&app, nolb_cfg, mk_script(7)).run();
+
+    assert!(lb.migrations > 0, "random interference should trigger migrations");
+    assert!(
+        lb.app_time.as_secs_f64() < nolb.app_time.as_secs_f64(),
+        "LB {:.3}s !< noLB {:.3}s under random interference",
+        lb.app_time.as_secs_f64(),
+        nolb.app_time.as_secs_f64()
+    );
+
+    let lb2 = SimExecutor::new(&app, cfg, mk_script(7)).run();
+    assert_eq!(lb.app_time, lb2.app_time, "determinism per seed");
+}
+
+#[test]
+fn interference_arriving_mid_iteration_is_absorbed() {
+    // A pulse that starts and stops in the middle of iterations (not at
+    // boundaries) must stretch exactly the overlapping iterations.
+    let app = Jacobi2D::for_pes(4);
+    let mut cfg = RunConfig::paper(4, 30);
+    cfg.lb = LbConfig::nolb();
+    let base = SimExecutor::new(&app, cfg.clone(), BgScript::none()).run();
+    let iter_us = (base.mean_iter_s() * 1e6) as u64;
+
+    // Pulse covering iterations ~10.5 .. ~14.5.
+    let bg = BgScript::pulse(
+        0,
+        2,
+        Time::from_us(iter_us * 21 / 2),
+        Time::from_us(iter_us * 29 / 2),
+        1.0,
+    );
+    let run = SimExecutor::new(&app, cfg, bg).run();
+    let times = &run.iter_times;
+    // Avoid iterations straddling LB barriers (boundaries at 10 and 20
+    // pause the app even under noLB): compare 2 vs the hit window vs 22.
+    let quiet = times[2].as_secs_f64();
+    let hit = times[11..14].iter().map(|d| d.as_secs_f64()).fold(0.0, f64::max);
+    let after = times[22].as_secs_f64();
+    assert!(hit > 1.5 * quiet, "iterations 11-13 should stretch: {hit} vs {quiet}");
+    assert!(after < 1.2 * quiet, "iteration 22 should recover: {after} vs {quiet}");
+}

@@ -1,0 +1,64 @@
+//! Energy/power invariants end-to-end through the public API.
+
+use cloudlb::prelude::*;
+use cloudlb::sim::PowerModel;
+
+fn run(strategy: &str, bg: BgScript, iters: usize) -> RunResult {
+    let app = Jacobi2D::for_pes(4);
+    let mut cfg = RunConfig::paper(4, iters);
+    cfg.lb = LbConfig { strategy: strategy.into(), period: 10, ..Default::default() };
+    SimExecutor::new(&app, cfg, bg).run()
+}
+
+#[test]
+fn power_stays_within_the_machine_envelope() {
+    let bg = BgScript::steady(0, &[0, 1], Time::ZERO, None, 1.0);
+    for r in [run("nolb", BgScript::none(), 30), run("nolb", bg.clone(), 30), run("cloudrefine", bg, 30)] {
+        let p = r.energy.avg_power_per_node_w;
+        assert!((40.0..=170.0).contains(&p), "node power {p} W outside envelope");
+        // Energy is consistent with average power and duration.
+        let recomputed = p * r.energy.duration_s * r.energy.nodes as f64;
+        assert!((recomputed - r.energy.energy_j).abs() < 1e-6 * r.energy.energy_j.max(1.0));
+    }
+}
+
+#[test]
+fn energy_never_less_than_base_power_floor() {
+    let r = run("nolb", BgScript::none(), 20);
+    let floor = 40.0 * r.energy.duration_s * r.energy.nodes as f64;
+    assert!(r.energy.energy_j >= floor - 1e-9, "{} < {}", r.energy.energy_j, floor);
+}
+
+#[test]
+fn interference_free_base_run_is_nearly_saturated() {
+    // A balanced compute-bound app keeps every core busy: power near max.
+    let r = run("nolb", BgScript::none(), 30);
+    assert!(
+        r.energy.avg_power_per_node_w > 150.0,
+        "base run power {:.1} W — cores unexpectedly idle",
+        r.energy.avg_power_per_node_w
+    );
+}
+
+#[test]
+fn lb_trades_power_for_energy() {
+    // The Fig. 4 trade-off on one cell, via raw runs.
+    let bg = BgScript::steady(0, &[0, 1], Time::ZERO, Some(Dur::from_secs_f64(0.3)), 1.0);
+    let nolb = run("nolb", bg.clone(), 60);
+    let lb = run("cloudrefine", bg, 60);
+    assert!(lb.energy.avg_power_per_node_w > nolb.energy.avg_power_per_node_w);
+    assert!(lb.energy.energy_j < nolb.energy.energy_j);
+}
+
+#[test]
+fn custom_power_models_scale_linearly() {
+    // Doubling the dynamic range doubles the dynamic part of energy.
+    let app = Jacobi2D::for_pes(4);
+    let mut cfg = RunConfig::paper(4, 20);
+    cfg.lb = LbConfig::nolb();
+    cfg.power = PowerModel { base_w: 0.0, max_w: 100.0 };
+    let r1 = SimExecutor::new(&app, cfg.clone(), BgScript::none()).run();
+    cfg.power = PowerModel { base_w: 0.0, max_w: 200.0 };
+    let r2 = SimExecutor::new(&app, cfg, BgScript::none()).run();
+    assert!((r2.energy.energy_j / r1.energy.energy_j - 2.0).abs() < 1e-9);
+}

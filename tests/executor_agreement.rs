@@ -1,0 +1,129 @@
+//! Cross-executor guarantees: the thread executor computes exactly what a
+//! serial execution computes (for every application, with and without
+//! migration), and both executors' balancers react to interference.
+
+use cloudlb::apps::grids::{Block2D, Block3D};
+use cloudlb::apps::{Jacobi2D, Mol3D, Stencil3D, Wave2D};
+use cloudlb::prelude::*;
+use cloudlb::runtime::thread_exec::{serial_reference, ThreadBg};
+
+fn thread_cfg(pes: usize, iters: usize, strategy: &str) -> ThreadRunConfig {
+    let mut cfg = ThreadRunConfig::new(pes, iters);
+    cfg.lb = LbConfig { strategy: strategy.into(), period: 4, ..Default::default() };
+    cfg
+}
+
+#[test]
+fn jacobi_threads_match_serial_with_migrations() {
+    let app = Jacobi2D::new(Block2D::new(48, 48, 4, 3));
+    let mut cfg = thread_cfg(3, 12, "cloudrefine");
+    cfg.bg.push(ThreadBg { pe: 1, from_iter: 0, to_iter: 12, weight: 2.0 });
+    let run = ThreadExecutor::run(&app, cfg);
+    assert_eq!(run.checksums, serial_reference(&app, 12));
+}
+
+#[test]
+fn wave_threads_match_serial() {
+    let app = Wave2D::new(Block2D::new(40, 40, 4, 2));
+    let run = ThreadExecutor::run(&app, thread_cfg(4, 10, "greedy"));
+    assert_eq!(run.checksums, serial_reference(&app, 10));
+}
+
+#[test]
+fn mol3d_threads_match_serial_under_interference() {
+    let app = Mol3D::with_gradient(Block3D::new(3, 2, 2), 5);
+    let mut cfg = thread_cfg(3, 9, "cloudrefine");
+    cfg.bg.push(ThreadBg { pe: 0, from_iter: 2, to_iter: 7, weight: 3.0 });
+    let run = ThreadExecutor::run(&app, cfg);
+    assert_eq!(run.checksums, serial_reference(&app, 9));
+}
+
+#[test]
+fn stencil3d_threads_match_serial() {
+    let app = Stencil3D::new(Block3D::new(2, 2, 2), 6);
+    let run = ThreadExecutor::run(&app, thread_cfg(2, 8, "refine"));
+    assert_eq!(run.checksums, serial_reference(&app, 8));
+}
+
+#[test]
+fn both_executors_migrate_under_interference() {
+    // Same app, same strategy: the simulator's balancer and the thread
+    // executor's balancer both shed the interfered core. Blocks are sized
+    // so a real task costs tens of µs — well above per-message runtime
+    // overhead, which Eq. 2 would otherwise pick up as noise.
+    let app = Jacobi2D::new(Block2D::new(512, 512, 8, 4)); // 32 chares, 64×128 points each
+
+    // Thread executor: noisy neighbour on worker 0.
+    let mut tcfg = thread_cfg(4, 16, "cloudrefine");
+    tcfg.bg.push(ThreadBg { pe: 0, from_iter: 0, to_iter: 16, weight: 2.0 });
+    let trun = ThreadExecutor::run(&app, tcfg);
+    assert!(trun.migrations > 0, "thread executor never migrated");
+    let moved_off_0 = trun.final_mapping.iter().filter(|&&p| p == 0).count();
+    assert!(moved_off_0 < 8, "worker 0 still holds {moved_off_0} of 32 chares");
+
+    // Simulator: equivalent interference on core 0.
+    let mut scfg = RunConfig::paper(4, 16);
+    scfg.lb = LbConfig { strategy: "cloudrefine".into(), period: 4, ..Default::default() };
+    let bg = BgScript::steady(0, &[0], Time::ZERO, None, 2.0);
+    let srun = SimExecutor::new(&app, scfg, bg).run();
+    assert!(srun.migrations > 0, "simulator never migrated");
+    let sim_on_0 = srun.final_mapping.iter().filter(|&&p| p == 0).count();
+    assert!(sim_on_0 < 8, "sim core 0 still holds {sim_on_0} of 32 chares");
+}
+
+#[test]
+fn nolb_threads_never_migrate() {
+    let app = Wave2D::new(Block2D::new(32, 32, 4, 2));
+    let mut cfg = thread_cfg(2, 8, "nolb");
+    cfg.bg.push(ThreadBg { pe: 0, from_iter: 0, to_iter: 8, weight: 2.0 });
+    let run = ThreadExecutor::run(&app, cfg);
+    assert_eq!(run.migrations, 0);
+    assert_eq!(run.checksums, serial_reference(&app, 8));
+}
+
+#[test]
+fn serialized_migration_preserves_numerics_for_every_app() {
+    // Charm++-style PUP path: chares travel as bytes, not boxes. Each app
+    // must round-trip its state exactly.
+    let jacobi = Jacobi2D::new(Block2D::new(48, 48, 4, 3));
+    let wave = Wave2D::new(Block2D::new(40, 40, 4, 2));
+    let mol = Mol3D::with_gradient(Block3D::new(3, 2, 2), 5);
+    let sten = Stencil3D::new(Block3D::new(2, 2, 2), 6);
+    let apps: [&dyn cloudlb::runtime::IterativeApp; 4] = [&jacobi, &wave, &mol, &sten];
+    for app in apps {
+        let mut cfg = thread_cfg(3, 9, "greedy");
+        cfg.serialize_migration = true;
+        let run = ThreadExecutor::run(app, cfg);
+        assert!(run.migrations > 0, "{}: greedy should migrate", app.name());
+        assert_eq!(
+            run.checksums,
+            serial_reference(app, 9),
+            "{}: PUP round-trip corrupted state",
+            app.name()
+        );
+    }
+}
+
+#[test]
+fn pup_roundtrip_is_identity_after_real_compute() {
+    // Drive kernels a few iterations, pack, unpack, compare checksums and
+    // subsequent behaviour.
+    let app = Wave2D::new(Block2D::new(32, 32, 2, 2));
+    let mut kernels: Vec<_> = (0..4).map(|i| app.make_kernel(i)).collect();
+    let mut inbox: Vec<Vec<(usize, Vec<f64>)>> = vec![Vec::new(); 4];
+    for iter in 0..5 {
+        let mut next: Vec<Vec<(usize, Vec<f64>)>> = vec![Vec::new(); 4];
+        for (i, k) in kernels.iter_mut().enumerate() {
+            inbox[i].sort_by_key(|e| e.0);
+            for (nb, data) in k.compute(iter, &inbox[i]) {
+                next[nb].push((i, data));
+            }
+        }
+        inbox = next;
+    }
+    for (i, k) in kernels.iter().enumerate() {
+        let bytes = k.pack().expect("wave kernels pack");
+        let back = app.unpack_kernel(i, &bytes).expect("wave unpacks");
+        assert_eq!(back.checksum(), k.checksum(), "chare {i}");
+    }
+}

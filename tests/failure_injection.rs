@@ -1,0 +1,108 @@
+//! Failure injection and awkward configurations: the runtime must stay
+//! correct (or fail loudly) outside the happy path.
+
+use cloudlb::apps::grids::Block2D;
+use cloudlb::prelude::*;
+use cloudlb::runtime::program::SyntheticApp;
+
+fn cfg(cores: usize, iters: usize, strategy: &str, period: usize) -> RunConfig {
+    let mut c = RunConfig::paper(cores, iters);
+    c.lb = LbConfig { strategy: strategy.into(), period, ..Default::default() };
+    c
+}
+
+#[test]
+fn all_cores_interfered_still_completes() {
+    // Nowhere to migrate: the balancer must do nothing harmful.
+    let app = SyntheticApp::ring(16, 0.001);
+    let bg = BgScript::steady(0, &[0, 1, 2, 3], Time::ZERO, None, 1.0);
+    let r = SimExecutor::new(&app, cfg(4, 12, "cloudrefine", 4), bg).run();
+    assert_eq!(r.iter_times.len(), 12);
+    assert_eq!(r.migrations, 0, "no useful migration exists");
+}
+
+#[test]
+fn chare_count_not_divisible_by_cores() {
+    let app = SyntheticApp::ring(13, 0.001); // 13 chares on 4 cores
+    let r = SimExecutor::new(&app, cfg(4, 10, "cloudrefine", 5), BgScript::none()).run();
+    assert_eq!(r.iter_times.len(), 10);
+    assert_eq!(r.final_mapping.len(), 13);
+    assert!(r.final_mapping.iter().all(|&p| p < 4));
+}
+
+#[test]
+fn fewer_chares_than_cores() {
+    // Under-decomposition: 3 chares on 8 cores. Most cores idle; must
+    // still run and never panic in the balancer.
+    let app = SyntheticApp::ring(3, 0.001);
+    let r = SimExecutor::new(&app, cfg(8, 8, "cloudrefine", 4), BgScript::none()).run();
+    assert_eq!(r.iter_times.len(), 8);
+}
+
+#[test]
+fn interference_flapping_every_few_iterations() {
+    // Pathological on/off interference faster than the LB period: runs to
+    // completion and stays deterministic.
+    let app = SyntheticApp::ring(32, 0.0005);
+    let mut script = BgScript::none();
+    for k in 0..10u32 {
+        let t0 = Time::from_us(3_000 * k as u64 + 500);
+        let t1 = Time::from_us(3_000 * k as u64 + 2_000);
+        script = script.merge(BgScript::pulse(k, (k % 4) as usize, t0, t1, 1.0));
+    }
+    let a = SimExecutor::new(&app, cfg(4, 30, "cloudrefine", 3), script.clone()).run();
+    let b = SimExecutor::new(&app, cfg(4, 30, "cloudrefine", 3), script).run();
+    assert_eq!(a.app_time, b.app_time);
+    assert_eq!(a.final_mapping, b.final_mapping);
+}
+
+#[test]
+fn zero_cost_tasks_terminate() {
+    // Degenerate cost model: instantaneous tasks. The run must terminate
+    // (message latency still advances virtual time).
+    let app = SyntheticApp::ring(8, 0.0);
+    let r = SimExecutor::new(&app, cfg(4, 5, "cloudrefine", 2), BgScript::none()).run();
+    assert_eq!(r.iter_times.len(), 5);
+}
+
+#[test]
+fn stop_for_unknown_bg_job_is_harmless() {
+    let app = SyntheticApp::ring(8, 0.001);
+    let script = BgScript {
+        actions: vec![(
+            Time::from_us(100),
+            cloudlb::sim::BgAction::Stop { job: 99, core: 1 },
+        )],
+    };
+    let r = SimExecutor::new(&app, cfg(4, 6, "nolb", 3), script).run();
+    assert_eq!(r.iter_times.len(), 6);
+}
+
+#[test]
+fn gain_gated_strategy_vetoes_expensive_plans_end_to_end() {
+    use cloudlb::balance::{CloudRefineLb, GainGatedLb, GateConfig};
+    let app = Jacobi2D::new(Block2D::new(96, 96, 6, 4));
+    let bg = BgScript::steady(0, &[0], Time::ZERO, None, 1.0);
+    // Prohibitive per-object cost: the gate must veto every plan.
+    let gate = GateConfig { bytes_per_sec: 1e3, per_object_cost_s: 10.0, horizon_windows: 1.0 };
+    let gated = GainGatedLb::new(CloudRefineLb::default(), gate);
+    let r = SimExecutor::new(&app, cfg(4, 12, "cloudrefine", 4), bg)
+        .run_with_strategy(Box::new(gated));
+    assert_eq!(r.migrations, 0, "gate should have vetoed all migrations");
+    assert_eq!(r.iter_times.len(), 12);
+}
+
+#[test]
+#[should_panic(expected = "beyond cluster")]
+fn bg_outside_cluster_is_rejected_loudly() {
+    let app = SyntheticApp::ring(8, 0.001);
+    let bg = BgScript::steady(0, &[17], Time::ZERO, None, 1.0);
+    SimExecutor::new(&app, cfg(4, 5, "nolb", 5), bg);
+}
+
+#[test]
+#[should_panic(expected = "at least one iteration")]
+fn zero_iterations_rejected() {
+    let app = SyntheticApp::ring(8, 0.001);
+    SimExecutor::new(&app, cfg(4, 0, "nolb", 5), BgScript::none());
+}
