@@ -29,6 +29,7 @@ pub mod greedy;
 pub mod metrics;
 pub mod predict;
 pub mod refine;
+pub mod sanitize;
 pub mod strategy;
 
 pub use cloud::CloudRefineLb;
@@ -39,4 +40,5 @@ pub use greedy::GreedyLb;
 pub use metrics::{ImbalanceMetrics, PlanMetrics};
 pub use predict::{ExpAverage, LastValue, Predictor};
 pub use refine::RefineLb;
+pub use sanitize::{sanitize_plan, SanitizedPlan};
 pub use strategy::{LbStrategy, Migration, NoLb};

@@ -1,0 +1,208 @@
+//! Plan sanitization: make an arbitrary migration plan safe to commit.
+//!
+//! [`crate::strategy::validate_plan`] *panics* on malformed plans — the
+//! right contract for catching strategy bugs in tests. A fault-tolerant
+//! runtime needs the opposite: when cores can die between snapshot and
+//! commit, a plan referencing a dead PE is an expected hazard, not a bug,
+//! and the run must keep going. [`sanitize_plan`] repairs what it can
+//! (retargeting migrations aimed at dead or out-of-range cores onto the
+//! least-loaded surviving core) and drops what it cannot (unknown tasks,
+//! duplicates, stale `from` fields, tasks stranded on dead cores with no
+//! live destination). It never panics; in the worst case the result is the
+//! identity plan (no migrations), which is always safe.
+
+use crate::db::LbStats;
+use crate::strategy::Migration;
+
+/// Outcome of sanitizing a plan.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct SanitizedPlan {
+    /// The safe-to-commit migrations.
+    pub plan: Vec<Migration>,
+    /// Migrations whose destination was rewritten to a live core.
+    pub repaired: usize,
+    /// Migrations removed entirely.
+    pub dropped: usize,
+}
+
+impl SanitizedPlan {
+    /// `true` when the input plan was already clean.
+    pub fn was_clean(&self) -> bool {
+        self.repaired == 0 && self.dropped == 0
+    }
+}
+
+/// `true` when `pe` is in range and marked alive. Indices beyond the mask
+/// count as dead (defensive: a shrunken mask must not grant liveness).
+fn is_alive(alive: &[bool], pe: usize) -> bool {
+    alive.get(pe).copied().unwrap_or(false)
+}
+
+/// Repair or drop every unsafe migration in `plan`.
+///
+/// `alive[pe]` says whether core `pe` survives; it is indexed like
+/// `stats`' PE space. Checks, in order, per migration:
+/// * task exists in `stats` (else drop);
+/// * task not already migrated by an earlier entry (else drop);
+/// * `from` matches the task's current PE (repaired silently — the task's
+///   actual location wins);
+/// * destination alive and in range (else retarget to the live core with
+///   the lowest projected total load; drop if none or if that equals the
+///   source).
+///
+/// Projected loads account for migrations already accepted, so several
+/// repaired migrations spread over the survivors instead of piling onto
+/// one core.
+pub fn sanitize_plan(stats: &LbStats, plan: &[Migration], alive: &[bool]) -> SanitizedPlan {
+    let mut out = SanitizedPlan::default();
+    // Projected per-PE totals (task loads + background), updated as
+    // migrations are accepted.
+    let mut loads = stats.total_loads();
+    let mut seen = std::collections::HashSet::new();
+
+    for m in plan {
+        let Some(task) = stats.task(m.task) else {
+            out.dropped += 1;
+            continue;
+        };
+        if !seen.insert(m.task) {
+            out.dropped += 1;
+            continue;
+        }
+        let from = task.pe; // authoritative; a stale m.from is ignored
+        let mut to = m.to;
+        let mut repaired = false;
+        if !is_alive(alive, to) {
+            // Retarget: least projected load among live cores, excluding
+            // the source (a no-op migration is a drop, not a repair).
+            let best = alive
+                .iter()
+                .enumerate()
+                .filter(|&(pe, &a)| a && pe != from && pe < loads.len())
+                .min_by(|a, b| {
+                    loads[a.0].partial_cmp(&loads[b.0]).unwrap_or(std::cmp::Ordering::Equal)
+                })
+                .map(|(pe, _)| pe);
+            match best {
+                Some(pe) => {
+                    to = pe;
+                    repaired = true;
+                }
+                None => {
+                    out.dropped += 1;
+                    continue;
+                }
+            }
+        }
+        if to == from {
+            out.dropped += 1;
+            continue;
+        }
+        if from < loads.len() {
+            loads[from] -= task.load;
+        }
+        if to < loads.len() {
+            loads[to] += task.load;
+        }
+        out.repaired += usize::from(repaired);
+        out.plan.push(Migration { task: m.task, from, to });
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::db::{TaskId, TaskInfo};
+
+    fn stats(pes: usize, tasks: &[(u64, usize, f64)]) -> LbStats {
+        let mut s = LbStats::new(pes);
+        s.tasks = tasks
+            .iter()
+            .map(|&(id, pe, load)| TaskInfo { id: TaskId(id), pe, load, bytes: 64 })
+            .collect();
+        s
+    }
+
+    #[test]
+    fn clean_plan_passes_through() {
+        let s = stats(3, &[(0, 0, 1.0), (1, 0, 1.0)]);
+        let plan = vec![Migration { task: TaskId(1), from: 0, to: 2 }];
+        let r = sanitize_plan(&s, &plan, &[true, true, true]);
+        assert_eq!(r.plan, plan);
+        assert!(r.was_clean());
+    }
+
+    #[test]
+    fn dead_destination_is_retargeted_to_least_loaded_survivor() {
+        let s = stats(4, &[(0, 0, 1.0), (1, 2, 5.0), (2, 3, 0.5)]);
+        // Core 1 is dead; the plan still aims there.
+        let plan = vec![Migration { task: TaskId(0), from: 0, to: 1 }];
+        let r = sanitize_plan(&s, &plan, &[true, false, true, true]);
+        assert_eq!(r.repaired, 1);
+        assert_eq!(r.dropped, 0);
+        // Survivors: pe2 (5.0) and pe3 (0.5) → retarget to pe3.
+        assert_eq!(r.plan, vec![Migration { task: TaskId(0), from: 0, to: 3 }]);
+    }
+
+    #[test]
+    fn repairs_spread_over_survivors() {
+        let s = stats(3, &[(0, 0, 1.0), (1, 0, 1.0), (2, 2, 0.1)]);
+        // Both migrations aim at dead core 1; the second repair must see
+        // the first one's projected load and pick the other survivor.
+        let plan = vec![
+            Migration { task: TaskId(0), from: 0, to: 1 },
+            Migration { task: TaskId(1), from: 0, to: 1 },
+        ];
+        let r = sanitize_plan(&s, &plan, &[true, false, true]);
+        assert_eq!(r.repaired, 2);
+        let dests: Vec<usize> = r.plan.iter().map(|m| m.to).collect();
+        assert_eq!(dests, vec![2, 2]); // 0.1, then 1.1 — still below source's 2.0
+    }
+
+    #[test]
+    fn unknown_duplicate_and_noop_migrations_are_dropped() {
+        let s = stats(2, &[(0, 0, 1.0)]);
+        let plan = vec![
+            Migration { task: TaskId(9), from: 0, to: 1 }, // unknown
+            Migration { task: TaskId(0), from: 0, to: 1 },
+            Migration { task: TaskId(0), from: 0, to: 1 }, // duplicate
+            Migration { task: TaskId(0), from: 0, to: 0 }, // would be no-op
+        ];
+        let r = sanitize_plan(&s, &plan, &[true, true]);
+        assert_eq!(r.plan.len(), 1);
+        assert_eq!(r.dropped, 3);
+    }
+
+    #[test]
+    fn stale_from_is_corrected_from_stats() {
+        let s = stats(3, &[(0, 2, 1.0)]);
+        let plan = vec![Migration { task: TaskId(0), from: 0, to: 1 }];
+        let r = sanitize_plan(&s, &plan, &[true, true, true]);
+        assert_eq!(r.plan, vec![Migration { task: TaskId(0), from: 2, to: 1 }]);
+    }
+
+    #[test]
+    fn no_survivors_means_identity_plan_not_panic() {
+        let s = stats(2, &[(0, 0, 1.0)]);
+        let plan = vec![Migration { task: TaskId(0), from: 0, to: 1 }];
+        // Only the source is alive → nothing valid to do.
+        let r = sanitize_plan(&s, &plan, &[true, false]);
+        assert!(r.plan.is_empty());
+        assert_eq!(r.dropped, 1);
+        // Even an all-dead mask (or an empty one) must not panic.
+        let r = sanitize_plan(&s, &plan, &[false, false]);
+        assert!(r.plan.is_empty());
+        let r = sanitize_plan(&s, &plan, &[]);
+        assert!(r.plan.is_empty());
+    }
+
+    #[test]
+    fn out_of_range_destination_is_treated_as_dead() {
+        let s = stats(2, &[(0, 0, 1.0)]);
+        let plan = vec![Migration { task: TaskId(0), from: 0, to: 7 }];
+        let r = sanitize_plan(&s, &plan, &[true, true]);
+        assert_eq!(r.plan, vec![Migration { task: TaskId(0), from: 0, to: 1 }]);
+        assert_eq!(r.repaired, 1);
+    }
+}

@@ -1,4 +1,4 @@
-//! Property-based tests over all load-balancing strategies.
+//! Randomized tests over all load-balancing strategies.
 //!
 //! Invariants checked on random databases:
 //! * plans are structurally valid (no duplicates, correct `from`, in-range
@@ -8,40 +8,45 @@
 //!   receiver above `T_avg + ε`;
 //! * refinement migrates no more than greedy on interfered snapshots;
 //! * greedy (bg-aware) achieves near-optimal balance on homogeneous tasks.
+//!
+//! Databases are generated with the repo's deterministic `SimRng` from
+//! fixed seeds, so every run exercises the same reproducible corpus.
 
 use cloudlb_balance::strategy::{apply_plan, validate_plan};
 use cloudlb_balance::{
     CloudRefineLb, CommEdge, CommRefineLb, GreedyLb, LbStats, LbStrategy, NoLb, RefineLb, TaskId,
     TaskInfo,
 };
-use proptest::prelude::*;
+use cloudlb_sim::SimRng;
 
 /// Random database: 1–16 PEs, 0–128 tasks, loads in [0, 2], bg in [0, 4],
 /// plus a random communication graph over the tasks.
-fn arb_stats() -> impl Strategy<Value = LbStats> {
-    (1usize..16, 0usize..128).prop_flat_map(|(pes, ntasks)| {
-        let tasks = proptest::collection::vec((0..pes, 0.0f64..2.0, 0u64..1_000_000), ntasks);
-        let bg = proptest::collection::vec(0.0f64..4.0, pes);
-        let edges = proptest::collection::vec(
-            (0usize..ntasks.max(1), 0usize..ntasks.max(1), 1u64..1_000_000),
-            0..(ntasks / 2 + 1),
-        );
-        (Just(pes), tasks, bg, edges).prop_map(|(pes, raw, bg, edges)| {
-            let mut s = LbStats::new(pes);
-            s.tasks = raw
-                .into_iter()
-                .enumerate()
-                .map(|(i, (pe, load, bytes))| TaskInfo { id: TaskId(i as u64), pe, load, bytes })
-                .collect();
-            s.bg_load = bg;
-            s.comm = edges
-                .into_iter()
-                .filter(|(a, b, _)| a != b && *a < s.tasks.len() && *b < s.tasks.len())
-                .map(|(a, b, bytes)| CommEdge { a: TaskId(a as u64), b: TaskId(b as u64), bytes })
-                .collect();
-            s
+fn arb_stats(rng: &mut SimRng) -> LbStats {
+    let pes = rng.range_u64(1, 16) as usize;
+    let ntasks = rng.below(128) as usize;
+    let mut s = LbStats::new(pes);
+    s.tasks = (0..ntasks)
+        .map(|i| TaskInfo {
+            id: TaskId(i as u64),
+            pe: rng.below(pes as u64) as usize,
+            load: rng.range_f64(0.0, 2.0),
+            bytes: rng.below(1_000_000),
         })
-    })
+        .collect();
+    s.bg_load = (0..pes).map(|_| rng.range_f64(0.0, 4.0)).collect();
+    let nedges = rng.below((ntasks / 2 + 1) as u64) as usize;
+    s.comm = (0..nedges)
+        .map(|_| {
+            (
+                rng.below(ntasks.max(1) as u64) as usize,
+                rng.below(ntasks.max(1) as u64) as usize,
+                rng.range_u64(1, 1_000_000),
+            )
+        })
+        .filter(|(a, b, _)| a != b && *a < ntasks && *b < ntasks)
+        .map(|(a, b, bytes)| CommEdge { a: TaskId(a as u64), b: TaskId(b as u64), bytes })
+        .collect();
+    s
 }
 
 fn max_total(stats: &LbStats) -> f64 {
@@ -60,36 +65,50 @@ fn all_strategies() -> Vec<Box<dyn LbStrategy>> {
     ]
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(192))]
+const CASES: usize = 192;
 
-    #[test]
-    fn plans_are_structurally_valid(stats in arb_stats()) {
+#[test]
+fn plans_are_structurally_valid() {
+    let mut rng = SimRng::new(0x0051_A701);
+    for _ in 0..CASES {
+        let stats = arb_stats(&mut rng);
         for mut lb in all_strategies() {
             let plan = lb.plan(&stats);
             validate_plan(&stats, &plan);
         }
     }
+}
 
-    #[test]
-    fn strategies_are_deterministic(stats in arb_stats()) {
+#[test]
+fn strategies_are_deterministic() {
+    let mut rng = SimRng::new(0x0051_A702);
+    for _ in 0..CASES {
+        let stats = arb_stats(&mut rng);
         for (mut a, mut b) in all_strategies().into_iter().zip(all_strategies()) {
-            prop_assert_eq!(a.plan(&stats), b.plan(&stats));
+            assert_eq!(a.plan(&stats), b.plan(&stats), "strategy {}", a.name());
         }
     }
+}
 
-    #[test]
-    fn refinement_never_worsens_makespan(stats in arb_stats()) {
+#[test]
+fn refinement_never_worsens_makespan() {
+    let mut rng = SimRng::new(0x0051_A703);
+    for _ in 0..CASES {
+        let stats = arb_stats(&mut rng);
         let mut lb = CloudRefineLb::default();
         let plan = lb.plan(&stats);
         let after = apply_plan(&stats, &plan);
-        prop_assert!(max_total(&after) <= max_total(&stats) + 1e-9);
+        assert!(max_total(&after) <= max_total(&stats) + 1e-9);
     }
+}
 
-    #[test]
-    fn receivers_stay_within_tolerance(stats in arb_stats()) {
-        // Every core that *receives* work must end at or below T_avg + ε
-        // (Algorithm 1 line 12). Donors may stay above if nothing fits.
+#[test]
+fn receivers_stay_within_tolerance() {
+    // Every core that *receives* work must end at or below T_avg + ε
+    // (Algorithm 1 line 12). Donors may stay above if nothing fits.
+    let mut rng = SimRng::new(0x0051_A704);
+    for _ in 0..CASES {
+        let stats = arb_stats(&mut rng);
         let eps_frac = 0.05;
         let mut lb = CloudRefineLb::with_epsilon(eps_frac);
         let plan = lb.plan(&stats);
@@ -97,15 +116,22 @@ proptest! {
         let after = apply_plan(&stats, &plan);
         let loads = after.total_loads();
         for m in &plan {
-            prop_assert!(
+            assert!(
                 loads[m.to] <= t_avg + eps_frac * t_avg + 1e-9,
-                "receiver pe{} at {} exceeds {}", m.to, loads[m.to], t_avg * (1.0 + eps_frac)
+                "receiver pe{} at {} exceeds {}",
+                m.to,
+                loads[m.to],
+                t_avg * (1.0 + eps_frac)
             );
         }
     }
+}
 
-    #[test]
-    fn donors_only_shed_load(stats in arb_stats()) {
+#[test]
+fn donors_only_shed_load() {
+    let mut rng = SimRng::new(0x0051_A705);
+    for _ in 0..CASES {
+        let stats = arb_stats(&mut rng);
         let mut lb = CloudRefineLb::default();
         let plan = lb.plan(&stats);
         let before = stats.total_loads();
@@ -113,27 +139,36 @@ proptest! {
         let donors: std::collections::HashSet<usize> = plan.iter().map(|m| m.from).collect();
         let receivers: std::collections::HashSet<usize> = plan.iter().map(|m| m.to).collect();
         for pe in donors.difference(&receivers) {
-            prop_assert!(after[*pe] <= before[*pe] + 1e-9);
+            assert!(after[*pe] <= before[*pe] + 1e-9);
         }
     }
+}
 
-    #[test]
-    fn refine_migrates_at_most_as_much_as_greedy_moves(stats in arb_stats()) {
-        // Refinement is the paper's minimal-churn point; greedy reassigns
-        // from scratch. Compare moved-task counts.
+#[test]
+fn refine_migrates_at_most_as_much_as_greedy_moves() {
+    // Refinement is the paper's minimal-churn point; greedy reassigns
+    // from scratch. Compare moved-task counts.
+    let mut rng = SimRng::new(0x0051_A706);
+    for _ in 0..CASES {
+        let stats = arb_stats(&mut rng);
         let refine = CloudRefineLb::default().plan(&stats);
         let greedy = GreedyLb::interference_aware().plan(&stats);
         // Greedy may incidentally keep tasks in place; only assert when it
         // actually had to move most things (the common interfered case).
         if greedy.len() >= stats.tasks.len() / 2 {
-            prop_assert!(refine.len() <= greedy.len());
+            assert!(refine.len() <= greedy.len());
         }
     }
+}
 
-    #[test]
-    fn greedy_bg_aware_balances_uniform_tasks(pes in 2usize..9, per_pe in 2usize..9) {
-        // All tasks equal, no interference: greedy must achieve ratio
-        // max/avg <= 1 + 1/(tasks per pe).
+#[test]
+fn greedy_bg_aware_balances_uniform_tasks() {
+    // All tasks equal, no interference: greedy must achieve ratio
+    // max/avg <= 1 + 1/(tasks per pe).
+    let mut rng = SimRng::new(0x0051_A707);
+    for _ in 0..CASES {
+        let pes = rng.range_u64(2, 9) as usize;
+        let per_pe = rng.range_u64(2, 9) as usize;
         let mut s = LbStats::new(pes);
         let n = pes * per_pe;
         for i in 0..n {
@@ -144,24 +179,26 @@ proptest! {
         let loads = after.total_loads();
         let max = loads.iter().copied().fold(0.0, f64::max);
         let avg = s.t_avg();
-        prop_assert!(max / avg <= 1.0 + 1.0 / per_pe as f64 + 1e-9, "max {max} avg {avg}");
+        assert!(max / avg <= 1.0 + 1.0 / per_pe as f64 + 1e-9, "max {max} avg {avg}");
     }
+}
 
-    #[test]
-    fn cloud_refine_fixes_single_interfered_core(
-        pes in 2usize..17,
-        per_pe in 8usize..17,
-        bg in 1.5f64..3.0,
-    ) {
-        // Uniformly decomposed app + one interfered core: after LB the
-        // perceived makespan must drop strictly. The generator stays in
-        // the regime Algorithm 1 targets: interference large enough that
-        // other cores fall below `T_avg − ε` (needs `bg > ε·P/(1−ε)`, so
-        // bg ≥ 1.5 covers P ≤ 16 at ε = 5 %), and decomposition fine
-        // enough that a task fits the receivers' headroom (≥ 8 chares per
-        // core). Outside that regime an empty plan is the *correct*
-        // output — covered by `all_cores_overloaded_by_bg_terminates` and
-        // the ε-sweep ablation.
+#[test]
+fn cloud_refine_fixes_single_interfered_core() {
+    // Uniformly decomposed app + one interfered core: after LB the
+    // perceived makespan must drop strictly. The generator stays in
+    // the regime Algorithm 1 targets: interference large enough that
+    // other cores fall below `T_avg − ε` (needs `bg > ε·P/(1−ε)`, so
+    // bg ≥ 1.5 covers P ≤ 16 at ε = 5 %), and decomposition fine
+    // enough that a task fits the receivers' headroom (≥ 8 chares per
+    // core). Outside that regime an empty plan is the *correct*
+    // output — covered by `all_cores_overloaded_by_bg_terminates` and
+    // the ε-sweep ablation.
+    let mut rng = SimRng::new(0x0051_A708);
+    for _ in 0..CASES {
+        let pes = rng.range_u64(2, 17) as usize;
+        let per_pe = rng.range_u64(8, 17) as usize;
+        let bg = rng.range_f64(1.5, 3.0);
         let mut s = LbStats::new(pes);
         let task_load = 1.0 / per_pe as f64;
         let mut id = 0u64;
@@ -173,8 +210,8 @@ proptest! {
         }
         s.bg_load[0] = bg;
         let plan = CloudRefineLb::default().plan(&s);
-        prop_assert!(!plan.is_empty());
+        assert!(!plan.is_empty());
         let after = apply_plan(&s, &plan);
-        prop_assert!(max_total(&after) < max_total(&s) - 1e-9);
+        assert!(max_total(&after) < max_total(&s) - 1e-9);
     }
 }

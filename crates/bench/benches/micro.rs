@@ -1,9 +1,12 @@
-//! MICRO — criterion microbenchmarks of the performance-critical pieces:
-//! strategy planning, event-queue throughput, the proportional-share core
-//! advance, and the real Jacobi kernel.
+//! MICRO — microbenchmarks of the performance-critical pieces: strategy
+//! planning, event-queue throughput, the proportional-share core advance,
+//! and the real Jacobi kernel.
+//!
+//! Uses a small self-contained timing loop (median of repeated batches)
+//! like every other `harness = false` bench in this crate.
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use std::hint::black_box;
+use std::time::Instant;
 
 use cloudlb_apps::grids::Block2D;
 use cloudlb_apps::Jacobi2D;
@@ -11,6 +14,28 @@ use cloudlb_balance::{CloudRefineLb, GreedyLb, LbStats, LbStrategy, TaskId, Task
 use cloudlb_runtime::program::IterativeApp;
 use cloudlb_sim::core_sched::{Core, FgLabel};
 use cloudlb_sim::{Dur, EventQueue, Time};
+
+/// Run `f` in `samples` batches of `iters` calls; print the per-call
+/// median batch time in microseconds.
+fn bench(name: &str, samples: usize, iters: usize, mut f: impl FnMut()) {
+    // Warm-up batch.
+    for _ in 0..iters {
+        f();
+    }
+    let mut per_call_us: Vec<f64> = (0..samples)
+        .map(|_| {
+            let t0 = Instant::now();
+            for _ in 0..iters {
+                f();
+            }
+            t0.elapsed().as_secs_f64() * 1e6 / iters as f64
+        })
+        .collect();
+    per_call_us.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    let median = per_call_us[per_call_us.len() / 2];
+    let best = per_call_us[0];
+    println!("{name:<40} {median:>12.2} µs/call   (best {best:.2})");
+}
 
 /// An interfered 32-core database with 16 tasks per core.
 fn big_db() -> LbStats {
@@ -28,67 +53,46 @@ fn big_db() -> LbStats {
     db
 }
 
-fn bench_strategies(c: &mut Criterion) {
+fn main() {
+    let fast = std::env::var("CLOUDLB_FAST").is_ok_and(|v| v != "0");
+    let samples = if fast { 5 } else { 20 };
+    println!("MICRO — medians over {samples} batches\n");
+
     let db = big_db();
-    c.bench_function("cloud_refine_plan_512_tasks_32_pes", |b| {
-        b.iter(|| CloudRefineLb::default().plan(black_box(&db)))
+    bench("cloud_refine_plan_512_tasks_32_pes", samples, 20, || {
+        black_box(CloudRefineLb::default().plan(black_box(&db)));
     });
-    c.bench_function("greedy_plan_512_tasks_32_pes", |b| {
-        b.iter(|| GreedyLb::interference_aware().plan(black_box(&db)))
+    bench("greedy_plan_512_tasks_32_pes", samples, 20, || {
+        black_box(GreedyLb::interference_aware().plan(black_box(&db)));
     });
-}
 
-fn bench_event_queue(c: &mut Criterion) {
-    c.bench_function("event_queue_push_pop_10k", |b| {
-        b.iter_batched(
-            EventQueue::<u32>::new,
-            |mut q| {
-                for i in 0..10_000u32 {
-                    q.schedule(Time::from_us((i as u64 * 7919) % 100_000), i);
-                }
-                while let Some(ev) = q.pop() {
-                    black_box(ev);
-                }
-            },
-            BatchSize::SmallInput,
-        )
+    bench("event_queue_push_pop_10k", samples, 5, || {
+        let mut q = EventQueue::<u32>::new();
+        for i in 0..10_000u32 {
+            q.schedule(Time::from_us((i as u64 * 7919) % 100_000), i);
+        }
+        while let Some(ev) = q.pop() {
+            black_box(ev);
+        }
     });
-}
 
-fn bench_core_advance(c: &mut Criterion) {
-    c.bench_function("core_advance_1k_tasks_with_bg", |b| {
-        b.iter(|| {
-            let mut core = Core::new(0);
-            core.add_bg(0, None, 1.0);
-            let mut events = Vec::new();
-            for i in 0..1_000u64 {
-                core.start_fg(FgLabel { chare: i }, Dur::from_us(100), 1.0);
-                let now = core.next_completion().expect("finite fg");
-                core.advance(now, &mut events, None);
-                events.clear();
-            }
-            black_box(core.stat())
-        })
+    bench("core_advance_1k_tasks_with_bg", samples, 10, || {
+        let mut core = Core::new(0);
+        core.add_bg(0, None, 1.0);
+        let mut events = Vec::new();
+        for i in 0..1_000u64 {
+            core.start_fg(FgLabel { chare: i }, Dur::from_us(100), 1.0);
+            let now = core.next_completion().expect("finite fg");
+            core.advance(now, &mut events, None);
+            events.clear();
+        }
+        black_box(core.stat());
     });
-}
 
-fn bench_jacobi_kernel(c: &mut Criterion) {
     let app = Jacobi2D::new(Block2D::new(320, 320, 2, 2)); // 160×160 blocks
-    c.bench_function("jacobi_kernel_160x160_step", |b| {
-        b.iter_batched(
-            || app.make_kernel(0),
-            |mut k| {
-                let boot = k.compute(0, &[]);
-                black_box(k.compute(1, &boot));
-            },
-            BatchSize::SmallInput,
-        )
+    bench("jacobi_kernel_160x160_step", samples, 10, || {
+        let mut k = app.make_kernel(0);
+        let boot = k.compute(0, &[]);
+        black_box(k.compute(1, &boot));
     });
 }
-
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(500));
-    targets = bench_strategies, bench_event_queue, bench_core_advance, bench_jacobi_kernel
-}
-criterion_main!(benches);

@@ -12,15 +12,50 @@
 //! set of seeds and averaging — the paper averages three repeated runs.
 
 use crate::scenario::Scenario;
-use cloudlb_runtime::{RunResult, SimExecutor};
+use cloudlb_runtime::{RunResult, RuntimeError, SimExecutor};
 use cloudlb_sim::stats::mean;
 use serde::{Deserialize, Serialize};
 
-/// Execute a single scenario.
+/// Execute a single scenario. Panics if an injected failure turns out
+/// unrecoverable; use [`try_run_scenario`] for failure experiments.
 pub fn run_scenario(s: &Scenario) -> RunResult {
+    try_run_scenario(s).unwrap_or_else(|e| panic!("scenario failed: {e}"))
+}
+
+/// Execute a single scenario, reporting unrecoverable injected failures
+/// as typed errors.
+pub fn try_run_scenario(s: &Scenario) -> Result<RunResult, RuntimeError> {
     let app = s.build_app();
     let bg = s.bg_script(app.as_ref());
-    SimExecutor::new(app.as_ref(), s.run_config(), bg).run()
+    let fail = s.fail_script(app.as_ref());
+    SimExecutor::new(app.as_ref(), s.run_config(), bg).with_failures(fail).try_run()
+}
+
+/// The cost of surviving failures: a failure-injected run compared against
+/// the same scenario without its failure schedule.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FailureImpact {
+    /// Cores killed during the run.
+    pub failures: usize,
+    /// Rollback/replay cycles completed.
+    pub recoveries: usize,
+    /// Chare-iterations re-executed during replay.
+    pub replayed_iters: usize,
+    /// Seconds spent in detection, restore and re-balancing pauses.
+    pub recovery_time_s: f64,
+    /// Wall-time penalty of the failures: `(T_fail − T_clean) / T_clean`.
+    pub failure_penalty: f64,
+}
+
+/// Compare a failure-injected run against its failure-free twin.
+pub fn failure_impact(failed: &RunResult, clean: &RunResult) -> FailureImpact {
+    FailureImpact {
+        failures: failed.failures,
+        recoveries: failed.recoveries,
+        replayed_iters: failed.replayed_iters,
+        recovery_time_s: failed.recovery_time.as_secs_f64(),
+        failure_penalty: failed.timing_penalty_vs(clean),
+    }
 }
 
 /// Averaged metrics for one `(app, cores)` cell.
@@ -186,5 +221,24 @@ mod tests {
     #[should_panic(expected = "!seeds.is_empty()")]
     fn evaluate_requires_seeds() {
         evaluate("jacobi2d", 4, 10, "cloudrefine", &[]);
+    }
+
+    #[test]
+    fn failure_drill_survives_and_reports_impact() {
+        let mut drill = Scenario::failure_drill("wave2d", 4, "cloudrefine");
+        drill.iterations = 30;
+        let mut clean = drill.clone();
+        clean.fail.clear();
+        let failed = try_run_scenario(&drill).expect("drill must be recoverable");
+        let base = run_scenario(&clean);
+        assert_eq!(failed.iter_times.len(), 30);
+        let impact = failure_impact(&failed, &base);
+        assert_eq!(impact.failures, 1);
+        assert_eq!(impact.recoveries, 1);
+        assert!(impact.replayed_iters > 0);
+        assert!(impact.recovery_time_s > 0.0);
+        assert!(impact.failure_penalty > 0.0, "losing a core must cost time");
+        // The dead core hosts nothing at the end.
+        assert!(failed.final_mapping.iter().all(|&p| p != 3));
     }
 }

@@ -19,5 +19,7 @@ pub mod figures;
 pub mod report;
 pub mod scenario;
 
-pub use experiment::{evaluate, run_scenario, EvalPoint};
-pub use scenario::{BgPattern, Scenario};
+pub use experiment::{
+    evaluate, failure_impact, run_scenario, try_run_scenario, EvalPoint, FailureImpact,
+};
+pub use scenario::{BgPattern, FailSpec, Scenario};

@@ -14,7 +14,7 @@
 use cloudlb_apps::{Jacobi2D, Mol3D, Stencil3D, Wave2D};
 use cloudlb_runtime::{IterativeApp, LbConfig, RunConfig};
 use cloudlb_sim::interference::BgScript;
-use cloudlb_sim::{Dur, Time};
+use cloudlb_sim::{Dur, FailureScript, Time};
 use serde::{Deserialize, Serialize};
 
 /// Interference pattern for a scenario.
@@ -40,6 +40,63 @@ pub enum BgPattern {
     Phased,
 }
 
+/// One scheduled PE/node failure, with instants expressed as fractions of
+/// the expected interference-free app duration — so the same spec ports
+/// across applications and core counts.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FailSpec {
+    /// Kill a whole node instead of a single core.
+    #[serde(default)]
+    pub node: bool,
+    /// Core index (or node index when `node` is set).
+    pub index: usize,
+    /// Kill instant as a fraction of the expected base app time.
+    pub at_frac: f64,
+    /// Optional restore instant (same scale); `None` = permanent loss.
+    #[serde(default)]
+    pub restore_frac: Option<f64>,
+}
+
+impl FailSpec {
+    /// Parse the CLI syntax: `core:2@0.5` kills core 2 at 50 % of the
+    /// expected run; `node:1@0.3~0.8` takes node 1 down between 30 % and
+    /// 80 %.
+    pub fn parse(s: &str) -> Result<FailSpec, String> {
+        let (kind, rest) =
+            s.split_once(':').ok_or_else(|| format!("bad failure spec {s:?}: missing ':'"))?;
+        let node = match kind {
+            "core" => false,
+            "node" => true,
+            other => return Err(format!("bad failure spec {s:?}: unknown target {other:?}")),
+        };
+        let (idx, when) =
+            rest.split_once('@').ok_or_else(|| format!("bad failure spec {s:?}: missing '@'"))?;
+        let index: usize =
+            idx.parse().map_err(|_| format!("bad failure spec {s:?}: index {idx:?}"))?;
+        let (at, restore) = match when.split_once('~') {
+            Some((a, r)) => (a, Some(r)),
+            None => (when, None),
+        };
+        let at_frac: f64 =
+            at.parse().map_err(|_| format!("bad failure spec {s:?}: time {at:?}"))?;
+        let restore_frac = match restore {
+            Some(r) => Some(
+                r.parse::<f64>().map_err(|_| format!("bad failure spec {s:?}: time {r:?}"))?,
+            ),
+            None => None,
+        };
+        if !(at_frac >= 0.0 && at_frac.is_finite()) {
+            return Err(format!("bad failure spec {s:?}: kill time must be >= 0"));
+        }
+        if let Some(r) = restore_frac {
+            if !(r > at_frac && r.is_finite()) {
+                return Err(format!("bad failure spec {s:?}: restore must come after the kill"));
+            }
+        }
+        Ok(FailSpec { node, index, at_frac, restore_frac })
+    }
+}
+
 /// One experiment configuration.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct Scenario {
@@ -62,6 +119,9 @@ pub struct Scenario {
     pub seed: u64,
     /// Record a Projections-style trace.
     pub trace: bool,
+    /// Scheduled PE/node failures (empty = failure-free run).
+    #[serde(default)]
+    pub fail: Vec<FailSpec>,
 }
 
 impl Scenario {
@@ -91,6 +151,22 @@ impl Scenario {
             bg_weight,
             seed: 1,
             trace: false,
+            fail: Vec::new(),
+        }
+    }
+
+    /// Failure-drill preset: the paper scenario (interference included)
+    /// plus a permanent kill of the last core at 40 % of the expected run
+    /// — failure and interference overlapping, the hardest recovery case.
+    pub fn failure_drill(app: &str, cores: usize, strategy: &str) -> Self {
+        Scenario {
+            fail: vec![FailSpec {
+                node: false,
+                index: cores - 1,
+                at_frac: 0.4,
+                restore_frac: None,
+            }],
+            ..Self::paper(app, cores, strategy)
         }
     }
 
@@ -100,6 +176,7 @@ impl Scenario {
             bg: BgPattern::None,
             strategy: "nolb".to_string(),
             trace: false,
+            fail: Vec::new(),
             ..self.clone()
         }
     }
@@ -195,6 +272,29 @@ impl Scenario {
             }
         }
     }
+
+    /// The failure schedule for this scenario, with fractional times
+    /// scaled by the expected base duration (needs the app for sizing,
+    /// like [`Scenario::bg_script`]).
+    pub fn fail_script(&self, app: &dyn IterativeApp) -> FailureScript {
+        let base = self.base_time_estimate(app);
+        let at = |frac: f64| Time::ZERO + Dur::from_secs_f64(base * frac);
+        let mut script = FailureScript::none();
+        for spec in &self.fail {
+            let part = match (spec.node, spec.restore_frac) {
+                (false, None) => FailureScript::kill_core(spec.index, at(spec.at_frac)),
+                (false, Some(r)) => {
+                    FailureScript::core_outage(spec.index, at(spec.at_frac), at(r))
+                }
+                (true, None) => FailureScript::kill_node(spec.index, at(spec.at_frac)),
+                (true, Some(r)) => {
+                    FailureScript::node_outage(spec.index, at(spec.at_frac), at(r))
+                }
+            };
+            script = script.merge(part);
+        }
+        script
+    }
 }
 
 #[cfg(test)]
@@ -250,6 +350,53 @@ mod tests {
         let script = s.bg_script(app.as_ref());
         assert_eq!(script.actions.len(), 2);
         assert_eq!(script.max_core(), Some(1));
+    }
+
+    #[test]
+    fn fail_spec_parsing() {
+        assert_eq!(
+            FailSpec::parse("core:2@0.5"),
+            Ok(FailSpec { node: false, index: 2, at_frac: 0.5, restore_frac: None })
+        );
+        assert_eq!(
+            FailSpec::parse("node:1@0.3~0.8"),
+            Ok(FailSpec { node: true, index: 1, at_frac: 0.3, restore_frac: Some(0.8) })
+        );
+        assert!(FailSpec::parse("cpu:1@0.5").is_err());
+        assert!(FailSpec::parse("core:x@0.5").is_err());
+        assert!(FailSpec::parse("core:1").is_err());
+        assert!(FailSpec::parse("core:1@0.8~0.2").is_err(), "restore before kill");
+        assert!(FailSpec::parse("core:1@-0.5").is_err());
+    }
+
+    #[test]
+    fn fail_script_scales_by_base_time() {
+        let mut s = Scenario::paper("wave2d", 4, "cloudrefine");
+        s.fail = vec![
+            FailSpec { node: false, index: 3, at_frac: 0.5, restore_frac: None },
+            FailSpec { node: true, index: 0, at_frac: 0.2, restore_frac: Some(0.4) },
+        ];
+        let app = s.build_app();
+        let script = s.fail_script(app.as_ref());
+        assert_eq!(script.actions.len(), 3); // kill + (kill, restore)
+        assert!(script.has_kills());
+        let base = s.base_time_estimate(app.as_ref());
+        let times: Vec<f64> =
+            script.actions.iter().map(|(t, _)| t.since(Time::ZERO).as_secs_f64()).collect();
+        // Times quantize to whole microseconds, so compare at that resolution.
+        assert!((times[0] - 0.2 * base).abs() < 2e-6, "{} vs {}", times[0], 0.2 * base);
+        assert!((times[1] - 0.4 * base).abs() < 2e-6, "{} vs {}", times[1], 0.4 * base);
+        assert!((times[2] - 0.5 * base).abs() < 2e-6, "{} vs {}", times[2], 0.5 * base);
+    }
+
+    #[test]
+    fn failure_drill_preset_and_base_strip() {
+        let s = Scenario::failure_drill("jacobi2d", 8, "cloudrefine");
+        assert_eq!(s.fail.len(), 1);
+        assert_eq!(s.fail[0].index, 7);
+        assert!(matches!(s.bg, BgPattern::TwoCore { .. }), "interference stays on");
+        // The normalization base must be failure-free as well.
+        assert!(s.base_of().fail.is_empty());
     }
 
     #[test]

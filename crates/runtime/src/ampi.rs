@@ -327,7 +327,7 @@ mod tests {
         let a = AmpiAdapter(RingHalo::new(12, 0.0, 1.0));
         let mut cfg = ThreadRunConfig::new(3, 10);
         cfg.lb = LbConfig { strategy: "greedy".into(), period: 3, ..Default::default() };
-        let run = ThreadExecutor::run(&a, cfg);
+        let run = ThreadExecutor::run(&a, cfg).expect("run");
         assert_eq!(run.checksums, serial_reference(&a, 10));
     }
 
@@ -337,7 +337,7 @@ mod tests {
         let mut cfg = ThreadRunConfig::new(3, 10);
         cfg.lb = LbConfig { strategy: "greedy".into(), period: 3, ..Default::default() };
         cfg.serialize_migration = true;
-        let run = ThreadExecutor::run(&a, cfg);
+        let run = ThreadExecutor::run(&a, cfg).expect("run");
         assert!(run.migrations > 0);
         assert_eq!(run.checksums, serial_reference(&a, 10));
     }

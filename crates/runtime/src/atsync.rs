@@ -62,6 +62,13 @@ impl AtSync {
         out.sort_unstable();
         out
     }
+
+    /// Drop all barrier state (recovery rollback: parked chares are about
+    /// to be rewound to a checkpoint and will park again during replay).
+    pub fn reset(&mut self) {
+        self.held.clear();
+        self.in_lb = false;
+    }
 }
 
 #[cfg(test)]
@@ -104,5 +111,18 @@ mod tests {
         assert_eq!(b.release(), vec![0, 1, 2]);
         assert!(!b.lb_in_progress());
         assert_eq!(b.parked(), 0);
+    }
+
+    #[test]
+    fn reset_clears_partial_barrier() {
+        let mut b = AtSync::new(2);
+        b.park(0, 3);
+        b.park(1, 3);
+        b.reset();
+        assert_eq!(b.parked(), 0);
+        assert!(!b.lb_in_progress());
+        // The same chares may park again during replay.
+        assert!(!b.park(0, 2));
+        assert!(b.park(1, 2));
     }
 }

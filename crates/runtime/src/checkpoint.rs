@@ -1,0 +1,141 @@
+//! In-memory chare checkpoints (Charm++-style double checkpointing).
+//!
+//! At selected AtSync boundaries every chare PUPs its state (the same
+//! codec that serialized migration uses, [`crate::pup`]) together with the
+//! ghost messages it has already buffered for the upcoming iteration.
+//! A PE failure then rolls the whole application back to the last
+//! checkpointed iteration — the classic global-rollback protocol: cheap,
+//! simple, and exactly what Charm++'s in-memory double checkpointing does
+//! when a buddy copy survives.
+//!
+//! Placement follows the buddy scheme: the checkpoint of a chare living on
+//! PE `p` is *owned* by `p` and *replicated* on `buddy(p) = (p + 1) mod P`.
+//! In the in-process thread executor both copies live in the coordinator's
+//! address space, so the buddy assignment only selects which surviving PE
+//! re-hosts the chare after a failure and (in the simulator) which link the
+//! recovery transfer is charged to. The DES executor prices the recovery:
+//! restoring a lost chare costs one `state_bytes` transfer from its buddy.
+
+use crate::msg::InboxEntry;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// When an executor snapshots all chares. Shared by the thread executor
+/// (PUPed kernel bytes) and the DES executor (iteration + mapping).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum CheckpointPolicy {
+    /// Checkpoint at every AtSync boundary (default).
+    #[default]
+    EveryBoundary,
+    /// Checkpoint only at boundaries whose iteration is a multiple of the
+    /// given period (lets tests exercise "checkpoint period > LB period").
+    Period(usize),
+    /// Never checkpoint; failures are then unrecoverable and end the run
+    /// with an error.
+    Disabled,
+}
+
+impl CheckpointPolicy {
+    /// `true` when a snapshot should be taken at the AtSync boundary
+    /// before iteration `boundary_iter`.
+    pub fn due(self, boundary_iter: usize) -> bool {
+        match self {
+            CheckpointPolicy::Disabled => false,
+            CheckpointPolicy::EveryBoundary => true,
+            CheckpointPolicy::Period(k) => k > 0 && boundary_iter.is_multiple_of(k),
+        }
+    }
+}
+
+/// Buddy PE that holds the replica of `pe`'s checkpoints.
+pub fn buddy_of(pe: usize, pes: usize) -> usize {
+    debug_assert!(pes > 0);
+    (pe + 1) % pes
+}
+
+/// Snapshot of one chare at an AtSync boundary.
+#[derive(Debug, Clone)]
+pub struct ChareCheckpoint {
+    /// The chare.
+    pub chare: usize,
+    /// PUPed kernel state ([`crate::program::ChareKernel::pack`]).
+    pub bytes: Vec<u8>,
+    /// Iteration the chare will execute next when restored.
+    pub next_iter: usize,
+    /// Ghosts already buffered at snapshot time, keyed by iteration.
+    /// Restoring replays these instead of re-requesting them — the
+    /// senders' iterations predate the checkpoint and will not re-run.
+    pub pending: Vec<(usize, InboxEntry)>,
+    /// PE that owned the chare at snapshot time (its buddy holds the
+    /// replica; see [`buddy_of`]).
+    pub owner: usize,
+}
+
+/// The latest complete application checkpoint.
+#[derive(Debug, Default)]
+pub struct CheckpointStore {
+    /// Iteration the snapshot belongs to (all chares restart here).
+    pub iter: usize,
+    /// One entry per chare.
+    pub chares: BTreeMap<usize, ChareCheckpoint>,
+    /// `false` once any chare failed to PUP — recovery is then impossible
+    /// for the rest of the run (the app does not implement `pack`).
+    pub usable: bool,
+}
+
+impl CheckpointStore {
+    /// An empty, unusable store.
+    pub fn disabled() -> Self {
+        CheckpointStore { iter: 0, chares: BTreeMap::new(), usable: false }
+    }
+
+    /// Replace the snapshot with a complete set of chare checkpoints.
+    pub fn install(&mut self, iter: usize, chares: Vec<ChareCheckpoint>) {
+        self.iter = iter;
+        self.chares = chares.into_iter().map(|c| (c.chare, c)).collect();
+    }
+
+    /// `true` when the store holds a restorable snapshot of all `n` chares.
+    pub fn restorable(&self, n: usize) -> bool {
+        self.usable && self.chares.len() == n
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn policy_due_schedule() {
+        assert!(CheckpointPolicy::EveryBoundary.due(3));
+        assert!(!CheckpointPolicy::Disabled.due(3));
+        let p = CheckpointPolicy::Period(4);
+        assert!(p.due(4) && p.due(8));
+        assert!(!p.due(2) && !p.due(6));
+        assert!(!CheckpointPolicy::Period(0).due(4));
+    }
+
+    #[test]
+    fn buddy_wraps_around() {
+        assert_eq!(buddy_of(0, 4), 1);
+        assert_eq!(buddy_of(3, 4), 0);
+        assert_eq!(buddy_of(0, 1), 0);
+    }
+
+    #[test]
+    fn store_tracks_completeness() {
+        let mut s = CheckpointStore { usable: true, ..Default::default() };
+        assert!(!s.restorable(2));
+        s.install(
+            4,
+            vec![
+                ChareCheckpoint { chare: 0, bytes: vec![1], next_iter: 4, pending: vec![], owner: 0 },
+                ChareCheckpoint { chare: 1, bytes: vec![2], next_iter: 4, pending: vec![], owner: 1 },
+            ],
+        );
+        assert!(s.restorable(2));
+        s.usable = false;
+        assert!(!s.restorable(2));
+        assert!(!CheckpointStore::disabled().restorable(0));
+    }
+}

@@ -1,5 +1,6 @@
 //! Run configuration shared by both executors.
 
+use crate::checkpoint::CheckpointPolicy;
 use cloudlb_sim::{ClusterConfig, NetworkModel, PowerModel};
 use serde::{Deserialize, Serialize};
 
@@ -111,6 +112,20 @@ pub struct RunConfig {
     /// other load, so the balancer handles static heterogeneity with the
     /// same machinery it uses for interference.
     pub pe_speeds: Vec<f64>,
+    /// When to snapshot chare state for fault tolerance (at AtSync
+    /// boundaries, after the migration commit). Failure-free runs may
+    /// disable this; runs with kill actions require it.
+    #[serde(default)]
+    pub checkpoints: CheckpointPolicy,
+    /// Failure-detection latency in seconds: the delay between a PE dying
+    /// and the runtime noticing (heartbeat timeout). Charged once per
+    /// failure event before recovery starts.
+    #[serde(default = "default_fail_detect_s")]
+    pub fail_detect_s: f64,
+}
+
+fn default_fail_detect_s() -> f64 {
+    0.05
 }
 
 impl RunConfig {
@@ -126,6 +141,8 @@ impl RunConfig {
             seed: 1,
             cost_noise_frac: 0.0,
             pe_speeds: Vec::new(),
+            checkpoints: CheckpointPolicy::default(),
+            fail_detect_s: default_fail_detect_s(),
         }
     }
 

@@ -22,7 +22,11 @@
 //! * [`thread_exec`] — a real multi-threaded executor: chares are live
 //!   objects executing real kernels on OS worker threads and migrating
 //!   between them through channels, demonstrating that the runtime design
-//!   is not simulation-only.
+//!   is not simulation-only;
+//! * [`checkpoint`] and [`error`] — fault tolerance: in-memory chare
+//!   checkpoints taken at AtSync boundaries, global rollback/restore after
+//!   a PE failure, and the typed errors returned by the supervised
+//!   executor instead of panicking.
 //!
 //! Both executors share the instrumentation and the strategy interface, so
 //! a strategy validated under the simulator runs unchanged on threads.
@@ -33,7 +37,9 @@
 
 pub mod ampi;
 pub mod atsync;
+pub mod checkpoint;
 pub mod config;
+pub mod error;
 pub mod lbdb;
 pub mod migration;
 pub mod msg;
@@ -44,8 +50,10 @@ pub mod result;
 pub mod sim_exec;
 pub mod thread_exec;
 
+pub use checkpoint::{buddy_of, ChareCheckpoint, CheckpointStore};
 pub use config::{InitialMap, InstrumentMode, LbConfig, RunConfig};
+pub use error::RuntimeError;
 pub use program::{ChareKernel, IterativeApp};
 pub use result::RunResult;
 pub use sim_exec::SimExecutor;
-pub use thread_exec::{ThreadExecutor, ThreadRunConfig};
+pub use thread_exec::{CheckpointPolicy, ThreadExecutor, ThreadFault, ThreadRunConfig};

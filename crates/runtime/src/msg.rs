@@ -6,8 +6,10 @@
 //! what makes ownership-transfer migration safe in Rust: a chare is *moved*
 //! between threads, never shared.
 
+use crate::checkpoint::ChareCheckpoint;
 use crate::program::ChareKernel;
 use std::collections::HashMap;
+use std::sync::mpsc::Sender;
 
 /// Ghost payload: `(neighbor_index, data)` pairs buffered per iteration.
 pub type InboxEntry = Vec<(usize, Vec<f64>)>;
@@ -15,6 +17,10 @@ pub type InboxEntry = Vec<(usize, Vec<f64>)>;
 /// Worker-bound messages.
 pub enum WorkerMsg {
     /// A ghost message for `chare` at iteration `iter`, sent by `from`.
+    ///
+    /// Carries the rollback `epoch` it was produced in: ghosts from before
+    /// a rollback are stale (their iterations will be replayed) and are
+    /// dropped on receipt.
     Ghost {
         /// Destination chare.
         chare: usize,
@@ -24,6 +30,8 @@ pub enum WorkerMsg {
         from: usize,
         /// Payload.
         data: Vec<f64>,
+        /// Rollback epoch the ghost belongs to.
+        epoch: usize,
     },
     /// A migrating chare: its live kernel plus any buffered ghosts.
     Migrate {
@@ -35,6 +43,9 @@ pub enum WorkerMsg {
         next_iter: usize,
         /// Ghosts it had already received, keyed by iteration.
         pending: HashMap<usize, InboxEntry>,
+        /// Rollback epoch; stale migrations are dropped (the chare will be
+        /// restored from its checkpoint instead).
+        epoch: usize,
     },
     /// A migrating chare shipped as PUPed bytes (Charm++-style serialized
     /// migration; the destination reconstructs via
@@ -48,6 +59,8 @@ pub enum WorkerMsg {
         next_iter: usize,
         /// Ghosts it had already received, keyed by iteration.
         pending: HashMap<usize, InboxEntry>,
+        /// Rollback epoch; stale migrations are dropped.
+        epoch: usize,
     },
     /// Coordinator asks for this window's measurements.
     CollectStats,
@@ -55,6 +68,22 @@ pub enum WorkerMsg {
     DoMigrations(Vec<(usize, usize)>),
     /// LB step finished; resume execution and open a new window.
     Resume,
+    /// Coordinator asks for a checkpoint of every chare this worker owns
+    /// (the barrier is full, so inboxes are settled; see thread_exec docs
+    /// for the delivery-order argument).
+    Checkpoint,
+    /// A worker died: discard all chare state, adopt the new epoch and the
+    /// fresh peer senders (the replacement worker has a new channel), hold
+    /// execution, and acknowledge with [`CtrlMsg::RolledBack`].
+    Rollback {
+        /// The new rollback epoch.
+        epoch: usize,
+        /// Fresh senders for every PE (index = PE).
+        peers: Vec<Sender<WorkerMsg>>,
+    },
+    /// Re-install a chare from its checkpoint after a rollback. The chare
+    /// stays parked until [`WorkerMsg::Resume`].
+    Restore(ChareCheckpoint),
     /// Run is over; report final state and exit.
     Shutdown,
 }
@@ -78,6 +107,8 @@ pub enum CtrlMsg {
         pe: usize,
         /// The parked chare.
         chare: usize,
+        /// Boundary iteration the chare parked at.
+        iter: usize,
     },
     /// Reply to `CollectStats`.
     Stats {
@@ -108,5 +139,36 @@ pub enum CtrlMsg {
         checksums: Vec<(usize, f64)>,
         /// Total task CPU µs executed by this worker over the whole run.
         total_task_us: u64,
+    },
+    /// Reply to [`WorkerMsg::Checkpoint`]: one snapshot per owned chare,
+    /// or `None` if some chare does not implement `pack` (checkpointing
+    /// is then permanently unusable for this run).
+    CheckpointData {
+        /// Reporting worker.
+        pe: usize,
+        /// Snapshots of every chare this worker owns.
+        chares: Option<Vec<ChareCheckpoint>>,
+    },
+    /// Acknowledges [`WorkerMsg::Rollback`]: all pre-rollback state is
+    /// discarded and the worker is holding.
+    RolledBack {
+        /// Reporting worker.
+        pe: usize,
+        /// Epoch being acknowledged.
+        epoch: usize,
+    },
+    /// Acknowledges a [`WorkerMsg::Restore`] install.
+    Restored {
+        /// The re-installed chare.
+        chare: usize,
+    },
+    /// A worker thread died (panic caught by the supervisor shim). Sent
+    /// from the dying thread after all its regular messages, so once the
+    /// coordinator sees this no further traffic arrives from `pe`.
+    WorkerDied {
+        /// The dead worker.
+        pe: usize,
+        /// Rendered panic payload.
+        detail: String,
     },
 }

@@ -43,6 +43,18 @@ impl IterationTracker {
         }
     }
 
+    /// Forget all progress on iterations `from..` (recovery replay: after
+    /// a rollback to the checkpoint at iteration `from`, every surviving
+    /// and restored chare re-contributes those iterations from scratch).
+    pub fn rollback(&mut self, from: usize) {
+        for c in self.counts.iter_mut().skip(from) {
+            *c = 0;
+        }
+        for c in self.completions.iter_mut().skip(from) {
+            *c = None;
+        }
+    }
+
     /// Completion instant of `iter`, if all chares contributed.
     pub fn completion(&self, iter: usize) -> Option<Time> {
         self.completions.get(iter).copied().flatten()
@@ -94,6 +106,21 @@ mod tests {
         assert!(tr.all_done());
         let times: Vec<u64> = tr.iteration_times().iter().map(|d| d.as_us()).collect();
         assert_eq!(times, vec![100, 150, 350]);
+    }
+
+    #[test]
+    fn rollback_forgets_suffix_only() {
+        let mut tr = IterationTracker::new(1, 3);
+        tr.contribute(0, Time::from_us(100));
+        tr.contribute(1, Time::from_us(250));
+        tr.rollback(1);
+        assert_eq!(tr.completion(0), Some(Time::from_us(100)));
+        assert_eq!(tr.completion(1), None);
+        // Replay: iteration 1 may now be contributed again without
+        // tripping the over-contribution assert.
+        tr.contribute(1, Time::from_us(900));
+        tr.contribute(2, Time::from_us(950));
+        assert!(tr.all_done());
     }
 
     #[test]

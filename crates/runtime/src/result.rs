@@ -35,6 +35,15 @@ pub struct RunResult {
     pub trace: Option<TraceLog>,
     /// Instant the application finished.
     pub end_time: Time,
+    /// PE/node kill events applied during the run.
+    pub failures: usize,
+    /// Recoveries completed (checkpoint restore + re-balance + replay).
+    pub recoveries: usize,
+    /// Iterations of work re-executed during replay, summed over chares.
+    pub replayed_iters: usize,
+    /// Total time spent detecting failures and restoring state (excludes
+    /// the replayed compute itself).
+    pub recovery_time: Dur,
 }
 
 impl RunResult {
@@ -92,6 +101,10 @@ mod tests {
             remote_msgs: 0,
             trace: None,
             end_time: Time::from_us((app_s * 1e6) as u64),
+            failures: 0,
+            recoveries: 0,
+            replayed_iters: 0,
+            recovery_time: Dur::ZERO,
         }
     }
 

@@ -10,34 +10,65 @@
 //! background loads), runs the configured strategy, commits migrations
 //! (charging network transfer time), and resumes.
 //!
-//! Everything — scheduling, interference, measurement, migration — is
-//! bit-for-bit reproducible from the configuration.
+//! # Fault tolerance
+//!
+//! A [`FailureScript`] kills and restores cores (or whole nodes) at
+//! scheduled instants. The executor keeps an application checkpoint —
+//! `(boundary iteration, mapping)`, taken after the migration commit at
+//! AtSync boundaries selected by [`crate::checkpoint::CheckpointPolicy`] —
+//! and recovers from a kill with the classic global-rollback protocol:
+//!
+//! 1. every surviving core abandons its in-flight task; all undelivered
+//!    messages are invalidated (an epoch counter tags every message, so
+//!    stale deliveries are dropped rather than chased down);
+//! 2. the checkpointed mapping is restored; chares owned by a dead core
+//!    come back from the replica on their *buddy* core
+//!    ([`Cluster::buddy_of`] — the same slot on the next node, so a node
+//!    failure never takes both copies);
+//! 3. the LB strategy re-runs over the *surviving* cores (the database is
+//!    compacted so a dead core's zero load cannot attract work), with
+//!    [`cloudlb_balance::sanitize_plan`] as a safety net against any plan
+//!    still referencing a dead target;
+//! 4. after a pause pricing failure detection, the strategy step and the
+//!    post-restore state transfers, every chare replays from the
+//!    checkpointed iteration.
+//!
+//! Restored cores re-join empty and receive work again at the next regular
+//! LB boundary. Everything — scheduling, interference, failures,
+//! measurement, migration — is bit-for-bit reproducible from the
+//! configuration.
 
 use crate::atsync::AtSync;
 use crate::config::RunConfig;
+use crate::error::RuntimeError;
 use crate::lbdb::{LbWindow, TaskSample};
 use crate::migration;
 use crate::program::{validate_app, IterativeApp};
 use crate::reduction::IterationTracker;
 use crate::result::RunResult;
-use cloudlb_balance::{LbStrategy, TaskId};
+use cloudlb_balance::{LbStats, LbStrategy, Migration, TaskId, TaskInfo};
 use cloudlb_sim::core_sched::CoreEvent;
 use cloudlb_sim::interference::{BgAction, BgLedger, BgScript};
-use cloudlb_sim::{Cluster, Dur, EventQueue, FgLabel, ProcStat, Time};
+use cloudlb_sim::{Cluster, Dur, EventQueue, FailureAction, FailureScript, FgLabel, ProcStat, Time};
 use cloudlb_trace::Activity;
 use std::collections::{BTreeMap, HashMap, VecDeque};
 
 /// Events driving the simulation.
 #[derive(Debug, Clone, Copy)]
 enum Ev {
-    /// A ghost message for `iter` arrives at `chare`.
-    Msg { chare: usize, iter: usize },
+    /// A ghost message for `iter` arrives at `chare`. Stale epochs (sent
+    /// before a rollback) are dropped on delivery.
+    Msg { chare: usize, iter: usize, epoch: u32 },
     /// Revisit a core because an entity completes there.
     Wake,
     /// Apply an interference action.
     Bg(BgAction),
     /// The LB step (strategy + migrations) finished.
-    LbDone,
+    LbDone { epoch: u32 },
+    /// Apply a failure action (kill/restore a core or node).
+    Fail(FailureAction),
+    /// The recovery pause (detection + restore + re-balance) finished.
+    Recovered { epoch: u32 },
 }
 
 /// Per-chare lifecycle state.
@@ -68,6 +99,7 @@ pub struct SimExecutor<'a> {
     app: &'a dyn IterativeApp,
     cfg: RunConfig,
     bg: BgScript,
+    fail: FailureScript,
 }
 
 impl<'a> SimExecutor<'a> {
@@ -78,20 +110,77 @@ impl<'a> SimExecutor<'a> {
             assert!(c < cfg.cluster.total_cores(), "bg script targets core {c} beyond cluster");
         }
         assert!(cfg.iterations > 0, "need at least one iteration");
-        SimExecutor { app, cfg, bg }
+        SimExecutor { app, cfg, bg, fail: FailureScript::none() }
     }
 
-    /// Execute the run to completion and return its metrics.
+    /// Inject the failure schedule `fail` into the run. A script targeting
+    /// a core beyond the cluster surfaces as
+    /// [`RuntimeError::InvalidConfig`] from [`SimExecutor::try_run`] — user
+    /// input (`--fail`) reaches this path, so it must not panic.
+    pub fn with_failures(mut self, fail: FailureScript) -> Self {
+        self.fail = fail;
+        self
+    }
+
+    /// Execute the run to completion and return its metrics. Panics if a
+    /// failure turns out unrecoverable; use [`SimExecutor::try_run`] when
+    /// injecting failures.
     pub fn run(self) -> RunResult {
+        self.try_run().unwrap_or_else(|e| panic!("simulated run failed: {e}"))
+    }
+
+    /// Execute the run to completion, reporting unrecoverable failures
+    /// (checkpointing disabled, both checkpoint copies lost, all PEs dead)
+    /// as typed errors instead of panicking.
+    pub fn try_run(self) -> Result<RunResult, RuntimeError> {
         let strategy = self.cfg.lb.make_strategy();
-        self.run_with_strategy(strategy)
+        self.try_run_with_strategy(strategy)
     }
 
     /// Execute with an explicit strategy object (bypasses the registry;
     /// used for the gain-gated wrapper and custom strategies).
     pub fn run_with_strategy(self, strategy: Box<dyn LbStrategy>) -> RunResult {
-        Sim::new(self.app, self.cfg, &self.bg, strategy).run()
+        self.try_run_with_strategy(strategy)
+            .unwrap_or_else(|e| panic!("simulated run failed: {e}"))
     }
+
+    /// Fallible variant of [`SimExecutor::run_with_strategy`].
+    pub fn try_run_with_strategy(
+        self,
+        strategy: Box<dyn LbStrategy>,
+    ) -> Result<RunResult, RuntimeError> {
+        let total = self.cfg.cluster.total_cores();
+        if let Some(c) = self.fail.max_core(self.cfg.cluster.cores_per_node) {
+            if c >= total {
+                return Err(RuntimeError::InvalidConfig(format!(
+                    "failure script targets core {c} beyond the {total}-core cluster"
+                )));
+            }
+        }
+        Sim::new(self.app, self.cfg, &self.bg, &self.fail, strategy).run()
+    }
+}
+
+/// Project a full-core-space LB database onto the alive cores. Returns the
+/// compacted stats plus `alive_idx`, mapping compact → global core indices.
+fn compact_stats(stats: &LbStats, alive: &[bool]) -> (LbStats, Vec<usize>) {
+    let alive_idx: Vec<usize> = (0..stats.num_pes).filter(|&p| alive[p]).collect();
+    let mut inv = vec![usize::MAX; stats.num_pes];
+    for (c, &p) in alive_idx.iter().enumerate() {
+        inv[p] = c;
+    }
+    let mut compact = LbStats::new(alive_idx.len());
+    compact.bg_load = alive_idx.iter().map(|&p| stats.bg_load[p]).collect();
+    compact.tasks = stats
+        .tasks
+        .iter()
+        .map(|t| {
+            assert!(alive[t.pe], "task {:?} mapped to dead core {}", t.id, t.pe);
+            TaskInfo { pe: inv[t.pe], ..*t }
+        })
+        .collect();
+    compact.comm = stats.comm.clone();
+    (compact, alive_idx)
 }
 
 struct Sim<'a> {
@@ -127,6 +216,15 @@ struct Sim<'a> {
     /// Relative speed per core (occupancy = work / speed).
     speeds: Vec<f64>,
 
+    /// Current rollback epoch; messages and LbDone/Recovered events from
+    /// older epochs are stale and dropped.
+    epoch: u32,
+    /// Last application checkpoint: `(iteration, mapping)`. `None` when
+    /// checkpointing is disabled.
+    ckpt: Option<(usize, Vec<usize>)>,
+    /// Iteration of the LB boundary currently in progress.
+    lb_boundary: usize,
+
     finished: usize,
     app_end: Option<Time>,
     energy: Option<cloudlb_sim::power::EnergyReport>,
@@ -136,6 +234,10 @@ struct Sim<'a> {
     migration_bytes: u64,
     local_msgs: u64,
     remote_msgs: u64,
+    failures: usize,
+    recoveries: usize,
+    replayed_iters: usize,
+    recovery_time: Dur,
 }
 
 impl<'a> Sim<'a> {
@@ -143,6 +245,7 @@ impl<'a> Sim<'a> {
         app: &'a dyn IterativeApp,
         cfg: RunConfig,
         bg: &BgScript,
+        fail: &FailureScript,
         strategy: Box<dyn LbStrategy>,
     ) -> Self {
         let pes = cfg.cluster.total_cores();
@@ -160,11 +263,18 @@ impl<'a> Sim<'a> {
             }
             queue.schedule(*t, Ev::Bg(*action));
         }
+        for (t, action) in &fail.actions {
+            queue.schedule(*t, Ev::Fail(*action));
+        }
 
         let expected = (0..n).map(|i| app.neighbors(i).len()).collect();
         let tracker = IterationTracker::new(n, cfg.iterations);
         let atsync = AtSync::new(cfg.lb.period);
         let speeds = cfg.resolved_speeds();
+        // The initial placement is itself a checkpoint: a failure before
+        // the first boundary rolls back to iteration 0.
+        let ckpt = (!matches!(cfg.checkpoints, crate::checkpoint::CheckpointPolicy::Disabled))
+            .then(|| (0, mapping.clone()));
 
         Sim {
             app,
@@ -185,6 +295,9 @@ impl<'a> Sim<'a> {
             atsync,
             window,
             speeds,
+            epoch: 0,
+            ckpt,
+            lb_boundary: 0,
             finished: 0,
             app_end: None,
             energy: None,
@@ -194,6 +307,10 @@ impl<'a> Sim<'a> {
             migration_bytes: 0,
             local_msgs: 0,
             remote_msgs: 0,
+            failures: 0,
+            recoveries: 0,
+            replayed_iters: 0,
+            recovery_time: Dur::ZERO,
             cfg,
         }
     }
@@ -202,7 +319,7 @@ impl<'a> Sim<'a> {
         self.ready.len()
     }
 
-    fn run(mut self) -> RunResult {
+    fn run(mut self) -> Result<RunResult, RuntimeError> {
         // Iteration 0 needs no messages: everyone starts queued.
         for chare in 0..self.app.num_chares() {
             let pe = self.mapping[chare];
@@ -235,10 +352,17 @@ impl<'a> Sim<'a> {
                 }
             }
             match ev {
-                Ev::Msg { chare, iter } => self.on_msg(chare, iter, t),
+                Ev::Msg { chare, iter, epoch } if epoch == self.epoch => {
+                    self.on_msg(chare, iter, t)
+                }
+                Ev::Msg { .. } => {} // stale: sent before a rollback
                 Ev::Wake => {} // completions already handled above
                 Ev::Bg(action) => self.on_bg(action, t),
-                Ev::LbDone => self.on_lb_done(t),
+                Ev::LbDone { epoch } if epoch == self.epoch => self.on_lb_done(t),
+                Ev::LbDone { .. } => {} // LB step interrupted by a failure
+                Ev::Fail(action) => self.on_fail(action, t)?,
+                Ev::Recovered { epoch } if epoch == self.epoch => self.on_recovered(t),
+                Ev::Recovered { .. } => {} // superseded by a later failure
             }
             // Refresh wakes (no-op for cores whose next completion is
             // unchanged).
@@ -254,7 +378,7 @@ impl<'a> Sim<'a> {
                 bg_penalties.insert(*job, p);
             }
         }
-        RunResult {
+        Ok(RunResult {
             app_time: end.since(Time::ZERO),
             iter_times: self.tracker.iteration_times(),
             energy: self.energy.expect("energy metered at app completion"),
@@ -267,13 +391,18 @@ impl<'a> Sim<'a> {
             remote_msgs: self.remote_msgs,
             trace: self.cluster.take_trace(),
             end_time: end,
-        }
+            failures: self.failures,
+            recoveries: self.recoveries,
+            replayed_iters: self.replayed_iters,
+            recovery_time: self.recovery_time,
+        })
     }
 
-    /// Start the next ready task on `pe` if the core is free and no LB step
-    /// is in progress.
+    /// Start the next ready task on `pe` if the core is alive and free and
+    /// no LB step is in progress.
     fn try_start(&mut self, pe: usize, now: Time) {
-        if self.atsync.lb_in_progress() || self.cluster.fg_busy(pe) {
+        if !self.cluster.is_alive(pe) || self.atsync.lb_in_progress() || self.cluster.fg_busy(pe)
+        {
             return;
         }
         let Some(chare) = self.ready[pe].pop_front() else {
@@ -314,7 +443,8 @@ impl<'a> Sim<'a> {
                     self.remote_msgs += 1;
                 }
                 let delay = self.cfg.network.delay(bytes, same);
-                self.queue.schedule(now + delay, Ev::Msg { chare: nb, iter: next });
+                self.queue
+                    .schedule(now + delay, Ev::Msg { chare: nb, iter: next, epoch: self.epoch });
             }
         }
 
@@ -333,6 +463,7 @@ impl<'a> Sim<'a> {
             self.state[chare] = CState::Parked;
             self.next_iter[chare] = next;
             if self.atsync.park(chare, self.app.num_chares()) {
+                self.lb_boundary = next;
                 self.start_lb(now);
             }
         } else {
@@ -367,6 +498,20 @@ impl<'a> Sim<'a> {
     fn on_bg(&mut self, action: BgAction, now: Time) {
         match action {
             BgAction::Start { job, core, demand, weight } => {
+                if !self.cluster.is_alive(core) {
+                    // The interfering tenant's VM shared the failed
+                    // hardware: the job never starts.
+                    if demand.is_some() {
+                        self.pending_bg -= 1;
+                    }
+                    if let Some(t) = self.cluster.trace_mut() {
+                        t.marker(
+                            now.as_us(),
+                            format!("bg job {job} not started: core {core} is down"),
+                        );
+                    }
+                    return;
+                }
                 self.cluster.add_bg(core, job, demand, weight);
                 self.ledger.on_start(job, now, demand);
                 if !self.seen_bg.contains(&job) {
@@ -383,6 +528,214 @@ impl<'a> Sim<'a> {
                 }
             }
         }
+    }
+
+    fn on_fail(&mut self, action: FailureAction, now: Time) -> Result<(), RuntimeError> {
+        let targets: Vec<usize> = match action {
+            FailureAction::KillCore { core } => vec![core],
+            FailureAction::KillNode { node } => self.cluster.cores_of_node(node).collect(),
+            FailureAction::RestoreCore { core } => {
+                self.cluster.restore_core(core);
+                if let Some(t) = self.cluster.trace_mut() {
+                    t.marker(now.as_us(), format!("core {core} restored"));
+                }
+                return Ok(());
+            }
+            FailureAction::RestoreNode { node } => {
+                for core in self.cluster.cores_of_node(node) {
+                    self.cluster.restore_core(core);
+                }
+                if let Some(t) = self.cluster.trace_mut() {
+                    t.marker(now.as_us(), format!("node {node} restored"));
+                }
+                return Ok(());
+            }
+        };
+        let killed: Vec<usize> =
+            targets.into_iter().filter(|&c| self.cluster.is_alive(c)).collect();
+        if killed.is_empty() {
+            return Ok(()); // already dead: idempotent
+        }
+        for &core in &killed {
+            let evicted = self.cluster.kill_core(core);
+            for (job, finite) in &evicted.evicted_bg {
+                if *finite {
+                    // The job will never complete; it must not hold the
+                    // simulation loop open.
+                    self.pending_bg -= 1;
+                }
+                if let Some(t) = self.cluster.trace_mut() {
+                    t.marker(now.as_us(), format!("bg job {job} lost with core {core}"));
+                }
+            }
+            self.failures += 1;
+            if let Some(t) = self.cluster.trace_mut() {
+                t.marker(now.as_us(), format!("core {core} fails"));
+            }
+        }
+        if self.app_end.is_some() {
+            // The application already finished; the kill only tears down
+            // leftover background work.
+            return Ok(());
+        }
+        if self.cluster.num_alive() == 0 {
+            return Err(RuntimeError::AllPesDead);
+        }
+        self.recover(now)
+    }
+
+    /// Global rollback to the last checkpoint: abandon all in-flight work,
+    /// restore the checkpointed mapping (dead cores' chares from their
+    /// buddies), re-balance over the survivors, and schedule the end of
+    /// the recovery pause.
+    fn recover(&mut self, now: Time) -> Result<(), RuntimeError> {
+        let Some((k, ckpt_map)) = self.ckpt.clone() else {
+            return Err(RuntimeError::Unrecoverable {
+                reason: "a PE died but checkpointing is disabled (no snapshot to roll back to)"
+                    .into(),
+            });
+        };
+        // Invalidate every in-flight message and any pending LbDone or
+        // earlier Recovered event.
+        self.epoch += 1;
+
+        // Abandon in-flight work everywhere (global rollback).
+        for pe in 0..self.num_pes() {
+            if self.running[pe].take().is_some() {
+                self.cluster.abort_fg(pe);
+            }
+            self.ready[pe].clear();
+        }
+        self.inbox.clear();
+        self.atsync.reset();
+
+        // Count the re-executed work, then rewind the reduction.
+        for chare in 0..self.app.num_chares() {
+            self.replayed_iters += self.next_iter[chare].saturating_sub(k);
+            self.state[chare] = CState::Waiting;
+        }
+        self.tracker.rollback(k);
+        self.finished = 0;
+
+        // Restore the checkpointed placement; chares owned by a dead core
+        // come back from the replica on their buddy.
+        let alive = self.cluster.alive_mask();
+        self.mapping = ckpt_map;
+        let mut from_buddy = 0usize;
+        for chare in 0..self.app.num_chares() {
+            let owner = self.mapping[chare];
+            if alive[owner] {
+                continue;
+            }
+            let buddy = self.cluster.buddy_of(owner);
+            if !alive[buddy] {
+                return Err(RuntimeError::Unrecoverable {
+                    reason: format!(
+                        "chare {chare}: owner core {owner} and buddy core {buddy} both failed"
+                    ),
+                });
+            }
+            self.mapping[chare] = buddy;
+            from_buddy += 1;
+        }
+
+        // Re-balance over the survivors using predicted next-iteration
+        // costs (there is no fresh measurement window mid-rollback).
+        let app = self.app;
+        let mut stats = LbStats::new(self.num_pes());
+        stats.tasks = (0..app.num_chares())
+            .map(|i| TaskInfo {
+                id: TaskId(i as u64),
+                pe: self.mapping[i],
+                load: app.task_cost(i, k) / self.speeds[self.mapping[i]],
+                bytes: app.state_bytes(i) as u64,
+            })
+            .collect();
+        let plan = self.plan_over_survivors(&stats);
+        self.lb_steps += 1;
+        self.migrations += plan.len();
+        self.migration_bytes +=
+            plan.iter().map(|m| stats.task(m.task).map_or(0, |t| t.bytes)).sum::<u64>();
+        migration::commit(&mut self.mapping, &plan);
+
+        // Price the pause: failure detection, the strategy step, and the
+        // post-restore migrations. A buddy restore itself is free (the
+        // replica is local to the buddy); onward moves are charged like
+        // any migration.
+        let transfer = {
+            let cluster = &self.cluster;
+            migration::transfer_time(
+                &plan,
+                &self.cfg.network,
+                |i| app.state_bytes(i),
+                |a, b| cluster.same_node(a, b),
+                self.ready.len(),
+            )
+        };
+        let cost =
+            Dur::from_secs_f64(self.cfg.fail_detect_s + self.cfg.lb.step_cost_s) + transfer;
+        self.recovery_time += cost;
+        if let Some(t) = self.cluster.trace_mut() {
+            t.marker(
+                now.as_us(),
+                format!(
+                    "recovery: roll back to iteration {k}, {from_buddy} chare(s) from buddies, \
+                     {} re-balancing migration(s)",
+                    plan.len()
+                ),
+            );
+        }
+        self.queue.schedule(now + cost, Ev::Recovered { epoch: self.epoch });
+        Ok(())
+    }
+
+    /// The recovery pause is over: every chare resumes from the checkpoint
+    /// iteration. Snapshots include the ghosts buffered at the boundary
+    /// (see [`crate::checkpoint::ChareCheckpoint::pending`]), so all
+    /// chares are immediately runnable, exactly as at startup.
+    fn on_recovered(&mut self, now: Time) {
+        self.recoveries += 1;
+        let k = self.ckpt.as_ref().map(|c| c.0).expect("recovered without a checkpoint");
+        self.window = LbWindow::open(
+            self.num_pes(),
+            self.app.num_chares(),
+            now,
+            ProcStat::snapshot(&self.cluster),
+            self.cfg.lb.instrument,
+        );
+        for chare in 0..self.app.num_chares() {
+            self.next_iter[chare] = k;
+            self.state[chare] = CState::Queued;
+            self.ready[self.mapping[chare]].push_back(chare);
+        }
+        for pe in 0..self.num_pes() {
+            self.try_start(pe, now);
+        }
+        if let Some(t) = self.cluster.trace_mut() {
+            t.marker(now.as_us(), format!("recovery complete; replaying from iteration {k}"));
+        }
+    }
+
+    /// Run the strategy over the *alive* cores only. With every core alive
+    /// this is the plain full-space path. With failures, the database is
+    /// compacted onto the survivors first (a dead core's zero load would
+    /// otherwise attract every task), the resulting plan is sanitized as a
+    /// safety net, and indices are translated back to global core space.
+    fn plan_over_survivors(&mut self, stats: &LbStats) -> Vec<Migration> {
+        let alive = self.cluster.alive_mask();
+        if alive.iter().all(|a| *a) {
+            let plan = self.strategy.plan(stats);
+            cloudlb_balance::strategy::validate_plan(stats, &plan);
+            return plan;
+        }
+        let (compact, alive_idx) = compact_stats(stats, &alive);
+        let plan = self.strategy.plan(&compact);
+        let all_alive = vec![true; alive_idx.len()];
+        let san = cloudlb_balance::sanitize_plan(&compact, &plan, &all_alive);
+        san.plan
+            .into_iter()
+            .map(|m| Migration { task: m.task, from: alive_idx[m.from], to: alive_idx[m.to] })
+            .collect()
     }
 
     fn start_lb(&mut self, now: Time) {
@@ -409,8 +762,7 @@ impl<'a> Sim<'a> {
                 }
             }
         }
-        let plan = self.strategy.plan(&stats);
-        cloudlb_balance::strategy::validate_plan(&stats, &plan);
+        let plan = self.plan_over_survivors(&stats);
 
         let transfer = {
             let cluster = &self.cluster;
@@ -442,11 +794,19 @@ impl<'a> Sim<'a> {
                 t.record(pe, now.as_us(), end.as_us(), Activity::LoadBalance);
             }
         }
-        self.queue.schedule(end, Ev::LbDone);
+        self.queue.schedule(end, Ev::LbDone { epoch: self.epoch });
     }
 
     fn on_lb_done(&mut self, now: Time) {
         let released = self.atsync.release();
+        // The boundary's post-migration state is the new checkpoint when
+        // the policy says so.
+        if self.cfg.checkpoints.due(self.lb_boundary) {
+            self.ckpt = Some((self.lb_boundary, self.mapping.clone()));
+            if let Some(t) = self.cluster.trace_mut() {
+                t.marker(now.as_us(), format!("checkpoint at iteration {}", self.lb_boundary));
+            }
+        }
         // Open a fresh measurement window at the resume instant.
         self.window = LbWindow::open(
             self.ready.len(),
@@ -500,6 +860,7 @@ impl<'a> Sim<'a> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::checkpoint::CheckpointPolicy;
     use crate::config::{LbConfig, RunConfig};
     use crate::program::SyntheticApp;
     use cloudlb_sim::ClusterConfig;
@@ -520,6 +881,8 @@ mod tests {
         assert_eq!(r.iter_times.len(), 10);
         assert_eq!(r.lb_steps, 1); // boundary before iteration 5
         assert_eq!(r.migrations, 0);
+        assert_eq!(r.failures, 0);
+        assert_eq!(r.recoveries, 0);
         // 4 chares per core × 1 ms each ≈ 4 ms per iteration (+ latency).
         let mean = r.mean_iter_s();
         assert!((0.004..0.006).contains(&mean), "mean iter {mean}");
@@ -630,5 +993,141 @@ mod tests {
         let r = SimExecutor::new(&app, cfg, BgScript::none()).run();
         // Boundaries before iterations 4, 8, 12, 16 → 4 steps.
         assert_eq!(r.lb_steps, 4);
+    }
+
+    #[test]
+    fn core_failure_recovers_and_completes() {
+        let app = SyntheticApp::ring(16, 0.001);
+        let clean = SimExecutor::new(&app, small_cfg(40, "cloudrefine"), BgScript::none()).run();
+        // Kill core 2 mid-run (≈ iteration 12 of 40).
+        let fail = FailureScript::kill_core(2, Time::from_us(50_000));
+        let r = SimExecutor::new(&app, small_cfg(40, "cloudrefine"), BgScript::none())
+            .with_failures(fail)
+            .try_run()
+            .expect("recoverable failure");
+        assert_eq!(r.iter_times.len(), 40);
+        assert_eq!(r.failures, 1);
+        assert_eq!(r.recoveries, 1);
+        assert!(r.replayed_iters > 0, "rollback must replay some work");
+        assert!(r.recovery_time > Dur::ZERO);
+        assert!(
+            r.final_mapping.iter().all(|&p| p != 2),
+            "no chare may end on the dead core: {:?}",
+            r.final_mapping
+        );
+        assert!(
+            r.app_time > clean.app_time,
+            "losing a core must cost wall time ({:?} vs {:?})",
+            r.app_time,
+            clean.app_time
+        );
+    }
+
+    #[test]
+    fn failure_runs_are_deterministic() {
+        let app = SyntheticApp::ring(16, 0.0008);
+        let bg = BgScript::steady(1, &[0], Time::ZERO, None, 1.0);
+        let fail = FailureScript::kill_core(3, Time::from_us(40_000));
+        let run = || {
+            SimExecutor::new(&app, small_cfg(30, "cloudrefine"), bg.clone())
+                .with_failures(fail.clone())
+                .try_run()
+                .expect("recoverable")
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a.app_time, b.app_time);
+        assert_eq!(a.final_mapping, b.final_mapping);
+        assert_eq!(a.recoveries, b.recoveries);
+        assert_eq!(a.replayed_iters, b.replayed_iters);
+    }
+
+    #[test]
+    fn kill_without_checkpoints_is_a_typed_error() {
+        let app = SyntheticApp::ring(16, 0.001);
+        let mut cfg = small_cfg(20, "nolb");
+        cfg.checkpoints = CheckpointPolicy::Disabled;
+        let fail = FailureScript::kill_core(1, Time::from_us(10_000));
+        let err = SimExecutor::new(&app, cfg, BgScript::none())
+            .with_failures(fail)
+            .try_run()
+            .unwrap_err();
+        assert!(matches!(err, RuntimeError::Unrecoverable { .. }), "{err}");
+    }
+
+    #[test]
+    fn node_outage_recovers_and_restored_node_rejoins() {
+        // Two nodes: node 1 (cores 4..8) dies mid-run and comes back later.
+        let app = SyntheticApp::ring(32, 0.001);
+        let mut cfg = RunConfig::paper(8, 60);
+        cfg.lb = LbConfig { strategy: "cloudrefine".into(), period: 5, ..Default::default() };
+        let fail = FailureScript::node_outage(1, Time::from_us(30_000), Time::from_us(90_000));
+        let r = SimExecutor::new(&app, cfg, BgScript::none())
+            .with_failures(fail)
+            .try_run()
+            .expect("buddies live on node 0");
+        assert_eq!(r.iter_times.len(), 60);
+        assert_eq!(r.failures, 4, "all four cores of node 1 fail");
+        assert_eq!(r.recoveries, 1, "one kill action, one rollback");
+        // The restored cores re-join at a later LB boundary and host work
+        // again by the end of the run.
+        assert!(
+            r.final_mapping.iter().any(|&p| p >= 4),
+            "restored node never re-used: {:?}",
+            r.final_mapping
+        );
+    }
+
+    #[test]
+    fn killing_every_core_reports_all_pes_dead() {
+        let app = SyntheticApp::ring(8, 0.001);
+        let fail = FailureScript::kill_node(0, Time::from_us(5_000));
+        let err = SimExecutor::new(&app, small_cfg(20, "nolb"), BgScript::none())
+            .with_failures(fail)
+            .try_run()
+            .unwrap_err();
+        assert_eq!(err, RuntimeError::AllPesDead);
+    }
+
+    #[test]
+    fn failure_trace_ledger_records_events() {
+        let app = SyntheticApp::ring(16, 0.001);
+        let cfg = small_cfg(30, "cloudrefine").with_trace();
+        let fail = FailureScript::kill_core(1, Time::from_us(40_000));
+        let r = SimExecutor::new(&app, cfg, BgScript::none())
+            .with_failures(fail)
+            .try_run()
+            .expect("recoverable");
+        let trace = r.trace.expect("tracing enabled");
+        let markers = trace.markers();
+        assert!(markers.iter().any(|(_, l)| l.contains("core 1 fails")));
+        assert!(markers.iter().any(|(_, l)| l.contains("recovery: roll back")));
+        assert!(markers.iter().any(|(_, l)| l.contains("recovery complete")));
+        assert!(markers.iter().any(|(_, l)| l.contains("checkpoint at iteration")));
+    }
+
+    #[test]
+    fn finite_bg_on_killed_core_does_not_hang_the_run() {
+        let app = SyntheticApp::ring(16, 0.001);
+        // A huge finite bg job on core 0 — it can only finish long after
+        // the app. Killing core 0 evicts it; the loop must still exit.
+        let bg = BgScript::steady(5, &[0], Time::ZERO, Some(Dur::from_ms(10_000)), 1.0);
+        let fail = FailureScript::kill_core(0, Time::from_us(20_000));
+        let r = SimExecutor::new(&app, small_cfg(20, "cloudrefine"), bg)
+            .with_failures(fail)
+            .try_run()
+            .expect("recoverable");
+        assert_eq!(r.iter_times.len(), 20);
+        assert!(!r.bg_penalties.contains_key(&5), "evicted job reports no penalty");
+    }
+
+    #[test]
+    fn failure_script_outside_cluster_is_invalid_config() {
+        let app = SyntheticApp::ring(8, 0.001);
+        let err = SimExecutor::new(&app, small_cfg(5, "nolb"), BgScript::none())
+            .with_failures(FailureScript::kill_core(64, Time::ZERO))
+            .try_run()
+            .expect_err("core 64 does not exist");
+        assert!(matches!(err, RuntimeError::InvalidConfig(_)), "got {err}");
     }
 }

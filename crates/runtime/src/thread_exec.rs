@@ -1,8 +1,9 @@
-//! Real multi-threaded executor with live object migration.
+//! Real multi-threaded executor with live object migration and a
+//! supervision layer for fault tolerance.
 //!
 //! One OS thread per PE; chares are boxed kernels owned by exactly one
-//! worker at a time. Ghost messages and migrations travel over crossbeam
-//! channels; a coordinator thread runs the AtSync/LB protocol. Interference
+//! worker at a time. Ghost messages and migrations travel over mpsc
+//! channels; a coordinator runs the AtSync/LB protocol. Interference
 //! is *injected*: a background schedule makes a worker burn
 //! `weight × task_cpu` of extra CPU around each task in the affected
 //! iteration range — the portable equivalent of a co-scheduled noisy
@@ -10,20 +11,55 @@
 //! specific cores the way the paper's testbed does, so the executor
 //! reproduces the *schedule* a fair-share OS would produce).
 //!
+//! # Fault tolerance
+//!
+//! Worker threads run under a supervisor shim: panics are caught with
+//! [`std::panic::catch_unwind`] and reported to the coordinator as
+//! [`CtrlMsg::WorkerDied`]. The coordinator then runs the global-rollback
+//! protocol of [`crate::checkpoint`]:
+//!
+//! 1. respawn a fresh worker for the dead PE (bounded retries, exponential
+//!    backoff);
+//! 2. broadcast [`WorkerMsg::Rollback`] — every worker discards all chare
+//!    state, adopts a new *epoch* and the replacement's channel;
+//! 3. re-install every chare from the last complete checkpoint via
+//!    [`WorkerMsg::Restore`];
+//! 4. resume; the application replays from the checkpointed iteration.
+//!
+//! Messages carry the epoch they were produced in; anything from before
+//! the rollback is stale (its iterations will be re-executed) and dropped
+//! on receipt. Kernels are deterministic and inboxes are sorted by sender
+//! before compute, so a replayed run reaches bit-identical state.
+//!
+//! Checkpoint consistency needs no quiescence detection: checkpoints are
+//! taken at a *full* AtSync barrier, and mpsc delivery respects causality —
+//! a worker's ghost send is enqueued before its `Parked` notification, the
+//! coordinator only sends `Checkpoint` after receiving *every* `Parked`,
+//! so every ghost for the boundary iteration is already in (or ahead of)
+//! its receiver's queue when `Checkpoint` arrives. The snapshot therefore
+//! captures kernel state *and* the settled ghost inbox.
+//!
+//! Every protocol `recv` on the coordinator is guarded by a watchdog
+//! timeout, so a silently hung PE surfaces as
+//! [`RuntimeError::WatchdogTimeout`] instead of a frozen barrier.
+//!
 //! This executor exists to demonstrate that the runtime design is real —
 //! kernels compute actual numbers, migration moves live state, and the
 //! instrumentation (Eq. 2) works from observable quantities only. The
 //! paper's figures are generated with the deterministic simulator.
 
+use crate::checkpoint::{ChareCheckpoint, CheckpointStore};
 use crate::config::{InitialMap, InstrumentMode, LbConfig};
+use crate::error::{panic_detail, RuntimeError};
 use crate::msg::{CtrlMsg, InboxEntry, ThreadSample, WorkerMsg};
 use crate::program::IterativeApp;
 use cloudlb_balance::{LbStats, TaskId, TaskInfo};
-use crossbeam::channel::{unbounded, Receiver, Sender};
 use std::collections::{BTreeMap, HashMap, HashSet, VecDeque};
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::mpsc::{channel, Receiver, RecvTimeoutError, Sender};
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// Interference injected on one PE over an iteration range.
 #[derive(Debug, Clone, Copy)]
@@ -37,6 +73,32 @@ pub struct ThreadBg {
     /// Background weight: each task burns `weight × cpu` extra.
     pub weight: f64,
 }
+
+/// A failure injected into a worker thread (each fires at most once per
+/// run, even across restarts — a replacement worker does not re-trigger
+/// faults already fired).
+#[derive(Debug, Clone, Copy)]
+pub enum ThreadFault {
+    /// Worker `pe` panics just before executing a chare at iteration `iter`.
+    Panic {
+        /// The worker that dies.
+        pe: usize,
+        /// Iteration whose execution triggers the panic.
+        iter: usize,
+    },
+    /// Worker `pe` stalls for `ms` milliseconds before executing at `iter`
+    /// (exercises the AtSync watchdog).
+    Hang {
+        /// The worker that hangs.
+        pe: usize,
+        /// Iteration whose execution triggers the stall.
+        iter: usize,
+        /// Stall length in milliseconds.
+        ms: u64,
+    },
+}
+
+pub use crate::checkpoint::CheckpointPolicy;
 
 /// Thread-executor configuration.
 #[derive(Debug, Clone)]
@@ -56,10 +118,23 @@ pub struct ThreadRunConfig {
     /// path a distributed deployment would take; tests use it to prove
     /// serialization round-trips preserve state exactly.
     pub serialize_migration: bool,
+    /// Checkpoint placement policy.
+    pub checkpoints: CheckpointPolicy,
+    /// Total worker restarts the supervisor attempts before giving up
+    /// with [`RuntimeError::TooManyRestarts`].
+    pub max_restarts: usize,
+    /// Base delay before respawning a dead worker; doubles per restart.
+    pub restart_backoff: Duration,
+    /// Longest the coordinator waits for any protocol message before
+    /// declaring the barrier hung ([`RuntimeError::WatchdogTimeout`]).
+    pub watchdog: Duration,
+    /// Failures to inject.
+    pub inject: Vec<ThreadFault>,
 }
 
 impl ThreadRunConfig {
-    /// Small default: `pes` workers, `iterations` iterations, no bg.
+    /// Small default: `pes` workers, `iterations` iterations, no bg, no
+    /// faults, checkpoints at every boundary.
     pub fn new(pes: usize, iterations: usize) -> Self {
         ThreadRunConfig {
             pes,
@@ -68,6 +143,11 @@ impl ThreadRunConfig {
             bg: Vec::new(),
             initial_map: InitialMap::Block,
             serialize_migration: false,
+            checkpoints: CheckpointPolicy::EveryBoundary,
+            max_restarts: 3,
+            restart_backoff: Duration::from_millis(5),
+            watchdog: Duration::from_secs(60),
+            inject: Vec::new(),
         }
     }
 }
@@ -79,7 +159,7 @@ pub struct ThreadRunResult {
     pub wall: std::time::Duration,
     /// Final checksum of every chare (order-independent digest of state).
     pub checksums: BTreeMap<usize, f64>,
-    /// LB steps executed.
+    /// LB steps executed (replayed windows count again).
     pub lb_steps: usize,
     /// Migrations committed.
     pub migrations: usize,
@@ -87,193 +167,593 @@ pub struct ThreadRunResult {
     pub final_mapping: Vec<usize>,
     /// Per-PE total task CPU µs (for balance assertions).
     pub per_pe_task_us: Vec<u64>,
+    /// Worker restarts performed by the supervisor.
+    pub restarts: usize,
+    /// Checkpoints taken (including the initial iteration-0 snapshot).
+    pub checkpoints: usize,
 }
 
 /// The threaded executor.
 pub struct ThreadExecutor;
 
 impl ThreadExecutor {
-    /// Run `app` under `cfg`. Panics on protocol violations (they indicate
-    /// bugs, not recoverable conditions).
-    pub fn run(app: &dyn IterativeApp, cfg: ThreadRunConfig) -> ThreadRunResult {
-        assert!(cfg.pes > 0 && cfg.iterations > 0);
+    /// Run `app` under `cfg`.
+    ///
+    /// Returns an error — never panics — when the run cannot complete:
+    /// unrecoverable worker death, exhausted restart budget, watchdog
+    /// timeout, or invalid configuration. Protocol violations that
+    /// indicate runtime bugs still surface as
+    /// [`RuntimeError::Protocol`].
+    pub fn run(
+        app: &dyn IterativeApp,
+        cfg: ThreadRunConfig,
+    ) -> Result<ThreadRunResult, RuntimeError> {
+        if cfg.pes == 0 {
+            return Err(RuntimeError::InvalidConfig("pes must be > 0".into()));
+        }
+        if cfg.iterations == 0 {
+            return Err(RuntimeError::InvalidConfig("iterations must be > 0".into()));
+        }
+        if cfg.lb.period == 0 {
+            return Err(RuntimeError::InvalidConfig("lb.period must be > 0".into()));
+        }
         crate::program::validate_app(app);
         let n = app.num_chares();
-        let mapping: Arc<Vec<AtomicUsize>> = Arc::new(
-            cfg.initial_map
-                .place(n, cfg.pes)
-                .into_iter()
-                .map(AtomicUsize::new)
-                .collect(),
-        );
+        let placement = cfg.initial_map.place(n, cfg.pes);
+        let mapping: Arc<Vec<AtomicUsize>> =
+            Arc::new(placement.iter().copied().map(AtomicUsize::new).collect());
+        let fired: Arc<Vec<AtomicBool>> =
+            Arc::new(cfg.inject.iter().map(|_| AtomicBool::new(false)).collect());
 
-        let (ctrl_tx, ctrl_rx) = unbounded::<CtrlMsg>();
+        // Iteration-0 checkpoint: pristine kernels, no pending ghosts.
+        // Taken before spawning so even a failure in the very first window
+        // is recoverable.
+        let store = match cfg.checkpoints {
+            CheckpointPolicy::Disabled => CheckpointStore::disabled(),
+            _ => {
+                let mut s = CheckpointStore { usable: true, ..Default::default() };
+                let mut all = Vec::with_capacity(n);
+                for (chare, &owner) in placement.iter().enumerate().take(n) {
+                    match app.make_kernel(chare).pack() {
+                        Some(bytes) => all.push(ChareCheckpoint {
+                            chare,
+                            bytes,
+                            next_iter: 0,
+                            pending: Vec::new(),
+                            owner,
+                        }),
+                        None => {
+                            s.usable = false;
+                            break;
+                        }
+                    }
+                }
+                if s.usable {
+                    s.install(0, all);
+                }
+                s
+            }
+        };
+        let initial_checkpoints = usize::from(store.usable);
+
+        let (ctrl_tx, ctrl_rx) = channel::<CtrlMsg>();
         let mut worker_tx: Vec<Sender<WorkerMsg>> = Vec::with_capacity(cfg.pes);
         let mut worker_rx: Vec<Option<Receiver<WorkerMsg>>> = Vec::with_capacity(cfg.pes);
         for _ in 0..cfg.pes {
-            let (tx, rx) = unbounded();
+            let (tx, rx) = channel();
             worker_tx.push(tx);
             worker_rx.push(Some(rx));
         }
 
         let start = Instant::now();
         let result = std::thread::scope(|scope| {
+            let seed = WorkerSeed {
+                app,
+                cfg: cfg.clone(),
+                mapping: Arc::clone(&mapping),
+                ctrl: ctrl_tx.clone(),
+                start,
+                fired,
+            };
             for (pe, slot) in worker_rx.iter_mut().enumerate() {
                 let rx = slot.take().expect("receiver taken once");
-                let txs = worker_tx.clone();
-                let ctrl = ctrl_tx.clone();
-                let mapping = Arc::clone(&mapping);
-                let cfg = cfg.clone();
-                scope.spawn(move || {
-                    Worker::new(pe, app, cfg, rx, txs, ctrl, mapping, start).run();
-                });
+                spawn_worker(scope, seed.clone(), pe, rx, worker_tx.clone(), 0, false);
             }
-            drop(ctrl_tx);
-            coordinator(app, &cfg, ctrl_rx, &worker_tx, &mapping)
+            let coord = Coordinator {
+                scope,
+                seed,
+                n,
+                ctrl_rx,
+                worker_tx,
+                strategy: cfg.lb.make_strategy(),
+                store,
+                epoch: 0,
+                phase: Phase::Computing,
+                barrier_iter: 0,
+                parked: HashSet::new(),
+                finished: HashSet::new(),
+                stats_replies: vec![None; cfg.pes],
+                ckpt_replies: vec![None; cfg.pes],
+                planned: Vec::new(),
+                pending_arrivals: 0,
+                lb_steps: 0,
+                migrations: 0,
+                restarts: 0,
+                checkpoints: initial_checkpoints,
+            };
+            coord.run()
         });
-        ThreadRunResult { wall: start.elapsed(), ..result }
+        result.map(|r| ThreadRunResult { wall: start.elapsed(), ..r })
     }
 }
 
-fn coordinator(
-    app: &dyn IterativeApp,
-    cfg: &ThreadRunConfig,
-    ctrl_rx: Receiver<CtrlMsg>,
-    worker_tx: &[Sender<WorkerMsg>],
-    mapping: &[AtomicUsize],
-) -> ThreadRunResult {
-    let n = app.num_chares();
-    let mut strategy = cfg.lb.make_strategy();
-    let mut parked: HashSet<usize> = HashSet::new();
-    let mut finished = 0usize;
-    let mut lb_steps = 0usize;
-    let mut migrations = 0usize;
-    let mut in_lb = false;
-    let mut stats_replies: Vec<Option<(Vec<ThreadSample>, u64, u64)>> = vec![None; cfg.pes];
-    let mut pending_arrivals = 0usize;
-    let mut planned: Vec<(usize, usize)> = Vec::new();
+/// Everything a worker thread needs at spawn time; kept by the
+/// coordinator so replacement workers can be created mid-run.
+struct WorkerSeed<'env> {
+    app: &'env dyn IterativeApp,
+    cfg: ThreadRunConfig,
+    mapping: Arc<Vec<AtomicUsize>>,
+    ctrl: Sender<CtrlMsg>,
+    start: Instant,
+    fired: Arc<Vec<AtomicBool>>,
+}
 
-    while finished < n {
-        match ctrl_rx.recv().expect("workers alive") {
-            CtrlMsg::Parked { pe: _, chare } => {
-                assert!(parked.insert(chare), "chare {chare} parked twice");
-                if parked.len() == n - finished && !in_lb {
-                    // Barrier full → collect this window's measurements.
-                    in_lb = true;
-                    for tx in worker_tx {
-                        tx.send(WorkerMsg::CollectStats).expect("worker alive");
-                    }
-                }
+impl Clone for WorkerSeed<'_> {
+    fn clone(&self) -> Self {
+        WorkerSeed {
+            app: self.app,
+            cfg: self.cfg.clone(),
+            mapping: Arc::clone(&self.mapping),
+            ctrl: self.ctrl.clone(),
+            start: self.start,
+            fired: Arc::clone(&self.fired),
+        }
+    }
+}
+
+/// Spawn a worker under the supervisor shim: a panic anywhere inside the
+/// worker is caught and reported as [`CtrlMsg::WorkerDied`] — sent after
+/// all the worker's regular messages (the thread is past its last send by
+/// the time the shim runs), which is what lets the coordinator treat
+/// `WorkerDied` as "no further traffic from this PE".
+fn spawn_worker<'scope, 'env>(
+    scope: &'scope std::thread::Scope<'scope, 'env>,
+    seed: WorkerSeed<'env>,
+    pe: usize,
+    rx: Receiver<WorkerMsg>,
+    txs: Vec<Sender<WorkerMsg>>,
+    epoch: usize,
+    fresh: bool,
+) {
+    scope.spawn(move || {
+        let ctrl = seed.ctrl.clone();
+        let outcome = catch_unwind(AssertUnwindSafe(|| {
+            Worker::new(pe, seed, rx, txs, epoch, fresh).run()
+        }));
+        match outcome {
+            Ok(Ok(())) => {}
+            // The control channel itself broke: the coordinator is gone
+            // (the run is already ending in an error); nothing to report.
+            Ok(Err(_)) => {}
+            Err(payload) => {
+                let _ = ctrl.send(CtrlMsg::WorkerDied {
+                    pe,
+                    detail: panic_detail(payload.as_ref()),
+                });
             }
-            CtrlMsg::Stats { pe, samples, idle_us, window_us } => {
-                stats_replies[pe] = Some((samples, idle_us, window_us));
-                if stats_replies.iter().all(Option::is_some) {
-                    // Build the LB database (Eq. 1–3) from observables.
-                    let mut db = LbStats::new(cfg.pes);
-                    let mut per_task = vec![(0u64, 0u64); n];
-                    let mut pe_task_us = vec![0u64; cfg.pes];
-                    let mut bg = vec![0.0f64; cfg.pes];
-                    for (pe, reply) in stats_replies.iter_mut().enumerate() {
-                        let (samples, idle_us, window_us) = reply.take().expect("checked");
-                        for s in &samples {
-                            per_task[s.chare].0 += s.cpu_us;
-                            per_task[s.chare].1 += s.wall_us;
-                            pe_task_us[pe] += match cfg.lb.instrument {
-                                InstrumentMode::CpuTime => s.cpu_us,
-                                InstrumentMode::WallTime => s.wall_us,
-                            };
-                        }
-                        bg[pe] = (window_us.saturating_sub(pe_task_us[pe]).saturating_sub(idle_us))
-                            as f64
-                            / 1e6;
-                    }
-                    db.bg_load = bg;
-                    db.tasks = (0..n)
-                        .map(|i| TaskInfo {
-                            id: TaskId(i as u64),
-                            pe: mapping[i].load(Ordering::SeqCst),
-                            load: match cfg.lb.instrument {
-                                InstrumentMode::CpuTime => per_task[i].0,
-                                InstrumentMode::WallTime => per_task[i].1,
-                            } as f64
-                                / 1e6,
-                            bytes: app.state_bytes(i) as u64,
-                        })
-                        .collect();
-                    let plan = strategy.plan(&db);
-                    cloudlb_balance::strategy::validate_plan(&db, &plan);
-                    lb_steps += 1;
-                    migrations += plan.len();
-                    // Commit the mapping *before* any movement so ghosts
-                    // route to the new owners.
-                    for m in &plan {
-                        mapping[m.task.0 as usize].store(m.to, Ordering::SeqCst);
-                    }
-                    planned = plan.iter().map(|m| (m.task.0 as usize, m.to)).collect();
-                    pending_arrivals = plan.len();
-                    if plan.is_empty() {
-                        resume(worker_tx, &mut in_lb, &mut parked);
-                    } else {
-                        let mut by_src: HashMap<usize, Vec<(usize, usize)>> = HashMap::new();
-                        for m in &plan {
-                            by_src.entry(m.from).or_default().push((m.task.0 as usize, m.to));
-                        }
-                        for (src, moves) in by_src {
-                            worker_tx[src].send(WorkerMsg::DoMigrations(moves)).expect("alive");
-                        }
-                    }
-                }
-            }
-            CtrlMsg::MigArrived { chare } => {
-                assert!(planned.iter().any(|(c, _)| *c == chare), "unexpected arrival {chare}");
-                pending_arrivals -= 1;
-                if pending_arrivals == 0 {
-                    resume(worker_tx, &mut in_lb, &mut parked);
-                }
-            }
-            CtrlMsg::Finished { chare: _ } => {
-                finished += 1;
-            }
-            CtrlMsg::Final { .. } => unreachable!("Final before Shutdown"),
+        }
+    });
+}
+
+/// Coordinator protocol state, used for watchdog labels and for rejecting
+/// messages that violate the AtSync/LB protocol.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Phase {
+    Computing,
+    Checkpointing,
+    Collecting,
+    Migrating,
+}
+
+impl Phase {
+    fn label(self) -> &'static str {
+        match self {
+            Phase::Computing => "atsync barrier",
+            Phase::Checkpointing => "checkpoint collection",
+            Phase::Collecting => "stats collection",
+            Phase::Migrating => "migration commit",
+        }
+    }
+}
+
+struct Coordinator<'scope, 'env: 'scope> {
+    scope: &'scope std::thread::Scope<'scope, 'env>,
+    seed: WorkerSeed<'env>,
+    n: usize,
+    ctrl_rx: Receiver<CtrlMsg>,
+    worker_tx: Vec<Sender<WorkerMsg>>,
+    strategy: Box<dyn cloudlb_balance::LbStrategy>,
+    store: CheckpointStore,
+    epoch: usize,
+    phase: Phase,
+    barrier_iter: usize,
+    parked: HashSet<usize>,
+    finished: HashSet<usize>,
+    stats_replies: Vec<Option<(Vec<ThreadSample>, u64, u64)>>,
+    ckpt_replies: Vec<Option<Option<Vec<ChareCheckpoint>>>>,
+    planned: Vec<(usize, usize)>,
+    pending_arrivals: usize,
+    lb_steps: usize,
+    migrations: usize,
+    restarts: usize,
+    checkpoints: usize,
+}
+
+impl Coordinator<'_, '_> {
+    fn run(mut self) -> Result<ThreadRunResult, RuntimeError> {
+        let r = self.run_inner();
+        if r.is_err() {
+            // Unblock every worker so the thread scope can join. Workers
+            // that already died ignore this (send fails, which is fine).
+            self.abort();
+        }
+        r
+    }
+
+    fn run_inner(&mut self) -> Result<ThreadRunResult, RuntimeError> {
+        while self.finished.len() < self.n {
+            let msg = self.recv()?;
+            self.dispatch(msg)?;
+        }
+        self.shutdown()
+    }
+
+    /// Watchdog-guarded receive: a quiet channel means a hung (or
+    /// silently dead) PE is blocking the protocol.
+    fn recv(&self) -> Result<CtrlMsg, RuntimeError> {
+        match self.ctrl_rx.recv_timeout(self.seed.cfg.watchdog) {
+            Ok(m) => Ok(m),
+            Err(RecvTimeoutError::Timeout) => Err(RuntimeError::WatchdogTimeout {
+                phase: self.phase.label().into(),
+                waited_ms: self.seed.cfg.watchdog.as_millis() as u64,
+            }),
+            Err(RecvTimeoutError::Disconnected) => Err(RuntimeError::ChannelClosed {
+                endpoint: "coordinator control queue".into(),
+            }),
         }
     }
 
-    // All chares done: collect final state.
-    for tx in worker_tx {
-        tx.send(WorkerMsg::Shutdown).expect("worker alive");
+    /// Best-effort broadcast. A failed send means the receiver died; its
+    /// `WorkerDied` notification is already queued (panics always produce
+    /// one), so recovery is driven from there rather than here.
+    fn broadcast(&self, make: impl Fn() -> WorkerMsg) {
+        for tx in &self.worker_tx {
+            let _ = tx.send(make());
+        }
     }
-    let mut checksums = BTreeMap::new();
-    let mut per_pe_task_us = vec![0u64; cfg.pes];
-    let mut finals = 0;
-    while finals < cfg.pes {
-        if let CtrlMsg::Final { pe, checksums: cs, total_task_us } =
-            ctrl_rx.recv().expect("workers finishing")
-        {
-            for (chare, sum) in cs {
-                checksums.insert(chare, sum);
+
+    fn abort(&self) {
+        self.broadcast(|| WorkerMsg::Shutdown);
+    }
+
+    fn dispatch(&mut self, msg: CtrlMsg) -> Result<(), RuntimeError> {
+        match msg {
+            CtrlMsg::Parked { pe: _, chare, iter } => {
+                if self.phase != Phase::Computing {
+                    return Err(RuntimeError::Protocol(format!(
+                        "chare {chare} parked during {}",
+                        self.phase.label()
+                    )));
+                }
+                if !self.parked.insert(chare) {
+                    return Err(RuntimeError::Protocol(format!("chare {chare} parked twice")));
+                }
+                self.barrier_iter = iter;
+                if self.parked.len() == self.n - self.finished.len() {
+                    self.barrier_full();
+                }
             }
-            per_pe_task_us[pe] = total_task_us;
-            finals += 1;
-        } // stragglers from the main phase are benign here
-
+            CtrlMsg::Finished { chare } => {
+                if !self.finished.insert(chare) {
+                    return Err(RuntimeError::Protocol(format!("chare {chare} finished twice")));
+                }
+            }
+            CtrlMsg::CheckpointData { pe, chares } => self.on_checkpoint_data(pe, chares)?,
+            CtrlMsg::Stats { pe, samples, idle_us, window_us } => {
+                self.on_stats(pe, samples, idle_us, window_us)?
+            }
+            CtrlMsg::MigArrived { chare } => self.on_arrival(chare)?,
+            CtrlMsg::WorkerDied { pe, detail } => self.recover(pe, detail)?,
+            CtrlMsg::Final { .. } => {
+                return Err(RuntimeError::Protocol("Final before Shutdown".into()));
+            }
+            // Trailing acks from an interrupted recovery attempt; the
+            // live attempt's wait loops already got what they needed.
+            CtrlMsg::RolledBack { .. } | CtrlMsg::Restored { .. } => {}
+        }
+        Ok(())
     }
-    assert_eq!(checksums.len(), n, "missing checksums");
 
-    ThreadRunResult {
-        wall: std::time::Duration::ZERO, // filled by caller
-        checksums,
-        lb_steps,
-        migrations,
-        final_mapping: mapping.iter().map(|m| m.load(Ordering::SeqCst)).collect(),
-        per_pe_task_us,
+    /// All live chares are parked: snapshot first (if due), then run LB.
+    fn barrier_full(&mut self) {
+        if self.checkpoint_due() {
+            self.phase = Phase::Checkpointing;
+            self.ckpt_replies = vec![None; self.seed.cfg.pes];
+            self.broadcast(|| WorkerMsg::Checkpoint);
+        } else {
+            self.start_collect();
+        }
     }
-}
 
-fn resume(worker_tx: &[Sender<WorkerMsg>], in_lb: &mut bool, parked: &mut HashSet<usize>) {
-    *in_lb = false;
-    parked.clear();
-    for tx in worker_tx {
-        tx.send(WorkerMsg::Resume).expect("worker alive");
+    fn checkpoint_due(&self) -> bool {
+        self.store.usable && self.seed.cfg.checkpoints.due(self.barrier_iter)
+    }
+
+    fn start_collect(&mut self) {
+        self.phase = Phase::Collecting;
+        self.stats_replies = vec![None; self.seed.cfg.pes];
+        self.broadcast(|| WorkerMsg::CollectStats);
+    }
+
+    fn on_checkpoint_data(
+        &mut self,
+        pe: usize,
+        chares: Option<Vec<ChareCheckpoint>>,
+    ) -> Result<(), RuntimeError> {
+        if self.phase != Phase::Checkpointing {
+            return Err(RuntimeError::Protocol(format!(
+                "checkpoint data from pe {pe} during {}",
+                self.phase.label()
+            )));
+        }
+        self.ckpt_replies[pe] = Some(chares);
+        if !self.ckpt_replies.iter().all(Option::is_some) {
+            return Ok(());
+        }
+        let replies: Vec<Option<Vec<ChareCheckpoint>>> =
+            self.ckpt_replies.iter_mut().map(|r| r.take().expect("checked")).collect();
+        if replies.iter().any(Option::is_none) {
+            // Some chare does not PUP; checkpointing is off for good.
+            self.store.usable = false;
+        } else {
+            let all: Vec<ChareCheckpoint> = replies.into_iter().flatten().flatten().collect();
+            if all.len() != self.n {
+                return Err(RuntimeError::Protocol(format!(
+                    "checkpoint covers {} of {} chares",
+                    all.len(),
+                    self.n
+                )));
+            }
+            self.store.install(self.barrier_iter, all);
+            self.checkpoints += 1;
+        }
+        self.start_collect();
+        Ok(())
+    }
+
+    fn on_stats(
+        &mut self,
+        pe: usize,
+        samples: Vec<ThreadSample>,
+        idle_us: u64,
+        window_us: u64,
+    ) -> Result<(), RuntimeError> {
+        if self.phase != Phase::Collecting {
+            return Err(RuntimeError::Protocol(format!(
+                "stats from pe {pe} during {}",
+                self.phase.label()
+            )));
+        }
+        self.stats_replies[pe] = Some((samples, idle_us, window_us));
+        if !self.stats_replies.iter().all(Option::is_some) {
+            return Ok(());
+        }
+        let cfg = &self.seed.cfg;
+        // Build the LB database (Eq. 1–3) from observables.
+        let mut db = LbStats::new(cfg.pes);
+        let mut per_task = vec![(0u64, 0u64); self.n];
+        let mut pe_task_us = vec![0u64; cfg.pes];
+        let mut bg = vec![0.0f64; cfg.pes];
+        for (pe, reply) in self.stats_replies.iter_mut().enumerate() {
+            let (samples, idle_us, window_us) = reply.take().expect("checked");
+            for s in &samples {
+                per_task[s.chare].0 += s.cpu_us;
+                per_task[s.chare].1 += s.wall_us;
+                pe_task_us[pe] += match cfg.lb.instrument {
+                    InstrumentMode::CpuTime => s.cpu_us,
+                    InstrumentMode::WallTime => s.wall_us,
+                };
+            }
+            bg[pe] =
+                (window_us.saturating_sub(pe_task_us[pe]).saturating_sub(idle_us)) as f64 / 1e6;
+        }
+        db.bg_load = bg;
+        db.tasks = (0..self.n)
+            .map(|i| TaskInfo {
+                id: TaskId(i as u64),
+                pe: self.seed.mapping[i].load(Ordering::SeqCst),
+                load: match cfg.lb.instrument {
+                    InstrumentMode::CpuTime => per_task[i].0,
+                    InstrumentMode::WallTime => per_task[i].1,
+                } as f64
+                    / 1e6,
+                bytes: self.seed.app.state_bytes(i) as u64,
+            })
+            .collect();
+        let plan = self.strategy.plan(&db);
+        cloudlb_balance::strategy::validate_plan(&db, &plan);
+        self.lb_steps += 1;
+        self.migrations += plan.len();
+        // Commit the mapping *before* any movement so ghosts route to the
+        // new owners.
+        for m in &plan {
+            self.seed.mapping[m.task.0 as usize].store(m.to, Ordering::SeqCst);
+        }
+        self.planned = plan.iter().map(|m| (m.task.0 as usize, m.to)).collect();
+        self.pending_arrivals = plan.len();
+        if plan.is_empty() {
+            self.resume();
+        } else {
+            self.phase = Phase::Migrating;
+            let mut by_src: HashMap<usize, Vec<(usize, usize)>> = HashMap::new();
+            for m in &plan {
+                by_src.entry(m.from).or_default().push((m.task.0 as usize, m.to));
+            }
+            for (src, moves) in by_src {
+                let _ = self.worker_tx[src].send(WorkerMsg::DoMigrations(moves));
+            }
+        }
+        Ok(())
+    }
+
+    fn on_arrival(&mut self, chare: usize) -> Result<(), RuntimeError> {
+        if self.phase != Phase::Migrating || !self.planned.iter().any(|(c, _)| *c == chare) {
+            return Err(RuntimeError::Protocol(format!("unexpected migration arrival {chare}")));
+        }
+        self.pending_arrivals -= 1;
+        if self.pending_arrivals == 0 {
+            self.resume();
+        }
+        Ok(())
+    }
+
+    fn resume(&mut self) {
+        self.phase = Phase::Computing;
+        self.parked.clear();
+        self.broadcast(|| WorkerMsg::Resume);
+    }
+
+    /// Global rollback after a worker death: respawn, roll every worker
+    /// back, restore all chares from the last checkpoint, resume. Loops
+    /// if further workers die mid-recovery; bounded by `max_restarts`.
+    fn recover(&mut self, dead_pe: usize, detail: String) -> Result<(), RuntimeError> {
+        let (mut dead_pe, mut detail) = (dead_pe, detail);
+        'attempt: loop {
+            if !self.store.restorable(self.n) {
+                return Err(RuntimeError::WorkerPanicked { pe: dead_pe, detail });
+            }
+            self.restarts += 1;
+            if self.restarts > self.seed.cfg.max_restarts {
+                return Err(RuntimeError::TooManyRestarts {
+                    pe: dead_pe,
+                    attempts: self.restarts - 1,
+                });
+            }
+            // Exponential backoff: a crash loop should not spin the CPU.
+            let exp = (self.restarts - 1).min(6) as u32;
+            std::thread::sleep(self.seed.cfg.restart_backoff * 2u32.pow(exp));
+
+            // Respawn the dead PE on a fresh channel and a new epoch.
+            let (tx, rx) = channel();
+            self.worker_tx[dead_pe] = tx;
+            self.epoch += 1;
+            spawn_worker(
+                self.scope,
+                self.seed.clone(),
+                dead_pe,
+                rx,
+                self.worker_tx.clone(),
+                self.epoch,
+                true,
+            );
+            self.broadcast(|| WorkerMsg::Rollback {
+                epoch: self.epoch,
+                peers: self.worker_tx.clone(),
+            });
+
+            // Wait until every worker has discarded pre-rollback state.
+            let mut acked = vec![false; self.seed.cfg.pes];
+            while !acked.iter().all(|&a| a) {
+                match self.recv()? {
+                    CtrlMsg::RolledBack { pe, epoch } if epoch == self.epoch => acked[pe] = true,
+                    CtrlMsg::WorkerDied { pe, detail: d } => {
+                        (dead_pe, detail) = (pe, d);
+                        continue 'attempt;
+                    }
+                    // Anything else predates the rollback and is stale.
+                    _ => {}
+                }
+            }
+
+            // Re-install every chare from the checkpoint at its current
+            // mapping owner (the placement the LB last committed).
+            let mut expected = 0usize;
+            for ck in self.store.chares.values() {
+                let dst = self.seed.mapping[ck.chare].load(Ordering::SeqCst);
+                if self.worker_tx[dst].send(WorkerMsg::Restore(ck.clone())).is_ok() {
+                    expected += 1;
+                }
+            }
+            let mut restored = 0usize;
+            while restored < expected {
+                match self.recv()? {
+                    CtrlMsg::Restored { .. } => restored += 1,
+                    CtrlMsg::WorkerDied { pe, detail: d } => {
+                        (dead_pe, detail) = (pe, d);
+                        continue 'attempt;
+                    }
+                    _ => {}
+                }
+            }
+
+            // Reset protocol state and replay from the checkpoint.
+            self.parked.clear();
+            self.finished.clear();
+            self.stats_replies = vec![None; self.seed.cfg.pes];
+            self.ckpt_replies = vec![None; self.seed.cfg.pes];
+            self.planned.clear();
+            self.pending_arrivals = 0;
+            self.resume();
+            return Ok(());
+        }
+    }
+
+    /// All chares done: collect final state.
+    fn shutdown(&mut self) -> Result<ThreadRunResult, RuntimeError> {
+        let mut expected = 0usize;
+        for tx in &self.worker_tx {
+            if tx.send(WorkerMsg::Shutdown).is_ok() {
+                expected += 1;
+            }
+        }
+        let mut checksums = BTreeMap::new();
+        let mut per_pe_task_us = vec![0u64; self.seed.cfg.pes];
+        let mut finals = 0usize;
+        while finals < expected {
+            match self.recv()? {
+                CtrlMsg::Final { pe, checksums: cs, total_task_us } => {
+                    for (chare, sum) in cs {
+                        checksums.insert(chare, sum);
+                    }
+                    per_pe_task_us[pe] = total_task_us;
+                    finals += 1;
+                }
+                CtrlMsg::WorkerDied { .. } => expected = expected.saturating_sub(1),
+                _ => {} // stragglers from the main phase are benign here
+            }
+        }
+        if checksums.len() != self.n {
+            return Err(RuntimeError::Protocol(format!(
+                "final report covers {} of {} chares",
+                checksums.len(),
+                self.n
+            )));
+        }
+        Ok(ThreadRunResult {
+            wall: std::time::Duration::ZERO, // filled by caller
+            checksums,
+            lb_steps: self.lb_steps,
+            migrations: self.migrations,
+            final_mapping: self
+                .seed
+                .mapping
+                .iter()
+                .map(|m| m.load(Ordering::SeqCst))
+                .collect(),
+            per_pe_task_us,
+            restarts: self.restarts,
+            checkpoints: self.checkpoints,
+        })
     }
 }
 
@@ -286,6 +766,8 @@ struct Worker<'a> {
     ctrl: Sender<CtrlMsg>,
     mapping: Arc<Vec<AtomicUsize>>,
     start: Instant,
+    fired: Arc<Vec<AtomicBool>>,
+    epoch: usize,
 
     kernels: HashMap<usize, Box<dyn crate::program::ChareKernel>>,
     next_iter: HashMap<usize, usize>,
@@ -303,23 +785,25 @@ struct Worker<'a> {
 }
 
 impl<'a> Worker<'a> {
-    #[allow(clippy::too_many_arguments)]
     fn new(
         pe: usize,
-        app: &'a dyn IterativeApp,
-        cfg: ThreadRunConfig,
+        seed: WorkerSeed<'a>,
         rx: Receiver<WorkerMsg>,
         txs: Vec<Sender<WorkerMsg>>,
-        ctrl: Sender<CtrlMsg>,
-        mapping: Arc<Vec<AtomicUsize>>,
-        start: Instant,
+        epoch: usize,
+        fresh: bool,
     ) -> Self {
+        let WorkerSeed { app, cfg, mapping, ctrl, start, fired } = seed;
         let mut kernels = HashMap::new();
         let mut next_iter = HashMap::new();
-        for chare in 0..app.num_chares() {
-            if mapping[chare].load(Ordering::SeqCst) == pe {
-                kernels.insert(chare, app.make_kernel(chare));
-                next_iter.insert(chare, 0usize);
+        // A fresh (replacement) worker starts empty and waits for its
+        // chares to arrive via `Restore`.
+        if !fresh {
+            for chare in 0..app.num_chares() {
+                if mapping[chare].load(Ordering::SeqCst) == pe {
+                    kernels.insert(chare, app.make_kernel(chare));
+                    next_iter.insert(chare, 0usize);
+                }
             }
         }
         Worker {
@@ -331,12 +815,19 @@ impl<'a> Worker<'a> {
             ctrl,
             mapping,
             start,
-            ready: kernels.keys().copied().collect::<std::collections::BTreeSet<_>>().into_iter().collect(),
+            fired,
+            epoch,
+            ready: kernels
+                .keys()
+                .copied()
+                .collect::<std::collections::BTreeSet<_>>()
+                .into_iter()
+                .collect(),
             kernels,
             next_iter,
             inbox: HashMap::new(),
             parked: HashSet::new(),
-            in_lb: false,
+            in_lb: fresh,
             samples: Vec::new(),
             idle_us: 0,
             window_start_us: 0,
@@ -357,25 +848,55 @@ impl<'a> Worker<'a> {
             .sum()
     }
 
-    fn run(mut self) {
+    /// Report to the coordinator; failure means it is gone and the run is
+    /// already over, so the worker unwinds quietly with a typed error.
+    fn ctrl_send(&self, msg: CtrlMsg) -> Result<(), RuntimeError> {
+        self.ctrl.send(msg).map_err(|_| RuntimeError::ChannelClosed {
+            endpoint: format!("control queue from pe {}", self.pe),
+        })
+    }
+
+    fn run(mut self) -> Result<(), RuntimeError> {
         loop {
             // Execute everything ready (unless an LB step is in progress).
             while !self.in_lb {
                 let Some(chare) = self.ready.pop_front() else { break };
-                self.execute(chare);
+                self.execute(chare)?;
             }
             // Block for the next message, accounting the wait as idle.
             let t0 = Instant::now();
-            let Ok(msg) = self.rx.recv() else { return };
+            // All senders gone: orderly teardown (run already ended).
+            let Ok(msg) = self.rx.recv() else { return Ok(()) };
             self.idle_us += t0.elapsed().as_micros() as u64;
-            if !self.handle(msg) {
-                return;
+            if !self.handle(msg)? {
+                return Ok(());
             }
         }
     }
 
-    fn execute(&mut self, chare: usize) {
+    /// Fire any injected fault scheduled for this PE and iteration.
+    /// The shared `fired` flags make each fault one-shot across restarts.
+    fn maybe_inject(&self, iter: usize) {
+        for (ix, f) in self.cfg.inject.iter().enumerate() {
+            match *f {
+                ThreadFault::Panic { pe, iter: at }
+                    if pe == self.pe && at == iter && !self.fired[ix].swap(true, Ordering::SeqCst) =>
+                {
+                    panic!("injected fault: worker {pe} panics at iteration {at}");
+                }
+                ThreadFault::Hang { pe, iter: at, ms }
+                    if pe == self.pe && at == iter && !self.fired[ix].swap(true, Ordering::SeqCst) =>
+                {
+                    std::thread::sleep(Duration::from_millis(ms));
+                }
+                _ => {}
+            }
+        }
+    }
+
+    fn execute(&mut self, chare: usize) -> Result<(), RuntimeError> {
         let iter = self.next_iter[&chare];
+        self.maybe_inject(iter);
         let mut entries = self.inbox.remove(&(chare, iter)).unwrap_or_default();
         // Protocol guarantee: inbox sorted by sender, so float accumulation
         // order (and therefore checksums) is independent of message timing.
@@ -400,32 +921,37 @@ impl<'a> Worker<'a> {
         self.samples.push(ThreadSample { chare, cpu_us, wall_us });
         self.total_task_us += cpu_us;
 
-        // Route ghosts for the next iteration.
+        // Route ghosts for the next iteration. A send to a dead peer is
+        // dropped silently: its death notification is already en route and
+        // the rollback will replay this iteration anyway.
         let next = iter + 1;
         if next < self.cfg.iterations {
             for (nb, data) in out {
                 let dst = self.mapping[nb].load(Ordering::SeqCst);
-                let msg = WorkerMsg::Ghost { chare: nb, iter: next, from: chare, data };
                 if dst == self.pe {
-                    self.handle_ghost(nb, next, chare, match msg {
-                        WorkerMsg::Ghost { data, .. } => data,
-                        _ => unreachable!(),
-                    });
+                    self.handle_ghost(nb, next, chare, data);
                 } else {
-                    self.txs[dst].send(msg).expect("peer alive");
+                    let _ = self.txs[dst].send(WorkerMsg::Ghost {
+                        chare: nb,
+                        iter: next,
+                        from: chare,
+                        data,
+                        epoch: self.epoch,
+                    });
                 }
             }
         }
 
         *self.next_iter.get_mut(&chare).expect("owned") = next;
         if next >= self.cfg.iterations {
-            self.ctrl.send(CtrlMsg::Finished { chare }).expect("coordinator alive");
+            self.ctrl_send(CtrlMsg::Finished { chare })?;
         } else if next.is_multiple_of(self.cfg.lb.period) {
             self.parked.insert(chare);
-            self.ctrl.send(CtrlMsg::Parked { pe: self.pe, chare }).expect("coordinator alive");
+            self.ctrl_send(CtrlMsg::Parked { pe: self.pe, chare, iter: next })?;
         } else {
             self.check_ready(chare);
         }
+        Ok(())
     }
 
     fn check_ready(&mut self, chare: usize) {
@@ -437,7 +963,9 @@ impl<'a> Worker<'a> {
             return;
         }
         let have = self.inbox.get(&(chare, iter)).map_or(0, |v| v.len());
-        let expected = self.app.neighbors(chare).len();
+        // Iteration 0 consumes no ghosts (they feed iterations ≥ 1), so a
+        // chare restored to the initial checkpoint is immediately ready.
+        let expected = if iter == 0 { 0 } else { self.app.neighbors(chare).len() };
         if have >= expected && !self.ready.contains(&chare) {
             self.ready.push_back(chare);
         }
@@ -447,9 +975,13 @@ impl<'a> Worker<'a> {
         let owner = self.mapping[chare].load(Ordering::SeqCst);
         if owner != self.pe {
             // The chare moved (or never lived here): forward.
-            self.txs[owner]
-                .send(WorkerMsg::Ghost { chare, iter, from, data })
-                .expect("peer alive");
+            let _ = self.txs[owner].send(WorkerMsg::Ghost {
+                chare,
+                iter,
+                from,
+                data,
+                epoch: self.epoch,
+            });
             return;
         }
         self.inbox.entry((chare, iter)).or_default().push((from, data));
@@ -463,33 +995,36 @@ impl<'a> Worker<'a> {
         kernel: Box<dyn crate::program::ChareKernel>,
         next_iter: usize,
         pending: HashMap<usize, InboxEntry>,
-    ) {
+    ) -> Result<(), RuntimeError> {
         self.kernels.insert(chare, kernel);
         self.next_iter.insert(chare, next_iter);
         for (iter, mut entries) in pending {
             self.inbox.entry((chare, iter)).or_default().append(&mut entries);
         }
         self.parked.insert(chare);
-        self.ctrl.send(CtrlMsg::MigArrived { chare }).expect("coordinator alive");
+        self.ctrl_send(CtrlMsg::MigArrived { chare })
     }
 
-    /// Returns `false` on shutdown.
-    fn handle(&mut self, msg: WorkerMsg) -> bool {
+    /// Returns `Ok(false)` on shutdown.
+    fn handle(&mut self, msg: WorkerMsg) -> Result<bool, RuntimeError> {
         match msg {
-            WorkerMsg::Ghost { chare, iter, from, data } => {
-                self.handle_ghost(chare, iter, from, data);
+            WorkerMsg::Ghost { chare, iter, from, data, epoch } => {
+                // Stale epochs predate a rollback; those iterations will
+                // be replayed, so the data must not be double-counted.
+                if epoch == self.epoch {
+                    self.handle_ghost(chare, iter, from, data);
+                }
             }
             WorkerMsg::CollectStats => {
                 self.in_lb = true;
                 let now = self.now_us();
-                self.ctrl
-                    .send(CtrlMsg::Stats {
-                        pe: self.pe,
-                        samples: std::mem::take(&mut self.samples),
-                        idle_us: self.idle_us,
-                        window_us: now - self.window_start_us,
-                    })
-                    .expect("coordinator alive");
+                let samples = std::mem::take(&mut self.samples);
+                self.ctrl_send(CtrlMsg::Stats {
+                    pe: self.pe,
+                    samples,
+                    idle_us: self.idle_us,
+                    window_us: now - self.window_start_us,
+                })?;
             }
             WorkerMsg::DoMigrations(moves) => {
                 for (chare, to) in moves {
@@ -511,21 +1046,96 @@ impl<'a> Worker<'a> {
                         let bytes = kernel.pack().unwrap_or_else(|| {
                             panic!("serialize_migration set but chare {chare} does not pack")
                         });
-                        WorkerMsg::MigrateBytes { chare, bytes, next_iter, pending }
+                        WorkerMsg::MigrateBytes {
+                            chare,
+                            bytes,
+                            next_iter,
+                            pending,
+                            epoch: self.epoch,
+                        }
                     } else {
-                        WorkerMsg::Migrate { chare, kernel, next_iter, pending }
+                        WorkerMsg::Migrate { chare, kernel, next_iter, pending, epoch: self.epoch }
                     };
-                    self.txs[to].send(msg).expect("peer alive");
+                    let _ = self.txs[to].send(msg);
                 }
             }
-            WorkerMsg::Migrate { chare, kernel, next_iter, pending } => {
-                self.install(chare, kernel, next_iter, pending);
+            WorkerMsg::Migrate { chare, kernel, next_iter, pending, epoch } => {
+                if epoch == self.epoch {
+                    self.install(chare, kernel, next_iter, pending)?;
+                }
             }
-            WorkerMsg::MigrateBytes { chare, bytes, next_iter, pending } => {
-                let kernel = self.app.unpack_kernel(chare, &bytes).unwrap_or_else(|| {
-                    panic!("received PUPed chare {chare} but the app cannot unpack")
+            WorkerMsg::MigrateBytes { chare, bytes, next_iter, pending, epoch } => {
+                if epoch == self.epoch {
+                    let kernel = self.app.unpack_kernel(chare, &bytes).unwrap_or_else(|| {
+                        panic!("received PUPed chare {chare} but the app cannot unpack")
+                    });
+                    self.install(chare, kernel, next_iter, pending)?;
+                }
+            }
+            WorkerMsg::Checkpoint => {
+                // All chares are parked (full barrier) and every ghost for
+                // the boundary iteration has been delivered (causal FIFO;
+                // see module docs), so this snapshot is consistent.
+                self.in_lb = true;
+                let mut chares: Vec<usize> = self.kernels.keys().copied().collect();
+                chares.sort_unstable();
+                let mut out = Vec::with_capacity(chares.len());
+                let mut ok = true;
+                for chare in chares {
+                    match self.kernels[&chare].pack() {
+                        Some(bytes) => {
+                            let pending: Vec<(usize, InboxEntry)> = self
+                                .inbox
+                                .iter()
+                                .filter(|((c, _), _)| *c == chare)
+                                .map(|((_, it), e)| (*it, e.clone()))
+                                .collect();
+                            out.push(ChareCheckpoint {
+                                chare,
+                                bytes,
+                                next_iter: self.next_iter[&chare],
+                                pending,
+                                owner: self.pe,
+                            });
+                        }
+                        None => {
+                            ok = false;
+                            break;
+                        }
+                    }
+                }
+                self.ctrl_send(CtrlMsg::CheckpointData {
+                    pe: self.pe,
+                    chares: ok.then_some(out),
+                })?;
+            }
+            WorkerMsg::Rollback { epoch, peers } => {
+                // A peer died. Drop everything from before the failure;
+                // our chares come back via Restore, everyone else's state
+                // is replayed from the checkpoint.
+                self.epoch = epoch;
+                self.txs = peers;
+                self.kernels.clear();
+                self.next_iter.clear();
+                self.inbox.clear();
+                self.ready.clear();
+                self.parked.clear();
+                self.samples.clear();
+                self.idle_us = 0;
+                self.in_lb = true; // hold until Resume
+                self.ctrl_send(CtrlMsg::RolledBack { pe: self.pe, epoch })?;
+            }
+            WorkerMsg::Restore(ck) => {
+                let kernel = self.app.unpack_kernel(ck.chare, &ck.bytes).unwrap_or_else(|| {
+                    panic!("restore: app cannot unpack chare {}", ck.chare)
                 });
-                self.install(chare, kernel, next_iter, pending);
+                self.kernels.insert(ck.chare, kernel);
+                self.next_iter.insert(ck.chare, ck.next_iter);
+                for (iter, entries) in ck.pending {
+                    self.inbox.entry((ck.chare, iter)).or_default().extend(entries);
+                }
+                self.parked.insert(ck.chare);
+                self.ctrl_send(CtrlMsg::Restored { chare: ck.chare })?;
             }
             WorkerMsg::Resume => {
                 self.in_lb = false;
@@ -543,17 +1153,15 @@ impl<'a> Worker<'a> {
             WorkerMsg::Shutdown => {
                 let checksums =
                     self.kernels.iter().map(|(c, k)| (*c, k.checksum())).collect::<Vec<_>>();
-                self.ctrl
-                    .send(CtrlMsg::Final {
-                        pe: self.pe,
-                        checksums,
-                        total_task_us: self.total_task_us,
-                    })
-                    .expect("coordinator alive");
-                return false;
+                self.ctrl_send(CtrlMsg::Final {
+                    pe: self.pe,
+                    checksums,
+                    total_task_us: self.total_task_us,
+                })?;
+                return Ok(false);
             }
         }
-        true
+        Ok(true)
     }
 }
 
@@ -587,24 +1195,23 @@ mod tests {
 
     fn cfg(pes: usize, iters: usize, strategy: &str, period: usize) -> ThreadRunConfig {
         ThreadRunConfig {
-            pes,
-            iterations: iters,
             lb: LbConfig { strategy: strategy.into(), period, ..Default::default() },
-            bg: Vec::new(),
-            initial_map: InitialMap::Block,
-            serialize_migration: false,
+            ..ThreadRunConfig::new(pes, iters)
         }
     }
 
     #[test]
     fn parallel_matches_serial_reference_without_lb() {
         let app = SyntheticApp::ring(12, 0.0);
-        let r = ThreadExecutor::run(&app, cfg(3, 8, "nolb", 4));
+        let r = ThreadExecutor::run(&app, cfg(3, 8, "nolb", 4)).expect("run");
         let reference = serial_reference(&app, 8);
         assert_eq!(r.checksums, reference);
         assert_eq!(r.migrations, 0);
         // Boundaries fall before iteration 4 only (iteration 8 is the end).
         assert_eq!(r.lb_steps, 1);
+        assert_eq!(r.restarts, 0);
+        // Initial snapshot plus the boundary at iteration 4.
+        assert_eq!(r.checkpoints, 2);
     }
 
     #[test]
@@ -614,7 +1221,7 @@ mod tests {
         let app = SyntheticApp::ring(16, 0.0);
         let mut c = cfg(4, 12, "cloudrefine", 4);
         c.bg.push(ThreadBg { pe: 0, from_iter: 0, to_iter: 12, weight: 3.0 });
-        let r = ThreadExecutor::run(&app, c);
+        let r = ThreadExecutor::run(&app, c).expect("run");
         let reference = serial_reference(&app, 12);
         assert_eq!(r.checksums, reference);
         assert!(r.lb_steps >= 1);
@@ -623,7 +1230,7 @@ mod tests {
     #[test]
     fn greedy_forces_migrations_and_stays_correct() {
         let app = SyntheticApp::ring(10, 0.0);
-        let r = ThreadExecutor::run(&app, cfg(2, 9, "greedy", 3));
+        let r = ThreadExecutor::run(&app, cfg(2, 9, "greedy", 3)).expect("run");
         assert_eq!(r.checksums, serial_reference(&app, 9));
         // Greedy rebalances from scratch; with 10 chares on 2 pes it
         // almost surely moves something at some step.
@@ -633,7 +1240,7 @@ mod tests {
     #[test]
     fn single_pe_run_works() {
         let app = SyntheticApp::ring(5, 0.0);
-        let r = ThreadExecutor::run(&app, cfg(1, 6, "cloudrefine", 2));
+        let r = ThreadExecutor::run(&app, cfg(1, 6, "cloudrefine", 2)).expect("run");
         assert_eq!(r.checksums, serial_reference(&app, 6));
         assert_eq!(r.final_mapping, vec![0; 5]);
     }
@@ -644,14 +1251,14 @@ mod tests {
         let mut c = cfg(4, 12, "cloudrefine", 4);
         c.bg.push(ThreadBg { pe: 0, from_iter: 0, to_iter: 12, weight: 3.0 });
         c.serialize_migration = true;
-        let r = ThreadExecutor::run(&app, c);
+        let r = ThreadExecutor::run(&app, c).expect("run");
         assert_eq!(r.checksums, serial_reference(&app, 12));
     }
 
     #[test]
     fn period_longer_than_run_means_no_lb() {
         let app = SyntheticApp::ring(6, 0.0);
-        let r = ThreadExecutor::run(&app, cfg(2, 5, "cloudrefine", 50));
+        let r = ThreadExecutor::run(&app, cfg(2, 5, "cloudrefine", 50)).expect("run");
         assert_eq!(r.lb_steps, 0);
         assert_eq!(r.migrations, 0);
         assert_eq!(r.checksums, serial_reference(&app, 5));
@@ -660,7 +1267,7 @@ mod tests {
     #[test]
     fn more_workers_than_chares() {
         let app = SyntheticApp::ring(3, 0.0);
-        let r = ThreadExecutor::run(&app, cfg(6, 4, "cloudrefine", 2));
+        let r = ThreadExecutor::run(&app, cfg(6, 4, "cloudrefine", 2)).expect("run");
         assert_eq!(r.checksums, serial_reference(&app, 4));
         assert!(r.final_mapping.iter().all(|&p| p < 6));
     }
@@ -671,15 +1278,97 @@ mod tests {
         let mut c = cfg(4, 12, "cloudrefine", 4);
         c.bg.push(ThreadBg { pe: 0, from_iter: 0, to_iter: 6, weight: 2.0 });
         c.bg.push(ThreadBg { pe: 2, from_iter: 6, to_iter: 12, weight: 3.0 });
-        let r = ThreadExecutor::run(&app, c);
+        let r = ThreadExecutor::run(&app, c).expect("run");
         assert_eq!(r.checksums, serial_reference(&app, 12));
     }
 
     #[test]
     fn per_pe_task_time_is_recorded() {
         let app = SyntheticApp::ring(8, 0.0);
-        let r = ThreadExecutor::run(&app, cfg(2, 4, "nolb", 2));
+        let r = ThreadExecutor::run(&app, cfg(2, 4, "nolb", 2)).expect("run");
         assert_eq!(r.per_pe_task_us.len(), 2);
         assert!(r.per_pe_task_us.iter().all(|&us| us > 0));
+    }
+
+    #[test]
+    fn invalid_config_is_a_typed_error() {
+        let app = SyntheticApp::ring(4, 0.0);
+        assert!(matches!(
+            ThreadExecutor::run(&app, cfg(0, 4, "nolb", 2)),
+            Err(RuntimeError::InvalidConfig(_))
+        ));
+        assert!(matches!(
+            ThreadExecutor::run(&app, cfg(2, 0, "nolb", 2)),
+            Err(RuntimeError::InvalidConfig(_))
+        ));
+    }
+
+    #[test]
+    fn injected_panic_recovers_and_matches_reference() {
+        let app = SyntheticApp::ring(12, 0.0);
+        let mut c = cfg(4, 12, "cloudrefine", 3);
+        // Inject inside the first LB window: placement is still the initial
+        // one there, so PE 2 definitely executes iteration 1. (Later windows
+        // depend on measured stats, which real threads make nondeterministic.)
+        c.inject.push(ThreadFault::Panic { pe: 2, iter: 1 });
+        let r = ThreadExecutor::run(&app, c).expect("recovered run completes");
+        assert_eq!(r.restarts, 1);
+        assert_eq!(r.checksums, serial_reference(&app, 12));
+    }
+
+    #[test]
+    fn panic_without_checkpoints_fails_gracefully() {
+        let app = SyntheticApp::ring(8, 0.0);
+        let mut c = cfg(2, 8, "nolb", 4);
+        c.checkpoints = CheckpointPolicy::Disabled;
+        c.inject.push(ThreadFault::Panic { pe: 1, iter: 2 });
+        match ThreadExecutor::run(&app, c) {
+            Err(RuntimeError::WorkerPanicked { pe, detail }) => {
+                assert_eq!(pe, 1);
+                assert!(detail.contains("injected fault"), "detail: {detail}");
+            }
+            other => panic!("expected WorkerPanicked, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn restart_budget_is_enforced() {
+        let app = SyntheticApp::ring(8, 0.0);
+        let mut c = cfg(2, 12, "nolb", 3);
+        c.max_restarts = 2;
+        c.inject.push(ThreadFault::Panic { pe: 0, iter: 1 });
+        c.inject.push(ThreadFault::Panic { pe: 0, iter: 2 });
+        c.inject.push(ThreadFault::Panic { pe: 1, iter: 4 });
+        match ThreadExecutor::run(&app, c) {
+            Err(RuntimeError::TooManyRestarts { attempts, .. }) => assert_eq!(attempts, 2),
+            other => panic!("expected TooManyRestarts, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn watchdog_catches_hung_worker() {
+        let app = SyntheticApp::ring(8, 0.0);
+        let mut c = cfg(2, 8, "nolb", 4);
+        c.watchdog = Duration::from_millis(250);
+        c.inject.push(ThreadFault::Hang { pe: 1, iter: 2, ms: 2000 });
+        match ThreadExecutor::run(&app, c) {
+            Err(RuntimeError::WatchdogTimeout { .. }) => {}
+            other => panic!("expected WatchdogTimeout, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn checkpoint_period_policy_controls_snapshot_count() {
+        let app = SyntheticApp::ring(6, 0.0);
+        let mut c = cfg(2, 12, "nolb", 2);
+        // LB boundaries at 2,4,6,8,10; snapshots due at 4 and 8 (+initial).
+        c.checkpoints = CheckpointPolicy::Period(4);
+        let r = ThreadExecutor::run(&app, c).expect("run");
+        assert_eq!(r.checkpoints, 3);
+
+        let mut c = cfg(2, 12, "nolb", 2);
+        c.checkpoints = CheckpointPolicy::Disabled;
+        let r = ThreadExecutor::run(&app, c).expect("run");
+        assert_eq!(r.checkpoints, 0);
     }
 }

@@ -1,0 +1,150 @@
+//! Failure-injection scenarios for the simulated executor.
+//!
+//! The unit tests in `sim_exec` cover the recovery mechanics; these
+//! integration tests drive the public API through the awkward schedules a
+//! cloud deployment actually produces: kills landing mid-iteration and
+//! exactly on an LB boundary, failures overlapping interference, sparse
+//! checkpoints forcing deep rollbacks, and bit-for-bit determinism of
+//! failure runs.
+
+use cloudlb_runtime::checkpoint::CheckpointPolicy;
+use cloudlb_runtime::program::SyntheticApp;
+use cloudlb_runtime::{LbConfig, RunConfig, RunResult, RuntimeError, SimExecutor};
+use cloudlb_sim::failure::FailureScript;
+use cloudlb_sim::interference::BgScript;
+use cloudlb_sim::{ClusterConfig, Dur, Time};
+
+fn config(nodes: usize, cores_per_node: usize, iters: usize, period: usize) -> RunConfig {
+    let mut cfg = RunConfig {
+        cluster: ClusterConfig { nodes, cores_per_node, trace: false },
+        ..RunConfig::paper(nodes * cores_per_node, iters)
+    };
+    cfg.iterations = iters;
+    cfg.lb = LbConfig { strategy: "cloudrefine".into(), period, ..Default::default() };
+    cfg
+}
+
+fn run(app: &SyntheticApp, cfg: RunConfig, bg: BgScript, fail: FailureScript) -> RunResult {
+    SimExecutor::new(app, cfg, bg).with_failures(fail).try_run().expect("recoverable run")
+}
+
+/// A core dying in the middle of an iteration (no boundary in sight) rolls
+/// back to the last checkpoint and still produces a complete, correctly
+/// accounted run on the surviving cores.
+#[test]
+fn core_dies_mid_iteration() {
+    let app = SyntheticApp::ring(16, 0.001);
+    let cfg = config(1, 4, 30, 5);
+    // ~4 ms per iteration; 22 ms is inside iteration 6, between boundaries.
+    let fail = FailureScript::kill_core(1, Time::from_us(22_000));
+    let r = run(&app, cfg.clone(), BgScript::none(), fail);
+    assert_eq!(r.iter_times.len(), 30);
+    assert_eq!(r.failures, 1);
+    assert_eq!(r.recoveries, 1);
+    assert!(r.replayed_iters > 0);
+    assert!(r.final_mapping.iter().all(|&p| p != 1), "dead core still hosts chares");
+    let clean = SimExecutor::new(&app, cfg, BgScript::none()).run();
+    assert!(r.app_time > clean.app_time, "losing a core must cost wall time");
+}
+
+/// A whole node dying at the exact instant an LB boundary completes: the
+/// kill event sorts ahead of same-instant runtime events, so recovery and
+/// the interrupted LB step must not trample each other.
+#[test]
+fn node_dies_at_lb_boundary() {
+    let app = SyntheticApp::ring(24, 0.0012);
+    let cfg = config(2, 4, 20, 5);
+    let clean = SimExecutor::new(&app, cfg.clone(), BgScript::none()).run();
+    // The first LB boundary completes once iteration 5 is done.
+    let boundary: Dur = clean.iter_times.iter().take(5).fold(Dur::ZERO, |a, d| a + *d);
+    let fail = FailureScript::kill_node(1, Time::ZERO + boundary);
+    let r = run(&app, cfg, BgScript::none(), fail);
+    assert_eq!(r.iter_times.len(), 20);
+    assert_eq!(r.failures, 4, "a node kill fails all four of its cores");
+    assert_eq!(r.recoveries, 1, "one rollback covers the whole node");
+    assert!(r.final_mapping.iter().all(|&p| p < 4), "chares must end on the surviving node");
+}
+
+/// Failure and interference overlapping: the balancer sheds the interfered
+/// core while recovery has already removed another. The run completes and
+/// the balancer still avoids both the dead core and (mostly) the noisy one.
+#[test]
+fn failure_overlapping_interference() {
+    let app = SyntheticApp::ring(16, 0.001);
+    let cfg = config(1, 4, 30, 5);
+    let bg = BgScript::steady(0, &[0], Time::ZERO, None, 1.0);
+    let fail = FailureScript::kill_core(3, Time::from_us(40_000));
+    let r = run(&app, cfg.clone(), bg.clone(), fail);
+    assert_eq!(r.iter_times.len(), 30);
+    assert_eq!(r.failures, 1);
+    assert_eq!(r.recoveries, 1);
+    assert!(r.final_mapping.iter().all(|&p| p != 3));
+    // With core 3 dead and core 0 interfered, the two quiet cores carry
+    // most of the work.
+    let quiet = r.final_mapping.iter().filter(|&&p| p == 1 || p == 2).count();
+    assert!(quiet * 2 >= r.final_mapping.len(), "quiet cores hold {quiet}/16 chares");
+    let interfered = SimExecutor::new(&app, cfg, bg).run();
+    assert!(r.app_time > interfered.app_time, "failure must add cost on top of interference");
+}
+
+/// With a checkpoint period longer than the LB period, most boundaries pass
+/// without a snapshot, so the same kill rolls back further and replays more
+/// work than under every-boundary checkpointing.
+#[test]
+fn sparse_checkpoints_roll_back_further() {
+    let app = SyntheticApp::ring(16, 0.001);
+    let fail = FailureScript::kill_core(2, Time::from_us(50_000)); // ≈ iteration 12
+    let dense_cfg = config(1, 4, 30, 5); // checkpoints at 5, 10, 15, ...
+    let mut sparse_cfg = dense_cfg.clone();
+    sparse_cfg.checkpoints = CheckpointPolicy::Period(15); // boundary 15 only
+    let dense = run(&app, dense_cfg, BgScript::none(), fail.clone());
+    let sparse = run(&app, sparse_cfg, BgScript::none(), fail);
+    assert_eq!(dense.iter_times.len(), 30);
+    assert_eq!(sparse.iter_times.len(), 30);
+    // Dense rolls back to boundary 10; sparse has only the initial
+    // snapshot and replays the run from iteration 0.
+    assert!(
+        sparse.replayed_iters > dense.replayed_iters,
+        "sparse checkpoints must replay more ({} vs {})",
+        sparse.replayed_iters,
+        dense.replayed_iters
+    );
+    assert!(sparse.app_time > dense.app_time, "deeper rollback must cost more wall time");
+}
+
+/// Disabled checkpointing turns the same kill into a typed error, not a
+/// panic.
+#[test]
+fn disabled_checkpoints_fail_gracefully() {
+    let app = SyntheticApp::ring(16, 0.001);
+    let mut cfg = config(1, 4, 30, 5);
+    cfg.checkpoints = CheckpointPolicy::Disabled;
+    let fail = FailureScript::kill_core(2, Time::from_us(50_000));
+    let err = SimExecutor::new(&app, cfg, BgScript::none())
+        .with_failures(fail)
+        .try_run()
+        .expect_err("unrecoverable without checkpoints");
+    assert!(matches!(err, RuntimeError::Unrecoverable { .. }), "got {err}");
+}
+
+/// The whole failure pipeline is deterministic: the same app, interference
+/// and failure schedule produce bit-for-bit identical results, including
+/// the recovery accounting.
+#[test]
+fn failure_runs_are_bit_for_bit_deterministic() {
+    let app = SyntheticApp::ring(24, 0.0012);
+    let bg = BgScript::steady(5, &[1], Time::from_us(10_000), None, 1.0);
+    let fail = FailureScript::node_outage(1, Time::from_us(30_000), Time::from_us(80_000))
+        .merge(FailureScript::kill_core(2, Time::from_us(120_000)));
+    let go = || run(&app, config(2, 4, 40, 5), bg.clone(), fail.clone());
+    let a = go();
+    let b = go();
+    assert_eq!(a.app_time, b.app_time);
+    assert_eq!(a.iter_times, b.iter_times);
+    assert_eq!(a.final_mapping, b.final_mapping);
+    assert_eq!(a.failures, b.failures);
+    assert_eq!(a.recoveries, b.recoveries);
+    assert_eq!(a.replayed_iters, b.replayed_iters);
+    assert_eq!(a.recovery_time, b.recovery_time);
+    assert_eq!(a.migrations, b.migrations);
+}

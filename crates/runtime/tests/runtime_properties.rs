@@ -1,12 +1,14 @@
-//! Property-based tests of the simulated executor: for random workloads,
+//! Randomized tests of the simulated executor: for random workloads,
 //! interference and LB settings, runs complete with consistent accounting
 //! and are bit-for-bit deterministic.
+//!
+//! Cases come from the repo's deterministic `SimRng` with fixed seeds, so
+//! the corpus is reproducible without an external property-test crate.
 
 use cloudlb_runtime::program::SyntheticApp;
 use cloudlb_runtime::{LbConfig, RunConfig, SimExecutor};
 use cloudlb_sim::interference::BgScript;
-use cloudlb_sim::{ClusterConfig, Dur, Time};
-use proptest::prelude::*;
+use cloudlb_sim::{ClusterConfig, Dur, SimRng, Time};
 
 fn config(pes: usize, iters: usize, strategy: &str, period: usize) -> RunConfig {
     let mut cfg = RunConfig {
@@ -18,26 +20,29 @@ fn config(pes: usize, iters: usize, strategy: &str, period: usize) -> RunConfig 
     cfg
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
+fn ur(rng: &mut SimRng, lo: usize, hi: usize) -> usize {
+    rng.range_u64(lo as u64, hi as u64) as usize
+}
 
-    /// Any (chares, cores, iterations, period, costs, pulse) combination
-    /// completes, accounts every iteration, and keeps invariants:
-    /// * per-iteration times sum to the total wall time;
-    /// * the final mapping stays within the core range;
-    /// * noLB never migrates; every strategy's LB step count matches the
-    ///   boundary arithmetic.
-    #[test]
-    fn runs_complete_with_consistent_accounting(
-        chares in 3usize..40,
-        pes in 1usize..9,
-        iters in 1usize..30,
-        period in 1usize..12,
-        cost_us in 50u64..2_000,
-        strategy_ix in 0usize..3,
-        pulse in proptest::option::of((0u64..30_000, 1_000u64..50_000)),
-    ) {
-        let strategy = ["nolb", "cloudrefine", "greedybg"][strategy_ix];
+/// Any (chares, cores, iterations, period, costs, pulse) combination
+/// completes, accounts every iteration, and keeps invariants:
+/// * per-iteration times sum to the total wall time;
+/// * the final mapping stays within the core range;
+/// * noLB never migrates; every strategy's LB step count matches the
+///   boundary arithmetic.
+#[test]
+fn runs_complete_with_consistent_accounting() {
+    let mut rng = SimRng::new(0xACC0);
+    for case in 0..48 {
+        let chares = ur(&mut rng, 3, 40);
+        let pes = ur(&mut rng, 1, 9);
+        let iters = ur(&mut rng, 1, 30);
+        let period = ur(&mut rng, 1, 12);
+        let cost_us = rng.range_u64(50, 2_000);
+        let strategy = ["nolb", "cloudrefine", "greedybg"][ur(&mut rng, 0, 3)];
+        let pulse = (rng.below(2) == 0)
+            .then(|| (rng.range_u64(0, 30_000), rng.range_u64(1_000, 50_000)));
+
         let app = SyntheticApp::ring(chares, cost_us as f64 / 1e6);
         let cfg = config(pes, iters, strategy, period);
         let bg = match pulse {
@@ -52,60 +57,72 @@ proptest! {
         };
         let r = SimExecutor::new(&app, cfg, bg).run();
 
-        prop_assert_eq!(r.iter_times.len(), iters);
+        let ctx = format!(
+            "case {case}: chares={chares} pes={pes} iters={iters} period={period} \
+             cost_us={cost_us} strategy={strategy} pulse={pulse:?}"
+        );
+        assert_eq!(r.iter_times.len(), iters, "{ctx}");
         let sum: u64 = r.iter_times.iter().map(|d| d.as_us()).sum();
-        prop_assert_eq!(sum, r.app_time.as_us(), "iteration times must tile the run");
-        prop_assert_eq!(r.final_mapping.len(), chares);
-        prop_assert!(r.final_mapping.iter().all(|&p| p < pes));
+        assert_eq!(sum, r.app_time.as_us(), "{ctx}: iteration times must tile the run");
+        assert_eq!(r.final_mapping.len(), chares, "{ctx}");
+        assert!(r.final_mapping.iter().all(|&p| p < pes), "{ctx}");
         if strategy == "nolb" {
-            prop_assert_eq!(r.migrations, 0);
+            assert_eq!(r.migrations, 0, "{ctx}");
         }
-        let expected_steps = if iters == 0 { 0 } else { (iters - 1) / period };
-        prop_assert_eq!(r.lb_steps, expected_steps);
-        prop_assert!(r.energy.energy_j > 0.0);
+        let expected_steps = (iters - 1) / period;
+        assert_eq!(r.lb_steps, expected_steps, "{ctx}");
+        assert!(r.energy.energy_j > 0.0, "{ctx}");
     }
+}
 
-    /// Bit-for-bit determinism across repeated runs.
-    #[test]
-    fn repeated_runs_are_identical(
-        chares in 4usize..24,
-        pes in 2usize..6,
-        period in 2usize..8,
-        bg_weight in 0.5f64..3.0,
-    ) {
+/// Bit-for-bit determinism across repeated runs.
+#[test]
+fn repeated_runs_are_identical() {
+    let mut rng = SimRng::new(0xDE7E);
+    for case in 0..12 {
+        let chares = ur(&mut rng, 4, 24);
+        let pes = ur(&mut rng, 2, 6);
+        let period = ur(&mut rng, 2, 8);
+        let bg_weight = rng.range_f64(0.5, 3.0);
+
         let app = SyntheticApp::ring(chares, 0.0008);
         let bg = BgScript::steady(0, &[0], Time::ZERO, Some(Dur::from_ms(20)), bg_weight);
-        let go = || SimExecutor::new(&app, config(pes, 15, "cloudrefine", period), bg.clone()).run();
+        let go =
+            || SimExecutor::new(&app, config(pes, 15, "cloudrefine", period), bg.clone()).run();
         let a = go();
         let b = go();
-        prop_assert_eq!(a.app_time, b.app_time);
-        prop_assert_eq!(a.iter_times, b.iter_times);
-        prop_assert_eq!(a.final_mapping, b.final_mapping);
-        prop_assert_eq!(a.migrations, b.migrations);
-        prop_assert_eq!(a.energy.energy_j, b.energy.energy_j);
-        prop_assert_eq!(a.local_msgs, b.local_msgs);
-        prop_assert_eq!(a.remote_msgs, b.remote_msgs);
+        let ctx = format!("case {case}: chares={chares} pes={pes} period={period}");
+        assert_eq!(a.app_time, b.app_time, "{ctx}");
+        assert_eq!(a.iter_times, b.iter_times, "{ctx}");
+        assert_eq!(a.final_mapping, b.final_mapping, "{ctx}");
+        assert_eq!(a.migrations, b.migrations, "{ctx}");
+        assert_eq!(a.energy.energy_j, b.energy.energy_j, "{ctx}");
+        assert_eq!(a.local_msgs, b.local_msgs, "{ctx}");
+        assert_eq!(a.remote_msgs, b.remote_msgs, "{ctx}");
     }
+}
 
-    /// Under steady interference, the balanced run never loses badly to
-    /// noLB (it may tie when nothing is movable), and message counts are
-    /// identical (LB changes placement, not topology).
-    #[test]
-    fn lb_never_loses_badly(
-        chares_per_pe in 4usize..12,
-        pes in 2usize..6,
-    ) {
+/// Under steady interference, the balanced run never loses badly to
+/// noLB (it may tie when nothing is movable), and message counts are
+/// identical (LB changes placement, not topology).
+#[test]
+fn lb_never_loses_badly() {
+    let mut rng = SimRng::new(0x1B);
+    for case in 0..12 {
+        let chares_per_pe = ur(&mut rng, 4, 12);
+        let pes = ur(&mut rng, 2, 6);
         let chares = chares_per_pe * pes;
         let app = SyntheticApp::ring(chares, 0.0008);
         let bg = BgScript::steady(0, &[0], Time::ZERO, None, 1.0);
         let nolb = SimExecutor::new(&app, config(pes, 24, "nolb", 6), bg.clone()).run();
         let lb = SimExecutor::new(&app, config(pes, 24, "cloudrefine", 6), bg).run();
-        prop_assert!(
+        let ctx = format!("case {case}: chares_per_pe={chares_per_pe} pes={pes}");
+        assert!(
             lb.app_time.as_secs_f64() <= nolb.app_time.as_secs_f64() * 1.05,
-            "LB {:.4}s much worse than noLB {:.4}s",
+            "{ctx}: LB {:.4}s much worse than noLB {:.4}s",
             lb.app_time.as_secs_f64(),
             nolb.app_time.as_secs_f64()
         );
-        prop_assert_eq!(lb.local_msgs + lb.remote_msgs, nolb.local_msgs + nolb.remote_msgs);
+        assert_eq!(lb.local_msgs + lb.remote_msgs, nolb.local_msgs + nolb.remote_msgs, "{ctx}");
     }
 }

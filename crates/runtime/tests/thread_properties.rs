@@ -1,4 +1,4 @@
-//! Property-based tests of the thread executor: random worker counts,
+//! Randomized tests of the thread executor: random worker counts,
 //! decompositions, LB settings, interference schedules and migration modes
 //! must always compute exactly what a serial execution computes.
 //!
@@ -6,49 +6,92 @@
 //! machinery: whatever the balancer does — however chares bounce between
 //! OS threads, as moved boxes or as PUPed bytes, under whatever timing the
 //! scheduler produces — the numbers cannot change.
+//!
+//! Cases are generated with the repo's own deterministic `SimRng` from a
+//! fixed seed, so every CI run exercises the same (reproducible) corpus.
 
 use cloudlb_runtime::program::SyntheticApp;
 use cloudlb_runtime::thread_exec::{serial_reference, ThreadBg, ThreadExecutor, ThreadRunConfig};
-use cloudlb_runtime::{InitialMap, LbConfig};
-use proptest::prelude::*;
+use cloudlb_runtime::{InitialMap, LbConfig, ThreadFault};
+use cloudlb_sim::SimRng;
 
-proptest! {
+fn ur(rng: &mut SimRng, lo: usize, hi: usize) -> usize {
+    rng.range_u64(lo as u64, hi as u64) as usize
+}
+
+#[test]
+fn threads_always_match_serial_reference() {
     // Each case spawns real threads; keep the count moderate.
-    #![proptest_config(ProptestConfig::with_cases(24))]
+    let mut rng = SimRng::new(0xC_10D1_B7EE);
+    for case in 0..24 {
+        let chares = ur(&mut rng, 3, 20);
+        let pes = ur(&mut rng, 1, 6);
+        let iters = ur(&mut rng, 1, 12);
+        let period = ur(&mut rng, 1, 8);
+        let strategy = ["nolb", "cloudrefine", "greedybg", "commrefine"][ur(&mut rng, 0, 4)];
+        let serialize = rng.below(2) == 0;
+        let round_robin = rng.below(2) == 0;
 
-    #[test]
-    fn threads_always_match_serial_reference(
-        chares in 3usize..20,
-        pes in 1usize..6,
-        iters in 1usize..12,
-        period in 1usize..8,
-        strategy_ix in 0usize..4,
-        serialize in any::<bool>(),
-        round_robin in any::<bool>(),
-        bg in proptest::option::of((0usize..6, 0usize..12, 1usize..12, 1u32..4)),
-    ) {
-        let strategy = ["nolb", "cloudrefine", "greedybg", "commrefine"][strategy_ix];
         let app = SyntheticApp::ring(chares, 0.0);
         let mut cfg = ThreadRunConfig::new(pes, iters);
         cfg.lb = LbConfig { strategy: strategy.into(), period, ..Default::default() };
         cfg.serialize_migration = serialize;
         cfg.initial_map = if round_robin { InitialMap::RoundRobin } else { InitialMap::Block };
-        if let Some((pe, from, len, weight)) = bg {
+        if rng.below(2) == 0 {
+            let from = ur(&mut rng, 0, 12).min(iters);
+            let len = ur(&mut rng, 1, 12);
             cfg.bg.push(ThreadBg {
-                pe: pe % pes,
-                from_iter: from.min(iters),
+                pe: ur(&mut rng, 0, 6) % pes,
+                from_iter: from,
                 to_iter: (from + len).min(iters),
-                weight: weight as f64,
+                weight: ur(&mut rng, 1, 4) as f64,
             });
         }
-        let run = ThreadExecutor::run(&app, cfg);
-        prop_assert_eq!(&run.checksums, &serial_reference(&app, iters));
-        prop_assert_eq!(run.final_mapping.len(), chares);
-        prop_assert!(run.final_mapping.iter().all(|&p| p < pes));
+        let ctx = format!(
+            "case {case}: chares={chares} pes={pes} iters={iters} period={period} \
+             strategy={strategy} serialize={serialize} round_robin={round_robin}"
+        );
+        let run = ThreadExecutor::run(&app, cfg).unwrap_or_else(|e| panic!("{ctx}: {e}"));
+        assert_eq!(run.checksums, serial_reference(&app, iters), "{ctx}");
+        assert_eq!(run.final_mapping.len(), chares, "{ctx}");
+        assert!(run.final_mapping.iter().all(|&p| p < pes), "{ctx}");
         if strategy == "nolb" {
-            prop_assert_eq!(run.migrations, 0);
+            assert_eq!(run.migrations, 0, "{ctx}");
         }
-        let expected_steps = if iters == 0 { 0 } else { (iters - 1) / period };
-        prop_assert_eq!(run.lb_steps, expected_steps);
+        let expected_steps = (iters - 1) / period;
+        assert_eq!(run.lb_steps, expected_steps, "{ctx}");
+        assert_eq!(run.restarts, 0, "{ctx}");
+    }
+}
+
+#[test]
+fn threads_with_random_failures_still_match_serial_reference() {
+    // A worker panic at a random point must be absorbed by
+    // checkpoint/rollback without changing the numbers.
+    let mut rng = SimRng::new(0xFA17_0E55);
+    for case in 0..8 {
+        let chares = ur(&mut rng, 6, 16);
+        let pes = ur(&mut rng, 2, 5);
+        let iters = ur(&mut rng, 6, 14);
+        let period = ur(&mut rng, 2, 5);
+        let strategy = ["nolb", "cloudrefine", "greedybg"][ur(&mut rng, 0, 3)];
+
+        let app = SyntheticApp::ring(chares, 0.0);
+        let mut cfg = ThreadRunConfig::new(pes, iters);
+        cfg.lb = LbConfig { strategy: strategy.into(), period, ..Default::default() };
+        let fault_pe = ur(&mut rng, 0, pes);
+        let fault_iter = ur(&mut rng, 1, iters);
+        cfg.inject.push(ThreadFault::Panic { pe: fault_pe, iter: fault_iter });
+        let ctx = format!(
+            "case {case}: chares={chares} pes={pes} iters={iters} period={period} \
+             strategy={strategy} fault=pe{fault_pe}@{fault_iter}"
+        );
+        let run = ThreadExecutor::run(&app, cfg).unwrap_or_else(|e| panic!("{ctx}: {e}"));
+        // The fault may land on an iteration the victim never executes
+        // (e.g. it owns no chare there), so restarts is 0 or 1 — but the
+        // numbers must match either way.
+        assert!(run.restarts <= 1, "{ctx}: restarts={}", run.restarts);
+        assert_eq!(run.checksums, serial_reference(&app, iters), "{ctx}");
+        assert!(run.final_mapping.iter().all(|&p| p < pes), "{ctx}");
     }
 }

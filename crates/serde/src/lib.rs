@@ -1,0 +1,402 @@
+//! Offline stand-in for the `serde` facade.
+//!
+//! The build environment has no crates.io access, so the workspace vendors
+//! a minimal serde-compatible surface: `Serialize`/`Deserialize` traits
+//! over an in-memory [`Value`] tree, plus the derive macros re-exported
+//! from the sibling `serde_derive` stub. `serde_json` (also vendored)
+//! renders and parses `Value` as JSON text.
+//!
+//! The data model is deliberately tiny — exactly what this workspace's
+//! types need: null, bool, integers, floats, strings, arrays, and
+//! insertion-ordered objects. Externally tagged enums, transparent
+//! newtypes, and `#[serde(default)]` match stock serde's wire format, so
+//! swapping the real crates back in would not change any JSON this
+//! repository produces.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// An in-memory JSON-like value: the serialization data model.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// JSON `null`.
+    Null,
+    /// JSON boolean.
+    Bool(bool),
+    /// Unsigned integer (JSON number without sign or fraction).
+    U64(u64),
+    /// Negative integer (JSON number with sign, no fraction).
+    I64(i64),
+    /// Floating-point number.
+    F64(f64),
+    /// JSON string.
+    Str(String),
+    /// JSON array.
+    Array(Vec<Value>),
+    /// JSON object; insertion order is preserved.
+    Object(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Numeric view of the value, if it is a number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::U64(n) => Some(*n as f64),
+            Value::I64(n) => Some(*n as f64),
+            Value::F64(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// Unsigned view of the value, if it is a non-negative integer.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::U64(n) => Some(*n),
+            Value::I64(n) if *n >= 0 => Some(*n as u64),
+            _ => None,
+        }
+    }
+
+    /// String view of the value, if it is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Object field lookup (`None` for non-objects or missing keys).
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Object(m) => m.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+}
+
+/// `value["key"]` indexing; missing keys yield `Value::Null` like serde_json.
+impl std::ops::Index<&str> for Value {
+    type Output = Value;
+    fn index(&self, key: &str) -> &Value {
+        const NULL: Value = Value::Null;
+        self.get(key).unwrap_or(&NULL)
+    }
+}
+
+impl std::ops::Index<usize> for Value {
+    type Output = Value;
+    fn index(&self, ix: usize) -> &Value {
+        const NULL: Value = Value::Null;
+        match self {
+            Value::Array(a) => a.get(ix).unwrap_or(&NULL),
+            _ => &NULL,
+        }
+    }
+}
+
+impl PartialEq<&str> for Value {
+    fn eq(&self, other: &&str) -> bool {
+        matches!(self, Value::Str(s) if s == other)
+    }
+}
+
+impl PartialEq<str> for Value {
+    fn eq(&self, other: &str) -> bool {
+        matches!(self, Value::Str(s) if s == other)
+    }
+}
+
+impl PartialEq<i32> for Value {
+    fn eq(&self, other: &i32) -> bool {
+        self.as_f64() == Some(*other as f64)
+    }
+}
+
+impl PartialEq<u64> for Value {
+    fn eq(&self, other: &u64) -> bool {
+        self.as_u64() == Some(*other)
+    }
+}
+
+impl PartialEq<f64> for Value {
+    fn eq(&self, other: &f64) -> bool {
+        self.as_f64() == Some(*other)
+    }
+}
+
+impl PartialEq<bool> for Value {
+    fn eq(&self, other: &bool) -> bool {
+        matches!(self, Value::Bool(b) if b == other)
+    }
+}
+
+/// Serialization/deserialization error.
+#[derive(Debug, Clone)]
+pub struct Error {
+    msg: String,
+}
+
+impl Error {
+    /// Wrap a message.
+    pub fn new(msg: String) -> Self {
+        Error { msg }
+    }
+}
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.msg)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Types that can render themselves into the [`Value`] data model.
+pub trait Serialize {
+    /// Convert to a [`Value`] tree.
+    fn to_value(&self) -> Value;
+}
+
+/// Types that can be reconstructed from the [`Value`] data model.
+pub trait Deserialize: Sized {
+    /// Reconstruct from a [`Value`] tree.
+    fn from_value(v: &Value) -> Result<Self, Error>;
+}
+
+// ----------------------------------------------------- derive-codegen aids
+
+/// Look up a required struct field (derive-generated code calls this).
+pub fn de_field<T: Deserialize>(v: &Value, ty: &str, field: &str) -> Result<T, Error> {
+    match v.get(field) {
+        Some(fv) => T::from_value(fv).map_err(|e| Error::new(format!("{ty}.{field}: {e}"))),
+        None if matches!(v, Value::Object(_)) => {
+            Err(Error::new(format!("{ty}: missing field `{field}`")))
+        }
+        None => Err(Error::new(format!("{ty}: expected object"))),
+    }
+}
+
+/// Look up a `#[serde(default)]` struct field: absent keys yield
+/// `Default::default()`.
+pub fn de_field_default<T: Deserialize + Default>(
+    v: &Value,
+    ty: &str,
+    field: &str,
+) -> Result<T, Error> {
+    if !matches!(v, Value::Object(_)) {
+        return Err(Error::new(format!("{ty}: expected object")));
+    }
+    match v.get(field) {
+        Some(fv) => T::from_value(fv).map_err(|e| Error::new(format!("{ty}.{field}: {e}"))),
+        None => Ok(T::default()),
+    }
+}
+
+/// Index into a serialized tuple (derive-generated code calls this).
+pub fn de_elem<T: Deserialize>(v: &Value, ty: &str, ix: usize) -> Result<T, Error> {
+    match v {
+        Value::Array(a) => match a.get(ix) {
+            Some(ev) => T::from_value(ev).map_err(|e| Error::new(format!("{ty}[{ix}]: {e}"))),
+            None => Err(Error::new(format!("{ty}: missing tuple element {ix}"))),
+        },
+        _ => Err(Error::new(format!("{ty}: expected array"))),
+    }
+}
+
+// -------------------------------------------------------- primitive impls
+
+macro_rules! ser_de_unsigned {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::U64(*self as u64)
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                match v {
+                    Value::U64(n) => <$t>::try_from(*n)
+                        .map_err(|_| Error::new(format!("{n} out of range for {}", stringify!($t)))),
+                    Value::I64(n) => <$t>::try_from(*n)
+                        .map_err(|_| Error::new(format!("{n} out of range for {}", stringify!($t)))),
+                    Value::F64(n) if n.fract() == 0.0 && *n >= 0.0 => Ok(*n as $t),
+                    _ => Err(Error::new(format!("expected {}", stringify!($t)))),
+                }
+            }
+        }
+    )*};
+}
+
+ser_de_unsigned!(u8, u16, u32, u64, usize);
+
+macro_rules! ser_de_signed {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                if *self >= 0 {
+                    Value::U64(*self as u64)
+                } else {
+                    Value::I64(*self as i64)
+                }
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                match v {
+                    Value::U64(n) => <$t>::try_from(*n)
+                        .map_err(|_| Error::new(format!("{n} out of range for {}", stringify!($t)))),
+                    Value::I64(n) => <$t>::try_from(*n)
+                        .map_err(|_| Error::new(format!("{n} out of range for {}", stringify!($t)))),
+                    Value::F64(n) if n.fract() == 0.0 => Ok(*n as $t),
+                    _ => Err(Error::new(format!("expected {}", stringify!($t)))),
+                }
+            }
+        }
+    )*};
+}
+
+ser_de_signed!(i8, i16, i32, i64, isize);
+
+impl Serialize for f64 {
+    fn to_value(&self) -> Value {
+        Value::F64(*self)
+    }
+}
+
+impl Deserialize for f64 {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        v.as_f64().ok_or_else(|| Error::new("expected number".to_string()))
+    }
+}
+
+impl Serialize for f32 {
+    fn to_value(&self) -> Value {
+        Value::F64(*self as f64)
+    }
+}
+
+impl Deserialize for f32 {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        v.as_f64().map(|n| n as f32).ok_or_else(|| Error::new("expected number".to_string()))
+    }
+}
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Bool(b) => Ok(*b),
+            _ => Err(Error::new("expected bool".to_string())),
+        }
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Str(s) => Ok(s.clone()),
+            _ => Err(Error::new("expected string".to_string())),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Array(a) => a.iter().map(T::from_value).collect(),
+            _ => Err(Error::new("expected array".to_string())),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(x) => x.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Null => Ok(None),
+            other => T::from_value(other).map(Some),
+        }
+    }
+}
+
+impl<A: Serialize, B: Serialize> Serialize for (A, B) {
+    fn to_value(&self) -> Value {
+        Value::Array(vec![self.0.to_value(), self.1.to_value()])
+    }
+}
+
+impl<A: Deserialize, B: Deserialize> Deserialize for (A, B) {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Array(a) if a.len() == 2 => {
+                Ok((A::from_value(&a[0])?, B::from_value(&a[1])?))
+            }
+            _ => Err(Error::new("expected 2-element array".to_string())),
+        }
+    }
+}
+
+impl<A: Serialize, B: Serialize, C: Serialize> Serialize for (A, B, C) {
+    fn to_value(&self) -> Value {
+        Value::Array(vec![self.0.to_value(), self.1.to_value(), self.2.to_value()])
+    }
+}
+
+impl<A: Deserialize, B: Deserialize, C: Deserialize> Deserialize for (A, B, C) {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Array(a) if a.len() == 3 => {
+                Ok((A::from_value(&a[0])?, B::from_value(&a[1])?, C::from_value(&a[2])?))
+            }
+            _ => Err(Error::new("expected 3-element array".to_string())),
+        }
+    }
+}
+
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        Ok(v.clone())
+    }
+}

@@ -1,0 +1,429 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! The real crates.io `serde_derive` is unavailable in this build
+//! environment, so this proc-macro crate derives the vendored `serde`
+//! facade's value-model traits (`Serialize` → `to_value`, `Deserialize` →
+//! `from_value`) for the shapes this workspace actually uses:
+//!
+//! * named-field structs (fields may be private; `#[serde(default)]` on a
+//!   field falls back to `Default::default()` when the key is absent);
+//! * tuple structs (arity 1 serializes transparently like serde newtypes,
+//!   arity ≥ 2 as an array);
+//! * enums with unit, named-field and tuple variants, externally tagged
+//!   exactly like stock serde (`"Unit"`, `{"Var":{..}}`, `{"Var":[..]}`).
+//!
+//! Generic types are not supported (none in this workspace derive serde).
+//! Parsing walks the token stream directly; code is emitted as text and
+//! re-parsed, which keeps the crate dependency-free (no syn/quote).
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// A single named field.
+struct Field {
+    name: String,
+    has_default: bool,
+}
+
+/// One enum variant.
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+enum VariantKind {
+    Unit,
+    Named(Vec<Field>),
+    Tuple(usize),
+}
+
+/// The parsed shape of the deriving type.
+enum Shape {
+    Struct(Vec<Field>),
+    TupleStruct(usize),
+    Enum(Vec<Variant>),
+}
+
+struct Input {
+    name: String,
+    shape: Shape,
+}
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let parsed = parse_input(input);
+    gen_serialize(&parsed).parse().expect("generated Serialize impl parses")
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let parsed = parse_input(input);
+    gen_deserialize(&parsed).parse().expect("generated Deserialize impl parses")
+}
+
+// ---------------------------------------------------------------- parsing
+
+/// `true` if an attribute group (the `[...]` after `#`) is `serde(default)`.
+fn attr_is_serde_default(group: &proc_macro::Group) -> bool {
+    let mut toks = group.stream().into_iter();
+    match (toks.next(), toks.next()) {
+        (Some(TokenTree::Ident(i)), Some(TokenTree::Group(inner))) if i.to_string() == "serde" => {
+            inner.stream().into_iter().any(|t| matches!(&t, TokenTree::Ident(d) if d.to_string() == "default"))
+        }
+        _ => false,
+    }
+}
+
+/// Consume leading attributes from `toks`, reporting whether any was
+/// `#[serde(default)]`.
+fn skip_attrs(toks: &mut std::iter::Peekable<proc_macro::token_stream::IntoIter>) -> bool {
+    let mut has_default = false;
+    loop {
+        match toks.peek() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                toks.next();
+                if let Some(TokenTree::Group(g)) = toks.next() {
+                    if attr_is_serde_default(&g) {
+                        has_default = true;
+                    }
+                }
+            }
+            _ => return has_default,
+        }
+    }
+}
+
+/// Consume an optional `pub` / `pub(...)` visibility.
+fn skip_vis(toks: &mut std::iter::Peekable<proc_macro::token_stream::IntoIter>) {
+    if let Some(TokenTree::Ident(i)) = toks.peek() {
+        if i.to_string() == "pub" {
+            toks.next();
+            if let Some(TokenTree::Group(g)) = toks.peek() {
+                if g.delimiter() == Delimiter::Parenthesis {
+                    toks.next();
+                }
+            }
+        }
+    }
+}
+
+/// Skip a field's type: everything up to (not including) a comma at
+/// angle-bracket depth zero, or the end of the group.
+fn skip_type(toks: &mut std::iter::Peekable<proc_macro::token_stream::IntoIter>) {
+    let mut depth = 0i32;
+    while let Some(t) = toks.peek() {
+        match t {
+            TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => return,
+            _ => {}
+        }
+        toks.next();
+    }
+}
+
+/// Parse the `{ ... }` of a named-field struct or struct variant.
+fn parse_named_fields(group: &proc_macro::Group) -> Vec<Field> {
+    let mut fields = Vec::new();
+    let mut toks = group.stream().into_iter().peekable();
+    loop {
+        let has_default = skip_attrs(&mut toks);
+        skip_vis(&mut toks);
+        match toks.next() {
+            Some(TokenTree::Ident(name)) => {
+                // consume `:`
+                let colon = toks.next();
+                assert!(
+                    matches!(&colon, Some(TokenTree::Punct(p)) if p.as_char() == ':'),
+                    "expected `:` after field `{name}`"
+                );
+                skip_type(&mut toks);
+                fields.push(Field { name: name.to_string(), has_default });
+                // consume trailing `,` if present
+                if let Some(TokenTree::Punct(p)) = toks.peek() {
+                    if p.as_char() == ',' {
+                        toks.next();
+                    }
+                }
+            }
+            None => return fields,
+            Some(t) => panic!("unexpected token in field list: {t}"),
+        }
+    }
+}
+
+/// Count the fields of a tuple struct / tuple variant `( ... )`.
+fn tuple_arity(group: &proc_macro::Group) -> usize {
+    let mut depth = 0i32;
+    let mut commas = 0usize;
+    let mut any = false;
+    for t in group.stream() {
+        any = true;
+        match t {
+            TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => commas += 1,
+            _ => {}
+        }
+    }
+    if any {
+        commas + 1
+    } else {
+        0
+    }
+}
+
+/// Parse the `{ ... }` of an enum into variants.
+fn parse_variants(group: &proc_macro::Group) -> Vec<Variant> {
+    let mut variants = Vec::new();
+    let mut toks = group.stream().into_iter().peekable();
+    loop {
+        skip_attrs(&mut toks);
+        match toks.next() {
+            Some(TokenTree::Ident(name)) => {
+                let kind = match toks.peek() {
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                        let fields = parse_named_fields(g);
+                        toks.next();
+                        VariantKind::Named(fields)
+                    }
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                        let arity = tuple_arity(g);
+                        toks.next();
+                        VariantKind::Tuple(arity)
+                    }
+                    _ => VariantKind::Unit,
+                };
+                variants.push(Variant { name: name.to_string(), kind });
+                if let Some(TokenTree::Punct(p)) = toks.peek() {
+                    if p.as_char() == ',' {
+                        toks.next();
+                    }
+                }
+            }
+            None => return variants,
+            Some(t) => panic!("unexpected token in enum body: {t}"),
+        }
+    }
+}
+
+fn parse_input(input: TokenStream) -> Input {
+    let mut toks = input.into_iter().peekable();
+    skip_attrs(&mut toks);
+    skip_vis(&mut toks);
+    let kw = match toks.next() {
+        Some(TokenTree::Ident(i)) => i.to_string(),
+        t => panic!("expected `struct` or `enum`, got {t:?}"),
+    };
+    let name = match toks.next() {
+        Some(TokenTree::Ident(i)) => i.to_string(),
+        t => panic!("expected type name, got {t:?}"),
+    };
+    // Reject generics: this stub derives concrete impls only.
+    if let Some(TokenTree::Punct(p)) = toks.peek() {
+        if p.as_char() == '<' {
+            panic!("serde stub derive does not support generic type `{name}`");
+        }
+    }
+    let shape = match kw.as_str() {
+        "struct" => match toks.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Shape::Struct(parse_named_fields(&g))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Shape::TupleStruct(tuple_arity(&g))
+            }
+            t => panic!("unsupported struct body for `{name}`: {t:?}"),
+        },
+        "enum" => match toks.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Shape::Enum(parse_variants(&g))
+            }
+            t => panic!("unsupported enum body for `{name}`: {t:?}"),
+        },
+        other => panic!("cannot derive serde traits for `{other}` items"),
+    };
+    Input { name, shape }
+}
+
+// --------------------------------------------------------------- codegen
+
+fn gen_serialize(input: &Input) -> String {
+    let name = &input.name;
+    let body = match &input.shape {
+        Shape::Struct(fields) => {
+            let mut s = String::from(
+                "let mut __o: Vec<(String, serde::Value)> = Vec::new();\n",
+            );
+            for f in fields {
+                s.push_str(&format!(
+                    "__o.push((\"{0}\".to_string(), serde::Serialize::to_value(&self.{0})));\n",
+                    f.name
+                ));
+            }
+            s.push_str("serde::Value::Object(__o)");
+            s
+        }
+        Shape::TupleStruct(1) => "serde::Serialize::to_value(&self.0)".to_string(),
+        Shape::TupleStruct(n) => {
+            let elems: Vec<String> = (0..*n)
+                .map(|i| format!("serde::Serialize::to_value(&self.{i})"))
+                .collect();
+            format!("serde::Value::Array(vec![{}])", elems.join(", "))
+        }
+        Shape::Enum(variants) => {
+            let mut arms = String::new();
+            for v in variants {
+                match &v.kind {
+                    VariantKind::Unit => arms.push_str(&format!(
+                        "{name}::{0} => serde::Value::Str(\"{0}\".to_string()),\n",
+                        v.name
+                    )),
+                    VariantKind::Named(fields) => {
+                        let binds: Vec<&str> =
+                            fields.iter().map(|f| f.name.as_str()).collect();
+                        let mut pushes = String::new();
+                        for f in fields {
+                            pushes.push_str(&format!(
+                                "__f.push((\"{0}\".to_string(), serde::Serialize::to_value({0})));\n",
+                                f.name
+                            ));
+                        }
+                        arms.push_str(&format!(
+                            "{name}::{v} {{ {binds} }} => {{\n\
+                             let mut __f: Vec<(String, serde::Value)> = Vec::new();\n\
+                             {pushes}\
+                             serde::Value::Object(vec![(\"{v}\".to_string(), serde::Value::Object(__f))])\n\
+                             }}\n",
+                            v = v.name,
+                            binds = binds.join(", "),
+                        ));
+                    }
+                    VariantKind::Tuple(n) => {
+                        let binds: Vec<String> = (0..*n).map(|i| format!("__a{i}")).collect();
+                        let inner = if *n == 1 {
+                            "serde::Serialize::to_value(__a0)".to_string()
+                        } else {
+                            let elems: Vec<String> = binds
+                                .iter()
+                                .map(|b| format!("serde::Serialize::to_value({b})"))
+                                .collect();
+                            format!("serde::Value::Array(vec![{}])", elems.join(", "))
+                        };
+                        arms.push_str(&format!(
+                            "{name}::{v}({binds}) => serde::Value::Object(vec![(\"{v}\".to_string(), {inner})]),\n",
+                            v = v.name,
+                            binds = binds.join(", "),
+                        ));
+                    }
+                }
+            }
+            format!("match self {{\n{arms}}}")
+        }
+    };
+    format!(
+        "impl serde::Serialize for {name} {{\n\
+         fn to_value(&self) -> serde::Value {{\n{body}\n}}\n\
+         }}\n"
+    )
+}
+
+fn gen_named_ctor(path: &str, ty_label: &str, fields: &[Field], src: &str) -> String {
+    let inits: Vec<String> = fields
+        .iter()
+        .map(|f| {
+            if f.has_default {
+                format!("{0}: serde::de_field_default({src}, \"{ty_label}\", \"{0}\")?", f.name)
+            } else {
+                format!("{0}: serde::de_field({src}, \"{ty_label}\", \"{0}\")?", f.name)
+            }
+        })
+        .collect();
+    format!("{path} {{ {} }}", inits.join(", "))
+}
+
+fn gen_deserialize(input: &Input) -> String {
+    let name = &input.name;
+    let body = match &input.shape {
+        Shape::Struct(fields) => {
+            format!("Ok({})", gen_named_ctor(name, name, fields, "__v"))
+        }
+        Shape::TupleStruct(1) => {
+            format!("Ok({name}(serde::Deserialize::from_value(__v)?))")
+        }
+        Shape::TupleStruct(n) => {
+            let elems: Vec<String> = (0..*n)
+                .map(|i| format!("serde::de_elem(__v, \"{name}\", {i})?"))
+                .collect();
+            format!("Ok({name}({}))", elems.join(", "))
+        }
+        Shape::Enum(variants) => {
+            let mut unit_arms = String::new();
+            let mut tagged_arms = String::new();
+            for v in variants {
+                match &v.kind {
+                    VariantKind::Unit => unit_arms.push_str(&format!(
+                        "\"{0}\" => Ok({name}::{0}),\n",
+                        v.name
+                    )),
+                    VariantKind::Named(fields) => {
+                        let path = format!("{name}::{}", v.name);
+                        tagged_arms.push_str(&format!(
+                            "\"{v}\" => Ok({ctor}),\n",
+                            v = v.name,
+                            ctor = gen_named_ctor(&path, &path, fields, "__inner"),
+                        ));
+                    }
+                    VariantKind::Tuple(n) => {
+                        let args = if *n == 1 {
+                            "serde::Deserialize::from_value(__inner)?".to_string()
+                        } else {
+                            (0..*n)
+                                .map(|i| format!("serde::de_elem(__inner, \"{name}\", {i})?"))
+                                .collect::<Vec<_>>()
+                                .join(", ")
+                        };
+                        tagged_arms.push_str(&format!(
+                            "\"{v}\" => Ok({name}::{v}({args})),\n",
+                            v = v.name,
+                        ));
+                    }
+                }
+            }
+            let str_arm = if unit_arms.is_empty() {
+                String::new()
+            } else {
+                format!(
+                    "serde::Value::Str(__s) => match __s.as_str() {{\n\
+                     {unit_arms}\
+                     __other => Err(serde::Error::new(format!(\"{name}: unknown variant `{{__other}}`\"))),\n\
+                     }},\n"
+                )
+            };
+            let obj_arm = if tagged_arms.is_empty() {
+                String::new()
+            } else {
+                format!(
+                    "serde::Value::Object(__m) if __m.len() == 1 => {{\n\
+                     let (__tag, __inner) = &__m[0];\n\
+                     match __tag.as_str() {{\n\
+                     {tagged_arms}\
+                     __other => Err(serde::Error::new(format!(\"{name}: unknown variant `{{__other}}`\"))),\n\
+                     }}\n\
+                     }},\n"
+                )
+            };
+            format!(
+                "match __v {{\n\
+                 {str_arm}\
+                 {obj_arm}\
+                 _ => Err(serde::Error::new(\"{name}: expected string or single-key object\".to_string())),\n\
+                 }}"
+            )
+        }
+    };
+    format!(
+        "impl serde::Deserialize for {name} {{\n\
+         fn from_value(__v: &serde::Value) -> Result<Self, serde::Error> {{\n{body}\n}}\n\
+         }}\n"
+    )
+}

@@ -33,11 +33,24 @@ impl ClusterConfig {
     }
 }
 
+/// What a core kill evicted (see [`Cluster::kill_core`]).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct KilledCore {
+    /// Label of the foreground task aborted mid-execution, if any.
+    pub aborted_fg: Option<FgLabel>,
+    /// Background jobs evicted, with whether their demand was finite
+    /// (finite tasks were still owed a completion event).
+    pub evicted_bg: Vec<(BgJobId, bool)>,
+}
+
 /// A simulated cluster of proportional-share cores.
 #[derive(Debug)]
 pub struct Cluster {
     cfg: ClusterConfig,
     cores: Vec<Core>,
+    /// `false` while a core is failed. Dead cores keep accounting (as
+    /// idle) but must not be scheduled on; the executor enforces that.
+    alive: Vec<bool>,
     trace: Option<TraceLog>,
 }
 
@@ -48,6 +61,7 @@ impl Cluster {
         assert!(n > 0, "cluster must have at least one core");
         Cluster {
             cores: (0..n).map(Core::new).collect(),
+            alive: vec![true; n],
             trace: if cfg.trace { Some(TraceLog::new(n)) } else { None },
             cfg,
         }
@@ -129,6 +143,68 @@ impl Cluster {
         self.cores.iter().map(|c| c.stat()).collect()
     }
 
+    /// `true` while `core` has not failed (or has been restored).
+    pub fn is_alive(&self, core: usize) -> bool {
+        self.alive[core]
+    }
+
+    /// Liveness of every core, indexed globally.
+    pub fn alive_mask(&self) -> Vec<bool> {
+        self.alive.clone()
+    }
+
+    /// Number of cores currently alive.
+    pub fn num_alive(&self) -> usize {
+        self.alive.iter().filter(|a| **a).count()
+    }
+
+    /// Fail `core`: abort its foreground task, evict its background jobs,
+    /// and mark it dead. The core object stays (accumulating idle time so
+    /// accounting and power stay conserved), but nothing may be scheduled
+    /// on it until [`Cluster::restore_core`]. Idempotent on a dead core.
+    pub fn kill_core(&mut self, core: usize) -> KilledCore {
+        if !self.alive[core] {
+            return KilledCore::default();
+        }
+        self.alive[core] = false;
+        KilledCore {
+            aborted_fg: self.cores[core].abort_fg(),
+            evicted_bg: self.cores[core].clear_bg(),
+        }
+    }
+
+    /// Bring a failed core back (a replacement VM). It re-joins empty; the
+    /// executor migrates work back at the next LB boundary.
+    pub fn restore_core(&mut self, core: usize) {
+        self.alive[core] = true;
+    }
+
+    /// Abort the foreground task on a *live* core mid-execution (global
+    /// rollback: surviving cores abandon in-flight work before replay).
+    /// Liveness and background jobs are untouched.
+    pub fn abort_fg(&mut self, core: usize) -> Option<FgLabel> {
+        self.cores[core].abort_fg()
+    }
+
+    /// Global core indices belonging to `node`.
+    pub fn cores_of_node(&self, node: usize) -> std::ops::Range<usize> {
+        let k = self.cfg.cores_per_node;
+        node * k..(node + 1) * k
+    }
+
+    /// Buddy core holding the checkpoint replica of `core`'s chares: the
+    /// same slot on the *next node*, so a whole-node failure never takes
+    /// both copies (except in single-node clusters, where the buddy is the
+    /// next core).
+    pub fn buddy_of(&self, core: usize) -> usize {
+        let n = self.cores.len();
+        if self.cfg.nodes > 1 {
+            (core + self.cfg.cores_per_node) % n
+        } else {
+            (core + 1) % n
+        }
+    }
+
     /// Borrow the trace log (if tracing is enabled).
     pub fn trace(&self) -> Option<&TraceLog> {
         self.trace.as_ref()
@@ -192,6 +268,40 @@ mod tests {
         let log = cl.take_trace().unwrap();
         assert_eq!(log.intervals(0).len(), 1);
         assert!(cl.trace().is_none());
+    }
+
+    #[test]
+    fn kill_and_restore_core_lifecycle() {
+        let mut cl = Cluster::new(ClusterConfig { nodes: 2, cores_per_node: 2, trace: false });
+        cl.start_fg(1, FgLabel { chare: 7 }, Dur::from_ms(5), 1.0);
+        cl.add_bg(1, 9, Some(Dur::from_ms(50)), 1.0);
+        assert!(cl.is_alive(1));
+        let killed = cl.kill_core(1);
+        assert_eq!(killed.aborted_fg, Some(FgLabel { chare: 7 }));
+        assert_eq!(killed.evicted_bg, vec![(9, true)]);
+        assert!(!cl.is_alive(1));
+        assert_eq!(cl.num_alive(), 3);
+        assert_eq!(cl.alive_mask(), vec![true, false, true, true]);
+        // Second kill is a no-op.
+        assert_eq!(cl.kill_core(1), KilledCore::default());
+        // Dead core just idles.
+        assert!(cl.advance_to(Time::from_us(10_000)).is_empty());
+        assert_eq!(cl.core_stat(1).idle_us, 10_000);
+        cl.restore_core(1);
+        assert!(cl.is_alive(1));
+        assert_eq!(cl.num_alive(), 4);
+    }
+
+    #[test]
+    fn buddy_lands_on_next_node() {
+        let cl = Cluster::new(ClusterConfig { nodes: 2, cores_per_node: 4, trace: false });
+        assert_eq!(cl.buddy_of(0), 4);
+        assert_eq!(cl.buddy_of(5), 1);
+        assert!(!cl.same_node(0, cl.buddy_of(0)));
+        assert_eq!(cl.cores_of_node(1), 4..8);
+        // Single-node cluster: buddy is the neighbouring core.
+        let one = Cluster::new(ClusterConfig { nodes: 1, cores_per_node: 4, trace: false });
+        assert_eq!(one.buddy_of(3), 0);
     }
 
     #[test]

@@ -159,6 +159,19 @@ impl Core {
         });
     }
 
+    /// Abort the running foreground task (PE failure): the partially
+    /// executed work is lost. Returns its label if one was running.
+    pub fn abort_fg(&mut self) -> Option<FgLabel> {
+        self.fg.take().map(|f| f.label)
+    }
+
+    /// Drop every background task (the core died under them). Returns each
+    /// evicted job with whether its demand was finite (finite tasks were
+    /// still owed a completion event).
+    pub fn clear_bg(&mut self) -> Vec<(BgJobId, bool)> {
+        self.bg.drain(..).map(|b| (b.job, b.remaining_us.is_finite())).collect()
+    }
+
     /// Remove every background task of `job`; returns CPU it consumed here.
     pub fn remove_bg(&mut self, job: BgJobId) -> Dur {
         let mut consumed = 0.0;
@@ -426,6 +439,24 @@ mod tests {
         c.advance(Time::from_us(2_000), &mut ev, Some(&mut log));
         let task_us = log.time_where(0, 0, 10_000, |a| matches!(a, Activity::Task { .. }));
         assert_eq!(task_us, 2_000);
+    }
+
+    #[test]
+    fn abort_and_clear_drop_entities_without_events() {
+        let mut c = Core::new(0);
+        c.start_fg(FgLabel { chare: 3 }, Dur::from_ms(10), 1.0);
+        c.add_bg(1, Some(Dur::from_ms(5)), 1.0);
+        c.add_bg(2, None, 1.0);
+        advance_collect(&mut c, Time::from_us(1_000));
+        assert_eq!(c.abort_fg(), Some(FgLabel { chare: 3 }));
+        assert!(!c.fg_busy());
+        let mut evicted = c.clear_bg();
+        evicted.sort();
+        assert_eq!(evicted, vec![(1, true), (2, false)]);
+        // Nothing left: the core idles and emits no completions.
+        let ev = advance_collect(&mut c, Time::from_us(2_000));
+        assert!(ev.is_empty());
+        assert_eq!(c.abort_fg(), None);
     }
 
     #[test]

@@ -1,0 +1,162 @@
+//! PE/node failure scripts.
+//!
+//! Mirrors [`crate::interference::BgScript`]: a deterministic, timed list
+//! of failure actions the executor applies at virtual instants. A *kill*
+//! fails a core (or a whole node — all of its cores at once), aborting
+//! whatever ran there; a *restore* brings the hardware back empty, modeling
+//! a replacement VM that re-joins the job and receives work again at the
+//! next load-balancing step.
+//!
+//! The scripts only say *what fails when*; the recovery protocol
+//! (checkpoints, rollback, re-balancing over the survivors) lives in the
+//! runtime crate's executors.
+
+use crate::time::Time;
+use serde::{Deserialize, Serialize};
+
+/// A timed failure action.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum FailureAction {
+    /// Fail one core.
+    KillCore {
+        /// Global core index.
+        core: usize,
+    },
+    /// Fail a whole node (every core on it).
+    KillNode {
+        /// Node index.
+        node: usize,
+    },
+    /// Bring a failed core back, empty.
+    RestoreCore {
+        /// Global core index.
+        core: usize,
+    },
+    /// Bring a failed node back, empty.
+    RestoreNode {
+        /// Node index.
+        node: usize,
+    },
+}
+
+/// A deterministic schedule of failures, sorted by time.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FailureScript {
+    /// `(when, what)` pairs in nondecreasing time order.
+    pub actions: Vec<(Time, FailureAction)>,
+}
+
+impl FailureScript {
+    /// Empty script (failure-free runs).
+    pub fn none() -> Self {
+        FailureScript::default()
+    }
+
+    /// Kill `core` at `at`, permanently.
+    pub fn kill_core(core: usize, at: Time) -> Self {
+        FailureScript { actions: vec![(at, FailureAction::KillCore { core })] }
+    }
+
+    /// Kill `node` at `at`, permanently.
+    pub fn kill_node(node: usize, at: Time) -> Self {
+        FailureScript { actions: vec![(at, FailureAction::KillNode { node })] }
+    }
+
+    /// `core` is dead during `[from, to)` and then comes back empty.
+    pub fn core_outage(core: usize, from: Time, to: Time) -> Self {
+        assert!(to > from, "outage must have positive length");
+        FailureScript {
+            actions: vec![
+                (from, FailureAction::KillCore { core }),
+                (to, FailureAction::RestoreCore { core }),
+            ],
+        }
+    }
+
+    /// `node` is dead during `[from, to)` and then comes back empty.
+    pub fn node_outage(node: usize, from: Time, to: Time) -> Self {
+        assert!(to > from, "outage must have positive length");
+        FailureScript {
+            actions: vec![
+                (from, FailureAction::KillNode { node }),
+                (to, FailureAction::RestoreNode { node }),
+            ],
+        }
+    }
+
+    /// Combine two scripts, keeping time order (stable for equal times).
+    pub fn merge(mut self, other: FailureScript) -> Self {
+        self.actions.extend(other.actions);
+        self.actions.sort_by_key(|(t, _)| *t);
+        self
+    }
+
+    /// `true` if the script contains at least one kill action (such runs
+    /// need checkpointing to be recoverable).
+    pub fn has_kills(&self) -> bool {
+        self.actions
+            .iter()
+            .any(|(_, a)| matches!(a, FailureAction::KillCore { .. } | FailureAction::KillNode { .. }))
+    }
+
+    /// Largest core index referenced, for config validation. Node actions
+    /// count as their node's last core under `cores_per_node`.
+    pub fn max_core(&self, cores_per_node: usize) -> Option<usize> {
+        self.actions
+            .iter()
+            .map(|(_, a)| match a {
+                FailureAction::KillCore { core } | FailureAction::RestoreCore { core } => *core,
+                FailureAction::KillNode { node } | FailureAction::RestoreNode { node } => {
+                    (node + 1) * cores_per_node - 1
+                }
+            })
+            .max()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kill_scripts_are_single_actions() {
+        let s = FailureScript::kill_core(2, Time::from_us(500));
+        assert_eq!(s.actions, vec![(Time::from_us(500), FailureAction::KillCore { core: 2 })]);
+        assert!(s.has_kills());
+        assert!(!FailureScript::none().has_kills());
+    }
+
+    #[test]
+    fn outage_orders_kill_before_restore() {
+        let s = FailureScript::core_outage(1, Time::from_us(10), Time::from_us(90));
+        assert!(matches!(s.actions[0].1, FailureAction::KillCore { core: 1 }));
+        assert!(matches!(s.actions[1].1, FailureAction::RestoreCore { core: 1 }));
+    }
+
+    #[test]
+    #[should_panic(expected = "positive length")]
+    fn degenerate_outage_rejected() {
+        FailureScript::core_outage(0, Time::from_us(5), Time::from_us(5));
+    }
+
+    #[test]
+    fn merge_sorts_by_time() {
+        let a = FailureScript::kill_core(0, Time::from_us(300));
+        let b = FailureScript::kill_node(1, Time::from_us(100));
+        let m = a.merge(b);
+        let times: Vec<u64> = m.actions.iter().map(|(t, _)| t.as_us()).collect();
+        assert_eq!(times, vec![100, 300]);
+    }
+
+    #[test]
+    fn max_core_expands_node_actions() {
+        let s = FailureScript::kill_core(5, Time::ZERO)
+            .merge(FailureScript::kill_node(2, Time::from_us(1)));
+        // Node 2 with 4 cores per node spans cores 8..12.
+        assert_eq!(s.max_core(4), Some(11));
+        assert_eq!(FailureScript::none().max_core(4), None);
+        // Restore actions also count for validation.
+        let r = FailureScript::core_outage(9, Time::ZERO, Time::from_us(1));
+        assert_eq!(r.max_core(4), Some(9));
+    }
+}

@@ -15,6 +15,8 @@
 //! * background-interference scripts ([`interference`]) covering the paper's
 //!   steady 2-core job (Fig. 2/4), the single-core arrival (Fig. 1) and the
 //!   phased arrive/depart pattern (Fig. 3);
+//! * PE/node failure scripts ([`failure`]) — timed kill/restore actions for
+//!   the fault-tolerance experiments (recovery itself lives in the runtime);
 //! * a network delay model ([`network`]) with a virtualization penalty;
 //! * the paper's power model ([`power`]): 40 W base / 170 W peak per node,
 //!   dynamic power linear in utilization, exact event-driven energy
@@ -24,6 +26,7 @@
 pub mod cluster;
 pub mod core_sched;
 pub mod event;
+pub mod failure;
 pub mod interference;
 pub mod network;
 pub mod power;
@@ -35,6 +38,7 @@ pub mod time;
 pub use cluster::{Cluster, ClusterConfig};
 pub use core_sched::{BgJobId, CoreEvent, FgLabel};
 pub use event::EventQueue;
+pub use failure::{FailureAction, FailureScript};
 pub use interference::{BgAction, BgScript};
 pub use network::NetworkModel;
 pub use power::PowerModel;

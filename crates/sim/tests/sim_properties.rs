@@ -1,16 +1,20 @@
-//! Property-based tests of the simulator substrate.
+//! Randomized tests of the simulator substrate, driven by the simulator's
+//! own deterministic `SimRng` from fixed seeds (reproducible corpus, no
+//! external property-test crate).
 
 use cloudlb_sim::core_sched::{Core, FgLabel};
-use cloudlb_sim::{Dur, EventQueue, PowerModel, Time};
-use proptest::prelude::*;
+use cloudlb_sim::{Dur, EventQueue, PowerModel, SimRng, Time};
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(256))]
+const CASES: usize = 256;
 
-    /// The event queue is a stable priority queue: pops are sorted by
-    /// time, and equal times preserve insertion order.
-    #[test]
-    fn event_queue_pops_sorted_and_stable(times in proptest::collection::vec(0u64..1_000, 1..200)) {
+/// The event queue is a stable priority queue: pops are sorted by
+/// time, and equal times preserve insertion order.
+#[test]
+fn event_queue_pops_sorted_and_stable() {
+    let mut rng = SimRng::new(0x00E0_E001);
+    for _ in 0..CASES {
+        let len = rng.range_u64(1, 200) as usize;
+        let times: Vec<u64> = (0..len).map(|_| rng.below(1_000)).collect();
         let mut q = EventQueue::new();
         for (seq, &t) in times.iter().enumerate() {
             q.schedule(Time::from_us(t), seq);
@@ -18,18 +22,21 @@ proptest! {
         let mut last: Option<(Time, usize)> = None;
         while let Some((t, seq)) = q.pop() {
             if let Some((lt, lseq)) = last {
-                prop_assert!(t > lt || (t == lt && seq > lseq), "order violated");
+                assert!(t > lt || (t == lt && seq > lseq), "order violated");
             }
             last = Some((t, seq));
         }
     }
+}
 
-    /// Cancelled events never pop; everything else does, exactly once.
-    #[test]
-    fn event_queue_cancellation(
-        times in proptest::collection::vec(0u64..1_000, 1..100),
-        cancel_mask in proptest::collection::vec(any::<bool>(), 1..100),
-    ) {
+/// Cancelled events never pop; everything else does, exactly once.
+#[test]
+fn event_queue_cancellation() {
+    let mut rng = SimRng::new(0x00E0_E002);
+    for _ in 0..CASES {
+        let len = rng.range_u64(1, 100) as usize;
+        let times: Vec<u64> = (0..len).map(|_| rng.below(1_000)).collect();
+        let cancel_mask: Vec<bool> = (0..len).map(|_| rng.below(2) == 0).collect();
         let mut q = EventQueue::new();
         let handles: Vec<u64> =
             times.iter().enumerate().map(|(i, &t)| q.schedule(Time::from_us(t), i)).collect();
@@ -43,18 +50,23 @@ proptest! {
         while q.pop().is_some() {
             popped += 1;
         }
-        prop_assert_eq!(popped, times.len() - cancelled.len());
+        assert_eq!(popped, times.len() - cancelled.len());
     }
+}
 
-    /// CPU accounting is conserved on a shared core: fg + bg + idle equals
-    /// wall time (within per-segment rounding).
-    #[test]
-    fn core_accounting_conserved(
-        fg_demands in proptest::collection::vec(1u64..5_000, 1..30),
-        bg_weight in 0.25f64..4.0,
-        bg_demand in proptest::option::of(10_000u64..200_000),
-        horizon in 200_000u64..400_000,
-    ) {
+/// CPU accounting is conserved on a shared core: fg + bg + idle equals
+/// wall time (within per-segment rounding).
+#[test]
+fn core_accounting_conserved() {
+    let mut rng = SimRng::new(0x00E0_E003);
+    for _ in 0..CASES {
+        let ndemands = rng.range_u64(1, 30) as usize;
+        let fg_demands: Vec<u64> = (0..ndemands).map(|_| rng.range_u64(1, 5_000)).collect();
+        let bg_weight = rng.range_f64(0.25, 4.0);
+        let bg_demand =
+            (rng.below(2) == 0).then(|| rng.range_u64(10_000, 200_000));
+        let horizon = rng.range_u64(200_000, 400_000);
+
         let mut core = Core::new(0);
         core.add_bg(0, bg_demand.map(Dur::from_us), bg_weight);
         let mut events = Vec::new();
@@ -72,82 +84,108 @@ proptest! {
                 .min(Time::from_us(horizon));
             core.advance(next, &mut events, None);
             segments += 1;
-            prop_assert!(segments < 100_000, "runaway loop");
+            assert!(segments < 100_000, "runaway loop");
         }
         let s = core.stat();
         let total = s.fg_us + s.bg_us + s.idle_us;
         let drift = (total as i64 - horizon as i64).abs();
-        prop_assert!(drift <= segments as i64 + 2, "accounted {total} vs {horizon}");
+        assert!(drift <= segments as i64 + 2, "accounted {total} vs {horizon}");
     }
+}
 
-    /// A foreground task's wall time on a shared core matches the share
-    /// math: wall = cpu × (w_fg + w_bg) / w_fg while the bg is present.
-    #[test]
-    fn core_sharing_matches_analytics(cpu_us in 100u64..100_000, w_bg in 0.5f64..4.0) {
+/// A foreground task's wall time on a shared core matches the share
+/// math: wall = cpu × (w_fg + w_bg) / w_fg while the bg is present.
+#[test]
+fn core_sharing_matches_analytics() {
+    let mut rng = SimRng::new(0x00E0_E004);
+    for _ in 0..CASES {
+        let cpu_us = rng.range_u64(100, 100_000);
+        let w_bg = rng.range_f64(0.5, 4.0);
         let mut core = Core::new(0);
         core.add_bg(0, None, w_bg);
         core.start_fg(FgLabel { chare: 0 }, Dur::from_us(cpu_us), 1.0);
         let done = core.next_completion().expect("finite fg");
         let expected = cpu_us as f64 * (1.0 + w_bg);
         let got = done.as_us() as f64;
-        prop_assert!((got - expected).abs() <= expected * 1e-6 + 2.0, "{got} vs {expected}");
+        assert!((got - expected).abs() <= expected * 1e-6 + 2.0, "{got} vs {expected}");
     }
+}
 
-    /// Node power always sits inside the [base, max] envelope and energy
-    /// equals avg_power × time × nodes.
-    #[test]
-    fn power_envelope(
-        busy in proptest::collection::vec((0u64..1_000_000, 0u64..1_000_000), 4),
-        horizon in 1_000_000u64..2_000_000,
-    ) {
+/// Node power always sits inside the [base, max] envelope and energy
+/// equals avg_power × time × nodes.
+#[test]
+fn power_envelope() {
+    let mut rng = SimRng::new(0x00E0_E005);
+    for _ in 0..CASES {
+        let horizon = rng.range_u64(1_000_000, 2_000_000);
+        let busy: Vec<(u64, u64)> =
+            (0..4).map(|_| (rng.below(1_000_000), rng.below(1_000_000))).collect();
         let model = PowerModel::default();
         let stats: Vec<_> = busy
             .iter()
             .map(|&(fg, bg)| {
                 let fg = fg.min(horizon);
                 let bg = bg.min(horizon - fg);
-                cloudlb_sim::core_sched::CoreStat { fg_us: fg, bg_us: bg, idle_us: horizon - fg - bg }
+                cloudlb_sim::core_sched::CoreStat {
+                    fg_us: fg,
+                    bg_us: bg,
+                    idle_us: horizon - fg - bg,
+                }
             })
             .collect();
         let r = model.energy(&stats, 4, Time::from_us(horizon));
-        prop_assert!(r.avg_power_per_node_w >= model.base_w - 1e-9);
-        prop_assert!(r.avg_power_per_node_w <= model.max_w + 1e-9);
+        assert!(r.avg_power_per_node_w >= model.base_w - 1e-9);
+        assert!(r.avg_power_per_node_w <= model.max_w + 1e-9);
         let recomputed = r.avg_power_per_node_w * r.duration_s * r.nodes as f64;
-        prop_assert!((recomputed - r.energy_j).abs() < 1e-6 * r.energy_j.max(1.0));
+        assert!((recomputed - r.energy_j).abs() < 1e-6 * r.energy_j.max(1.0));
     }
+}
 
-    /// Random interference scripts are well-formed and deterministic.
-    #[test]
-    fn random_scripts_are_sane(seed in any::<u64>(), cores in 1usize..32) {
-        use cloudlb_sim::interference::{BgAction, BgScript};
-        use cloudlb_sim::SimRng;
+/// Random interference scripts are well-formed and deterministic.
+#[test]
+fn random_scripts_are_sane() {
+    use cloudlb_sim::interference::{BgAction, BgScript};
+    let mut rng = SimRng::new(0x00E0_E006);
+    for _ in 0..CASES {
+        let seed = rng.next_u64();
+        let cores = rng.range_u64(1, 32) as usize;
         let horizon = Time::from_us(500_000);
         let s1 = BgScript::random(
-            &mut SimRng::new(seed), cores, horizon,
-            Dur::from_ms(50), Dur::from_ms(40), 1.0, 0,
+            &mut SimRng::new(seed),
+            cores,
+            horizon,
+            Dur::from_ms(50),
+            Dur::from_ms(40),
+            1.0,
+            0,
         );
         let s2 = BgScript::random(
-            &mut SimRng::new(seed), cores, horizon,
-            Dur::from_ms(50), Dur::from_ms(40), 1.0, 0,
+            &mut SimRng::new(seed),
+            cores,
+            horizon,
+            Dur::from_ms(50),
+            Dur::from_ms(40),
+            1.0,
+            0,
         );
-        prop_assert_eq!(&s1, &s2);
+        assert_eq!(&s1, &s2);
         // Sorted, starts within horizon, every start eventually stopped.
         let mut open = std::collections::HashSet::new();
         let mut last = Time::ZERO;
         for (t, a) in &s1.actions {
-            prop_assert!(*t >= last);
+            assert!(*t >= last);
             last = *t;
             match a {
                 BgAction::Start { job, core, .. } => {
-                    prop_assert!(*t < horizon);
-                    prop_assert!(*core < cores);
+                    assert!(*t < horizon);
+                    assert!(*core < cores);
                     open.insert(*job);
                 }
                 BgAction::Stop { job, .. } => {
-                    prop_assert!(open.remove(job), "stop without start");
+                    assert!(open.remove(job), "stop without start");
                 }
             }
         }
-        prop_assert!(open.is_empty(), "unterminated pulses: {:?}", open);
+        assert!(open.is_empty(), "unterminated pulses: {open:?}");
     }
 }

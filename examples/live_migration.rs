@@ -27,7 +27,7 @@ fn main() {
     cfg.bg.push(ThreadBg { pe: 0, from_iter: 0, to_iter: iterations, weight: 1.0 });
 
     println!("Jacobi2D: 24 live chares on {pes} OS threads, interference on worker 0\n");
-    let run = ThreadExecutor::run(&app, cfg);
+    let run = ThreadExecutor::run(&app, cfg).expect("threaded run");
 
     println!("wall time      : {:?}", run.wall);
     println!("LB steps       : {}", run.lb_steps);

@@ -37,13 +37,16 @@ pub use cloudlb_trace as trace;
 pub mod prelude {
     pub use cloudlb_apps::{Jacobi2D, Mol3D, Stencil3D, Wave2D};
     pub use cloudlb_balance::{CloudRefineLb, GreedyLb, LbStrategy, NoLb, RefineLb};
-    pub use cloudlb_core::experiment::{evaluate, run_scenario, EvalPoint};
-    pub use cloudlb_core::figures;
-    pub use cloudlb_core::scenario::{BgPattern, Scenario};
-    pub use cloudlb_runtime::{
-        IterativeApp, LbConfig, RunConfig, RunResult, SimExecutor, ThreadExecutor,
-        ThreadRunConfig,
+    pub use cloudlb_core::experiment::{
+        evaluate, failure_impact, run_scenario, try_run_scenario, EvalPoint, FailureImpact,
     };
+    pub use cloudlb_core::figures;
+    pub use cloudlb_core::scenario::{BgPattern, FailSpec, Scenario};
+    pub use cloudlb_runtime::{
+        IterativeApp, LbConfig, RunConfig, RunResult, RuntimeError, SimExecutor,
+        ThreadExecutor, ThreadRunConfig,
+    };
+    pub use cloudlb_sim::failure::{FailureAction, FailureScript};
     pub use cloudlb_sim::interference::BgScript;
     pub use cloudlb_sim::{Dur, Time};
 }

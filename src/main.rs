@@ -11,9 +11,9 @@
 //! regenerate the paper's figures; `matrix` prints both the Fig. 2 and
 //! Fig. 4 tables for one application.
 
-use cloudlb::core_api::experiment::{evaluate, run_scenario};
+use cloudlb::core_api::experiment::{evaluate, failure_impact, run_scenario, try_run_scenario};
 use cloudlb::core_api::figures;
-use cloudlb::core_api::scenario::Scenario;
+use cloudlb::core_api::scenario::{FailSpec, Scenario};
 use cloudlb::trace::profile::{render_profile, ProfileOptions};
 use cloudlb::trace::svg::{render_svg, SvgOptions};
 use cloudlb::trace::timeline::{render_ascii, TimelineOptions};
@@ -87,11 +87,14 @@ fn main() -> ExitCode {
 fn scenario_from(opts: &Opts) -> Result<Scenario, String> {
     if let Some(path) = &opts.scenario_file {
         let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
-        return serde_json::from_str(&text).map_err(|e| format!("{path}: {e}"));
+        let mut scn: Scenario = serde_json::from_str(&text).map_err(|e| format!("{path}: {e}"))?;
+        scn.fail.extend(opts.fail.iter().copied());
+        return Ok(scn);
     }
     let mut scn = Scenario::paper(&opts.app, opts.cores, &opts.strategy);
     scn.iterations = opts.iters;
     scn.seed = opts.seeds[0];
+    scn.fail.extend(opts.fail.iter().copied());
     Ok(scn)
 }
 
@@ -129,7 +132,13 @@ fn cmd_run(opts: &Opts) -> ExitCode {
         }
     };
     let base = run_scenario(&scn.base_of());
-    let run = run_scenario(&scn);
+    let run = match try_run_scenario(&scn) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("run failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
     if opts.json {
         let p = evaluate(&scn.app, scn.cores, scn.iterations, &scn.strategy, &opts.seeds);
         println!("{}", serde_json_string(&p));
@@ -148,6 +157,23 @@ fn cmd_run(opts: &Opts) -> ExitCode {
             run.energy_overhead_vs(&base) * 100.0,
         );
     }
+    if run.failures > 0 {
+        // A failure-free twin isolates the cost of the injected failures
+        // from the cost of the interference.
+        let mut clean = scn.clone();
+        clean.fail.clear();
+        let imp = failure_impact(&run, &run_scenario(&clean));
+        println!(
+            "failures: {} core(s) lost, {} recover{}, {} iteration(s) replayed, \
+             {:.3} s recovering (failure penalty {:.1} %)",
+            imp.failures,
+            imp.recoveries,
+            if imp.recoveries == 1 { "y" } else { "ies" },
+            imp.replayed_iters,
+            imp.recovery_time_s,
+            imp.failure_penalty * 100.0,
+        );
+    }
     ExitCode::SUCCESS
 }
 
@@ -156,15 +182,18 @@ fn serde_json_string<T: serde::Serialize>(value: &T) -> String {
 }
 
 const USAGE: &str = "usage:
-  cloudlb run    --app <name> --cores <n> [--strategy <s>] [--iters <n>] [--seed <s>] [--json]
-  cloudlb run    --scenario <file.json> [--json]
+  cloudlb run    --app <name> --cores <n> [--strategy <s>] [--iters <n>] [--seed <s>]
+                 [--fail <spec>[,<spec>...]] [--json]
+  cloudlb run    --scenario <file.json> [--fail <spec>[,<spec>...]] [--json]
   cloudlb trace  --app <name> --cores <n> [--strategy <s>] [--iters <n>]
   cloudlb fig1 | fig3
   cloudlb fig2 | fig4 [--app <name>] [--fast]
   cloudlb matrix --app <name> [--fast] [--json]
 
 apps: jacobi2d wave2d mol3d stencil3d
-strategies: nolb greedy greedybg refine cloudrefine commrefine";
+strategies: nolb greedy greedybg refine cloudrefine commrefine
+fail specs: kind:index@when[~restore], e.g. core:2@0.5 kills core 2 halfway
+  through the estimated run; node:1@0.3~0.8 takes node 1 down over that window";
 
 /// Hand-rolled flag parsing (no CLI dependency).
 struct Opts {
@@ -176,6 +205,7 @@ struct Opts {
     json: bool,
     fast: bool,
     scenario_file: Option<String>,
+    fail: Vec<FailSpec>,
 }
 
 impl Opts {
@@ -189,6 +219,7 @@ impl Opts {
             json: false,
             fast: false,
             scenario_file: None,
+            fail: Vec::new(),
         };
         let mut it = args.iter();
         while let Some(flag) = it.next() {
@@ -210,6 +241,13 @@ impl Opts {
                 "--json" => o.json = true,
                 "--fast" => o.fast = true,
                 "--scenario" => o.scenario_file = Some(value("--scenario")?),
+                "--fail" => {
+                    for spec in value("--fail")?.split(',') {
+                        o.fail.push(
+                            FailSpec::parse(spec).map_err(|e| format!("--fail: {e}"))?,
+                        );
+                    }
+                }
                 other => return Err(format!("unknown flag {other:?}")),
             }
         }
@@ -271,5 +309,17 @@ mod tests {
         assert!(parse(&["--iters", "0"]).is_err());
         assert!(parse(&["--bogus"]).is_err());
         assert!(parse(&["--seed", "x"]).is_err());
+        assert!(parse(&["--fail", "core:2"]).is_err());
+        assert!(parse(&["--fail", "disk:0@0.5"]).is_err());
+    }
+
+    #[test]
+    fn fail_specs_parse_as_a_comma_list() {
+        let o = parse(&["--fail", "core:2@0.5,node:1@0.3~0.8"]).unwrap();
+        assert_eq!(o.fail.len(), 2);
+        assert!(!o.fail[0].node);
+        assert_eq!(o.fail[0].index, 2);
+        assert!(o.fail[1].node);
+        assert_eq!(o.fail[1].restore_frac, Some(0.8));
     }
 }

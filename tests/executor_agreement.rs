@@ -6,6 +6,7 @@ use cloudlb::apps::grids::{Block2D, Block3D};
 use cloudlb::apps::{Jacobi2D, Mol3D, Stencil3D, Wave2D};
 use cloudlb::prelude::*;
 use cloudlb::runtime::thread_exec::{serial_reference, ThreadBg};
+use cloudlb::runtime::IterativeApp;
 
 fn thread_cfg(pes: usize, iters: usize, strategy: &str) -> ThreadRunConfig {
     let mut cfg = ThreadRunConfig::new(pes, iters);
@@ -18,14 +19,14 @@ fn jacobi_threads_match_serial_with_migrations() {
     let app = Jacobi2D::new(Block2D::new(48, 48, 4, 3));
     let mut cfg = thread_cfg(3, 12, "cloudrefine");
     cfg.bg.push(ThreadBg { pe: 1, from_iter: 0, to_iter: 12, weight: 2.0 });
-    let run = ThreadExecutor::run(&app, cfg);
+    let run = ThreadExecutor::run(&app, cfg).expect("run");
     assert_eq!(run.checksums, serial_reference(&app, 12));
 }
 
 #[test]
 fn wave_threads_match_serial() {
     let app = Wave2D::new(Block2D::new(40, 40, 4, 2));
-    let run = ThreadExecutor::run(&app, thread_cfg(4, 10, "greedy"));
+    let run = ThreadExecutor::run(&app, thread_cfg(4, 10, "greedy")).expect("run");
     assert_eq!(run.checksums, serial_reference(&app, 10));
 }
 
@@ -34,14 +35,14 @@ fn mol3d_threads_match_serial_under_interference() {
     let app = Mol3D::with_gradient(Block3D::new(3, 2, 2), 5);
     let mut cfg = thread_cfg(3, 9, "cloudrefine");
     cfg.bg.push(ThreadBg { pe: 0, from_iter: 2, to_iter: 7, weight: 3.0 });
-    let run = ThreadExecutor::run(&app, cfg);
+    let run = ThreadExecutor::run(&app, cfg).expect("run");
     assert_eq!(run.checksums, serial_reference(&app, 9));
 }
 
 #[test]
 fn stencil3d_threads_match_serial() {
     let app = Stencil3D::new(Block3D::new(2, 2, 2), 6);
-    let run = ThreadExecutor::run(&app, thread_cfg(2, 8, "refine"));
+    let run = ThreadExecutor::run(&app, thread_cfg(2, 8, "refine")).expect("run");
     assert_eq!(run.checksums, serial_reference(&app, 8));
 }
 
@@ -56,7 +57,7 @@ fn both_executors_migrate_under_interference() {
     // Thread executor: noisy neighbour on worker 0.
     let mut tcfg = thread_cfg(4, 16, "cloudrefine");
     tcfg.bg.push(ThreadBg { pe: 0, from_iter: 0, to_iter: 16, weight: 2.0 });
-    let trun = ThreadExecutor::run(&app, tcfg);
+    let trun = ThreadExecutor::run(&app, tcfg).expect("run");
     assert!(trun.migrations > 0, "thread executor never migrated");
     let moved_off_0 = trun.final_mapping.iter().filter(|&&p| p == 0).count();
     assert!(moved_off_0 < 8, "worker 0 still holds {moved_off_0} of 32 chares");
@@ -76,7 +77,7 @@ fn nolb_threads_never_migrate() {
     let app = Wave2D::new(Block2D::new(32, 32, 4, 2));
     let mut cfg = thread_cfg(2, 8, "nolb");
     cfg.bg.push(ThreadBg { pe: 0, from_iter: 0, to_iter: 8, weight: 2.0 });
-    let run = ThreadExecutor::run(&app, cfg);
+    let run = ThreadExecutor::run(&app, cfg).expect("run");
     assert_eq!(run.migrations, 0);
     assert_eq!(run.checksums, serial_reference(&app, 8));
 }
@@ -89,11 +90,11 @@ fn serialized_migration_preserves_numerics_for_every_app() {
     let wave = Wave2D::new(Block2D::new(40, 40, 4, 2));
     let mol = Mol3D::with_gradient(Block3D::new(3, 2, 2), 5);
     let sten = Stencil3D::new(Block3D::new(2, 2, 2), 6);
-    let apps: [&dyn cloudlb::runtime::IterativeApp; 4] = [&jacobi, &wave, &mol, &sten];
+    let apps: [&dyn IterativeApp; 4] = [&jacobi, &wave, &mol, &sten];
     for app in apps {
         let mut cfg = thread_cfg(3, 9, "greedy");
         cfg.serialize_migration = true;
-        let run = ThreadExecutor::run(app, cfg);
+        let run = ThreadExecutor::run(app, cfg).expect("run");
         assert!(run.migrations > 0, "{}: greedy should migrate", app.name());
         assert_eq!(
             run.checksums,
@@ -104,15 +105,16 @@ fn serialized_migration_preserves_numerics_for_every_app() {
     }
 }
 
-#[test]
-fn pup_roundtrip_is_identity_after_real_compute() {
-    // Drive kernels a few iterations, pack, unpack, compare checksums and
-    // subsequent behaviour.
-    let app = Wave2D::new(Block2D::new(32, 32, 2, 2));
-    let mut kernels: Vec<_> = (0..4).map(|i| app.make_kernel(i)).collect();
-    let mut inbox: Vec<Vec<(usize, Vec<f64>)>> = vec![Vec::new(); 4];
-    for iter in 0..5 {
-        let mut next: Vec<Vec<(usize, Vec<f64>)>> = vec![Vec::new(); 4];
+/// Serialize→deserialize every chare of `app` after `warm` serial
+/// iterations, then run both the originals and the reconstructions one
+/// more iteration on identical inputs: checksums must be bit-identical at
+/// both points. This is what checkpoint/restart relies on.
+fn assert_pup_roundtrip_identity(app: &dyn IterativeApp, warm: usize) {
+    let n = app.num_chares();
+    let mut kernels: Vec<_> = (0..n).map(|i| app.make_kernel(i)).collect();
+    let mut inbox: Vec<Vec<(usize, Vec<f64>)>> = vec![Vec::new(); n];
+    for iter in 0..warm {
+        let mut next: Vec<Vec<(usize, Vec<f64>)>> = vec![Vec::new(); n];
         for (i, k) in kernels.iter_mut().enumerate() {
             inbox[i].sort_by_key(|e| e.0);
             for (nb, data) in k.compute(iter, &inbox[i]) {
@@ -121,9 +123,68 @@ fn pup_roundtrip_is_identity_after_real_compute() {
         }
         inbox = next;
     }
-    for (i, k) in kernels.iter().enumerate() {
-        let bytes = k.pack().expect("wave kernels pack");
-        let back = app.unpack_kernel(i, &bytes).expect("wave unpacks");
-        assert_eq!(back.checksum(), k.checksum(), "chare {i}");
+
+    // Round-trip every kernel through its PUP bytes.
+    let mut restored: Vec<_> = kernels
+        .iter()
+        .enumerate()
+        .map(|(i, k)| {
+            let bytes = k.pack().unwrap_or_else(|| panic!("{}: chare {i} must pack", app.name()));
+            app.unpack_kernel(i, &bytes)
+                .unwrap_or_else(|| panic!("{}: chare {i} must unpack", app.name()))
+        })
+        .collect();
+    for (i, (orig, back)) in kernels.iter().zip(&restored).enumerate() {
+        assert_eq!(
+            orig.checksum().to_bits(),
+            back.checksum().to_bits(),
+            "{}: chare {i} checksum changed across PUP",
+            app.name()
+        );
     }
+
+    // One more iteration on both copies, bit-identical inputs.
+    for (i, inb) in inbox.iter_mut().enumerate() {
+        inb.sort_by_key(|e| e.0);
+        let out_orig = kernels[i].compute(warm, inb);
+        let out_back = restored[i].compute(warm, inb);
+        assert_eq!(
+            out_orig.len(),
+            out_back.len(),
+            "{}: chare {i} emitted different message counts after PUP",
+            app.name()
+        );
+        for ((nb_a, data_a), (nb_b, data_b)) in out_orig.iter().zip(&out_back) {
+            assert_eq!(nb_a, nb_b, "{}: chare {i} message routing diverged", app.name());
+            let bits_a: Vec<u64> = data_a.iter().map(|v| v.to_bits()).collect();
+            let bits_b: Vec<u64> = data_b.iter().map(|v| v.to_bits()).collect();
+            assert_eq!(bits_a, bits_b, "{}: chare {i} payload diverged after PUP", app.name());
+        }
+        assert_eq!(
+            kernels[i].checksum().to_bits(),
+            restored[i].checksum().to_bits(),
+            "{}: chare {i} state diverged one iteration after PUP",
+            app.name()
+        );
+    }
+}
+
+#[test]
+fn pup_roundtrip_is_identity_after_real_compute_jacobi2d() {
+    assert_pup_roundtrip_identity(&Jacobi2D::new(Block2D::new(32, 32, 2, 2)), 5);
+}
+
+#[test]
+fn pup_roundtrip_is_identity_after_real_compute_wave2d() {
+    assert_pup_roundtrip_identity(&Wave2D::new(Block2D::new(32, 32, 2, 2)), 5);
+}
+
+#[test]
+fn pup_roundtrip_is_identity_after_real_compute_mol3d() {
+    assert_pup_roundtrip_identity(&Mol3D::with_gradient(Block3D::new(2, 2, 2), 6), 5);
+}
+
+#[test]
+fn pup_roundtrip_is_identity_after_real_compute_stencil3d() {
+    assert_pup_roundtrip_identity(&Stencil3D::new(Block3D::new(2, 2, 2), 6), 5);
 }
