@@ -53,12 +53,37 @@ pub struct LbStats {
     /// instrument communication). Used by communication-aware strategies.
     #[serde(default)]
     pub comm: Vec<CommEdge>,
+    /// Per-core measurement confidence in `[0, 1]`, produced by the
+    /// runtime's telemetry validation (1.0 = counters passed every check).
+    /// Empty means "no validation ran" and is read as full confidence;
+    /// robust strategies down-weight low-confidence cores.
+    #[serde(default)]
+    pub confidence: Vec<f64>,
 }
 
 impl LbStats {
     /// Empty database for `num_pes` cores.
     pub fn new(num_pes: usize) -> Self {
-        LbStats { num_pes, tasks: Vec::new(), bg_load: vec![0.0; num_pes], comm: Vec::new() }
+        LbStats {
+            num_pes,
+            tasks: Vec::new(),
+            bg_load: vec![0.0; num_pes],
+            comm: Vec::new(),
+            confidence: Vec::new(),
+        }
+    }
+
+    /// Measurement confidence of core `pe` (1.0 when no validation ran).
+    pub fn confidence_of(&self, pe: usize) -> f64 {
+        self.confidence.get(pe).copied().unwrap_or(1.0)
+    }
+
+    /// Mean per-core confidence (1.0 when no validation ran).
+    pub fn mean_confidence(&self) -> f64 {
+        if self.confidence.is_empty() {
+            return 1.0;
+        }
+        self.confidence.iter().sum::<f64>() / self.confidence.len() as f64
     }
 
     /// Panics if the snapshot is internally inconsistent (wrong vector
@@ -71,6 +96,13 @@ impl LbStats {
         }
         for (p, o) in self.bg_load.iter().enumerate() {
             assert!(o.is_finite() && *o >= 0.0, "bg load {o} on pe {p}");
+        }
+        assert!(
+            self.confidence.is_empty() || self.confidence.len() == self.num_pes,
+            "confidence length != num_pes"
+        );
+        for (p, c) in self.confidence.iter().enumerate() {
+            assert!(c.is_finite() && (0.0..=1.0).contains(c), "confidence {c} on pe {p}");
         }
         for e in &self.comm {
             assert!(self.task(e.a).is_some(), "comm edge references unknown task {:?}", e.a);
@@ -202,6 +234,34 @@ mod tests {
     fn comm_edges_must_reference_tasks() {
         let mut s = stats(1, &[(0, 0, 1.0)], &[0.0]);
         s.comm = vec![CommEdge { a: TaskId(0), b: TaskId(9), bytes: 1 }];
+        s.validate();
+    }
+
+    #[test]
+    fn confidence_defaults_to_full() {
+        let mut s = stats(2, &[(0, 0, 1.0)], &[0.0, 0.0]);
+        assert_eq!(s.confidence_of(0), 1.0);
+        assert_eq!(s.mean_confidence(), 1.0);
+        s.validate();
+        s.confidence = vec![0.5, 1.0];
+        s.validate();
+        assert_eq!(s.confidence_of(0), 0.5);
+        assert!((s.mean_confidence() - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "confidence length")]
+    fn ragged_confidence_rejected() {
+        let mut s = stats(2, &[], &[0.0, 0.0]);
+        s.confidence = vec![1.0];
+        s.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "confidence")]
+    fn out_of_range_confidence_rejected() {
+        let mut s = stats(1, &[], &[0.0]);
+        s.confidence = vec![1.5];
         s.validate();
     }
 

@@ -1,0 +1,263 @@
+//! Anti-thrash hysteresis — migration suppression under noisy telemetry.
+//!
+//! [`crate::gated`] asks "does the gain offset the migration *cost*?".
+//! This wrapper generalizes the question to "does the gain exceed what the
+//! telemetry can even resolve?". When `O_p` is estimated from jittery
+//! `/proc/stat` counters, small predicted gains are indistinguishable from
+//! measurement noise, and committing them makes the balancer chase its own
+//! error term — migrating chares back and forth every window. Two guards:
+//!
+//! 1. **Noise-floor gate** — the plan's predicted makespan reduction must
+//!    exceed a floor that grows as per-core confidence (tagged by the
+//!    runtime's window validation) drops. Perfect telemetry leaves only a
+//!    small deadband; garbage telemetry demands a decisive gain.
+//! 2. **Oscillation damper** — a migration returning a task to the core it
+//!    occupied just before its most recent move (A→B→A) is dropped: that
+//!    pattern means the two placements are equivalent modulo noise.
+
+use crate::db::{LbStats, TaskId};
+use crate::strategy::{apply_plan, DecisionQuality, LbStrategy, Migration};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Tuning for the hysteresis guards.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct HysteresisConfig {
+    /// Deadband under perfect telemetry: a plan must reduce the predicted
+    /// makespan by at least this fraction of `T_avg`.
+    pub min_gain_frac: f64,
+    /// How fast the floor grows with distrust: the floor gains
+    /// `noise_scale × (1 − mean confidence) × T_avg`.
+    pub noise_scale: f64,
+    /// Oscillation memory: a task's return to its previous core is blocked
+    /// only within this many LB steps of the outbound move.
+    pub memory: usize,
+}
+
+impl Default for HysteresisConfig {
+    fn default() -> Self {
+        HysteresisConfig { min_gain_frac: 0.02, noise_scale: 0.5, memory: 4 }
+    }
+}
+
+impl HysteresisConfig {
+    /// The telemetry noise floor for this snapshot (seconds of predicted
+    /// makespan reduction a plan must beat).
+    pub fn noise_floor_s(&self, stats: &LbStats) -> f64 {
+        (self.min_gain_frac + self.noise_scale * (1.0 - stats.mean_confidence())) * stats.t_avg()
+    }
+}
+
+/// A task's last committed move: the step it happened and where from/to.
+#[derive(Debug, Clone, Copy)]
+struct LastMove {
+    step: usize,
+    from: usize,
+    to: usize,
+}
+
+/// Wraps any strategy with the noise-floor gate and oscillation damper.
+pub struct HysteresisLb<S: LbStrategy> {
+    inner: S,
+    /// Guard parameters.
+    pub config: HysteresisConfig,
+    /// LB steps seen (drives oscillation-memory expiry).
+    step: usize,
+    last_move: HashMap<TaskId, LastMove>,
+    quality: DecisionQuality,
+}
+
+impl<S: LbStrategy> HysteresisLb<S> {
+    /// Guard `inner` with `config`.
+    pub fn new(inner: S, config: HysteresisConfig) -> Self {
+        assert!(config.min_gain_frac >= 0.0, "negative deadband");
+        assert!(config.noise_scale >= 0.0, "negative noise scale");
+        HysteresisLb { inner, config, step: 0, last_move: HashMap::new(), quality: DecisionQuality::default() }
+    }
+
+    /// Migrations suppressed by the noise-floor gate so far.
+    pub fn suppressed(&self) -> usize {
+        self.quality.suppressed
+    }
+
+    /// A→B→A patterns blocked so far.
+    pub fn oscillations(&self) -> usize {
+        self.quality.oscillations
+    }
+}
+
+impl<S: LbStrategy> LbStrategy for HysteresisLb<S> {
+    fn name(&self) -> &'static str {
+        "Hysteresis"
+    }
+
+    fn plan(&mut self, stats: &LbStats) -> Vec<Migration> {
+        self.step += 1;
+        let proposed = self.inner.plan(stats);
+        if proposed.is_empty() {
+            return proposed;
+        }
+
+        // Drop migrations that undo a recent move (A→B→A): the task would
+        // return to where it sat one move ago, which under noisy telemetry
+        // means both placements are equivalent and the balancer is chasing
+        // noise.
+        let step = self.step;
+        let memory = self.config.memory;
+        let mut kept = Vec::with_capacity(proposed.len());
+        for m in proposed {
+            let bounce = self.last_move.get(&m.task).is_some_and(|lm| {
+                lm.to == m.from && lm.from == m.to && step - lm.step <= memory
+            });
+            if bounce {
+                self.quality.oscillations += 1;
+            } else {
+                kept.push(m);
+            }
+        }
+
+        // Noise-floor gate on what survives: the predicted makespan
+        // reduction must clear the telemetry's resolution.
+        if !kept.is_empty() {
+            let before = max_load(stats);
+            let after = max_load(&apply_plan(stats, &kept));
+            let gain = before - after;
+            if gain < self.config.noise_floor_s(stats) {
+                self.quality.suppressed += kept.len();
+                kept.clear();
+            }
+        }
+
+        for m in &kept {
+            self.last_move.insert(m.task, LastMove { step, from: m.from, to: m.to });
+        }
+        // Expire stale entries so the map does not grow with dead tasks.
+        self.last_move.retain(|_, lm| step - lm.step <= memory);
+        kept
+    }
+
+    fn decision_quality(&self) -> DecisionQuality {
+        let mut q = self.inner.decision_quality();
+        q.merge(&self.quality);
+        q
+    }
+}
+
+fn max_load(stats: &LbStats) -> f64 {
+    stats.total_loads().into_iter().fold(0.0, f64::max)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cloud::CloudRefineLb;
+    use crate::db::TaskInfo;
+    use crate::strategy::NoLb;
+
+    fn imbalanced(conf: Option<Vec<f64>>) -> LbStats {
+        let mut s = LbStats::new(4);
+        for i in 0..32u64 {
+            s.tasks.push(TaskInfo { id: TaskId(i), pe: (i % 4) as usize, load: 0.25, bytes: 64 });
+        }
+        s.bg_load = vec![2.0, 0.0, 0.0, 0.0];
+        if let Some(c) = conf {
+            s.confidence = c;
+        }
+        s
+    }
+
+    #[test]
+    fn clear_gain_passes_with_full_confidence() {
+        let mut lb = HysteresisLb::new(CloudRefineLb::default(), HysteresisConfig::default());
+        let plan = lb.plan(&imbalanced(None));
+        assert!(!plan.is_empty());
+        assert_eq!(lb.suppressed(), 0);
+    }
+
+    #[test]
+    fn low_confidence_raises_the_floor_and_suppresses() {
+        // Same imbalance, but the telemetry is garbage: demand a gain the
+        // plan cannot certify.
+        let cfg = HysteresisConfig { noise_scale: 10.0, ..Default::default() };
+        let mut lb = HysteresisLb::new(CloudRefineLb::default(), cfg);
+        let plan = lb.plan(&imbalanced(Some(vec![0.1, 0.1, 0.1, 0.1])));
+        assert!(plan.is_empty());
+        assert!(lb.suppressed() > 0);
+        assert!(lb.decision_quality().suppressed > 0);
+    }
+
+    #[test]
+    fn noise_floor_grows_as_confidence_drops() {
+        let cfg = HysteresisConfig::default();
+        let clean = imbalanced(None);
+        let dirty = imbalanced(Some(vec![0.2; 4]));
+        assert!(cfg.noise_floor_s(&dirty) > cfg.noise_floor_s(&clean));
+    }
+
+    #[test]
+    fn a_b_a_bounce_is_blocked() {
+        struct Bouncer {
+            flip: bool,
+        }
+        impl LbStrategy for Bouncer {
+            fn name(&self) -> &'static str {
+                "Bouncer"
+            }
+            fn plan(&mut self, _stats: &LbStats) -> Vec<Migration> {
+                self.flip = !self.flip;
+                let (from, to) = if self.flip { (0, 1) } else { (1, 0) };
+                vec![Migration { task: TaskId(0), from, to }]
+            }
+        }
+        let mut s = LbStats::new(2);
+        s.tasks.push(TaskInfo { id: TaskId(0), pe: 0, load: 1.0, bytes: 8 });
+        s.bg_load = vec![5.0, 0.0]; // huge gain so the floor never triggers
+        let mut lb = HysteresisLb::new(
+            Bouncer { flip: false },
+            HysteresisConfig { min_gain_frac: 0.0, noise_scale: 0.0, memory: 4 },
+        );
+        let first = lb.plan(&s); // 0 → 1 commits
+        assert_eq!(first.len(), 1);
+        s.tasks[0].pe = 1;
+        let back = lb.plan(&s); // 1 → 0 is the A→B→A bounce
+        assert!(back.is_empty(), "bounce must be damped");
+        assert_eq!(lb.oscillations(), 1);
+    }
+
+    #[test]
+    fn bounce_allowed_after_memory_expires() {
+        // Symmetric cores: every move is gain-neutral, so only the
+        // oscillation memory decides.
+        let mut s = LbStats::new(2);
+        s.tasks.push(TaskInfo { id: TaskId(0), pe: 0, load: 1.0, bytes: 8 });
+        s.bg_load = vec![0.0, 0.0];
+        let cfg = HysteresisConfig { min_gain_frac: 0.0, noise_scale: 0.0, memory: 1 };
+        struct One(Option<Migration>);
+        impl LbStrategy for One {
+            fn name(&self) -> &'static str {
+                "One"
+            }
+            fn plan(&mut self, _stats: &LbStats) -> Vec<Migration> {
+                self.0.take().into_iter().collect()
+            }
+        }
+        let mut lb = HysteresisLb::new(
+            One(Some(Migration { task: TaskId(0), from: 0, to: 1 })),
+            cfg,
+        );
+        assert_eq!(lb.plan(&s).len(), 1);
+        s.tasks[0].pe = 1;
+        assert!(lb.plan(&s).is_empty()); // inner proposes nothing; step advances
+        // Memory (1 step) has expired: the return move is legitimate now.
+        lb.inner.0 = Some(Migration { task: TaskId(0), from: 1, to: 0 });
+        assert_eq!(lb.plan(&s).len(), 1);
+        assert_eq!(lb.oscillations(), 0);
+    }
+
+    #[test]
+    fn transparent_when_inner_plans_nothing() {
+        let mut lb = HysteresisLb::new(NoLb, HysteresisConfig::default());
+        assert!(lb.plan(&imbalanced(None)).is_empty());
+        assert_eq!(lb.decision_quality(), DecisionQuality::default());
+    }
+}

@@ -20,15 +20,22 @@
 //! * [`CommRefineLb`] — an extension: interference-aware refinement that
 //!   breaks receiver ties by communication affinity (fewer cross-node
 //!   ghost messages on a virtualized network).
+//! * [`RobustLb`] — robust `O_p` estimation (median-of-windows + EWMA
+//!   fusion, confidence-weighted loads, outlier rejection) in front of any
+//!   strategy, for corrupted cloud telemetry.
+//! * [`HysteresisLb`] — anti-thrash gate: suppresses plans whose gain is
+//!   inside the telemetry noise floor and damps A→B→A oscillation.
 
 pub mod cloud;
 pub mod comm;
 pub mod db;
 pub mod gated;
 pub mod greedy;
+pub mod hysteresis;
 pub mod metrics;
 pub mod predict;
 pub mod refine;
+pub mod robust;
 pub mod sanitize;
 pub mod strategy;
 
@@ -37,8 +44,10 @@ pub use comm::CommRefineLb;
 pub use db::{CommEdge, LbStats, TaskId, TaskInfo};
 pub use gated::{GainGatedLb, GateConfig};
 pub use greedy::GreedyLb;
+pub use hysteresis::{HysteresisConfig, HysteresisLb};
 pub use metrics::{ImbalanceMetrics, PlanMetrics};
 pub use predict::{ExpAverage, LastValue, Predictor};
 pub use refine::RefineLb;
+pub use robust::{RobustConfig, RobustLb};
 pub use sanitize::{sanitize_plan, SanitizedPlan};
-pub use strategy::{LbStrategy, Migration, NoLb};
+pub use strategy::{DecisionQuality, LbStrategy, Migration, NoLb};

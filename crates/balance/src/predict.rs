@@ -20,6 +20,11 @@ pub trait Predictor: Send {
 
     /// Drop state for a task that no longer exists.
     fn forget(&mut self, task: TaskId);
+
+    /// Garbage-collect: keep state only for the tasks in `live`. Called by
+    /// the runtime after migrations or chare loss so stale entries do not
+    /// accumulate (and leak) across LB steps.
+    fn retain_tasks(&mut self, live: &std::collections::HashSet<TaskId>);
 }
 
 /// The paper's persistence principle: next load = last measured load.
@@ -39,6 +44,10 @@ impl Predictor for LastValue {
 
     fn forget(&mut self, task: TaskId) {
         self.last.remove(&task);
+    }
+
+    fn retain_tasks(&mut self, live: &std::collections::HashSet<TaskId>) {
+        self.last.retain(|t, _| live.contains(t));
     }
 }
 
@@ -70,6 +79,10 @@ impl Predictor for ExpAverage {
 
     fn forget(&mut self, task: TaskId) {
         self.ema.remove(&task);
+    }
+
+    fn retain_tasks(&mut self, live: &std::collections::HashSet<TaskId>) {
+        self.ema.retain(|t, _| live.contains(t));
     }
 }
 
@@ -111,6 +124,24 @@ mod tests {
     #[should_panic(expected = "out of (0, 1]")]
     fn ema_rejects_bad_alpha() {
         ExpAverage::new(0.0);
+    }
+
+    #[test]
+    fn retain_tasks_garbage_collects_dead_entries() {
+        let live: std::collections::HashSet<TaskId> = [TaskId(0), TaskId(2)].into();
+        let mut lv = LastValue::default();
+        let mut ema = ExpAverage::new(0.5);
+        for id in 0..4u64 {
+            lv.observe(TaskId(id), id as f64);
+            ema.observe(TaskId(id), id as f64);
+        }
+        lv.retain_tasks(&live);
+        ema.retain_tasks(&live);
+        for id in 0..4u64 {
+            let expect_live = live.contains(&TaskId(id));
+            assert_eq!(lv.predict(TaskId(id)).is_some(), expect_live, "LastValue task {id}");
+            assert_eq!(ema.predict(TaskId(id)).is_some(), expect_live, "ExpAverage task {id}");
+        }
     }
 
     #[test]

@@ -1,0 +1,310 @@
+//! Robust `O_p` estimation — a filtering stage in front of any strategy.
+//!
+//! The runtime's Eq. 2 pipeline hands a strategy whatever the counters
+//! said, and on a cloud node the counters lie: jitter, clock skew, stale
+//! snapshots and steal-time misattribution all land in `O_p` because it is
+//! the closing term of the balance. This wrapper cleans the snapshot
+//! before the wrapped strategy sees it:
+//!
+//! * **Median-of-recent-windows** per core over the accepted `O_p`
+//!   samples, fused with an **EWMA** whose effective weight scales with the
+//!   window's confidence tag — a low-confidence reading barely moves the
+//!   estimate, a clean one tracks promptly.
+//! * **Outlier rejection**: a low-confidence sample far outside the
+//!   recent median ± MAD band is discarded outright (a high-confidence
+//!   excursion is accepted — that is a real regime change, not noise).
+//! * **Confidence-weighted task loads**: per-task loads are blended with
+//!   their [`Predictor`] history (the paper's persistence principle) in
+//!   proportion to the hosting core's confidence, and predictor state is
+//!   garbage-collected to the live task set every step.
+//!
+//! The snapshot handed on keeps the original confidence tags, so a
+//! downstream [`crate::hysteresis::HysteresisLb`] can still size its noise
+//! floor from the raw telemetry quality.
+
+use crate::db::LbStats;
+use crate::predict::{ExpAverage, Predictor};
+use crate::strategy::{DecisionQuality, LbStrategy, Migration};
+use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+
+/// Tuning for the robust estimator.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct RobustConfig {
+    /// Accepted `O_p` samples kept per core for the median stage.
+    pub history: usize,
+    /// Base EWMA fusion weight; the effective weight is `ema_alpha ×
+    /// confidence`, so distrusted windows update slowly.
+    pub ema_alpha: f64,
+    /// Reject a sample further than this many MADs from the recent median
+    /// (only when its confidence is below [`RobustConfig::trust_confidence`]).
+    pub outlier_mad: f64,
+    /// Samples at or above this confidence are never outlier-rejected: a
+    /// clean counter excursion is a real load change.
+    pub trust_confidence: f64,
+    /// Smoothing factor of the task-load predictor.
+    pub load_alpha: f64,
+}
+
+impl Default for RobustConfig {
+    fn default() -> Self {
+        RobustConfig {
+            history: 5,
+            ema_alpha: 0.5,
+            outlier_mad: 4.0,
+            trust_confidence: 0.9,
+            load_alpha: 0.6,
+        }
+    }
+}
+
+/// Wraps any strategy behind the robust estimation stage.
+pub struct RobustLb<S: LbStrategy> {
+    inner: S,
+    /// Estimator parameters.
+    pub config: RobustConfig,
+    /// Per-core accepted `O_p` samples, newest last.
+    bg_history: Vec<VecDeque<f64>>,
+    /// Per-core EWMA state.
+    bg_fused: Vec<Option<f64>>,
+    predictor: ExpAverage,
+    quality: DecisionQuality,
+}
+
+impl<S: LbStrategy> RobustLb<S> {
+    /// Put `inner` behind the estimator configured by `config`.
+    pub fn new(inner: S, config: RobustConfig) -> Self {
+        assert!(config.history >= 1, "need at least one window of history");
+        assert!(config.ema_alpha > 0.0 && config.ema_alpha <= 1.0, "ema_alpha out of (0, 1]");
+        assert!(config.outlier_mad > 0.0, "non-positive outlier band");
+        RobustLb {
+            inner,
+            predictor: ExpAverage::new(config.load_alpha),
+            config,
+            bg_history: Vec::new(),
+            bg_fused: Vec::new(),
+            quality: DecisionQuality::default(),
+        }
+    }
+
+    /// `O_p` samples rejected as outliers so far.
+    pub fn outliers_rejected(&self) -> usize {
+        self.quality.outliers_rejected
+    }
+
+    /// The fused (cleaned) snapshot the inner strategy would be given.
+    pub fn fuse(&mut self, stats: &LbStats) -> LbStats {
+        // A change in core count (PE failure compaction re-indexes cores)
+        // invalidates the per-core histories.
+        if self.bg_history.len() != stats.num_pes {
+            self.bg_history = vec![VecDeque::new(); stats.num_pes];
+            self.bg_fused = vec![None; stats.num_pes];
+        }
+
+        let mut fused_stats = stats.clone();
+        for p in 0..stats.num_pes {
+            let sample = stats.bg_load[p];
+            let conf = stats.confidence_of(p);
+            let hist = &mut self.bg_history[p];
+
+            let mut accept = true;
+            if conf < self.config.trust_confidence && hist.len() >= 3 {
+                let median = median_of(hist.iter().copied());
+                let mad = median_of(hist.iter().map(|x| (x - median).abs()));
+                let band = self.config.outlier_mad * mad.max(0.05 * median.abs() + 1e-6);
+                if (sample - median).abs() > band {
+                    accept = false;
+                    self.quality.outliers_rejected += 1;
+                }
+            }
+            if accept {
+                hist.push_back(sample);
+                while hist.len() > self.config.history {
+                    hist.pop_front();
+                }
+            }
+
+            let median_recent = if hist.is_empty() { sample } else { median_of(hist.iter().copied()) };
+            let fused = match self.bg_fused[p] {
+                None => median_recent,
+                Some(prev) => {
+                    let w = self.config.ema_alpha * conf;
+                    (1.0 - w) * prev + w * median_recent
+                }
+            };
+            self.bg_fused[p] = Some(fused);
+            fused_stats.bg_load[p] = fused.max(0.0);
+        }
+
+        // Confidence-weighted task loads through the persistence predictor.
+        for t in &mut fused_stats.tasks {
+            let conf = stats.confidence_of(t.pe);
+            let blended = match self.predictor.predict(t.id) {
+                Some(prev) => conf * t.load + (1.0 - conf) * prev,
+                None => t.load,
+            };
+            self.predictor.observe(t.id, blended);
+            t.load = self.predictor.predict(t.id).expect("just observed");
+        }
+        let live = fused_stats.tasks.iter().map(|t| t.id).collect();
+        self.predictor.retain_tasks(&live);
+
+        fused_stats.validate();
+        fused_stats
+    }
+}
+
+fn median_of(values: impl Iterator<Item = f64>) -> f64 {
+    let mut v: Vec<f64> = values.collect();
+    if v.is_empty() {
+        return 0.0;
+    }
+    v.sort_by(|a, b| a.partial_cmp(b).expect("non-finite sample"));
+    let mid = v.len() / 2;
+    if v.len() % 2 == 1 {
+        v[mid]
+    } else {
+        0.5 * (v[mid - 1] + v[mid])
+    }
+}
+
+impl<S: LbStrategy> LbStrategy for RobustLb<S> {
+    fn name(&self) -> &'static str {
+        "Robust"
+    }
+
+    fn plan(&mut self, stats: &LbStats) -> Vec<Migration> {
+        let fused = self.fuse(stats);
+        self.inner.plan(&fused)
+    }
+
+    fn decision_quality(&self) -> DecisionQuality {
+        let mut q = self.inner.decision_quality();
+        q.merge(&self.quality);
+        q
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cloud::CloudRefineLb;
+    use crate::db::{TaskId, TaskInfo};
+    use crate::strategy::NoLb;
+
+    fn snapshot(bg: &[f64], conf: Option<&[f64]>) -> LbStats {
+        let mut s = LbStats::new(bg.len());
+        for i in 0..(4 * bg.len()) as u64 {
+            s.tasks.push(TaskInfo {
+                id: TaskId(i),
+                pe: (i as usize) % bg.len(),
+                load: 0.25,
+                bytes: 64,
+            });
+        }
+        s.bg_load = bg.to_vec();
+        if let Some(c) = conf {
+            s.confidence = c.to_vec();
+        }
+        s
+    }
+
+    #[test]
+    fn clean_steady_signal_passes_through() {
+        let mut lb = RobustLb::new(NoLb, RobustConfig::default());
+        for _ in 0..5 {
+            lb.fuse(&snapshot(&[2.0, 0.0], None));
+        }
+        let fused = lb.fuse(&snapshot(&[2.0, 0.0], None));
+        assert!((fused.bg_load[0] - 2.0).abs() < 1e-9, "{:?}", fused.bg_load);
+        assert!(fused.bg_load[1].abs() < 1e-9);
+        assert_eq!(lb.outliers_rejected(), 0);
+    }
+
+    #[test]
+    fn low_confidence_spike_is_rejected() {
+        let mut lb = RobustLb::new(NoLb, RobustConfig::default());
+        for _ in 0..4 {
+            lb.fuse(&snapshot(&[1.0], None));
+        }
+        // A stale snapshot fabricates a huge O_p with near-zero confidence.
+        let fused = lb.fuse(&snapshot(&[9.0], Some(&[0.05])));
+        assert_eq!(lb.outliers_rejected(), 1);
+        assert!(fused.bg_load[0] < 1.5, "spike must not pass: {:?}", fused.bg_load);
+    }
+
+    #[test]
+    fn high_confidence_step_change_is_tracked() {
+        let mut lb = RobustLb::new(NoLb, RobustConfig::default());
+        for _ in 0..4 {
+            lb.fuse(&snapshot(&[0.0], None));
+        }
+        // Interference genuinely arrives, counters are clean: follow it.
+        for _ in 0..5 {
+            lb.fuse(&snapshot(&[2.0], None));
+        }
+        let fused = lb.fuse(&snapshot(&[2.0], None));
+        assert_eq!(lb.outliers_rejected(), 0);
+        assert!(fused.bg_load[0] > 1.5, "must converge to the new level: {:?}", fused.bg_load);
+    }
+
+    #[test]
+    fn distrusted_windows_barely_move_the_estimate() {
+        let mut lb = RobustLb::new(NoLb, RobustConfig::default());
+        for _ in 0..4 {
+            lb.fuse(&snapshot(&[1.0], None));
+        }
+        // Mildly-off readings with rock-bottom confidence: within the MAD
+        // band (so not "outliers") but the EWMA weight collapses.
+        let fused = lb.fuse(&snapshot(&[1.04], Some(&[0.01])));
+        assert!((fused.bg_load[0] - 1.0).abs() < 0.01, "{:?}", fused.bg_load);
+    }
+
+    #[test]
+    fn task_loads_are_confidence_blended_and_gced() {
+        let mut lb = RobustLb::new(NoLb, RobustConfig::default());
+        let mut s = LbStats::new(1);
+        s.tasks.push(TaskInfo { id: TaskId(0), pe: 0, load: 1.0, bytes: 8 });
+        s.bg_load = vec![0.0];
+        lb.fuse(&s);
+        // Same task, wildly different measured load on a distrusted core:
+        // the blend should stay near history.
+        s.tasks[0].load = 10.0;
+        s.confidence = vec![0.0];
+        let fused = lb.fuse(&s);
+        assert!((fused.tasks[0].load - 1.0).abs() < 1e-9, "{:?}", fused.tasks[0]);
+        // Replace the task set: the predictor must drop the dead entry.
+        s.tasks[0] = TaskInfo { id: TaskId(7), pe: 0, load: 2.0, bytes: 8 };
+        s.confidence = vec![];
+        lb.fuse(&s);
+        assert_eq!(lb.predictor.predict(TaskId(0)), None, "stale predictor entry leaked");
+        assert!(lb.predictor.predict(TaskId(7)).is_some());
+    }
+
+    #[test]
+    fn pe_count_change_resets_history() {
+        let mut lb = RobustLb::new(NoLb, RobustConfig::default());
+        for _ in 0..5 {
+            lb.fuse(&snapshot(&[3.0, 0.0], None));
+        }
+        // A core died; stats arrive compacted to one PE. Old per-core
+        // history must not bleed into the re-indexed cores.
+        let fused = lb.fuse(&snapshot(&[0.5], None));
+        assert!((fused.bg_load[0] - 0.5).abs() < 1e-9, "{:?}", fused.bg_load);
+    }
+
+    #[test]
+    fn wrapped_cloudrefine_still_balances_clean_telemetry() {
+        let mut guarded = RobustLb::new(CloudRefineLb::default(), RobustConfig::default());
+        let mut plain = CloudRefineLb::default();
+        let s = snapshot(&[2.0, 0.0, 0.0, 0.0], None);
+        // Warm the estimator so the fused O_p matches the measurement.
+        for _ in 0..5 {
+            guarded.fuse(&s);
+        }
+        let a = guarded.plan(&s);
+        let b = plain.plan(&s);
+        assert!(!a.is_empty());
+        assert_eq!(a.len(), b.len(), "clean telemetry must not change the plan size");
+    }
+}

@@ -14,6 +14,29 @@ pub struct Migration {
     pub to: usize,
 }
 
+/// Counters describing *how* a strategy arrived at its plans — populated
+/// by the robust-telemetry wrappers ([`crate::robust`], [`crate::hysteresis`])
+/// and zero for plain strategies.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DecisionQuality {
+    /// Migrations planned by the inner strategy but suppressed because
+    /// their predicted gain sat inside the telemetry noise floor.
+    pub suppressed: usize,
+    /// A→B→A oscillations detected (and blocked) across LB steps.
+    pub oscillations: usize,
+    /// `O_p` samples rejected as outliers by the robust estimator.
+    pub outliers_rejected: usize,
+}
+
+impl DecisionQuality {
+    /// Accumulate another strategy layer's counters into this one.
+    pub fn merge(&mut self, other: &DecisionQuality) {
+        self.suppressed += other.suppressed;
+        self.oscillations += other.oscillations;
+        self.outliers_rejected += other.outliers_rejected;
+    }
+}
+
 /// A load-balancing strategy: plans migrations from a database snapshot.
 ///
 /// Strategies are pure planners — committing the plan (actually moving
@@ -27,6 +50,13 @@ pub trait LbStrategy: Send {
     /// Plan migrations for the snapshot. The returned plan must be valid
     /// per [`validate_plan`].
     fn plan(&mut self, stats: &LbStats) -> Vec<Migration>;
+
+    /// Decision-quality counters accumulated over the strategy's lifetime.
+    /// Wrapper strategies merge their inner strategy's counters in; plain
+    /// strategies report zeros.
+    fn decision_quality(&self) -> DecisionQuality {
+        DecisionQuality::default()
+    }
 }
 
 /// The `noLB` baseline: never migrates.
@@ -72,8 +102,10 @@ pub fn apply_plan(stats: &LbStats, plan: &[Migration]) -> LbStats {
 }
 
 /// Construct a strategy by name, for config-driven harnesses. Recognized:
-/// `nolb`, `greedy`, `greedybg`, `refine`, `cloudrefine`, `commrefine`
-/// (case-insensitive).
+/// `nolb`, `greedy`, `greedybg`, `refine`, `cloudrefine`, `commrefine`,
+/// `hysteresiscloudrefine` (CloudRefine behind the anti-thrash gate) and
+/// `robustcloudrefine` (the full guarded stack: robust estimation feeding
+/// the hysteresis gate feeding CloudRefine), case-insensitive.
 pub fn by_name(name: &str) -> Option<Box<dyn LbStrategy>> {
     match name.to_ascii_lowercase().as_str() {
         "nolb" => Some(Box::new(NoLb)),
@@ -82,6 +114,17 @@ pub fn by_name(name: &str) -> Option<Box<dyn LbStrategy>> {
         "refine" => Some(Box::new(crate::refine::RefineLb::default())),
         "cloudrefine" => Some(Box::new(crate::cloud::CloudRefineLb::default())),
         "commrefine" => Some(Box::new(crate::comm::CommRefineLb::default())),
+        "hysteresiscloudrefine" => Some(Box::new(crate::hysteresis::HysteresisLb::new(
+            crate::cloud::CloudRefineLb::default(),
+            crate::hysteresis::HysteresisConfig::default(),
+        ))),
+        "robustcloudrefine" => Some(Box::new(crate::robust::RobustLb::new(
+            crate::hysteresis::HysteresisLb::new(
+                crate::cloud::CloudRefineLb::default(),
+                crate::hysteresis::HysteresisConfig::default(),
+            ),
+            crate::robust::RobustConfig::default(),
+        ))),
         _ => None,
     }
 }
@@ -144,9 +187,26 @@ mod tests {
 
     #[test]
     fn registry_resolves_known_names() {
-        for n in ["nolb", "greedy", "greedybg", "refine", "CloudRefine", "commrefine"] {
+        for n in [
+            "nolb",
+            "greedy",
+            "greedybg",
+            "refine",
+            "CloudRefine",
+            "commrefine",
+            "HysteresisCloudRefine",
+            "robustcloudrefine",
+        ] {
             assert!(by_name(n).is_some(), "{n} not found");
         }
         assert!(by_name("bogus").is_none());
+    }
+
+    #[test]
+    fn decision_quality_defaults_to_zero_and_merges() {
+        assert_eq!(NoLb.decision_quality(), DecisionQuality::default());
+        let mut a = DecisionQuality { suppressed: 2, oscillations: 1, outliers_rejected: 0 };
+        a.merge(&DecisionQuality { suppressed: 1, oscillations: 0, outliers_rejected: 5 });
+        assert_eq!(a, DecisionQuality { suppressed: 3, oscillations: 1, outliers_rejected: 5 });
     }
 }

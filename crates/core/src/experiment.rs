@@ -28,7 +28,52 @@ pub fn try_run_scenario(s: &Scenario) -> Result<RunResult, RuntimeError> {
     let app = s.build_app();
     let bg = s.bg_script(app.as_ref());
     let fail = s.fail_script(app.as_ref());
-    SimExecutor::new(app.as_ref(), s.run_config(), bg).with_failures(fail).try_run()
+    let mut exec = SimExecutor::new(app.as_ref(), s.run_config(), bg).with_failures(fail);
+    if let Some(spec) = s.telemetry {
+        exec = exec.with_telemetry(spec);
+    }
+    exec.try_run()
+}
+
+/// The cost of dirty counters: a telemetry-corrupted run compared against
+/// the same scenario over clean telemetry, plus the validation and
+/// decision counters that explain where the damage went.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TelemetryImpact {
+    /// Cores-per-window whose raw Eq. 2 value went negative.
+    pub clamped_op: usize,
+    /// Windows that read stale/dropped counters.
+    pub missing_samples: usize,
+    /// `Σ t_i > T_lb` violations.
+    pub task_overrun: usize,
+    /// `t_idle > T_lb` violations.
+    pub implausible_idle: usize,
+    /// Migrations suppressed by the hysteresis noise-floor gate.
+    pub suppressed: usize,
+    /// A→B→A oscillations damped.
+    pub oscillations: usize,
+    /// `O_p` outliers rejected by the robust estimator.
+    pub outliers_rejected: usize,
+    /// Migrations actually committed.
+    pub migrations: usize,
+    /// Wall-time penalty of the corruption:
+    /// `(T_noisy − T_clean) / T_clean`.
+    pub noise_penalty: f64,
+}
+
+/// Compare a telemetry-corrupted run against its clean-telemetry twin.
+pub fn telemetry_impact(noisy: &RunResult, clean: &RunResult) -> TelemetryImpact {
+    TelemetryImpact {
+        clamped_op: noisy.telemetry.clamped_op,
+        missing_samples: noisy.telemetry.missing_samples,
+        task_overrun: noisy.telemetry.task_overrun,
+        implausible_idle: noisy.telemetry.implausible_idle,
+        suppressed: noisy.decisions.suppressed,
+        oscillations: noisy.decisions.oscillations,
+        outliers_rejected: noisy.decisions.outliers_rejected,
+        migrations: noisy.migrations,
+        noise_penalty: noisy.timing_penalty_vs(clean),
+    }
 }
 
 /// The cost of surviving failures: a failure-injected run compared against
@@ -221,6 +266,26 @@ mod tests {
     #[should_panic(expected = "!seeds.is_empty()")]
     fn evaluate_requires_seeds() {
         evaluate("jacobi2d", 4, 10, "cloudrefine", &[]);
+    }
+
+    #[test]
+    fn noisy_cloud_scenario_runs_and_reports_impact() {
+        let mut noisy = Scenario::noisy_cloud("wave2d", 4, "robustcloudrefine");
+        noisy.iterations = 30;
+        let mut clean = noisy.clone();
+        clean.telemetry = None;
+        let n = run_scenario(&noisy);
+        let c = run_scenario(&clean);
+        let impact = telemetry_impact(&n, &c);
+        assert!(
+            impact.clamped_op
+                + impact.missing_samples
+                + impact.task_overrun
+                + impact.implausible_idle
+                > 0,
+            "corruption must trip the validators: {impact:?}"
+        );
+        assert!(n.iter_times.len() == 30, "ground truth still completes");
     }
 
     #[test]

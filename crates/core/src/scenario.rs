@@ -14,7 +14,7 @@
 use cloudlb_apps::{Jacobi2D, Mol3D, Stencil3D, Wave2D};
 use cloudlb_runtime::{IterativeApp, LbConfig, RunConfig};
 use cloudlb_sim::interference::BgScript;
-use cloudlb_sim::{Dur, FailureScript, Time};
+use cloudlb_sim::{Dur, FailureScript, TelemetrySpec, Time};
 use serde::{Deserialize, Serialize};
 
 /// Interference pattern for a scenario.
@@ -122,6 +122,10 @@ pub struct Scenario {
     /// Scheduled PE/node failures (empty = failure-free run).
     #[serde(default)]
     pub fail: Vec<FailSpec>,
+    /// Telemetry-corruption model applied to every `/proc/stat` read
+    /// (`None` = clean counters).
+    #[serde(default)]
+    pub telemetry: Option<TelemetrySpec>,
 }
 
 impl Scenario {
@@ -152,6 +156,18 @@ impl Scenario {
             seed: 1,
             trace: false,
             fail: Vec::new(),
+            telemetry: None,
+        }
+    }
+
+    /// Noisy-cloud preset: the paper scenario with the guarded strategy
+    /// stack and every `/proc/stat` read corrupted by the default
+    /// [`TelemetrySpec::noisy_cloud`] model — the headline experiment rerun
+    /// under dirty telemetry.
+    pub fn noisy_cloud(app: &str, cores: usize, strategy: &str) -> Self {
+        Scenario {
+            telemetry: Some(TelemetrySpec::noisy_cloud()),
+            ..Self::paper(app, cores, strategy)
         }
     }
 
@@ -170,13 +186,16 @@ impl Scenario {
         }
     }
 
-    /// Same scenario without interference (the normalization base).
+    /// Same scenario without interference (the normalization base). Also
+    /// strips failures and telemetry corruption: the base is the clean
+    /// machine.
     pub fn base_of(&self) -> Scenario {
         Scenario {
             bg: BgPattern::None,
             strategy: "nolb".to_string(),
             trace: false,
             fail: Vec::new(),
+            telemetry: None,
             ..self.clone()
         }
     }
@@ -317,6 +336,15 @@ mod tests {
         assert_eq!(b.bg, BgPattern::None);
         assert_eq!(b.strategy, "nolb");
         assert_eq!(b.cores, s.cores);
+    }
+
+    #[test]
+    fn noisy_cloud_preset_sets_and_base_strips_telemetry() {
+        let s = Scenario::noisy_cloud("jacobi2d", 4, "robustcloudrefine");
+        let spec = s.telemetry.expect("preset must corrupt telemetry");
+        assert!(spec.is_active());
+        assert!(matches!(s.bg, BgPattern::TwoCore { .. }), "interference stays on");
+        assert!(s.base_of().telemetry.is_none(), "the base run reads clean counters");
     }
 
     #[test]

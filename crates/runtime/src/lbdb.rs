@@ -15,6 +15,57 @@
 use crate::config::InstrumentMode;
 use cloudlb_balance::{LbStats, TaskId, TaskInfo};
 use cloudlb_sim::{Dur, ProcStat, Time};
+use serde::{Deserialize, Serialize};
+
+/// Relative slack granted before a reading is flagged (counters and the
+/// wall clock legitimately disagree by a scheduling quantum or two).
+const REL_TOL: f64 = 0.01;
+
+/// One core's Eq. 2 estimate with its validation verdict.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OpEstimate {
+    /// Raw Eq. 2 value `T_lb − Σ t_i − t_idle`, possibly negative.
+    pub raw: f64,
+    /// Usable background load: `raw` clamped at zero.
+    pub value: f64,
+    /// Confidence in `[0, 1]`: 1.0 when the window's counters passed every
+    /// plausibility check, lower the more impossible the readings were.
+    pub confidence: f64,
+}
+
+/// Per-window telemetry validation counters. Under clean telemetry every
+/// field stays zero; corrupted counters show up here instead of being
+/// silently papered over.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct WindowQuality {
+    /// Cores whose raw Eq. 2 value came out negative (an impossible
+    /// background load, previously clamped without a trace).
+    pub clamped_op: usize,
+    /// Cores whose counters covered well under the window (`busy + idle ≪
+    /// T_lb`): a dropped or stale `/proc/stat` snapshot.
+    pub missing_samples: usize,
+    /// Cores where the instrumented task time exceeded the window
+    /// (`Σ t_i > T_lb`).
+    pub task_overrun: usize,
+    /// Cores reporting more idle time than the window is long
+    /// (`t_idle > T_lb`).
+    pub implausible_idle: usize,
+}
+
+impl WindowQuality {
+    /// Accumulate another window's counters into this one.
+    pub fn merge(&mut self, other: &WindowQuality) {
+        self.clamped_op += other.clamped_op;
+        self.missing_samples += other.missing_samples;
+        self.task_overrun += other.task_overrun;
+        self.implausible_idle += other.implausible_idle;
+    }
+
+    /// Total anomalies across all categories.
+    pub fn total(&self) -> usize {
+        self.clamped_op + self.missing_samples + self.task_overrun + self.implausible_idle
+    }
+}
 
 /// One task execution measurement.
 #[derive(Debug, Clone, Copy)]
@@ -79,29 +130,79 @@ impl LbWindow {
         now.since(self.start)
     }
 
-    /// The paper's Eq. 2, per core: `O_p = T_lb − Σ t_i − t_idle`, clamped
-    /// at zero (measurement noise can make the raw value slightly
-    /// negative).
-    pub fn background_loads(&self, now: Time, now_stat: &ProcStat) -> Vec<f64> {
+    /// The paper's Eq. 2 per core, with each reading validated against the
+    /// window instead of trusted blindly.
+    ///
+    /// A clean window satisfies `busy + idle ≈ T_lb` and yields
+    /// `raw = T_lb − Σ t_i − t_idle ≥ 0`. Each violation lowers the core's
+    /// confidence multiplicatively and bumps the matching
+    /// [`WindowQuality`] counter:
+    ///
+    /// * counter coverage `(busy + idle) / T_lb` far from 1 — dropped,
+    ///   stale or jittered snapshot;
+    /// * negative `raw` — the impossible case `Σ t_i + t_idle > T_lb`;
+    /// * `Σ t_i > T_lb` — instrumented task time overruns the window;
+    /// * `t_idle > T_lb` — more idle than wall time.
+    pub fn estimate_background(
+        &self,
+        now: Time,
+        now_stat: &ProcStat,
+    ) -> (Vec<OpEstimate>, WindowQuality) {
         let t_lb = self.elapsed(now).as_secs_f64();
-        (0..self.num_pes)
+        let mut quality = WindowQuality::default();
+        let estimates = (0..self.num_pes)
             .map(|p| {
                 let idle = now_stat.idle_since(&self.start_stat, p).as_secs_f64();
+                let busy = now_stat.busy_since(&self.start_stat, p).as_secs_f64();
                 let tasks = self.pe_task_time[p].as_secs_f64();
-                (t_lb - tasks - idle).max(0.0)
+                let raw = t_lb - tasks - idle;
+                if t_lb <= 0.0 {
+                    return OpEstimate { raw: 0.0, value: 0.0, confidence: 1.0 };
+                }
+                let mut confidence: f64 = 1.0;
+                // Counters should account for the whole window.
+                let coverage = (busy + idle) / t_lb;
+                let deviation = (coverage - 1.0).abs();
+                if deviation > REL_TOL {
+                    confidence *= (1.0 - deviation).clamp(0.0, 1.0);
+                    if coverage < 0.5 {
+                        quality.missing_samples += 1;
+                    }
+                }
+                if raw < -REL_TOL * t_lb {
+                    quality.clamped_op += 1;
+                    confidence *= (1.0 + raw / t_lb).clamp(0.0, 1.0);
+                }
+                if tasks > (1.0 + REL_TOL) * t_lb {
+                    quality.task_overrun += 1;
+                    confidence *= (t_lb / tasks).clamp(0.0, 1.0);
+                }
+                if idle > (1.0 + REL_TOL) * t_lb {
+                    quality.implausible_idle += 1;
+                    confidence *= (t_lb / idle).clamp(0.0, 1.0);
+                }
+                OpEstimate { raw, value: raw.max(0.0), confidence }
             })
-            .collect()
+            .collect();
+        (estimates, quality)
+    }
+
+    /// The clamped Eq. 2 values only (compatibility view over
+    /// [`LbWindow::estimate_background`]).
+    pub fn background_loads(&self, now: Time, now_stat: &ProcStat) -> Vec<f64> {
+        self.estimate_background(now, now_stat).0.into_iter().map(|e| e.value).collect()
     }
 
     /// Build the strategy snapshot: per-task instrumented loads, the
-    /// current mapping, per-task state bytes, and `O_p` per core.
+    /// current mapping, per-task state bytes, `O_p` per core with its
+    /// confidence tags, and this window's validation counters.
     pub fn build_stats(
         &self,
         now: Time,
         now_stat: &ProcStat,
         mapping: &[usize],
         state_bytes: impl Fn(usize) -> u64,
-    ) -> LbStats {
+    ) -> (LbStats, WindowQuality) {
         assert_eq!(mapping.len(), self.per_task.len(), "mapping/task mismatch");
         let mut stats = LbStats::new(self.num_pes);
         stats.tasks = self
@@ -118,9 +219,11 @@ impl LbWindow {
                 bytes: state_bytes(i),
             })
             .collect();
-        stats.bg_load = self.background_loads(now, now_stat);
+        let (estimates, quality) = self.estimate_background(now, now_stat);
+        stats.bg_load = estimates.iter().map(|e| e.value).collect();
+        stats.confidence = estimates.iter().map(|e| e.confidence).collect();
         stats.validate();
-        stats
+        (stats, quality)
     }
 }
 
@@ -181,12 +284,12 @@ mod tests {
         let bg = w.background_loads(now, &end_stat);
         // 10 − 8 (wall-inflated task) − 0 idle = 2 s (the bg outside task).
         assert!((bg[0] - 2.0).abs() < 1e-9, "{bg:?}");
-        let stats = w.build_stats(now, &end_stat, &[0], |_| 128);
+        let (stats, _) = w.build_stats(now, &end_stat, &[0], |_| 128);
         assert!((stats.tasks[0].load - 8.0).abs() < 1e-9);
     }
 
     #[test]
-    fn eq2_clamps_negative_noise() {
+    fn eq2_clamps_negative_noise_and_counts_it() {
         let start = stat(&[(0, 0, 0)]);
         let mut w = LbWindow::open(1, 1, Time::ZERO, start, InstrumentMode::CpuTime);
         w.record(TaskSample {
@@ -195,10 +298,79 @@ mod tests {
             cpu: Dur::from_secs_f64(6.0),
             wall: Dur::from_secs_f64(6.0),
         });
-        // Idle counter claims 5 s: 10 − 6 − 5 < 0 → clamp.
+        // Idle counter claims 5 s: 10 − 6 − 5 < 0 → clamp, but counted.
         let end_stat = stat(&[(6_000_000, 0, 5_000_000)]);
-        let bg = w.background_loads(Time::from_us(10_000_000), &end_stat);
+        let now = Time::from_us(10_000_000);
+        let bg = w.background_loads(now, &end_stat);
         assert_eq!(bg[0], 0.0);
+        let (estimates, quality) = w.estimate_background(now, &end_stat);
+        assert!((estimates[0].raw - (-1.0)).abs() < 1e-9, "{estimates:?}");
+        assert_eq!(quality.clamped_op, 1);
+        assert!(estimates[0].confidence < 1.0, "impossible reading must cost confidence");
+    }
+
+    #[test]
+    fn clean_window_has_full_confidence_and_no_anomalies() {
+        let start = stat(&[(0, 0, 0), (0, 0, 0)]);
+        let mut w = LbWindow::open(2, 2, Time::ZERO, start, InstrumentMode::CpuTime);
+        w.record(TaskSample {
+            task: TaskId(0),
+            pe: 0,
+            cpu: Dur::from_secs_f64(4.0),
+            wall: Dur::from_secs_f64(4.0),
+        });
+        let end_stat = stat(&[(4_000_000, 3_000_000, 3_000_000), (0, 0, 10_000_000)]);
+        let now = Time::from_us(10_000_000);
+        let (estimates, quality) = w.estimate_background(now, &end_stat);
+        assert_eq!(quality, WindowQuality::default());
+        assert!(estimates.iter().all(|e| e.confidence == 1.0), "{estimates:?}");
+        let (stats, _) = w.build_stats(now, &end_stat, &[0, 1], |_| 0);
+        assert_eq!(stats.confidence, vec![1.0, 1.0]);
+    }
+
+    #[test]
+    fn stale_counters_flagged_as_missing_sample() {
+        // The end snapshot froze at the window open: zero coverage.
+        let start = stat(&[(0, 0, 0)]);
+        let w = LbWindow::open(1, 1, Time::ZERO, start, InstrumentMode::CpuTime);
+        let end_stat = stat(&[(0, 0, 0)]);
+        let (estimates, quality) = w.estimate_background(Time::from_us(10_000_000), &end_stat);
+        assert_eq!(quality.missing_samples, 1);
+        assert!(estimates[0].confidence < 0.1, "{estimates:?}");
+        // The phantom O_p (all 10 s look like background) is still clamped
+        // into the usable value but carries ~zero confidence.
+        assert!((estimates[0].value - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn implausible_idle_and_task_overrun_detected() {
+        let start = stat(&[(0, 0, 0), (0, 0, 0)]);
+        let mut w = LbWindow::open(2, 2, Time::ZERO, start, InstrumentMode::CpuTime);
+        // Core 0: tasks claim 15 s inside a 10 s window.
+        w.record(TaskSample {
+            task: TaskId(0),
+            pe: 0,
+            cpu: Dur::from_secs_f64(15.0),
+            wall: Dur::from_secs_f64(15.0),
+        });
+        // Core 1: idle counter claims 14 s inside a 10 s window.
+        let end_stat = stat(&[(10_000_000, 0, 0), (0, 0, 14_000_000)]);
+        let (estimates, quality) = w.estimate_background(Time::from_us(10_000_000), &end_stat);
+        assert_eq!(quality.task_overrun, 1);
+        assert_eq!(quality.implausible_idle, 1);
+        assert_eq!(quality.clamped_op, 2, "both cores' raw Eq. 2 went negative");
+        assert!(estimates[0].confidence < 1.0 && estimates[1].confidence < 1.0);
+    }
+
+    #[test]
+    fn window_quality_merge_accumulates() {
+        let mut a = WindowQuality { clamped_op: 1, missing_samples: 2, ..Default::default() };
+        let b = WindowQuality { clamped_op: 3, implausible_idle: 1, ..Default::default() };
+        a.merge(&b);
+        assert_eq!(a.clamped_op, 4);
+        assert_eq!(a.missing_samples, 2);
+        assert_eq!(a.implausible_idle, 1);
+        assert_eq!(a.total(), 7);
     }
 
     #[test]
@@ -214,7 +386,7 @@ mod tests {
             });
         }
         let end_stat = stat(&[(20_000, 0, 980_000), (40_000, 0, 960_000)]);
-        let stats =
+        let (stats, _) =
             w.build_stats(Time::from_us(1_000_000), &end_stat, &[1, 0, 1], |i| 100 + i as u64);
         assert_eq!(stats.tasks.len(), 3);
         assert_eq!(stats.tasks[0].pe, 1);
@@ -235,7 +407,7 @@ mod tests {
             });
         }
         let end_stat = stat(&[(10_000, 0, 90_000)]);
-        let stats = w.build_stats(Time::from_us(100_000), &end_stat, &[0], |_| 0);
+        let (stats, _) = w.build_stats(Time::from_us(100_000), &end_stat, &[0], |_| 0);
         assert!((stats.tasks[0].load - 0.01).abs() < 1e-9);
     }
 }

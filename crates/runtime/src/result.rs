@@ -1,6 +1,8 @@
 //! Run outcome: everything the experiment harness needs to compute the
 //! paper's metrics (timing penalty, BG penalty, power, energy overhead).
 
+use crate::lbdb::WindowQuality;
+use cloudlb_balance::DecisionQuality;
 use cloudlb_sim::core_sched::BgJobId;
 use cloudlb_sim::power::EnergyReport;
 use cloudlb_sim::{Dur, Time};
@@ -44,6 +46,14 @@ pub struct RunResult {
     /// Total time spent detecting failures and restoring state (excludes
     /// the replayed compute itself).
     pub recovery_time: Dur,
+    /// Telemetry-validation anomalies accumulated over every measurement
+    /// window (clamped `O_p`, stale counters, …). All zeros under clean
+    /// telemetry.
+    pub telemetry: WindowQuality,
+    /// Decision-quality counters from the strategy stack (migrations
+    /// suppressed by hysteresis, oscillations damped, `O_p` outliers
+    /// rejected). All zeros for unguarded strategies.
+    pub decisions: DecisionQuality,
 }
 
 impl RunResult {
@@ -105,6 +115,8 @@ mod tests {
             recoveries: 0,
             replayed_iters: 0,
             recovery_time: Dur::ZERO,
+            telemetry: WindowQuality::default(),
+            decisions: DecisionQuality::default(),
         }
     }
 

@@ -41,7 +41,7 @@
 use crate::atsync::AtSync;
 use crate::config::RunConfig;
 use crate::error::RuntimeError;
-use crate::lbdb::{LbWindow, TaskSample};
+use crate::lbdb::{LbWindow, TaskSample, WindowQuality};
 use crate::migration;
 use crate::program::{validate_app, IterativeApp};
 use crate::reduction::IterationTracker;
@@ -49,7 +49,10 @@ use crate::result::RunResult;
 use cloudlb_balance::{LbStats, LbStrategy, Migration, TaskId, TaskInfo};
 use cloudlb_sim::core_sched::CoreEvent;
 use cloudlb_sim::interference::{BgAction, BgLedger, BgScript};
-use cloudlb_sim::{Cluster, Dur, EventQueue, FailureAction, FailureScript, FgLabel, ProcStat, Time};
+use cloudlb_sim::{
+    Cluster, Dur, EventQueue, FailureAction, FailureScript, FgLabel, ProcStat, TelemetryChannel,
+    TelemetrySpec, Time,
+};
 use cloudlb_trace::Activity;
 use std::collections::{BTreeMap, HashMap, VecDeque};
 
@@ -100,6 +103,7 @@ pub struct SimExecutor<'a> {
     cfg: RunConfig,
     bg: BgScript,
     fail: FailureScript,
+    telemetry: TelemetrySpec,
 }
 
 impl<'a> SimExecutor<'a> {
@@ -110,7 +114,15 @@ impl<'a> SimExecutor<'a> {
             assert!(c < cfg.cluster.total_cores(), "bg script targets core {c} beyond cluster");
         }
         assert!(cfg.iterations > 0, "need at least one iteration");
-        SimExecutor { app, cfg, bg, fail: FailureScript::none() }
+        SimExecutor { app, cfg, bg, fail: FailureScript::none(), telemetry: TelemetrySpec::none() }
+    }
+
+    /// Corrupt every `/proc/stat` read (and its paired clock) through the
+    /// seeded telemetry channel described by `spec`. The ground-truth
+    /// simulation is untouched — only what the runtime *measures* lies.
+    pub fn with_telemetry(mut self, spec: TelemetrySpec) -> Self {
+        self.telemetry = spec;
+        self
     }
 
     /// Inject the failure schedule `fail` into the run. A script targeting
@@ -157,7 +169,7 @@ impl<'a> SimExecutor<'a> {
                 )));
             }
         }
-        Sim::new(self.app, self.cfg, &self.bg, &self.fail, strategy).run()
+        Sim::new(self.app, self.cfg, &self.bg, &self.fail, self.telemetry, strategy).run()
     }
 }
 
@@ -180,6 +192,9 @@ fn compact_stats(stats: &LbStats, alive: &[bool]) -> (LbStats, Vec<usize>) {
         })
         .collect();
     compact.comm = stats.comm.clone();
+    if !stats.confidence.is_empty() {
+        compact.confidence = alive_idx.iter().map(|&p| stats.confidence[p]).collect();
+    }
     (compact, alive_idx)
 }
 
@@ -213,6 +228,10 @@ struct Sim<'a> {
     tracker: IterationTracker,
     atsync: AtSync,
     window: LbWindow,
+    /// Corrupts every `/proc/stat` read when telemetry noise is enabled.
+    telemetry: Option<TelemetryChannel>,
+    /// Validation anomalies accumulated over all closed windows.
+    window_quality: WindowQuality,
     /// Relative speed per core (occupancy = work / speed).
     speeds: Vec<f64>,
 
@@ -246,14 +265,21 @@ impl<'a> Sim<'a> {
         cfg: RunConfig,
         bg: &BgScript,
         fail: &FailureScript,
+        telemetry: TelemetrySpec,
         strategy: Box<dyn LbStrategy>,
     ) -> Self {
         let pes = cfg.cluster.total_cores();
         let n = app.num_chares();
         let cluster = Cluster::new(cfg.cluster.clone());
         let mapping = cfg.initial_map.place(n, pes);
-        let start_stat = ProcStat::snapshot(&cluster);
-        let window = LbWindow::open(pes, n, Time::ZERO, start_stat, cfg.lb.instrument);
+        let mut telemetry =
+            telemetry.is_active().then(|| TelemetryChannel::new(telemetry, cfg.seed));
+        let truth = ProcStat::snapshot(&cluster);
+        let (start_stat, start_clock) = match &mut telemetry {
+            Some(ch) => truth.observe_through(ch, Time::ZERO),
+            None => (truth, Time::ZERO),
+        };
+        let window = LbWindow::open(pes, n, start_clock, start_stat, cfg.lb.instrument);
 
         let mut queue = EventQueue::new();
         let mut pending_bg = 0;
@@ -294,6 +320,8 @@ impl<'a> Sim<'a> {
             tracker,
             atsync,
             window,
+            telemetry,
+            window_quality: WindowQuality::default(),
             speeds,
             epoch: 0,
             ckpt,
@@ -317,6 +345,25 @@ impl<'a> Sim<'a> {
 
     fn num_pes(&self) -> usize {
         self.ready.len()
+    }
+
+    /// Read the per-core counters and the wall clock the way the runtime
+    /// would: through the telemetry channel when noise is enabled (jitter,
+    /// skew, drops, …), straight from the simulator otherwise.
+    fn observe(&mut self, now: Time) -> (ProcStat, Time) {
+        let truth = ProcStat::snapshot(&self.cluster);
+        match &mut self.telemetry {
+            Some(ch) => truth.observe_through(ch, now),
+            None => (truth, now),
+        }
+    }
+
+    /// Reopen the measurement window at `now` over the current cluster
+    /// shape, reading its baseline counters through the telemetry channel.
+    fn reopen_window(&mut self, now: Time) {
+        let (stat, clock) = self.observe(now);
+        self.window =
+            LbWindow::open(self.num_pes(), self.app.num_chares(), clock, stat, self.cfg.lb.instrument);
     }
 
     fn run(mut self) -> Result<RunResult, RuntimeError> {
@@ -395,6 +442,8 @@ impl<'a> Sim<'a> {
             recoveries: self.recoveries,
             replayed_iters: self.replayed_iters,
             recovery_time: self.recovery_time,
+            telemetry: self.window_quality,
+            decisions: self.strategy.decision_quality(),
         })
     }
 
@@ -696,13 +745,7 @@ impl<'a> Sim<'a> {
     fn on_recovered(&mut self, now: Time) {
         self.recoveries += 1;
         let k = self.ckpt.as_ref().map(|c| c.0).expect("recovered without a checkpoint");
-        self.window = LbWindow::open(
-            self.num_pes(),
-            self.app.num_chares(),
-            now,
-            ProcStat::snapshot(&self.cluster),
-            self.cfg.lb.instrument,
-        );
+        self.reopen_window(now);
         for chare in 0..self.app.num_chares() {
             self.next_iter[chare] = k;
             self.state[chare] = CState::Queued;
@@ -740,10 +783,12 @@ impl<'a> Sim<'a> {
 
     fn start_lb(&mut self, now: Time) {
         self.atsync.begin_lb();
-        let now_stat = ProcStat::snapshot(&self.cluster);
+        let (now_stat, obs_now) = self.observe(now);
         let app = self.app;
-        let mut stats =
-            self.window.build_stats(now, &now_stat, &self.mapping, |i| app.state_bytes(i) as u64);
+        let (mut stats, quality) = self.window.build_stats(obs_now, &now_stat, &self.mapping, |i| {
+            app.state_bytes(i) as u64
+        });
+        self.window_quality.merge(&quality);
         // Instrument the communication graph for comm-aware strategies:
         // each neighbor pair exchanges one message per direction per
         // iteration, `period` iterations per window.
@@ -808,13 +853,7 @@ impl<'a> Sim<'a> {
             }
         }
         // Open a fresh measurement window at the resume instant.
-        self.window = LbWindow::open(
-            self.ready.len(),
-            self.app.num_chares(),
-            now,
-            ProcStat::snapshot(&self.cluster),
-            self.cfg.lb.instrument,
-        );
+        self.reopen_window(now);
         for chare in released {
             self.state[chare] = CState::Waiting;
             self.maybe_ready(chare, now);
@@ -1119,6 +1158,57 @@ mod tests {
             .expect("recoverable");
         assert_eq!(r.iter_times.len(), 20);
         assert!(!r.bg_penalties.contains_key(&5), "evicted job reports no penalty");
+    }
+
+    #[test]
+    fn noisy_telemetry_runs_are_deterministic_and_flag_anomalies() {
+        use cloudlb_sim::TelemetrySpec;
+        let app = SyntheticApp::ring(16, 0.001);
+        let bg = BgScript::steady(0, &[0], Time::ZERO, None, 1.0);
+        let run = || {
+            SimExecutor::new(&app, small_cfg(30, "cloudrefine"), bg.clone())
+                .with_telemetry(TelemetrySpec::noisy_cloud())
+                .run()
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a.app_time, b.app_time);
+        assert_eq!(a.final_mapping, b.final_mapping);
+        assert_eq!(a.telemetry, b.telemetry);
+        assert!(a.telemetry.total() > 0, "noisy_cloud must trip the validators: {:?}", a.telemetry);
+        // Ground truth is untouched: the app still completes every iteration.
+        assert_eq!(a.iter_times.len(), 30);
+    }
+
+    #[test]
+    fn clean_telemetry_reports_no_anomalies() {
+        let app = SyntheticApp::ring(16, 0.001);
+        let bg = BgScript::steady(0, &[0], Time::ZERO, None, 1.0);
+        let r = SimExecutor::new(&app, small_cfg(20, "cloudrefine"), bg).run();
+        assert_eq!(r.telemetry, crate::lbdb::WindowQuality::default());
+        assert_eq!(r.decisions, cloudlb_balance::DecisionQuality::default());
+    }
+
+    #[test]
+    fn guarded_strategy_reports_decision_quality_under_noise() {
+        use cloudlb_sim::TelemetrySpec;
+        let app = SyntheticApp::ring(32, 0.001);
+        let bg = BgScript::steady(0, &[0], Time::ZERO, None, 1.0);
+        let guarded =
+            SimExecutor::new(&app, small_cfg(40, "robustcloudrefine"), bg.clone())
+                .with_telemetry(TelemetrySpec::noisy_cloud())
+                .run();
+        let unguarded = SimExecutor::new(&app, small_cfg(40, "cloudrefine"), bg)
+            .with_telemetry(TelemetrySpec::noisy_cloud())
+            .run();
+        assert!(
+            guarded.migrations < unguarded.migrations,
+            "guards must cut migrations: {} vs {}",
+            guarded.migrations,
+            unguarded.migrations
+        );
+        let q = guarded.decisions;
+        assert!(q.suppressed + q.oscillations + q.outliers_rejected > 0, "{q:?}");
     }
 
     #[test]

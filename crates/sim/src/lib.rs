@@ -33,6 +33,7 @@ pub mod power;
 pub mod procstat;
 pub mod rng;
 pub mod stats;
+pub mod telemetry;
 pub mod time;
 
 pub use cluster::{Cluster, ClusterConfig};
@@ -44,4 +45,5 @@ pub use network::NetworkModel;
 pub use power::PowerModel;
 pub use procstat::ProcStat;
 pub use rng::SimRng;
+pub use telemetry::{TelemetryChannel, TelemetrySpec};
 pub use time::{Dur, Time};

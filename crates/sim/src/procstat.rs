@@ -44,6 +44,18 @@ impl ProcStat {
         Dur::from_us(self.cores[core].bg_us.saturating_sub(earlier.cores[core].bg_us))
     }
 
+    /// Observe these counters through a telemetry-corruption channel (see
+    /// [`crate::telemetry`]): returns what a runtime on a noisy cloud node
+    /// would read instead of the ground truth, plus the (possibly skewed)
+    /// clock reading paired with it.
+    pub fn observe_through(
+        &self,
+        channel: &mut crate::telemetry::TelemetryChannel,
+        now: crate::time::Time,
+    ) -> (ProcStat, crate::time::Time) {
+        channel.observe(self, now)
+    }
+
     /// Render in `/proc/stat` text format (jiffies at 100 Hz, like Linux).
     pub fn render(&self) -> String {
         const US_PER_JIFFY: u64 = 10_000;

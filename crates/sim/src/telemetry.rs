@@ -1,0 +1,376 @@
+//! Telemetry corruption: what `/proc/stat` looks like on a *real* cloud node.
+//!
+//! The paper's Eq. 2 (`O_p = T_lb − Σ t_i − t_idle`) assumes the idle
+//! counters and the wall clock are exact. On a virtualized node they are
+//! not: counters jitter with sampling granularity, the guest clock skews
+//! against the hypervisor's accounting, reads get dropped or arrive late,
+//! counters wrap, and hypervisor steal time is misattributed. This module
+//! models those corruptions as a deterministic, seeded channel between the
+//! simulator's ground-truth counters ([`crate::procstat::ProcStat`]) and
+//! what the runtime's LB database gets to see — scriptable the same way
+//! [`crate::interference`] scripts background load.
+//!
+//! The channel never mutates ground truth; it produces a corrupted *view*,
+//! so the same run can be replayed with and without dirty telemetry.
+
+use crate::procstat::ProcStat;
+use crate::rng::SimRng;
+use crate::time::Time;
+use serde::{Deserialize, Serialize};
+
+/// Declarative description of how telemetry is corrupted. All knobs
+/// default to zero/off (the clean channel).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize, Default)]
+pub struct TelemetrySpec {
+    /// Multiplicative counter jitter: each per-read counter increment is
+    /// scaled by `1 + U(−jitter, jitter)` independently per counter.
+    #[serde(default)]
+    pub jitter: f64,
+    /// Clock skew: the wall clock used for `T_lb` drifts against the
+    /// per-core counters at a constant rate sampled once from
+    /// `U(−skew, skew)` per channel.
+    #[serde(default)]
+    pub skew: f64,
+    /// Dropped/late snapshots: with this probability a core's counters
+    /// read stale (unchanged since the previous read); the next good read
+    /// catches up all at once.
+    #[serde(default)]
+    pub drop: f64,
+    /// Counter wraparound: emitted counters wrap modulo this many
+    /// microseconds (`None` = 64-bit counters that never wrap in practice).
+    #[serde(default)]
+    pub wrap_us: Option<u64>,
+    /// Steal-time misattribution: this fraction of background (stolen)
+    /// time is misreported as *idle* — the guest kernel cannot see what
+    /// the hypervisor ran, so Eq. 2 silently under-estimates `O_p`.
+    #[serde(default)]
+    pub steal: f64,
+}
+
+impl TelemetrySpec {
+    /// The clean channel (no corruption).
+    pub fn none() -> Self {
+        TelemetrySpec::default()
+    }
+
+    /// The default dirty-cloud corruption script used by the robustness
+    /// experiments and CI noise sweep: moderate jitter, a slow clock
+    /// drift, occasional stale reads and sizable steal misattribution.
+    pub fn noisy_cloud() -> Self {
+        TelemetrySpec {
+            jitter: 0.08,
+            skew: 0.01,
+            drop: 0.12,
+            wrap_us: None,
+            steal: 0.25,
+        }
+    }
+
+    /// `true` when any corruption is configured.
+    pub fn is_active(&self) -> bool {
+        self.jitter > 0.0
+            || self.skew > 0.0
+            || self.drop > 0.0
+            || self.wrap_us.is_some()
+            || self.steal > 0.0
+    }
+
+    /// Parse the CLI syntax: either a preset name (`noisy_cloud`, `none`)
+    /// or a comma list of `key:value` pairs with keys `jitter`, `skew`,
+    /// `drop`, `wrap` (µs) and `steal`, e.g.
+    /// `jitter:0.05,drop:0.1,steal:0.3`.
+    pub fn parse(s: &str) -> Result<TelemetrySpec, String> {
+        match s {
+            "noisy_cloud" => return Ok(Self::noisy_cloud()),
+            "none" | "" => return Ok(Self::none()),
+            _ => {}
+        }
+        let mut spec = TelemetrySpec::none();
+        for part in s.split(',') {
+            let (key, value) = part
+                .split_once(':')
+                .ok_or_else(|| format!("bad telemetry spec {part:?}: missing ':'"))?;
+            let frac = |what: &str| -> Result<f64, String> {
+                let v: f64 = value
+                    .parse()
+                    .map_err(|_| format!("bad telemetry spec {part:?}: value {value:?}"))?;
+                if !(0.0..=1.0).contains(&v) {
+                    return Err(format!("bad telemetry spec {part:?}: {what} must be in [0, 1]"));
+                }
+                Ok(v)
+            };
+            match key {
+                "jitter" => spec.jitter = frac("jitter")?,
+                "skew" => spec.skew = frac("skew")?,
+                "drop" => spec.drop = frac("drop")?,
+                "steal" => spec.steal = frac("steal")?,
+                "wrap" => {
+                    let us: u64 = value
+                        .parse()
+                        .map_err(|_| format!("bad telemetry spec {part:?}: value {value:?}"))?;
+                    if us == 0 {
+                        return Err(format!("bad telemetry spec {part:?}: wrap must be > 0"));
+                    }
+                    spec.wrap_us = Some(us);
+                }
+                other => {
+                    return Err(format!("bad telemetry spec {part:?}: unknown key {other:?}"))
+                }
+            }
+        }
+        Ok(spec)
+    }
+}
+
+/// The stateful corruption channel: feed it ground-truth snapshots in time
+/// order, get back what a runtime on a noisy cloud node would observe.
+/// Fully deterministic from `(spec, seed)`.
+#[derive(Debug, Clone)]
+pub struct TelemetryChannel {
+    spec: TelemetrySpec,
+    rng: SimRng,
+    /// Constant clock-drift rate for this channel, sampled once.
+    drift: f64,
+    /// Ground truth at the previous read.
+    last_true: Option<ProcStat>,
+    /// Emitted (pre-wraparound) counters at the previous read; kept
+    /// monotone so corrupted counters still look like counters.
+    last_emitted: Option<ProcStat>,
+    /// Last emitted clock reading (observed clocks never run backwards).
+    last_clock: Time,
+    /// Stale (dropped/late) core reads emitted so far — ground truth for
+    /// tests; the runtime has to *infer* these from counter coverage.
+    pub stale_reads: usize,
+}
+
+impl TelemetryChannel {
+    /// Open a channel with the given corruption spec and seed.
+    pub fn new(spec: TelemetrySpec, seed: u64) -> Self {
+        let mut rng = SimRng::new(seed ^ 0x7E1E_3E72_ACC0_0117);
+        let drift = if spec.skew > 0.0 { rng.range_f64(-spec.skew, spec.skew) } else { 0.0 };
+        TelemetryChannel {
+            spec,
+            rng,
+            drift,
+            last_true: None,
+            last_emitted: None,
+            last_clock: Time::ZERO,
+            stale_reads: 0,
+        }
+    }
+
+    /// Observe the cluster counters at instant `now`. Returns the
+    /// corrupted snapshot and the (possibly skewed) clock reading the
+    /// runtime would pair with it.
+    pub fn observe(&mut self, truth: &ProcStat, now: Time) -> (ProcStat, Time) {
+        let clock = self.skewed_clock(now);
+        let n = truth.cores.len();
+        let mut emitted = match &self.last_emitted {
+            Some(prev) => {
+                assert_eq!(prev.cores.len(), n, "core count changed under the channel");
+                prev.clone()
+            }
+            None => truth.clone(),
+        };
+        if let Some(last_true) = self.last_true.clone() {
+            for core in 0..n {
+                let stale = self.spec.drop > 0.0 && self.rng.f64() < self.spec.drop;
+                if stale {
+                    // Dropped/late read: counters do not advance this time.
+                    self.stale_reads += 1;
+                    continue;
+                }
+                let t_new = &truth.cores[core];
+                let t_old = &last_true.cores[core];
+                let mut d_fg = t_new.fg_us.saturating_sub(t_old.fg_us);
+                let mut d_bg = t_new.bg_us.saturating_sub(t_old.bg_us);
+                let mut d_idle = t_new.idle_us.saturating_sub(t_old.idle_us);
+                // Steal misattribution: part of the background (stolen)
+                // time shows up as idle in the guest's counters.
+                if self.spec.steal > 0.0 {
+                    let moved = (d_bg as f64 * self.spec.steal) as u64;
+                    d_bg -= moved;
+                    d_idle += moved;
+                }
+                // Multiplicative jitter on each counter increment.
+                if self.spec.jitter > 0.0 {
+                    d_fg = self.jittered(d_fg);
+                    d_bg = self.jittered(d_bg);
+                    d_idle = self.jittered(d_idle);
+                }
+                let e = &mut emitted.cores[core];
+                e.fg_us += d_fg;
+                e.bg_us += d_bg;
+                e.idle_us += d_idle;
+            }
+        }
+        self.last_true = Some(truth.clone());
+        self.last_emitted = Some(emitted.clone());
+        // Wraparound applies to the emitted view only; the internal
+        // monotone counters keep accumulating.
+        if let Some(m) = self.spec.wrap_us {
+            for c in &mut emitted.cores {
+                c.fg_us %= m;
+                c.bg_us %= m;
+                c.idle_us %= m;
+            }
+        }
+        (emitted, clock)
+    }
+
+    /// Scale a counter increment by `1 + U(−jitter, jitter)`.
+    fn jittered(&mut self, delta: u64) -> u64 {
+        let f = 1.0 + self.rng.range_f64(-self.spec.jitter, self.spec.jitter);
+        (delta as f64 * f).round().max(0.0) as u64
+    }
+
+    /// The guest clock: drifts at a constant rate, never runs backwards.
+    fn skewed_clock(&mut self, now: Time) -> Time {
+        let skewed =
+            Time::from_us((now.as_us() as f64 * (1.0 + self.drift)).round().max(0.0) as u64);
+        self.last_clock = self.last_clock.max(skewed);
+        self.last_clock
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::core_sched::CoreStat;
+
+    fn stat(per_core: &[(u64, u64, u64)]) -> ProcStat {
+        ProcStat {
+            cores: per_core
+                .iter()
+                .map(|&(fg, bg, idle)| CoreStat { fg_us: fg, bg_us: bg, idle_us: idle })
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn clean_channel_is_transparent() {
+        let mut ch = TelemetryChannel::new(TelemetrySpec::none(), 1);
+        let a = stat(&[(0, 0, 0), (0, 0, 0)]);
+        let b = stat(&[(1_000, 500, 8_500), (2_000, 0, 8_000)]);
+        let (ea, ta) = ch.observe(&a, Time::ZERO);
+        let (eb, tb) = ch.observe(&b, Time::from_us(10_000));
+        assert_eq!(ea, a);
+        assert_eq!(eb, b);
+        assert_eq!(ta, Time::ZERO);
+        assert_eq!(tb, Time::from_us(10_000));
+        assert_eq!(ch.stale_reads, 0);
+    }
+
+    #[test]
+    fn channel_is_deterministic() {
+        let run = || {
+            let mut ch = TelemetryChannel::new(TelemetrySpec::noisy_cloud(), 42);
+            let mut out = Vec::new();
+            for k in 1..=5u64 {
+                let s = stat(&[(k * 1_000, k * 400, k * 8_600), (k * 2_000, 0, k * 8_000)]);
+                out.push(ch.observe(&s, Time::from_us(k * 10_000)));
+            }
+            out
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn emitted_counters_stay_monotone_without_wrap() {
+        let mut ch = TelemetryChannel::new(TelemetrySpec::noisy_cloud(), 7);
+        let mut prev: Option<ProcStat> = None;
+        for k in 0..50u64 {
+            let s = stat(&[(k * 900, k * 300, k * 8_800)]);
+            let (e, _) = ch.observe(&s, Time::from_us(k * 10_000));
+            if let Some(p) = &prev {
+                assert!(e.cores[0].idle_us >= p.cores[0].idle_us, "idle went backwards");
+                assert!(e.cores[0].fg_us >= p.cores[0].fg_us, "fg went backwards");
+            }
+            prev = Some(e);
+        }
+    }
+
+    #[test]
+    fn drop_produces_stale_reads() {
+        let spec = TelemetrySpec { drop: 1.0, ..TelemetrySpec::none() };
+        let mut ch = TelemetryChannel::new(spec, 3);
+        let a = stat(&[(0, 0, 0)]);
+        let b = stat(&[(5_000, 0, 5_000)]);
+        let (ea, _) = ch.observe(&a, Time::ZERO);
+        let (eb, _) = ch.observe(&b, Time::from_us(10_000));
+        // Every post-baseline read is stale: counters froze at the baseline.
+        assert_eq!(eb, ea);
+        assert_eq!(ch.stale_reads, 1);
+    }
+
+    #[test]
+    fn steal_moves_bg_into_idle() {
+        let spec = TelemetrySpec { steal: 0.5, ..TelemetrySpec::none() };
+        let mut ch = TelemetryChannel::new(spec, 3);
+        ch.observe(&stat(&[(0, 0, 0)]), Time::ZERO);
+        let (e, _) = ch.observe(&stat(&[(1_000, 4_000, 5_000)]), Time::from_us(10_000));
+        assert_eq!(e.cores[0].bg_us, 2_000, "half the bg time stolen from view");
+        assert_eq!(e.cores[0].idle_us, 7_000, "...and misattributed to idle");
+        assert_eq!(e.cores[0].fg_us, 1_000);
+    }
+
+    #[test]
+    fn wraparound_wraps_emitted_counters() {
+        let spec = TelemetrySpec { wrap_us: Some(4_000), ..TelemetrySpec::none() };
+        let mut ch = TelemetryChannel::new(spec, 1);
+        ch.observe(&stat(&[(0, 0, 0)]), Time::ZERO);
+        let (e, _) = ch.observe(&stat(&[(1_000, 0, 9_000)]), Time::from_us(10_000));
+        assert_eq!(e.cores[0].idle_us, 1_000, "9000 mod 4000");
+        // Internal state keeps accumulating past the wrap.
+        let (e2, _) = ch.observe(&stat(&[(1_000, 0, 13_000)]), Time::from_us(14_000));
+        assert_eq!(e2.cores[0].idle_us, 1_000, "13000 mod 4000");
+    }
+
+    #[test]
+    fn clock_skew_drifts_but_never_reverses() {
+        let spec = TelemetrySpec { skew: 0.05, ..TelemetrySpec::none() };
+        let mut ch = TelemetryChannel::new(spec, 9);
+        let s = stat(&[(0, 0, 0)]);
+        let mut prev = Time::ZERO;
+        let mut drifted = false;
+        for k in 1..=20u64 {
+            let now = Time::from_us(k * 1_000_000);
+            let (_, clock) = ch.observe(&s, now);
+            assert!(clock >= prev, "observed clock ran backwards");
+            if clock != now {
+                drifted = true;
+            }
+            prev = clock;
+        }
+        assert!(drifted, "a 5% skew amplitude should visibly drift over 20 s");
+    }
+
+    #[test]
+    fn spec_parsing() {
+        assert_eq!(TelemetrySpec::parse("noisy_cloud").unwrap(), TelemetrySpec::noisy_cloud());
+        assert_eq!(TelemetrySpec::parse("none").unwrap(), TelemetrySpec::none());
+        let s = TelemetrySpec::parse("jitter:0.05,drop:0.1,wrap:2000000,steal:0.3").unwrap();
+        assert_eq!(s.jitter, 0.05);
+        assert_eq!(s.drop, 0.1);
+        assert_eq!(s.wrap_us, Some(2_000_000));
+        assert_eq!(s.steal, 0.3);
+        assert!(s.is_active());
+        assert!(!TelemetrySpec::none().is_active());
+        assert!(TelemetrySpec::parse("bogus:1").is_err());
+        assert!(TelemetrySpec::parse("jitter").is_err());
+        assert!(TelemetrySpec::parse("jitter:2.0").is_err(), "fractions capped at 1");
+        assert!(TelemetrySpec::parse("wrap:0").is_err());
+        assert!(TelemetrySpec::parse("drop:x").is_err());
+    }
+
+    #[test]
+    fn jitter_perturbs_but_preserves_scale() {
+        let spec = TelemetrySpec { jitter: 0.1, ..TelemetrySpec::none() };
+        let mut ch = TelemetryChannel::new(spec, 11);
+        ch.observe(&stat(&[(0, 0, 0)]), Time::ZERO);
+        let (e, _) = ch.observe(&stat(&[(0, 0, 1_000_000)]), Time::from_us(1_000_000));
+        let idle = e.cores[0].idle_us;
+        assert!(idle != 1_000_000, "jitter should perturb the counter");
+        assert!((900_000..=1_100_000).contains(&idle), "±10% bound violated: {idle}");
+    }
+}

@@ -38,7 +38,8 @@ pub mod prelude {
     pub use cloudlb_apps::{Jacobi2D, Mol3D, Stencil3D, Wave2D};
     pub use cloudlb_balance::{CloudRefineLb, GreedyLb, LbStrategy, NoLb, RefineLb};
     pub use cloudlb_core::experiment::{
-        evaluate, failure_impact, run_scenario, try_run_scenario, EvalPoint, FailureImpact,
+        evaluate, failure_impact, run_scenario, telemetry_impact, try_run_scenario, EvalPoint,
+        FailureImpact, TelemetryImpact,
     };
     pub use cloudlb_core::figures;
     pub use cloudlb_core::scenario::{BgPattern, FailSpec, Scenario};
@@ -48,5 +49,5 @@ pub mod prelude {
     };
     pub use cloudlb_sim::failure::{FailureAction, FailureScript};
     pub use cloudlb_sim::interference::BgScript;
-    pub use cloudlb_sim::{Dur, Time};
+    pub use cloudlb_sim::{Dur, TelemetrySpec, Time};
 }

@@ -11,9 +11,12 @@
 //! regenerate the paper's figures; `matrix` prints both the Fig. 2 and
 //! Fig. 4 tables for one application.
 
-use cloudlb::core_api::experiment::{evaluate, failure_impact, run_scenario, try_run_scenario};
+use cloudlb::core_api::experiment::{
+    evaluate, failure_impact, run_scenario, telemetry_impact, try_run_scenario,
+};
 use cloudlb::core_api::figures;
 use cloudlb::core_api::scenario::{FailSpec, Scenario};
+use cloudlb::sim::TelemetrySpec;
 use cloudlb::trace::profile::{render_profile, ProfileOptions};
 use cloudlb::trace::svg::{render_svg, SvgOptions};
 use cloudlb::trace::timeline::{render_ascii, TimelineOptions};
@@ -89,12 +92,16 @@ fn scenario_from(opts: &Opts) -> Result<Scenario, String> {
         let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
         let mut scn: Scenario = serde_json::from_str(&text).map_err(|e| format!("{path}: {e}"))?;
         scn.fail.extend(opts.fail.iter().copied());
+        if opts.telemetry.is_some() {
+            scn.telemetry = opts.telemetry;
+        }
         return Ok(scn);
     }
     let mut scn = Scenario::paper(&opts.app, opts.cores, &opts.strategy);
     scn.iterations = opts.iters;
     scn.seed = opts.seeds[0];
     scn.fail.extend(opts.fail.iter().copied());
+    scn.telemetry = opts.telemetry;
     Ok(scn)
 }
 
@@ -174,6 +181,25 @@ fn cmd_run(opts: &Opts) -> ExitCode {
             imp.failure_penalty * 100.0,
         );
     }
+    if scn.telemetry.is_some() {
+        // A clean-telemetry twin isolates what the corrupted counters cost.
+        let mut clean = scn.clone();
+        clean.telemetry = None;
+        let imp = telemetry_impact(&run, &run_scenario(&clean));
+        println!(
+            "telemetry: {} clamped O_p, {} stale window(s), {} task overrun(s), \
+             {} implausible idle; {} migration(s) suppressed, {} oscillation(s) damped, \
+             {} outlier(s) rejected; noise penalty {:.1} %",
+            imp.clamped_op,
+            imp.missing_samples,
+            imp.task_overrun,
+            imp.implausible_idle,
+            imp.suppressed,
+            imp.oscillations,
+            imp.outliers_rejected,
+            imp.noise_penalty * 100.0,
+        );
+    }
     ExitCode::SUCCESS
 }
 
@@ -183,7 +209,7 @@ fn serde_json_string<T: serde::Serialize>(value: &T) -> String {
 
 const USAGE: &str = "usage:
   cloudlb run    --app <name> --cores <n> [--strategy <s>] [--iters <n>] [--seed <s>]
-                 [--fail <spec>[,<spec>...]] [--json]
+                 [--fail <spec>[,<spec>...]] [--telemetry-noise <spec>] [--json]
   cloudlb run    --scenario <file.json> [--fail <spec>[,<spec>...]] [--json]
   cloudlb trace  --app <name> --cores <n> [--strategy <s>] [--iters <n>]
   cloudlb fig1 | fig3
@@ -192,8 +218,12 @@ const USAGE: &str = "usage:
 
 apps: jacobi2d wave2d mol3d stencil3d
 strategies: nolb greedy greedybg refine cloudrefine commrefine
+  hysteresiscloudrefine robustcloudrefine
 fail specs: kind:index@when[~restore], e.g. core:2@0.5 kills core 2 halfway
-  through the estimated run; node:1@0.3~0.8 takes node 1 down over that window";
+  through the estimated run; node:1@0.3~0.8 takes node 1 down over that window
+telemetry noise: 'noisy_cloud', 'none', or a comma list of
+  jitter:<frac> skew:<frac> drop:<frac> steal:<frac> wrap:<us>, e.g.
+  --telemetry-noise jitter:0.1,drop:0.2 (pair with --strategy robustcloudrefine)";
 
 /// Hand-rolled flag parsing (no CLI dependency).
 struct Opts {
@@ -206,6 +236,7 @@ struct Opts {
     fast: bool,
     scenario_file: Option<String>,
     fail: Vec<FailSpec>,
+    telemetry: Option<TelemetrySpec>,
 }
 
 impl Opts {
@@ -220,6 +251,7 @@ impl Opts {
             fast: false,
             scenario_file: None,
             fail: Vec::new(),
+            telemetry: None,
         };
         let mut it = args.iter();
         while let Some(flag) = it.next() {
@@ -247,6 +279,11 @@ impl Opts {
                             FailSpec::parse(spec).map_err(|e| format!("--fail: {e}"))?,
                         );
                     }
+                }
+                "--telemetry-noise" => {
+                    let spec = TelemetrySpec::parse(&value("--telemetry-noise")?)
+                        .map_err(|e| format!("--telemetry-noise: {e}"))?;
+                    o.telemetry = spec.is_active().then_some(spec);
                 }
                 other => return Err(format!("unknown flag {other:?}")),
             }
@@ -311,6 +348,24 @@ mod tests {
         assert!(parse(&["--seed", "x"]).is_err());
         assert!(parse(&["--fail", "core:2"]).is_err());
         assert!(parse(&["--fail", "disk:0@0.5"]).is_err());
+    }
+
+    #[test]
+    fn telemetry_noise_flag_parses_presets_and_custom_specs() {
+        let o = parse(&["--telemetry-noise", "noisy_cloud"]).unwrap();
+        let spec = o.telemetry.expect("preset is active");
+        assert!(spec.is_active());
+        assert!(spec.drop > 0.0 && spec.steal > 0.0);
+
+        let o = parse(&["--telemetry-noise", "jitter:0.1,drop:0.2"]).unwrap();
+        let spec = o.telemetry.unwrap();
+        assert!((spec.jitter - 0.1).abs() < 1e-12);
+        assert!((spec.drop - 0.2).abs() < 1e-12);
+
+        // An inactive spec is treated as "no telemetry corruption".
+        assert!(parse(&["--telemetry-noise", "none"]).unwrap().telemetry.is_none());
+        assert!(parse(&["--telemetry-noise", "bogus:1"]).is_err());
+        assert!(parse(&["--telemetry-noise"]).is_err());
     }
 
     #[test]
