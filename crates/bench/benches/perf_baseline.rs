@@ -1,0 +1,67 @@
+//! PERF — machine-readable performance baseline of the paper sweep.
+//!
+//! Runs the full Fig. 2 / Fig. 4 matrix (Jacobi2D, Wave2D, Mol3D ×
+//! core counts × seeds × three arms) through the parallel sweep engine
+//! and serializes wall-clock, total simulator events, events/sec, and
+//! peak event-queue depth to `BENCH_fast.json` (under `CLOUDLB_FAST=1`)
+//! or `BENCH_sweep.json`.
+//!
+//! With `CLOUDLB_CHECK=<path to baseline json>` the run becomes a
+//! regression gate: it exits non-zero if events/sec fell more than 25 %
+//! below the checked-in baseline. CI's `bench-fast` job uses this
+//! against `crates/bench/baselines/BENCH_fast.json`.
+
+use cloudlb_bench::baseline::{self, SweepRecord};
+use cloudlb_bench::Settings;
+use cloudlb_core::{evaluate_cells, CellSpec};
+use std::time::Instant;
+
+fn main() {
+    let s = Settings::from_env();
+    let name = if s.fast { "fast" } else { "sweep" };
+    cloudlb_bench::header("Perf baseline — paper sweep throughput");
+    println!(
+        "(cores {:?}, {} iterations, seeds {:?}, jobs {})",
+        s.cores, s.iterations, s.seeds, s.jobs
+    );
+
+    let cells: Vec<CellSpec> = ["jacobi2d", "wave2d", "mol3d"]
+        .iter()
+        .flat_map(|app| {
+            s.cores
+                .iter()
+                .map(move |&c| CellSpec::paper(app, c, s.iterations, "cloudrefine"))
+        })
+        .collect();
+    let runs = cells.len() * s.seeds.len() * 3;
+
+    let t0 = Instant::now();
+    let points = evaluate_cells(&cells, &s.seeds, s.jobs);
+    let wall_s = t0.elapsed().as_secs_f64();
+
+    let sim_events: u64 = points.iter().map(|p| p.sim_events).sum();
+    let peak_queue_depth = points.iter().map(|p| p.peak_queue_depth).max().unwrap_or(0);
+    let events_per_sec = sim_events as f64 / wall_s;
+    let record = SweepRecord {
+        name: name.to_string(),
+        fast: s.fast,
+        jobs: s.jobs,
+        cores: s.cores.clone(),
+        seeds: s.seeds.clone(),
+        iterations: s.iterations,
+        runs,
+        wall_s,
+        sim_events,
+        events_per_sec,
+        peak_queue_depth,
+    };
+
+    println!(
+        "{} runs in {:.2}s — {:.0} events/s ({} events, peak queue depth {})",
+        runs, wall_s, events_per_sec, sim_events, peak_queue_depth
+    );
+    let path = baseline::write_json(name, &record);
+    println!("wrote {}", path.display());
+    baseline::maybe_check(events_per_sec);
+    println!("PERF OK");
+}

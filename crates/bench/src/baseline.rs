@@ -1,0 +1,152 @@
+//! Machine-readable perf baselines (`BENCH_<name>.json`).
+//!
+//! The perf benches serialize one [`SweepRecord`] per run so CI (and
+//! humans diffing two branches) can compare throughput without scraping
+//! stdout. Records land in `CLOUDLB_BENCH_DIR` (default: the current
+//! directory) as `BENCH_<name>.json`, and [`check_events_per_sec`]
+//! implements the regression gate used by the CI `bench-fast` job.
+
+use serde::{Deserialize, Serialize};
+use std::path::PathBuf;
+
+/// One sweep's worth of perf telemetry, serialized to `BENCH_<name>.json`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SweepRecord {
+    /// Record name; the file is `BENCH_<name>.json`.
+    pub name: String,
+    /// Whether `CLOUDLB_FAST` shrank the matrix.
+    pub fast: bool,
+    /// Worker count the sweep ran with.
+    pub jobs: usize,
+    /// Core counts in the matrix.
+    pub cores: Vec<usize>,
+    /// Seeds averaged per cell.
+    pub seeds: Vec<u64>,
+    /// Iterations per run.
+    pub iterations: usize,
+    /// Total simulator runs executed (cells × seeds × 3 arms).
+    pub runs: usize,
+    /// Wall-clock for the whole sweep (seconds).
+    pub wall_s: f64,
+    /// Total simulator events popped across every run.
+    pub sim_events: u64,
+    /// `sim_events / wall_s` — the throughput the regression gate tracks.
+    pub events_per_sec: f64,
+    /// Largest live-event count any run's queue reached.
+    pub peak_queue_depth: usize,
+}
+
+/// Path for `BENCH_<name>.json`, honouring `CLOUDLB_BENCH_DIR`.
+pub fn bench_path(name: &str) -> PathBuf {
+    let dir = std::env::var("CLOUDLB_BENCH_DIR").unwrap_or_else(|_| ".".to_string());
+    PathBuf::from(dir).join(format!("BENCH_{name}.json"))
+}
+
+/// Serialize `value` to `BENCH_<name>.json` and return the path written.
+pub fn write_json<T: Serialize>(name: &str, value: &T) -> PathBuf {
+    let path = bench_path(name);
+    let json = serde_json::to_string_pretty(value).expect("serialize bench record");
+    std::fs::write(&path, json + "\n").unwrap_or_else(|e| panic!("write {}: {e}", path.display()));
+    path
+}
+
+/// Read a [`SweepRecord`] back from a baseline file.
+pub fn read_sweep(path: &str) -> Result<SweepRecord, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("read {path}: {e}"))?;
+    serde_json::from_str(&text).map_err(|e| format!("parse {path}: {e}"))
+}
+
+/// Regression gate: fail if `current` events/sec fell more than
+/// `max_regression` (a fraction, e.g. `0.25`) below the baseline at
+/// `path`. Returns a human-readable verdict either way.
+pub fn check_events_per_sec(
+    current: f64,
+    path: &str,
+    max_regression: f64,
+) -> Result<String, String> {
+    let base = read_sweep(path)?;
+    let floor = base.events_per_sec * (1.0 - max_regression);
+    let ratio = current / base.events_per_sec;
+    if current < floor {
+        Err(format!(
+            "REGRESSION: {current:.0} events/s is {:.1}% of baseline {:.0} events/s \
+             (floor {:.0}, allowed regression {:.0}%) from {path}",
+            ratio * 100.0,
+            base.events_per_sec,
+            floor,
+            max_regression * 100.0,
+        ))
+    } else {
+        Ok(format!(
+            "ok: {current:.0} events/s vs baseline {:.0} events/s ({:.1}%) from {path}",
+            base.events_per_sec,
+            ratio * 100.0,
+        ))
+    }
+}
+
+/// If `CLOUDLB_CHECK` names a baseline file, gate on it; exits the
+/// process with status 1 on regression. No-op when the variable is unset.
+pub fn maybe_check(current_events_per_sec: f64) {
+    if let Ok(path) = std::env::var("CLOUDLB_CHECK") {
+        match check_events_per_sec(current_events_per_sec, &path, 0.25) {
+            Ok(msg) => println!("baseline check {msg}"),
+            Err(msg) => {
+                eprintln!("baseline check {msg}");
+                std::process::exit(1);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record() -> SweepRecord {
+        SweepRecord {
+            name: "test".into(),
+            fast: true,
+            jobs: 2,
+            cores: vec![4, 8],
+            seeds: vec![1],
+            iterations: 60,
+            runs: 12,
+            wall_s: 1.5,
+            sim_events: 3_000_000,
+            events_per_sec: 2_000_000.0,
+            peak_queue_depth: 37,
+        }
+    }
+
+    #[test]
+    fn record_round_trips_through_json() {
+        let r = record();
+        let json = serde_json::to_string_pretty(&r).unwrap();
+        let back: SweepRecord = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, r);
+    }
+
+    #[test]
+    fn write_and_check_against_baseline() {
+        let dir = std::env::temp_dir().join("cloudlb_baseline_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        std::env::set_var("CLOUDLB_BENCH_DIR", &dir);
+        let path = write_json("test", &record());
+        std::env::remove_var("CLOUDLB_BENCH_DIR");
+        let path = path.to_str().unwrap();
+
+        // Within tolerance (25 % slower is the boundary; 20 % passes).
+        assert!(check_events_per_sec(1_600_000.0, path, 0.25).is_ok());
+        // Faster always passes.
+        assert!(check_events_per_sec(9_000_000.0, path, 0.25).is_ok());
+        // 40 % slower fails.
+        let err = check_events_per_sec(1_200_000.0, path, 0.25).unwrap_err();
+        assert!(err.contains("REGRESSION"), "{err}");
+    }
+
+    #[test]
+    fn missing_baseline_is_an_error() {
+        assert!(check_events_per_sec(1.0, "/nonexistent/BENCH_x.json", 0.25).is_err());
+    }
+}

@@ -7,7 +7,15 @@
 //!
 //! * `CLOUDLB_FAST=1` — shrink the matrix (fewer seeds/iterations) for
 //!   smoke runs;
-//! * `CLOUDLB_SEEDS=a,b,c` — override the seed list.
+//! * `CLOUDLB_SEEDS=a,b,c` — override the seed list;
+//! * `CLOUDLB_JOBS=n` — worker count for the parallel sweep engine
+//!   (default: all available cores);
+//! * `CLOUDLB_BENCH_DIR=dir` — where perf benches write their
+//!   `BENCH_<name>.json` baselines (default: current directory);
+//! * `CLOUDLB_CHECK=path` — compare the fresh run against a checked-in
+//!   baseline and exit non-zero on a > 25 % events/sec regression.
+
+pub mod baseline;
 
 /// Benchmark-wide settings resolved from the environment.
 #[derive(Debug, Clone)]
@@ -18,6 +26,10 @@ pub struct Settings {
     pub iterations: usize,
     /// Seeds to average (the paper averages three runs).
     pub seeds: Vec<u64>,
+    /// Worker count for the parallel sweep engine.
+    pub jobs: usize,
+    /// Whether `CLOUDLB_FAST` shrank the matrix.
+    pub fast: bool,
 }
 
 impl Settings {
@@ -37,6 +49,8 @@ impl Settings {
             cores: if fast { vec![4, 8] } else { vec![4, 8, 16, 32] },
             iterations: if fast { 60 } else { 100 },
             seeds,
+            jobs: cloudlb_core::default_jobs(),
+            fast,
         }
     }
 }
@@ -58,6 +72,8 @@ mod tests {
             assert_eq!(s.cores, vec![4, 8, 16, 32]);
             assert_eq!(s.seeds.len(), 3);
             assert_eq!(s.iterations, 100);
+            assert!(!s.fast);
+            assert!(s.jobs >= 1);
         }
     }
 }

@@ -10,7 +10,17 @@
 //!
 //! `evaluate` reproduces one cell by running the three scenarios over a
 //! set of seeds and averaging — the paper averages three repeated runs.
+//!
+//! # Parallel sweeps
+//!
+//! Every `(app, cores, arm, seed)` run is an independent deterministic
+//! simulation, so [`evaluate_cells`] flattens whole matrices into a list
+//! of scenarios and fans them out over the [`crate::parallel`] work pool.
+//! Results are collected in submission order and reduced with exactly the
+//! serial code's fold, so averaged [`EvalPoint`]s are bit-identical for
+//! any worker count (see `tests/parallel_sweep.rs`).
 
+use crate::parallel::{default_jobs, par_map};
 use crate::scenario::Scenario;
 use cloudlb_runtime::{RunResult, RuntimeError, SimExecutor};
 use cloudlb_sim::stats::mean;
@@ -132,6 +142,12 @@ pub struct EvalPoint {
     pub migrations: f64,
     /// Mean LB steps per LB run.
     pub lb_steps: f64,
+    /// Simulator events processed across every run of the cell (base,
+    /// noLB and LB arms, all seeds) — the numerator of the bench
+    /// harness's events/sec figure.
+    pub sim_events: u64,
+    /// Largest pending-event backlog any run of the cell reached.
+    pub peak_queue_depth: usize,
 }
 
 impl EvalPoint {
@@ -153,19 +169,76 @@ impl EvalPoint {
     }
 }
 
-/// Run the base / noLB / LB triple for one cell, averaged over `seeds`.
-///
-/// `lb_strategy` is the balanced arm's registry name (the paper's scheme
-/// is `cloudrefine`; ablations swap in others). `iterations` scales run
-/// length (the figures use 100).
-pub fn evaluate(
-    app: &str,
-    cores: usize,
-    iterations: usize,
-    lb_strategy: &str,
-    seeds: &[u64],
-) -> EvalPoint {
+/// One `(app, cores)` cell of the paper matrix, to be evaluated as a
+/// base / noLB / LB triple per seed.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CellSpec {
+    /// Application name (`jacobi2d`, `wave2d`, `mol3d`, `stencil3d`).
+    pub app: String,
+    /// Core count.
+    pub cores: usize,
+    /// Iterations per run (the figures use 100).
+    pub iterations: usize,
+    /// Registry name of the balanced arm's strategy.
+    pub strategy: String,
+}
+
+impl CellSpec {
+    /// The paper-matrix cell for `app` on `cores` cores.
+    pub fn paper(app: &str, cores: usize, iterations: usize, strategy: &str) -> Self {
+        CellSpec {
+            app: app.to_string(),
+            cores,
+            iterations,
+            strategy: strategy.to_string(),
+        }
+    }
+
+    /// The `[base, noLB, LB]` scenario triple for one seed, in the arm
+    /// order the reduction consumes them.
+    fn arms(&self, seed: u64) -> [Scenario; 3] {
+        let mut lb_scn = Scenario::paper(&self.app, self.cores, &self.strategy);
+        lb_scn.iterations = self.iterations;
+        lb_scn.seed = seed;
+        let mut nolb_scn = Scenario { strategy: "nolb".into(), ..lb_scn.clone() };
+        nolb_scn.seed = seed;
+        let base_scn = lb_scn.base_of();
+        [base_scn, nolb_scn, lb_scn]
+    }
+}
+
+/// Evaluate many cells at once: every `(cell, seed, arm)` run is fanned
+/// out over `jobs` workers (see [`crate::parallel`]), then reduced per
+/// cell in seed order. Bit-identical to running [`evaluate`] serially
+/// per cell, for any `jobs`.
+pub fn evaluate_cells(cells: &[CellSpec], seeds: &[u64], jobs: usize) -> Vec<EvalPoint> {
     assert!(!seeds.is_empty());
+    let mut runs = Vec::with_capacity(cells.len() * seeds.len() * 3);
+    for cell in cells {
+        for &seed in seeds {
+            runs.extend(cell.arms(seed));
+        }
+    }
+    let results = par_map(jobs, runs, |scn| run_scenario(&scn));
+
+    let per_cell = seeds.len() * 3;
+    cells
+        .iter()
+        .enumerate()
+        .map(|(ci, cell)| {
+            let triples = results[ci * per_cell..(ci + 1) * per_cell].chunks_exact(3);
+            reduce_cell(cell, triples)
+        })
+        .collect()
+}
+
+/// Average one cell's base / noLB / LB triples (one per seed, in seed
+/// order) into an [`EvalPoint`]. This is the exact fold the serial code
+/// used, so the averages are reproducible to the last bit.
+fn reduce_cell<'r>(
+    cell: &CellSpec,
+    triples: impl Iterator<Item = &'r [RunResult]>,
+) -> EvalPoint {
     let mut penalty_nolb = Vec::new();
     let mut penalty_lb = Vec::new();
     let mut bg_nolb = Vec::new();
@@ -177,21 +250,13 @@ pub fn evaluate(
     let mut energy_lb = Vec::new();
     let mut migrations = Vec::new();
     let mut lb_steps = Vec::new();
+    let mut sim_events = 0u64;
+    let mut peak_queue_depth = 0usize;
 
-    for &seed in seeds {
-        let mut lb_scn = Scenario::paper(app, cores, lb_strategy);
-        lb_scn.iterations = iterations;
-        lb_scn.seed = seed;
-        let mut nolb_scn = Scenario { strategy: "nolb".into(), ..lb_scn.clone() };
-        nolb_scn.seed = seed;
-        let base_scn = lb_scn.base_of();
-
-        let base = run_scenario(&base_scn);
-        let nolb = run_scenario(&nolb_scn);
-        let lb = run_scenario(&lb_scn);
-
-        penalty_nolb.push(nolb.timing_penalty_vs(&base));
-        penalty_lb.push(lb.timing_penalty_vs(&base));
+    for triple in triples {
+        let [base, nolb, lb] = triple else { panic!("chunks_exact(3) violated") };
+        penalty_nolb.push(nolb.timing_penalty_vs(base));
+        penalty_lb.push(lb.timing_penalty_vs(base));
         if let Some(p) = nolb.bg_penalties.get(&0) {
             bg_nolb.push(*p);
         }
@@ -201,15 +266,19 @@ pub fn evaluate(
         power_base.push(base.energy.avg_power_per_node_w);
         power_nolb.push(nolb.energy.avg_power_per_node_w);
         power_lb.push(lb.energy.avg_power_per_node_w);
-        energy_nolb.push(nolb.energy_overhead_vs(&base));
-        energy_lb.push(lb.energy_overhead_vs(&base));
+        energy_nolb.push(nolb.energy_overhead_vs(base));
+        energy_lb.push(lb.energy_overhead_vs(base));
         migrations.push(lb.migrations as f64);
         lb_steps.push(lb.lb_steps as f64);
+        for r in [base, nolb, lb] {
+            sim_events += r.sim_events;
+            peak_queue_depth = peak_queue_depth.max(r.peak_queue_depth);
+        }
     }
 
     EvalPoint {
-        app: app.to_string(),
-        cores,
+        app: cell.app.clone(),
+        cores: cell.cores,
         penalty_nolb: mean(&penalty_nolb),
         penalty_lb: mean(&penalty_lb),
         bg_penalty_nolb: mean(&bg_nolb),
@@ -221,7 +290,41 @@ pub fn evaluate(
         energy_overhead_lb: mean(&energy_lb),
         migrations: mean(&migrations),
         lb_steps: mean(&lb_steps),
+        sim_events,
+        peak_queue_depth,
     }
+}
+
+/// Run the base / noLB / LB triple for one cell, averaged over `seeds`.
+///
+/// `lb_strategy` is the balanced arm's registry name (the paper's scheme
+/// is `cloudrefine`; ablations swap in others). `iterations` scales run
+/// length (the figures use 100). Runs are spread across
+/// [`crate::parallel::default_jobs`] workers (`CLOUDLB_JOBS` / `--jobs`);
+/// the result is bit-identical for any worker count.
+pub fn evaluate(
+    app: &str,
+    cores: usize,
+    iterations: usize,
+    lb_strategy: &str,
+    seeds: &[u64],
+) -> EvalPoint {
+    evaluate_jobs(app, cores, iterations, lb_strategy, seeds, default_jobs())
+}
+
+/// [`evaluate`] with an explicit worker count.
+pub fn evaluate_jobs(
+    app: &str,
+    cores: usize,
+    iterations: usize,
+    lb_strategy: &str,
+    seeds: &[u64],
+    jobs: usize,
+) -> EvalPoint {
+    let cell = CellSpec::paper(app, cores, iterations, lb_strategy);
+    evaluate_cells(std::slice::from_ref(&cell), seeds, jobs)
+        .pop()
+        .expect("one cell in, one point out")
 }
 
 #[cfg(test)]

@@ -10,7 +10,7 @@
 //! * [`fig4_table`] — power and normalized energy overhead from the same
 //!   run matrix (paper Fig. 4 a–c).
 
-use crate::experiment::{run_scenario, EvalPoint};
+use crate::experiment::{run_scenario, CellSpec, EvalPoint};
 use crate::report::{pct, watts, Table};
 use crate::scenario::{BgPattern, Scenario};
 use cloudlb_sim::stats::mean;
@@ -85,17 +85,31 @@ pub fn fig1(iterations: usize) -> Fig1Output {
 }
 
 /// Run the Fig. 2 / Fig. 4 matrix for one application over the given core
-/// counts.
+/// counts. All `(cores, arm, seed)` runs of the matrix are flattened into
+/// one fan-out over [`crate::parallel::default_jobs`] workers, so a wide
+/// matrix saturates the pool rather than parallelizing cell by cell.
 pub fn eval_matrix(
     app: &str,
     cores: &[usize],
     iterations: usize,
     seeds: &[u64],
 ) -> Vec<EvalPoint> {
-    cores
+    eval_matrix_jobs(app, cores, iterations, seeds, crate::parallel::default_jobs())
+}
+
+/// [`eval_matrix`] with an explicit worker count.
+pub fn eval_matrix_jobs(
+    app: &str,
+    cores: &[usize],
+    iterations: usize,
+    seeds: &[u64],
+    jobs: usize,
+) -> Vec<EvalPoint> {
+    let cells: Vec<CellSpec> = cores
         .iter()
-        .map(|&c| crate::experiment::evaluate(app, c, iterations, "cloudrefine", seeds))
-        .collect()
+        .map(|&c| CellSpec::paper(app, c, iterations, "cloudrefine"))
+        .collect();
+    crate::experiment::evaluate_cells(&cells, seeds, jobs)
 }
 
 /// Fig. 2 table: timing penalties (%) for the app and the background job.

@@ -10,16 +10,22 @@
 //!   averages seeds, and computes the paper's metrics: timing penalty,
 //!   background-job penalty, average node power, normalized energy
 //!   overhead;
+//! * [`parallel`] — the deterministic work pool that fans independent
+//!   `(app, cores, arm, seed)` runs across `CLOUDLB_JOBS`/`--jobs`
+//!   workers with bit-identical results;
 //! * [`figures`] — one driver per paper artifact (Figures 1–4) returning
 //!   structured series plus rendered tables/timelines;
 //! * [`report`] — markdown/CSV table formatting shared by the harness.
 
 pub mod experiment;
 pub mod figures;
+pub mod parallel;
 pub mod report;
 pub mod scenario;
 
 pub use experiment::{
-    evaluate, failure_impact, run_scenario, try_run_scenario, EvalPoint, FailureImpact,
+    evaluate, evaluate_cells, evaluate_jobs, failure_impact, run_scenario, try_run_scenario,
+    CellSpec, EvalPoint, FailureImpact,
 };
+pub use parallel::{default_jobs, par_map};
 pub use scenario::{BgPattern, FailSpec, Scenario};

@@ -1,0 +1,159 @@
+//! Deterministic fan-out of independent jobs over a from-scratch
+//! `std::thread` work pool.
+//!
+//! The paper's figures come from a matrix of `(app, cores, arm, seed)`
+//! cells, every one an independent deterministic simulation. [`par_map`]
+//! spreads such cells across worker threads and returns the results **in
+//! submission order**, so any reduction over them (seed averaging, table
+//! rows) is bit-identical to the serial path no matter how the OS
+//! schedules the workers. There are no external dependencies — workers are
+//! scoped threads pulling indices off one atomic counter.
+//!
+//! The worker count comes from, in order of precedence:
+//!
+//! 1. an explicit `jobs` argument (the CLI's `--jobs`);
+//! 2. the `CLOUDLB_JOBS` environment variable;
+//! 3. [`std::thread::available_parallelism`].
+//!
+//! `jobs = 1` (or a single-item input) short-circuits to a plain serial
+//! map on the calling thread — zero threading overhead, byte-for-byte the
+//! old code path.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Resolve the worker count: `CLOUDLB_JOBS` if set (must be a positive
+/// integer), otherwise the machine's available parallelism.
+pub fn default_jobs() -> usize {
+    match std::env::var("CLOUDLB_JOBS") {
+        Ok(v) => {
+            let jobs: usize =
+                v.trim().parse().expect("CLOUDLB_JOBS must be a positive integer");
+            assert!(jobs >= 1, "CLOUDLB_JOBS must be >= 1");
+            jobs
+        }
+        Err(_) => std::thread::available_parallelism().map_or(1, |n| n.get()),
+    }
+}
+
+/// Apply `f` to every item on up to `jobs` worker threads, returning the
+/// results in the order the items were submitted.
+///
+/// Work is claimed dynamically (one shared atomic cursor), so long cells
+/// and short cells mix freely without a static partition going idle; each
+/// result lands in its submission slot, which is what makes the output
+/// deterministic. A panic inside `f` propagates to the caller once all
+/// workers have drained (the panic payload of the first panicking worker
+/// is re-raised by [`std::thread::scope`]).
+pub fn par_map<T, R, F>(jobs: usize, items: Vec<T>, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    let n = items.len();
+    let jobs = jobs.max(1).min(n.max(1));
+    if jobs <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+
+    // Items move to workers through per-slot cells; results come back the
+    // same way. The mutexes are uncontended (each slot is touched by
+    // exactly one worker) — they exist to make the slots `Sync`.
+    let work: Vec<Mutex<Option<T>>> = items.into_iter().map(|t| Mutex::new(Some(t))).collect();
+    let results: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    let cursor = AtomicUsize::new(0);
+    let f = &f;
+
+    std::thread::scope(|scope| {
+        for _ in 0..jobs {
+            scope.spawn(|| loop {
+                let i = cursor.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let item = work[i]
+                    .lock()
+                    .expect("work slot poisoned")
+                    .take()
+                    .expect("work slot claimed twice");
+                let out = f(item);
+                *results[i].lock().expect("result slot poisoned") = Some(out);
+            });
+        }
+    });
+
+    results
+        .into_iter()
+        .enumerate()
+        .map(|(i, slot)| {
+            slot.into_inner()
+                .expect("result slot poisoned")
+                .unwrap_or_else(|| panic!("worker never produced result {i}"))
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    #[test]
+    fn results_come_back_in_submission_order() {
+        for jobs in [1, 2, 4, 8] {
+            let items: Vec<usize> = (0..100).collect();
+            let out = par_map(jobs, items, |i| i * 3);
+            assert_eq!(out, (0..100).map(|i| i * 3).collect::<Vec<_>>(), "jobs={jobs}");
+        }
+    }
+
+    #[test]
+    fn uneven_work_still_lands_in_order() {
+        // Early items take much longer than late ones; dynamic claiming
+        // means late items finish first, but slots keep the order.
+        let items: Vec<u64> = (0..32).collect();
+        let out = par_map(4, items, |i| {
+            if i < 4 {
+                std::thread::sleep(std::time::Duration::from_millis(5));
+            }
+            i + 1
+        });
+        assert_eq!(out, (1..=32).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn every_item_runs_exactly_once() {
+        let calls = AtomicUsize::new(0);
+        let out = par_map(3, (0..57).collect::<Vec<_>>(), |i| {
+            calls.fetch_add(1, Ordering::Relaxed);
+            i
+        });
+        assert_eq!(out.len(), 57);
+        assert_eq!(calls.load(Ordering::Relaxed), 57);
+    }
+
+    #[test]
+    fn more_jobs_than_items_is_fine() {
+        assert_eq!(par_map(64, vec![1, 2], |i| i * 10), vec![10, 20]);
+        assert_eq!(par_map(64, Vec::<u8>::new(), |i| i), Vec::<u8>::new());
+    }
+
+    #[test]
+    fn zero_jobs_clamps_to_serial() {
+        assert_eq!(par_map(0, vec![5, 6], |i| i + 1), vec![6, 7]);
+    }
+
+    #[test]
+    fn worker_panics_propagate() {
+        let caught = std::panic::catch_unwind(|| {
+            par_map(2, vec![0, 1, 2, 3], |i| {
+                if i == 2 {
+                    panic!("cell exploded");
+                }
+                i
+            })
+        });
+        assert!(caught.is_err(), "panic in a worker must reach the caller");
+    }
+}

@@ -113,6 +113,18 @@ impl LbWindow {
         }
     }
 
+    /// Reset this window in place at `start` with a fresh `/proc/stat`
+    /// baseline, reusing the per-task and per-PE buffers. The executor
+    /// reopens a window at every LB boundary; recycling the two vectors
+    /// keeps that path allocation-free.
+    pub fn reopen(&mut self, start: Time, start_stat: ProcStat) {
+        assert_eq!(start_stat.cores.len(), self.num_pes, "procstat/PE mismatch");
+        self.start = start;
+        self.start_stat = start_stat;
+        self.per_task.fill((Dur::ZERO, Dur::ZERO));
+        self.pe_task_time.fill(Dur::ZERO);
+    }
+
     /// Record one completed task execution.
     pub fn record(&mut self, s: TaskSample) {
         debug_assert!(s.wall >= s.cpu, "wall {} < cpu {}", s.wall, s.cpu);

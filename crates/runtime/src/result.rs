@@ -10,7 +10,11 @@ use cloudlb_trace::TraceLog;
 use std::collections::BTreeMap;
 
 /// Result of one application run.
-#[derive(Debug)]
+///
+/// `PartialEq` compares every field (including the trace): the parallel
+/// sweep engine relies on it to assert bit-identical results against the
+/// serial path.
+#[derive(Debug, PartialEq)]
 pub struct RunResult {
     /// Wall time from start to the last chare finishing the last iteration.
     pub app_time: Dur,
@@ -54,6 +58,11 @@ pub struct RunResult {
     /// suppressed by hysteresis, oscillations damped, `O_p` outliers
     /// rejected). All zeros for unguarded strategies.
     pub decisions: DecisionQuality,
+    /// Simulator events processed (event-queue pops) over the run — the
+    /// denominator-free half of the bench harness's events/sec figure.
+    pub sim_events: u64,
+    /// High-water mark of pending events in the simulator's queue.
+    pub peak_queue_depth: usize,
 }
 
 impl RunResult {
@@ -117,6 +126,8 @@ mod tests {
             recovery_time: Dur::ZERO,
             telemetry: WindowQuality::default(),
             decisions: DecisionQuality::default(),
+            sim_events: 0,
+            peak_queue_depth: 0,
         }
     }
 

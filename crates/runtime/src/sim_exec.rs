@@ -50,8 +50,8 @@ use cloudlb_balance::{LbStats, LbStrategy, Migration, TaskId, TaskInfo};
 use cloudlb_sim::core_sched::CoreEvent;
 use cloudlb_sim::interference::{BgAction, BgLedger, BgScript};
 use cloudlb_sim::{
-    Cluster, Dur, EventQueue, FailureAction, FailureScript, FgLabel, ProcStat, TelemetryChannel,
-    TelemetrySpec, Time,
+    Cluster, Dur, EventHandle, EventQueue, FailureAction, FailureScript, FgLabel, ProcStat,
+    TelemetryChannel, TelemetrySpec, Time,
 };
 use cloudlb_trace::Activity;
 use std::collections::{BTreeMap, HashMap, VecDeque};
@@ -216,7 +216,7 @@ struct Sim<'a> {
     /// Per-core running task record.
     running: Vec<Option<Running>>,
     /// Per-core pending Wake handle and its instant.
-    wake: Vec<Option<(u64, Time)>>,
+    wake: Vec<Option<(EventHandle, Time)>>,
     /// (chare, iter) → ghost messages received.
     inbox: HashMap<(usize, usize), usize>,
     /// chare → next iteration to execute.
@@ -228,6 +228,12 @@ struct Sim<'a> {
     tracker: IterationTracker,
     atsync: AtSync,
     window: LbWindow,
+    /// Scratch buffer for core completions, reused across every event-loop
+    /// iteration (the hottest allocation in the repo before it was hoisted).
+    completions: Vec<(Time, CoreEvent)>,
+    /// The per-window communication graph, identical every window (the
+    /// topology and LB period are fixed), built once and memcpy'd in.
+    comm_template: Vec<cloudlb_balance::CommEdge>,
     /// Corrupts every `/proc/stat` read when telemetry noise is enabled.
     telemetry: Option<TelemetryChannel>,
     /// Validation anomalies accumulated over all closed windows.
@@ -297,6 +303,26 @@ impl<'a> Sim<'a> {
         let tracker = IterationTracker::new(n, cfg.iterations);
         let atsync = AtSync::new(cfg.lb.period);
         let speeds = cfg.resolved_speeds();
+        // Instrument the communication graph for comm-aware strategies:
+        // each neighbor pair exchanges one message per direction per
+        // iteration, `period` iterations per window. The graph never
+        // changes between windows, so it is built exactly once.
+        let period = cfg.lb.period as u64;
+        let mut comm_template = Vec::new();
+        for chare in 0..n {
+            for nb in app.neighbors(chare) {
+                if nb > chare {
+                    let bytes =
+                        (app.message_bytes(chare, nb) + app.message_bytes(nb, chare)) as u64
+                            * period;
+                    comm_template.push(cloudlb_balance::CommEdge {
+                        a: TaskId(chare as u64),
+                        b: TaskId(nb as u64),
+                        bytes,
+                    });
+                }
+            }
+        }
         // The initial placement is itself a checkpoint: a failure before
         // the first boundary rolls back to iteration 0.
         let ckpt = (!matches!(cfg.checkpoints, crate::checkpoint::CheckpointPolicy::Disabled))
@@ -310,16 +336,22 @@ impl<'a> Sim<'a> {
             ledger: BgLedger::new(),
             seen_bg: Vec::new(),
             mapping,
-            ready: vec![VecDeque::new(); pes],
+            // Each PE's ready queue holds at most its share of the chares;
+            // sizing them up front keeps the steady state reallocation-free.
+            ready: (0..pes).map(|_| VecDeque::with_capacity(n.div_ceil(pes) + 1)).collect(),
             running: vec![None; pes],
             wake: vec![None; pes],
-            inbox: HashMap::new(),
+            // At most two in-flight iterations' worth of ghost counters per
+            // chare at any instant.
+            inbox: HashMap::with_capacity(2 * n),
             next_iter: vec![0; n],
             expected,
             state: vec![CState::Queued; n],
             tracker,
             atsync,
             window,
+            completions: Vec::with_capacity(pes + 1),
+            comm_template,
             telemetry,
             window_quality: WindowQuality::default(),
             speeds,
@@ -360,10 +392,10 @@ impl<'a> Sim<'a> {
 
     /// Reopen the measurement window at `now` over the current cluster
     /// shape, reading its baseline counters through the telemetry channel.
+    /// Reuses the window's buffers (see [`LbWindow::reopen`]).
     fn reopen_window(&mut self, now: Time) {
         let (stat, clock) = self.observe(now);
-        self.window =
-            LbWindow::open(self.num_pes(), self.app.num_chares(), clock, stat, self.cfg.lb.instrument);
+        self.window.reopen(clock, stat);
     }
 
     fn run(mut self) -> Result<RunResult, RuntimeError> {
@@ -387,8 +419,9 @@ impl<'a> Sim<'a> {
             };
             // Settle all cores up to `t`; completions land exactly at `t`
             // because wakes are kept in sync with composition changes.
-            let completions = self.cluster.advance_to(t);
-            for (ct, ce) in completions {
+            let mut completions = std::mem::take(&mut self.completions);
+            self.cluster.advance_into(t, &mut completions);
+            for &(ct, ce) in &completions {
                 debug_assert_eq!(ct, t, "late completion discovered: {ce:?} at {ct:?} vs {t:?}");
                 match ce {
                     CoreEvent::FgDone { core } => self.on_task_done(core, ct),
@@ -398,6 +431,7 @@ impl<'a> Sim<'a> {
                     }
                 }
             }
+            self.completions = completions;
             match ev {
                 Ev::Msg { chare, iter, epoch } if epoch == self.epoch => {
                     self.on_msg(chare, iter, t)
@@ -444,6 +478,8 @@ impl<'a> Sim<'a> {
             recovery_time: self.recovery_time,
             telemetry: self.window_quality,
             decisions: self.strategy.decision_quality(),
+            sim_events: self.queue.total_popped(),
+            peak_queue_depth: self.queue.peak_depth(),
         })
     }
 
@@ -789,24 +825,9 @@ impl<'a> Sim<'a> {
             app.state_bytes(i) as u64
         });
         self.window_quality.merge(&quality);
-        // Instrument the communication graph for comm-aware strategies:
-        // each neighbor pair exchanges one message per direction per
-        // iteration, `period` iterations per window.
-        let period = self.cfg.lb.period as u64;
-        for chare in 0..app.num_chares() {
-            for nb in app.neighbors(chare) {
-                if nb > chare {
-                    let bytes = (app.message_bytes(chare, nb) + app.message_bytes(nb, chare))
-                        as u64
-                        * period;
-                    stats.comm.push(cloudlb_balance::CommEdge {
-                        a: TaskId(chare as u64),
-                        b: TaskId(nb as u64),
-                        bytes,
-                    });
-                }
-            }
-        }
+        // Attach the (constant) per-window communication graph in one
+        // exactly-sized copy.
+        stats.comm.clone_from(&self.comm_template);
         let plan = self.plan_over_survivors(&stats);
 
         let transfer = {

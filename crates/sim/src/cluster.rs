@@ -91,8 +91,19 @@ impl Cluster {
     /// (timestamped, sorted by time then core).
     pub fn advance_to(&mut self, to: Time) -> Vec<(Time, CoreEvent)> {
         let mut events = Vec::new();
+        self.advance_into(to, &mut events);
+        events
+    }
+
+    /// [`Cluster::advance_to`] into a caller-owned buffer, so the
+    /// per-event executor loop reuses one allocation instead of growing a
+    /// fresh `Vec` per pop. `events` is cleared first. The sort must stay
+    /// stable: a core can emit `FgDone` and `BgDone` at the same instant,
+    /// and their relative order is part of the deterministic schedule.
+    pub fn advance_into(&mut self, to: Time, events: &mut Vec<(Time, CoreEvent)>) {
+        events.clear();
         for core in &mut self.cores {
-            core.advance(to, &mut events, self.trace.as_mut());
+            core.advance(to, events, self.trace.as_mut());
         }
         events.sort_by_key(|(t, e)| {
             (*t, match e {
@@ -100,7 +111,6 @@ impl Cluster {
                 CoreEvent::BgDone { core, .. } => *core,
             })
         });
-        events
     }
 
     /// Begin a foreground task on `core` (see [`Core::start_fg`]).

@@ -451,7 +451,7 @@ mod tests {
         assert_eq!(c.abort_fg(), Some(FgLabel { chare: 3 }));
         assert!(!c.fg_busy());
         let mut evicted = c.clear_bg();
-        evicted.sort();
+        evicted.sort_unstable();
         assert_eq!(evicted, vec![(1, true), (2, false)]);
         // Nothing left: the core idles and emits no completions.
         let ev = advance_collect(&mut c, Time::from_us(2_000));

@@ -4,27 +4,61 @@
 //! virtual instant pop in insertion (FIFO) order, which makes whole-cluster
 //! simulations bit-for-bit reproducible regardless of hash-map iteration or
 //! allocation order elsewhere.
+//!
+//! # Storage
+//!
+//! This is the hottest structure in the repo: every simulated message,
+//! wake-up, interference action and LB step passes through it. Payloads
+//! live in a slab (`Vec`-indexed slots recycled through a free-list), so
+//! the schedule/pop cycle costs two array writes and a heap push/pop — no
+//! hashing, no per-event allocation once the slab has warmed up. Each heap
+//! node carries its slot index; cancellation empties the slot and leaves
+//! the heap node behind to be skipped lazily on pop. When stale nodes
+//! outnumber live events the heap is compacted in one O(n) pass, so
+//! cancel-heavy workloads (e.g. the per-core wake-reschedule pattern) keep
+//! the heap proportional to the live event count.
 
 use crate::time::Time;
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
-/// A pending event: payload `E` scheduled at an instant.
-#[derive(Debug)]
-struct Entry<E> {
-    at: Time,
+/// Handle to a scheduled event, as returned by [`EventQueue::schedule`].
+///
+/// Handles are invalidated by [`EventQueue::cancel`] and by the event
+/// firing; a stale handle (including one whose slot has been recycled for
+/// a newer event) cancels nothing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct EventHandle {
+    slot: u32,
     seq: u64,
-    payload: E,
+}
+
+/// One slab slot. `seq` identifies the current (or last) occupant so stale
+/// heap nodes and stale handles can be recognized; `payload` is `None`
+/// while the slot sits on the free-list.
+#[derive(Debug)]
+struct Slot<E> {
+    seq: u64,
+    at: Time,
+    payload: Option<E>,
 }
 
 /// Deterministic event queue with FIFO tie-breaking.
 #[derive(Debug)]
 pub struct EventQueue<E> {
-    heap: BinaryHeap<Reverse<(Time, u64)>>,
-    // Payloads are kept out of the heap so `E` needs no ordering traits.
-    slots: std::collections::HashMap<u64, Entry<E>>,
+    /// Min-heap over `(time, seq, slot)`. `seq` is globally unique, so the
+    /// slot index never participates in an ordering decision.
+    heap: BinaryHeap<Reverse<(Time, u64, u32)>>,
+    slots: Vec<Slot<E>>,
+    free: Vec<u32>,
     next_seq: u64,
     now: Time,
+    /// Live (scheduled, not yet popped or cancelled) events.
+    live: usize,
+    /// Lifetime counters for perf baselines.
+    scheduled: u64,
+    popped: u64,
+    peak_live: usize,
 }
 
 impl<E> Default for EventQueue<E> {
@@ -38,9 +72,14 @@ impl<E> EventQueue<E> {
     pub fn new() -> Self {
         EventQueue {
             heap: BinaryHeap::new(),
-            slots: std::collections::HashMap::new(),
+            slots: Vec::new(),
+            free: Vec::new(),
             next_seq: 0,
             now: Time::ZERO,
+            live: 0,
+            scheduled: 0,
+            popped: 0,
+            peak_live: 0,
         }
     }
 
@@ -52,40 +91,69 @@ impl<E> EventQueue<E> {
     /// Schedule `payload` at instant `at`. Scheduling in the past (before
     /// `now`) is a logic error and panics in debug builds; in release it
     /// clamps to `now` to keep time monotonic.
-    pub fn schedule(&mut self, at: Time, payload: E) -> u64 {
+    pub fn schedule(&mut self, at: Time, payload: E) -> EventHandle {
         debug_assert!(at >= self.now, "scheduling into the past: {at:?} < {:?}", self.now);
         let at = at.max(self.now);
         let seq = self.next_seq;
         self.next_seq += 1;
-        self.heap.push(Reverse((at, seq)));
-        self.slots.insert(seq, Entry { at, seq, payload });
-        seq
+        let slot = match self.free.pop() {
+            Some(slot) => {
+                self.slots[slot as usize] = Slot { seq, at, payload: Some(payload) };
+                slot
+            }
+            None => {
+                self.slots.push(Slot { seq, at, payload: Some(payload) });
+                (self.slots.len() - 1) as u32
+            }
+        };
+        self.heap.push(Reverse((at, seq, slot)));
+        self.live += 1;
+        self.scheduled += 1;
+        self.peak_live = self.peak_live.max(self.live);
+        EventHandle { slot, seq }
     }
 
-    /// Cancel a previously scheduled event by the handle `schedule` returned.
-    /// Returns the payload if it had not fired yet.
-    pub fn cancel(&mut self, handle: u64) -> Option<E> {
-        self.slots.remove(&handle).map(|e| e.payload)
+    /// Cancel a previously scheduled event by the handle `schedule`
+    /// returned. Returns the payload if it had not fired yet. The stale
+    /// heap node is skipped lazily on pop, or swept by compaction once
+    /// stale nodes outnumber live events.
+    pub fn cancel(&mut self, handle: EventHandle) -> Option<E> {
+        let slot = self.slots.get_mut(handle.slot as usize)?;
+        if slot.seq != handle.seq {
+            return None; // the slot has been recycled for a newer event
+        }
+        let payload = slot.payload.take()?;
+        self.free.push(handle.slot);
+        self.live -= 1;
+        self.maybe_compact();
+        Some(payload)
     }
 
     /// Pop the earliest pending event, advancing the clock to its timestamp.
     pub fn pop(&mut self) -> Option<(Time, E)> {
-        while let Some(Reverse((at, seq))) = self.heap.pop() {
-            if let Some(entry) = self.slots.remove(&seq) {
-                debug_assert_eq!(entry.at, at);
-                debug_assert_eq!(entry.seq, seq);
-                self.now = at;
-                return Some((at, entry.payload));
+        while let Some(Reverse((at, seq, slot))) = self.heap.pop() {
+            let entry = &mut self.slots[slot as usize];
+            if entry.seq != seq {
+                continue; // cancelled and recycled: stale heap node
             }
-            // Cancelled: skip the stale heap node.
+            let Some(payload) = entry.payload.take() else {
+                continue; // cancelled, slot not yet recycled
+            };
+            debug_assert_eq!(entry.at, at);
+            self.free.push(slot);
+            self.live -= 1;
+            self.popped += 1;
+            self.now = at;
+            return Some((at, payload));
         }
         None
     }
 
     /// Timestamp of the earliest pending event without popping it.
     pub fn peek_time(&mut self) -> Option<Time> {
-        while let Some(Reverse((at, seq))) = self.heap.peek().copied() {
-            if self.slots.contains_key(&seq) {
+        while let Some(&Reverse((at, seq, slot))) = self.heap.peek() {
+            let entry = &self.slots[slot as usize];
+            if entry.seq == seq && entry.payload.is_some() {
                 return Some(at);
             }
             self.heap.pop();
@@ -95,12 +163,46 @@ impl<E> EventQueue<E> {
 
     /// Number of live (non-cancelled) pending events.
     pub fn len(&self) -> usize {
-        self.slots.len()
+        self.live
     }
 
     /// `true` when no live events remain.
     pub fn is_empty(&self) -> bool {
-        self.slots.is_empty()
+        self.live == 0
+    }
+
+    /// Total events scheduled over the queue's lifetime.
+    pub fn total_scheduled(&self) -> u64 {
+        self.scheduled
+    }
+
+    /// Total events popped (fired) over the queue's lifetime.
+    pub fn total_popped(&self) -> u64 {
+        self.popped
+    }
+
+    /// High-water mark of live pending events.
+    pub fn peak_depth(&self) -> usize {
+        self.peak_live
+    }
+
+    /// Heap nodes currently allocated, live *and* stale. Exposed so the
+    /// compaction regression test can assert cancel churn stays bounded.
+    pub fn heap_len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Rebuild the heap without stale nodes once they outnumber the live
+    /// events. Amortized O(1) per cancel: a rebuild costs O(n) and at
+    /// least n/2 cancels must happen before the next one.
+    fn maybe_compact(&mut self) {
+        if self.heap.len() > 16 && self.heap.len() - self.live > self.live {
+            let slots = &self.slots;
+            self.heap.retain(|&Reverse((_, seq, slot))| {
+                let s = &slots[slot as usize];
+                s.seq == seq && s.payload.is_some()
+            });
+        }
     }
 }
 
@@ -134,6 +236,24 @@ mod tests {
     }
 
     #[test]
+    fn fifo_ties_survive_slot_recycling() {
+        // Slot indices get scrambled by cancels, but ties must still pop
+        // in schedule order (the heap orders on seq, not slot).
+        let mut q = EventQueue::new();
+        let t = Time::from_us(5);
+        let warm: Vec<_> = (0..8).map(|i| q.schedule(t, i)).collect();
+        for h in warm {
+            q.cancel(h);
+        }
+        for i in 100..110 {
+            q.schedule(t, i);
+        }
+        for i in 100..110 {
+            assert_eq!(q.pop().unwrap().1, i);
+        }
+    }
+
+    #[test]
     fn clock_advances_with_pops() {
         let mut q = EventQueue::new();
         q.schedule(Time::from_us(100), ());
@@ -151,6 +271,19 @@ mod tests {
         assert_eq!(q.cancel(h), None);
         assert_eq!(q.len(), 1);
         assert_eq!(q.pop().unwrap().1, "y");
+    }
+
+    #[test]
+    fn stale_handle_to_recycled_slot_cancels_nothing() {
+        let mut q = EventQueue::new();
+        let h = q.schedule(Time::from_us(10), "old");
+        assert_eq!(q.cancel(h), Some("old"));
+        // The freed slot is recycled for a new event; the old handle must
+        // not be able to cancel the new occupant.
+        let h2 = q.schedule(Time::from_us(20), "new");
+        assert_eq!(h.slot, h2.slot, "slot should be recycled");
+        assert_eq!(q.cancel(h), None);
+        assert_eq!(q.pop().unwrap().1, "new");
     }
 
     #[test]
@@ -181,6 +314,68 @@ mod tests {
         assert_eq!(q.len(), 1);
         q.cancel(h);
         assert!(q.is_empty());
+        assert!(q.pop().is_none());
+    }
+
+    #[test]
+    fn counters_track_traffic() {
+        let mut q = EventQueue::new();
+        let handles: Vec<_> = (0..6).map(|i| q.schedule(Time::from_us(i), i)).collect();
+        assert_eq!(q.total_scheduled(), 6);
+        assert_eq!(q.peak_depth(), 6);
+        q.cancel(handles[0]);
+        while q.pop().is_some() {}
+        assert_eq!(q.total_popped(), 5);
+        assert_eq!(q.peak_depth(), 6, "peak is a high-water mark");
+    }
+
+    #[test]
+    fn heavy_cancel_churn_keeps_the_heap_compact() {
+        // The wake-reschedule pattern: every event that fires causes the
+        // cancellation of another pending one. Without compaction the heap
+        // (and its stale nodes) grows linearly with the total number of
+        // schedules; with it, the heap stays proportional to live events.
+        let mut q = EventQueue::new();
+        let live = 64usize;
+        let mut handles: Vec<EventHandle> = (0..live as u64)
+            .map(|i| q.schedule(Time::from_us(10 + i), i))
+            .collect();
+        for round in 0..10_000u64 {
+            let at = Time::from_us(1_000_000 + round);
+            let victim = (round as usize * 7) % handles.len();
+            q.cancel(handles[victim]);
+            handles[victim] = q.schedule(at, round);
+        }
+        assert_eq!(q.len(), live);
+        assert!(
+            q.heap_len() <= 2 * live + 1,
+            "heap grew to {} nodes for {} live events",
+            q.heap_len(),
+            live
+        );
+        // The slab recycles slots rather than growing with churn.
+        assert!(q.slots.len() <= 2 * live + 1, "slab grew to {}", q.slots.len());
+        // And the queue still drains correctly, in time order.
+        let mut last = Time::ZERO;
+        let mut n = 0;
+        while let Some((t, _)) = q.pop() {
+            assert!(t >= last);
+            last = t;
+            n += 1;
+        }
+        assert_eq!(n, live);
+    }
+
+    #[test]
+    fn cancel_all_then_reschedule_drains_clean() {
+        let mut q = EventQueue::new();
+        let handles: Vec<_> = (0..100u64).map(|i| q.schedule(Time::from_us(i), i)).collect();
+        for h in handles {
+            assert!(q.cancel(h).is_some());
+        }
+        assert!(q.is_empty());
+        q.schedule(Time::from_us(500), 999);
+        assert_eq!(q.pop().unwrap().1, 999);
         assert!(q.pop().is_none());
     }
 }

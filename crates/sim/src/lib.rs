@@ -38,7 +38,7 @@ pub mod time;
 
 pub use cluster::{Cluster, ClusterConfig};
 pub use core_sched::{BgJobId, CoreEvent, FgLabel};
-pub use event::EventQueue;
+pub use event::{EventHandle, EventQueue};
 pub use failure::{FailureAction, FailureScript};
 pub use interference::{BgAction, BgScript};
 pub use network::NetworkModel;

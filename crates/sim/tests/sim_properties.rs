@@ -38,7 +38,7 @@ fn event_queue_cancellation() {
         let times: Vec<u64> = (0..len).map(|_| rng.below(1_000)).collect();
         let cancel_mask: Vec<bool> = (0..len).map(|_| rng.below(2) == 0).collect();
         let mut q = EventQueue::new();
-        let handles: Vec<u64> =
+        let handles: Vec<cloudlb_sim::EventHandle> =
             times.iter().enumerate().map(|(i, &t)| q.schedule(Time::from_us(t), i)).collect();
         let mut cancelled = std::collections::HashSet::new();
         for (h, &c) in handles.iter().zip(&cancel_mask) {

@@ -8,7 +8,7 @@ use serde::{Deserialize, Serialize};
 /// Executors append intervals in nondecreasing start order per PE. Gaps
 /// between recorded intervals are interpreted as [`Activity::Idle`] by the
 /// renderers and statistics, so executors may record only busy time.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct TraceLog {
     /// `pes[p]` holds the intervals recorded on PE `p`.
     pes: Vec<Vec<Interval>>,

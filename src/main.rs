@@ -35,6 +35,12 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    if let Some(jobs) = opts.jobs {
+        // The sweep engine resolves its worker count from CLOUDLB_JOBS
+        // (see cloudlb_core::parallel::default_jobs); --jobs overrides it
+        // process-wide before any sweep starts.
+        std::env::set_var("CLOUDLB_JOBS", jobs.to_string());
+    }
     match cmd.as_str() {
         "run" => cmd_run(&opts),
         "fig1" => {
@@ -213,8 +219,12 @@ const USAGE: &str = "usage:
   cloudlb run    --scenario <file.json> [--fail <spec>[,<spec>...]] [--json]
   cloudlb trace  --app <name> --cores <n> [--strategy <s>] [--iters <n>]
   cloudlb fig1 | fig3
-  cloudlb fig2 | fig4 [--app <name>] [--fast]
-  cloudlb matrix --app <name> [--fast] [--json]
+  cloudlb fig2 | fig4 [--app <name>] [--fast] [--jobs <n>]
+  cloudlb matrix --app <name> [--fast] [--json] [--jobs <n>]
+
+--jobs <n> (or CLOUDLB_JOBS=<n>) spreads the sweep's independent runs over
+n worker threads; results are bit-identical to --jobs 1. Defaults to the
+machine's available parallelism.
 
 apps: jacobi2d wave2d mol3d stencil3d
 strategies: nolb greedy greedybg refine cloudrefine commrefine
@@ -237,6 +247,7 @@ struct Opts {
     scenario_file: Option<String>,
     fail: Vec<FailSpec>,
     telemetry: Option<TelemetrySpec>,
+    jobs: Option<usize>,
 }
 
 impl Opts {
@@ -252,6 +263,7 @@ impl Opts {
             scenario_file: None,
             fail: Vec::new(),
             telemetry: None,
+            jobs: None,
         };
         let mut it = args.iter();
         while let Some(flag) = it.next() {
@@ -272,6 +284,14 @@ impl Opts {
                 }
                 "--json" => o.json = true,
                 "--fast" => o.fast = true,
+                "--jobs" => {
+                    let jobs: usize =
+                        value("--jobs")?.parse().map_err(|e| format!("--jobs: {e}"))?;
+                    if jobs == 0 {
+                        return Err("--jobs must be >= 1".into());
+                    }
+                    o.jobs = Some(jobs);
+                }
                 "--scenario" => o.scenario_file = Some(value("--scenario")?),
                 "--fail" => {
                     for spec in value("--fail")?.split(',') {
@@ -348,6 +368,15 @@ mod tests {
         assert!(parse(&["--seed", "x"]).is_err());
         assert!(parse(&["--fail", "core:2"]).is_err());
         assert!(parse(&["--fail", "disk:0@0.5"]).is_err());
+        assert!(parse(&["--jobs", "0"]).is_err());
+        assert!(parse(&["--jobs", "four"]).is_err());
+        assert!(parse(&["--jobs"]).is_err());
+    }
+
+    #[test]
+    fn jobs_flag_parses() {
+        assert_eq!(parse(&[]).unwrap().jobs, None);
+        assert_eq!(parse(&["--jobs", "4"]).unwrap().jobs, Some(4));
     }
 
     #[test]
