@@ -59,6 +59,14 @@ pub struct LbStats {
     /// robust strategies down-weight low-confidence cores.
     #[serde(default)]
     pub confidence: Vec<f64>,
+    /// Tasks whose migration was *aborted* by the reliable transfer
+    /// protocol in the previous LB step (network timeout/partition): the
+    /// chare still sits on its old core, so the imbalance it was meant to
+    /// fix persists. Advisory — strategies may treat these moves as
+    /// recently proven expensive and prefer other candidates, or simply
+    /// re-attempt them.
+    #[serde(default)]
+    pub failed_tasks: Vec<TaskId>,
 }
 
 impl LbStats {
@@ -70,7 +78,13 @@ impl LbStats {
             bg_load: vec![0.0; num_pes],
             comm: Vec::new(),
             confidence: Vec::new(),
+            failed_tasks: Vec::new(),
         }
+    }
+
+    /// `true` when `id`'s migration was aborted in the previous LB step.
+    pub fn recently_failed(&self, id: TaskId) -> bool {
+        self.failed_tasks.contains(&id)
     }
 
     /// Measurement confidence of core `pe` (1.0 when no validation ran).
@@ -108,6 +122,9 @@ impl LbStats {
             assert!(self.task(e.a).is_some(), "comm edge references unknown task {:?}", e.a);
             assert!(self.task(e.b).is_some(), "comm edge references unknown task {:?}", e.b);
             assert_ne!(e.a, e.b, "self-communication edge on {:?}", e.a);
+        }
+        for id in &self.failed_tasks {
+            assert!(self.task(*id).is_some(), "failed_tasks references unknown task {id:?}");
         }
     }
 
@@ -262,6 +279,24 @@ mod tests {
     fn out_of_range_confidence_rejected() {
         let mut s = stats(1, &[], &[0.0]);
         s.confidence = vec![1.5];
+        s.validate();
+    }
+
+    #[test]
+    fn failed_tasks_are_advisory_and_validated() {
+        let mut s = stats(2, &[(0, 0, 1.0), (1, 1, 1.0)], &[0.0, 0.0]);
+        assert!(!s.recently_failed(TaskId(0)));
+        s.failed_tasks = vec![TaskId(1)];
+        s.validate();
+        assert!(s.recently_failed(TaskId(1)));
+        assert!(!s.recently_failed(TaskId(0)));
+    }
+
+    #[test]
+    #[should_panic(expected = "failed_tasks references unknown task")]
+    fn unknown_failed_tasks_rejected() {
+        let mut s = stats(1, &[(0, 0, 1.0)], &[0.0]);
+        s.failed_tasks = vec![TaskId(42)];
         s.validate();
     }
 

@@ -31,9 +31,19 @@ pub struct SweepRecord {
     /// Total simulator events popped across every run.
     pub sim_events: u64,
     /// `sim_events / wall_s` — the throughput the regression gate tracks.
+    /// Always measured on the *clean-network* sweep, so the gate proves
+    /// the chaos layer costs nothing when disabled.
     pub events_per_sec: f64,
     /// Largest live-event count any run's queue reached.
     pub peak_queue_depth: usize,
+    /// Wall-clock of the informational flaky-network probe, seconds
+    /// (0 when the probe did not run). Never gated — chaos runs are
+    /// legitimately slower.
+    #[serde(default)]
+    pub flaky_wall_s: f64,
+    /// Events/sec of the flaky-network probe (0 when it did not run).
+    #[serde(default)]
+    pub flaky_events_per_sec: f64,
 }
 
 /// Path for `BENCH_<name>.json`, honouring `CLOUDLB_BENCH_DIR`.
@@ -116,6 +126,8 @@ mod tests {
             sim_events: 3_000_000,
             events_per_sec: 2_000_000.0,
             peak_queue_depth: 37,
+            flaky_wall_s: 0.4,
+            flaky_events_per_sec: 1_500_000.0,
         }
     }
 

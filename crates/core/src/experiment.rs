@@ -42,6 +42,9 @@ pub fn try_run_scenario(s: &Scenario) -> Result<RunResult, RuntimeError> {
     if let Some(spec) = s.telemetry {
         exec = exec.with_telemetry(spec);
     }
+    if let Some(spec) = &s.net_fault {
+        exec = exec.with_net_faults(spec.clone());
+    }
     exec.try_run()
 }
 
@@ -83,6 +86,44 @@ pub fn telemetry_impact(noisy: &RunResult, clean: &RunResult) -> TelemetryImpact
         outliers_rejected: noisy.decisions.outliers_rejected,
         migrations: noisy.migrations,
         noise_penalty: noisy.timing_penalty_vs(clean),
+    }
+}
+
+/// The cost of a degraded interconnect: a network-chaos run compared
+/// against the same scenario over a clean network, plus the damage
+/// counters that explain where the time went.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct NetworkImpact {
+    /// Message copies destroyed by loss or partitions.
+    pub lost_copies: u64,
+    /// Ghost retransmissions forced by the reliable transport.
+    pub retransmits: u64,
+    /// Duplicate deliveries suppressed by sequence numbering.
+    pub duplicates_dropped: u64,
+    /// Migration data/ACK re-sends beyond the first attempt.
+    pub migration_retries: u64,
+    /// Migrations aborted on deadline/attempt exhaustion (the chare stayed
+    /// on its source core and was re-planned at a later LB step).
+    pub migration_aborts: u64,
+    /// Scheduled partition time summed over windows, in seconds.
+    pub partition_s: f64,
+    /// Migrations actually committed.
+    pub migrations: usize,
+    /// Wall-time penalty of the chaos: `(T_flaky − T_clean) / T_clean`.
+    pub net_penalty: f64,
+}
+
+/// Compare a network-chaos run against its clean-network twin.
+pub fn network_impact(flaky: &RunResult, clean: &RunResult) -> NetworkImpact {
+    NetworkImpact {
+        lost_copies: flaky.net.lost_copies,
+        retransmits: flaky.net.retransmits,
+        duplicates_dropped: flaky.net.duplicates_dropped,
+        migration_retries: flaky.net.migration_retries,
+        migration_aborts: flaky.net.migration_aborts,
+        partition_s: flaky.net.partition_us as f64 / 1e6,
+        migrations: flaky.migrations,
+        net_penalty: flaky.timing_penalty_vs(clean),
     }
 }
 
@@ -389,6 +430,27 @@ mod tests {
             "corruption must trip the validators: {impact:?}"
         );
         assert!(n.iter_times.len() == 30, "ground truth still completes");
+    }
+
+    #[test]
+    fn flaky_cloud_scenario_runs_and_reports_impact() {
+        let mut flaky = Scenario::flaky_cloud("jacobi2d", 8, "cloudrefine");
+        flaky.iterations = 30;
+        let mut clean = flaky.clone();
+        clean.net_fault = None;
+        let f = run_scenario(&flaky);
+        let c = run_scenario(&clean);
+        assert_eq!(f.iter_times.len(), 30, "chaos delays the app but never loses work");
+        let impact = network_impact(&f, &c);
+        assert!(
+            impact.lost_copies + impact.retransmits + impact.duplicates_dropped > 0,
+            "flaky_cloud must damage some traffic: {impact:?}"
+        );
+        assert!(impact.partition_s > 0.0);
+        // Chare conservation under chaos: same multiset of cores hosting
+        // every chare exactly once.
+        assert_eq!(f.final_mapping.len(), c.final_mapping.len());
+        assert!(f.final_mapping.iter().all(|&p| p < 8));
     }
 
     #[test]

@@ -24,8 +24,8 @@ pub mod report;
 pub mod scenario;
 
 pub use experiment::{
-    evaluate, evaluate_cells, evaluate_jobs, failure_impact, run_scenario, try_run_scenario,
-    CellSpec, EvalPoint, FailureImpact,
+    evaluate, evaluate_cells, evaluate_jobs, failure_impact, network_impact, run_scenario,
+    try_run_scenario, CellSpec, EvalPoint, FailureImpact, NetworkImpact,
 };
 pub use parallel::{default_jobs, par_map};
 pub use scenario::{BgPattern, FailSpec, Scenario};

@@ -14,7 +14,7 @@
 use cloudlb_apps::{Jacobi2D, Mol3D, Stencil3D, Wave2D};
 use cloudlb_runtime::{IterativeApp, LbConfig, RunConfig};
 use cloudlb_sim::interference::BgScript;
-use cloudlb_sim::{Dur, FailureScript, TelemetrySpec, Time};
+use cloudlb_sim::{Dur, FailureScript, NetFaultSpec, TelemetrySpec, Time};
 use serde::{Deserialize, Serialize};
 
 /// Interference pattern for a scenario.
@@ -126,6 +126,11 @@ pub struct Scenario {
     /// (`None` = clean counters).
     #[serde(default)]
     pub telemetry: Option<TelemetrySpec>,
+    /// Network chaos model: seeded loss, duplication, reordering, jitter,
+    /// bandwidth collapse and transient partitions applied to every
+    /// cross-node message (`None` = clean interconnect).
+    #[serde(default)]
+    pub net_fault: Option<NetFaultSpec>,
 }
 
 impl Scenario {
@@ -157,6 +162,7 @@ impl Scenario {
             trace: false,
             fail: Vec::new(),
             telemetry: None,
+            net_fault: None,
         }
     }
 
@@ -167,6 +173,18 @@ impl Scenario {
     pub fn noisy_cloud(app: &str, cores: usize, strategy: &str) -> Self {
         Scenario {
             telemetry: Some(TelemetrySpec::noisy_cloud()),
+            ..Self::paper(app, cores, strategy)
+        }
+    }
+
+    /// Flaky-cloud preset: the paper scenario rerun over a degraded
+    /// interconnect — ~1 % message loss, duplication, reordering, latency
+    /// jitter, occasional bandwidth collapse, and one transient full-rack
+    /// partition mid-run (see [`NetFaultSpec::flaky_cloud`]). Migrations
+    /// go through the reliable retry/abort protocol.
+    pub fn flaky_cloud(app: &str, cores: usize, strategy: &str) -> Self {
+        Scenario {
+            net_fault: Some(NetFaultSpec::flaky_cloud()),
             ..Self::paper(app, cores, strategy)
         }
     }
@@ -196,6 +214,7 @@ impl Scenario {
             trace: false,
             fail: Vec::new(),
             telemetry: None,
+            net_fault: None,
             ..self.clone()
         }
     }
@@ -345,6 +364,16 @@ mod tests {
         assert!(spec.is_active());
         assert!(matches!(s.bg, BgPattern::TwoCore { .. }), "interference stays on");
         assert!(s.base_of().telemetry.is_none(), "the base run reads clean counters");
+    }
+
+    #[test]
+    fn flaky_cloud_preset_sets_and_base_strips_net_faults() {
+        let s = Scenario::flaky_cloud("jacobi2d", 8, "cloudrefine");
+        let spec = s.net_fault.as_ref().expect("preset must degrade the network");
+        assert!(spec.is_active());
+        assert!(!spec.partitions.is_empty(), "flaky_cloud schedules a partition");
+        assert!(matches!(s.bg, BgPattern::TwoCore { .. }), "interference stays on");
+        assert!(s.base_of().net_fault.is_none(), "the base run uses a clean network");
     }
 
     #[test]

@@ -1,6 +1,7 @@
 //! Run configuration shared by both executors.
 
 use crate::checkpoint::CheckpointPolicy;
+use crate::netproto::MigrationProto;
 use cloudlb_sim::{ClusterConfig, NetworkModel, PowerModel};
 use serde::{Deserialize, Serialize};
 
@@ -122,6 +123,11 @@ pub struct RunConfig {
     /// failure event before recovery starts.
     #[serde(default = "default_fail_detect_s")]
     pub fail_detect_s: f64,
+    /// Reliable migration protocol tunables (retry budget, deadline,
+    /// ACK size). Only consulted when a network fault spec is active;
+    /// the clean path keeps the analytic `transfer_time` costing.
+    #[serde(default)]
+    pub migration_proto: MigrationProto,
 }
 
 fn default_fail_detect_s() -> f64 {
@@ -143,6 +149,7 @@ impl RunConfig {
             pe_speeds: Vec::new(),
             checkpoints: CheckpointPolicy::default(),
             fail_detect_s: default_fail_detect_s(),
+            migration_proto: MigrationProto::default(),
         }
     }
 

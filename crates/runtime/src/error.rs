@@ -50,6 +50,18 @@ pub enum RuntimeError {
         /// What made recovery impossible.
         reason: String,
     },
+    /// A migration plan entry disagrees with the live mapping: the plan
+    /// was built from a stale snapshot (e.g. the chare moved or its
+    /// transfer was aborted since planning). The entry is skipped; the
+    /// rest of the plan still commits.
+    StalePlan {
+        /// The chare whose plan entry went stale.
+        task: u64,
+        /// Where the plan believed the chare lived.
+        expected: usize,
+        /// Where the mapping actually has it.
+        actual: usize,
+    },
     /// The run configuration is unusable (e.g. zero PEs).
     InvalidConfig(String),
     /// An AtSync/LB protocol invariant was violated by a message. On the
@@ -76,6 +88,9 @@ impl fmt::Display for RuntimeError {
             RuntimeError::AllPesDead => write!(f, "every PE has failed; nothing left to run on"),
             RuntimeError::Unrecoverable { reason } => {
                 write!(f, "unrecoverable PE failure: {reason}")
+            }
+            RuntimeError::StalePlan { task, expected, actual } => {
+                write!(f, "stale plan: task {task} is on {actual}, not {expected}")
             }
             RuntimeError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
             RuntimeError::Protocol(msg) => write!(f, "runtime protocol violation: {msg}"),

@@ -26,7 +26,10 @@
 //! * [`checkpoint`] and [`error`] — fault tolerance: in-memory chare
 //!   checkpoints taken at AtSync boundaries, global rollback/restore after
 //!   a PE failure, and the typed errors returned by the supervised
-//!   executor instead of panicking.
+//!   executor instead of panicking;
+//! * [`netproto`] — the reliable migration protocol (sequence numbers,
+//!   ACKs, capped-backoff retries, per-migration deadlines) that turns a
+//!   flaky network's losses into deterministic commit/abort outcomes.
 //!
 //! Both executors share the instrumentation and the strategy interface, so
 //! a strategy validated under the simulator runs unchanged on threads.
@@ -43,6 +46,7 @@ pub mod error;
 pub mod lbdb;
 pub mod migration;
 pub mod msg;
+pub mod netproto;
 pub mod program;
 pub mod pup;
 pub mod reduction;
@@ -53,6 +57,7 @@ pub mod thread_exec;
 pub use checkpoint::{buddy_of, ChareCheckpoint, CheckpointStore};
 pub use config::{InitialMap, InstrumentMode, LbConfig, RunConfig};
 pub use error::RuntimeError;
+pub use netproto::{MigrationProto, TransferOutcome};
 pub use program::{ChareKernel, IterativeApp};
 pub use result::RunResult;
 pub use sim_exec::SimExecutor;

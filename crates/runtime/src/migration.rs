@@ -7,18 +7,50 @@
 //! different cores transfer in parallel, and the LB step ends when the
 //! slowest core finishes — plus a fixed strategy/barrier cost.
 
+use crate::error::RuntimeError;
 use cloudlb_balance::Migration;
 use cloudlb_sim::{Dur, NetworkModel};
 
-/// Apply `plan` to `mapping` (chare index → core). Panics if a migration's
-/// `from` disagrees with the mapping — that would mean the plan was built
-/// from a stale snapshot.
-pub fn commit(mapping: &mut [usize], plan: &[Migration]) {
+/// What [`commit`] did with a plan: how many entries were applied, and a
+/// typed [`RuntimeError::StalePlan`] per entry that was skipped because its
+/// `from` disagreed with the live mapping.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct CommitOutcome {
+    /// Plan entries actually applied to the mapping.
+    pub applied: usize,
+    /// One `StalePlan` error per skipped entry, in plan order.
+    pub skipped: Vec<RuntimeError>,
+}
+
+impl CommitOutcome {
+    /// `true` when every entry committed.
+    pub fn is_clean(&self) -> bool {
+        self.skipped.is_empty()
+    }
+}
+
+/// Apply `plan` to `mapping` (chare index → core). A migration whose
+/// `from` disagrees with the mapping was planned against a stale snapshot
+/// (the chare moved — or its transfer aborted — since planning); it
+/// degrades to a skipped entry rather than aborting the run, and the
+/// remaining entries still commit. A plan referencing an unknown chare is
+/// still a runtime bug and panics.
+pub fn commit(mapping: &mut [usize], plan: &[Migration]) -> CommitOutcome {
+    let mut out = CommitOutcome::default();
     for m in plan {
         let slot = &mut mapping[m.task.0 as usize];
-        assert_eq!(*slot, m.from, "stale plan: task {:?} is on {} not {}", m.task, *slot, m.from);
+        if *slot != m.from {
+            out.skipped.push(RuntimeError::StalePlan {
+                task: m.task.0,
+                expected: m.from,
+                actual: *slot,
+            });
+            continue;
+        }
         *slot = m.to;
+        out.applied += 1;
     }
+    out
 }
 
 /// Wall-clock duration of committing `plan`: per-source-core serialized
@@ -50,15 +82,26 @@ mod tests {
     #[test]
     fn commit_rewrites_mapping() {
         let mut mapping = vec![0, 0, 1, 1];
-        commit(&mut mapping, &[mig(0, 0, 2), mig(3, 1, 0)]);
+        let out = commit(&mut mapping, &[mig(0, 0, 2), mig(3, 1, 0)]);
         assert_eq!(mapping, vec![2, 0, 1, 0]);
+        assert_eq!(out.applied, 2);
+        assert!(out.is_clean());
     }
 
     #[test]
-    #[should_panic(expected = "stale plan")]
-    fn commit_rejects_stale_plan() {
-        let mut mapping = vec![1];
-        commit(&mut mapping, &[mig(0, 0, 2)]);
+    fn commit_skips_stale_entries_and_applies_the_rest() {
+        // Task 0's entry is stale (it lives on 1, not 0); task 1's is good.
+        let mut mapping = vec![1, 0];
+        let out = commit(&mut mapping, &[mig(0, 0, 2), mig(1, 0, 3)]);
+        assert_eq!(mapping, vec![1, 3], "stale entry skipped, good entry applied");
+        assert_eq!(out.applied, 1);
+        assert_eq!(
+            out.skipped,
+            vec![RuntimeError::StalePlan { task: 0, expected: 0, actual: 1 }]
+        );
+        assert!(!out.is_clean());
+        let msg = out.skipped[0].to_string();
+        assert!(msg.contains("stale plan"), "{msg}");
     }
 
     #[test]

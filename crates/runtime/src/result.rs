@@ -5,7 +5,7 @@ use crate::lbdb::WindowQuality;
 use cloudlb_balance::DecisionQuality;
 use cloudlb_sim::core_sched::BgJobId;
 use cloudlb_sim::power::EnergyReport;
-use cloudlb_sim::{Dur, Time};
+use cloudlb_sim::{Dur, NetStats, Time};
 use cloudlb_trace::TraceLog;
 use std::collections::BTreeMap;
 
@@ -58,6 +58,10 @@ pub struct RunResult {
     /// suppressed by hysteresis, oscillations damped, `O_p` outliers
     /// rejected). All zeros for unguarded strategies.
     pub decisions: DecisionQuality,
+    /// Network-chaos damage report (lost copies, retransmits, duplicate
+    /// suppressions, migration retries/aborts, scheduled partition time).
+    /// All zeros on a clean network.
+    pub net: NetStats,
     /// Simulator events processed (event-queue pops) over the run — the
     /// denominator-free half of the bench harness's events/sec figure.
     pub sim_events: u64,
@@ -126,6 +130,7 @@ mod tests {
             recovery_time: Dur::ZERO,
             telemetry: WindowQuality::default(),
             decisions: DecisionQuality::default(),
+            net: NetStats::default(),
             sim_events: 0,
             peak_queue_depth: 0,
         }

@@ -43,6 +43,7 @@ use crate::config::RunConfig;
 use crate::error::RuntimeError;
 use crate::lbdb::{LbWindow, TaskSample, WindowQuality};
 use crate::migration;
+use crate::netproto;
 use crate::program::{validate_app, IterativeApp};
 use crate::reduction::IterationTracker;
 use crate::result::RunResult;
@@ -50,8 +51,8 @@ use cloudlb_balance::{LbStats, LbStrategy, Migration, TaskId, TaskInfo};
 use cloudlb_sim::core_sched::CoreEvent;
 use cloudlb_sim::interference::{BgAction, BgLedger, BgScript};
 use cloudlb_sim::{
-    Cluster, Dur, EventHandle, EventQueue, FailureAction, FailureScript, FgLabel, ProcStat,
-    TelemetryChannel, TelemetrySpec, Time,
+    Cluster, Dur, EventHandle, EventQueue, FailureAction, FailureScript, FaultyNetwork, FgLabel,
+    NetFaultSpec, ProcStat, TelemetryChannel, TelemetrySpec, Time,
 };
 use cloudlb_trace::Activity;
 use std::collections::{BTreeMap, HashMap, VecDeque};
@@ -60,8 +61,11 @@ use std::collections::{BTreeMap, HashMap, VecDeque};
 #[derive(Debug, Clone, Copy)]
 enum Ev {
     /// A ghost message for `iter` arrives at `chare`. Stale epochs (sent
-    /// before a rollback) are dropped on delivery.
-    Msg { chare: usize, iter: usize, epoch: u32 },
+    /// before a rollback) are dropped on delivery. `dup` marks a duplicate
+    /// copy fabricated by the faulty network: the receiver's sequence
+    /// numbering suppresses it on arrival (it was already counted in
+    /// [`cloudlb_sim::NetStats::duplicates_dropped`] when generated).
+    Msg { chare: usize, iter: usize, epoch: u32, dup: bool },
     /// Revisit a core because an entity completes there.
     Wake,
     /// Apply an interference action.
@@ -104,6 +108,7 @@ pub struct SimExecutor<'a> {
     bg: BgScript,
     fail: FailureScript,
     telemetry: TelemetrySpec,
+    net_fault: NetFaultSpec,
 }
 
 impl<'a> SimExecutor<'a> {
@@ -114,7 +119,14 @@ impl<'a> SimExecutor<'a> {
             assert!(c < cfg.cluster.total_cores(), "bg script targets core {c} beyond cluster");
         }
         assert!(cfg.iterations > 0, "need at least one iteration");
-        SimExecutor { app, cfg, bg, fail: FailureScript::none(), telemetry: TelemetrySpec::none() }
+        SimExecutor {
+            app,
+            cfg,
+            bg,
+            fail: FailureScript::none(),
+            telemetry: TelemetrySpec::none(),
+            net_fault: NetFaultSpec::none(),
+        }
     }
 
     /// Corrupt every `/proc/stat` read (and its paired clock) through the
@@ -131,6 +143,19 @@ impl<'a> SimExecutor<'a> {
     /// input (`--fail`) reaches this path, so it must not panic.
     pub fn with_failures(mut self, fail: FailureScript) -> Self {
         self.fail = fail;
+        self
+    }
+
+    /// Degrade the interconnect through the seeded chaos layer described
+    /// by `spec`: ghost messages suffer loss (masked by retransmission
+    /// delay), duplication, reordering, jitter and bandwidth collapse, and
+    /// migrations run through the reliable ARQ protocol in
+    /// [`crate::netproto`] instead of the analytic clean-network costing.
+    /// An inactive spec leaves the run byte-identical to the clean path.
+    /// Invalid specs (partition endpoints beyond the cluster) surface as
+    /// [`RuntimeError::InvalidConfig`] from [`SimExecutor::try_run`].
+    pub fn with_net_faults(mut self, spec: NetFaultSpec) -> Self {
+        self.net_fault = spec;
         self
     }
 
@@ -169,7 +194,11 @@ impl<'a> SimExecutor<'a> {
                 )));
             }
         }
-        Sim::new(self.app, self.cfg, &self.bg, &self.fail, self.telemetry, strategy).run()
+        if let Err(e) = self.net_fault.validate(self.cfg.cluster.nodes) {
+            return Err(RuntimeError::InvalidConfig(format!("network fault spec: {e}")));
+        }
+        Sim::new(self.app, self.cfg, &self.bg, &self.fail, self.telemetry, self.net_fault, strategy)
+            .run()
     }
 }
 
@@ -195,6 +224,7 @@ fn compact_stats(stats: &LbStats, alive: &[bool]) -> (LbStats, Vec<usize>) {
     if !stats.confidence.is_empty() {
         compact.confidence = alive_idx.iter().map(|&p| stats.confidence[p]).collect();
     }
+    compact.failed_tasks = stats.failed_tasks.clone();
     (compact, alive_idx)
 }
 
@@ -236,6 +266,13 @@ struct Sim<'a> {
     comm_template: Vec<cloudlb_balance::CommEdge>,
     /// Corrupts every `/proc/stat` read when telemetry noise is enabled.
     telemetry: Option<TelemetryChannel>,
+    /// Degrades every cross-node message when network chaos is enabled;
+    /// `None` keeps the clean path byte-identical to earlier builds.
+    netfault: Option<FaultyNetwork>,
+    /// Chares whose migration aborted since the last LB step; reported to
+    /// the strategy through `LbStats::failed_tasks` so it re-plans around
+    /// (or re-attempts) them.
+    pending_failed: Vec<TaskId>,
     /// Validation anomalies accumulated over all closed windows.
     window_quality: WindowQuality,
     /// Relative speed per core (occupancy = work / speed).
@@ -272,6 +309,7 @@ impl<'a> Sim<'a> {
         bg: &BgScript,
         fail: &FailureScript,
         telemetry: TelemetrySpec,
+        net_fault: NetFaultSpec,
         strategy: Box<dyn LbStrategy>,
     ) -> Self {
         let pes = cfg.cluster.total_cores();
@@ -280,6 +318,14 @@ impl<'a> Sim<'a> {
         let mapping = cfg.initial_map.place(n, pes);
         let mut telemetry =
             telemetry.is_active().then(|| TelemetryChannel::new(telemetry, cfg.seed));
+        // Fractional partition windows resolve against the same idealized
+        // run-length estimate `Scenario` uses, so `rack:0.45~0.5` means
+        // "around 45–50% through the run" regardless of cluster size.
+        let netfault = net_fault.is_active().then(|| {
+            let work: f64 = (0..n).map(|i| app.task_cost(i, 0)).sum();
+            let horizon = Dur::from_secs_f64(cfg.iterations as f64 * work / pes as f64);
+            FaultyNetwork::new(net_fault.clone(), cfg.network, cfg.seed, horizon)
+        });
         let truth = ProcStat::snapshot(&cluster);
         let (start_stat, start_clock) = match &mut telemetry {
             Some(ch) => truth.observe_through(ch, Time::ZERO),
@@ -353,6 +399,8 @@ impl<'a> Sim<'a> {
             completions: Vec::with_capacity(pes + 1),
             comm_template,
             telemetry,
+            netfault,
+            pending_failed: Vec::new(),
             window_quality: WindowQuality::default(),
             speeds,
             epoch: 0,
@@ -433,7 +481,8 @@ impl<'a> Sim<'a> {
             }
             self.completions = completions;
             match ev {
-                Ev::Msg { chare, iter, epoch } if epoch == self.epoch => {
+                Ev::Msg { dup: true, .. } => {} // duplicate copy: seq-suppressed
+                Ev::Msg { chare, iter, epoch, dup: false } if epoch == self.epoch => {
                     self.on_msg(chare, iter, t)
                 }
                 Ev::Msg { .. } => {} // stale: sent before a rollback
@@ -478,6 +527,7 @@ impl<'a> Sim<'a> {
             recovery_time: self.recovery_time,
             telemetry: self.window_quality,
             decisions: self.strategy.decision_quality(),
+            net: self.netfault.as_ref().map(|c| c.stats).unwrap_or_default(),
             sim_events: self.queue.total_popped(),
             peak_queue_depth: self.queue.peak_depth(),
         })
@@ -521,15 +571,40 @@ impl<'a> Sim<'a> {
         if next < self.cfg.iterations {
             for nb in self.app.neighbors(chare) {
                 let bytes = self.app.message_bytes(chare, nb);
-                let same = self.cluster.same_node(self.mapping[chare], self.mapping[nb]);
+                let (from_pe, to_pe) = (self.mapping[chare], self.mapping[nb]);
+                let same = self.cluster.same_node(from_pe, to_pe);
                 if same {
                     self.local_msgs += 1;
                 } else {
                     self.remote_msgs += 1;
                 }
-                let delay = self.cfg.network.delay(bytes, same);
-                self.queue
-                    .schedule(now + delay, Ev::Msg { chare: nb, iter: next, epoch: self.epoch });
+                let epoch = self.epoch;
+                match self.netfault.as_mut() {
+                    None => {
+                        let delay = self.cfg.network.delay(bytes, same);
+                        self.queue
+                            .schedule(now + delay, Ev::Msg { chare: nb, iter: next, epoch, dup: false });
+                    }
+                    Some(ch) => {
+                        // Ghosts ride the reliable transport: losses show
+                        // up as retransmission delay, duplicates as extra
+                        // (suppressed) deliveries, partitions as stalls
+                        // until the heal.
+                        let d = ch.deliver(
+                            now,
+                            bytes,
+                            same,
+                            self.cluster.node_of(from_pe),
+                            self.cluster.node_of(to_pe),
+                        );
+                        self.queue
+                            .schedule(d.arrival, Ev::Msg { chare: nb, iter: next, epoch, dup: false });
+                        if let Some(td) = d.dup {
+                            self.queue
+                                .schedule(td, Ev::Msg { chare: nb, iter: next, epoch, dup: true });
+                        }
+                    }
+                }
             }
         }
 
@@ -736,29 +811,20 @@ impl<'a> Sim<'a> {
                 bytes: app.state_bytes(i) as u64,
             })
             .collect();
+        stats.failed_tasks = std::mem::take(&mut self.pending_failed);
         let plan = self.plan_over_survivors(&stats);
         self.lb_steps += 1;
-        self.migrations += plan.len();
-        self.migration_bytes +=
-            plan.iter().map(|m| stats.task(m.task).map_or(0, |t| t.bytes)).sum::<u64>();
-        migration::commit(&mut self.mapping, &plan);
-
         // Price the pause: failure detection, the strategy step, and the
         // post-restore migrations. A buddy restore itself is free (the
         // replica is local to the buddy); onward moves are charged like
-        // any migration.
-        let transfer = {
-            let cluster = &self.cluster;
-            migration::transfer_time(
-                &plan,
-                &self.cfg.network,
-                |i| app.state_bytes(i),
-                |a, b| cluster.same_node(a, b),
-                self.ready.len(),
-            )
-        };
-        let cost =
-            Dur::from_secs_f64(self.cfg.fail_detect_s + self.cfg.lb.step_cost_s) + transfer;
+        // any migration — through the reliable protocol under chaos.
+        let (plan, transfers_done) = self.resolve_transfers(plan, &stats, now);
+        self.migration_bytes +=
+            plan.iter().map(|m| stats.task(m.task).map_or(0, |t| t.bytes)).sum::<u64>();
+        let out = migration::commit(&mut self.mapping, &plan);
+        self.migrations += out.applied;
+        let cost = Dur::from_secs_f64(self.cfg.fail_detect_s + self.cfg.lb.step_cost_s)
+            + transfers_done.since(now);
         self.recovery_time += cost;
         if let Some(t) = self.cluster.trace_mut() {
             t.marker(
@@ -817,6 +883,59 @@ impl<'a> Sim<'a> {
             .collect()
     }
 
+    /// Resolve a plan's state transfers. On the clean path this is the
+    /// analytic [`migration::transfer_time`] costing and every entry
+    /// commits. Under network chaos each transfer runs through the ARQ
+    /// protocol instead: aborted migrations are dropped from the plan
+    /// (their chares stay home), recorded in `pending_failed` for the next
+    /// LB step, and the surviving partial plan is re-sanitized as a safety
+    /// net. Returns the committable plan and the instant transfers end.
+    fn resolve_transfers(
+        &mut self,
+        plan: Vec<Migration>,
+        stats: &LbStats,
+        now: Time,
+    ) -> (Vec<Migration>, Time) {
+        let app = self.app;
+        let num_pes = self.ready.len();
+        let Some(ch) = self.netfault.as_mut() else {
+            let cluster = &self.cluster;
+            let transfer = migration::transfer_time(
+                &plan,
+                &self.cfg.network,
+                |i| app.state_bytes(i),
+                |a, b| cluster.same_node(a, b),
+                num_pes,
+            );
+            return (plan, now + transfer);
+        };
+        let out = netproto::run_transfers(
+            &plan,
+            ch,
+            &self.cluster,
+            &self.cfg.migration_proto,
+            now,
+            |i| app.state_bytes(i),
+            num_pes,
+        );
+        if out.aborted.is_empty() {
+            return (out.committed, out.done_at);
+        }
+        // Graceful degradation: aborted chares stay on their source core,
+        // the partial plan is re-sanitized, and the failed moves feed the
+        // next LB step through `LbStats::failed_tasks`.
+        let alive = self.cluster.alive_mask();
+        let committed = cloudlb_balance::sanitize_plan(stats, &out.committed, &alive).plan;
+        self.pending_failed.extend(out.aborted.iter().map(|m| m.task));
+        if let Some(t) = self.cluster.trace_mut() {
+            t.marker(
+                now.as_us(),
+                format!("{} migration(s) aborted on network timeout", out.aborted.len()),
+            );
+        }
+        (committed, out.done_at)
+    }
+
     fn start_lb(&mut self, now: Time) {
         self.atsync.begin_lb();
         let (now_stat, obs_now) = self.observe(now);
@@ -828,29 +947,25 @@ impl<'a> Sim<'a> {
         // Attach the (constant) per-window communication graph in one
         // exactly-sized copy.
         stats.comm.clone_from(&self.comm_template);
+        // Tell the strategy which moves the network refused last time.
+        stats.failed_tasks = std::mem::take(&mut self.pending_failed);
         let plan = self.plan_over_survivors(&stats);
-
-        let transfer = {
-            let cluster = &self.cluster;
-            migration::transfer_time(
-                &plan,
-                &self.cfg.network,
-                |i| app.state_bytes(i),
-                |a, b| cluster.same_node(a, b),
-                self.ready.len(),
-            )
-        };
-        let cost = Dur::from_secs_f64(self.cfg.lb.step_cost_s) + transfer;
+        let (plan, transfers_done) = self.resolve_transfers(plan, &stats, now);
+        let end = transfers_done + Dur::from_secs_f64(self.cfg.lb.step_cost_s);
 
         self.migration_bytes +=
             plan.iter().map(|m| stats.task(m.task).map_or(0, |t| t.bytes)).sum::<u64>();
-        self.migrations += plan.len();
         self.lb_steps += 1;
-        migration::commit(&mut self.mapping, &plan);
+        let out = migration::commit(&mut self.mapping, &plan);
+        self.migrations += out.applied;
 
         // Record the LB pause on every core's timeline.
-        let end = now + cost;
         let num_pes = self.ready.len();
+        if let Some(t) = self.cluster.trace_mut() {
+            for e in &out.skipped {
+                t.marker(now.as_us(), format!("migration skipped: {e}"));
+            }
+        }
         if let Some(t) = self.cluster.trace_mut() {
             t.marker(
                 now.as_us(),
@@ -1230,6 +1345,80 @@ mod tests {
         );
         let q = guarded.decisions;
         assert!(q.suppressed + q.oscillations + q.outliers_rejected > 0, "{q:?}");
+    }
+
+    #[test]
+    fn flaky_network_is_deterministic_and_reports_damage() {
+        let app = SyntheticApp::ring(32, 0.001);
+        let bg = BgScript::steady(0, &[0], Time::ZERO, None, 1.0);
+        let mut cfg = RunConfig::paper(8, 30);
+        cfg.lb = LbConfig { strategy: "cloudrefine".into(), period: 5, ..Default::default() };
+        let run = || {
+            SimExecutor::new(&app, cfg.clone(), bg.clone())
+                .with_net_faults(cloudlb_sim::NetFaultSpec::flaky_cloud())
+                .run()
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a.app_time, b.app_time);
+        assert_eq!(a.final_mapping, b.final_mapping);
+        assert_eq!(a.net, b.net);
+        // The app still completes every iteration — chaos delays work but
+        // never loses it.
+        assert_eq!(a.iter_times.len(), 30);
+        assert!(
+            a.net.lost_copies + a.net.retransmits + a.net.duplicates_dropped > 0,
+            "flaky_cloud must damage some traffic: {:?}",
+            a.net
+        );
+        assert!(a.net.partition_us > 0, "flaky_cloud schedules a partition");
+        // Conservation: every chare exists exactly once, on a real core.
+        assert_eq!(a.final_mapping.len(), 32);
+        assert!(a.final_mapping.iter().all(|&p| p < 8));
+    }
+
+    #[test]
+    fn clean_network_reports_zero_net_stats() {
+        let app = SyntheticApp::ring(16, 0.001);
+        let bg = BgScript::steady(0, &[0], Time::ZERO, None, 1.0);
+        let r = SimExecutor::new(&app, small_cfg(20, "cloudrefine"), bg).run();
+        assert_eq!(r.net, cloudlb_sim::NetStats::default());
+    }
+
+    #[test]
+    fn exhausted_retries_abort_migrations_and_the_run_still_completes() {
+        use crate::netproto::MigrationProto;
+        let app = SyntheticApp::ring(32, 0.001);
+        let bg = BgScript::steady(0, &[0], Time::ZERO, None, 1.0);
+        let mut cfg = RunConfig::paper(8, 40);
+        cfg.lb = LbConfig { strategy: "cloudrefine".into(), period: 5, ..Default::default() };
+        // A brutal link (90% loss) and a stingy retry budget: most
+        // cross-node transfers must abort.
+        cfg.migration_proto = MigrationProto { max_attempts: 2, deadline_s: 0.002, ack_bytes: 64 };
+        let spec = cloudlb_sim::NetFaultSpec { loss: 0.9, ..cloudlb_sim::NetFaultSpec::none() };
+        let r = SimExecutor::new(&app, cfg, bg).with_net_faults(spec).run();
+        assert_eq!(r.iter_times.len(), 40);
+        assert!(r.net.migration_aborts > 0, "expected aborts: {:?}", r.net);
+        // Aborted chares stayed home: the mapping is still consistent.
+        assert_eq!(r.final_mapping.len(), 32);
+        assert!(r.final_mapping.iter().all(|&p| p < 8));
+    }
+
+    #[test]
+    fn bad_partition_spec_is_invalid_config() {
+        use cloudlb_sim::{PartitionScope, PartitionWindow};
+        let app = SyntheticApp::ring(8, 0.001);
+        let mut spec = cloudlb_sim::NetFaultSpec::none();
+        spec.partitions.push(PartitionWindow {
+            scope: PartitionScope::NodePair { a: 0, b: 9 },
+            from_frac: 0.1,
+            to_frac: 0.2,
+        });
+        let err = SimExecutor::new(&app, small_cfg(5, "nolb"), BgScript::none())
+            .with_net_faults(spec)
+            .try_run()
+            .unwrap_err();
+        assert!(matches!(err, RuntimeError::InvalidConfig(_)), "{err}");
     }
 
     #[test]

@@ -17,7 +17,10 @@
 //!   phased arrive/depart pattern (Fig. 3);
 //! * PE/node failure scripts ([`failure`]) — timed kill/restore actions for
 //!   the fault-tolerance experiments (recovery itself lives in the runtime);
-//! * a network delay model ([`network`]) with a virtualization penalty;
+//! * a network delay model ([`network`]) with a virtualization penalty, and
+//!   a seeded network fault channel ([`netfault`]) layering loss,
+//!   duplication, reordering, jitter, bandwidth collapse and transient
+//!   partitions over it;
 //! * the paper's power model ([`power`]): 40 W base / 170 W peak per node,
 //!   dynamic power linear in utilization, exact event-driven energy
 //!   integration;
@@ -28,6 +31,7 @@ pub mod core_sched;
 pub mod event;
 pub mod failure;
 pub mod interference;
+pub mod netfault;
 pub mod network;
 pub mod power;
 pub mod procstat;
@@ -41,6 +45,9 @@ pub use core_sched::{BgJobId, CoreEvent, FgLabel};
 pub use event::{EventHandle, EventQueue};
 pub use failure::{FailureAction, FailureScript};
 pub use interference::{BgAction, BgScript};
+pub use netfault::{
+    Delivery, FaultyNetwork, NetFaultSpec, NetStats, PartitionScope, PartitionWindow, SendOutcome,
+};
 pub use network::NetworkModel;
 pub use power::PowerModel;
 pub use procstat::ProcStat;

@@ -38,8 +38,8 @@ pub mod prelude {
     pub use cloudlb_apps::{Jacobi2D, Mol3D, Stencil3D, Wave2D};
     pub use cloudlb_balance::{CloudRefineLb, GreedyLb, LbStrategy, NoLb, RefineLb};
     pub use cloudlb_core::experiment::{
-        evaluate, failure_impact, run_scenario, telemetry_impact, try_run_scenario, EvalPoint,
-        FailureImpact, TelemetryImpact,
+        evaluate, failure_impact, network_impact, run_scenario, telemetry_impact,
+        try_run_scenario, EvalPoint, FailureImpact, NetworkImpact, TelemetryImpact,
     };
     pub use cloudlb_core::figures;
     pub use cloudlb_core::scenario::{BgPattern, FailSpec, Scenario};
@@ -49,5 +49,5 @@ pub mod prelude {
     };
     pub use cloudlb_sim::failure::{FailureAction, FailureScript};
     pub use cloudlb_sim::interference::BgScript;
-    pub use cloudlb_sim::{Dur, TelemetrySpec, Time};
+    pub use cloudlb_sim::{Dur, NetFaultSpec, NetStats, TelemetrySpec, Time};
 }

@@ -12,11 +12,11 @@
 //! Fig. 4 tables for one application.
 
 use cloudlb::core_api::experiment::{
-    evaluate, failure_impact, run_scenario, telemetry_impact, try_run_scenario,
+    evaluate, failure_impact, network_impact, run_scenario, telemetry_impact, try_run_scenario,
 };
 use cloudlb::core_api::figures;
 use cloudlb::core_api::scenario::{FailSpec, Scenario};
-use cloudlb::sim::TelemetrySpec;
+use cloudlb::sim::{NetFaultSpec, TelemetrySpec};
 use cloudlb::trace::profile::{render_profile, ProfileOptions};
 use cloudlb::trace::svg::{render_svg, SvgOptions};
 use cloudlb::trace::timeline::{render_ascii, TimelineOptions};
@@ -101,6 +101,9 @@ fn scenario_from(opts: &Opts) -> Result<Scenario, String> {
         if opts.telemetry.is_some() {
             scn.telemetry = opts.telemetry;
         }
+        if opts.net_fault.is_some() {
+            scn.net_fault = opts.net_fault.clone();
+        }
         return Ok(scn);
     }
     let mut scn = Scenario::paper(&opts.app, opts.cores, &opts.strategy);
@@ -108,6 +111,7 @@ fn scenario_from(opts: &Opts) -> Result<Scenario, String> {
     scn.seed = opts.seeds[0];
     scn.fail.extend(opts.fail.iter().copied());
     scn.telemetry = opts.telemetry;
+    scn.net_fault = opts.net_fault.clone();
     Ok(scn)
 }
 
@@ -152,6 +156,15 @@ fn cmd_run(opts: &Opts) -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    // Under --json, stdout carries exactly one JSON document; the impact
+    // summaries below go to stderr so the output stays parseable.
+    let report = |line: String| {
+        if opts.json {
+            eprintln!("{line}");
+        } else {
+            println!("{line}");
+        }
+    };
     if opts.json {
         let p = evaluate(&scn.app, scn.cores, scn.iterations, &scn.strategy, &opts.seeds);
         println!("{}", serde_json_string(&p));
@@ -176,7 +189,7 @@ fn cmd_run(opts: &Opts) -> ExitCode {
         let mut clean = scn.clone();
         clean.fail.clear();
         let imp = failure_impact(&run, &run_scenario(&clean));
-        println!(
+        report(format!(
             "failures: {} core(s) lost, {} recover{}, {} iteration(s) replayed, \
              {:.3} s recovering (failure penalty {:.1} %)",
             imp.failures,
@@ -185,14 +198,14 @@ fn cmd_run(opts: &Opts) -> ExitCode {
             imp.replayed_iters,
             imp.recovery_time_s,
             imp.failure_penalty * 100.0,
-        );
+        ));
     }
     if scn.telemetry.is_some() {
         // A clean-telemetry twin isolates what the corrupted counters cost.
         let mut clean = scn.clone();
         clean.telemetry = None;
         let imp = telemetry_impact(&run, &run_scenario(&clean));
-        println!(
+        report(format!(
             "telemetry: {} clamped O_p, {} stale window(s), {} task overrun(s), \
              {} implausible idle; {} migration(s) suppressed, {} oscillation(s) damped, \
              {} outlier(s) rejected; noise penalty {:.1} %",
@@ -204,7 +217,25 @@ fn cmd_run(opts: &Opts) -> ExitCode {
             imp.oscillations,
             imp.outliers_rejected,
             imp.noise_penalty * 100.0,
-        );
+        ));
+    }
+    if scn.net_fault.is_some() {
+        // A clean-network twin isolates what the flaky interconnect cost.
+        let mut clean = scn.clone();
+        clean.net_fault = None;
+        let imp = network_impact(&run, &run_scenario(&clean));
+        report(format!(
+            "network: {} cop(ies) lost, {} ghost retransmit(s), {} duplicate(s) dropped, \
+             {} migration retr(ies), {} abort(s), {:.3} s partitioned \
+             (network penalty {:.1} %)",
+            imp.lost_copies,
+            imp.retransmits,
+            imp.duplicates_dropped,
+            imp.migration_retries,
+            imp.migration_aborts,
+            imp.partition_s,
+            imp.net_penalty * 100.0,
+        ));
     }
     ExitCode::SUCCESS
 }
@@ -215,7 +246,8 @@ fn serde_json_string<T: serde::Serialize>(value: &T) -> String {
 
 const USAGE: &str = "usage:
   cloudlb run    --app <name> --cores <n> [--strategy <s>] [--iters <n>] [--seed <s>]
-                 [--fail <spec>[,<spec>...]] [--telemetry-noise <spec>] [--json]
+                 [--fail <spec>[,<spec>...]] [--telemetry-noise <spec>]
+                 [--net-fault <spec>] [--json]
   cloudlb run    --scenario <file.json> [--fail <spec>[,<spec>...]] [--json]
   cloudlb trace  --app <name> --cores <n> [--strategy <s>] [--iters <n>]
   cloudlb fig1 | fig3
@@ -233,7 +265,12 @@ fail specs: kind:index@when[~restore], e.g. core:2@0.5 kills core 2 halfway
   through the estimated run; node:1@0.3~0.8 takes node 1 down over that window
 telemetry noise: 'noisy_cloud', 'none', or a comma list of
   jitter:<frac> skew:<frac> drop:<frac> steal:<frac> wrap:<us>, e.g.
-  --telemetry-noise jitter:0.1,drop:0.2 (pair with --strategy robustcloudrefine)";
+  --telemetry-noise jitter:0.1,drop:0.2 (pair with --strategy robustcloudrefine)
+net faults: 'flaky_cloud', 'none', or a comma list of
+  loss:<frac> dup:<frac> reorder:<frac> jitter:<frac> collapse:<frac>
+  slowdown:<x> rack:<from>~<to> part:<a>-<b>@<from>~<to>, e.g.
+  --net-fault loss:0.02,rack:0.4~0.5 (times are fractions of the estimated
+  run; migrations ride a retry/abort protocol and aborted moves re-plan)";
 
 /// Hand-rolled flag parsing (no CLI dependency).
 struct Opts {
@@ -247,6 +284,7 @@ struct Opts {
     scenario_file: Option<String>,
     fail: Vec<FailSpec>,
     telemetry: Option<TelemetrySpec>,
+    net_fault: Option<NetFaultSpec>,
     jobs: Option<usize>,
 }
 
@@ -263,6 +301,7 @@ impl Opts {
             scenario_file: None,
             fail: Vec::new(),
             telemetry: None,
+            net_fault: None,
             jobs: None,
         };
         let mut it = args.iter();
@@ -304,6 +343,11 @@ impl Opts {
                     let spec = TelemetrySpec::parse(&value("--telemetry-noise")?)
                         .map_err(|e| format!("--telemetry-noise: {e}"))?;
                     o.telemetry = spec.is_active().then_some(spec);
+                }
+                "--net-fault" => {
+                    let spec = NetFaultSpec::parse(&value("--net-fault")?)
+                        .map_err(|e| format!("--net-fault: {e}"))?;
+                    o.net_fault = spec.is_active().then_some(spec);
                 }
                 other => return Err(format!("unknown flag {other:?}")),
             }
@@ -395,6 +439,24 @@ mod tests {
         assert!(parse(&["--telemetry-noise", "none"]).unwrap().telemetry.is_none());
         assert!(parse(&["--telemetry-noise", "bogus:1"]).is_err());
         assert!(parse(&["--telemetry-noise"]).is_err());
+    }
+
+    #[test]
+    fn net_fault_flag_parses_presets_and_custom_specs() {
+        let o = parse(&["--net-fault", "flaky_cloud"]).unwrap();
+        let spec = o.net_fault.expect("preset is active");
+        assert!(spec.is_active());
+        assert!(spec.loss > 0.0 && !spec.partitions.is_empty());
+
+        let o = parse(&["--net-fault", "loss:0.05,rack:0.4~0.5"]).unwrap();
+        let spec = o.net_fault.unwrap();
+        assert!((spec.loss - 0.05).abs() < 1e-12);
+        assert_eq!(spec.partitions.len(), 1);
+
+        // An inactive spec is treated as "no network chaos".
+        assert!(parse(&["--net-fault", "none"]).unwrap().net_fault.is_none());
+        assert!(parse(&["--net-fault", "bogus:1"]).is_err());
+        assert!(parse(&["--net-fault"]).is_err());
     }
 
     #[test]
