@@ -1,0 +1,39 @@
+//! PERF — steady-state fast-forward: differential check + throughput.
+//!
+//! Runs a long clean (interference-free) sweep twice — once with the
+//! fast-forward macro-stepper forced ON and once forced OFF — and
+//!
+//! 1. **fails (exit 1) on any divergence**: after scrubbing the two
+//!    observability counters, every `RunResult` must be bit-identical
+//!    between the modes;
+//! 2. records the ON throughput (plus the OFF arm and the speedup) to
+//!    `BENCH_fastforward.json`.
+//!
+//! Clean long runs are the engine's best case: after the first window is
+//! captured, every later LB window replays analytically, so events/sec
+//! should be several times the event-by-event path. With
+//! `CLOUDLB_CHECK=<path>` the ON throughput is gated against a checked-in
+//! baseline like the other perf benches.
+//!
+//! Chaos/failure workloads are deliberately absent here — the engine
+//! declines disturbed windows, so those runs measure the ordinary path
+//! (covered by `perf_baseline.rs`). Bit-identity under disturbance is
+//! asserted by `tests/fast_forward.rs`.
+
+use cloudlb_bench::{baseline, sweeps, Settings};
+
+fn main() {
+    let s = Settings::from_env();
+    cloudlb_bench::header("Fast-forward — differential check + throughput");
+    let record = match sweeps::fastforward_sweep(&s) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("DIVERGENCE: {e}");
+            std::process::exit(1);
+        }
+    };
+    let path = baseline::write_json("fastforward", &record);
+    println!("wrote {}", path.display());
+    baseline::maybe_check(record.events_per_sec);
+    println!("PERF OK");
+}

@@ -4,97 +4,24 @@
 //! core counts × seeds × three arms) through the parallel sweep engine
 //! and serializes wall-clock, total simulator events, events/sec, and
 //! peak event-queue depth to `BENCH_fast.json` (under `CLOUDLB_FAST=1`)
-//! or `BENCH_sweep.json`.
+//! or `BENCH_sweep.json`. Fast-forward is pinned OFF so the record keeps
+//! measuring the raw event-by-event engine (the macro-stepper has its own
+//! baseline, `BENCH_fastforward.json`).
 //!
 //! With `CLOUDLB_CHECK=<path to baseline json>` the run becomes a
 //! regression gate: it exits non-zero if events/sec fell more than 25 %
 //! below the checked-in baseline. CI's `bench-fast` job uses this
 //! against `crates/bench/baselines/BENCH_fast.json`.
 
-use cloudlb_bench::baseline::{self, SweepRecord};
-use cloudlb_bench::Settings;
-use cloudlb_core::{evaluate_cells, par_map, run_scenario, CellSpec, Scenario};
-use std::time::Instant;
+use cloudlb_bench::{baseline, sweeps, Settings};
 
 fn main() {
     let s = Settings::from_env();
-    let name = if s.fast { "fast" } else { "sweep" };
     cloudlb_bench::header("Perf baseline — paper sweep throughput");
-    println!(
-        "(cores {:?}, {} iterations, seeds {:?}, jobs {})",
-        s.cores, s.iterations, s.seeds, s.jobs
-    );
-
-    let cells: Vec<CellSpec> = ["jacobi2d", "wave2d", "mol3d"]
-        .iter()
-        .flat_map(|app| {
-            s.cores
-                .iter()
-                .map(move |&c| CellSpec::paper(app, c, s.iterations, "cloudrefine"))
-        })
-        .collect();
-    let runs = cells.len() * s.seeds.len() * 3;
-
-    let t0 = Instant::now();
-    let points = evaluate_cells(&cells, &s.seeds, s.jobs);
-    let wall_s = t0.elapsed().as_secs_f64();
-
-    let sim_events: u64 = points.iter().map(|p| p.sim_events).sum();
-    let peak_queue_depth = points.iter().map(|p| p.peak_queue_depth).max().unwrap_or(0);
-    let events_per_sec = sim_events as f64 / wall_s;
-    println!(
-        "{} runs in {:.2}s — {:.0} events/s ({} events, peak queue depth {})",
-        runs, wall_s, events_per_sec, sim_events, peak_queue_depth
-    );
-
-    // Informational flaky-network probe: the same apps under the
-    // `flaky_cloud` degradation model, at the largest core count. Chaos
-    // runs are legitimately slower (retries, partitions), so this arm is
-    // recorded but never gated — the regression gate below stays on the
-    // clean sweep, proving the chaos layer is free when disabled.
-    let probe_cores = s.cores.iter().copied().max().unwrap_or(8);
-    let probe: Vec<Scenario> = ["jacobi2d", "wave2d", "mol3d"]
-        .iter()
-        .flat_map(|app| {
-            s.seeds.iter().map(move |&seed| {
-                let mut scn = Scenario::flaky_cloud(app, probe_cores, "cloudrefine");
-                scn.iterations = s.iterations;
-                scn.seed = seed;
-                scn
-            })
-        })
-        .collect();
-    let probe_runs = probe.len();
-    let t1 = Instant::now();
-    let results = par_map(s.jobs, probe, |scn| run_scenario(&scn));
-    let flaky_wall_s = t1.elapsed().as_secs_f64();
-    let flaky_events: u64 = results.iter().map(|r| r.sim_events).sum();
-    let flaky_events_per_sec = flaky_events as f64 / flaky_wall_s;
-    let retries: u64 = results.iter().map(|r| r.net.migration_retries).sum();
-    let aborts: u64 = results.iter().map(|r| r.net.migration_aborts).sum();
-    println!(
-        "flaky probe: {} runs in {:.2}s — {:.0} events/s \
-         ({} migration retries, {} aborts; informational, not gated)",
-        probe_runs, flaky_wall_s, flaky_events_per_sec, retries, aborts
-    );
-
-    let record = SweepRecord {
-        name: name.to_string(),
-        fast: s.fast,
-        jobs: s.jobs,
-        cores: s.cores.clone(),
-        seeds: s.seeds.clone(),
-        iterations: s.iterations,
-        runs,
-        wall_s,
-        sim_events,
-        events_per_sec,
-        peak_queue_depth,
-        flaky_wall_s,
-        flaky_events_per_sec,
-    };
-    let path = baseline::write_json(name, &record);
+    let record = sweeps::perf_sweep(&s);
+    let name = record.name.clone();
+    let path = baseline::write_json(&name, &record);
     println!("wrote {}", path.display());
-    baseline::maybe_check(events_per_sec);
+    baseline::maybe_check(record.events_per_sec);
     println!("PERF OK");
 }

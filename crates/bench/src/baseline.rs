@@ -44,6 +44,26 @@ pub struct SweepRecord {
     /// Events/sec of the flaky-network probe (0 when it did not run).
     #[serde(default)]
     pub flaky_events_per_sec: f64,
+    /// Steady-state LB windows the fast-forward engine macro-stepped
+    /// across the sweep (0 when the engine was off).
+    #[serde(default)]
+    pub ff_windows: usize,
+    /// Event pops those windows skipped (already folded into
+    /// `sim_events`, so events/sec is comparable across modes).
+    #[serde(default)]
+    pub events_skipped: u64,
+    /// Wall-clock of the same sweep with fast-forward disabled, seconds
+    /// (0 when no comparison arm ran). Only the fastforward bench fills
+    /// these: its gate is on the *fast* arm, and the off arm documents the
+    /// speedup on the same machine.
+    #[serde(default)]
+    pub off_wall_s: f64,
+    /// Events/sec of the fast-forward-off comparison arm (0 = none ran).
+    #[serde(default)]
+    pub off_events_per_sec: f64,
+    /// `events_per_sec / off_events_per_sec` (0 when no comparison ran).
+    #[serde(default)]
+    pub speedup: f64,
 }
 
 /// Path for `BENCH_<name>.json`, honouring `CLOUDLB_BENCH_DIR`.
@@ -55,9 +75,23 @@ pub fn bench_path(name: &str) -> PathBuf {
 /// Serialize `value` to `BENCH_<name>.json` and return the path written.
 pub fn write_json<T: Serialize>(name: &str, value: &T) -> PathBuf {
     let path = bench_path(name);
-    let json = serde_json::to_string_pretty(value).expect("serialize bench record");
-    std::fs::write(&path, json + "\n").unwrap_or_else(|e| panic!("write {}: {e}", path.display()));
+    write_to(&path, value);
     path
+}
+
+/// Serialize `value` to `<dir>/BENCH_<name>.json` (ignoring
+/// `CLOUDLB_BENCH_DIR`) and return the path written. The baseline-refresh
+/// binary uses this to land each record in both the checked-in baselines
+/// directory and the repository root.
+pub fn write_json_at<T: Serialize>(dir: &std::path::Path, name: &str, value: &T) -> PathBuf {
+    let path = dir.join(format!("BENCH_{name}.json"));
+    write_to(&path, value);
+    path
+}
+
+fn write_to<T: Serialize>(path: &std::path::Path, value: &T) {
+    let json = serde_json::to_string_pretty(value).expect("serialize bench record");
+    std::fs::write(path, json + "\n").unwrap_or_else(|e| panic!("write {}: {e}", path.display()));
 }
 
 /// Read a [`SweepRecord`] back from a baseline file.
@@ -128,6 +162,11 @@ mod tests {
             peak_queue_depth: 37,
             flaky_wall_s: 0.4,
             flaky_events_per_sec: 1_500_000.0,
+            ff_windows: 12,
+            events_skipped: 240_000,
+            off_wall_s: 4.5,
+            off_events_per_sec: 600_000.0,
+            speedup: 3.3,
         }
     }
 

@@ -16,6 +16,7 @@
 //!   baseline and exit non-zero on a > 25 % events/sec regression.
 
 pub mod baseline;
+pub mod sweeps;
 
 /// Benchmark-wide settings resolved from the environment.
 #[derive(Debug, Clone)]

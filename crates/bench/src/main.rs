@@ -1,0 +1,59 @@
+//! `cloudlb-bench` — refresh the machine-readable perf baselines.
+//!
+//! ```text
+//! cargo run -p cloudlb-bench --release            # full matrix
+//! CLOUDLB_FAST=1 cargo run -p cloudlb-bench --release   # smoke matrix
+//! ```
+//!
+//! Runs the paper-sweep throughput baseline (fast-forward off) and the
+//! fast-forward differential/throughput sweep, then writes each
+//! `BENCH_<name>.json` record to **both** `crates/bench/baselines/` (the
+//! checked-in copies CI gates against) and the repository root (the
+//! at-a-glance copies next to EXPERIMENTS.md). Exits non-zero if the
+//! fast-forward differential check finds any divergence.
+//!
+//! The usual knobs apply: `CLOUDLB_FAST`, `CLOUDLB_SEEDS`,
+//! `CLOUDLB_JOBS` (see the crate docs).
+
+use cloudlb_bench::baseline::{write_json_at, SweepRecord};
+use cloudlb_bench::{header, sweeps, Settings};
+use std::path::{Path, PathBuf};
+
+/// `crates/bench/baselines/` and the repository root, both resolved from
+/// this crate's manifest so the bin works from any working directory.
+fn target_dirs() -> Vec<PathBuf> {
+    let manifest = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let baselines = manifest.join("baselines");
+    let root = manifest
+        .parent()
+        .and_then(Path::parent)
+        .expect("crates/bench sits two levels under the repo root")
+        .to_path_buf();
+    vec![baselines, root]
+}
+
+fn write_everywhere(record: &SweepRecord) {
+    for dir in target_dirs() {
+        let path = write_json_at(&dir, &record.name, record);
+        println!("wrote {}", path.display());
+    }
+}
+
+fn main() {
+    let s = Settings::from_env();
+
+    header("Perf baseline — paper sweep throughput");
+    let perf = sweeps::perf_sweep(&s);
+    write_everywhere(&perf);
+
+    header("Fast-forward — differential check + throughput");
+    match sweeps::fastforward_sweep(&s) {
+        Ok(record) => write_everywhere(&record),
+        Err(e) => {
+            eprintln!("DIVERGENCE: {e}");
+            std::process::exit(1);
+        }
+    }
+
+    println!("\nbaselines refreshed");
+}

@@ -1,0 +1,209 @@
+//! The perf sweeps behind `BENCH_*.json`, shared by the `harness = false`
+//! bench targets and the `cloudlb-bench` baseline-refresh binary.
+
+use crate::baseline::SweepRecord;
+use crate::Settings;
+use cloudlb_core::{evaluate_cells, par_map, run_scenario, CellSpec, Scenario};
+use cloudlb_runtime::{FastForward, RunResult};
+use std::time::Instant;
+
+/// The paper-sweep throughput baseline (`BENCH_fast.json` /
+/// `BENCH_sweep.json`): the full Fig. 2 / Fig. 4 matrix through the
+/// parallel sweep engine, fast-forward pinned OFF so the record measures
+/// the raw event-by-event engine, plus the informational flaky-network
+/// probe. Prints progress; returns the record to serialize.
+pub fn perf_sweep(s: &Settings) -> SweepRecord {
+    let name = if s.fast { "fast" } else { "sweep" };
+    println!(
+        "(cores {:?}, {} iterations, seeds {:?}, jobs {})",
+        s.cores, s.iterations, s.seeds, s.jobs
+    );
+
+    // Fast-forward is pinned OFF: this baseline measures the raw
+    // event-by-event engine, and the macro-stepper has its own dedicated
+    // baseline (`BENCH_fastforward.json`, see [`fastforward_sweep`]).
+    let cells: Vec<CellSpec> = ["jacobi2d", "wave2d", "mol3d"]
+        .iter()
+        .flat_map(|app| {
+            s.cores.iter().map(move |&c| {
+                let mut cell = CellSpec::paper(app, c, s.iterations, "cloudrefine");
+                cell.fast_forward = FastForward::Off;
+                cell
+            })
+        })
+        .collect();
+    let runs = cells.len() * s.seeds.len() * 3;
+
+    let t0 = Instant::now();
+    let points = evaluate_cells(&cells, &s.seeds, s.jobs);
+    let wall_s = t0.elapsed().as_secs_f64();
+
+    let sim_events: u64 = points.iter().map(|p| p.sim_events).sum();
+    let peak_queue_depth = points.iter().map(|p| p.peak_queue_depth).max().unwrap_or(0);
+    let events_per_sec = sim_events as f64 / wall_s;
+    println!(
+        "{} runs in {:.2}s — {:.0} events/s ({} events, peak queue depth {})",
+        runs, wall_s, events_per_sec, sim_events, peak_queue_depth
+    );
+
+    // Informational flaky-network probe: the same apps under the
+    // `flaky_cloud` degradation model, at the largest core count. Chaos
+    // runs are legitimately slower (retries, partitions), so this arm is
+    // recorded but never gated — the regression gate stays on the clean
+    // sweep, proving the chaos layer is free when disabled.
+    let probe_cores = s.cores.iter().copied().max().unwrap_or(8);
+    let probe: Vec<Scenario> = ["jacobi2d", "wave2d", "mol3d"]
+        .iter()
+        .flat_map(|app| {
+            s.seeds.iter().map(move |&seed| {
+                let mut scn = Scenario::flaky_cloud(app, probe_cores, "cloudrefine");
+                scn.iterations = s.iterations;
+                scn.seed = seed;
+                scn
+            })
+        })
+        .collect();
+    let probe_runs = probe.len();
+    let t1 = Instant::now();
+    let results = par_map(s.jobs, probe, |scn| run_scenario(&scn));
+    let flaky_wall_s = t1.elapsed().as_secs_f64();
+    let flaky_events: u64 = results.iter().map(|r| r.sim_events).sum();
+    let flaky_events_per_sec = flaky_events as f64 / flaky_wall_s;
+    let retries: u64 = results.iter().map(|r| r.net.migration_retries).sum();
+    let aborts: u64 = results.iter().map(|r| r.net.migration_aborts).sum();
+    println!(
+        "flaky probe: {} runs in {:.2}s — {:.0} events/s \
+         ({} migration retries, {} aborts; informational, not gated)",
+        probe_runs, flaky_wall_s, flaky_events_per_sec, retries, aborts
+    );
+
+    SweepRecord {
+        name: name.to_string(),
+        fast: s.fast,
+        jobs: s.jobs,
+        cores: s.cores.clone(),
+        seeds: s.seeds.clone(),
+        iterations: s.iterations,
+        runs,
+        wall_s,
+        sim_events,
+        events_per_sec,
+        peak_queue_depth,
+        flaky_wall_s,
+        flaky_events_per_sec,
+        ff_windows: points.iter().map(|p| p.ff_windows).sum(),
+        events_skipped: points.iter().map(|p| p.events_skipped).sum(),
+        off_wall_s: 0.0,
+        off_events_per_sec: 0.0,
+        speedup: 0.0,
+    }
+}
+
+/// The clean long-run sweep behind `BENCH_fastforward.json`: every app on
+/// every core count, both a settled `nolb` arm and a `cloudrefine` arm,
+/// no interference.
+fn ff_scenarios(s: &Settings, iterations: usize, ff: FastForward) -> Vec<Scenario> {
+    let mut out = Vec::new();
+    for app in ["jacobi2d", "wave2d", "mol3d", "stencil3d"] {
+        for &cores in &s.cores {
+            for strategy in ["nolb", "cloudrefine"] {
+                for &seed in &s.seeds {
+                    let mut scn = Scenario::paper(app, cores, strategy).base_of();
+                    scn.strategy = strategy.to_string();
+                    scn.iterations = iterations;
+                    scn.seed = seed;
+                    scn.fast_forward = ff;
+                    out.push(scn);
+                }
+            }
+        }
+    }
+    out
+}
+
+fn ff_run(s: &Settings, iterations: usize, ff: FastForward) -> (Vec<RunResult>, f64) {
+    let t0 = Instant::now();
+    let results = par_map(s.jobs, ff_scenarios(s, iterations, ff), |scn| run_scenario(&scn));
+    (results, t0.elapsed().as_secs_f64())
+}
+
+/// Differential check + throughput for the fast-forward engine: run the
+/// clean long sweep with the macro-stepper OFF and ON, compare every
+/// `RunResult` bit for bit (after scrubbing the two observability
+/// counters), and return the record for `BENCH_fastforward.json`.
+/// `Err` lists the diverging runs — callers exit non-zero on it.
+pub fn fastforward_sweep(s: &Settings) -> Result<SweepRecord, String> {
+    // Long horizons amortize the one live capture window per template.
+    let iterations = if s.fast { 300 } else { 1000 };
+    println!(
+        "(cores {:?}, {} iterations, seeds {:?}, jobs {}, clean network)",
+        s.cores, iterations, s.seeds, s.jobs
+    );
+
+    let (off, off_wall_s) = ff_run(s, iterations, FastForward::Off);
+    let (on, wall_s) = ff_run(s, iterations, FastForward::On);
+    let runs = on.len();
+
+    // Aggregate the ON arm before the differential check consumes it.
+    let sim_events: u64 = on.iter().map(|r| r.sim_events).sum();
+    let ff_windows: usize = on.iter().map(|r| r.ff_windows).sum();
+    let events_skipped: u64 = on.iter().map(|r| r.events_skipped).sum();
+    let peak_queue_depth = on.iter().map(|r| r.peak_queue_depth).max().unwrap_or(0);
+
+    // Hard gate: bit-identical physics, run by run.
+    let mut divergent = Vec::new();
+    for (i, (scn, (a, b))) in ff_scenarios(s, iterations, FastForward::On)
+        .iter()
+        .zip(on.into_iter().zip(off))
+        .enumerate()
+    {
+        assert!(a.ff_windows > 0, "run {i} ({}/{}) never fast-forwarded", scn.app, scn.cores);
+        if a.scrub_ff() != b {
+            divergent.push(format!(
+                "run {i}: {} on {} cores, strategy {}, seed {}",
+                scn.app, scn.cores, scn.strategy, scn.seed
+            ));
+        }
+    }
+    if !divergent.is_empty() {
+        return Err(format!(
+            "{}/{runs} runs diverged between fast-forward on and off:\n{}",
+            divergent.len(),
+            divergent.join("\n")
+        ));
+    }
+    println!("differential check: {runs}/{runs} runs bit-identical across modes");
+
+    // Throughput. `sim_events` counts skipped pops too, so the two modes
+    // share a numerator and the wall-clock ratio is the whole story.
+    let events_per_sec = sim_events as f64 / wall_s;
+    let off_events_per_sec = sim_events as f64 / off_wall_s;
+    let speedup = events_per_sec / off_events_per_sec;
+    println!(
+        "on:  {runs} runs in {wall_s:.2}s — {events_per_sec:.0} events/s \
+         ({ff_windows} windows replayed, {events_skipped} of {sim_events} pops skipped)"
+    );
+    println!("off: {runs} runs in {off_wall_s:.2}s — {off_events_per_sec:.0} events/s");
+    println!("speedup: {speedup:.2}x");
+
+    Ok(SweepRecord {
+        name: "fastforward".to_string(),
+        fast: s.fast,
+        jobs: s.jobs,
+        cores: s.cores.clone(),
+        seeds: s.seeds.clone(),
+        iterations,
+        runs,
+        wall_s,
+        sim_events,
+        events_per_sec,
+        peak_queue_depth,
+        flaky_wall_s: 0.0,
+        flaky_events_per_sec: 0.0,
+        ff_windows,
+        events_skipped,
+        off_wall_s,
+        off_events_per_sec,
+        speedup,
+    })
+}

@@ -22,7 +22,7 @@
 
 use crate::parallel::{default_jobs, par_map};
 use crate::scenario::Scenario;
-use cloudlb_runtime::{RunResult, RuntimeError, SimExecutor};
+use cloudlb_runtime::{FastForward, RunResult, RuntimeError, SimExecutor};
 use cloudlb_sim::stats::mean;
 use serde::{Deserialize, Serialize};
 
@@ -185,10 +185,17 @@ pub struct EvalPoint {
     pub lb_steps: f64,
     /// Simulator events processed across every run of the cell (base,
     /// noLB and LB arms, all seeds) — the numerator of the bench
-    /// harness's events/sec figure.
+    /// harness's events/sec figure. Includes the pops the fast-forward
+    /// engine skipped, so the figure is mode-independent.
     pub sim_events: u64,
     /// Largest pending-event backlog any run of the cell reached.
     pub peak_queue_depth: usize,
+    /// Steady-state LB windows macro-stepped across every run of the cell.
+    #[serde(default)]
+    pub ff_windows: usize,
+    /// Event pops those replayed windows skipped (subset of `sim_events`).
+    #[serde(default)]
+    pub events_skipped: u64,
 }
 
 impl EvalPoint {
@@ -222,6 +229,9 @@ pub struct CellSpec {
     pub iterations: usize,
     /// Registry name of the balanced arm's strategy.
     pub strategy: String,
+    /// Fast-forward mode applied to every arm of the cell (default `auto`).
+    #[serde(default)]
+    pub fast_forward: FastForward,
 }
 
 impl CellSpec {
@@ -232,6 +242,7 @@ impl CellSpec {
             cores,
             iterations,
             strategy: strategy.to_string(),
+            fast_forward: FastForward::default(),
         }
     }
 
@@ -241,6 +252,7 @@ impl CellSpec {
         let mut lb_scn = Scenario::paper(&self.app, self.cores, &self.strategy);
         lb_scn.iterations = self.iterations;
         lb_scn.seed = seed;
+        lb_scn.fast_forward = self.fast_forward;
         let mut nolb_scn = Scenario { strategy: "nolb".into(), ..lb_scn.clone() };
         nolb_scn.seed = seed;
         let base_scn = lb_scn.base_of();
@@ -293,6 +305,8 @@ fn reduce_cell<'r>(
     let mut lb_steps = Vec::new();
     let mut sim_events = 0u64;
     let mut peak_queue_depth = 0usize;
+    let mut ff_windows = 0usize;
+    let mut events_skipped = 0u64;
 
     for triple in triples {
         let [base, nolb, lb] = triple else { panic!("chunks_exact(3) violated") };
@@ -314,6 +328,8 @@ fn reduce_cell<'r>(
         for r in [base, nolb, lb] {
             sim_events += r.sim_events;
             peak_queue_depth = peak_queue_depth.max(r.peak_queue_depth);
+            ff_windows += r.ff_windows;
+            events_skipped += r.events_skipped;
         }
     }
 
@@ -333,6 +349,8 @@ fn reduce_cell<'r>(
         lb_steps: mean(&lb_steps),
         sim_events,
         peak_queue_depth,
+        ff_windows,
+        events_skipped,
     }
 }
 
@@ -397,6 +415,26 @@ mod tests {
         assert!(p.power_lb_w > p.power_nolb_w, "{:.1} vs {:.1}", p.power_lb_w, p.power_nolb_w);
         assert!(p.energy_overhead_lb < p.energy_overhead_nolb);
         assert!(p.migrations > 0.0);
+    }
+
+    #[test]
+    fn cells_are_identical_with_and_without_fast_forward() {
+        let mut on = CellSpec::paper("jacobi2d", 4, 40, "cloudrefine");
+        on.fast_forward = FastForward::On;
+        let mut off = on.clone();
+        off.fast_forward = FastForward::Off;
+        let mut points = evaluate_cells(&[on, off], &[1, 2], 2);
+        let p_off = points.pop().unwrap();
+        let p_on = points.pop().unwrap();
+        assert!(p_on.ff_windows > 0, "the base arm's clean windows must replay");
+        assert!(p_on.events_skipped > 0);
+        assert_eq!(p_off.ff_windows, 0);
+        let scrub = |mut p: EvalPoint| {
+            p.ff_windows = 0;
+            p.events_skipped = 0;
+            p
+        };
+        assert_eq!(scrub(p_on), scrub(p_off), "macro-stepping must not move any metric");
     }
 
     #[test]

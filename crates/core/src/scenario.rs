@@ -12,7 +12,7 @@
 //! modelled as a larger scheduler weight for the interfering tasks.
 
 use cloudlb_apps::{Jacobi2D, Mol3D, Stencil3D, Wave2D};
-use cloudlb_runtime::{IterativeApp, LbConfig, RunConfig};
+use cloudlb_runtime::{FastForward, IterativeApp, LbConfig, RunConfig};
 use cloudlb_sim::interference::BgScript;
 use cloudlb_sim::{Dur, FailureScript, NetFaultSpec, TelemetrySpec, Time};
 use serde::{Deserialize, Serialize};
@@ -131,6 +131,10 @@ pub struct Scenario {
     /// cross-node message (`None` = clean interconnect).
     #[serde(default)]
     pub net_fault: Option<NetFaultSpec>,
+    /// Steady-state fast-forward mode (bit-identical macro-stepping of
+    /// undisturbed LB windows; default `auto` = on unless tracing).
+    #[serde(default)]
+    pub fast_forward: FastForward,
 }
 
 impl Scenario {
@@ -163,6 +167,7 @@ impl Scenario {
             fail: Vec::new(),
             telemetry: None,
             net_fault: None,
+            fast_forward: FastForward::default(),
         }
     }
 
@@ -266,6 +271,7 @@ impl Scenario {
         };
         cfg.seed = self.seed;
         cfg.cluster.trace = self.trace;
+        cfg.fast_forward = self.fast_forward;
         cfg
     }
 
@@ -346,6 +352,17 @@ mod tests {
         assert_eq!(s.bg_weight, 1.0);
         let m = Scenario::paper("mol3d", 8, "cloudrefine");
         assert_eq!(m.bg_weight, Scenario::OS_PREFERENCE);
+    }
+
+    #[test]
+    fn fast_forward_defaults_to_auto_and_plumbs_through() {
+        let mut s = Scenario::paper("jacobi2d", 4, "cloudrefine");
+        assert_eq!(s.fast_forward, FastForward::Auto);
+        assert_eq!(s.run_config().fast_forward, FastForward::Auto);
+        s.fast_forward = FastForward::Off;
+        assert_eq!(s.run_config().fast_forward, FastForward::Off);
+        // The normalization base keeps the caller's choice.
+        assert_eq!(s.base_of().fast_forward, FastForward::Off);
     }
 
     #[test]

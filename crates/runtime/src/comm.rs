@@ -1,0 +1,140 @@
+//! Flat CSR (compressed sparse row) view of the application's
+//! communication graph.
+//!
+//! [`crate::program::IterativeApp::neighbors`] allocates a fresh `Vec` per
+//! call, which the executor used to pay on *every task completion* — the
+//! hottest loop in the simulator. The topology never changes during a run,
+//! so the executor now builds this flat adjacency once and walks plain
+//! `u32` arrays instead: one `offsets` slot per chare delimiting its edge
+//! range, with parallel `neighbors`/`bytes` arrays per directed edge. Both
+//! the slow (event-by-event) and fast-forward paths share it.
+
+use crate::program::IterativeApp;
+
+/// Immutable CSR adjacency with per-edge ghost-message sizes.
+///
+/// Edges are directed: the edge range of chare `c` lists every neighbor
+/// `nb` that `c` sends to, with `bytes` holding
+/// [`IterativeApp::message_bytes`]`(c, nb)` for that direction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CommCsr {
+    /// `offsets[c]..offsets[c + 1]` delimits chare `c`'s edges.
+    offsets: Vec<u32>,
+    /// Destination chare per edge.
+    neighbors: Vec<u32>,
+    /// Ghost-message payload per edge (bytes, in the edge's direction).
+    bytes: Vec<u32>,
+}
+
+impl CommCsr {
+    /// Flatten `app`'s neighbor lists. Called once per run; panics if the
+    /// graph exceeds `u32` indexing (4 G chares/edges — far beyond any
+    /// simulated decomposition) or a message exceeds 4 GiB.
+    pub fn build(app: &dyn IterativeApp) -> Self {
+        let n = app.num_chares();
+        assert!(u32::try_from(n).is_ok(), "chare count {n} overflows CSR indexing");
+        let mut offsets = Vec::with_capacity(n + 1);
+        let mut neighbors = Vec::new();
+        let mut bytes = Vec::new();
+        offsets.push(0u32);
+        for chare in 0..n {
+            for nb in app.neighbors(chare) {
+                neighbors.push(nb as u32);
+                let b = app.message_bytes(chare, nb);
+                bytes.push(u32::try_from(b).unwrap_or_else(|_| {
+                    panic!("message {chare}->{nb} of {b} bytes overflows CSR")
+                }));
+            }
+            let end = u32::try_from(neighbors.len()).expect("edge count overflows CSR");
+            offsets.push(end);
+        }
+        CommCsr { offsets, neighbors, bytes }
+    }
+
+    /// Number of chares (rows).
+    pub fn num_chares(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Total directed edges.
+    pub fn num_edges(&self) -> usize {
+        self.neighbors.len()
+    }
+
+    /// Out-degree of `chare` — its expected ghost count per iteration
+    /// (neighbor lists are symmetric, per [`crate::program::validate_app`]).
+    pub fn degree(&self, chare: usize) -> usize {
+        (self.offsets[chare + 1] - self.offsets[chare]) as usize
+    }
+
+    /// Edge-index range of `chare`, for indexed walks that must not hold a
+    /// borrow across loop bodies.
+    pub fn row(&self, chare: usize) -> std::ops::Range<usize> {
+        self.offsets[chare] as usize..self.offsets[chare + 1] as usize
+    }
+
+    /// Destination of edge `e`.
+    pub fn neighbor(&self, e: usize) -> usize {
+        self.neighbors[e] as usize
+    }
+
+    /// Payload bytes of edge `e`.
+    pub fn edge_bytes(&self, e: usize) -> usize {
+        self.bytes[e] as usize
+    }
+
+    /// Iterate `(neighbor, bytes)` over `chare`'s out-edges.
+    pub fn neighbors_of(&self, chare: usize) -> impl Iterator<Item = (usize, usize)> + '_ {
+        self.row(chare).map(move |e| (self.neighbor(e), self.edge_bytes(e)))
+    }
+
+    /// Bytes `from` sends `to` per iteration, or `None` when they are not
+    /// adjacent. Linear in `from`'s degree (stencil degrees are ≤ 6).
+    pub fn bytes_between(&self, from: usize, to: usize) -> Option<usize> {
+        self.neighbors_of(from).find(|&(nb, _)| nb == to).map(|(_, b)| b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::program::SyntheticApp;
+
+    #[test]
+    fn csr_matches_the_trait_adjacency() {
+        let app = SyntheticApp::ring(16, 0.001);
+        let csr = CommCsr::build(&app);
+        assert_eq!(csr.num_chares(), 16);
+        assert_eq!(csr.num_edges(), 32, "ring: two neighbors each");
+        for chare in 0..16 {
+            let want = app.neighbors(chare);
+            assert_eq!(csr.degree(chare), want.len());
+            let got: Vec<usize> = csr.neighbors_of(chare).map(|(nb, _)| nb).collect();
+            assert_eq!(got, want, "chare {chare} adjacency");
+            for (nb, bytes) in csr.neighbors_of(chare) {
+                assert_eq!(bytes, app.message_bytes(chare, nb), "{chare}->{nb}");
+            }
+        }
+    }
+
+    #[test]
+    fn indexed_row_walk_agrees_with_iterator() {
+        let app = SyntheticApp::ring(8, 0.001);
+        let csr = CommCsr::build(&app);
+        for chare in 0..8 {
+            let via_iter: Vec<(usize, usize)> = csr.neighbors_of(chare).collect();
+            let via_index: Vec<(usize, usize)> =
+                csr.row(chare).map(|e| (csr.neighbor(e), csr.edge_bytes(e))).collect();
+            assert_eq!(via_iter, via_index);
+        }
+    }
+
+    #[test]
+    fn bytes_between_finds_only_real_edges() {
+        let app = SyntheticApp::ring(8, 0.001);
+        let csr = CommCsr::build(&app);
+        assert_eq!(csr.bytes_between(0, 1), Some(app.message_bytes(0, 1)));
+        assert_eq!(csr.bytes_between(0, 7), Some(app.message_bytes(0, 7)));
+        assert_eq!(csr.bytes_between(0, 4), None, "ring: 0 and 4 not adjacent");
+    }
+}

@@ -18,6 +18,43 @@ pub enum InstrumentMode {
     WallTime,
 }
 
+/// Whether the steady-state fast-forward engine may macro-step the
+/// iteration loop between LB events (see `crate::sim_exec`'s window
+/// capture/replay machinery). Replayed windows are bit-identical to the
+/// event-by-event path in every observable metric; the engine declines any
+/// window touched by interference, failures, stochastic network chaos or
+/// task-cost noise, so correctness never depends on this knob.
+/// In scenario JSON the mode is the variant name (`"On"`, `"Off"`,
+/// `"Auto"`, like every other enum in the config surface); the CLI's
+/// `--fast-forward` flag accepts the lowercase forms via
+/// [`FastForward::parse`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub enum FastForward {
+    /// Never macro-step; every event is simulated individually.
+    Off,
+    /// Macro-step every provably steady-state window, even under
+    /// Projections tracing — coalesced windows then appear as single
+    /// `FastForward` intervals, so the *timeline* (and only the timeline)
+    /// is lossy.
+    On,
+    /// Macro-step unless tracing is enabled (the default): timelines stay
+    /// exact, everything else gets the speedup.
+    #[default]
+    Auto,
+}
+
+impl FastForward {
+    /// Parse a CLI value. Accepts `on`, `off`, `auto`.
+    pub fn parse(s: &str) -> Result<Self, String> {
+        match s {
+            "on" => Ok(FastForward::On),
+            "off" => Ok(FastForward::Off),
+            "auto" => Ok(FastForward::Auto),
+            _ => Err(format!("unknown fast-forward mode {s:?} (expected on|off|auto)")),
+        }
+    }
+}
+
 /// Initial chare→core placement.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
 pub enum InitialMap {
@@ -128,6 +165,9 @@ pub struct RunConfig {
     /// the clean path keeps the analytic `transfer_time` costing.
     #[serde(default)]
     pub migration_proto: MigrationProto,
+    /// Steady-state fast-forward mode (default [`FastForward::Auto`]).
+    #[serde(default)]
+    pub fast_forward: FastForward,
 }
 
 fn default_fail_detect_s() -> f64 {
@@ -150,6 +190,7 @@ impl RunConfig {
             checkpoints: CheckpointPolicy::default(),
             fail_detect_s: default_fail_detect_s(),
             migration_proto: MigrationProto::default(),
+            fast_forward: FastForward::default(),
         }
     }
 
@@ -241,6 +282,16 @@ mod tests {
         let mut c = RunConfig::paper(4, 10);
         c.pe_speeds = vec![1.0, 0.0, 1.0, 1.0];
         c.resolved_speeds();
+    }
+
+    #[test]
+    fn fast_forward_parses_and_defaults_to_auto() {
+        assert_eq!(FastForward::parse("on"), Ok(FastForward::On));
+        assert_eq!(FastForward::parse("off"), Ok(FastForward::Off));
+        assert_eq!(FastForward::parse("auto"), Ok(FastForward::Auto));
+        assert!(FastForward::parse("fast").is_err());
+        assert_eq!(FastForward::default(), FastForward::Auto);
+        assert_eq!(RunConfig::paper(4, 10).fast_forward, FastForward::Auto);
     }
 
     #[test]

@@ -41,7 +41,9 @@
 pub mod ampi;
 pub mod atsync;
 pub mod checkpoint;
+pub mod comm;
 pub mod config;
+pub mod fastforward;
 pub mod error;
 pub mod lbdb;
 pub mod migration;
@@ -55,7 +57,8 @@ pub mod sim_exec;
 pub mod thread_exec;
 
 pub use checkpoint::{buddy_of, ChareCheckpoint, CheckpointStore};
-pub use config::{InitialMap, InstrumentMode, LbConfig, RunConfig};
+pub use comm::CommCsr;
+pub use config::{FastForward, InitialMap, InstrumentMode, LbConfig, RunConfig};
 pub use error::RuntimeError;
 pub use netproto::{MigrationProto, TransferOutcome};
 pub use program::{ChareKernel, IterativeApp};

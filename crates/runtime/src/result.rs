@@ -62,11 +62,19 @@ pub struct RunResult {
     /// suppressions, migration retries/aborts, scheduled partition time).
     /// All zeros on a clean network.
     pub net: NetStats,
-    /// Simulator events processed (event-queue pops) over the run — the
+    /// Simulator events processed over the run: event-queue pops plus the
+    /// pops the fast-forward engine skipped analytically — so the figure is
+    /// bit-identical whether or not windows were macro-stepped. The
     /// denominator-free half of the bench harness's events/sec figure.
     pub sim_events: u64,
     /// High-water mark of pending events in the simulator's queue.
     pub peak_queue_depth: usize,
+    /// Steady-state LB windows the fast-forward engine replayed
+    /// analytically instead of simulating event by event.
+    pub ff_windows: usize,
+    /// Event pops the replayed windows avoided (already folded into
+    /// `sim_events`).
+    pub events_skipped: u64,
 }
 
 impl RunResult {
@@ -92,6 +100,17 @@ impl RunResult {
         let base = reference.energy.energy_j;
         assert!(base > 0.0, "reference run consumed zero energy");
         self.energy.energy_j / base - 1.0
+    }
+
+    /// Zero the fast-forward observability counters (`ff_windows`,
+    /// `events_skipped`), leaving every physics-bearing field untouched.
+    /// The differential tests compare a fast-forwarded run against a plain
+    /// one with `assert_eq!` after scrubbing both: the *only* permitted
+    /// difference is how much work the engine skipped.
+    pub fn scrub_ff(mut self) -> Self {
+        self.ff_windows = 0;
+        self.events_skipped = 0;
+        self
     }
 
     /// Fraction of ghost messages that crossed nodes (0 when no messages
@@ -133,7 +152,24 @@ mod tests {
             net: NetStats::default(),
             sim_events: 0,
             peak_queue_depth: 0,
+            ff_windows: 0,
+            events_skipped: 0,
         }
+    }
+
+    #[test]
+    fn scrub_ff_zeroes_only_the_ff_counters() {
+        let mut r = result(2.0, 10.0);
+        r.ff_windows = 7;
+        r.events_skipped = 12345;
+        r.sim_events = 999;
+        let s = r.scrub_ff();
+        assert_eq!(s.ff_windows, 0);
+        assert_eq!(s.events_skipped, 0);
+        assert_eq!(s.sim_events, 999, "sim_events is physics, not scrubbed");
+        let mut want = result(2.0, 10.0);
+        want.sim_events = 999;
+        assert_eq!(s, want);
     }
 
     #[test]

@@ -39,8 +39,10 @@
 //! configuration.
 
 use crate::atsync::AtSync;
-use crate::config::RunConfig;
+use crate::comm::CommCsr;
+use crate::config::{FastForward, RunConfig};
 use crate::error::RuntimeError;
+use crate::fastforward::{Capture, FfMsg, FfSample, WindowStart, WindowTemplate};
 use crate::lbdb::{LbWindow, TaskSample, WindowQuality};
 use crate::migration;
 use crate::netproto;
@@ -278,6 +280,22 @@ struct Sim<'a> {
     /// Relative speed per core (occupancy = work / speed).
     speeds: Vec<f64>,
 
+    /// Flat CSR adjacency shared by the ghost-send hot loop, the expected
+    /// ghost counts and the per-window comm graph.
+    comm: CommCsr,
+    /// Resolved once from the config: whether the fast-forward engine may
+    /// consider macro-stepping at all (mode allows it, costs are
+    /// noise-free). Individual windows are additionally vetted.
+    ff_enabled: bool,
+    /// Capture in progress for the window currently running live.
+    ff_capture: Option<Capture>,
+    /// Last successfully captured steady-state window.
+    ff_template: Option<WindowTemplate>,
+    /// Windows replayed analytically.
+    ff_windows: usize,
+    /// Event pops those replays skipped (folded back into `sim_events`).
+    events_skipped: u64,
+
     /// Current rollback epoch; messages and LbDone/Recovered events from
     /// older epochs are stale and dropped.
     epoch: u32,
@@ -345,7 +363,10 @@ impl<'a> Sim<'a> {
             queue.schedule(*t, Ev::Fail(*action));
         }
 
-        let expected = (0..n).map(|i| app.neighbors(i).len()).collect();
+        // Flatten the topology once: the executor walks this CSR on every
+        // task completion instead of re-allocating neighbor vectors.
+        let comm = CommCsr::build(app);
+        let expected = (0..n).map(|i| comm.degree(i)).collect();
         let tracker = IterationTracker::new(n, cfg.iterations);
         let atsync = AtSync::new(cfg.lb.period);
         let speeds = cfg.resolved_speeds();
@@ -356,19 +377,26 @@ impl<'a> Sim<'a> {
         let period = cfg.lb.period as u64;
         let mut comm_template = Vec::new();
         for chare in 0..n {
-            for nb in app.neighbors(chare) {
+            for (nb, fwd) in comm.neighbors_of(chare) {
                 if nb > chare {
-                    let bytes =
-                        (app.message_bytes(chare, nb) + app.message_bytes(nb, chare)) as u64
-                            * period;
+                    let back =
+                        comm.bytes_between(nb, chare).expect("validate_app guarantees symmetry");
                     comm_template.push(cloudlb_balance::CommEdge {
                         a: TaskId(chare as u64),
                         b: TaskId(nb as u64),
-                        bytes,
+                        bytes: (fwd + back) as u64 * period,
                     });
                 }
             }
         }
+        // Fast-forward is only sound when task costs are deterministic;
+        // `Auto` additionally preserves exact Projections timelines.
+        let ff_enabled = cfg.cost_noise_frac == 0.0
+            && match cfg.fast_forward {
+                FastForward::Off => false,
+                FastForward::On => true,
+                FastForward::Auto => !cfg.cluster.trace,
+            };
         // The initial placement is itself a checkpoint: a failure before
         // the first boundary rolls back to iteration 0.
         let ckpt = (!matches!(cfg.checkpoints, crate::checkpoint::CheckpointPolicy::Disabled))
@@ -403,6 +431,12 @@ impl<'a> Sim<'a> {
             pending_failed: Vec::new(),
             window_quality: WindowQuality::default(),
             speeds,
+            comm,
+            ff_enabled,
+            ff_capture: None,
+            ff_template: None,
+            ff_windows: 0,
+            events_skipped: 0,
             epoch: 0,
             ckpt,
             lb_boundary: 0,
@@ -528,8 +562,10 @@ impl<'a> Sim<'a> {
             telemetry: self.window_quality,
             decisions: self.strategy.decision_quality(),
             net: self.netfault.as_ref().map(|c| c.stats).unwrap_or_default(),
-            sim_events: self.queue.total_popped(),
+            sim_events: self.queue.total_popped() + self.events_skipped,
             peak_queue_depth: self.queue.peak_depth(),
+            ff_windows: self.ff_windows,
+            events_skipped: self.events_skipped,
         })
     }
 
@@ -565,12 +601,23 @@ impl<'a> Sim<'a> {
             cpu,
             wall: now.since(start),
         });
+        if let Some(cap) = self.ff_capture.as_mut() {
+            cap.samples.push(FfSample {
+                rel: now.since(cap.started_at),
+                chare,
+                iter_off: iter - cap.boundary,
+                cpu,
+                wall: now.since(start),
+            });
+        }
 
-        // Send ghosts for the next iteration.
+        // Send ghosts for the next iteration (indexed CSR walk: the range
+        // is computed up front so no borrow outlives the mutations below).
         let next = iter + 1;
         if next < self.cfg.iterations {
-            for nb in self.app.neighbors(chare) {
-                let bytes = self.app.message_bytes(chare, nb);
+            for e in self.comm.row(chare) {
+                let nb = self.comm.neighbor(e);
+                let bytes = self.comm.edge_bytes(e);
                 let (from_pe, to_pe) = (self.mapping[chare], self.mapping[nb]);
                 let same = self.cluster.same_node(from_pe, to_pe);
                 if same {
@@ -656,6 +703,10 @@ impl<'a> Sim<'a> {
     }
 
     fn on_bg(&mut self, action: BgAction, now: Time) {
+        // Defensive: a window touched by interference is not steady-state
+        // (the begin-of-window queue scan already declines such captures,
+        // since every bg action is scheduled up front).
+        self.ff_capture = None;
         match action {
             BgAction::Start { job, core, demand, weight } => {
                 if !self.cluster.is_alive(core) {
@@ -691,6 +742,8 @@ impl<'a> Sim<'a> {
     }
 
     fn on_fail(&mut self, action: FailureAction, now: Time) -> Result<(), RuntimeError> {
+        // Defensive, as in `on_bg`: failures void any in-flight capture.
+        self.ff_capture = None;
         let targets: Vec<usize> = match action {
             FailureAction::KillCore { core } => vec![core],
             FailureAction::KillNode { node } => self.cluster.cores_of_node(node).collect(),
@@ -976,6 +1029,7 @@ impl<'a> Sim<'a> {
             }
         }
         self.queue.schedule(end, Ev::LbDone { epoch: self.epoch });
+        self.ff_finish_capture(now);
     }
 
     fn on_lb_done(&mut self, now: Time) {
@@ -990,6 +1044,15 @@ impl<'a> Sim<'a> {
         }
         // Open a fresh measurement window at the resume instant.
         self.reopen_window(now);
+        // Steady state reached? Replay the captured window template in one
+        // macro-step (the barrier re-parks immediately), or start capturing
+        // this window so the next one can be replayed.
+        if self.ff_enabled {
+            if self.ff_try_replay(now) {
+                return;
+            }
+            self.ff_begin_capture(now);
+        }
         for chare in released {
             self.state[chare] = CState::Waiting;
             self.maybe_ready(chare, now);
@@ -1013,6 +1076,254 @@ impl<'a> Sim<'a> {
             .wrapping_add((chare as u64) << 32 | iter as u64);
         let u = cloudlb_sim::SimRng::new(key).f64();
         (1.0 + f * (2.0 * u - 1.0)).max(0.05)
+    }
+
+    /// `true` when the chaos layer cannot disturb any send in `[from, to]`.
+    /// `to` is compared strictly because the window's last ghosts go out
+    /// exactly at `to` (a partition opening then would already cut them).
+    fn netfault_quiet_until(&self, from: Time, to: Time) -> bool {
+        let Some(ch) = &self.netfault else { return true };
+        match ch.next_disturbance_at(from) {
+            None => true,
+            Some(d) => d > to,
+        }
+    }
+
+    /// Bit-exact fingerprint of the task costs the window starting at
+    /// `boundary` will execute. Replay validity requires equality, so
+    /// iteration-dependent applications decline safely.
+    fn ff_cost_bits(&self, boundary: usize) -> Vec<u64> {
+        let n = self.app.num_chares();
+        let period = self.cfg.lb.period;
+        let mut bits = Vec::with_capacity(n * period);
+        for chare in 0..n {
+            for off in 0..period {
+                bits.push(self.app.task_cost(chare, boundary + off).to_bits());
+            }
+        }
+        bits
+    }
+
+    /// Scan the live event queue at a window's release instant. A
+    /// steady-state window may only have current-epoch, non-duplicate
+    /// ghost messages for the `boundary` iteration in flight; anything
+    /// else — pending interference or failure actions, stale-epoch
+    /// leftovers, wakes — disqualifies it. Returns the in-flight ghosts in
+    /// sequence order (so FIFO tie-breaks can be compared and replayed)
+    /// plus the boundary-iteration inbox fingerprint, or `None`.
+    fn ff_window_start(&self, now: Time, boundary: usize) -> Option<WindowStart> {
+        let mut msgs: Vec<(u64, FfMsg)> = Vec::with_capacity(self.queue.len());
+        for (_h, at, seq, ev) in self.queue.iter_live() {
+            match *ev {
+                Ev::Msg { chare, iter, epoch, dup: false }
+                    if iter == boundary && epoch == self.epoch =>
+                {
+                    msgs.push((seq, FfMsg { rel: at.since(now), chare }));
+                }
+                _ => return None,
+            }
+        }
+        msgs.sort_unstable_by_key(|&(seq, _)| seq);
+        let mut inbox: Vec<(usize, usize)> = Vec::with_capacity(self.inbox.len());
+        for (&(chare, iter), &count) in &self.inbox {
+            if iter != boundary {
+                return None; // foreign-iteration ghosts buffered
+            }
+            inbox.push((chare, count));
+        }
+        inbox.sort_unstable();
+        Some((msgs.into_iter().map(|(_, m)| m).collect(), inbox))
+    }
+
+    /// Open a capture of the window starting at `now` (all chares just
+    /// released at `self.lb_boundary`) if it is provably steady-state so
+    /// far. Conditions that only resolve at the window's end are
+    /// re-checked by [`Sim::ff_finish_capture`].
+    fn ff_begin_capture(&mut self, now: Time) {
+        let b0 = self.lb_boundary;
+        if b0 + self.cfg.lb.period >= self.cfg.iterations || self.cluster.any_bg() {
+            return; // window would end the app, or GPS sharing is active
+        }
+        if !self.netfault_quiet_until(now, now) {
+            return; // stochastic chaos, or a partition is already open
+        }
+        let Some((start_inflight, start_inbox)) = self.ff_window_start(now, b0) else {
+            return;
+        };
+        self.queue.mark_window();
+        self.ff_capture = Some(Capture {
+            started_at: now,
+            boundary: b0,
+            start_stat: self.cluster.stats(),
+            start_popped: self.queue.total_popped(),
+            live_at_start: self.queue.len(),
+            start_local: self.local_msgs,
+            start_remote: self.remote_msgs,
+            mapping: self.mapping.clone(),
+            alive: self.cluster.alive_mask(),
+            cost_bits: self.ff_cost_bits(b0),
+            start_inflight,
+            start_inbox,
+            samples: Vec::with_capacity(self.app.num_chares() * self.cfg.lb.period),
+        });
+    }
+
+    /// Close the capture opened at this window's release (called from
+    /// [`Sim::start_lb`] right after the `LbDone` event is scheduled) and
+    /// turn it into a reusable template — or discard it if the window
+    /// turned out not to be steady-state after all.
+    fn ff_finish_capture(&mut self, now: Time) {
+        let Some(cap) = self.ff_capture.take() else { return };
+        let b1 = cap.boundary + self.cfg.lb.period;
+        debug_assert_eq!(b1, self.lb_boundary, "capture spans exactly one LB window");
+        if !self.netfault_quiet_until(cap.started_at, now) {
+            return; // a partition window opened while the capture ran
+        }
+        if cap.samples.len() != self.app.num_chares() * self.cfg.lb.period {
+            return; // some task ran outside the window's iteration block
+        }
+        // Classify what is pending at the barrier: next-boundary ghosts in
+        // flight (replayed as fresh events), the LbDone just scheduled,
+        // and same-instant wakes that the dispatch epilogue is about to
+        // cancel (every core idles once all chares park). Anything else
+        // disqualifies the window.
+        let mut lb_done = 0usize;
+        let mut msgs: Vec<(u64, FfMsg)> = Vec::new();
+        for (_h, at, seq, ev) in self.queue.iter_live() {
+            match *ev {
+                Ev::Msg { chare, iter, epoch, dup: false }
+                    if iter == b1 && epoch == self.epoch =>
+                {
+                    msgs.push((seq, FfMsg { rel: at.since(cap.started_at), chare }));
+                }
+                Ev::Wake if at == now => {}
+                Ev::LbDone { epoch } if epoch == self.epoch => lb_done += 1,
+                _ => return,
+            }
+        }
+        if lb_done != 1 {
+            return;
+        }
+        msgs.sort_unstable_by_key(|&(seq, _)| seq);
+        let mut end_inbox: Vec<(usize, usize)> = Vec::with_capacity(self.inbox.len());
+        for (&(chare, iter), &count) in &self.inbox {
+            if iter != b1 {
+                return;
+            }
+            end_inbox.push((chare, count));
+        }
+        end_inbox.sort_unstable();
+        let stat_delta = ProcStat { cores: self.cluster.stats() }
+            .delta_since(&ProcStat { cores: cap.start_stat });
+        self.ff_template = Some(WindowTemplate {
+            dur: now.since(cap.started_at),
+            mapping: cap.mapping,
+            alive: cap.alive,
+            cost_bits: cap.cost_bits,
+            start_inflight: cap.start_inflight,
+            start_inbox: cap.start_inbox,
+            end_inflight: msgs.into_iter().map(|(_, m)| m).collect(),
+            end_inbox,
+            samples: cap.samples,
+            stat_delta,
+            local_msgs: self.local_msgs - cap.start_local,
+            remote_msgs: self.remote_msgs - cap.start_remote,
+            events_popped: self.queue.total_popped() - cap.start_popped,
+            peak_delta: self.queue.window_peak() - cap.live_at_start,
+        });
+    }
+
+    /// Replay the stored template over the window starting at `now` if
+    /// every validity condition holds: same boundary-relative costs, same
+    /// mapping and alive mask, identical in-flight/buffered ghosts, quiet
+    /// network through the window's end, and the window cannot finish the
+    /// app. On success the executor jumps straight to the next AtSync park
+    /// (with [`Sim::start_lb`] already invoked) and the caller must return
+    /// without releasing the barrier. On mismatch the stale template is
+    /// dropped so the next live window re-captures fresh state.
+    fn ff_try_replay(&mut self, now: Time) -> bool {
+        let Some(t) = self.ff_template.take() else { return false };
+        let b0 = self.lb_boundary;
+        let valid = b0 + self.cfg.lb.period < self.cfg.iterations
+            && !self.cluster.any_bg()
+            && t.mapping == self.mapping
+            && t.alive == self.cluster.alive_mask()
+            && self.netfault_quiet_until(now, now + t.dur)
+            && self.ff_window_start(now, b0).is_some_and(|(inflight, inbox)| {
+                inflight == t.start_inflight && inbox == t.start_inbox
+            })
+            && t.cost_bits == self.ff_cost_bits(b0);
+        if !valid {
+            return false;
+        }
+        self.ff_replay(now, &t);
+        self.ff_template = Some(t);
+        true
+    }
+
+    /// Apply template `t` to the window starting at `now`: one analytic
+    /// macro-step replacing the event-by-event simulation of `period`
+    /// iterations, bit-identical in every observable (see `DESIGN.md` for
+    /// the equivalence argument).
+    fn ff_replay(&mut self, now: Time, t: &WindowTemplate) {
+        let n = self.app.num_chares();
+        let b0 = self.lb_boundary;
+        let b1 = b0 + self.cfg.lb.period;
+        let end = now + t.dur;
+        // The in-flight boundary ghosts were verified against the
+        // template; their delivery and consumption are baked into it, so
+        // they are cancelled un-popped and credited via `events_skipped`.
+        let live_before = self.queue.len();
+        let stale: Vec<EventHandle> = self.queue.iter_live().map(|(h, ..)| h).collect();
+        for h in stale {
+            self.queue.cancel(h);
+        }
+        // Jump the cluster's accounting across the window in one step
+        // (asserts per-core time conservation in debug builds).
+        self.cluster.bulk_advance(end, &t.stat_delta);
+        // Re-enact the externally visible effects of every task
+        // completion, in the original order.
+        for s in &t.samples {
+            self.tracker.contribute(b0 + s.iter_off, now + s.rel);
+            self.window.record(TaskSample {
+                task: TaskId(s.chare as u64),
+                pe: t.mapping[s.chare],
+                cpu: s.cpu,
+                wall: s.wall,
+            });
+        }
+        self.inbox.clear();
+        for &(chare, count) in &t.end_inbox {
+            self.inbox.insert((chare, b1), count);
+        }
+        // Re-scheduling in template sequence order preserves FIFO
+        // tie-breaks among same-instant arrivals.
+        for m in &t.end_inflight {
+            self.queue
+                .schedule(now + m.rel, Ev::Msg { chare: m.chare, iter: b1, epoch: self.epoch, dup: false });
+        }
+        self.local_msgs += t.local_msgs;
+        self.remote_msgs += t.remote_msgs;
+        self.events_skipped += t.events_popped;
+        self.ff_windows += 1;
+        // Every chare ran its `period` iterations and is parked again.
+        for chare in 0..n {
+            debug_assert_eq!(self.state[chare], CState::Parked);
+            self.next_iter[chare] = b1;
+            self.atsync.park(chare, n);
+        }
+        let num_pes = self.num_pes();
+        if let Some(tr) = self.cluster.trace_mut() {
+            tr.marker(now.as_us(), format!("fast-forward: iterations {b0}..{b1} coalesced"));
+            for pe in 0..num_pes {
+                tr.record(pe, now.as_us(), end.as_us(), Activity::FastForward);
+            }
+        }
+        self.lb_boundary = b1;
+        self.start_lb(end);
+        // Account for the queue depth the skipped events would have
+        // reached, so `peak_queue_depth` stays bit-identical.
+        self.queue.raise_peak(live_before + t.peak_delta);
     }
 
     /// Keep exactly one pending Wake per core, at its next completion
@@ -1429,5 +1740,141 @@ mod tests {
             .try_run()
             .expect_err("core 64 does not exist");
         assert!(matches!(err, RuntimeError::InvalidConfig(_)), "got {err}");
+    }
+
+    fn with_ff(mut cfg: RunConfig, ff: crate::config::FastForward) -> RunConfig {
+        cfg.fast_forward = ff;
+        cfg
+    }
+
+    #[test]
+    fn fast_forward_replays_clean_windows_bit_identically() {
+        use crate::config::FastForward as Ff;
+        let app = SyntheticApp::ring(16, 0.001);
+        for strategy in ["nolb", "cloudrefine"] {
+            let cfg = small_cfg(60, strategy);
+            let on = SimExecutor::new(&app, with_ff(cfg.clone(), Ff::On), BgScript::none()).run();
+            let off = SimExecutor::new(&app, with_ff(cfg, Ff::Off), BgScript::none()).run();
+            assert_eq!(off.ff_windows, 0);
+            assert_eq!(off.events_skipped, 0);
+            assert!(on.ff_windows > 0, "{strategy}: clean run must replay windows");
+            assert!(on.events_skipped > 0);
+            assert_eq!(on.scrub_ff(), off, "{strategy}: replay must be bit-identical");
+        }
+    }
+
+    #[test]
+    fn fast_forward_declines_windows_with_background_load() {
+        use crate::config::FastForward as Ff;
+        let app = SyntheticApp::ring(16, 0.001);
+        // Interference over the whole run: every window is disturbed.
+        let bg = BgScript::steady(0, &[0], Time::ZERO, None, 1.0);
+        let cfg = small_cfg(40, "cloudrefine");
+        let on = SimExecutor::new(&app, with_ff(cfg.clone(), Ff::On), bg.clone()).run();
+        let off = SimExecutor::new(&app, with_ff(cfg, Ff::Off), bg).run();
+        assert_eq!(on.ff_windows, 0, "bg-loaded windows must fall back");
+        assert_eq!(on.scrub_ff(), off);
+    }
+
+    #[test]
+    fn fast_forward_resumes_after_a_transient_disturbance() {
+        use crate::config::FastForward as Ff;
+        let app = SyntheticApp::ring(16, 0.001);
+        // A short bg pulse early in the run; steady state afterwards.
+        let bg = BgScript::steady(0, &[1], Time::from_us(10_000), Some(Dur::from_ms(20)), 1.0);
+        let cfg = small_cfg(80, "cloudrefine");
+        let on = SimExecutor::new(&app, with_ff(cfg.clone(), Ff::On), bg.clone()).run();
+        let off = SimExecutor::new(&app, with_ff(cfg.clone(), Ff::Off), bg).run();
+        let on_windows = on.ff_windows;
+        assert_eq!(on.scrub_ff(), off, "fallback and resume must stay bit-identical");
+        let clean =
+            SimExecutor::new(&app, with_ff(cfg, Ff::On), BgScript::none()).run();
+        assert!(
+            on_windows > 0 && on_windows < clean.ff_windows,
+            "disturbed run replays some but fewer windows: {} vs clean {}",
+            on_windows,
+            clean.ff_windows
+        );
+    }
+
+    #[test]
+    fn fast_forward_declines_under_stochastic_network_chaos() {
+        use crate::config::FastForward as Ff;
+        let app = SyntheticApp::ring(32, 0.001);
+        let mut cfg = RunConfig::paper(8, 30);
+        cfg.lb = LbConfig { strategy: "cloudrefine".into(), period: 5, ..Default::default() };
+        let run = |ff| {
+            SimExecutor::new(&app, with_ff(cfg.clone(), ff), BgScript::none())
+                .with_net_faults(cloudlb_sim::NetFaultSpec::flaky_cloud())
+                .run()
+        };
+        let on = run(Ff::On);
+        let off = run(Ff::Off);
+        assert_eq!(on.ff_windows, 0, "stochastic chaos disables the fast path");
+        assert_eq!(on.scrub_ff(), off);
+    }
+
+    #[test]
+    fn fast_forward_is_exact_across_a_failure_and_recovery() {
+        use crate::config::FastForward as Ff;
+        let app = SyntheticApp::ring(16, 0.001);
+        let cfg = small_cfg(60, "cloudrefine");
+        let fail = FailureScript::kill_core(2, Time::from_us(80_000));
+        let run = |ff| {
+            SimExecutor::new(&app, with_ff(cfg.clone(), ff), BgScript::none())
+                .with_failures(fail.clone())
+                .try_run()
+                .expect("recoverable failure")
+        };
+        let on = run(Ff::On);
+        let off = run(Ff::Off);
+        let on_windows = on.ff_windows;
+        assert_eq!(on.scrub_ff(), off, "failure + recovery must stay bit-identical");
+        assert!(on_windows > 0, "steady windows around the failure still replay");
+    }
+
+    #[test]
+    fn auto_mode_preserves_exact_timelines_under_tracing() {
+        use crate::config::FastForward as Ff;
+        let app = SyntheticApp::ring(16, 0.001);
+        let cfg = small_cfg(40, "cloudrefine").with_trace();
+        let auto = SimExecutor::new(&app, with_ff(cfg.clone(), Ff::Auto), BgScript::none()).run();
+        assert_eq!(auto.ff_windows, 0, "auto must not coalesce traced runs");
+        let off = SimExecutor::new(&app, with_ff(cfg.clone(), Ff::Off), BgScript::none()).run();
+        assert_eq!(auto.scrub_ff(), off);
+        // Forcing it on coalesces the timeline (and only the timeline).
+        let on = SimExecutor::new(&app, with_ff(cfg, Ff::On), BgScript::none()).run();
+        assert!(on.ff_windows > 0);
+        let tr = on.trace.as_ref().expect("tracing enabled");
+        let has_ff = (0..tr.num_pes())
+            .any(|pe| tr.intervals(pe).iter().any(|iv| iv.activity == Activity::FastForward));
+        assert!(has_ff, "forced-on traced runs mark coalesced windows");
+        assert_eq!(on.app_time, off.app_time, "physics is unchanged even when the trace is lossy");
+        assert_eq!(on.final_mapping, off.final_mapping);
+        assert_eq!(on.sim_events, off.sim_events);
+    }
+
+    #[test]
+    fn cost_noise_disables_the_fast_path() {
+        use crate::config::FastForward as Ff;
+        let app = SyntheticApp::ring(16, 0.001);
+        let mut cfg = with_ff(small_cfg(40, "nolb"), Ff::On);
+        cfg.cost_noise_frac = 0.05;
+        let r = SimExecutor::new(&app, cfg, BgScript::none()).run();
+        assert_eq!(r.ff_windows, 0, "noisy task costs must never replay");
+    }
+
+    #[test]
+    fn fast_forward_preserves_event_accounting() {
+        use crate::config::FastForward as Ff;
+        let app = SyntheticApp::ring(16, 0.001);
+        let cfg = small_cfg(60, "nolb");
+        let on = SimExecutor::new(&app, with_ff(cfg.clone(), Ff::On), BgScript::none()).run();
+        let off = SimExecutor::new(&app, with_ff(cfg, Ff::Off), BgScript::none()).run();
+        // `sim_events` counts live pops + skipped pops: identical totals.
+        assert_eq!(on.sim_events, off.sim_events);
+        assert_eq!(on.peak_queue_depth, off.peak_queue_depth);
+        assert!(on.events_skipped > 0);
+        assert!(on.sim_events > on.events_skipped, "phase B always runs live");
     }
 }

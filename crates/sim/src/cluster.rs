@@ -138,6 +138,27 @@ impl Cluster {
         self.cores[core].bg_jobs()
     }
 
+    /// `true` if any core currently hosts a background task. A cluster
+    /// with resident interference shares cores through the GPS model, whose
+    /// per-segment rounding is segmentation-dependent — so the fast-forward
+    /// engine only macro-steps while this is `false`.
+    pub fn any_bg(&self) -> bool {
+        self.cores.iter().any(|c| c.has_bg())
+    }
+
+    /// Fast-forward support: jump *every* core's accounting to `to` in one
+    /// step, crediting per-core counter `deltas` (one entry per core, as
+    /// measured over an equivalent window by [`Cluster::stats`]
+    /// differencing). Panics unless every core is quiescent; see
+    /// [`Core::bulk_advance`]. Emits no completion events and records no
+    /// trace intervals.
+    pub fn bulk_advance(&mut self, to: Time, deltas: &[CoreStat]) {
+        assert_eq!(deltas.len(), self.cores.len(), "one delta per core");
+        for (core, delta) in self.cores.iter_mut().zip(deltas) {
+            core.bulk_advance(to, *delta);
+        }
+    }
+
     /// Earliest completion on `core` under the current composition.
     pub fn next_completion(&self, core: usize) -> Option<Time> {
         self.cores[core].next_completion()
@@ -312,6 +333,43 @@ mod tests {
         // Single-node cluster: buddy is the neighbouring core.
         let one = Cluster::new(ClusterConfig { nodes: 1, cores_per_node: 4, trace: false });
         assert_eq!(one.buddy_of(3), 0);
+    }
+
+    #[test]
+    fn bulk_advance_replays_a_measured_window() {
+        // Measure a quiescent window on one cluster, replay it on a twin.
+        let mk = || {
+            let mut cl = Cluster::new(ClusterConfig { nodes: 1, cores_per_node: 2, trace: false });
+            cl.start_fg(0, FgLabel { chare: 0 }, Dur::from_ms(1), 1.0);
+            cl.advance_to(Time::from_us(1_000));
+            cl
+        };
+        let mut slow = mk();
+        let before = slow.stats();
+        slow.advance_to(Time::from_us(9_000));
+        let deltas: Vec<CoreStat> = slow
+            .stats()
+            .iter()
+            .zip(&before)
+            .map(|(now, b)| CoreStat {
+                fg_us: now.fg_us - b.fg_us,
+                bg_us: now.bg_us - b.bg_us,
+                idle_us: now.idle_us - b.idle_us,
+            })
+            .collect();
+        let mut fast = mk();
+        fast.bulk_advance(Time::from_us(9_000), &deltas);
+        assert_eq!(fast.stats(), slow.stats());
+    }
+
+    #[test]
+    fn any_bg_tracks_residency() {
+        let mut cl = Cluster::new(ClusterConfig { nodes: 1, cores_per_node: 2, trace: false });
+        assert!(!cl.any_bg());
+        cl.add_bg(1, 3, None, 1.0);
+        assert!(cl.any_bg());
+        cl.remove_bg(1, 3);
+        assert!(!cl.any_bg());
     }
 
     #[test]

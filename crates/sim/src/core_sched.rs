@@ -138,6 +138,11 @@ impl Core {
         self.bg.iter().map(|b| b.job).collect()
     }
 
+    /// `true` while at least one background task is hosted here.
+    pub fn has_bg(&self) -> bool {
+        !self.bg.is_empty()
+    }
+
     /// Begin executing a foreground task with the given pure-CPU `demand`.
     ///
     /// Panics if a foreground task is already running — the PE is a serial
@@ -231,6 +236,32 @@ impl Core {
                 true
             }
         });
+    }
+
+    /// Fast-forward support: jump accounting to `to` in one step, crediting
+    /// the precomputed counter `delta` wholesale. Only legal while the core
+    /// is *quiescent* (no foreground task, no background tasks) — exactly
+    /// the state a parked PE is in at an LB release. A quiescent window has
+    /// no GPS segmentation effects, so a previously measured window's
+    /// deltas are translation-invariant and replaying them here yields the
+    /// same `/proc/stat` counters the event loop would have produced.
+    ///
+    /// Records nothing into a trace; callers wanting honest timelines mark
+    /// the coalesced window themselves.
+    pub fn bulk_advance(&mut self, to: Time, delta: CoreStat) {
+        assert!(self.fg.is_none(), "core {}: bulk_advance with fg busy", self.index);
+        assert!(self.bg.is_empty(), "core {}: bulk_advance with bg tasks", self.index);
+        assert!(to >= self.last, "core {}: bulk_advance into the past", self.index);
+        debug_assert_eq!(
+            delta.total_us(),
+            (to - self.last).as_us(),
+            "core {}: window delta does not cover the jump",
+            self.index
+        );
+        self.stat.fg_us += delta.fg_us;
+        self.stat.bg_us += delta.bg_us;
+        self.stat.idle_us += delta.idle_us;
+        self.last = to;
     }
 
     /// Advance accounting to `to`, distributing CPU by weight and emitting
@@ -474,6 +505,43 @@ mod tests {
         assert_eq!(c.next_completion(), Some(Time::ZERO));
         let ev = advance_collect(&mut c, Time::from_us(1));
         assert_eq!(ev[0].1, CoreEvent::FgDone { core: 0 });
+    }
+
+    #[test]
+    fn bulk_advance_matches_segmented_advance() {
+        // Two identical quiescent-window workloads: one advanced by the
+        // event loop (idle segments), one jumped with the measured delta.
+        let mut slow = Core::new(0);
+        advance_collect(&mut slow, Time::from_us(12_345));
+        let before = slow.stat();
+        advance_collect(&mut slow, Time::from_us(40_000));
+        let delta = CoreStat {
+            fg_us: slow.stat().fg_us - before.fg_us,
+            bg_us: slow.stat().bg_us - before.bg_us,
+            idle_us: slow.stat().idle_us - before.idle_us,
+        };
+
+        let mut fast = Core::new(0);
+        advance_collect(&mut fast, Time::from_us(12_345));
+        fast.bulk_advance(Time::from_us(40_000), delta);
+        assert_eq!(fast.stat(), slow.stat());
+        assert_eq!(fast.accounted_until(), slow.accounted_until());
+    }
+
+    #[test]
+    #[should_panic(expected = "bulk_advance with fg busy")]
+    fn bulk_advance_rejects_busy_core() {
+        let mut c = Core::new(0);
+        c.start_fg(FgLabel { chare: 0 }, Dur::from_ms(1), 1.0);
+        c.bulk_advance(Time::from_us(10), CoreStat { fg_us: 0, bg_us: 0, idle_us: 10 });
+    }
+
+    #[test]
+    #[should_panic(expected = "bulk_advance with bg tasks")]
+    fn bulk_advance_rejects_bg_host() {
+        let mut c = Core::new(0);
+        c.add_bg(1, None, 1.0);
+        c.bulk_advance(Time::from_us(10), CoreStat { fg_us: 0, bg_us: 0, idle_us: 10 });
     }
 
     #[test]

@@ -59,6 +59,8 @@ pub struct EventQueue<E> {
     scheduled: u64,
     popped: u64,
     peak_live: usize,
+    /// High-water mark of live events since the last [`EventQueue::mark_window`].
+    window_peak: usize,
 }
 
 impl<E> Default for EventQueue<E> {
@@ -80,6 +82,7 @@ impl<E> EventQueue<E> {
             scheduled: 0,
             popped: 0,
             peak_live: 0,
+            window_peak: 0,
         }
     }
 
@@ -110,6 +113,7 @@ impl<E> EventQueue<E> {
         self.live += 1;
         self.scheduled += 1;
         self.peak_live = self.peak_live.max(self.live);
+        self.window_peak = self.window_peak.max(self.live);
         EventHandle { slot, seq }
     }
 
@@ -184,6 +188,40 @@ impl<E> EventQueue<E> {
     /// High-water mark of live pending events.
     pub fn peak_depth(&self) -> usize {
         self.peak_live
+    }
+
+    /// Start a fresh windowed high-water mark at the current live count.
+    /// [`EventQueue::window_peak`] then reports the max live count reached
+    /// since this call. Used by the fast-forward engine to measure how much
+    /// a steady-state window raises queue depth above its starting level.
+    pub fn mark_window(&mut self) {
+        self.window_peak = self.live;
+    }
+
+    /// Max live count since the last [`EventQueue::mark_window`] (or since
+    /// construction, if never marked).
+    pub fn window_peak(&self) -> usize {
+        self.window_peak
+    }
+
+    /// Raise the lifetime high-water mark to at least `candidate` without
+    /// scheduling anything. The fast-forward engine uses this to account
+    /// for the queue depth the skipped events *would* have reached, so
+    /// `peak_depth` stays bit-identical to a run that popped them all.
+    pub fn raise_peak(&mut self, candidate: usize) {
+        self.peak_live = self.peak_live.max(candidate);
+    }
+
+    /// Iterate over every live (scheduled, not yet popped or cancelled)
+    /// event as `(handle, time, seq, payload)`, in slab order — *not* pop
+    /// order; sort by `seq` for FIFO-consistent views. The handle can be
+    /// passed to [`EventQueue::cancel`].
+    pub fn iter_live(&self) -> impl Iterator<Item = (EventHandle, Time, u64, &E)> + '_ {
+        self.slots.iter().enumerate().filter_map(|(slot, s)| {
+            s.payload
+                .as_ref()
+                .map(|p| (EventHandle { slot: slot as u32, seq: s.seq }, s.at, s.seq, p))
+        })
     }
 
     /// Heap nodes currently allocated, live *and* stale. Exposed so the
@@ -364,6 +402,45 @@ mod tests {
             n += 1;
         }
         assert_eq!(n, live);
+    }
+
+    #[test]
+    fn window_peak_tracks_since_mark() {
+        let mut q = EventQueue::new();
+        let hs: Vec<_> = (0..4).map(|i| q.schedule(Time::from_us(10 + i), i)).collect();
+        assert_eq!(q.window_peak(), 4);
+        q.cancel(hs[0]);
+        q.cancel(hs[1]);
+        q.mark_window(); // live = 2
+        assert_eq!(q.window_peak(), 2);
+        q.schedule(Time::from_us(50), 9);
+        assert_eq!(q.window_peak(), 3);
+        q.pop();
+        assert_eq!(q.window_peak(), 3, "window peak is a high-water mark");
+        // The lifetime peak is unaffected by marking.
+        assert_eq!(q.peak_depth(), 4);
+        q.raise_peak(17);
+        assert_eq!(q.peak_depth(), 17);
+        q.raise_peak(3);
+        assert_eq!(q.peak_depth(), 17, "raise_peak never lowers the mark");
+    }
+
+    #[test]
+    fn iter_live_sees_exactly_the_pending_events() {
+        let mut q = EventQueue::new();
+        let a = q.schedule(Time::from_us(10), "a");
+        let b = q.schedule(Time::from_us(5), "b");
+        q.schedule(Time::from_us(20), "c");
+        q.cancel(b);
+        q.pop(); // pops "a"
+        let mut live: Vec<_> = q.iter_live().map(|(_, t, seq, &p)| (t, seq, p)).collect();
+        live.sort_by_key(|&(_, seq, _)| seq);
+        assert_eq!(live, vec![(Time::from_us(20), 2, "c")]);
+        // Returned handles are cancellable.
+        let (h, _, _, _) = q.iter_live().next().unwrap();
+        assert_eq!(q.cancel(h), Some("c"));
+        assert!(q.is_empty());
+        assert_eq!(q.cancel(a), None, "popped events yield stale handles");
     }
 
     #[test]

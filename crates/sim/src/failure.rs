@@ -91,6 +91,14 @@ impl FailureScript {
         self
     }
 
+    /// First scripted failure strictly after `after`, if any.
+    ///
+    /// Fast-forward disturbance-horizon query; see
+    /// [`crate::interference::BgScript::next_disturbance_at`].
+    pub fn next_disturbance_at(&self, after: Time) -> Option<Time> {
+        self.actions.iter().map(|(t, _)| *t).find(|&t| t > after)
+    }
+
     /// `true` if the script contains at least one kill action (such runs
     /// need checkpointing to be recoverable).
     pub fn has_kills(&self) -> bool {
@@ -146,6 +154,15 @@ mod tests {
         let m = a.merge(b);
         let times: Vec<u64> = m.actions.iter().map(|(t, _)| t.as_us()).collect();
         assert_eq!(times, vec![100, 300]);
+    }
+
+    #[test]
+    fn next_disturbance_is_strictly_after() {
+        let s = FailureScript::core_outage(1, Time::from_us(50), Time::from_us(90));
+        assert_eq!(s.next_disturbance_at(Time::ZERO), Some(Time::from_us(50)));
+        assert_eq!(s.next_disturbance_at(Time::from_us(50)), Some(Time::from_us(90)));
+        assert_eq!(s.next_disturbance_at(Time::from_us(90)), None);
+        assert_eq!(FailureScript::none().next_disturbance_at(Time::ZERO), None);
     }
 
     #[test]

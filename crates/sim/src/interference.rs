@@ -118,6 +118,17 @@ impl BgScript {
         self
     }
 
+    /// First scripted action strictly after `after`, if any.
+    ///
+    /// This is the fast-forward engine's disturbance-horizon query: a
+    /// steady-state window starting at `after` can only be macro-stepped
+    /// when no interference action is still pending (an action at exactly
+    /// `after` has already been applied — scripted events are scheduled
+    /// ahead of everything else at the same instant).
+    pub fn next_disturbance_at(&self, after: Time) -> Option<Time> {
+        self.actions.iter().map(|(t, _)| *t).find(|&t| t > after)
+    }
+
     /// Largest core index referenced, if any (for config validation).
     pub fn max_core(&self) -> Option<usize> {
         self.actions
@@ -243,6 +254,16 @@ mod tests {
             }
         }
         assert!(s1.max_core().unwrap() < 4);
+    }
+
+    #[test]
+    fn next_disturbance_is_strictly_after() {
+        let s = BgScript::pulse(1, 0, Time::from_us(100), Time::from_us(300), 1.0);
+        assert_eq!(s.next_disturbance_at(Time::ZERO), Some(Time::from_us(100)));
+        // An action at exactly `after` has already fired.
+        assert_eq!(s.next_disturbance_at(Time::from_us(100)), Some(Time::from_us(300)));
+        assert_eq!(s.next_disturbance_at(Time::from_us(300)), None);
+        assert_eq!(BgScript::none().next_disturbance_at(Time::ZERO), None);
     }
 
     #[test]

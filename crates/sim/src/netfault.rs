@@ -423,6 +423,30 @@ impl FaultyNetwork {
             .max()
     }
 
+    /// Fast-forward disturbance-horizon query: the earliest instant at or
+    /// after `after` when this channel can treat two identical sends
+    /// differently from the clean wire model.
+    ///
+    /// * Any stochastic knob (loss, dup, reorder, jitter, collapse) makes
+    ///   every cross-node send draw from the channel RNG, so the channel is
+    ///   disturbed *continuously*: returns `Some(after)`.
+    /// * While `after` sits inside a partition window, sends are being
+    ///   rerouted to absolute heal instants: also `Some(after)`.
+    /// * Otherwise the next scheduled partition start strictly after
+    ///   `after`, or `None` if the channel behaves cleanly forever — only
+    ///   then may a steady-state window overlapping `(after, horizon]` be
+    ///   macro-stepped.
+    pub fn next_disturbance_at(&self, after: Time) -> Option<Time> {
+        let s = &self.spec;
+        if s.loss > 0.0 || s.dup > 0.0 || s.reorder > 0.0 || s.jitter > 0.0 || s.collapse > 0.0 {
+            return Some(after);
+        }
+        if self.windows.iter().any(|&(_, f, t)| (f..t).contains(&after)) {
+            return Some(after);
+        }
+        self.windows.iter().map(|&(_, f, _)| f).filter(|&f| f > after).min()
+    }
+
     /// Reliable delivery (the ghost-message path): the transport
     /// retransmits on loss with capped exponential backoff and rides out
     /// partitions by resending at the heal instant, so the caller always
@@ -673,6 +697,32 @@ mod tests {
         }
         assert_eq!(rto, ch.next_rto(rto), "backoff must cap");
         assert!(ch.rto_for(1 << 20) > ch.rto0(), "bulk transfers get a larger RTO");
+    }
+
+    #[test]
+    fn next_disturbance_reflects_knobs_and_partitions() {
+        // Stochastic knobs disturb continuously.
+        let ch = channel(NetFaultSpec { jitter: 0.1, ..NetFaultSpec::none() }, 1);
+        let t = Time::from_us(123);
+        assert_eq!(ch.next_disturbance_at(t), Some(t));
+        // Partition-only spec: clean until the window opens, disturbed
+        // inside it, clean forever after it heals.
+        let spec = NetFaultSpec {
+            partitions: vec![PartitionWindow {
+                scope: PartitionScope::Rack,
+                from_frac: 0.4,
+                to_frac: 0.6,
+            }],
+            ..NetFaultSpec::none()
+        };
+        let ch = channel(spec, 1); // horizon 1 s → window [0.4 s, 0.6 s)
+        assert_eq!(ch.next_disturbance_at(Time::ZERO), Some(Time::from_us(400_000)));
+        let inside = Time::from_us(500_000);
+        assert_eq!(ch.next_disturbance_at(inside), Some(inside));
+        assert_eq!(ch.next_disturbance_at(Time::from_us(600_000)), None);
+        // The fully clean channel never disturbs.
+        let ch = channel(NetFaultSpec::none(), 1);
+        assert_eq!(ch.next_disturbance_at(Time::ZERO), None);
     }
 
     #[test]

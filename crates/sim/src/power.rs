@@ -82,6 +82,27 @@ impl PowerModel {
     pub fn meter(&self, cluster: &Cluster, end: Time) -> EnergyReport {
         self.energy(&cluster.stats(), cluster.config().cores_per_node, end)
     }
+
+    /// Energy (J) consumed over one window of length `window`, given the
+    /// per-core counter *deltas* accumulated across it. Because the model
+    /// is linear in busy time, whole-run energy is the exact sum of its
+    /// windows' energies — which is what lets the fast-forward engine
+    /// advance the accumulators in bulk without changing the final
+    /// [`EnergyReport`].
+    pub fn window_energy_j(
+        &self,
+        deltas: &[CoreStat],
+        cores_per_node: usize,
+        window: Dur,
+    ) -> f64 {
+        assert!(cores_per_node > 0);
+        assert_eq!(deltas.len() % cores_per_node, 0, "ragged node layout");
+        let nodes = deltas.len() / cores_per_node;
+        let busy_core_seconds: f64 =
+            deltas.iter().map(|s| Dur::from_us(s.busy_us()).as_secs_f64()).sum();
+        self.base_w * window.as_secs_f64() * nodes as f64
+            + (self.max_w - self.base_w) * busy_core_seconds / cores_per_node as f64
+    }
 }
 
 #[cfg(test)]
@@ -141,6 +162,29 @@ mod tests {
     #[should_panic(expected = "ragged")]
     fn ragged_layout_rejected() {
         PowerModel::default().energy(&[stat(0, 0, 0); 5], 4, Time::ZERO);
+    }
+
+    #[test]
+    fn window_energies_sum_to_whole_run_energy() {
+        let m = PowerModel::default();
+        // A 3 s run on one 2-core node, split into three uneven windows.
+        let w1 = vec![stat(800_000, 0, 200_000), stat(0, 0, 1_000_000)];
+        let w2 = vec![stat(400_000, 100_000, 0), stat(500_000, 0, 0)];
+        let w3 = vec![stat(0, 0, 1_500_000), stat(1_200_000, 300_000, 0)];
+        let total: Vec<CoreStat> = (0..2)
+            .map(|i| {
+                stat(
+                    w1[i].fg_us + w2[i].fg_us + w3[i].fg_us,
+                    w1[i].bg_us + w2[i].bg_us + w3[i].bg_us,
+                    w1[i].idle_us + w2[i].idle_us + w3[i].idle_us,
+                )
+            })
+            .collect();
+        let whole = m.energy(&total, 2, Time::from_us(3_000_000)).energy_j;
+        let sum = m.window_energy_j(&w1, 2, Dur::from_us(1_000_000))
+            + m.window_energy_j(&w2, 2, Dur::from_us(500_000))
+            + m.window_energy_j(&w3, 2, Dur::from_us(1_500_000));
+        assert!((whole - sum).abs() < 1e-9, "windows {sum} vs whole {whole}");
     }
 
     #[test]

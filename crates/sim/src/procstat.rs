@@ -44,6 +44,24 @@ impl ProcStat {
         Dur::from_us(self.cores[core].bg_us.saturating_sub(earlier.cores[core].bg_us))
     }
 
+    /// Per-core counter deltas accumulated between `earlier` and `self`,
+    /// componentwise. This is the bulk form the fast-forward engine stores
+    /// in a window template: the counters a steady-state window adds are
+    /// translation-invariant, so the same deltas can be credited to a later
+    /// window via [`crate::cluster::Cluster::bulk_advance`].
+    pub fn delta_since(&self, earlier: &ProcStat) -> Vec<CoreStat> {
+        assert_eq!(self.cores.len(), earlier.cores.len(), "snapshot shape changed");
+        self.cores
+            .iter()
+            .zip(&earlier.cores)
+            .map(|(now, then)| CoreStat {
+                fg_us: now.fg_us.saturating_sub(then.fg_us),
+                bg_us: now.bg_us.saturating_sub(then.bg_us),
+                idle_us: now.idle_us.saturating_sub(then.idle_us),
+            })
+            .collect()
+    }
+
     /// Observe these counters through a telemetry-corruption channel (see
     /// [`crate::telemetry`]): returns what a runtime on a noisy cloud node
     /// would read instead of the ground truth, plus the (possibly skewed)
@@ -100,6 +118,25 @@ mod tests {
         assert_eq!(after.ground_truth_bg_since(&before, 0), Dur::from_ms(15));
         // Core 1 was entirely idle.
         assert_eq!(after.idle_since(&before, 1), Dur::from_ms(20));
+    }
+
+    #[test]
+    fn delta_since_differences_every_counter() {
+        let mut cl = cluster();
+        cl.add_bg(0, 0, None, 1.0);
+        cl.start_fg(0, FgLabel { chare: 0 }, Dur::from_ms(5), 1.0);
+        cl.advance_to(Time::from_us(4_000));
+        let earlier = ProcStat::snapshot(&cl);
+        cl.advance_to(Time::from_us(20_000));
+        let later = ProcStat::snapshot(&cl);
+        let delta = later.delta_since(&earlier);
+        assert_eq!(delta.len(), 2);
+        for (i, d) in delta.iter().enumerate() {
+            assert_eq!(d.fg_us, later.cores[i].fg_us - earlier.cores[i].fg_us);
+            assert_eq!(d.bg_us, later.cores[i].bg_us - earlier.cores[i].bg_us);
+            assert_eq!(d.idle_us, later.cores[i].idle_us - earlier.cores[i].idle_us);
+        }
+        assert_eq!(delta[1].idle_us, 16_000, "idle core accumulates pure idle");
     }
 
     #[test]

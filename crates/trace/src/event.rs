@@ -31,6 +31,11 @@ pub enum Activity {
     /// Runtime bookkeeping that is neither a task nor LB (scheduling,
     /// message handling, reductions).
     Overhead,
+    /// A steady-state LB window coalesced by the fast-forward engine: the
+    /// PE ran its usual task/idle pattern, but the engine macro-stepped the
+    /// window analytically instead of simulating (and tracing) it event by
+    /// event, so the per-task breakdown is not available.
+    FastForward,
 }
 
 impl Activity {
@@ -47,6 +52,7 @@ impl Activity {
             Activity::LoadBalance => 'L',
             Activity::Migration { .. } => 'M',
             Activity::Overhead => '~',
+            Activity::FastForward => 'F',
         }
     }
 
@@ -64,6 +70,7 @@ impl Activity {
                 | Activity::LoadBalance
                 | Activity::Migration { .. }
                 | Activity::Overhead
+                | Activity::FastForward
         )
     }
 
@@ -83,6 +90,7 @@ impl Activity {
             Activity::LoadBalance => "#222222".to_string(),
             Activity::Migration { .. } => "#eeca3b".to_string(),
             Activity::Overhead => "#d8d8d8".to_string(),
+            Activity::FastForward => "#6a51a3".to_string(),
         }
     }
 }

@@ -19,6 +19,10 @@ pub struct PeSummary {
     pub migration_us: u64,
     /// Runtime overhead (µs).
     pub overhead_us: u64,
+    /// Time inside fast-forwarded (coalesced) LB windows (µs). The PE ran
+    /// its usual task/idle mix there, but the per-activity breakdown was
+    /// skipped along with the events, so it is reported as its own bucket.
+    pub fast_forward_us: u64,
     /// Explicitly recorded or implied idle time (µs).
     pub idle_us: u64,
     /// Window length (µs).
@@ -39,7 +43,8 @@ impl PeSummary {
         if self.window_us == 0 {
             return 0.0;
         }
-        (self.task_us + self.lb_us + self.migration_us + self.overhead_us) as f64
+        (self.task_us + self.lb_us + self.migration_us + self.overhead_us
+            + self.fast_forward_us) as f64
             / self.window_us as f64
     }
 }
@@ -69,7 +74,7 @@ impl LogSummary {
     pub fn max_app_us(&self) -> u64 {
         self.pes
             .iter()
-            .map(|p| p.task_us + p.lb_us + p.migration_us + p.overhead_us)
+            .map(|p| p.task_us + p.lb_us + p.migration_us + p.overhead_us + p.fast_forward_us)
             .max()
             .unwrap_or(0)
     }
@@ -94,10 +99,16 @@ pub fn summarize(log: &TraceLog, lo: u64, hi: u64) -> LogSummary {
                 Activity::LoadBalance => s.lb_us += ov,
                 Activity::Migration { .. } => s.migration_us += ov,
                 Activity::Overhead => s.overhead_us += ov,
+                Activity::FastForward => s.fast_forward_us += ov,
                 Activity::Idle => {} // folded into the implicit idle below
             }
         }
-        let busy = s.task_us + s.background_us + s.lb_us + s.migration_us + s.overhead_us;
+        let busy = s.task_us
+            + s.background_us
+            + s.lb_us
+            + s.migration_us
+            + s.overhead_us
+            + s.fast_forward_us;
         s.idle_us = window.saturating_sub(busy);
         pes.push(s);
     }

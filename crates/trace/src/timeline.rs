@@ -82,6 +82,7 @@ pub fn legend() -> String {
         (Activity::LoadBalance, "load balancing"),
         (Activity::Migration { chare: 0 }, "migration"),
         (Activity::Overhead, "runtime overhead"),
+        (Activity::FastForward, "fast-forwarded (coalesced) window"),
     ];
     let mut s = String::from("legend: ");
     for (i, (a, desc)) in entries.iter().enumerate() {

@@ -12,10 +12,13 @@
 //! Fig. 4 tables for one application.
 
 use cloudlb::core_api::experiment::{
-    evaluate, failure_impact, network_impact, run_scenario, telemetry_impact, try_run_scenario,
+    evaluate_cells, failure_impact, network_impact, run_scenario, telemetry_impact,
+    try_run_scenario, CellSpec,
 };
+use cloudlb::core_api::default_jobs;
 use cloudlb::core_api::figures;
-use cloudlb::core_api::scenario::{FailSpec, Scenario};
+use cloudlb::core_api::scenario::{BgPattern, FailSpec, Scenario};
+use cloudlb::runtime::FastForward;
 use cloudlb::sim::{NetFaultSpec, TelemetrySpec};
 use cloudlb::trace::profile::{render_profile, ProfileOptions};
 use cloudlb::trace::svg::{render_svg, SvgOptions};
@@ -104,6 +107,12 @@ fn scenario_from(opts: &Opts) -> Result<Scenario, String> {
         if opts.net_fault.is_some() {
             scn.net_fault = opts.net_fault.clone();
         }
+        if let Some(ff) = opts.fast_forward {
+            scn.fast_forward = ff;
+        }
+        if let Some(bg) = opts.bg {
+            scn.bg = bg;
+        }
         return Ok(scn);
     }
     let mut scn = Scenario::paper(&opts.app, opts.cores, &opts.strategy);
@@ -112,6 +121,12 @@ fn scenario_from(opts: &Opts) -> Result<Scenario, String> {
     scn.fail.extend(opts.fail.iter().copied());
     scn.telemetry = opts.telemetry;
     scn.net_fault = opts.net_fault.clone();
+    if let Some(ff) = opts.fast_forward {
+        scn.fast_forward = ff;
+    }
+    if let Some(bg) = opts.bg {
+        scn.bg = bg;
+    }
     Ok(scn)
 }
 
@@ -166,7 +181,13 @@ fn cmd_run(opts: &Opts) -> ExitCode {
         }
     };
     if opts.json {
-        let p = evaluate(&scn.app, scn.cores, scn.iterations, &scn.strategy, &opts.seeds);
+        // Same paper cell as `evaluate`, but carrying the run's
+        // fast-forward mode so `--fast-forward off` shows in the record.
+        let mut cell = CellSpec::paper(&scn.app, scn.cores, scn.iterations, &scn.strategy);
+        cell.fast_forward = scn.fast_forward;
+        let p = evaluate_cells(std::slice::from_ref(&cell), &opts.seeds, default_jobs())
+            .pop()
+            .expect("one cell evaluated");
         println!("{}", serde_json_string(&p));
     } else {
         println!(
@@ -182,6 +203,15 @@ fn cmd_run(opts: &Opts) -> ExitCode {
             run.energy.avg_power_per_node_w,
             run.energy_overhead_vs(&base) * 100.0,
         );
+    }
+    if run.ff_windows > 0 {
+        report(format!(
+            "fast-forwarded {}/{} iterations ({} windows, {} events skipped)",
+            run.ff_windows * scn.lb_period,
+            scn.iterations,
+            run.ff_windows,
+            run.events_skipped,
+        ));
     }
     if run.failures > 0 {
         // A failure-free twin isolates the cost of the injected failures
@@ -247,7 +277,8 @@ fn serde_json_string<T: serde::Serialize>(value: &T) -> String {
 const USAGE: &str = "usage:
   cloudlb run    --app <name> --cores <n> [--strategy <s>] [--iters <n>] [--seed <s>]
                  [--fail <spec>[,<spec>...]] [--telemetry-noise <spec>]
-                 [--net-fault <spec>] [--json]
+                 [--net-fault <spec>] [--fast-forward on|off|auto]
+                 [--bg paper|none|twocore:<frac>] [--json]
   cloudlb run    --scenario <file.json> [--fail <spec>[,<spec>...]] [--json]
   cloudlb trace  --app <name> --cores <n> [--strategy <s>] [--iters <n>]
   cloudlb fig1 | fig3
@@ -257,6 +288,16 @@ const USAGE: &str = "usage:
 --jobs <n> (or CLOUDLB_JOBS=<n>) spreads the sweep's independent runs over
 n worker threads; results are bit-identical to --jobs 1. Defaults to the
 machine's available parallelism.
+
+--fast-forward on|off|auto controls the steady-state macro-stepper: clean
+LB windows are replayed analytically instead of event by event, with
+bit-identical results. 'auto' (default) disables it only while tracing,
+where coalescing would blur the timeline.
+
+--bg overrides the interference pattern: 'paper' (default: the paper's
+2-core background job, sized to outlive the run), 'none' (clean machine),
+or twocore:<frac> (same job with its CPU demand scaled to <frac> of the
+base run, so it drains mid-run).
 
 apps: jacobi2d wave2d mol3d stencil3d
 strategies: nolb greedy greedybg refine cloudrefine commrefine
@@ -286,6 +327,28 @@ struct Opts {
     telemetry: Option<TelemetrySpec>,
     net_fault: Option<NetFaultSpec>,
     jobs: Option<usize>,
+    fast_forward: Option<FastForward>,
+    bg: Option<BgPattern>,
+}
+
+/// Parse a `--bg` value: `paper` (keep the scenario's own pattern),
+/// `none`, or `twocore:<demand_frac>`.
+fn parse_bg(spec: &str) -> Result<Option<BgPattern>, String> {
+    match spec.to_ascii_lowercase().as_str() {
+        "paper" => Ok(None),
+        "none" => Ok(Some(BgPattern::None)),
+        s => {
+            let frac = s
+                .strip_prefix("twocore:")
+                .ok_or_else(|| format!("expected paper, none or twocore:<frac>, got {spec:?}"))?
+                .parse::<f64>()
+                .map_err(|e| format!("twocore demand fraction: {e}"))?;
+            if !(frac > 0.0 && frac.is_finite()) {
+                return Err("twocore demand fraction must be positive".into());
+            }
+            Ok(Some(BgPattern::TwoCore { demand_frac: frac }))
+        }
+    }
 }
 
 impl Opts {
@@ -303,6 +366,8 @@ impl Opts {
             telemetry: None,
             net_fault: None,
             jobs: None,
+            fast_forward: None,
+            bg: None,
         };
         let mut it = args.iter();
         while let Some(flag) = it.next() {
@@ -330,6 +395,15 @@ impl Opts {
                         return Err("--jobs must be >= 1".into());
                     }
                     o.jobs = Some(jobs);
+                }
+                "--fast-forward" => {
+                    o.fast_forward = Some(
+                        FastForward::parse(&value("--fast-forward")?)
+                            .map_err(|e| format!("--fast-forward: {e}"))?,
+                    );
+                }
+                "--bg" => {
+                    o.bg = parse_bg(&value("--bg")?).map_err(|e| format!("--bg: {e}"))?;
                 }
                 "--scenario" => o.scenario_file = Some(value("--scenario")?),
                 "--fail" => {
@@ -421,6 +495,36 @@ mod tests {
     fn jobs_flag_parses() {
         assert_eq!(parse(&[]).unwrap().jobs, None);
         assert_eq!(parse(&["--jobs", "4"]).unwrap().jobs, Some(4));
+    }
+
+    #[test]
+    fn fast_forward_flag_parses() {
+        assert_eq!(parse(&[]).unwrap().fast_forward, None);
+        assert_eq!(parse(&["--fast-forward", "on"]).unwrap().fast_forward, Some(FastForward::On));
+        assert_eq!(
+            parse(&["--fast-forward", "off"]).unwrap().fast_forward,
+            Some(FastForward::Off)
+        );
+        assert_eq!(
+            parse(&["--fast-forward", "auto"]).unwrap().fast_forward,
+            Some(FastForward::Auto)
+        );
+        assert!(parse(&["--fast-forward", "warp"]).is_err());
+        assert!(parse(&["--fast-forward"]).is_err());
+    }
+
+    #[test]
+    fn bg_flag_parses() {
+        assert_eq!(parse(&[]).unwrap().bg, None);
+        assert_eq!(parse(&["--bg", "paper"]).unwrap().bg, None);
+        assert_eq!(parse(&["--bg", "none"]).unwrap().bg, Some(BgPattern::None));
+        assert_eq!(
+            parse(&["--bg", "twocore:0.25"]).unwrap().bg,
+            Some(BgPattern::TwoCore { demand_frac: 0.25 })
+        );
+        assert!(parse(&["--bg", "threecore"]).is_err());
+        assert!(parse(&["--bg", "twocore:-1"]).is_err());
+        assert!(parse(&["--bg"]).is_err());
     }
 
     #[test]
