@@ -103,9 +103,10 @@ pub fn apply_plan(stats: &LbStats, plan: &[Migration]) -> LbStats {
 
 /// Construct a strategy by name, for config-driven harnesses. Recognized:
 /// `nolb`, `greedy`, `greedybg`, `refine`, `cloudrefine`, `commrefine`,
-/// `hysteresiscloudrefine` (CloudRefine behind the anti-thrash gate) and
-/// `robustcloudrefine` (the full guarded stack: robust estimation feeding
-/// the hysteresis gate feeding CloudRefine), case-insensitive.
+/// `gatedcloudrefine` (CloudRefine behind the §VI migration cost/benefit
+/// gate), `hysteresiscloudrefine` (CloudRefine behind the anti-thrash gate)
+/// and `robustcloudrefine` (the full guarded stack: robust estimation
+/// feeding the hysteresis gate feeding CloudRefine), case-insensitive.
 pub fn by_name(name: &str) -> Option<Box<dyn LbStrategy>> {
     match name.to_ascii_lowercase().as_str() {
         "nolb" => Some(Box::new(NoLb)),
@@ -114,6 +115,10 @@ pub fn by_name(name: &str) -> Option<Box<dyn LbStrategy>> {
         "refine" => Some(Box::new(crate::refine::RefineLb::default())),
         "cloudrefine" => Some(Box::new(crate::cloud::CloudRefineLb::default())),
         "commrefine" => Some(Box::new(crate::comm::CommRefineLb::default())),
+        "gatedcloudrefine" => Some(Box::new(crate::gated::GainGatedLb::new(
+            crate::cloud::CloudRefineLb::default(),
+            crate::gated::GateConfig::default(),
+        ))),
         "hysteresiscloudrefine" => Some(Box::new(crate::hysteresis::HysteresisLb::new(
             crate::cloud::CloudRefineLb::default(),
             crate::hysteresis::HysteresisConfig::default(),
@@ -194,6 +199,7 @@ mod tests {
             "refine",
             "CloudRefine",
             "commrefine",
+            "gatedcloudrefine",
             "HysteresisCloudRefine",
             "robustcloudrefine",
         ] {

@@ -35,6 +35,7 @@ pub fn run_scenario(s: &Scenario) -> RunResult {
 /// Execute a single scenario, reporting unrecoverable injected failures
 /// as typed errors.
 pub fn try_run_scenario(s: &Scenario) -> Result<RunResult, RuntimeError> {
+    s.validate().map_err(RuntimeError::InvalidConfig)?;
     let app = s.build_app();
     let bg = s.bg_script(app.as_ref());
     let fail = s.fail_script(app.as_ref());
@@ -435,6 +436,25 @@ mod tests {
             p
         };
         assert_eq!(scrub(p_on), scrub(p_off), "macro-stepping must not move any metric");
+    }
+
+    #[test]
+    fn invalid_scenarios_are_typed_errors_not_panics() {
+        // Oracle-discovered panics converted to RuntimeError::InvalidConfig:
+        // each of these used to unwind somewhere inside the runtime stack.
+        let ok = Scenario::paper("jacobi2d", 8, "cloudrefine");
+        let bad = [
+            Scenario { app: "linpack".into(), ..ok.clone() },
+            Scenario { strategy: "wat".into(), ..ok.clone() },
+            Scenario { pe_speeds: vec![1.0; 3], ..ok.clone() },
+            Scenario { cores: 6, ..ok.clone() },
+        ];
+        for s in bad {
+            match try_run_scenario(&s) {
+                Err(cloudlb_runtime::RuntimeError::InvalidConfig(_)) => {}
+                other => panic!("expected InvalidConfig, got {other:?}"),
+            }
+        }
     }
 
     #[test]

@@ -98,7 +98,11 @@ impl FailSpec {
 }
 
 /// One experiment configuration.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+///
+/// `PartialEq` compares every field: the scenario fuzzer's shrinker relies
+/// on it to detect fixpoints, and the round-trip tests use it to prove
+/// JSON serialization is lossless.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct Scenario {
     /// Application name (`jacobi2d`, `wave2d`, `mol3d`, `stencil3d`).
     pub app: String,
@@ -135,6 +139,11 @@ pub struct Scenario {
     /// undisturbed LB windows; default `auto` = on unless tracing).
     #[serde(default)]
     pub fast_forward: FastForward,
+    /// Relative per-core speeds (empty = uniform). Models static
+    /// heterogeneity — the paper's "VM to physical machine mapping"
+    /// extraneous factor; plumbed into [`RunConfig::pe_speeds`].
+    #[serde(default)]
+    pub pe_speeds: Vec<f64>,
 }
 
 impl Scenario {
@@ -168,6 +177,7 @@ impl Scenario {
             telemetry: None,
             net_fault: None,
             fast_forward: FastForward::default(),
+            pe_speeds: Vec::new(),
         }
     }
 
@@ -224,6 +234,98 @@ impl Scenario {
         }
     }
 
+    /// Application names [`Scenario::build_app`] understands.
+    pub const KNOWN_APPS: [&'static str; 4] = ["jacobi2d", "wave2d", "mol3d", "stencil3d"];
+
+    /// Check the scenario for configuration errors a JSON file (or a
+    /// fuzzer) can smuggle past the CLI parsers: unknown app or strategy,
+    /// broken cluster shape, out-of-range fault targets, malformed speed
+    /// vectors and non-finite knobs. Every failure here must surface as
+    /// `RuntimeError::InvalidConfig` from `try_run_scenario`, never a
+    /// panic.
+    pub fn validate(&self) -> Result<(), String> {
+        let app = self.app.to_ascii_lowercase();
+        if !Self::KNOWN_APPS.contains(&app.as_str()) {
+            return Err(format!(
+                "unknown application {:?} (expected one of {:?})",
+                self.app,
+                Self::KNOWN_APPS
+            ));
+        }
+        if self.cores == 0 || !self.cores.is_multiple_of(4) {
+            return Err(format!("cores must be a positive multiple of 4, got {}", self.cores));
+        }
+        if self.iterations == 0 {
+            return Err("iterations must be >= 1".to_string());
+        }
+        if self.lb_period == 0 {
+            return Err("lb_period must be >= 1".to_string());
+        }
+        if cloudlb_balance::strategy::by_name(&self.strategy).is_none() {
+            return Err(format!("unknown LB strategy {:?}", self.strategy));
+        }
+        if !(self.bg_weight > 0.0 && self.bg_weight.is_finite()) {
+            return Err(format!("bg_weight must be positive and finite, got {}", self.bg_weight));
+        }
+        match self.bg {
+            BgPattern::None | BgPattern::Phased => {}
+            BgPattern::TwoCore { demand_frac } => {
+                if !(demand_frac >= 0.0 && demand_frac.is_finite()) {
+                    return Err(format!("bg demand_frac must be >= 0, got {demand_frac}"));
+                }
+            }
+            BgPattern::SingleCore { core, start_frac } => {
+                if core >= self.cores {
+                    return Err(format!(
+                        "bg core {core} out of range for {} cores",
+                        self.cores
+                    ));
+                }
+                if !(start_frac >= 0.0 && start_frac.is_finite()) {
+                    return Err(format!("bg start_frac must be >= 0, got {start_frac}"));
+                }
+            }
+        }
+        let nodes = self.cores / 4;
+        for spec in &self.fail {
+            let limit = if spec.node { nodes } else { self.cores };
+            let what = if spec.node { "node" } else { "core" };
+            if spec.index >= limit {
+                return Err(format!(
+                    "failure spec targets {what} {} beyond the {limit}-{what} cluster",
+                    spec.index
+                ));
+            }
+            if !(spec.at_frac >= 0.0 && spec.at_frac.is_finite()) {
+                return Err(format!("failure kill time must be >= 0, got {}", spec.at_frac));
+            }
+            if let Some(r) = spec.restore_frac {
+                if !(r > spec.at_frac && r.is_finite()) {
+                    return Err(format!(
+                        "failure restore ({r}) must come after the kill ({})",
+                        spec.at_frac
+                    ));
+                }
+            }
+        }
+        if let Some(net) = &self.net_fault {
+            net.validate(nodes)?;
+        }
+        if !self.pe_speeds.is_empty() {
+            if self.pe_speeds.len() != self.cores {
+                return Err(format!(
+                    "pe_speeds length {} != core count {}",
+                    self.pe_speeds.len(),
+                    self.cores
+                ));
+            }
+            if !self.pe_speeds.iter().all(|s| *s > 0.0 && s.is_finite()) {
+                return Err(format!("pe_speeds must be positive: {:?}", self.pe_speeds));
+            }
+        }
+        Ok(())
+    }
+
     /// Instantiate the application with this scenario's seed folded into
     /// its jitter stream.
     pub fn build_app(&self) -> Box<dyn IterativeApp> {
@@ -272,6 +374,7 @@ impl Scenario {
         cfg.seed = self.seed;
         cfg.cluster.trace = self.trace;
         cfg.fast_forward = self.fast_forward;
+        cfg.pe_speeds = self.pe_speeds.clone();
         cfg
     }
 
@@ -471,6 +574,115 @@ mod tests {
         assert!(matches!(s.bg, BgPattern::TwoCore { .. }), "interference stays on");
         // The normalization base must be failure-free as well.
         assert!(s.base_of().fail.is_empty());
+    }
+
+    #[test]
+    fn validate_accepts_presets_and_rejects_garbage() {
+        for s in [
+            Scenario::paper("jacobi2d", 8, "cloudrefine"),
+            Scenario::noisy_cloud("mol3d", 4, "robustcloudrefine"),
+            Scenario::flaky_cloud("wave2d", 8, "gatedcloudrefine"),
+            Scenario::failure_drill("stencil3d", 4, "hysteresiscloudrefine"),
+        ] {
+            s.validate().unwrap_or_else(|e| panic!("{}: {e}", s.app));
+        }
+        let ok = Scenario::paper("jacobi2d", 8, "cloudrefine");
+        let cases: Vec<(Scenario, &str)> = vec![
+            (Scenario { app: "linpack".into(), ..ok.clone() }, "unknown application"),
+            (Scenario { cores: 6, ..ok.clone() }, "multiple of 4"),
+            (Scenario { iterations: 0, ..ok.clone() }, "iterations"),
+            (Scenario { lb_period: 0, ..ok.clone() }, "lb_period"),
+            (Scenario { strategy: "wat".into(), ..ok.clone() }, "unknown LB strategy"),
+            (Scenario { bg_weight: 0.0, ..ok.clone() }, "bg_weight"),
+            (
+                Scenario {
+                    bg: BgPattern::SingleCore { core: 8, start_frac: 0.5 },
+                    ..ok.clone()
+                },
+                "bg core 8 out of range",
+            ),
+            (
+                Scenario {
+                    fail: vec![FailSpec {
+                        node: false,
+                        index: 8,
+                        at_frac: 0.5,
+                        restore_frac: None,
+                    }],
+                    ..ok.clone()
+                },
+                "targets core 8",
+            ),
+            (
+                Scenario {
+                    fail: vec![FailSpec {
+                        node: true,
+                        index: 2,
+                        at_frac: 0.5,
+                        restore_frac: None,
+                    }],
+                    ..ok.clone()
+                },
+                "targets node 2",
+            ),
+            (
+                Scenario {
+                    fail: vec![FailSpec {
+                        node: false,
+                        index: 0,
+                        at_frac: 0.8,
+                        restore_frac: Some(0.2),
+                    }],
+                    ..ok.clone()
+                },
+                "after the kill",
+            ),
+            (Scenario { pe_speeds: vec![1.0; 3], ..ok.clone() }, "pe_speeds length"),
+            (Scenario { pe_speeds: vec![0.0; 8], ..ok.clone() }, "must be positive"),
+        ];
+        for (bad, want) in cases {
+            let err = bad.validate().expect_err(want);
+            assert!(err.contains(want), "error {err:?} should mention {want:?}");
+        }
+    }
+
+    #[test]
+    fn pe_speeds_plumb_into_run_config() {
+        let mut s = Scenario::paper("jacobi2d", 8, "cloudrefine");
+        s.pe_speeds = vec![1.0, 1.0, 1.0, 1.0, 0.5, 0.5, 0.5, 0.5];
+        assert_eq!(s.run_config().pe_speeds, s.pe_speeds);
+        assert!(s.validate().is_ok());
+    }
+
+    #[test]
+    fn scenario_json_round_trips_losslessly() {
+        // Exercise every optional field at once: if the vendored derive
+        // drops or defaults anything, PartialEq catches it.
+        let mut s = Scenario::flaky_cloud("mol3d", 8, "robustcloudrefine");
+        s.telemetry = Some(cloudlb_sim::TelemetrySpec::noisy_cloud());
+        s.fail = vec![
+            FailSpec { node: false, index: 7, at_frac: 0.4, restore_frac: None },
+            FailSpec { node: true, index: 1, at_frac: 0.2, restore_frac: Some(0.6) },
+        ];
+        s.bg = BgPattern::SingleCore { core: 3, start_frac: 0.25 };
+        s.fast_forward = FastForward::Off;
+        s.pe_speeds = vec![1.0, 1.0, 0.5, 1.0, 1.0, 0.75, 1.0, 1.0];
+        s.trace = true;
+        s.seed = 0xDEAD_BEEF;
+        let json = serde_json::to_string(&s).unwrap();
+        let back: Scenario = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, s);
+        // And the defaulted fields really default when absent.
+        let minimal: Scenario = serde_json::from_str(
+            r#"{"app":"jacobi2d","cores":8,"iterations":10,"strategy":"nolb",
+                "lb_period":5,"bg":"None","bg_weight":1.0,"seed":7,"trace":false}"#,
+        )
+        .unwrap();
+        assert!(minimal.fail.is_empty());
+        assert!(minimal.telemetry.is_none());
+        assert!(minimal.net_fault.is_none());
+        assert_eq!(minimal.fast_forward, FastForward::Auto);
+        assert!(minimal.pe_speeds.is_empty());
     }
 
     #[test]

@@ -111,10 +111,17 @@ impl LbConfig {
         LbConfig { strategy: "nolb".to_string(), ..Default::default() }
     }
 
-    /// Resolve the configured strategy.
-    pub fn make_strategy(&self) -> Box<dyn cloudlb_balance::LbStrategy> {
+    /// Resolve the configured strategy, reporting unknown names as a
+    /// typed error (the fuzzable path — `SimExecutor::try_run` uses this).
+    pub fn try_strategy(&self) -> Result<Box<dyn cloudlb_balance::LbStrategy>, String> {
         cloudlb_balance::strategy::by_name(&self.strategy)
-            .unwrap_or_else(|| panic!("unknown LB strategy {:?}", self.strategy))
+            .ok_or_else(|| format!("unknown LB strategy {:?}", self.strategy))
+    }
+
+    /// Resolve the configured strategy. Panics on unknown names; callers
+    /// holding untrusted config should prefer [`LbConfig::try_strategy`].
+    pub fn make_strategy(&self) -> Box<dyn cloudlb_balance::LbStrategy> {
+        self.try_strategy().unwrap_or_else(|e| panic!("{e}"))
     }
 }
 
@@ -194,20 +201,31 @@ impl RunConfig {
         }
     }
 
-    /// Resolved per-core speeds (uniform 1.0 unless overridden). Panics if
-    /// an override has the wrong length or non-positive entries.
-    pub fn resolved_speeds(&self) -> Vec<f64> {
+    /// Resolved per-core speeds (uniform 1.0 unless overridden), with
+    /// malformed overrides reported as a typed error (the fuzzable path).
+    pub fn try_resolved_speeds(&self) -> Result<Vec<f64>, String> {
         let n = self.cluster.total_cores();
         if self.pe_speeds.is_empty() {
-            return vec![1.0; n];
+            return Ok(vec![1.0; n]);
         }
-        assert_eq!(self.pe_speeds.len(), n, "pe_speeds length != core count");
-        assert!(
-            self.pe_speeds.iter().all(|s| *s > 0.0 && s.is_finite()),
-            "pe_speeds must be positive: {:?}",
-            self.pe_speeds
-        );
-        self.pe_speeds.clone()
+        if self.pe_speeds.len() != n {
+            return Err(format!(
+                "pe_speeds length {} != core count {n}",
+                self.pe_speeds.len()
+            ));
+        }
+        if !self.pe_speeds.iter().all(|s| *s > 0.0 && s.is_finite()) {
+            return Err(format!("pe_speeds must be positive: {:?}", self.pe_speeds));
+        }
+        Ok(self.pe_speeds.clone())
+    }
+
+    /// Resolved per-core speeds (uniform 1.0 unless overridden). Panics if
+    /// an override has the wrong length or non-positive entries; callers
+    /// holding untrusted config should prefer
+    /// [`RunConfig::try_resolved_speeds`].
+    pub fn resolved_speeds(&self) -> Vec<f64> {
+        self.try_resolved_speeds().unwrap_or_else(|e| panic!("{e}"))
     }
 
     /// Enable Projections-style tracing on the simulated cluster.
@@ -257,6 +275,22 @@ mod tests {
     #[should_panic(expected = "unknown LB strategy")]
     fn bad_strategy_name_panics() {
         LbConfig { strategy: "wat".into(), ..Default::default() }.make_strategy();
+    }
+
+    #[test]
+    fn missing_fail_detect_s_uses_documented_default() {
+        // Regression: the vendored derive used to treat
+        // `#[serde(default = "path")]` as plain `default`, silently
+        // deserializing an absent fail_detect_s to 0.0 instead of 0.05.
+        let mut v = serde_json::to_value(&RunConfig::paper(8, 4)).unwrap();
+        if let serde::Value::Object(fields) = &mut v {
+            fields.retain(|(k, _)| k != "fail_detect_s");
+        } else {
+            panic!("RunConfig should serialize to an object");
+        }
+        let cfg: RunConfig = serde_json::from_value(v).unwrap();
+        assert_eq!(cfg.fail_detect_s, default_fail_detect_s());
+        assert_eq!(cfg.fail_detect_s, 0.05);
     }
 
     #[test]

@@ -113,6 +113,36 @@ impl RunResult {
         self
     }
 
+    /// Chare-conservation oracle: every one of the `chares` chares must be
+    /// mapped to exactly one core in `[0, cores)`, and no chare may sit on
+    /// a core listed in `dead` (cores permanently lost to failures). This
+    /// is the invariant migrations and recoveries must preserve; the
+    /// scenario fuzzer (`cloudlb-vopr`) checks it after every run.
+    pub fn check_conservation(
+        &self,
+        chares: usize,
+        cores: usize,
+        dead: &[usize],
+    ) -> Result<(), String> {
+        if self.final_mapping.len() != chares {
+            return Err(format!(
+                "conservation: {} chares mapped, expected {chares}",
+                self.final_mapping.len()
+            ));
+        }
+        for (chare, &pe) in self.final_mapping.iter().enumerate() {
+            if pe >= cores {
+                return Err(format!(
+                    "conservation: chare {chare} on core {pe}, cluster has {cores}"
+                ));
+            }
+            if dead.contains(&pe) {
+                return Err(format!("conservation: chare {chare} left on dead core {pe}"));
+            }
+        }
+        Ok(())
+    }
+
     /// Fraction of ghost messages that crossed nodes (0 when no messages
     /// were sent).
     pub fn remote_msg_fraction(&self) -> f64 {
@@ -201,5 +231,18 @@ mod tests {
     #[should_panic(expected = "zero duration")]
     fn zero_reference_rejected() {
         result(1.0, 1.0).timing_penalty_vs(&result(0.0, 1.0));
+    }
+
+    #[test]
+    fn conservation_oracle_accepts_and_rejects() {
+        let mut r = result(1.0, 1.0);
+        r.final_mapping = vec![0, 1, 2, 1];
+        assert!(r.check_conservation(4, 4, &[]).is_ok());
+        // Wrong chare count.
+        assert!(r.check_conservation(5, 4, &[]).unwrap_err().contains("4 chares mapped"));
+        // Core out of range.
+        assert!(r.check_conservation(4, 2, &[]).unwrap_err().contains("on core 2"));
+        // Chare stranded on a dead core.
+        assert!(r.check_conservation(4, 4, &[2]).unwrap_err().contains("dead core 2"));
     }
 }

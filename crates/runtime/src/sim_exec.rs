@@ -172,7 +172,8 @@ impl<'a> SimExecutor<'a> {
     /// (checkpointing disabled, both checkpoint copies lost, all PEs dead)
     /// as typed errors instead of panicking.
     pub fn try_run(self) -> Result<RunResult, RuntimeError> {
-        let strategy = self.cfg.lb.make_strategy();
+        let strategy =
+            self.cfg.lb.try_strategy().map_err(RuntimeError::InvalidConfig)?;
         self.try_run_with_strategy(strategy)
     }
 
@@ -189,6 +190,9 @@ impl<'a> SimExecutor<'a> {
         strategy: Box<dyn LbStrategy>,
     ) -> Result<RunResult, RuntimeError> {
         let total = self.cfg.cluster.total_cores();
+        if let Err(e) = self.cfg.try_resolved_speeds() {
+            return Err(RuntimeError::InvalidConfig(e));
+        }
         if let Some(c) = self.fail.max_core(self.cfg.cluster.cores_per_node) {
             if c >= total {
                 return Err(RuntimeError::InvalidConfig(format!(

@@ -191,6 +191,23 @@ pub fn de_field_default<T: Deserialize + Default>(
     }
 }
 
+/// Look up a `#[serde(default = "path")]` struct field: absent keys yield
+/// `path()` (derive-generated code calls this).
+pub fn de_field_default_with<T: Deserialize>(
+    v: &Value,
+    ty: &str,
+    field: &str,
+    default: impl FnOnce() -> T,
+) -> Result<T, Error> {
+    if !matches!(v, Value::Object(_)) {
+        return Err(Error::new(format!("{ty}: expected object")));
+    }
+    match v.get(field) {
+        Some(fv) => T::from_value(fv).map_err(|e| Error::new(format!("{ty}.{field}: {e}"))),
+        None => Ok(default()),
+    }
+}
+
 /// Index into a serialized tuple (derive-generated code calls this).
 pub fn de_elem<T: Deserialize>(v: &Value, ty: &str, ix: usize) -> Result<T, Error> {
     match v {

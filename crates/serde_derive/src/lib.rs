@@ -21,7 +21,21 @@ use proc_macro::{Delimiter, TokenStream, TokenTree};
 /// A single named field.
 struct Field {
     name: String,
-    has_default: bool,
+    default: FieldDefault,
+}
+
+/// How an absent key is filled in during deserialization.
+#[derive(Clone, PartialEq)]
+enum FieldDefault {
+    /// No `#[serde(default)]`: the key is required.
+    Required,
+    /// `#[serde(default)]`: fall back to `Default::default()`.
+    Trait,
+    /// `#[serde(default = "path")]`: fall back to calling `path()`. The
+    /// stub used to silently treat this as the trait form, which turned
+    /// e.g. `RunConfig::fail_detect_s` (default 0.05 s) into 0.0 on any
+    /// scenario/config JSON that omitted the key.
+    Path(String),
 }
 
 /// One enum variant.
@@ -62,32 +76,62 @@ pub fn derive_deserialize(input: TokenStream) -> TokenStream {
 
 // ---------------------------------------------------------------- parsing
 
-/// `true` if an attribute group (the `[...]` after `#`) is `serde(default)`.
-fn attr_is_serde_default(group: &proc_macro::Group) -> bool {
+/// Parse an attribute group (the `[...]` after `#`): `serde(default)` or
+/// `serde(default = "path")`. Any *other* serde attribute is a hard error —
+/// the stub must never silently drop semantics it does not implement
+/// (`rename_all`, `skip`, …), because that corrupts round-trips without a
+/// compile-time trace.
+fn attr_serde_default(group: &proc_macro::Group) -> FieldDefault {
     let mut toks = group.stream().into_iter();
-    match (toks.next(), toks.next()) {
-        (Some(TokenTree::Ident(i)), Some(TokenTree::Group(inner))) if i.to_string() == "serde" => {
-            inner.stream().into_iter().any(|t| matches!(&t, TokenTree::Ident(d) if d.to_string() == "default"))
-        }
-        _ => false,
+    let (serde_kw, inner) = match (toks.next(), toks.next()) {
+        (Some(TokenTree::Ident(i)), Some(TokenTree::Group(inner))) => (i.to_string(), inner),
+        _ => return FieldDefault::Required,
+    };
+    if serde_kw != "serde" {
+        return FieldDefault::Required;
+    }
+    let mut inner_toks = inner.stream().into_iter();
+    match inner_toks.next() {
+        Some(TokenTree::Ident(d)) if d.to_string() == "default" => match inner_toks.next() {
+            None => FieldDefault::Trait,
+            Some(TokenTree::Punct(p)) if p.as_char() == '=' => match inner_toks.next() {
+                Some(TokenTree::Literal(lit)) => {
+                    let s = lit.to_string();
+                    let path = s.trim_matches('"').to_string();
+                    assert!(
+                        !path.is_empty() && path != s,
+                        "serde stub: `default = ...` expects a quoted fn path, got {s}"
+                    );
+                    FieldDefault::Path(path)
+                }
+                t => panic!("serde stub: `default =` expects a string literal, got {t:?}"),
+            },
+            Some(t) => panic!("serde stub: unsupported tokens after `default`: {t}"),
+        },
+        Some(other) => panic!(
+            "serde stub: unsupported serde attribute `{other}` (only `default` and \
+             `default = \"path\"` are implemented)"
+        ),
+        None => FieldDefault::Required,
     }
 }
 
-/// Consume leading attributes from `toks`, reporting whether any was
-/// `#[serde(default)]`.
-fn skip_attrs(toks: &mut std::iter::Peekable<proc_macro::token_stream::IntoIter>) -> bool {
-    let mut has_default = false;
+/// Consume leading attributes from `toks`, reporting the field's default
+/// policy if any attribute was a `#[serde(default...)]`.
+fn skip_attrs(toks: &mut std::iter::Peekable<proc_macro::token_stream::IntoIter>) -> FieldDefault {
+    let mut default = FieldDefault::Required;
     loop {
         match toks.peek() {
             Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
                 toks.next();
                 if let Some(TokenTree::Group(g)) = toks.next() {
-                    if attr_is_serde_default(&g) {
-                        has_default = true;
+                    let d = attr_serde_default(&g);
+                    if d != FieldDefault::Required {
+                        default = d;
                     }
                 }
             }
-            _ => return has_default,
+            _ => return default,
         }
     }
 }
@@ -126,7 +170,7 @@ fn parse_named_fields(group: &proc_macro::Group) -> Vec<Field> {
     let mut fields = Vec::new();
     let mut toks = group.stream().into_iter().peekable();
     loop {
-        let has_default = skip_attrs(&mut toks);
+        let default = skip_attrs(&mut toks);
         skip_vis(&mut toks);
         match toks.next() {
             Some(TokenTree::Ident(name)) => {
@@ -137,7 +181,7 @@ fn parse_named_fields(group: &proc_macro::Group) -> Vec<Field> {
                     "expected `:` after field `{name}`"
                 );
                 skip_type(&mut toks);
-                fields.push(Field { name: name.to_string(), has_default });
+                fields.push(Field { name: name.to_string(), default });
                 // consume trailing `,` if present
                 if let Some(TokenTree::Punct(p)) = toks.peek() {
                     if p.as_char() == ',' {
@@ -330,10 +374,15 @@ fn gen_serialize(input: &Input) -> String {
 fn gen_named_ctor(path: &str, ty_label: &str, fields: &[Field], src: &str) -> String {
     let inits: Vec<String> = fields
         .iter()
-        .map(|f| {
-            if f.has_default {
+        .map(|f| match &f.default {
+            FieldDefault::Trait => {
                 format!("{0}: serde::de_field_default({src}, \"{ty_label}\", \"{0}\")?", f.name)
-            } else {
+            }
+            FieldDefault::Path(path) => format!(
+                "{0}: serde::de_field_default_with({src}, \"{ty_label}\", \"{0}\", {path})?",
+                f.name
+            ),
+            FieldDefault::Required => {
                 format!("{0}: serde::de_field({src}, \"{ty_label}\", \"{0}\")?", f.name)
             }
         })

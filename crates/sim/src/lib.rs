@@ -51,6 +51,6 @@ pub use netfault::{
 pub use network::NetworkModel;
 pub use power::PowerModel;
 pub use procstat::ProcStat;
-pub use rng::SimRng;
+pub use rng::{stream_rng, stream_seed, SimRng, StreamLayer};
 pub use telemetry::{TelemetryChannel, TelemetrySpec};
 pub use time::{Dur, Time};

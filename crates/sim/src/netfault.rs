@@ -30,7 +30,7 @@
 //! the virtualized NIC (shared memory), mirroring `NetworkModel::delay`.
 
 use crate::network::NetworkModel;
-use crate::rng::SimRng;
+use crate::rng::{stream_seed, SimRng, StreamLayer};
 use crate::time::{Dur, Time};
 use serde::{Deserialize, Serialize};
 
@@ -373,7 +373,7 @@ impl FaultyNetwork {
         FaultyNetwork {
             spec,
             model,
-            rng: SimRng::new(seed ^ 0xF1AC_4E55_C0DE_2B1D),
+            rng: SimRng::new(stream_seed(seed, StreamLayer::NetFault)),
             windows,
             rto0,
             rto_max,

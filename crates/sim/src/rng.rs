@@ -7,6 +7,90 @@
 //! pseudorandom number generators*, OOPSLA 2014) feeding a xoshiro256++
 //! state — both standard, well-tested constructions.
 
+/// A named random stream derived from one scenario seed.
+///
+/// Every chaos layer (and every generator sub-stream in `cloudlb-vopr`)
+/// draws its randomness from its *own* stream so that composed scenarios
+/// never share RNG state: enabling the telemetry channel must not shift
+/// the network channel's dice, and vice versa. The derivation is one
+/// documented scheme — `stream_seed(root, layer) = root ^ layer.tag()` —
+/// instead of per-layer hard-coded constants scattered across modules.
+///
+/// Tags are fixed 64-bit constants with high pairwise Hamming distance;
+/// the two oldest (telemetry, network) keep the exact constants their
+/// modules used before the scheme was unified, so every previously
+/// published seeded run replays bit-identically.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum StreamLayer {
+    /// `/proc/stat` corruption ([`crate::telemetry::TelemetryChannel`]).
+    Telemetry,
+    /// Message loss/duplication/reordering/partitions
+    /// ([`crate::netfault::FaultyNetwork`]).
+    NetFault,
+    /// Scenario-generator sub-stream: cluster shape and heterogeneity.
+    Topology,
+    /// Scenario-generator sub-stream: application choice and run length.
+    App,
+    /// Scenario-generator sub-stream: LB arm selection.
+    Arm,
+    /// Scenario-generator sub-stream: interference (background jobs).
+    Interference,
+    /// Scenario-generator sub-stream: PE/node failure schedule.
+    Failures,
+    /// Scenario-generator sub-stream: network chaos knobs.
+    NetScript,
+    /// Scenario-generator sub-stream: telemetry corruption knobs.
+    TelemetryScript,
+}
+
+impl StreamLayer {
+    /// The layer's fixed xor tag. Tags must stay distinct forever — a
+    /// collision would silently merge two layers' streams.
+    pub const fn tag(self) -> u64 {
+        match self {
+            // Pre-unification constants, kept verbatim for replayability.
+            StreamLayer::Telemetry => 0x7E1E_3E72_ACC0_0117,
+            StreamLayer::NetFault => 0xF1AC_4E55_C0DE_2B1D,
+            // New layers: arbitrary high-entropy constants.
+            StreamLayer::Topology => 0x70B0_1061_5EED_0001,
+            StreamLayer::App => 0xA4B1_1CA7_5EED_0002,
+            StreamLayer::Arm => 0xBA1A_4CE2_5EED_0003,
+            StreamLayer::Interference => 0x1A7E_2FE2_5EED_0004,
+            StreamLayer::Failures => 0xFA11_0E5C_5EED_0005,
+            StreamLayer::NetScript => 0x4E75_C217_5EED_0006,
+            StreamLayer::TelemetryScript => 0x7E1E_5C17_5EED_0007,
+        }
+    }
+
+    /// Every layer, for exhaustiveness tests.
+    pub const ALL: [StreamLayer; 9] = [
+        StreamLayer::Telemetry,
+        StreamLayer::NetFault,
+        StreamLayer::Topology,
+        StreamLayer::App,
+        StreamLayer::Arm,
+        StreamLayer::Interference,
+        StreamLayer::Failures,
+        StreamLayer::NetScript,
+        StreamLayer::TelemetryScript,
+    ];
+}
+
+/// Derive a layer's stream seed from the scenario's root seed.
+///
+/// The scheme is a plain xor with a per-layer tag: cheap, invertible (so
+/// no two roots collide within a layer), and stable across releases. The
+/// seed then passes through [`SimRng::new`]'s SplitMix64 expansion, which
+/// decorrelates the streams of different layers for the same root.
+pub const fn stream_seed(root: u64, layer: StreamLayer) -> u64 {
+    root ^ layer.tag()
+}
+
+/// [`SimRng`] for a layer's stream: `SimRng::new(stream_seed(root, layer))`.
+pub fn stream_rng(root: u64, layer: StreamLayer) -> SimRng {
+    SimRng::new(stream_seed(root, layer))
+}
+
 /// Deterministic RNG (xoshiro256++ seeded via SplitMix64).
 #[derive(Debug, Clone)]
 pub struct SimRng {
@@ -176,6 +260,43 @@ mod tests {
         let mut sorted = xs.clone();
         sorted.sort_unstable();
         assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn stream_layer_tags_are_pairwise_distinct() {
+        for (i, a) in StreamLayer::ALL.iter().enumerate() {
+            for b in &StreamLayer::ALL[i + 1..] {
+                assert_ne!(a.tag(), b.tag(), "{a:?} and {b:?} share a stream tag");
+            }
+        }
+    }
+
+    #[test]
+    fn stream_seed_keeps_layers_apart_and_roots_apart() {
+        // Same root, different layers → different streams.
+        let mut seeds = std::collections::HashSet::new();
+        for layer in StreamLayer::ALL {
+            assert!(seeds.insert(stream_seed(42, layer)));
+        }
+        // Same layer, different roots → different streams (xor is invertible).
+        assert_ne!(
+            stream_seed(1, StreamLayer::Failures),
+            stream_seed(2, StreamLayer::Failures)
+        );
+        // Deterministic.
+        assert_eq!(
+            stream_rng(7, StreamLayer::Arm).next_u64(),
+            stream_rng(7, StreamLayer::Arm).next_u64()
+        );
+    }
+
+    #[test]
+    fn stream_seed_matches_pre_unification_constants() {
+        // Replays of published seeded runs must not change: the telemetry
+        // and network layers keep the xor constants their modules
+        // hard-coded before the scheme existed.
+        assert_eq!(stream_seed(5, StreamLayer::Telemetry), 5 ^ 0x7E1E_3E72_ACC0_0117);
+        assert_eq!(stream_seed(5, StreamLayer::NetFault), 5 ^ 0xF1AC_4E55_C0DE_2B1D);
     }
 
     #[test]

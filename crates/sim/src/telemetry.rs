@@ -14,7 +14,7 @@
 //! so the same run can be replayed with and without dirty telemetry.
 
 use crate::procstat::ProcStat;
-use crate::rng::SimRng;
+use crate::rng::{stream_seed, SimRng, StreamLayer};
 use crate::time::Time;
 use serde::{Deserialize, Serialize};
 
@@ -146,7 +146,7 @@ pub struct TelemetryChannel {
 impl TelemetryChannel {
     /// Open a channel with the given corruption spec and seed.
     pub fn new(spec: TelemetrySpec, seed: u64) -> Self {
-        let mut rng = SimRng::new(seed ^ 0x7E1E_3E72_ACC0_0117);
+        let mut rng = SimRng::new(stream_seed(seed, StreamLayer::Telemetry));
         let drift = if spec.skew > 0.0 { rng.range_f64(-spec.skew, spec.skew) } else { 0.0 };
         TelemetryChannel {
             spec,

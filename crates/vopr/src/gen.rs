@@ -1,0 +1,233 @@
+//! Seeded scenario generation.
+//!
+//! A single root seed expands into a full [`Scenario`] through independent
+//! per-layer random streams ([`stream_rng`]): topology, application, LB
+//! arm, interference, failures, network chaos and telemetry corruption
+//! each draw from their own stream, so enabling or reshaping one layer
+//! never shifts another layer's dice. Every generated scenario passes
+//! [`Scenario::validate`] by construction (a property test pins this), and
+//! the scenario's own `seed` field is the root seed — so the repro line
+//! `cloudlb-vopr --seed <root>` regenerates it exactly.
+
+use cloudlb_core::{BgPattern, FailSpec, Scenario};
+use cloudlb_runtime::FastForward;
+use cloudlb_sim::{
+    stream_rng, NetFaultSpec, PartitionScope, PartitionWindow, SimRng, StreamLayer, TelemetrySpec,
+};
+
+/// LB arms the generator samples, spanning plain strategies and every
+/// robustness wrapper in the registry.
+pub const ARMS: [&str; 9] = [
+    "nolb",
+    "greedy",
+    "greedybg",
+    "refine",
+    "cloudrefine",
+    "commrefine",
+    "gatedcloudrefine",
+    "hysteresiscloudrefine",
+    "robustcloudrefine",
+];
+
+fn pick<'a>(rng: &mut SimRng, xs: &[&'a str]) -> &'a str {
+    xs[rng.below(xs.len() as u64) as usize]
+}
+
+/// Expand `seed` into a scenario. Deterministic: the same seed always
+/// yields the same scenario, field for field.
+pub fn generate(seed: u64) -> Scenario {
+    // Topology: 1-4 nodes of 4 cores, occasionally heterogeneous.
+    let mut topo = stream_rng(seed, StreamLayer::Topology);
+    let cores = 4 * topo.range_u64(1, 5) as usize;
+    let pe_speeds = if topo.f64() < 0.3 {
+        (0..cores).map(|_| topo.range_f64(0.5, 1.5)).collect()
+    } else {
+        Vec::new()
+    };
+
+    // Application, grain and run length.
+    let mut app_rng = stream_rng(seed, StreamLayer::App);
+    let app = pick(&mut app_rng, &Scenario::KNOWN_APPS).to_string();
+    let iterations = app_rng.range_u64(8, 37) as usize;
+    let lb_period = app_rng.range_u64(2, 11).min(iterations as u64) as usize;
+
+    // LB arm.
+    let mut arm = stream_rng(seed, StreamLayer::Arm);
+    let strategy = pick(&mut arm, &ARMS).to_string();
+    let fast_forward = match arm.below(10) {
+        0 => FastForward::Off,
+        1 => FastForward::On,
+        _ => FastForward::Auto,
+    };
+
+    // Interference.
+    let mut bg_rng = stream_rng(seed, StreamLayer::Interference);
+    let bg_weight = if bg_rng.f64() < 0.25 {
+        Scenario::OS_PREFERENCE
+    } else {
+        bg_rng.range_f64(0.5, 2.0)
+    };
+    let bg = match bg_rng.below(4) {
+        0 => BgPattern::None,
+        1 => BgPattern::TwoCore { demand_frac: bg_rng.range_f64(0.25, 2.0) },
+        2 => BgPattern::SingleCore {
+            core: bg_rng.below(cores as u64) as usize,
+            start_frac: bg_rng.range_f64(0.0, 0.7),
+        },
+        _ => BgPattern::Phased,
+    };
+
+    // Failure schedule: up to two kills, each target used once; node
+    // kills only when losing a whole node still leaves the rest of the
+    // cluster (and never the whole rack).
+    let mut fail_rng = stream_rng(seed, StreamLayer::Failures);
+    let nodes = cores / 4;
+    let mut fail = Vec::new();
+    let kills = match fail_rng.below(10) {
+        0..=5 => 0,
+        6..=8 => 1,
+        _ => 2,
+    };
+    let mut used_cores = Vec::new();
+    let mut used_nodes = Vec::new();
+    for _ in 0..kills {
+        let node = nodes >= 2 && fail_rng.f64() < 0.3;
+        let limit = if node { nodes } else { cores };
+        let index = fail_rng.below(limit as u64) as usize;
+        let clashes = if node {
+            used_nodes.contains(&index) || used_cores.iter().any(|&c: &usize| c / 4 == index)
+        } else {
+            used_cores.contains(&index) || used_nodes.contains(&(index / 4))
+        };
+        if clashes {
+            continue;
+        }
+        if node {
+            used_nodes.push(index);
+        } else {
+            used_cores.push(index);
+        }
+        let at_frac = fail_rng.range_f64(0.1, 0.6);
+        let restore_frac =
+            (fail_rng.f64() < 0.4).then(|| at_frac + fail_rng.range_f64(0.05, 0.3));
+        fail.push(FailSpec { node, index, at_frac, restore_frac });
+    }
+
+    // Network chaos.
+    let mut net_rng = stream_rng(seed, StreamLayer::NetScript);
+    let net_fault = if net_rng.f64() < 0.5 {
+        let mut spec = NetFaultSpec {
+            loss: net_rng.range_f64(0.0, 0.02),
+            dup: net_rng.range_f64(0.0, 0.01),
+            reorder: net_rng.range_f64(0.0, 0.08),
+            jitter: net_rng.range_f64(0.0, 0.4),
+            collapse: net_rng.range_f64(0.0, 0.03),
+            slowdown: (net_rng.f64() < 0.3).then(|| net_rng.range_f64(2.0, 8.0)),
+            partitions: Vec::new(),
+        };
+        if net_rng.f64() < 0.4 {
+            let from_frac = net_rng.range_f64(0.2, 0.7);
+            let to_frac = from_frac + net_rng.range_f64(0.02, 0.15);
+            let scope = if nodes >= 2 && net_rng.f64() < 0.5 {
+                let a = net_rng.below(nodes as u64) as usize;
+                let b = (a + 1 + net_rng.below(nodes as u64 - 1) as usize) % nodes;
+                PartitionScope::NodePair { a: a.min(b), b: a.max(b) }
+            } else {
+                PartitionScope::Rack
+            };
+            spec.partitions.push(PartitionWindow { scope, from_frac, to_frac });
+        }
+        spec.is_active().then_some(spec)
+    } else {
+        None
+    };
+
+    // Telemetry corruption.
+    let mut tel_rng = stream_rng(seed, StreamLayer::TelemetryScript);
+    let telemetry = if tel_rng.f64() < 0.5 {
+        let spec = TelemetrySpec {
+            jitter: tel_rng.range_f64(0.0, 0.3),
+            skew: tel_rng.range_f64(0.0, 0.05),
+            drop: tel_rng.range_f64(0.0, 0.3),
+            wrap_us: (tel_rng.f64() < 0.1).then(|| tel_rng.range_u64(1 << 28, 1 << 32)),
+            steal: tel_rng.range_f64(0.0, 0.5),
+        };
+        spec.is_active().then_some(spec)
+    } else {
+        None
+    };
+
+    Scenario {
+        app,
+        cores,
+        iterations,
+        strategy,
+        lb_period,
+        bg,
+        bg_weight,
+        seed,
+        trace: false,
+        fail,
+        telemetry,
+        net_fault,
+        fast_forward,
+        pe_speeds,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic() {
+        for seed in 0..100 {
+            assert_eq!(generate(seed), generate(seed), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn every_generated_scenario_validates() {
+        for seed in 0..500 {
+            let s = generate(seed);
+            s.validate().unwrap_or_else(|e| panic!("seed {seed}: {e}\n{s:?}"));
+            assert_eq!(s.seed, seed, "the scenario carries its root seed");
+        }
+    }
+
+    #[test]
+    fn generator_covers_every_layer() {
+        let scns: Vec<Scenario> = (0..300).map(generate).collect();
+        let apps: std::collections::HashSet<_> = scns.iter().map(|s| s.app.clone()).collect();
+        let arms: std::collections::HashSet<_> =
+            scns.iter().map(|s| s.strategy.clone()).collect();
+        assert_eq!(apps.len(), Scenario::KNOWN_APPS.len(), "all apps reached");
+        assert_eq!(arms.len(), ARMS.len(), "all LB arms reached");
+        assert!(scns.iter().any(|s| !s.fail.is_empty()), "failures reached");
+        assert!(scns.iter().any(|s| s.fail.iter().any(|f| f.node)), "node kills reached");
+        assert!(scns.iter().any(|s| s.telemetry.is_some()), "telemetry chaos reached");
+        assert!(scns.iter().any(|s| s.net_fault.is_some()), "network chaos reached");
+        assert!(
+            scns.iter()
+                .any(|s| s.net_fault.as_ref().is_some_and(|n| !n.partitions.is_empty())),
+            "partitions reached"
+        );
+        assert!(scns.iter().any(|s| !s.pe_speeds.is_empty()), "heterogeneity reached");
+        assert!(scns.iter().any(|s| s.bg != BgPattern::None), "interference reached");
+        assert!(scns.iter().any(|s| s.fast_forward == FastForward::Off), "ff off reached");
+    }
+
+    #[test]
+    fn layers_draw_from_independent_streams() {
+        // Perturbing one layer's stream must not reshape the others: two
+        // roots that agree on a layer's stream seed generate the same
+        // draws for that layer. Here we just pin the cheap global
+        // property — same root, rerun, field-for-field equal — plus the
+        // documented derivation.
+        use cloudlb_sim::stream_seed;
+        assert_eq!(stream_seed(3, StreamLayer::Topology), 3 ^ StreamLayer::Topology.tag());
+        let a = generate(0xC0FFEE);
+        let b = generate(0xC0FFEE);
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,116 @@
+//! Self-contained failure repros.
+//!
+//! When a swarm seed fails its oracles, the shrinker's minimized scenario
+//! is packaged into a JSON bundle carrying everything needed to replay
+//! the failure on another machine: the root seed, the minimized scenario
+//! itself (not just the seed — shrinking detaches the scenario from the
+//! generator), the oracle verdict, and the exact CLI line to run.
+
+use crate::oracle::{InjectBreak, OracleFailure};
+use cloudlb_core::Scenario;
+use serde::{Deserialize, Serialize};
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Everything needed to replay one oracle failure.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ReproBundle {
+    /// Root seed the failing scenario was generated from.
+    pub seed: u64,
+    /// The minimized scenario (replayed as-is; regenerate the original
+    /// with `cloudlb-vopr --seed <seed>`).
+    pub scenario: Scenario,
+    /// The oracle failure the minimized scenario still triggers.
+    pub failure: OracleFailure,
+    /// Shrink steps accepted on the way here.
+    pub shrink_steps: usize,
+    /// Active injected-break hook, if any (the replay must carry it).
+    #[serde(default)]
+    pub inject: Option<InjectBreak>,
+    /// The exact replay command.
+    pub cli: String,
+}
+
+/// Canonical repro file name for a seed.
+pub fn file_name(seed: u64) -> String {
+    format!("vopr-repro-{seed}.json")
+}
+
+/// The CLI line that replays a bundle written to `path`.
+pub fn cli_line(path: &Path, inject: Option<InjectBreak>) -> String {
+    let mut line = format!("cloudlb-vopr --repro {}", path.display());
+    if inject == Some(InjectBreak::Faults) {
+        line.push_str(" --inject-break faults");
+    }
+    line
+}
+
+impl ReproBundle {
+    /// Serialize to pretty JSON (stable field order — the derive emits
+    /// fields in declaration order).
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("repro bundles always serialize")
+    }
+
+    /// Parse a bundle back from JSON.
+    pub fn from_json(s: &str) -> Result<Self, String> {
+        serde_json::from_str(s).map_err(|e| format!("bad repro bundle: {e}"))
+    }
+
+    /// Write the bundle under `dir` using the canonical file name and
+    /// return the path.
+    pub fn write_to(&self, dir: &Path) -> io::Result<PathBuf> {
+        std::fs::create_dir_all(dir)?;
+        let path = dir.join(file_name(self.seed));
+        std::fs::write(&path, self.to_json() + "\n")?;
+        Ok(path)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::oracle::FailureKind;
+
+    fn bundle() -> ReproBundle {
+        let mut scenario = Scenario::failure_drill("jacobi2d", 4, "nolb");
+        scenario.iterations = 4;
+        ReproBundle {
+            seed: 42,
+            scenario,
+            failure: OracleFailure {
+                kind: FailureKind::InjectedBreak,
+                detail: "injected break: scenario schedules 1 failure(s)".into(),
+            },
+            shrink_steps: 3,
+            inject: Some(InjectBreak::Faults),
+            cli: "cloudlb-vopr --repro vopr-repro-42.json --inject-break faults".into(),
+        }
+    }
+
+    #[test]
+    fn bundle_round_trips_through_json() {
+        let b = bundle();
+        assert_eq!(ReproBundle::from_json(&b.to_json()).unwrap(), b);
+    }
+
+    #[test]
+    fn cli_line_carries_the_inject_hook() {
+        let p = Path::new("out/vopr-repro-7.json");
+        assert_eq!(cli_line(p, None), "cloudlb-vopr --repro out/vopr-repro-7.json");
+        assert_eq!(
+            cli_line(p, Some(InjectBreak::Faults)),
+            "cloudlb-vopr --repro out/vopr-repro-7.json --inject-break faults"
+        );
+    }
+
+    #[test]
+    fn write_creates_canonical_file() {
+        let dir = std::env::temp_dir().join("cloudlb-vopr-test-repro");
+        let path = bundle().write_to(&dir).unwrap();
+        assert!(path.ends_with("vopr-repro-42.json"));
+        let back = ReproBundle::from_json(&std::fs::read_to_string(&path).unwrap()).unwrap();
+        assert_eq!(back, bundle());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

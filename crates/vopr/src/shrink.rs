@@ -1,0 +1,172 @@
+//! Scenario minimization.
+//!
+//! Greedy fixpoint shrinking: propose one-step-smaller candidates (drop a
+//! fault entry, strip a chaos layer, simplify the LB arm, halve the run,
+//! halve the cluster), re-run the oracle battery after each step, and
+//! accept a candidate only when it still fails with the **same**
+//! [`FailureKind`] — accepting a different kind (or a pass) would be the
+//! classic shrink-to-pass bug where minimization walks away from the
+//! defect it is meant to isolate. Repeat until no candidate is accepted
+//! or the evaluation budget runs out.
+
+use crate::oracle::{check, FailureKind, OracleFailure, OracleOpts};
+use cloudlb_core::Scenario;
+
+/// Outcome of shrinking one failing scenario.
+#[derive(Debug, Clone)]
+pub struct ShrinkResult {
+    /// The minimized scenario (still failing).
+    pub scenario: Scenario,
+    /// Its oracle failure — same [`FailureKind`] as the original.
+    pub failure: OracleFailure,
+    /// Shrink steps accepted.
+    pub steps: usize,
+    /// Oracle evaluations spent.
+    pub evals: usize,
+}
+
+/// Upper bound on oracle evaluations per shrink (each evaluation is up to
+/// four simulated runs).
+const EVAL_BUDGET: usize = 500;
+
+/// One-step-smaller candidates. Fault-script entries go first (the repro
+/// should isolate the smallest fault schedule), then run-shortening (so
+/// every later evaluation simulates less), then layer stripping and arm
+/// simplification.
+fn candidates(s: &Scenario) -> Vec<Scenario> {
+    let mut out = Vec::new();
+    // Drop fault-script entries one at a time.
+    for i in 0..s.fail.len() {
+        let mut c = s.clone();
+        c.fail.remove(i);
+        out.push(c);
+    }
+    // Shorten the run.
+    if s.iterations > 2 {
+        let iterations = (s.iterations / 2).max(2);
+        let lb_period = s.lb_period.min(iterations);
+        out.push(Scenario { iterations, lb_period, ..s.clone() });
+    }
+    if s.lb_period > 1 {
+        out.push(Scenario { lb_period: (s.lb_period / 2).max(1), ..s.clone() });
+    }
+    // Halve the cluster (candidates referencing out-of-range cores are
+    // rejected by validate() below).
+    if s.cores >= 8 && (s.cores / 2).is_multiple_of(4) {
+        let cores = s.cores / 2;
+        let mut c = Scenario { cores, ..s.clone() };
+        c.pe_speeds.truncate(cores);
+        out.push(c);
+    }
+    // Strip whole chaos layers.
+    if s.telemetry.is_some() {
+        out.push(Scenario { telemetry: None, ..s.clone() });
+    }
+    if let Some(net) = &s.net_fault {
+        if !net.partitions.is_empty() {
+            let mut c = s.clone();
+            c.net_fault.as_mut().unwrap().partitions.clear();
+            out.push(c);
+        }
+        out.push(Scenario { net_fault: None, ..s.clone() });
+    }
+    if s.bg != cloudlb_core::BgPattern::None {
+        out.push(Scenario { bg: cloudlb_core::BgPattern::None, ..s.clone() });
+    }
+    if !s.pe_speeds.is_empty() {
+        out.push(Scenario { pe_speeds: Vec::new(), ..s.clone() });
+    }
+    // Simplify the LB arm — strictly downward in complexity, or the
+    // fixpoint loop would swap two "still failing" arms forever.
+    let rank = |name: &str| match name {
+        "nolb" => 0,
+        "cloudrefine" => 1,
+        _ => 2,
+    };
+    for simpler in ["cloudrefine", "nolb"] {
+        if rank(simpler) < rank(&s.strategy) {
+            out.push(Scenario { strategy: simpler.to_string(), ..s.clone() });
+        }
+    }
+    out
+}
+
+/// Minimize `scn`, which must fail the oracle with `kind`. Returns the
+/// smallest scenario found that still fails with the same kind.
+pub fn shrink(scn: &Scenario, kind: FailureKind, opts: &OracleOpts) -> ShrinkResult {
+    let mut best = scn.clone();
+    let mut failure = match check(&best, opts) {
+        Err(f) => f,
+        Ok(_) => panic!("shrink() called on a passing scenario"),
+    };
+    assert_eq!(failure.kind, kind, "shrink() seeded with the wrong failure kind");
+    let mut steps = 0;
+    let mut evals = 1;
+
+    'outer: loop {
+        for cand in candidates(&best) {
+            if evals >= EVAL_BUDGET {
+                break 'outer;
+            }
+            if cand.validate().is_err() {
+                continue;
+            }
+            evals += 1;
+            if let Err(f) = check(&cand, opts) {
+                if f.kind == kind {
+                    best = cand;
+                    failure = f;
+                    steps += 1;
+                    continue 'outer;
+                }
+            }
+        }
+        break;
+    }
+
+    ShrinkResult { scenario: best, failure, steps, evals }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::generate;
+    use crate::oracle::InjectBreak;
+
+    /// Find a generated seed whose scenario schedules failures (the
+    /// injected-break hook trips on those).
+    pub(crate) fn seed_with_failures() -> u64 {
+        (0..500)
+            .find(|&s| !generate(s).fail.is_empty())
+            .expect("some seed in 0..500 generates failures")
+    }
+
+    #[test]
+    fn injected_break_shrinks_to_one_fault_entry() {
+        let opts = OracleOpts { inject: Some(InjectBreak::Faults) };
+        let seed = seed_with_failures();
+        let scn = generate(seed);
+        let kind = check(&scn, &opts).unwrap_err().kind;
+        assert_eq!(kind, FailureKind::InjectedBreak);
+        let shrunk = shrink(&scn, kind, &opts);
+        // Minimal repro: exactly one fault entry, no other chaos, the
+        // trivial arm, a short run.
+        assert_eq!(shrunk.failure.kind, FailureKind::InjectedBreak, "no shrink-to-pass");
+        assert_eq!(shrunk.scenario.fail.len(), 1, "{:?}", shrunk.scenario);
+        assert!(shrunk.scenario.telemetry.is_none());
+        assert!(shrunk.scenario.net_fault.is_none());
+        assert_eq!(shrunk.scenario.strategy, "nolb");
+        assert!(shrunk.scenario.iterations <= 4);
+        assert!(shrunk.scenario.validate().is_ok(), "shrunk output must stay runnable");
+        // And the emitted scenario genuinely still fails.
+        assert_eq!(check(&shrunk.scenario, &opts).unwrap_err().kind, kind);
+    }
+
+    #[test]
+    #[should_panic(expected = "passing scenario")]
+    fn shrink_rejects_passing_input() {
+        let mut s = Scenario::paper("jacobi2d", 4, "nolb");
+        s.iterations = 8;
+        shrink(&s, FailureKind::Panic, &OracleOpts::default());
+    }
+}

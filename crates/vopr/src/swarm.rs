@@ -1,0 +1,139 @@
+//! Seed-range fan-out over the deterministic parallel pool.
+//!
+//! Each seed's generate→oracle pipeline is an independent deterministic
+//! computation, so a swarm maps the seed range over
+//! [`cloudlb_core::par_map`] — results come back in submission order, so
+//! the report (and anything printed from it) is bit-identical for any
+//! worker count.
+
+use crate::gen::generate;
+use crate::oracle::{check, FailureKind, OracleOpts, Outcome, Verdict};
+use cloudlb_core::par_map;
+
+/// One seed's verdict.
+#[derive(Debug, Clone)]
+pub struct SwarmRow {
+    /// The seed.
+    pub seed: u64,
+    /// What the oracles said.
+    pub verdict: Verdict,
+}
+
+/// Verdicts for a contiguous seed range, in seed order.
+#[derive(Debug, Clone)]
+pub struct SwarmReport {
+    /// First seed of the range.
+    pub seed_base: u64,
+    /// Per-seed verdicts, ordered by seed.
+    pub rows: Vec<SwarmRow>,
+}
+
+impl SwarmReport {
+    /// Seeds that completed with every oracle green.
+    pub fn completed(&self) -> usize {
+        self.rows
+            .iter()
+            .filter(|r| matches!(r.verdict, Ok(Outcome::Completed { .. })))
+            .count()
+    }
+
+    /// Seeds that terminated with an acceptable typed error.
+    pub fn typed_errors(&self) -> usize {
+        self.rows.iter().filter(|r| matches!(r.verdict, Ok(Outcome::TypedError(_)))).count()
+    }
+
+    /// Rows whose oracles tripped.
+    pub fn failures(&self) -> Vec<&SwarmRow> {
+        self.rows.iter().filter(|r| r.verdict.is_err()).collect()
+    }
+
+    /// Deterministic human-readable summary table.
+    pub fn summary_table(&self) -> String {
+        let mut kinds: std::collections::BTreeMap<&'static str, usize> =
+            std::collections::BTreeMap::new();
+        for row in &self.rows {
+            if let Err(f) = &row.verdict {
+                *kinds.entry(kind_name(f.kind)).or_default() += 1;
+            }
+        }
+        let n = self.rows.len();
+        let mut out = String::new();
+        out.push_str(&format!(
+            "seeds {}..{}: {n} run, {} completed, {} typed errors, {} oracle failures\n",
+            self.seed_base,
+            self.seed_base + n as u64,
+            self.completed(),
+            self.typed_errors(),
+            self.failures().len(),
+        ));
+        for (kind, count) in kinds {
+            out.push_str(&format!("  {kind}: {count}\n"));
+        }
+        for row in self.failures() {
+            if let Err(f) = &row.verdict {
+                out.push_str(&format!(
+                    "  seed {}: {} — {}\n",
+                    row.seed,
+                    kind_name(f.kind),
+                    f.detail
+                ));
+            }
+        }
+        out
+    }
+}
+
+/// Stable display name for a failure kind.
+pub fn kind_name(kind: FailureKind) -> &'static str {
+    match kind {
+        FailureKind::Panic => "panic",
+        FailureKind::Nondeterminism => "nondeterminism",
+        FailureKind::Incomplete => "incomplete",
+        FailureKind::Conservation => "conservation",
+        FailureKind::DeadPe => "dead-pe",
+        FailureKind::FastForwardDivergence => "ff-divergence",
+        FailureKind::CleanTwinError => "clean-twin-error",
+        FailureKind::MakespanBlowup => "makespan-blowup",
+        FailureKind::InjectedBreak => "injected-break",
+    }
+}
+
+/// Run the oracle battery over `n` consecutive seeds starting at
+/// `seed_base`, fanned over `jobs` workers.
+pub fn run_swarm(seed_base: u64, n: u64, jobs: usize, opts: &OracleOpts) -> SwarmReport {
+    let seeds: Vec<u64> = (seed_base..seed_base + n).collect();
+    let rows = par_map(jobs, seeds, |seed| SwarmRow {
+        seed,
+        verdict: check(&generate(seed), opts),
+    });
+    SwarmReport { seed_base, rows }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn swarm_is_deterministic_across_worker_counts() {
+        let opts = OracleOpts::default();
+        let serial = run_swarm(10, 6, 1, &opts);
+        let parallel = run_swarm(10, 6, 4, &opts);
+        assert_eq!(serial.rows.len(), 6);
+        for (a, b) in serial.rows.iter().zip(&parallel.rows) {
+            assert_eq!(a.seed, b.seed);
+            assert_eq!(a.verdict, b.verdict, "seed {}", a.seed);
+        }
+        assert_eq!(serial.summary_table(), parallel.summary_table());
+    }
+
+    #[test]
+    fn summary_counts_add_up() {
+        let report = run_swarm(0, 5, 2, &OracleOpts::default());
+        assert_eq!(
+            report.completed() + report.typed_errors() + report.failures().len(),
+            report.rows.len()
+        );
+        let table = report.summary_table();
+        assert!(table.starts_with("seeds 0..5: 5 run"), "{table}");
+    }
+}
