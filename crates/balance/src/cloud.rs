@@ -82,6 +82,15 @@ pub(crate) fn refine_plan(stats: &LbStats, epsilon_frac: f64, account_bg: bool) 
     if p == 0 || stats.tasks.is_empty() {
         return Vec::new();
     }
+    // Cores under a preemption notice are zero-capacity: they may only
+    // donate, and everything they host must leave. With no membership
+    // churn the mask is empty and this engine reduces exactly to the
+    // paper's Algorithm 1.
+    let doomed: Vec<bool> = (0..p).map(|pe| stats.doomed_of(pe)).collect();
+    let eligible: Vec<usize> = (0..p).filter(|&pe| !doomed[pe]).collect();
+    if eligible.is_empty() {
+        return Vec::new(); // nowhere anything could go
+    }
 
     // Current per-core load: Σ t_i (+ O_p when interference-aware).
     let mut loads = stats.task_loads();
@@ -90,8 +99,6 @@ pub(crate) fn refine_plan(stats: &LbStats, epsilon_frac: f64, account_bg: bool) 
             *l += o;
         }
     }
-    let t_avg = loads.iter().sum::<f64>() / p as f64;
-    let eps = epsilon_frac * t_avg;
 
     // Per-core task lists sorted ascending by load, so the biggest
     // transferable task is found with a partition-point search.
@@ -103,21 +110,54 @@ pub(crate) fn refine_plan(stats: &LbStats, epsilon_frac: f64, account_bg: bool) 
         list.sort_by(|a, b| a.0.total_cmp(&b.0).then_with(|| a.1.cmp(&b.1)));
     }
 
-    let is_heavy = |load: f64| load - t_avg > eps;
-    let is_light = |load: f64| t_avg - load > eps;
+    let mut plan = Vec::new();
 
-    // Lines 2–8: build overheap and underset.
-    let mut overheap = BinaryHeap::new();
-    let mut underset: Vec<usize> = Vec::new();
-    for (pe, &load) in loads.iter().enumerate() {
-        if is_heavy(load) {
-            overheap.push(HeapEntry { load, pe });
-        } else if is_light(load) {
-            underset.push(pe);
+    // Phase 0 (elastic membership): force-drain doomed cores. Every task
+    // moves to the least-loaded eligible core regardless of headroom — an
+    // overloaded survivor beats a task lost to revocation.
+    for pe in 0..p {
+        if !doomed[pe] {
+            continue;
+        }
+        while let Some((task_load, task_id, _)) = tasks_on[pe].pop() {
+            let &dest = eligible
+                .iter()
+                .min_by(|&&a, &&b| loads[a].total_cmp(&loads[b]).then_with(|| a.cmp(&b)))
+                .expect("eligible nonempty");
+            plan.push(Migration { task: task_id, from: pe, to: dest });
+            loads[pe] -= task_load;
+            loads[dest] += task_load;
+            let list = &mut tasks_on[dest];
+            let at = list.partition_point(|&(l, id, _)| {
+                l < task_load || (l == task_load && id < task_id)
+            });
+            list.insert(at, (task_load, task_id, usize::MAX));
         }
     }
 
-    let mut plan = Vec::new();
+    // T_avg over the cores that will still exist; doomed cores contribute
+    // no capacity to the average.
+    let t_avg =
+        eligible.iter().map(|&pe| loads[pe]).sum::<f64>() / eligible.len() as f64;
+    let eps = epsilon_frac * t_avg;
+
+    let is_heavy = |load: f64| load - t_avg > eps;
+    let is_light = |load: f64| t_avg - load > eps;
+
+    // Lines 2–8: build overheap and underset. Doomed cores take part in
+    // neither (already emptied, zero capacity); freshly warmed-up
+    // acquisitions join the underset even when borderline so they are
+    // eagerly refilled.
+    let mut overheap = BinaryHeap::new();
+    let mut underset: Vec<usize> = Vec::new();
+    for &pe in &eligible {
+        let load = loads[pe];
+        if is_heavy(load) {
+            overheap.push(HeapEntry { load, pe });
+        } else if is_light(load) || stats.fresh_of(pe) {
+            underset.push(pe);
+        }
+    }
 
     // Lines 10–15: drain the overheap.
     while let Some(HeapEntry { load, pe: donor }) = overheap.pop() {
@@ -305,6 +345,65 @@ mod tests {
         assert!(CloudRefineLb::default().plan(&LbStats::new(4)).is_empty());
         let one_pe = stats(1, &[(0, 0, 1.0)], &[3.0]);
         assert!(CloudRefineLb::default().plan(&one_pe).is_empty());
+    }
+
+    #[test]
+    fn doomed_core_is_fully_drained_even_past_headroom() {
+        // Core 0 is doomed and hosts half the work; every one of its tasks
+        // must leave, even though receivers end above T_avg + ε.
+        let tasks: Vec<(u64, usize, f64)> =
+            (0..16).map(|i| (i, (i % 2) as usize, 0.5)).collect();
+        let mut s = stats(2, &tasks, &[0.0, 0.0]);
+        s.doomed = vec![true, false];
+        let plan = CloudRefineLb::default().plan(&s);
+        validate_plan(&s, &plan);
+        let moved: Vec<_> = plan.iter().filter(|m| m.from == 0).collect();
+        assert_eq!(moved.len(), 8, "all 8 tasks on the doomed core move: {plan:?}");
+        assert!(plan.iter().all(|m| m.to == 1));
+    }
+
+    #[test]
+    fn doomed_core_never_receives() {
+        // Core 1 is doomed *and* idle — normally the perfect receiver.
+        let s0 = stats(3, &[(0, 0, 1.0), (1, 0, 1.0), (2, 0, 1.0), (3, 2, 0.2)], &[0.0; 3]);
+        let mut s = s0.clone();
+        s.doomed = vec![false, true, false];
+        let plan = CloudRefineLb::default().plan(&s);
+        validate_plan(&s, &plan);
+        assert!(plan.iter().all(|m| m.to != 1), "doomed pe1 received: {plan:?}");
+        // Without the mask, pe1 would have been used.
+        let unmasked = CloudRefineLb::default().plan(&s0);
+        assert!(unmasked.iter().any(|m| m.to == 1));
+    }
+
+    #[test]
+    fn all_cores_doomed_yields_empty_plan() {
+        let mut s = stats(2, &[(0, 0, 1.0), (1, 1, 1.0)], &[0.0, 0.0]);
+        s.doomed = vec![true, true];
+        assert!(CloudRefineLb::default().plan(&s).is_empty());
+    }
+
+    #[test]
+    fn fresh_core_is_eagerly_refilled() {
+        // pe2 just warmed up, empty; donors are mildly overloaded.
+        let tasks: Vec<(u64, usize, f64)> =
+            (0..12).map(|i| (i, (i % 2) as usize, 0.25)).collect();
+        let mut s = stats(3, &tasks, &[0.0; 3]);
+        s.fresh = vec![false, false, true];
+        let plan = CloudRefineLb::default().plan(&s);
+        validate_plan(&s, &plan);
+        assert!(plan.iter().any(|m| m.to == 2), "fresh pe2 not refilled: {plan:?}");
+    }
+
+    #[test]
+    fn empty_masks_change_nothing() {
+        // Explicit all-false masks must reproduce the maskless plan
+        // bit-for-bit (the engine reduces to Algorithm 1).
+        let base = CloudRefineLb::default().plan(&interfered());
+        let mut s = interfered();
+        s.doomed = vec![false; 4];
+        s.fresh = vec![false; 4];
+        assert_eq!(CloudRefineLb::default().plan(&s), base);
     }
 
     #[test]

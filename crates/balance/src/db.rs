@@ -67,6 +67,18 @@ pub struct LbStats {
     /// re-attempt them.
     #[serde(default)]
     pub failed_tasks: Vec<TaskId>,
+    /// Cores under a spot preemption notice: zero-capacity *sources* that
+    /// must fully empty before their node is revoked. Strategies must
+    /// never target them and should drain them eagerly. Empty means "no
+    /// core is doomed" (the static-membership common case).
+    #[serde(default)]
+    pub doomed: Vec<bool>,
+    /// Cores freshly attached by an autoscale acquisition that completed
+    /// warm-up this window: empty targets a strategy should eagerly
+    /// refill. Empty means "no fresh cores". Advisory — an empty core is
+    /// usually the least-loaded receiver anyway.
+    #[serde(default)]
+    pub fresh: Vec<bool>,
 }
 
 impl LbStats {
@@ -79,7 +91,21 @@ impl LbStats {
             comm: Vec::new(),
             confidence: Vec::new(),
             failed_tasks: Vec::new(),
+            doomed: Vec::new(),
+            fresh: Vec::new(),
         }
+    }
+
+    /// `true` when core `pe` is under a preemption notice (false when no
+    /// doomed mask was provided).
+    pub fn doomed_of(&self, pe: usize) -> bool {
+        self.doomed.get(pe).copied().unwrap_or(false)
+    }
+
+    /// `true` when core `pe` is a freshly warmed-up acquisition (false
+    /// when no fresh mask was provided).
+    pub fn fresh_of(&self, pe: usize) -> bool {
+        self.fresh.get(pe).copied().unwrap_or(false)
     }
 
     /// `true` when `id`'s migration was aborted in the previous LB step.
@@ -126,6 +152,14 @@ impl LbStats {
         for id in &self.failed_tasks {
             assert!(self.task(*id).is_some(), "failed_tasks references unknown task {id:?}");
         }
+        assert!(
+            self.doomed.is_empty() || self.doomed.len() == self.num_pes,
+            "doomed length != num_pes"
+        );
+        assert!(
+            self.fresh.is_empty() || self.fresh.len() == self.num_pes,
+            "fresh length != num_pes"
+        );
     }
 
     /// For every task, its communication partners and byte volumes
@@ -297,6 +331,36 @@ mod tests {
     fn unknown_failed_tasks_rejected() {
         let mut s = stats(1, &[(0, 0, 1.0)], &[0.0]);
         s.failed_tasks = vec![TaskId(42)];
+        s.validate();
+    }
+
+    #[test]
+    fn doomed_and_fresh_default_to_false() {
+        let mut s = stats(2, &[(0, 0, 1.0)], &[0.0, 0.0]);
+        assert!(!s.doomed_of(0) && !s.fresh_of(1));
+        s.validate();
+        s.doomed = vec![true, false];
+        s.fresh = vec![false, true];
+        s.validate();
+        assert!(s.doomed_of(0) && !s.doomed_of(1));
+        assert!(!s.fresh_of(0) && s.fresh_of(1));
+        // Out-of-range lookups stay false.
+        assert!(!s.doomed_of(9) && !s.fresh_of(9));
+    }
+
+    #[test]
+    #[should_panic(expected = "doomed length")]
+    fn ragged_doomed_mask_rejected() {
+        let mut s = stats(2, &[], &[0.0, 0.0]);
+        s.doomed = vec![true];
+        s.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "fresh length")]
+    fn ragged_fresh_mask_rejected() {
+        let mut s = stats(2, &[], &[0.0, 0.0]);
+        s.fresh = vec![true, false, false];
         s.validate();
     }
 

@@ -38,6 +38,12 @@ fn is_alive(alive: &[bool], pe: usize) -> bool {
     alive.get(pe).copied().unwrap_or(false)
 }
 
+/// `true` when `pe` may *receive* migrations: alive and not under a
+/// preemption notice (`stats.doomed`). A doomed core is a source only.
+fn is_target(stats: &LbStats, alive: &[bool], pe: usize) -> bool {
+    is_alive(alive, pe) && !stats.doomed_of(pe)
+}
+
 /// Repair or drop every unsafe migration in `plan`.
 ///
 /// `alive[pe]` says whether core `pe` survives; it is indexed like
@@ -46,9 +52,10 @@ fn is_alive(alive: &[bool], pe: usize) -> bool {
 /// * task not already migrated by an earlier entry (else drop);
 /// * `from` matches the task's current PE (repaired silently — the task's
 ///   actual location wins);
-/// * destination alive and in range (else retarget to the live core with
-///   the lowest projected total load; drop if none or if that equals the
-///   source).
+/// * destination alive, in range and not doomed (`stats.doomed` — cores
+///   under a preemption notice must only *lose* tasks); else retarget to
+///   the eligible core with the lowest projected total load; drop if none
+///   or if that equals the source.
 ///
 /// Projected loads account for migrations already accepted, so several
 /// repaired migrations spread over the survivors instead of piling onto
@@ -72,13 +79,14 @@ pub fn sanitize_plan(stats: &LbStats, plan: &[Migration], alive: &[bool]) -> San
         let from = task.pe; // authoritative; a stale m.from is ignored
         let mut to = m.to;
         let mut repaired = false;
-        if !is_alive(alive, to) {
-            // Retarget: least projected load among live cores, excluding
-            // the source (a no-op migration is a drop, not a repair).
+        if !is_target(stats, alive, to) {
+            // Retarget: least projected load among eligible cores,
+            // excluding the source (a no-op migration is a drop, not a
+            // repair).
             let best = alive
                 .iter()
                 .enumerate()
-                .filter(|&(pe, &a)| a && pe != from && pe < loads.len())
+                .filter(|&(pe, _)| is_target(stats, alive, pe) && pe != from && pe < loads.len())
                 .min_by(|a, b| {
                     loads[a.0].partial_cmp(&loads[b.0]).unwrap_or(std::cmp::Ordering::Equal)
                 })
@@ -195,6 +203,28 @@ mod tests {
         assert!(r.plan.is_empty());
         let r = sanitize_plan(&s, &plan, &[]);
         assert!(r.plan.is_empty());
+    }
+
+    #[test]
+    fn doomed_destination_is_retargeted_like_a_dead_one() {
+        let mut s = stats(3, &[(0, 0, 1.0), (1, 2, 0.5)]);
+        s.doomed = vec![false, true, false];
+        // Plan aims at doomed core 1 → retarget to the only eligible
+        // survivor, core 2.
+        let plan = vec![Migration { task: TaskId(0), from: 0, to: 1 }];
+        let r = sanitize_plan(&s, &plan, &[true, true, true]);
+        assert_eq!(r.repaired, 1);
+        assert_eq!(r.plan, vec![Migration { task: TaskId(0), from: 0, to: 2 }]);
+    }
+
+    #[test]
+    fn all_eligible_cores_doomed_means_drop_not_panic() {
+        let mut s = stats(2, &[(0, 0, 1.0)]);
+        s.doomed = vec![false, true];
+        let plan = vec![Migration { task: TaskId(0), from: 0, to: 1 }];
+        let r = sanitize_plan(&s, &plan, &[true, true]);
+        assert!(r.plan.is_empty());
+        assert_eq!(r.dropped, 1);
     }
 
     #[test]

@@ -44,6 +44,14 @@ pub struct SweepRecord {
     /// Events/sec of the flaky-network probe (0 when it did not run).
     #[serde(default)]
     pub flaky_events_per_sec: f64,
+    /// Wall-clock of the informational spot-storm elastic-membership
+    /// probe, seconds (0 when the probe did not run). Never gated —
+    /// evacuation churn is legitimately slower.
+    #[serde(default)]
+    pub storm_wall_s: f64,
+    /// Events/sec of the spot-storm probe (0 when it did not run).
+    #[serde(default)]
+    pub storm_events_per_sec: f64,
     /// Steady-state LB windows the fast-forward engine macro-stepped
     /// across the sweep (0 when the engine was off).
     #[serde(default)]
@@ -162,6 +170,8 @@ mod tests {
             peak_queue_depth: 37,
             flaky_wall_s: 0.4,
             flaky_events_per_sec: 1_500_000.0,
+            storm_wall_s: 0.3,
+            storm_events_per_sec: 1_400_000.0,
             ff_windows: 12,
             events_skipped: 240_000,
             off_wall_s: 4.5,

@@ -77,6 +77,37 @@ pub fn perf_sweep(s: &Settings) -> SweepRecord {
         probe_runs, flaky_wall_s, flaky_events_per_sec, retries, aborts
     );
 
+    // Informational spot-storm probe: the same apps under the elastic
+    // `spot_storm` preset (acquire, then revoke both original nodes with
+    // lead time). Evacuation churn is legitimately slower, so like the
+    // flaky arm this is recorded but never gated — the regression gate
+    // stays on the clean sweep, proving the membership layer is free when
+    // disabled.
+    let storm: Vec<Scenario> = ["jacobi2d", "wave2d", "mol3d"]
+        .iter()
+        .flat_map(|app| {
+            s.seeds.iter().map(move |&seed| {
+                let mut scn = Scenario::spot_storm(app, probe_cores, "cloudrefine");
+                scn.iterations = s.iterations;
+                scn.seed = seed;
+                scn
+            })
+        })
+        .collect();
+    let storm_runs = storm.len();
+    let t2 = Instant::now();
+    let results = par_map(s.jobs, storm, |scn| run_scenario(&scn));
+    let storm_wall_s = t2.elapsed().as_secs_f64();
+    let storm_events: u64 = results.iter().map(|r| r.sim_events).sum();
+    let storm_events_per_sec = storm_events as f64 / storm_wall_s;
+    let drained: usize = results.iter().map(|r| r.elastic.chares_drained).sum();
+    let rolled_back: usize = results.iter().map(|r| r.elastic.chares_rolled_back).sum();
+    println!(
+        "spot-storm probe: {} runs in {:.2}s — {:.0} events/s \
+         ({} chares drained, {} rolled back; informational, not gated)",
+        storm_runs, storm_wall_s, storm_events_per_sec, drained, rolled_back
+    );
+
     SweepRecord {
         name: name.to_string(),
         fast: s.fast,
@@ -91,6 +122,8 @@ pub fn perf_sweep(s: &Settings) -> SweepRecord {
         peak_queue_depth,
         flaky_wall_s,
         flaky_events_per_sec,
+        storm_wall_s,
+        storm_events_per_sec,
         ff_windows: points.iter().map(|p| p.ff_windows).sum(),
         events_skipped: points.iter().map(|p| p.events_skipped).sum(),
         off_wall_s: 0.0,
@@ -200,6 +233,8 @@ pub fn fastforward_sweep(s: &Settings) -> Result<SweepRecord, String> {
         peak_queue_depth,
         flaky_wall_s: 0.0,
         flaky_events_per_sec: 0.0,
+        storm_wall_s: 0.0,
+        storm_events_per_sec: 0.0,
         ff_windows,
         events_skipped,
         off_wall_s,

@@ -46,6 +46,10 @@ pub fn try_run_scenario(s: &Scenario) -> Result<RunResult, RuntimeError> {
     if let Some(spec) = &s.net_fault {
         exec = exec.with_net_faults(spec.clone());
     }
+    let membership = s.membership_script(app.as_ref());
+    if !membership.is_empty() {
+        exec = exec.with_membership(membership);
+    }
     exec.try_run()
 }
 
@@ -152,6 +156,70 @@ pub fn failure_impact(failed: &RunResult, clean: &RunResult) -> FailureImpact {
         replayed_iters: failed.replayed_iters,
         recovery_time_s: failed.recovery_time.as_secs_f64(),
         failure_penalty: failed.timing_penalty_vs(clean),
+    }
+}
+
+/// The cost of elastic membership churn: an elastic run compared against a
+/// *capacity-tracking* clean twin — a hypothetical run doing the measured
+/// clean twin's work at a throughput that follows the scenario's capacity
+/// trajectory — so losing half the machine for the tail of the run is
+/// priced as capacity, not blamed on the evacuation machinery.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ElasticityImpact {
+    /// Preemption notices delivered.
+    pub notices: usize,
+    /// Nodes hard-revoked.
+    pub nodes_revoked: usize,
+    /// Nodes acquired mid-run.
+    pub acquisitions: usize,
+    /// Acquired nodes that completed warm-up.
+    pub warmups: usize,
+    /// Node evacuations started on notice.
+    pub evacuations_attempted: usize,
+    /// Evacuations that emptied the node before its revocation.
+    pub evacuations_completed: usize,
+    /// Chares drained off doomed nodes before revocation.
+    pub chares_drained: usize,
+    /// Chares rescued by an in-flight transfer landing after revocation.
+    pub chares_rescued: usize,
+    /// Chares lost to revocation and restored from checkpoint (rollback).
+    pub chares_rolled_back: usize,
+    /// Raw wall-time penalty: `(T_elastic − T_clean) / T_clean`.
+    pub penalty: f64,
+    /// Time-averaged active capacity of the elastic run, as a fraction of
+    /// the initial cores ([`Scenario::capacity_avg_frac`]).
+    pub capacity_avg_frac: f64,
+    /// Capacity-adjusted penalty: `T_elastic / T_tracking − 1`, where
+    /// `T_tracking` is the capacity-tracking clean twin's makespan
+    /// ([`Scenario::capacity_tracking_makespan`]) — what the churn cost
+    /// beyond the capacity it took away.
+    pub capacity_adjusted_penalty: f64,
+}
+
+/// Compare an elastic-membership run against its static-cluster twin.
+pub fn elasticity_impact(
+    elastic: &RunResult,
+    clean: &RunResult,
+    scn: &Scenario,
+) -> ElasticityImpact {
+    let cap = scn.capacity_avg_frac();
+    let t_elastic = elastic.app_time.as_secs_f64();
+    let t_clean = clean.app_time.as_secs_f64().max(f64::MIN_POSITIVE);
+    let base_s = scn.base_time_estimate(scn.build_app().as_ref());
+    let t_tracking = scn.capacity_tracking_makespan(t_clean, base_s).max(f64::MIN_POSITIVE);
+    ElasticityImpact {
+        notices: elastic.elastic.notices,
+        nodes_revoked: elastic.elastic.nodes_revoked,
+        acquisitions: elastic.elastic.acquisitions,
+        warmups: elastic.elastic.warmups,
+        evacuations_attempted: elastic.elastic.evacuations_attempted,
+        evacuations_completed: elastic.elastic.evacuations_completed,
+        chares_drained: elastic.elastic.chares_drained,
+        chares_rescued: elastic.elastic.chares_rescued,
+        chares_rolled_back: elastic.elastic.chares_rolled_back,
+        penalty: elastic.timing_penalty_vs(clean),
+        capacity_avg_frac: cap,
+        capacity_adjusted_penalty: t_elastic / t_tracking - 1.0,
     }
 }
 
@@ -509,6 +577,44 @@ mod tests {
         // every chare exactly once.
         assert_eq!(f.final_mapping.len(), c.final_mapping.len());
         assert!(f.final_mapping.iter().all(|&p| p < 8));
+    }
+
+    #[test]
+    fn spot_storm_scenario_evacuates_and_reports_impact() {
+        let mut storm = Scenario::spot_storm("jacobi2d", 8, "cloudrefine");
+        storm.iterations = 30;
+        let mut clean = storm.clone();
+        clean.membership = None;
+        let e = run_scenario(&storm);
+        let c = run_scenario(&clean);
+        assert_eq!(e.iter_times.len(), 30, "the storm is survivable");
+        let impact = elasticity_impact(&e, &c, &storm);
+        assert!(impact.notices >= 1, "{impact:?}");
+        assert!(impact.nodes_revoked >= 1);
+        assert_eq!(impact.acquisitions, 1);
+        assert_eq!(impact.warmups, 1);
+        assert!(impact.evacuations_attempted >= 1);
+        assert_eq!(impact.chares_rolled_back, 0, "notice lead covers the drain");
+        assert!(impact.capacity_avg_frac > 0.0 && impact.capacity_avg_frac <= 1.5);
+        assert!(impact.capacity_adjusted_penalty <= impact.penalty);
+        // The clean twin saw no churn at all.
+        assert_eq!(c.elastic, cloudlb_runtime::ElasticStats::default());
+    }
+
+    #[test]
+    fn autoscale_scenario_uses_acquired_nodes() {
+        let mut scn = Scenario::autoscale("jacobi2d", 8, "cloudrefine");
+        scn.iterations = 40;
+        let r = run_scenario(&scn);
+        assert_eq!(r.iter_times.len(), 40);
+        assert_eq!(r.elastic.acquisitions, 2);
+        assert_eq!(r.elastic.warmups, 2);
+        // Some chare ends up on capacity that attached mid-run.
+        assert!(
+            r.final_mapping.iter().any(|&p| p >= 8),
+            "acquired cores must take work: {:?}",
+            r.final_mapping
+        );
     }
 
     #[test]

@@ -24,8 +24,9 @@ pub mod report;
 pub mod scenario;
 
 pub use experiment::{
-    evaluate, evaluate_cells, evaluate_jobs, failure_impact, network_impact, run_scenario,
-    try_run_scenario, CellSpec, EvalPoint, FailureImpact, NetworkImpact,
+    elasticity_impact, evaluate, evaluate_cells, evaluate_jobs, failure_impact, network_impact,
+    run_scenario, try_run_scenario, CellSpec, ElasticityImpact, EvalPoint, FailureImpact,
+    NetworkImpact,
 };
 pub use parallel::{default_jobs, par_map};
 pub use scenario::{BgPattern, FailSpec, Scenario};

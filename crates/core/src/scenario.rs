@@ -14,7 +14,9 @@
 use cloudlb_apps::{Jacobi2D, Mol3D, Stencil3D, Wave2D};
 use cloudlb_runtime::{FastForward, IterativeApp, LbConfig, RunConfig};
 use cloudlb_sim::interference::BgScript;
-use cloudlb_sim::{Dur, FailureScript, NetFaultSpec, TelemetrySpec, Time};
+use cloudlb_sim::{
+    Dur, FailureScript, MembershipScript, MembershipSpec, NetFaultSpec, TelemetrySpec, Time,
+};
 use serde::{Deserialize, Serialize};
 
 /// Interference pattern for a scenario.
@@ -135,6 +137,11 @@ pub struct Scenario {
     /// cross-node message (`None` = clean interconnect).
     #[serde(default)]
     pub net_fault: Option<NetFaultSpec>,
+    /// Elastic cluster membership: spot preemption notices (with lead
+    /// time) and autoscale acquisitions, with instants expressed as
+    /// fractions of the expected base app time (`None` = static cluster).
+    #[serde(default)]
+    pub membership: Option<MembershipSpec>,
     /// Steady-state fast-forward mode (bit-identical macro-stepping of
     /// undisturbed LB windows; default `auto` = on unless tracing).
     #[serde(default)]
@@ -176,6 +183,7 @@ impl Scenario {
             fail: Vec::new(),
             telemetry: None,
             net_fault: None,
+            membership: None,
             fast_forward: FastForward::default(),
             pe_speeds: Vec::new(),
         }
@@ -219,9 +227,33 @@ impl Scenario {
         }
     }
 
+    /// Spot-storm preset: the paper scenario (interference included) plus
+    /// the [`MembershipSpec::spot_storm`] membership schedule — a
+    /// replacement node acquired at 30 %, then both original nodes
+    /// preempted with lead time (one at 40 %, one at 80 %). The hardest
+    /// elastic case that is still survivable: the runtime must drain every
+    /// original node onto capacity that did not exist at t = 0.
+    pub fn spot_storm(app: &str, cores: usize, strategy: &str) -> Self {
+        Scenario {
+            membership: Some(MembershipSpec::spot_storm()),
+            ..Self::paper(app, cores, strategy)
+        }
+    }
+
+    /// Autoscale preset: the paper scenario plus the
+    /// [`MembershipSpec::autoscale`] schedule — two nodes acquired as the
+    /// cluster scales up, one original node preempted later as it scales
+    /// back down.
+    pub fn autoscale(app: &str, cores: usize, strategy: &str) -> Self {
+        Scenario {
+            membership: Some(MembershipSpec::autoscale()),
+            ..Self::paper(app, cores, strategy)
+        }
+    }
+
     /// Same scenario without interference (the normalization base). Also
-    /// strips failures and telemetry corruption: the base is the clean
-    /// machine.
+    /// strips failures, telemetry corruption and membership churn: the
+    /// base is the clean, static machine.
     pub fn base_of(&self) -> Scenario {
         Scenario {
             bg: BgPattern::None,
@@ -230,6 +262,7 @@ impl Scenario {
             fail: Vec::new(),
             telemetry: None,
             net_fault: None,
+            membership: None,
             ..self.clone()
         }
     }
@@ -311,6 +344,9 @@ impl Scenario {
         if let Some(net) = &self.net_fault {
             net.validate(nodes)?;
         }
+        if let Some(m) = &self.membership {
+            m.validate(nodes)?;
+        }
         if !self.pe_speeds.is_empty() {
             if self.pe_speeds.len() != self.cores {
                 return Err(format!(
@@ -363,9 +399,121 @@ impl Scenario {
         self.iterations as f64 * total / self.cores as f64
     }
 
-    /// The runtime configuration for this scenario.
+    /// Total cores in the grown cluster: the initial `cores` plus one
+    /// 4-core node for every membership acquisition. Acquired nodes start
+    /// latent (dead until their acquire instant), so the *initial* cluster
+    /// still has exactly `cores` active cores; this is the bound chare
+    /// placements must respect once the cluster has fully expanded.
+    pub fn total_cores(&self) -> usize {
+        let acquired = self.membership.as_ref().map_or(0, |m| m.acquisitions.len());
+        self.cores + 4 * acquired
+    }
+
+    /// Time-averaged active capacity as a fraction of the initial `cores`,
+    /// integrating scheduled failures and membership churn over the run.
+    ///
+    /// The accounting is deliberately conservative: a noticed node stops
+    /// counting at its *notice* instant (the runtime starts draining it
+    /// immediately, so its cores are lame ducks from then on), and an
+    /// acquired node starts counting only after its worst-case warm-up
+    /// (`at + warmup + jitter`). The horizon is the later of the nominal
+    /// run end and the last scheduled event, and instantaneous capacity is
+    /// floored at one core. The fuzzer's bounded-makespan oracle divides
+    /// by this to price elastic capacity loss.
+    pub fn capacity_avg_frac(&self) -> f64 {
+        // (instant, capacity delta in cores), fractions of base app time.
+        let mut deltas: Vec<(f64, f64)> = Vec::new();
+        let mut last = 0.0f64;
+        for spec in &self.fail {
+            let n = if spec.node { 4.0 } else { 1.0 };
+            deltas.push((spec.at_frac, -n));
+            last = last.max(spec.at_frac);
+            if let Some(r) = spec.restore_frac {
+                deltas.push((r, n));
+                last = last.max(r);
+            }
+        }
+        if let Some(m) = &self.membership {
+            for nt in &m.notices {
+                deltas.push((nt.at_frac, -4.0));
+                last = last.max(nt.at_frac + nt.lead_frac);
+            }
+            for acq in &m.acquisitions {
+                let ready = acq.at_frac + m.warmup_frac + m.warmup_jitter_frac;
+                deltas.push((ready, 4.0));
+                last = last.max(ready);
+            }
+        }
+        if deltas.is_empty() {
+            return 1.0;
+        }
+        deltas.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal));
+        let horizon = last.max(1.0);
+        let mut cap = self.cores as f64;
+        let mut t = 0.0f64;
+        let mut integral = 0.0f64;
+        for (at, d) in deltas {
+            let at = at.clamp(0.0, horizon);
+            integral += cap.max(1.0) * (at - t);
+            cap += d;
+            t = at;
+        }
+        integral += cap.max(1.0) * (horizon - t);
+        (integral / (self.cores as f64 * horizon)).max(1.0 / self.cores as f64)
+    }
+
+    /// Makespan of the *capacity-tracking clean twin*: a hypothetical run
+    /// that does the measured clean twin's work (`cores × clean_s`
+    /// core-seconds) at a throughput following this scenario's capacity
+    /// trajectory — noticed nodes become lame ducks at their NOTICE
+    /// instant, acquired nodes contribute after worst-case warm-up, and
+    /// failed nodes drop at their kill instant. Event times are absolute
+    /// (`frac × base_s`, matching how the scripts are scheduled), and the
+    /// integration runs until the work completes, so a tail executed on a
+    /// shrunken cluster is priced at the shrunken rate. Throughput is
+    /// floored at one core, so this always terminates.
+    pub fn capacity_tracking_makespan(&self, clean_s: f64, base_s: f64) -> f64 {
+        let work = self.cores as f64 * clean_s.max(0.0);
+        let mut deltas: Vec<(f64, f64)> = Vec::new();
+        for spec in &self.fail {
+            let n = if spec.node { 4.0 } else { 1.0 };
+            deltas.push((spec.at_frac * base_s, -n));
+            if let Some(r) = spec.restore_frac {
+                deltas.push((r * base_s, n));
+            }
+        }
+        if let Some(m) = &self.membership {
+            for nt in &m.notices {
+                deltas.push((nt.at_frac * base_s, -4.0));
+            }
+            for acq in &m.acquisitions {
+                let ready = acq.at_frac + m.warmup_frac + m.warmup_jitter_frac;
+                deltas.push((ready * base_s, 4.0));
+            }
+        }
+        deltas.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal));
+        let mut cap = self.cores as f64;
+        let mut t = 0.0f64;
+        let mut done = 0.0f64;
+        for (at, d) in deltas {
+            let at = at.max(t);
+            let rate = cap.max(1.0);
+            if done + rate * (at - t) >= work {
+                return t + (work - done) / rate;
+            }
+            done += rate * (at - t);
+            cap += d;
+            t = at;
+        }
+        t + (work - done) / cap.max(1.0)
+    }
+
+    /// The runtime configuration for this scenario. With an active
+    /// membership spec the cluster is built at its fully-expanded size
+    /// ([`Scenario::total_cores`]); the executor parks acquired nodes as
+    /// latent until their scheduled acquire instant.
     pub fn run_config(&self) -> RunConfig {
-        let mut cfg = RunConfig::paper(self.cores, self.iterations);
+        let mut cfg = RunConfig::paper(self.total_cores(), self.iterations);
         cfg.lb = LbConfig {
             strategy: self.strategy.clone(),
             period: self.lb_period,
@@ -375,6 +523,11 @@ impl Scenario {
         cfg.cluster.trace = self.trace;
         cfg.fast_forward = self.fast_forward;
         cfg.pe_speeds = self.pe_speeds.clone();
+        // Speeds are specified for the initial cores; acquired cores run
+        // at nominal speed.
+        if !cfg.pe_speeds.is_empty() {
+            cfg.pe_speeds.resize(self.total_cores(), 1.0);
+        }
         cfg
     }
 
@@ -441,6 +594,20 @@ impl Scenario {
             script = script.merge(part);
         }
         script
+    }
+
+    /// The membership schedule for this scenario: notice/revoke/acquire/
+    /// warmup instants scaled by the expected base duration, acquisition
+    /// node ids assigned past the initial cluster, warm-up jitter drawn
+    /// from the seeded membership stream. Empty when the scenario has no
+    /// active membership spec.
+    pub fn membership_script(&self, app: &dyn IterativeApp) -> MembershipScript {
+        match &self.membership {
+            Some(spec) if spec.is_active() => {
+                spec.to_script(self.base_time_estimate(app), self.cores / 4, self.seed)
+            }
+            _ => MembershipScript::none(),
+        }
     }
 }
 
@@ -583,6 +750,8 @@ mod tests {
             Scenario::noisy_cloud("mol3d", 4, "robustcloudrefine"),
             Scenario::flaky_cloud("wave2d", 8, "gatedcloudrefine"),
             Scenario::failure_drill("stencil3d", 4, "hysteresiscloudrefine"),
+            Scenario::spot_storm("jacobi2d", 8, "cloudrefine"),
+            Scenario::autoscale("wave2d", 8, "cloudrefine"),
         ] {
             s.validate().unwrap_or_else(|e| panic!("{}: {e}", s.app));
         }
@@ -639,6 +808,25 @@ mod tests {
             ),
             (Scenario { pe_speeds: vec![1.0; 3], ..ok.clone() }, "pe_speeds length"),
             (Scenario { pe_speeds: vec![0.0; 8], ..ok.clone() }, "must be positive"),
+            (
+                Scenario {
+                    membership: Some(MembershipSpec {
+                        notices: vec![cloudlb_sim::NoticeSpec {
+                            node: 5,
+                            at_frac: 0.3,
+                            lead_frac: 0.2,
+                        }],
+                        ..MembershipSpec::default()
+                    }),
+                    ..ok.clone()
+                },
+                "membership notice targets node 5",
+            ),
+            (
+                // Presets notice node 1; a 4-core cluster only has node 0.
+                Scenario::spot_storm("jacobi2d", 4, "cloudrefine"),
+                "membership notice targets node 1",
+            ),
         ];
         for (bad, want) in cases {
             let err = bad.validate().expect_err(want);
@@ -665,6 +853,7 @@ mod tests {
             FailSpec { node: true, index: 1, at_frac: 0.2, restore_frac: Some(0.6) },
         ];
         s.bg = BgPattern::SingleCore { core: 3, start_frac: 0.25 };
+        s.membership = Some(MembershipSpec::spot_storm());
         s.fast_forward = FastForward::Off;
         s.pe_speeds = vec![1.0, 1.0, 0.5, 1.0, 1.0, 0.75, 1.0, 1.0];
         s.trace = true;
@@ -681,8 +870,107 @@ mod tests {
         assert!(minimal.fail.is_empty());
         assert!(minimal.telemetry.is_none());
         assert!(minimal.net_fault.is_none());
+        assert!(minimal.membership.is_none());
         assert_eq!(minimal.fast_forward, FastForward::Auto);
         assert!(minimal.pe_speeds.is_empty());
+    }
+
+    #[test]
+    fn spot_storm_preset_and_base_strip() {
+        let s = Scenario::spot_storm("jacobi2d", 8, "cloudrefine");
+        let spec = s.membership.as_ref().expect("preset must schedule churn");
+        assert!(spec.is_active());
+        assert_eq!(spec.notices.len(), 2);
+        assert!(matches!(s.bg, BgPattern::TwoCore { .. }), "interference stays on");
+        assert!(s.base_of().membership.is_none(), "the base run is a static cluster");
+        let a = Scenario::autoscale("wave2d", 8, "cloudrefine");
+        assert_eq!(a.membership.as_ref().unwrap().acquisitions.len(), 2);
+    }
+
+    #[test]
+    fn total_cores_counts_acquired_nodes() {
+        let s = Scenario::paper("jacobi2d", 8, "cloudrefine");
+        assert_eq!(s.total_cores(), 8);
+        let storm = Scenario::spot_storm("jacobi2d", 8, "cloudrefine");
+        assert_eq!(storm.total_cores(), 12); // one acquisition = one 4-core node
+        let auto = Scenario::autoscale("jacobi2d", 8, "cloudrefine");
+        assert_eq!(auto.total_cores(), 16);
+    }
+
+    #[test]
+    fn run_config_builds_the_expanded_cluster_and_pads_speeds() {
+        let mut s = Scenario::spot_storm("jacobi2d", 8, "cloudrefine");
+        let cfg = s.run_config();
+        assert_eq!(cfg.cluster.nodes * cfg.cluster.cores_per_node, 12);
+        // Speeds given for the initial 8 cores pad to nominal for the rest.
+        s.pe_speeds = vec![0.5; 8];
+        let cfg = s.run_config();
+        assert_eq!(cfg.pe_speeds.len(), 12);
+        assert_eq!(&cfg.pe_speeds[..8], &[0.5; 8][..]);
+        assert_eq!(&cfg.pe_speeds[8..], &[1.0; 4][..]);
+        assert!(s.validate().is_ok(), "speeds are validated against the initial cores");
+    }
+
+    #[test]
+    fn membership_script_scales_by_base_time_and_numbers_past_the_cluster() {
+        let s = Scenario::spot_storm("jacobi2d", 8, "cloudrefine");
+        let app = s.build_app();
+        let script = s.membership_script(app.as_ref());
+        assert_eq!(script.actions.len(), 6); // 2×(notice+revoke) + acquire + warmup
+        assert_eq!(script.num_acquired_nodes(), 1);
+        assert_eq!(script.max_node(), Some(2), "acquired node numbered after nodes 0..2");
+        assert!(script.has_revocations());
+        let base = s.base_time_estimate(app.as_ref());
+        let first = script.actions[0].0.since(Time::ZERO).as_secs_f64();
+        assert!((first - 0.30 * base).abs() < 2e-6, "{first} vs {}", 0.30 * base);
+        // The clean twin schedules nothing.
+        assert!(s.base_of().membership_script(app.as_ref()).is_empty());
+    }
+
+    #[test]
+    fn capacity_avg_frac_integrates_churn() {
+        let s = Scenario::paper("jacobi2d", 8, "cloudrefine");
+        assert_eq!(s.capacity_avg_frac(), 1.0, "static cluster is full capacity");
+        // spot_storm on 8 cores: +4 cores ready at 0.32, −4 at the 0.40
+        // notice, −4 at the 0.80 notice; horizon = last revoke at 1.10.
+        // ∫ = 8(.32) + 12(.08) + 8(.40) + 4(.30) = 7.92 over 8 × 1.10.
+        let storm = Scenario::spot_storm("jacobi2d", 8, "cloudrefine");
+        assert!((storm.capacity_avg_frac() - 0.9).abs() < 1e-9);
+        // A permanent single-core kill at 50 %: 8 cores for half the run,
+        // 7 after → 7.5/8.
+        let mut failed = Scenario::paper("jacobi2d", 8, "cloudrefine");
+        failed.fail =
+            vec![FailSpec { node: false, index: 7, at_frac: 0.5, restore_frac: None }];
+        assert!((failed.capacity_avg_frac() - 7.5 / 8.0).abs() < 1e-9);
+        // Capacity never integrates below one core.
+        let mut doomed = Scenario::paper("jacobi2d", 8, "cloudrefine");
+        doomed.fail = (0..8)
+            .map(|i| FailSpec { node: false, index: i, at_frac: 0.1, restore_frac: None })
+            .collect();
+        assert!(doomed.capacity_avg_frac() >= 1.0 / 8.0);
+    }
+
+    #[test]
+    fn capacity_tracking_makespan_integrates_until_the_work_is_done() {
+        // No churn: 8 cores the whole way, so the tracking twin IS the
+        // clean twin.
+        let s = Scenario::paper("jacobi2d", 8, "cloudrefine");
+        assert!((s.capacity_tracking_makespan(2.0, 1.0) - 2.0).abs() < 1e-9);
+        // spot_storm on 8 cores with base 1 s and clean makespan 1 s
+        // (work = 8 core·s): 8 cores to 0.32, 12 to the 0.40 notice, 8 to
+        // the 0.80 notice, 4 after. ∫ to 0.80 = 2.56 + 0.96 + 3.20 = 6.72;
+        // the remaining 1.28 runs at 4 cores → 0.80 + 0.32 = 1.12 s.
+        let storm = Scenario::spot_storm("jacobi2d", 8, "cloudrefine");
+        assert!((storm.capacity_tracking_makespan(1.0, 1.0) - 1.12).abs() < 1e-9);
+        // Work finishing before the first event never pays for later churn.
+        assert!((storm.capacity_tracking_makespan(0.25, 1.0) - 0.25).abs() < 1e-9);
+        // Losing every core still terminates (throughput floored at one).
+        let mut doomed = Scenario::paper("jacobi2d", 8, "cloudrefine");
+        doomed.fail = (0..8)
+            .map(|i| FailSpec { node: false, index: i, at_frac: 0.1, restore_frac: None })
+            .collect();
+        let t = doomed.capacity_tracking_makespan(1.0, 1.0);
+        assert!(t.is_finite() && t > 1.0, "{t}");
     }
 
     #[test]

@@ -62,6 +62,6 @@ pub use config::{FastForward, InitialMap, InstrumentMode, LbConfig, RunConfig};
 pub use error::RuntimeError;
 pub use netproto::{MigrationProto, TransferOutcome};
 pub use program::{ChareKernel, IterativeApp};
-pub use result::RunResult;
+pub use result::{ElasticStats, RunResult};
 pub use sim_exec::SimExecutor;
 pub use thread_exec::{CheckpointPolicy, ThreadExecutor, ThreadFault, ThreadRunConfig};

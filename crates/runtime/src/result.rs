@@ -7,7 +7,37 @@ use cloudlb_sim::core_sched::BgJobId;
 use cloudlb_sim::power::EnergyReport;
 use cloudlb_sim::{Dur, NetStats, Time};
 use cloudlb_trace::TraceLog;
+use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
+
+/// Elastic-membership counters: what the proactive-evacuation machinery
+/// did with spot preemption notices and autoscale acquisitions. All zeros
+/// on a run with static membership.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ElasticStats {
+    /// Preemption notices received.
+    pub notices: usize,
+    /// Nodes hard-revoked at their notice deadline.
+    pub nodes_revoked: usize,
+    /// Nodes acquired (attached mid-run).
+    pub acquisitions: usize,
+    /// Acquired nodes that completed the warm-up handshake.
+    pub warmups: usize,
+    /// Evacuations started (notices that found live cores to drain).
+    pub evacuations_attempted: usize,
+    /// Evacuations whose node was empty when revocation fired — no
+    /// checkpoint rollback was needed.
+    pub evacuations_completed: usize,
+    /// Chares streamed out over the migration protocol before the
+    /// deadline.
+    pub chares_drained: usize,
+    /// Still-stranded chares saved by a targeted rescue checkpoint at the
+    /// revocation instant (current state preserved, no epoch lost).
+    pub chares_rescued: usize,
+    /// Chares lost with their node and restored via global checkpoint
+    /// rollback (the reactive path proactive evacuation exists to avoid).
+    pub chares_rolled_back: usize,
+}
 
 /// Result of one application run.
 ///
@@ -75,6 +105,9 @@ pub struct RunResult {
     /// Event pops the replayed windows avoided (already folded into
     /// `sim_events`).
     pub events_skipped: u64,
+    /// Elastic-membership counters (notices, evacuations, rescues). All
+    /// zeros under static membership.
+    pub elastic: ElasticStats,
 }
 
 impl RunResult {
@@ -184,6 +217,7 @@ mod tests {
             peak_queue_depth: 0,
             ff_windows: 0,
             events_skipped: 0,
+            elastic: ElasticStats::default(),
         }
     }
 

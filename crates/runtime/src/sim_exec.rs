@@ -48,16 +48,17 @@ use crate::migration;
 use crate::netproto;
 use crate::program::{validate_app, IterativeApp};
 use crate::reduction::IterationTracker;
-use crate::result::RunResult;
+use crate::result::{ElasticStats, RunResult};
 use cloudlb_balance::{LbStats, LbStrategy, Migration, TaskId, TaskInfo};
 use cloudlb_sim::core_sched::CoreEvent;
 use cloudlb_sim::interference::{BgAction, BgLedger, BgScript};
 use cloudlb_sim::{
     Cluster, Dur, EventHandle, EventQueue, FailureAction, FailureScript, FaultyNetwork, FgLabel,
-    NetFaultSpec, ProcStat, TelemetryChannel, TelemetrySpec, Time,
+    MembershipAction, MembershipScript, NetFaultSpec, ProcStat, TelemetryChannel, TelemetrySpec,
+    Time,
 };
 use cloudlb_trace::Activity;
-use std::collections::{BTreeMap, HashMap, VecDeque};
+use std::collections::{BTreeMap, HashMap, HashSet, VecDeque};
 
 /// Events driving the simulation.
 #[derive(Debug, Clone, Copy)]
@@ -78,6 +79,12 @@ enum Ev {
     Fail(FailureAction),
     /// The recovery pause (detection + restore + re-balance) finished.
     Recovered { epoch: u32 },
+    /// Apply an elastic-membership action (notice/revoke/acquire/warm-up).
+    Membership(MembershipAction),
+    /// A proactively evacuated chare's state transfer lands on core `to`.
+    /// Scheduled at notice time; stale epochs (a rollback intervened) are
+    /// dropped.
+    Evac { chare: usize, to: usize, epoch: u32 },
 }
 
 /// Per-chare lifecycle state.
@@ -111,6 +118,7 @@ pub struct SimExecutor<'a> {
     fail: FailureScript,
     telemetry: TelemetrySpec,
     net_fault: NetFaultSpec,
+    membership: MembershipScript,
 }
 
 impl<'a> SimExecutor<'a> {
@@ -128,6 +136,7 @@ impl<'a> SimExecutor<'a> {
             fail: FailureScript::none(),
             telemetry: TelemetrySpec::none(),
             net_fault: NetFaultSpec::none(),
+            membership: MembershipScript::none(),
         }
     }
 
@@ -158,6 +167,18 @@ impl<'a> SimExecutor<'a> {
     /// [`RuntimeError::InvalidConfig`] from [`SimExecutor::try_run`].
     pub fn with_net_faults(mut self, spec: NetFaultSpec) -> Self {
         self.net_fault = spec;
+        self
+    }
+
+    /// Inject the elastic-membership schedule `script`: spot preemption
+    /// notices (followed by hard revocations) against initial nodes, and
+    /// acquisitions of the cluster's *trailing* nodes, which start dead
+    /// (latent capacity) and attach when their `Acquire` action fires. An
+    /// inconsistent script — out-of-range nodes, acquisitions that are not
+    /// the trailing nodes, notices against acquired nodes — surfaces as
+    /// [`RuntimeError::InvalidConfig`] from [`SimExecutor::try_run`].
+    pub fn with_membership(mut self, script: MembershipScript) -> Self {
+        self.membership = script;
         self
     }
 
@@ -203,9 +224,85 @@ impl<'a> SimExecutor<'a> {
         if let Err(e) = self.net_fault.validate(self.cfg.cluster.nodes) {
             return Err(RuntimeError::InvalidConfig(format!("network fault spec: {e}")));
         }
-        Sim::new(self.app, self.cfg, &self.bg, &self.fail, self.telemetry, self.net_fault, strategy)
-            .run()
+        if let Err(e) = validate_membership(&self.membership, self.cfg.cluster.nodes) {
+            return Err(RuntimeError::InvalidConfig(e));
+        }
+        Sim::new(
+            self.app,
+            self.cfg,
+            &self.bg,
+            &self.fail,
+            self.telemetry,
+            self.net_fault,
+            &self.membership,
+            strategy,
+        )
+        .run()
     }
+}
+
+/// Distinct nodes acquired by `script`, ascending.
+fn acquired_nodes(script: &MembershipScript) -> Vec<usize> {
+    let mut nodes: Vec<usize> = script
+        .actions
+        .iter()
+        .filter_map(|(_, a)| match a {
+            MembershipAction::Acquire { node } => Some(*node),
+            _ => None,
+        })
+        .collect();
+    nodes.sort_unstable();
+    nodes.dedup();
+    nodes
+}
+
+/// Check a membership script against a cluster of `nodes` nodes: every
+/// referenced node in range, acquisitions exactly the trailing nodes (the
+/// latent capacity appended after the initial cluster), at least one
+/// initial node left, and no notice/revocation against an acquired node.
+fn validate_membership(script: &MembershipScript, nodes: usize) -> Result<(), String> {
+    if script.is_empty() {
+        return Ok(());
+    }
+    if let Some(max) = script.max_node() {
+        if max >= nodes {
+            return Err(format!(
+                "membership script targets node {max} but the cluster has {nodes} nodes"
+            ));
+        }
+    }
+    let acquired = acquired_nodes(script);
+    if acquired.len() >= nodes {
+        return Err("membership script acquires every node; the initial cluster would be empty"
+            .to_string());
+    }
+    for (i, &node) in acquired.iter().enumerate() {
+        let want = nodes - acquired.len() + i;
+        if node != want {
+            return Err(format!(
+                "membership acquisitions must target the cluster's trailing nodes \
+                 (expected node {want}, got {node})"
+            ));
+        }
+    }
+    for (_, a) in &script.actions {
+        match a {
+            MembershipAction::Notice { node, .. } | MembershipAction::Revoke { node }
+                if acquired.binary_search(node).is_ok() =>
+            {
+                return Err(format!(
+                    "membership script notices/revokes node {node}, which is acquired mid-run"
+                ));
+            }
+            MembershipAction::WarmupDone { node } if acquired.binary_search(node).is_err() => {
+                return Err(format!(
+                    "membership warm-up for node {node}, which is never acquired"
+                ));
+            }
+            _ => {}
+        }
+    }
+    Ok(())
 }
 
 /// Project a full-core-space LB database onto the alive cores. Returns the
@@ -229,6 +326,12 @@ fn compact_stats(stats: &LbStats, alive: &[bool]) -> (LbStats, Vec<usize>) {
     compact.comm = stats.comm.clone();
     if !stats.confidence.is_empty() {
         compact.confidence = alive_idx.iter().map(|&p| stats.confidence[p]).collect();
+    }
+    if !stats.doomed.is_empty() {
+        compact.doomed = alive_idx.iter().map(|&p| stats.doomed[p]).collect();
+    }
+    if !stats.fresh.is_empty() {
+        compact.fresh = alive_idx.iter().map(|&p| stats.fresh[p]).collect();
     }
     compact.failed_tasks = stats.failed_tasks.clone();
     (compact, alive_idx)
@@ -322,9 +425,33 @@ struct Sim<'a> {
     recoveries: usize,
     replayed_iters: usize,
     recovery_time: Dur,
+
+    /// Per-core spot-notice flag: a doomed core is a zero-capacity source
+    /// that must fully empty before its node's revocation deadline.
+    doomed: Vec<bool>,
+    /// Per-core "acquired but still warming up" flag: the core is alive but
+    /// not yet a migration target.
+    warming: Vec<bool>,
+    /// Per-core "just warmed up" flag: strategies should eagerly refill
+    /// these empty cores. One-shot — cleared after the next planning pass.
+    fresh: Vec<bool>,
+    /// Proactively evacuated chares with a state transfer in flight:
+    /// chare → planned destination core. Lookups only (never iterated), so
+    /// the hashing order cannot leak into the simulation.
+    pending_evac: HashMap<usize, usize>,
+    /// Evacuated chares that were Running/Queued when their core was
+    /// revoked mid-transfer: they must re-enter a ready queue on landing
+    /// (their boundary ghosts were already consumed, so `maybe_ready`
+    /// would never fire for them again).
+    rescue_runnable: HashSet<usize>,
+    /// Per-node: a proactive evacuation was started for this node's notice.
+    evac_attempted: Vec<bool>,
+    /// Elastic-membership counters reported in the result.
+    elastic: ElasticStats,
 }
 
 impl<'a> Sim<'a> {
+    #[allow(clippy::too_many_arguments)]
     fn new(
         app: &'a dyn IterativeApp,
         cfg: RunConfig,
@@ -332,12 +459,25 @@ impl<'a> Sim<'a> {
         fail: &FailureScript,
         telemetry: TelemetrySpec,
         net_fault: NetFaultSpec,
+        membership: &MembershipScript,
         strategy: Box<dyn LbStrategy>,
     ) -> Self {
         let pes = cfg.cluster.total_cores();
         let n = app.num_chares();
-        let cluster = Cluster::new(cfg.cluster.clone());
-        let mapping = cfg.initial_map.place(n, pes);
+        let mut cluster = Cluster::new(cfg.cluster.clone());
+        // Nodes the membership script acquires mid-run are latent capacity:
+        // they exist in the cluster's address space (always the trailing
+        // nodes — validated up front) but start dead and only attach when
+        // their `Acquire` action fires. The initial placement therefore
+        // covers exactly the leading, active cores.
+        let mut active_pes = pes;
+        for node in acquired_nodes(membership) {
+            for core in cluster.cores_of_node(node) {
+                cluster.kill_core(core);
+                active_pes -= 1;
+            }
+        }
+        let mapping = cfg.initial_map.place(n, active_pes);
         let mut telemetry =
             telemetry.is_active().then(|| TelemetryChannel::new(telemetry, cfg.seed));
         // Fractional partition windows resolve against the same idealized
@@ -365,6 +505,9 @@ impl<'a> Sim<'a> {
         }
         for (t, action) in &fail.actions {
             queue.schedule(*t, Ev::Fail(*action));
+        }
+        for (t, action) in &membership.actions {
+            queue.schedule(*t, Ev::Membership(*action));
         }
 
         // Flatten the topology once: the executor walks this CSR on every
@@ -457,6 +600,13 @@ impl<'a> Sim<'a> {
             recoveries: 0,
             replayed_iters: 0,
             recovery_time: Dur::ZERO,
+            doomed: vec![false; pes],
+            warming: vec![false; pes],
+            fresh: vec![false; pes],
+            pending_evac: HashMap::new(),
+            rescue_runnable: HashSet::new(),
+            evac_attempted: vec![false; cfg.cluster.nodes],
+            elastic: ElasticStats::default(),
             cfg,
         }
     }
@@ -531,6 +681,11 @@ impl<'a> Sim<'a> {
                 Ev::Fail(action) => self.on_fail(action, t)?,
                 Ev::Recovered { epoch } if epoch == self.epoch => self.on_recovered(t),
                 Ev::Recovered { .. } => {} // superseded by a later failure
+                Ev::Membership(action) => self.on_membership(action, t)?,
+                Ev::Evac { chare, to, epoch } if epoch == self.epoch => {
+                    self.on_evac(chare, to, t)?
+                }
+                Ev::Evac { .. } => {} // cancelled by a rollback
             }
             // Refresh wakes (no-op for cores whose next completion is
             // unchanged).
@@ -570,6 +725,7 @@ impl<'a> Sim<'a> {
             peak_queue_depth: self.queue.peak_depth(),
             ff_windows: self.ff_windows,
             events_skipped: self.events_skipped,
+            elastic: self.elastic,
         })
     }
 
@@ -825,6 +981,10 @@ impl<'a> Sim<'a> {
         }
         self.inbox.clear();
         self.atsync.reset();
+        // Cancel every in-flight proactive evacuation: the epoch bump
+        // already drops their landing events.
+        self.pending_evac.clear();
+        self.rescue_runnable.clear();
 
         // Count the re-executed work, then rewind the reduction.
         for chare in 0..self.app.num_chares() {
@@ -835,8 +995,16 @@ impl<'a> Sim<'a> {
         self.finished = 0;
 
         // Restore the checkpointed placement; chares owned by a dead core
-        // come back from the replica on their buddy.
-        let alive = self.cluster.alive_mask();
+        // come back from the replica on their buddy. A warming core holds
+        // no replica (it attached after the snapshot), so for restore
+        // purposes it counts as unavailable.
+        let alive: Vec<bool> = self
+            .cluster
+            .alive_mask()
+            .into_iter()
+            .zip(&self.warming)
+            .map(|(a, &w)| a && !w)
+            .collect();
         self.mapping = ckpt_map;
         let mut from_buddy = 0usize;
         for chare in 0..self.app.num_chares() {
@@ -869,6 +1037,12 @@ impl<'a> Sim<'a> {
             })
             .collect();
         stats.failed_tasks = std::mem::take(&mut self.pending_failed);
+        if self.doomed.iter().any(|&d| d) {
+            stats.doomed = self.doomed.clone();
+        }
+        if self.fresh.iter().any(|&f| f) {
+            stats.fresh = self.fresh.clone();
+        }
         let plan = self.plan_over_survivors(&stats);
         self.lb_steps += 1;
         // Price the pause: failure detection, the strategy step, and the
@@ -918,26 +1092,345 @@ impl<'a> Sim<'a> {
         }
     }
 
-    /// Run the strategy over the *alive* cores only. With every core alive
-    /// this is the plain full-space path. With failures, the database is
-    /// compacted onto the survivors first (a dead core's zero load would
-    /// otherwise attract every task), the resulting plan is sanitized as a
-    /// safety net, and indices are translated back to global core space.
+    /// Apply an elastic-membership action. Like failures and interference,
+    /// membership changes void any in-flight fast-forward capture (the
+    /// pre-scheduled events already keep such windows from being replayed).
+    fn on_membership(&mut self, action: MembershipAction, now: Time) -> Result<(), RuntimeError> {
+        self.ff_capture = None;
+        match action {
+            MembershipAction::Notice { node, revoke_at } => self.on_notice(node, revoke_at, now),
+            MembershipAction::Revoke { node } => self.on_revoke(node, now),
+            MembershipAction::Acquire { node } => {
+                let mut any = false;
+                for core in self.cluster.cores_of_node(node) {
+                    if !self.cluster.is_alive(core) {
+                        self.cluster.restore_core(core);
+                        any = true;
+                    }
+                    self.warming[core] = true;
+                }
+                if any {
+                    self.elastic.acquisitions += 1;
+                }
+                if let Some(t) = self.cluster.trace_mut() {
+                    t.marker(now.as_us(), format!("node {node} acquired; warming up"));
+                }
+                Ok(())
+            }
+            MembershipAction::WarmupDone { node } => {
+                let mut any = false;
+                for core in self.cluster.cores_of_node(node) {
+                    if self.warming[core] {
+                        self.warming[core] = false;
+                        if self.cluster.is_alive(core) {
+                            self.fresh[core] = true;
+                        }
+                        any = true;
+                    }
+                }
+                if any {
+                    self.elastic.warmups += 1;
+                }
+                if let Some(t) = self.cluster.trace_mut() {
+                    t.marker(now.as_us(), format!("node {node} warmed up; accepting work"));
+                }
+                Ok(())
+            }
+        }
+    }
+
+    /// A spot preemption notice: node `node` will be hard-revoked at
+    /// `revoke_at`. Mark its cores doomed (zero-capacity sources for the
+    /// balancer) and immediately start draining every chare it hosts,
+    /// spread over the least-loaded eligible cores. Transfers whose
+    /// arrival overruns the deadline are still sent: a chare whose state
+    /// is in flight when the node dies is *rescued* when the transfer
+    /// lands, instead of forcing a global rollback.
+    fn on_notice(&mut self, node: usize, revoke_at: Time, now: Time) -> Result<(), RuntimeError> {
+        self.elastic.notices += 1;
+        let cores: Vec<usize> = self.cluster.cores_of_node(node).collect();
+        let mut any_alive = false;
+        for &core in &cores {
+            if self.cluster.is_alive(core) {
+                self.doomed[core] = true;
+                any_alive = true;
+            }
+        }
+        if let Some(t) = self.cluster.trace_mut() {
+            t.marker(
+                now.as_us(),
+                format!("spot notice: node {node} revoked at {} us", revoke_at.as_us()),
+            );
+        }
+        if !any_alive || self.app_end.is_some() {
+            return Ok(());
+        }
+        // Evacuation targets: alive, not doomed themselves, warmed up.
+        let eligible: Vec<usize> = (0..self.num_pes())
+            .filter(|&p| self.cluster.is_alive(p) && !self.doomed[p] && !self.warming[p])
+            .collect();
+        if eligible.is_empty() {
+            return Ok(()); // nowhere to drain to; the revocation rolls back
+        }
+        self.elastic.evacuations_attempted += 1;
+        self.evac_attempted[node] = true;
+        let evacuees: Vec<usize> =
+            (0..self.app.num_chares()).filter(|&c| cores.contains(&self.mapping[c])).collect();
+        // Projected chare counts so evacuees spread over the targets.
+        let mut count = vec![0usize; self.num_pes()];
+        for &pe in &self.mapping {
+            count[pe] += 1;
+        }
+        // Per-source NIC serialization: one outbound state transfer at a
+        // time per core, exactly like the migration paths.
+        let mut nic_free = vec![now; self.num_pes()];
+        let app = self.app;
+        let num_pes = self.num_pes();
+        let epoch = self.epoch;
+        for &chare in &evacuees {
+            let src = self.mapping[chare];
+            let dest =
+                *eligible.iter().min_by_key(|&&p| (count[p], p)).expect("eligible nonempty");
+            let start = nic_free[src];
+            let arrival = match self.netfault.as_mut() {
+                None => {
+                    let bytes = app.state_bytes(chare);
+                    start
+                        + self
+                            .cfg
+                            .network
+                            .migration_delay(bytes, self.cluster.same_node(src, dest))
+                }
+                Some(ch) => {
+                    // Under chaos the drain rides the reliable ARQ
+                    // protocol, one transfer per chare.
+                    let plan =
+                        [Migration { task: TaskId(chare as u64), from: src, to: dest }];
+                    let out = netproto::run_transfers(
+                        &plan,
+                        ch,
+                        &self.cluster,
+                        &self.cfg.migration_proto,
+                        start,
+                        |i| app.state_bytes(i),
+                        num_pes,
+                    );
+                    nic_free[src] = out.done_at;
+                    if out.committed.is_empty() {
+                        continue; // aborted: the revocation will roll back
+                    }
+                    out.done_at
+                }
+            };
+            nic_free[src] = arrival;
+            self.queue.schedule(arrival, Ev::Evac { chare, to: dest, epoch });
+            self.pending_evac.insert(chare, dest);
+            count[dest] += 1;
+            count[src] -= 1;
+        }
+        let launched = self.pending_evac.len();
+        if let Some(t) = self.cluster.trace_mut() {
+            t.marker(
+                now.as_us(),
+                format!("evacuating {launched} chare(s) off node {node} before revocation"),
+            );
+        }
+        Ok(())
+    }
+
+    /// The notice deadline fires: node `node` is revoked. Chares already
+    /// drained are unaffected; chares whose state transfer is still in
+    /// flight are rescued when it lands; chares with no transfer under way
+    /// are lost with the node and force a global checkpoint rollback.
+    fn on_revoke(&mut self, node: usize, now: Time) -> Result<(), RuntimeError> {
+        let killed: Vec<usize> =
+            self.cluster.cores_of_node(node).filter(|&c| self.cluster.is_alive(c)).collect();
+        if killed.is_empty() {
+            return Ok(()); // already down (a failure script beat the notice)
+        }
+        for &core in &killed {
+            let evicted = self.cluster.kill_core(core);
+            for (job, finite) in &evicted.evicted_bg {
+                if *finite {
+                    self.pending_bg -= 1;
+                }
+                if let Some(t) = self.cluster.trace_mut() {
+                    t.marker(now.as_us(), format!("bg job {job} lost with core {core}"));
+                }
+            }
+            self.doomed[core] = false;
+            // A chare caught mid-iteration or queued loses its slot; if its
+            // state is in flight it must re-enter a ready queue on landing.
+            if let Some(run) = self.running[core].take() {
+                self.rescue_runnable.insert(run.chare);
+                self.state[run.chare] = CState::Waiting;
+            }
+            while let Some(chare) = self.ready[core].pop_front() {
+                self.rescue_runnable.insert(chare);
+                self.state[chare] = CState::Waiting;
+            }
+            if let Some(t) = self.cluster.trace_mut() {
+                t.marker(now.as_us(), format!("core {core} revoked"));
+            }
+        }
+        self.elastic.nodes_revoked += 1;
+        if self.app_end.is_some() {
+            return Ok(());
+        }
+        if self.cluster.num_alive() == 0 {
+            return Err(RuntimeError::AllPesDead);
+        }
+        let stranded: Vec<usize> =
+            (0..self.app.num_chares()).filter(|&c| killed.contains(&self.mapping[c])).collect();
+        if stranded.is_empty() {
+            if self.evac_attempted[node] {
+                self.elastic.evacuations_completed += 1;
+            }
+            if let Some(t) = self.cluster.trace_mut() {
+                t.marker(now.as_us(), format!("node {node} empty at revocation: clean drain"));
+            }
+            return Ok(());
+        }
+        let lost =
+            stranded.iter().filter(|&&c| !self.pending_evac.contains_key(&c)).count();
+        if lost == 0 {
+            // Every stranded chare's state is already in flight: commit at
+            // landing, no rollback.
+            if let Some(t) = self.cluster.trace_mut() {
+                t.marker(
+                    now.as_us(),
+                    format!("{} chare(s) in flight at revocation: rescue pending", stranded.len()),
+                );
+            }
+            return Ok(());
+        }
+        // The reactive path proactive evacuation exists to avoid: state
+        // died with the node, roll everyone back to the checkpoint.
+        self.elastic.chares_rolled_back += stranded.len();
+        if let Some(t) = self.cluster.trace_mut() {
+            t.marker(
+                now.as_us(),
+                format!("{lost} chare(s) lost with node {node}: rolling back"),
+            );
+        }
+        self.recover(now)
+    }
+
+    /// A proactively evacuated chare's state transfer lands on `to`.
+    /// Commits the move if the chare still needs one: its source is doomed
+    /// (pre-deadline drain) or already revoked (rescue).
+    fn on_evac(&mut self, chare: usize, to: usize, now: Time) -> Result<(), RuntimeError> {
+        self.ff_capture = None;
+        self.pending_evac.remove(&chare);
+        let was_runnable = self.rescue_runnable.remove(&chare);
+        let src = self.mapping[chare];
+        let src_alive = self.cluster.is_alive(src);
+        if src_alive && !self.doomed[src] {
+            return Ok(()); // an LB step already moved it off the doomed core
+        }
+        let mut dest = to;
+        if !self.cluster.is_alive(dest) || self.doomed[dest] || self.warming[dest] {
+            // The planned target was lost or doomed in the meantime:
+            // re-pick the emptiest eligible core.
+            let mut count = vec![0usize; self.num_pes()];
+            for &pe in &self.mapping {
+                count[pe] += 1;
+            }
+            let best = (0..self.num_pes())
+                .filter(|&p| self.cluster.is_alive(p) && !self.doomed[p] && !self.warming[p])
+                .min_by_key(|&p| (count[p], p));
+            match best {
+                Some(p) => dest = p,
+                None if src_alive => return Ok(()), // stay; revocation handles it
+                None => {
+                    // Rescued state with nowhere to land: fall back to the
+                    // global rollback.
+                    self.elastic.chares_rolled_back += 1;
+                    return self.recover(now);
+                }
+            }
+        }
+        self.mapping[chare] = dest;
+        self.migrations += 1;
+        self.migration_bytes += self.app.state_bytes(chare) as u64;
+        if src_alive {
+            self.elastic.chares_drained += 1;
+        } else {
+            self.elastic.chares_rescued += 1;
+        }
+        if let Some(t) = self.cluster.trace_mut() {
+            let verb = if src_alive { "drained" } else { "rescued" };
+            t.marker(now.as_us(), format!("chare {chare} {verb} to core {dest}"));
+        }
+        match self.state[chare] {
+            CState::Running => {
+                // Mid-iteration on the doomed core: abandon the partial
+                // work; the iteration re-runs at the destination.
+                debug_assert!(src_alive, "a chare cannot be Running on a revoked core");
+                if self.running[src].is_some_and(|r| r.chare == chare) {
+                    self.running[src] = None;
+                    self.cluster.abort_fg(src);
+                }
+                self.state[chare] = CState::Queued;
+                self.ready[dest].push_back(chare);
+                self.try_start(dest, now);
+                self.try_start(src, now);
+            }
+            CState::Queued => {
+                self.ready[src].retain(|&c| c != chare);
+                self.ready[dest].push_back(chare);
+                self.try_start(dest, now);
+            }
+            CState::Waiting => {
+                if was_runnable {
+                    // Its boundary ghosts were consumed before the
+                    // revocation; requeue it directly.
+                    self.state[chare] = CState::Queued;
+                    self.ready[dest].push_back(chare);
+                    self.try_start(dest, now);
+                } else {
+                    self.maybe_ready(chare, now);
+                }
+            }
+            CState::Parked | CState::Finished => {} // pure remap
+        }
+        Ok(())
+    }
+
+    /// Run the strategy over the *eligible* cores only. With every core
+    /// alive, none warming and none doomed, this is the plain full-space
+    /// path. Otherwise the database is compacted onto the eligible cores
+    /// first (a dead core's zero load would otherwise attract every task;
+    /// a warming core is not yet a target), the resulting plan is
+    /// sanitized as a safety net (which also keeps doomed cores
+    /// source-only), and indices are translated back to global core space.
     fn plan_over_survivors(&mut self, stats: &LbStats) -> Vec<Migration> {
-        let alive = self.cluster.alive_mask();
-        if alive.iter().all(|a| *a) {
+        let mut alive = self.cluster.alive_mask();
+        for (pe, w) in self.warming.iter().enumerate() {
+            if *w {
+                alive[pe] = false;
+            }
+        }
+        let plan = if alive.iter().all(|a| *a) && stats.doomed.is_empty() {
             let plan = self.strategy.plan(stats);
             cloudlb_balance::strategy::validate_plan(stats, &plan);
-            return plan;
+            plan
+        } else {
+            let (compact, alive_idx) = compact_stats(stats, &alive);
+            let plan = self.strategy.plan(&compact);
+            let all_alive = vec![true; alive_idx.len()];
+            let san = cloudlb_balance::sanitize_plan(&compact, &plan, &all_alive);
+            san.plan
+                .into_iter()
+                .map(|m| Migration { task: m.task, from: alive_idx[m.from], to: alive_idx[m.to] })
+                .collect()
+        };
+        // Eager refill is one-shot: after one planning pass over the fresh
+        // flags, warmed-up cores compete normally.
+        for f in &mut self.fresh {
+            *f = false;
         }
-        let (compact, alive_idx) = compact_stats(stats, &alive);
-        let plan = self.strategy.plan(&compact);
-        let all_alive = vec![true; alive_idx.len()];
-        let san = cloudlb_balance::sanitize_plan(&compact, &plan, &all_alive);
-        san.plan
-            .into_iter()
-            .map(|m| Migration { task: m.task, from: alive_idx[m.from], to: alive_idx[m.to] })
-            .collect()
+        plan
     }
 
     /// Resolve a plan's state transfers. On the clean path this is the
@@ -980,8 +1473,14 @@ impl<'a> Sim<'a> {
         }
         // Graceful degradation: aborted chares stay on their source core,
         // the partial plan is re-sanitized, and the failed moves feed the
-        // next LB step through `LbStats::failed_tasks`.
-        let alive = self.cluster.alive_mask();
+        // next LB step through `LbStats::failed_tasks`. Warming cores are
+        // masked so a repair never targets a core that is not yet open.
+        let mut alive = self.cluster.alive_mask();
+        for (pe, w) in self.warming.iter().enumerate() {
+            if *w {
+                alive[pe] = false;
+            }
+        }
         let committed = cloudlb_balance::sanitize_plan(stats, &out.committed, &alive).plan;
         self.pending_failed.extend(out.aborted.iter().map(|m| m.task));
         if let Some(t) = self.cluster.trace_mut() {
@@ -1006,6 +1505,29 @@ impl<'a> Sim<'a> {
         stats.comm.clone_from(&self.comm_template);
         // Tell the strategy which moves the network refused last time.
         stats.failed_tasks = std::mem::take(&mut self.pending_failed);
+        // Chares stranded on a revoked core with a rescue transfer still in
+        // flight are presented at their landing destination: the strategy
+        // may plan over them, but a move it makes is skipped as stale at
+        // commit (`mapping` still says the dead core) — the landing commits
+        // the real move.
+        if !self.pending_evac.is_empty() {
+            let alive = self.cluster.alive_mask();
+            for t in &mut stats.tasks {
+                if !alive[t.pe] {
+                    if let Some(&dest) = self.pending_evac.get(&(t.id.0 as usize)) {
+                        t.pe = dest;
+                    }
+                }
+            }
+        }
+        // And which cores are under a spot notice (source-only) or were
+        // just acquired (eagerly refill).
+        if self.doomed.iter().any(|&d| d) {
+            stats.doomed = self.doomed.clone();
+        }
+        if self.fresh.iter().any(|&f| f) {
+            stats.fresh = self.fresh.clone();
+        }
         let plan = self.plan_over_survivors(&stats);
         let (plan, transfers_done) = self.resolve_transfers(plan, &stats, now);
         let end = transfers_done + Dur::from_secs_f64(self.cfg.lb.step_cost_s);
@@ -1880,5 +2402,158 @@ mod tests {
         assert_eq!(on.peak_queue_depth, off.peak_queue_depth);
         assert!(on.events_skipped > 0);
         assert!(on.sim_events > on.events_skipped, "phase B always runs live");
+    }
+
+    fn two_node_cfg(iters: usize) -> RunConfig {
+        let mut cfg = RunConfig::paper(8, iters);
+        cfg.lb = LbConfig { strategy: "cloudrefine".into(), period: 5, ..Default::default() };
+        cfg
+    }
+
+    fn notice_script(node: usize, at_us: u64, revoke_us: u64) -> MembershipScript {
+        MembershipScript {
+            actions: vec![
+                (
+                    Time::from_us(at_us),
+                    MembershipAction::Notice { node, revoke_at: Time::from_us(revoke_us) },
+                ),
+                (Time::from_us(revoke_us), MembershipAction::Revoke { node }),
+            ],
+        }
+    }
+
+    #[test]
+    fn long_lead_notice_drains_the_node_with_no_rollback() {
+        let app = SyntheticApp::ring(32, 0.001);
+        // Notice at 30 ms with a 70 ms lead: 16 chares × ~174 µs transfers
+        // drain long before the deadline.
+        let r = SimExecutor::new(&app, two_node_cfg(40), BgScript::none())
+            .with_membership(notice_script(1, 30_000, 100_000))
+            .try_run()
+            .expect("survivable storm");
+        assert_eq!(r.iter_times.len(), 40);
+        assert_eq!(r.recoveries, 0, "proactive drain must avoid any rollback");
+        assert_eq!(r.elastic.notices, 1);
+        assert_eq!(r.elastic.nodes_revoked, 1);
+        assert_eq!(r.elastic.evacuations_attempted, 1);
+        assert_eq!(r.elastic.evacuations_completed, 1, "node must be empty at revocation");
+        assert!(r.elastic.chares_drained > 0);
+        assert_eq!(r.elastic.chares_rolled_back, 0);
+        assert_eq!(r.failures, 0, "a revocation is not a failure");
+        assert!(
+            r.final_mapping.iter().all(|&p| p < 4),
+            "no chare may end on the revoked node: {:?}",
+            r.final_mapping
+        );
+    }
+
+    #[test]
+    fn short_lead_notice_rescues_in_flight_chares() {
+        let app = SyntheticApp::ring(32, 0.001);
+        // A 50 µs lead: shorter than a single cross-node state transfer
+        // (~174 µs), so every evacuee is still in flight at revocation and
+        // must be rescued on landing — zero epochs lost.
+        let r = SimExecutor::new(&app, two_node_cfg(40), BgScript::none())
+            .with_membership(notice_script(1, 30_000, 30_050))
+            .try_run()
+            .expect("rescue path is survivable");
+        assert_eq!(r.iter_times.len(), 40);
+        assert_eq!(r.recoveries, 0, "in-flight state must be rescued, not rolled back");
+        assert!(r.elastic.chares_rescued > 0, "{:?}", r.elastic);
+        assert_eq!(r.elastic.chares_rolled_back, 0);
+        assert!(r.final_mapping.iter().all(|&p| p < 4));
+    }
+
+    #[test]
+    fn acquired_node_warms_up_and_takes_work() {
+        let app = SyntheticApp::ring(32, 0.001);
+        // Node 1 is latent (acquired at 20 ms, warm at 25 ms): the run
+        // starts on node 0's four cores and expands onto node 1.
+        let script = MembershipScript {
+            actions: vec![
+                (Time::from_us(20_000), MembershipAction::Acquire { node: 1 }),
+                (Time::from_us(25_000), MembershipAction::WarmupDone { node: 1 }),
+            ],
+        };
+        let r = SimExecutor::new(&app, two_node_cfg(60), BgScript::none())
+            .with_membership(script)
+            .try_run()
+            .expect("expansion is clean");
+        assert_eq!(r.iter_times.len(), 60);
+        assert_eq!(r.elastic.acquisitions, 1);
+        assert_eq!(r.elastic.warmups, 1);
+        assert_eq!(r.recoveries, 0);
+        assert!(
+            r.final_mapping.iter().any(|&p| p >= 4),
+            "acquired node never took work: {:?}",
+            r.final_mapping
+        );
+    }
+
+    #[test]
+    fn membership_runs_are_deterministic() {
+        let app = SyntheticApp::ring(32, 0.001);
+        // Three nodes: 0 and 1 initial, 2 acquired mid-run; node 0 is
+        // noticed and revoked after the expansion.
+        let script = MembershipScript {
+            actions: vec![
+                (Time::from_us(15_000), MembershipAction::Acquire { node: 2 }),
+                (Time::from_us(20_000), MembershipAction::WarmupDone { node: 2 }),
+                (
+                    Time::from_us(40_000),
+                    MembershipAction::Notice { node: 0, revoke_at: Time::from_us(80_000) },
+                ),
+                (Time::from_us(80_000), MembershipAction::Revoke { node: 0 }),
+            ],
+        };
+        let mut cfg = RunConfig::paper(12, 40);
+        cfg.lb = LbConfig { strategy: "cloudrefine".into(), period: 5, ..Default::default() };
+        let run = || {
+            SimExecutor::new(&app, cfg.clone(), BgScript::none())
+                .with_membership(script.clone())
+                .try_run()
+                .expect("survivable")
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a, b, "membership runs must be bit-identical");
+        assert!(a.elastic.notices == 1 && a.elastic.acquisitions == 1, "{:?}", a.elastic);
+    }
+
+    #[test]
+    fn invalid_membership_scripts_are_invalid_config() {
+        let app = SyntheticApp::ring(8, 0.001);
+        // Out-of-range node.
+        let err = SimExecutor::new(&app, small_cfg(5, "nolb"), BgScript::none())
+            .with_membership(notice_script(7, 1_000, 2_000))
+            .try_run()
+            .unwrap_err();
+        assert!(matches!(err, RuntimeError::InvalidConfig(_)), "{err}");
+        // Acquisition that is not a trailing node (node 0 of 2).
+        let app2 = SyntheticApp::ring(32, 0.001);
+        let script = MembershipScript {
+            actions: vec![(Time::from_us(1_000), MembershipAction::Acquire { node: 0 })],
+        };
+        let err = SimExecutor::new(&app2, two_node_cfg(5), BgScript::none())
+            .with_membership(script)
+            .try_run()
+            .unwrap_err();
+        assert!(matches!(err, RuntimeError::InvalidConfig(_)), "{err}");
+        // Warm-up for a node that is never acquired.
+        let script = MembershipScript {
+            actions: vec![(Time::from_us(1_000), MembershipAction::WarmupDone { node: 1 })],
+        };
+        let err = SimExecutor::new(&app2, two_node_cfg(5), BgScript::none())
+            .with_membership(script)
+            .try_run()
+            .unwrap_err();
+        assert!(matches!(err, RuntimeError::InvalidConfig(_)), "{err}");
+    }
+
+    #[test]
+    fn static_membership_reports_default_elastic_stats() {
+        let app = SyntheticApp::ring(16, 0.001);
+        let r = SimExecutor::new(&app, small_cfg(10, "cloudrefine"), BgScript::none()).run();
+        assert_eq!(r.elastic, ElasticStats::default());
     }
 }

@@ -17,6 +17,9 @@
 //!   phased arrive/depart pattern (Fig. 3);
 //! * PE/node failure scripts ([`failure`]) — timed kill/restore actions for
 //!   the fault-tolerance experiments (recovery itself lives in the runtime);
+//! * elastic membership scripts ([`membership`]) — spot preemption notices
+//!   with lead times, hard revocations and mid-run node acquisitions
+//!   (the proactive-evacuation policy lives in the runtime);
 //! * a network delay model ([`network`]) with a virtualization penalty, and
 //!   a seeded network fault channel ([`netfault`]) layering loss,
 //!   duplication, reordering, jitter, bandwidth collapse and transient
@@ -31,6 +34,7 @@ pub mod core_sched;
 pub mod event;
 pub mod failure;
 pub mod interference;
+pub mod membership;
 pub mod netfault;
 pub mod network;
 pub mod power;
@@ -45,6 +49,9 @@ pub use core_sched::{BgJobId, CoreEvent, FgLabel};
 pub use event::{EventHandle, EventQueue};
 pub use failure::{FailureAction, FailureScript};
 pub use interference::{BgAction, BgScript};
+pub use membership::{
+    AcquireSpec, MembershipAction, MembershipScript, MembershipSpec, NoticeSpec,
+};
 pub use netfault::{
     Delivery, FaultyNetwork, NetFaultSpec, NetStats, PartitionScope, PartitionWindow, SendOutcome,
 };

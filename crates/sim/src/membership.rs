@@ -1,0 +1,478 @@
+//! Elastic cluster membership: preemption notices, revocations, acquisitions.
+//!
+//! Cloud HPC does not run on a fixed machine. Spot instances get *preempted*
+//! — but with a notice (AWS: 2 minutes, GCE: 30 seconds) that a well-built
+//! runtime can spend evacuating work instead of losing it — and autoscalers
+//! *acquire* brand-new nodes mid-run. This module scripts both as a chaos
+//! layer over the DES, mirroring [`crate::failure::FailureScript`]: a
+//! deterministic timed list of membership actions plus a serde-able spec
+//! ([`MembershipSpec`]) with fractional times, presets and a CLI `parse`.
+//!
+//! The policy reaction — proactive evacuation of doomed nodes over the
+//! reliable migration protocol, warm-up handshakes for joining nodes —
+//! lives in the runtime crate; this module only says *what changes when*.
+//!
+//! Scripted times are deterministic; the layer's only randomness (warm-up
+//! jitter on acquired nodes) draws from its own stream seed
+//! ([`StreamLayer::Membership`]) so composing it never shifts another
+//! layer's dice.
+
+use crate::rng::{stream_rng, StreamLayer};
+use crate::time::{Dur, Time};
+use serde::{Deserialize, Serialize};
+
+/// A timed membership action.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum MembershipAction {
+    /// Spot preemption notice: `node` will be hard-revoked at `revoke_at`.
+    /// The runtime should evacuate the node's work before that deadline.
+    Notice {
+        /// Node index receiving the notice.
+        node: usize,
+        /// Instant the revocation will fire (the notice deadline).
+        revoke_at: Time,
+    },
+    /// Hard revocation: every core on `node` fails at once, permanently.
+    Revoke {
+        /// Node index being revoked.
+        node: usize,
+    },
+    /// A brand-new node joins the job (all of its cores, empty). The node
+    /// index refers to latent capacity appended after the initial cluster.
+    Acquire {
+        /// Node index joining.
+        node: usize,
+    },
+    /// An acquired node finished its warm-up handshake and may now receive
+    /// migrations.
+    WarmupDone {
+        /// Node index that warmed up.
+        node: usize,
+    },
+}
+
+/// A deterministic schedule of membership changes, sorted by time.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MembershipScript {
+    /// `(when, what)` pairs in nondecreasing time order.
+    pub actions: Vec<(Time, MembershipAction)>,
+}
+
+impl MembershipScript {
+    /// Empty script (static-membership runs).
+    pub fn none() -> Self {
+        MembershipScript::default()
+    }
+
+    /// `true` if the script schedules nothing.
+    pub fn is_empty(&self) -> bool {
+        self.actions.is_empty()
+    }
+
+    /// Combine two scripts, keeping time order (stable for equal times).
+    pub fn merge(mut self, other: MembershipScript) -> Self {
+        self.actions.extend(other.actions);
+        self.actions.sort_by_key(|(t, _)| *t);
+        self
+    }
+
+    /// First scripted action strictly after `after`, if any (fast-forward
+    /// disturbance-horizon query).
+    pub fn next_disturbance_at(&self, after: Time) -> Option<Time> {
+        self.actions.iter().map(|(t, _)| *t).find(|&t| t > after)
+    }
+
+    /// Largest node index referenced, for config validation.
+    pub fn max_node(&self) -> Option<usize> {
+        self.actions
+            .iter()
+            .map(|(_, a)| match a {
+                MembershipAction::Notice { node, .. }
+                | MembershipAction::Revoke { node }
+                | MembershipAction::Acquire { node }
+                | MembershipAction::WarmupDone { node } => *node,
+            })
+            .max()
+    }
+
+    /// Number of distinct nodes acquired by this script.
+    pub fn num_acquired_nodes(&self) -> usize {
+        let mut nodes: Vec<usize> = self
+            .actions
+            .iter()
+            .filter_map(|(_, a)| match a {
+                MembershipAction::Acquire { node } => Some(*node),
+                _ => None,
+            })
+            .collect();
+        nodes.sort_unstable();
+        nodes.dedup();
+        nodes.len()
+    }
+
+    /// `true` if the script revokes at least one node.
+    pub fn has_revocations(&self) -> bool {
+        self.actions.iter().any(|(_, a)| matches!(a, MembershipAction::Revoke { .. }))
+    }
+}
+
+/// One spot preemption notice, in fractions of the scenario's estimated
+/// run time: the notice arrives at `at_frac` and the node is hard-revoked
+/// `lead_frac` later.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct NoticeSpec {
+    /// Initial-cluster node index the notice targets.
+    pub node: usize,
+    /// When the notice arrives (fraction of the base time estimate).
+    pub at_frac: f64,
+    /// Lead time between notice and revocation (fraction of the estimate).
+    pub lead_frac: f64,
+}
+
+/// One node acquisition, in fractions of the scenario's estimated run time.
+/// Acquired nodes are numbered after the initial cluster in `at_frac` order.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AcquireSpec {
+    /// When the node attaches (fraction of the base time estimate).
+    pub at_frac: f64,
+}
+
+fn default_warmup_frac() -> f64 {
+    0.02
+}
+
+/// Serde-able membership timeline: spot notices and autoscale acquisitions
+/// with fractional times, resolved against a scenario's base time estimate
+/// by [`MembershipSpec::to_script`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MembershipSpec {
+    /// Preemption notices against initial-cluster nodes.
+    #[serde(default)]
+    pub notices: Vec<NoticeSpec>,
+    /// Node acquisitions (brand-new latent nodes attaching mid-run).
+    #[serde(default)]
+    pub acquisitions: Vec<AcquireSpec>,
+    /// Warm-up handshake length for acquired nodes (fraction of the base
+    /// time estimate); the node only becomes a migration target once done.
+    #[serde(default = "default_warmup_frac")]
+    pub warmup_frac: f64,
+    /// Extra per-acquisition warm-up jitter bound (fraction of the base
+    /// time estimate), drawn from [`StreamLayer::Membership`]'s stream.
+    #[serde(default)]
+    pub warmup_jitter_frac: f64,
+}
+
+impl Default for MembershipSpec {
+    fn default() -> Self {
+        MembershipSpec {
+            notices: Vec::new(),
+            acquisitions: Vec::new(),
+            warmup_frac: default_warmup_frac(),
+            warmup_jitter_frac: 0.0,
+        }
+    }
+}
+
+impl MembershipSpec {
+    /// No membership churn.
+    pub fn none() -> Self {
+        MembershipSpec::default()
+    }
+
+    /// Spot preemption storm with a replacement node: capacity attaches at
+    /// 30 %, node 1 is noticed at 40 % with a generous 25 % lead (long
+    /// enough to drain every chare proactively), and node 0 gets a late
+    /// notice that usually falls past the end of the run. Needs ≥ 2 nodes.
+    pub fn spot_storm() -> Self {
+        MembershipSpec {
+            notices: vec![
+                NoticeSpec { node: 1, at_frac: 0.40, lead_frac: 0.25 },
+                NoticeSpec { node: 0, at_frac: 0.80, lead_frac: 0.30 },
+            ],
+            acquisitions: vec![AcquireSpec { at_frac: 0.30 }],
+            ..MembershipSpec::default()
+        }
+    }
+
+    /// Autoscale timeline: two expansions, then a noticed scale-down of
+    /// node 1. Needs ≥ 2 nodes.
+    pub fn autoscale() -> Self {
+        MembershipSpec {
+            notices: vec![NoticeSpec { node: 1, at_frac: 0.60, lead_frac: 0.25 }],
+            acquisitions: vec![AcquireSpec { at_frac: 0.25 }, AcquireSpec { at_frac: 0.50 }],
+            ..MembershipSpec::default()
+        }
+    }
+
+    /// `true` if the spec schedules any membership change.
+    pub fn is_active(&self) -> bool {
+        !self.notices.is_empty() || !self.acquisitions.is_empty()
+    }
+
+    /// Parse a CLI spec: a preset name (`spot_storm`, `autoscale`) or a
+    /// comma-separated list of entries:
+    ///
+    /// * `notice:NODE@AT+LEAD` — notice for node `NODE` at fraction `AT`,
+    ///   revocation `LEAD` later (e.g. `notice:1@0.4+0.25`);
+    /// * `acquire:AT` — a new node attaches at fraction `AT`;
+    /// * `warmup:FRAC` — warm-up handshake length;
+    /// * `warmup_jitter:FRAC` — per-acquisition warm-up jitter bound.
+    pub fn parse(s: &str) -> Result<MembershipSpec, String> {
+        match s {
+            "spot_storm" => return Ok(MembershipSpec::spot_storm()),
+            "autoscale" => return Ok(MembershipSpec::autoscale()),
+            _ => {}
+        }
+        let mut spec = MembershipSpec::none();
+        for part in s.split(',') {
+            let part = part.trim();
+            if part.is_empty() {
+                continue;
+            }
+            let (key, value) = part
+                .split_once(':')
+                .ok_or_else(|| format!("bad membership spec {part:?}: expected key:value"))?;
+            let frac = |what: &str, v: &str| -> Result<f64, String> {
+                let x: f64 = v
+                    .parse()
+                    .map_err(|_| format!("bad membership spec {part:?}: {what} not a number"))?;
+                if !(0.0..=2.0).contains(&x) {
+                    return Err(format!("bad membership spec {part:?}: {what} outside 0..=2"));
+                }
+                Ok(x)
+            };
+            match key {
+                "notice" => {
+                    let (node_s, rest) = value.split_once('@').ok_or_else(|| {
+                        format!("bad membership spec {part:?}: expected notice:NODE@AT+LEAD")
+                    })?;
+                    let (at_s, lead_s) = rest.split_once('+').ok_or_else(|| {
+                        format!("bad membership spec {part:?}: expected notice:NODE@AT+LEAD")
+                    })?;
+                    let node: usize = node_s
+                        .parse()
+                        .map_err(|_| format!("bad membership spec {part:?}: node not a number"))?;
+                    spec.notices.push(NoticeSpec {
+                        node,
+                        at_frac: frac("AT", at_s)?,
+                        lead_frac: frac("LEAD", lead_s)?,
+                    });
+                }
+                "acquire" => {
+                    spec.acquisitions.push(AcquireSpec { at_frac: frac("AT", value)? });
+                }
+                "warmup" => spec.warmup_frac = frac("FRAC", value)?,
+                "warmup_jitter" => spec.warmup_jitter_frac = frac("FRAC", value)?,
+                _ => return Err(format!("bad membership spec {part:?}: unknown key {key:?}")),
+            }
+        }
+        Ok(spec)
+    }
+
+    /// Validate against an initial cluster of `nodes` nodes. Notices must
+    /// target in-range initial nodes (at most once each), fractions must be
+    /// sane, and leads must be positive — a notice with zero lead is just
+    /// an unannounced kill, which belongs in the failure script.
+    pub fn validate(&self, nodes: usize) -> Result<(), String> {
+        let mut noticed = std::collections::HashSet::new();
+        for n in &self.notices {
+            if n.node >= nodes {
+                return Err(format!(
+                    "membership notice targets node {} but the cluster has {nodes} nodes",
+                    n.node
+                ));
+            }
+            if !noticed.insert(n.node) {
+                return Err(format!("membership notices target node {} twice", n.node));
+            }
+            if !(0.0..=2.0).contains(&n.at_frac) {
+                return Err(format!("membership notice at_frac {} outside 0..=2", n.at_frac));
+            }
+            if n.lead_frac <= 0.0 || n.lead_frac > 2.0 {
+                return Err(format!(
+                    "membership notice lead_frac {} must be in (0, 2]",
+                    n.lead_frac
+                ));
+            }
+        }
+        for a in &self.acquisitions {
+            if !(0.0..=2.0).contains(&a.at_frac) {
+                return Err(format!("membership acquire at_frac {} outside 0..=2", a.at_frac));
+            }
+        }
+        if !(0.0..=0.5).contains(&self.warmup_frac) {
+            return Err(format!("membership warmup_frac {} outside 0..=0.5", self.warmup_frac));
+        }
+        if !(0.0..=0.5).contains(&self.warmup_jitter_frac) {
+            return Err(format!(
+                "membership warmup_jitter_frac {} outside 0..=0.5",
+                self.warmup_jitter_frac
+            ));
+        }
+        Ok(())
+    }
+
+    /// Resolve fractional times against `base_s` (the scenario's estimated
+    /// clean run time, seconds) into a concrete [`MembershipScript`].
+    ///
+    /// Acquired nodes are numbered `initial_nodes, initial_nodes + 1, …` in
+    /// `at_frac` order; each gets an `Acquire` and a `WarmupDone` action,
+    /// the latter jittered from the layer's own stream seed.
+    pub fn to_script(&self, base_s: f64, initial_nodes: usize, seed: u64) -> MembershipScript {
+        let at = |frac: f64| Time::ZERO + Dur::from_secs_f64(base_s * frac.max(0.0));
+        let mut rng = stream_rng(seed, StreamLayer::Membership);
+        let mut actions = Vec::new();
+        for n in &self.notices {
+            let revoke_at = at(n.at_frac + n.lead_frac);
+            actions.push((at(n.at_frac), MembershipAction::Notice { node: n.node, revoke_at }));
+            actions.push((revoke_at, MembershipAction::Revoke { node: n.node }));
+        }
+        let mut acquisitions = self.acquisitions.clone();
+        acquisitions.sort_by(|a, b| a.at_frac.total_cmp(&b.at_frac));
+        for (k, a) in acquisitions.iter().enumerate() {
+            let node = initial_nodes + k;
+            let jitter =
+                if self.warmup_jitter_frac > 0.0 { rng.f64() * self.warmup_jitter_frac } else { 0.0 };
+            actions.push((at(a.at_frac), MembershipAction::Acquire { node }));
+            actions.push((
+                at(a.at_frac + self.warmup_frac + jitter),
+                MembershipAction::WarmupDone { node },
+            ));
+        }
+        actions.sort_by_key(|(t, _)| *t);
+        MembershipScript { actions }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_script_is_inert() {
+        let s = MembershipScript::none();
+        assert!(s.is_empty());
+        assert_eq!(s.next_disturbance_at(Time::ZERO), None);
+        assert_eq!(s.max_node(), None);
+        assert_eq!(s.num_acquired_nodes(), 0);
+        assert!(!s.has_revocations());
+        assert!(!MembershipSpec::none().is_active());
+    }
+
+    #[test]
+    fn presets_are_active_and_validate_on_two_nodes() {
+        for spec in [MembershipSpec::spot_storm(), MembershipSpec::autoscale()] {
+            assert!(spec.is_active());
+            assert!(spec.validate(2).is_ok());
+            assert!(spec.validate(1).is_err(), "presets need two nodes");
+        }
+    }
+
+    #[test]
+    fn spec_parsing() {
+        assert_eq!(MembershipSpec::parse("spot_storm").unwrap(), MembershipSpec::spot_storm());
+        assert_eq!(MembershipSpec::parse("autoscale").unwrap(), MembershipSpec::autoscale());
+        let spec =
+            MembershipSpec::parse("notice:1@0.4+0.25,acquire:0.3,warmup:0.05,warmup_jitter:0.01")
+                .unwrap();
+        assert_eq!(
+            spec.notices,
+            vec![NoticeSpec { node: 1, at_frac: 0.4, lead_frac: 0.25 }]
+        );
+        assert_eq!(spec.acquisitions, vec![AcquireSpec { at_frac: 0.3 }]);
+        assert_eq!(spec.warmup_frac, 0.05);
+        assert_eq!(spec.warmup_jitter_frac, 0.01);
+        assert!(MembershipSpec::parse("notice:1@0.4").is_err());
+        assert!(MembershipSpec::parse("bogus:1").is_err());
+        assert!(MembershipSpec::parse("acquire:nope").is_err());
+        assert!(MembershipSpec::parse("acquire:9.0").is_err());
+    }
+
+    #[test]
+    fn validate_rejects_bad_specs() {
+        let out_of_range = MembershipSpec {
+            notices: vec![NoticeSpec { node: 5, at_frac: 0.2, lead_frac: 0.1 }],
+            ..MembershipSpec::default()
+        };
+        assert!(out_of_range.validate(2).is_err());
+        assert!(out_of_range.validate(6).is_ok());
+        let zero_lead = MembershipSpec {
+            notices: vec![NoticeSpec { node: 0, at_frac: 0.2, lead_frac: 0.0 }],
+            ..MembershipSpec::default()
+        };
+        assert!(zero_lead.validate(2).is_err());
+        let twice = MembershipSpec {
+            notices: vec![
+                NoticeSpec { node: 0, at_frac: 0.2, lead_frac: 0.1 },
+                NoticeSpec { node: 0, at_frac: 0.5, lead_frac: 0.1 },
+            ],
+            ..MembershipSpec::default()
+        };
+        assert!(twice.validate(2).is_err());
+    }
+
+    #[test]
+    fn to_script_resolves_fractions_and_orders_actions() {
+        let spec = MembershipSpec {
+            notices: vec![NoticeSpec { node: 1, at_frac: 0.4, lead_frac: 0.2 }],
+            acquisitions: vec![AcquireSpec { at_frac: 0.5 }, AcquireSpec { at_frac: 0.1 }],
+            warmup_frac: 0.05,
+            warmup_jitter_frac: 0.0,
+        };
+        let s = spec.to_script(10.0, 2, 7);
+        // Acquisitions numbered in time order after the initial cluster.
+        assert_eq!(
+            s.actions[0],
+            (Time::ZERO + Dur::from_secs_f64(1.0), MembershipAction::Acquire { node: 2 })
+        );
+        assert_eq!(
+            s.actions[1],
+            (Time::ZERO + Dur::from_secs_f64(1.5), MembershipAction::WarmupDone { node: 2 })
+        );
+        let revoke_at = Time::ZERO + Dur::from_secs_f64(6.0);
+        assert!(s
+            .actions
+            .contains(&(Time::ZERO + Dur::from_secs_f64(4.0), MembershipAction::Notice { node: 1, revoke_at })));
+        assert!(s.actions.contains(&(revoke_at, MembershipAction::Revoke { node: 1 })));
+        assert_eq!(s.num_acquired_nodes(), 2);
+        assert_eq!(s.max_node(), Some(3));
+        assert!(s.has_revocations());
+        // Times nondecreasing.
+        for w in s.actions.windows(2) {
+            assert!(w[0].0 <= w[1].0);
+        }
+    }
+
+    #[test]
+    fn warmup_jitter_is_seeded_and_deterministic() {
+        let spec = MembershipSpec {
+            acquisitions: vec![AcquireSpec { at_frac: 0.2 }],
+            warmup_jitter_frac: 0.1,
+            ..MembershipSpec::default()
+        };
+        let a = spec.to_script(10.0, 2, 42);
+        let b = spec.to_script(10.0, 2, 42);
+        assert_eq!(a, b, "bit-identical per seed");
+        let c = spec.to_script(10.0, 2, 43);
+        assert_ne!(a, c, "jitter draws from the membership stream");
+    }
+
+    #[test]
+    fn spec_round_trips_through_json() {
+        let spec = MembershipSpec::spot_storm();
+        let json = serde_json::to_string(&spec).unwrap();
+        let back: MembershipSpec = serde_json::from_str(&json).unwrap();
+        assert_eq!(spec, back);
+        // Missing fields fall back to defaults.
+        let min: MembershipSpec = serde_json::from_str("{}").unwrap();
+        assert_eq!(min, MembershipSpec::none());
+    }
+
+    #[test]
+    fn next_disturbance_is_strictly_after() {
+        let s = MembershipSpec::spot_storm().to_script(10.0, 2, 1);
+        let first = s.actions[0].0;
+        assert_eq!(s.next_disturbance_at(Time::ZERO), Some(first));
+        assert!(s.next_disturbance_at(first).unwrap() > first);
+    }
+}

@@ -41,6 +41,11 @@ pub enum StreamLayer {
     NetScript,
     /// Scenario-generator sub-stream: telemetry corruption knobs.
     TelemetryScript,
+    /// Elastic-membership chaos layer: preemption notices, revocations
+    /// and node acquisitions ([`crate::membership::MembershipScript`]).
+    Membership,
+    /// Scenario-generator sub-stream: membership timeline knobs.
+    MembershipScript,
 }
 
 impl StreamLayer {
@@ -59,11 +64,13 @@ impl StreamLayer {
             StreamLayer::Failures => 0xFA11_0E5C_5EED_0005,
             StreamLayer::NetScript => 0x4E75_C217_5EED_0006,
             StreamLayer::TelemetryScript => 0x7E1E_5C17_5EED_0007,
+            StreamLayer::Membership => 0x5107_4E07_5EED_0008,
+            StreamLayer::MembershipScript => 0xE1A5_71C5_5EED_0009,
         }
     }
 
     /// Every layer, for exhaustiveness tests.
-    pub const ALL: [StreamLayer; 9] = [
+    pub const ALL: [StreamLayer; 11] = [
         StreamLayer::Telemetry,
         StreamLayer::NetFault,
         StreamLayer::Topology,
@@ -73,6 +80,8 @@ impl StreamLayer {
         StreamLayer::Failures,
         StreamLayer::NetScript,
         StreamLayer::TelemetryScript,
+        StreamLayer::Membership,
+        StreamLayer::MembershipScript,
     ];
 }
 

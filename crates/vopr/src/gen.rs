@@ -12,7 +12,8 @@
 use cloudlb_core::{BgPattern, FailSpec, Scenario};
 use cloudlb_runtime::FastForward;
 use cloudlb_sim::{
-    stream_rng, NetFaultSpec, PartitionScope, PartitionWindow, SimRng, StreamLayer, TelemetrySpec,
+    stream_rng, AcquireSpec, MembershipSpec, NetFaultSpec, NoticeSpec, PartitionScope,
+    PartitionWindow, SimRng, StreamLayer, TelemetrySpec,
 };
 
 /// LB arms the generator samples, spanning plain strategies and every
@@ -142,6 +143,36 @@ pub fn generate(seed: u64) -> Scenario {
         None
     };
 
+    // Elastic membership: at most one spot notice (never a node already in
+    // the failure schedule — a doomed node dying twice is a different bug
+    // class) and up to two acquisitions. Needs ≥ 2 nodes so a revocation
+    // leaves survivors.
+    let mut mem_rng = stream_rng(seed, StreamLayer::MembershipScript);
+    let membership = if nodes >= 2 && mem_rng.f64() < 0.4 {
+        let mut spec = MembershipSpec::none();
+        if mem_rng.f64() < 0.7 {
+            let node = mem_rng.below(nodes as u64) as usize;
+            let clashes = used_nodes.contains(&node)
+                || used_cores.iter().any(|&c: &usize| c / 4 == node);
+            if !clashes {
+                spec.notices.push(NoticeSpec {
+                    node,
+                    at_frac: mem_rng.range_f64(0.2, 0.6),
+                    lead_frac: mem_rng.range_f64(0.15, 0.35),
+                });
+            }
+        }
+        for _ in 0..mem_rng.below(3) {
+            spec.acquisitions.push(AcquireSpec { at_frac: mem_rng.range_f64(0.1, 0.7) });
+        }
+        if mem_rng.f64() < 0.3 {
+            spec.warmup_jitter_frac = mem_rng.range_f64(0.0, 0.05);
+        }
+        spec.is_active().then_some(spec)
+    } else {
+        None
+    };
+
     // Telemetry corruption.
     let mut tel_rng = stream_rng(seed, StreamLayer::TelemetryScript);
     let telemetry = if tel_rng.f64() < 0.5 {
@@ -170,6 +201,7 @@ pub fn generate(seed: u64) -> Scenario {
         fail,
         telemetry,
         net_fault,
+        membership,
         fast_forward,
         pe_speeds,
     }
@@ -215,6 +247,17 @@ mod tests {
         assert!(scns.iter().any(|s| !s.pe_speeds.is_empty()), "heterogeneity reached");
         assert!(scns.iter().any(|s| s.bg != BgPattern::None), "interference reached");
         assert!(scns.iter().any(|s| s.fast_forward == FastForward::Off), "ff off reached");
+        assert!(scns.iter().any(|s| s.membership.is_some()), "membership churn reached");
+        assert!(
+            scns.iter()
+                .any(|s| s.membership.as_ref().is_some_and(|m| !m.notices.is_empty())),
+            "spot notices reached"
+        );
+        assert!(
+            scns.iter()
+                .any(|s| s.membership.as_ref().is_some_and(|m| !m.acquisitions.is_empty())),
+            "acquisitions reached"
+        );
     }
 
     #[test]

@@ -178,7 +178,10 @@ pub fn check(scn: &Scenario, opts: &OracleOpts) -> Verdict {
 
     let chares = scn.build_app().num_chares();
     let dead = dead_cores(scn);
-    if let Err(detail) = result.check_conservation(chares, scn.cores, &dead) {
+    // Membership growth widens the legal core range; revoked nodes are NOT
+    // in the static dead set because a late notice's revocation can fall
+    // past the end of the run, where ending on the node is legitimate.
+    if let Err(detail) = result.check_conservation(chares, scn.total_cores(), &dead) {
         let kind = if detail.contains("dead core") {
             FailureKind::DeadPe
         } else {
@@ -215,8 +218,13 @@ pub fn check(scn: &Scenario, opts: &OracleOpts) -> Verdict {
     let clean_s = clean.app_time.as_secs_f64();
     let app_time_s = result.app_time.as_secs_f64();
     let clean_ratio = if clean_s > 0.0 { app_time_s / clean_s } else { f64::INFINITY };
+    // Capacity scaling: the static lost-core ratio, or the time-integrated
+    // capacity fraction when the scenario schedules membership churn or
+    // restored outages — whichever is more generous, so the elastic bound
+    // never tightens the static one.
     let alive = scn.cores.saturating_sub(dead.len()).max(1) as f64;
-    let allowed = 25.0 * (scn.cores as f64 / alive) * (1.0 + scn.bg_weight);
+    let capacity_scale = (scn.cores as f64 / alive).max(1.0 / scn.capacity_avg_frac());
+    let allowed = 25.0 * capacity_scale * (1.0 + scn.bg_weight);
     if clean_ratio > allowed {
         return Err(OracleFailure::new(
             FailureKind::MakespanBlowup,

@@ -95,6 +95,17 @@ mod tests {
     }
 
     #[test]
+    fn bundle_records_the_membership_script() {
+        // A minimized elastic repro must replay the same churn: the
+        // membership spec rides inside the scenario JSON losslessly.
+        let mut b = bundle();
+        b.scenario = Scenario::spot_storm("jacobi2d", 8, "cloudrefine");
+        let back = ReproBundle::from_json(&b.to_json()).unwrap();
+        assert_eq!(back, b);
+        assert!(back.scenario.membership.as_ref().is_some_and(|m| m.is_active()));
+    }
+
+    #[test]
     fn cli_line_carries_the_inject_hook() {
         let p = Path::new("out/vopr-repro-7.json");
         assert_eq!(cli_line(p, None), "cloudlb-vopr --repro out/vopr-repro-7.json");

@@ -58,6 +58,27 @@ fn candidates(s: &Scenario) -> Vec<Scenario> {
         c.pe_speeds.truncate(cores);
         out.push(c);
     }
+    // Drop membership entries one at a time, then the whole layer —
+    // strictly downward, so the fixpoint loop terminates.
+    if let Some(m) = &s.membership {
+        for i in 0..m.notices.len() {
+            let mut c = s.clone();
+            c.membership.as_mut().unwrap().notices.remove(i);
+            if !c.membership.as_ref().unwrap().is_active() {
+                c.membership = None;
+            }
+            out.push(c);
+        }
+        for i in 0..m.acquisitions.len() {
+            let mut c = s.clone();
+            c.membership.as_mut().unwrap().acquisitions.remove(i);
+            if !c.membership.as_ref().unwrap().is_active() {
+                c.membership = None;
+            }
+            out.push(c);
+        }
+        out.push(Scenario { membership: None, ..s.clone() });
+    }
     // Strip whole chaos layers.
     if s.telemetry.is_some() {
         out.push(Scenario { telemetry: None, ..s.clone() });
@@ -160,6 +181,33 @@ mod tests {
         assert!(shrunk.scenario.validate().is_ok(), "shrunk output must stay runnable");
         // And the emitted scenario genuinely still fails.
         assert_eq!(check(&shrunk.scenario, &opts).unwrap_err().kind, kind);
+    }
+
+    #[test]
+    fn membership_candidates_shrink_strictly_downward() {
+        let s = Scenario::spot_storm("jacobi2d", 8, "cloudrefine");
+        let cands = candidates(&s);
+        // One candidate per notice drop, per acquisition drop, plus the
+        // whole-layer strip.
+        assert!(cands
+            .iter()
+            .any(|c| c.membership.as_ref().is_some_and(|m| m.notices.len() == 1)));
+        assert!(cands
+            .iter()
+            .any(|c| c.membership.as_ref().is_some_and(|m| m.acquisitions.is_empty())));
+        assert!(cands.iter().any(|c| c.membership.is_none()));
+        // Dropping the last active entry collapses the layer to None
+        // rather than leaving an inert spec behind.
+        let only_notice = Scenario {
+            membership: Some(cloudlb_sim::MembershipSpec {
+                notices: vec![cloudlb_sim::NoticeSpec { node: 1, at_frac: 0.3, lead_frac: 0.2 }],
+                ..cloudlb_sim::MembershipSpec::default()
+            }),
+            ..Scenario::paper("jacobi2d", 8, "cloudrefine")
+        };
+        assert!(!candidates(&only_notice)
+            .iter()
+            .any(|c| c.membership.as_ref().is_some_and(|m| !m.is_active())));
     }
 
     #[test]

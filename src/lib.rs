@@ -38,16 +38,19 @@ pub mod prelude {
     pub use cloudlb_apps::{Jacobi2D, Mol3D, Stencil3D, Wave2D};
     pub use cloudlb_balance::{CloudRefineLb, GreedyLb, LbStrategy, NoLb, RefineLb};
     pub use cloudlb_core::experiment::{
-        evaluate, failure_impact, network_impact, run_scenario, telemetry_impact,
-        try_run_scenario, EvalPoint, FailureImpact, NetworkImpact, TelemetryImpact,
+        elasticity_impact, evaluate, failure_impact, network_impact, run_scenario,
+        telemetry_impact, try_run_scenario, ElasticityImpact, EvalPoint, FailureImpact,
+        NetworkImpact, TelemetryImpact,
     };
     pub use cloudlb_core::figures;
     pub use cloudlb_core::scenario::{BgPattern, FailSpec, Scenario};
     pub use cloudlb_runtime::{
-        IterativeApp, LbConfig, RunConfig, RunResult, RuntimeError, SimExecutor,
+        ElasticStats, IterativeApp, LbConfig, RunConfig, RunResult, RuntimeError, SimExecutor,
         ThreadExecutor, ThreadRunConfig,
     };
     pub use cloudlb_sim::failure::{FailureAction, FailureScript};
     pub use cloudlb_sim::interference::BgScript;
-    pub use cloudlb_sim::{Dur, NetFaultSpec, NetStats, TelemetrySpec, Time};
+    pub use cloudlb_sim::{
+        Dur, MembershipSpec, NetFaultSpec, NetStats, TelemetrySpec, Time,
+    };
 }

@@ -12,14 +12,14 @@
 //! Fig. 4 tables for one application.
 
 use cloudlb::core_api::experiment::{
-    evaluate_cells, failure_impact, network_impact, run_scenario, telemetry_impact,
-    try_run_scenario, CellSpec,
+    elasticity_impact, evaluate_cells, failure_impact, network_impact, run_scenario,
+    telemetry_impact, try_run_scenario, CellSpec,
 };
 use cloudlb::core_api::default_jobs;
 use cloudlb::core_api::figures;
 use cloudlb::core_api::scenario::{BgPattern, FailSpec, Scenario};
 use cloudlb::runtime::FastForward;
-use cloudlb::sim::{NetFaultSpec, TelemetrySpec};
+use cloudlb::sim::{MembershipSpec, NetFaultSpec, TelemetrySpec};
 use cloudlb::trace::profile::{render_profile, ProfileOptions};
 use cloudlb::trace::svg::{render_svg, SvgOptions};
 use cloudlb::trace::timeline::{render_ascii, TimelineOptions};
@@ -107,6 +107,9 @@ fn scenario_from(opts: &Opts) -> Result<Scenario, String> {
         if opts.net_fault.is_some() {
             scn.net_fault = opts.net_fault.clone();
         }
+        if opts.membership.is_some() {
+            scn.membership = opts.membership.clone();
+        }
         if let Some(ff) = opts.fast_forward {
             scn.fast_forward = ff;
         }
@@ -121,6 +124,7 @@ fn scenario_from(opts: &Opts) -> Result<Scenario, String> {
     scn.fail.extend(opts.fail.iter().copied());
     scn.telemetry = opts.telemetry;
     scn.net_fault = opts.net_fault.clone();
+    scn.membership = opts.membership.clone();
     if let Some(ff) = opts.fast_forward {
         scn.fast_forward = ff;
     }
@@ -267,6 +271,30 @@ fn cmd_run(opts: &Opts) -> ExitCode {
             imp.net_penalty * 100.0,
         ));
     }
+    if scn.membership.as_ref().is_some_and(|m| m.is_active()) {
+        // A static-cluster twin isolates what membership churn cost beyond
+        // the capacity it took away.
+        let mut clean = scn.clone();
+        clean.membership = None;
+        let imp = elasticity_impact(&run, &run_scenario(&clean), &scn);
+        report(format!(
+            "membership: {} notice(s), {} node(s) revoked, {} acquired ({} warmed up); \
+             {}/{} evacuation(s) completed, {} chare(s) drained, {} rescued, {} rolled back; \
+             penalty {:.1} % ({:.1} % capacity-adjusted at {:.0} % avg capacity)",
+            imp.notices,
+            imp.nodes_revoked,
+            imp.acquisitions,
+            imp.warmups,
+            imp.evacuations_completed,
+            imp.evacuations_attempted,
+            imp.chares_drained,
+            imp.chares_rescued,
+            imp.chares_rolled_back,
+            imp.penalty * 100.0,
+            imp.capacity_adjusted_penalty * 100.0,
+            imp.capacity_avg_frac * 100.0,
+        ));
+    }
     ExitCode::SUCCESS
 }
 
@@ -277,7 +305,8 @@ fn serde_json_string<T: serde::Serialize>(value: &T) -> String {
 const USAGE: &str = "usage:
   cloudlb run    --app <name> --cores <n> [--strategy <s>] [--iters <n>] [--seed <s>]
                  [--fail <spec>[,<spec>...]] [--telemetry-noise <spec>]
-                 [--net-fault <spec>] [--fast-forward on|off|auto]
+                 [--net-fault <spec>] [--membership <spec>]
+                 [--fast-forward on|off|auto]
                  [--bg paper|none|twocore:<frac>] [--json]
   cloudlb run    --scenario <file.json> [--fail <spec>[,<spec>...]] [--json]
   cloudlb trace  --app <name> --cores <n> [--strategy <s>] [--iters <n>]
@@ -311,7 +340,14 @@ net faults: 'flaky_cloud', 'none', or a comma list of
   loss:<frac> dup:<frac> reorder:<frac> jitter:<frac> collapse:<frac>
   slowdown:<x> rack:<from>~<to> part:<a>-<b>@<from>~<to>, e.g.
   --net-fault loss:0.02,rack:0.4~0.5 (times are fractions of the estimated
-  run; migrations ride a retry/abort protocol and aborted moves re-plan)";
+  run; migrations ride a retry/abort protocol and aborted moves re-plan)
+membership: 'spot_storm', 'autoscale', 'none', or a comma list of
+  notice:<node>@<at>+<lead> acquire:<at> warmup:<frac> warmup_jitter:<frac>,
+  e.g. --membership notice:1@0.4+0.25,acquire:0.3 — node 1 gets a spot
+  preemption notice at 40 % of the estimated run and is hard-revoked 25 %
+  later; a fresh 4-core node attaches at 30 %. On a notice the runtime
+  proactively drains the node's chares before the revocation deadline;
+  acquired nodes warm up, then take migrations";
 
 /// Hand-rolled flag parsing (no CLI dependency).
 struct Opts {
@@ -326,6 +362,7 @@ struct Opts {
     fail: Vec<FailSpec>,
     telemetry: Option<TelemetrySpec>,
     net_fault: Option<NetFaultSpec>,
+    membership: Option<MembershipSpec>,
     jobs: Option<usize>,
     fast_forward: Option<FastForward>,
     bg: Option<BgPattern>,
@@ -365,6 +402,7 @@ impl Opts {
             fail: Vec::new(),
             telemetry: None,
             net_fault: None,
+            membership: None,
             jobs: None,
             fast_forward: None,
             bg: None,
@@ -422,6 +460,16 @@ impl Opts {
                     let spec = NetFaultSpec::parse(&value("--net-fault")?)
                         .map_err(|e| format!("--net-fault: {e}"))?;
                     o.net_fault = spec.is_active().then_some(spec);
+                }
+                "--membership" => {
+                    let raw = value("--membership")?;
+                    if raw == "none" {
+                        o.membership = None;
+                    } else {
+                        let spec = MembershipSpec::parse(&raw)
+                            .map_err(|e| format!("--membership: {e}"))?;
+                        o.membership = spec.is_active().then_some(spec);
+                    }
                 }
                 other => return Err(format!("unknown flag {other:?}")),
             }
@@ -561,6 +609,28 @@ mod tests {
         assert!(parse(&["--net-fault", "none"]).unwrap().net_fault.is_none());
         assert!(parse(&["--net-fault", "bogus:1"]).is_err());
         assert!(parse(&["--net-fault"]).is_err());
+    }
+
+    #[test]
+    fn membership_flag_parses_presets_and_custom_specs() {
+        let o = parse(&["--membership", "spot_storm"]).unwrap();
+        let spec = o.membership.expect("preset is active");
+        assert!(spec.is_active());
+        assert_eq!(spec.notices.len(), 2);
+        assert_eq!(spec.acquisitions.len(), 1);
+
+        let o = parse(&["--membership", "notice:1@0.4+0.25,acquire:0.3"]).unwrap();
+        let spec = o.membership.unwrap();
+        assert_eq!(spec.notices.len(), 1);
+        assert_eq!(spec.notices[0].node, 1);
+        assert_eq!(spec.acquisitions.len(), 1);
+
+        // An inactive spec is treated as "static membership".
+        assert!(parse(&["--membership", "none"]).unwrap().membership.is_none());
+        assert!(parse(&["--membership", "warmup:0.05"]).unwrap().membership.is_none());
+        assert!(parse(&["--membership", "bogus:1"]).is_err());
+        assert!(parse(&["--membership", "notice:1@0.4"]).is_err());
+        assert!(parse(&["--membership"]).is_err());
     }
 
     #[test]
