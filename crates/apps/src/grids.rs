@@ -10,16 +10,20 @@
 /// at most one. Returns `(start, len)` per chunk.
 pub fn decompose(points: usize, chunks: usize) -> Vec<(usize, usize)> {
     assert!(chunks > 0 && points >= chunks, "cannot split {points} points into {chunks}");
+    (0..chunks).map(|c| chunk_range(points, chunks, c)).collect()
+}
+
+/// Closed-form `(start, len)` of chunk `c` in the [`decompose`] split —
+/// the first `points % chunks` chunks carry one extra point, so chunk `c`
+/// starts after `c` base-sized chunks plus `min(c, extra)` spread
+/// remainders. Lets per-chare extent queries run without materializing
+/// the whole split (a 1M-chare grid would otherwise allocate two vectors
+/// per extent call).
+pub fn chunk_range(points: usize, chunks: usize, c: usize) -> (usize, usize) {
+    debug_assert!(c < chunks);
     let base = points / chunks;
     let extra = points % chunks;
-    let mut out = Vec::with_capacity(chunks);
-    let mut start = 0;
-    for c in 0..chunks {
-        let len = base + usize::from(c < extra);
-        out.push((start, len));
-        start += len;
-    }
-    out
+    (c * base + c.min(extra), base + usize::from(c < extra))
 }
 
 /// A 2-D grid of `nx × ny` points split into `cx × cy` chare blocks.
@@ -62,8 +66,8 @@ impl Block2D {
     /// Point extent of chare `idx`: `(x0, width, y0, height)`.
     pub fn extent(&self, idx: usize) -> (usize, usize, usize, usize) {
         let (bx, by) = self.coords(idx);
-        let (x0, w) = decompose(self.nx, self.cx)[bx];
-        let (y0, h) = decompose(self.ny, self.cy)[by];
+        let (x0, w) = chunk_range(self.nx, self.cx, bx);
+        let (y0, h) = chunk_range(self.ny, self.cy, by);
         (x0, w, y0, h)
     }
 
@@ -196,6 +200,16 @@ mod tests {
     #[should_panic(expected = "cannot split")]
     fn decompose_rejects_too_many_chunks() {
         decompose(2, 3);
+    }
+
+    #[test]
+    fn chunk_range_matches_decompose() {
+        for (points, chunks) in [(10, 3), (101, 4), (53, 53), (1 << 15, 1 << 10)] {
+            let full = decompose(points, chunks);
+            for (c, &want) in full.iter().enumerate() {
+                assert_eq!(chunk_range(points, chunks, c), want, "{points}/{chunks} chunk {c}");
+            }
+        }
     }
 
     #[test]

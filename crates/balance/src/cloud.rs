@@ -22,6 +22,7 @@
 
 use crate::db::{LbStats, TaskId};
 use crate::strategy::{LbStrategy, Migration};
+use std::cell::RefCell;
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 
@@ -53,9 +54,9 @@ impl CloudRefineLb {
 /// Max-heap entry ordered by load, ties broken by core index for
 /// determinism.
 #[derive(Debug, PartialEq)]
-struct HeapEntry {
-    load: f64,
-    pe: usize,
+pub(crate) struct HeapEntry {
+    pub(crate) load: f64,
+    pub(crate) pe: usize,
 }
 
 impl Eq for HeapEntry {}
@@ -74,26 +75,183 @@ impl PartialOrd for HeapEntry {
     }
 }
 
-/// Shared refinement engine used by both [`CloudRefineLb`] and the classic
-/// [`crate::refine::RefineLb`].
+/// Min-heap entry (`BinaryHeap` is a max-heap, so the ordering is
+/// reversed): pops the lowest load first, ties broken by the lowest core
+/// index — the same total order `min_by` over a set would pick.
+#[derive(Debug, PartialEq)]
+pub(crate) struct MinEntry {
+    pub(crate) load: f64,
+    pub(crate) pe: usize,
+}
+
+impl Eq for MinEntry {}
+
+impl Ord for MinEntry {
+    fn cmp(&self, other: &Self) -> Ordering {
+        other.load
+            .total_cmp(&self.load)
+            .then_with(|| other.pe.cmp(&self.pe))
+    }
+}
+
+impl PartialOrd for MinEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Fenwick (binary-indexed) tree over presence bits of a statically
+/// sorted task array: prefix counts, k-th-present selection, and bit
+/// clears are all O(log n), so extracting the best task per migration
+/// never shifts a `Vec` the way `Vec::remove` did.
+#[derive(Debug, Default)]
+pub(crate) struct Fenwick {
+    /// 1-indexed tree; `tree[0]` is unused.
+    tree: Vec<u32>,
+    /// Smallest power of two ≥ length, cached for `select`'s descent.
+    top: usize,
+}
+
+impl Fenwick {
+    /// Rebuild as `n` present entries (all bits one) in O(n).
+    pub(crate) fn reset_ones(&mut self, n: usize) {
+        self.tree.clear();
+        self.tree.resize(n + 1, 1);
+        if n > 0 {
+            self.tree[0] = 0;
+        }
+        for i in 1..=n {
+            let parent = i + (i & i.wrapping_neg());
+            if parent <= n {
+                let v = self.tree[i];
+                self.tree[parent] += v;
+            }
+        }
+        self.top = n.next_power_of_two();
+    }
+
+    /// Present entries among the first `i` array slots (0-indexed
+    /// exclusive bound).
+    pub(crate) fn prefix(&self, mut i: usize) -> u32 {
+        let mut sum = 0;
+        while i > 0 {
+            sum += self.tree[i];
+            i -= i & i.wrapping_neg();
+        }
+        sum
+    }
+
+    /// 0-index of the `k`-th present entry (1-based `k`; the caller
+    /// guarantees it exists).
+    pub(crate) fn select(&self, mut k: u32) -> usize {
+        let n = self.tree.len() - 1;
+        let mut pos = 0;
+        let mut step = self.top;
+        while step > 0 {
+            let next = pos + step;
+            if next <= n && self.tree[next] < k {
+                pos = next;
+                k -= self.tree[next];
+            }
+            step >>= 1;
+        }
+        pos // largest pos with prefix(pos) < k ⇒ the k-th sits at slot pos
+    }
+
+    /// Clear the presence bit at 0-index `i` (must currently be set).
+    pub(crate) fn clear(&mut self, i: usize) {
+        let mut i = i + 1;
+        while i < self.tree.len() {
+            self.tree[i] -= 1;
+            i += i & i.wrapping_neg();
+        }
+    }
+}
+
+/// Reusable buffers for [`refine_plan`]. At 1M chares / 32k cores a
+/// fresh set of per-call allocations would dominate the strategy's run
+/// time; with this scratch a steady-state window allocates O(1) beyond
+/// the returned plan.
+#[derive(Default)]
+struct RefineScratch {
+    doomed: Vec<bool>,
+    eligible: Vec<usize>,
+    loads: Vec<f64>,
+    /// Per-core task lists sorted ascending by (load, id).
+    tasks_on: Vec<Vec<(f64, TaskId)>>,
+    /// Post-phase-0 tasks flattened core by core (each group still sorted
+    /// ascending) — the static array the Fenwick tree indexes.
+    entries: Vec<(f64, TaskId)>,
+    /// Per-core `entries` range.
+    range: Vec<(usize, usize)>,
+    present: Fenwick,
+    overheap: BinaryHeap<HeapEntry>,
+    underheap: BinaryHeap<MinEntry>,
+    in_under: Vec<bool>,
+    recv_heap: BinaryHeap<MinEntry>,
+}
+
+thread_local! {
+    static SCRATCH: RefCell<RefineScratch> = RefCell::new(RefineScratch::default());
+}
+
+/// Shared refinement engine used by [`CloudRefineLb`], the classic
+/// [`crate::refine::RefineLb`], and per-node by
+/// [`crate::hier::HierCloudRefineLb`].
+///
+/// Complexity: O(T log T) to sort the snapshot once, then O(log n) per
+/// migration — the underset and the phase-0 receiver set are lazy
+/// min-heaps (stale entries carry an out-of-date load and are dropped on
+/// pop; a fresh entry always exists because every load change pushes
+/// one), and each donor's task pool is a Fenwick tree of presence bits
+/// over the statically sorted task array, so "largest task ≤ headroom"
+/// is a partition point plus a prefix/select. The float operations run
+/// in exactly the order the previous O(n)-per-move implementation used,
+/// so plans are bit-identical to it.
 pub(crate) fn refine_plan(stats: &LbStats, epsilon_frac: f64, account_bg: bool) -> Vec<Migration> {
     stats.validate();
     let p = stats.num_pes;
     if p == 0 || stats.tasks.is_empty() {
         return Vec::new();
     }
+    SCRATCH.with(|s| refine_plan_with(&mut s.borrow_mut(), stats, epsilon_frac, account_bg))
+}
+
+fn refine_plan_with(
+    scratch: &mut RefineScratch,
+    stats: &LbStats,
+    epsilon_frac: f64,
+    account_bg: bool,
+) -> Vec<Migration> {
+    let p = stats.num_pes;
+    let RefineScratch {
+        doomed,
+        eligible,
+        loads,
+        tasks_on,
+        entries,
+        range,
+        present,
+        overheap,
+        underheap,
+        in_under,
+        recv_heap,
+    } = scratch;
+
     // Cores under a preemption notice are zero-capacity: they may only
     // donate, and everything they host must leave. With no membership
     // churn the mask is empty and this engine reduces exactly to the
     // paper's Algorithm 1.
-    let doomed: Vec<bool> = (0..p).map(|pe| stats.doomed_of(pe)).collect();
-    let eligible: Vec<usize> = (0..p).filter(|&pe| !doomed[pe]).collect();
+    doomed.clear();
+    doomed.extend((0..p).map(|pe| stats.doomed_of(pe)));
+    eligible.clear();
+    eligible.extend((0..p).filter(|&pe| !doomed[pe]));
     if eligible.is_empty() {
         return Vec::new(); // nowhere anything could go
     }
 
     // Current per-core load: Σ t_i (+ O_p when interference-aware).
-    let mut loads = stats.task_loads();
+    stats.task_loads_into(loads);
     if account_bg {
         for (l, o) in loads.iter_mut().zip(&stats.bg_load) {
             *l += o;
@@ -102,11 +260,14 @@ pub(crate) fn refine_plan(stats: &LbStats, epsilon_frac: f64, account_bg: bool) 
 
     // Per-core task lists sorted ascending by load, so the biggest
     // transferable task is found with a partition-point search.
-    let mut tasks_on: Vec<Vec<(f64, TaskId, usize)>> = vec![Vec::new(); p];
-    for (idx, t) in stats.tasks.iter().enumerate() {
-        tasks_on[t.pe].push((t.load, t.id, idx));
+    tasks_on.resize_with(p, Vec::new);
+    for list in tasks_on.iter_mut() {
+        list.clear();
     }
-    for list in &mut tasks_on {
+    for t in &stats.tasks {
+        tasks_on[t.pe].push((t.load, t.id));
+    }
+    for list in tasks_on.iter_mut() {
         list.sort_by(|a, b| a.0.total_cmp(&b.0).then_with(|| a.1.cmp(&b.1)));
     }
 
@@ -114,24 +275,37 @@ pub(crate) fn refine_plan(stats: &LbStats, epsilon_frac: f64, account_bg: bool) 
 
     // Phase 0 (elastic membership): force-drain doomed cores. Every task
     // moves to the least-loaded eligible core regardless of headroom — an
-    // overloaded survivor beats a task lost to revocation.
-    for pe in 0..p {
-        if !doomed[pe] {
-            continue;
+    // overloaded survivor beats a task lost to revocation. The receiver
+    // choice is a lazy min-heap: eligible loads only grow here, so a
+    // stale entry (pushed before its core's load last changed) sorts
+    // ahead of the fresh one and is detected by a bit-exact load compare.
+    if doomed.iter().any(|&d| d) {
+        recv_heap.clear();
+        for &pe in eligible.iter() {
+            recv_heap.push(MinEntry { load: loads[pe], pe });
         }
-        while let Some((task_load, task_id, _)) = tasks_on[pe].pop() {
-            let &dest = eligible
-                .iter()
-                .min_by(|&&a, &&b| loads[a].total_cmp(&loads[b]).then_with(|| a.cmp(&b)))
-                .expect("eligible nonempty");
-            plan.push(Migration { task: task_id, from: pe, to: dest });
-            loads[pe] -= task_load;
-            loads[dest] += task_load;
-            let list = &mut tasks_on[dest];
-            let at = list.partition_point(|&(l, id, _)| {
-                l < task_load || (l == task_load && id < task_id)
-            });
-            list.insert(at, (task_load, task_id, usize::MAX));
+        for pe in 0..p {
+            if !doomed[pe] {
+                continue;
+            }
+            while let Some((task_load, task_id)) = tasks_on[pe].pop() {
+                let dest = loop {
+                    let e = recv_heap.peek().expect("eligible nonempty");
+                    if e.load.to_bits() == loads[e.pe].to_bits() {
+                        break e.pe;
+                    }
+                    recv_heap.pop();
+                };
+                plan.push(Migration { task: task_id, from: pe, to: dest });
+                loads[pe] -= task_load;
+                loads[dest] += task_load;
+                recv_heap.push(MinEntry { load: loads[dest], pe: dest });
+                let list = &mut tasks_on[dest];
+                let at = list.partition_point(|&(l, id)| {
+                    l < task_load || (l == task_load && id < task_id)
+                });
+                list.insert(at, (task_load, task_id));
+            }
         }
     }
 
@@ -144,18 +318,36 @@ pub(crate) fn refine_plan(stats: &LbStats, epsilon_frac: f64, account_bg: bool) 
     let is_heavy = |load: f64| load - t_avg > eps;
     let is_light = |load: f64| t_avg - load > eps;
 
+    // Freeze the post-phase-0 task lists into one flat array with a
+    // presence-bit Fenwick tree over it. "Remove a task" becomes a bit
+    // clear; "largest remaining task ≤ headroom" becomes a partition
+    // point over the static slice plus a prefix/select pair.
+    entries.clear();
+    range.clear();
+    for tasks in tasks_on.iter().take(p) {
+        let start = entries.len();
+        entries.extend_from_slice(tasks);
+        range.push((start, entries.len()));
+    }
+    present.reset_ones(entries.len());
+
     // Lines 2–8: build overheap and underset. Doomed cores take part in
     // neither (already emptied, zero capacity); freshly warmed-up
     // acquisitions join the underset even when borderline so they are
-    // eagerly refilled.
-    let mut overheap = BinaryHeap::new();
-    let mut underset: Vec<usize> = Vec::new();
-    for &pe in &eligible {
+    // eagerly refilled. The underset is a lazy min-heap plus a
+    // membership mask: `in_under[pe]` is the live set, heap entries are
+    // hints that may be stale.
+    overheap.clear();
+    underheap.clear();
+    in_under.clear();
+    in_under.resize(p, false);
+    for &pe in eligible.iter() {
         let load = loads[pe];
         if is_heavy(load) {
             overheap.push(HeapEntry { load, pe });
         } else if is_light(load) || stats.fresh_of(pe) {
-            underset.push(pe);
+            underheap.push(MinEntry { load, pe });
+            in_under[pe] = true;
         }
     }
 
@@ -168,29 +360,42 @@ pub(crate) fn refine_plan(stats: &LbStats, epsilon_frac: f64, account_bg: bool) 
             }
             continue;
         }
-        if underset.is_empty() {
-            break; // nobody can receive
-        }
 
         // getBestCoreAndTask(donor, underset): the least-loaded underloaded
-        // core has the most headroom; the best task is the biggest one that
-        // fits that headroom without overloading the receiver (line 12).
-        let &best_core = underset
-            .iter()
-            .min_by(|&&a, &&b| loads[a].total_cmp(&loads[b]).then_with(|| a.cmp(&b)))
-            .expect("underset nonempty");
+        // core has the most headroom. Pop entries for cores that left the
+        // set or whose load has since changed (receivers only gain load,
+        // so the fresh entry sorts after its stale ones).
+        let best_core = loop {
+            match underheap.peek() {
+                None => break None,
+                Some(e) if !in_under[e.pe] || e.load.to_bits() != loads[e.pe].to_bits() => {
+                    underheap.pop();
+                }
+                Some(e) => break Some(e.pe),
+            }
+        };
+        let Some(best_core) = best_core else {
+            break; // nobody can receive
+        };
         let headroom = t_avg + eps - loads[best_core];
-        let donor_tasks = &mut tasks_on[donor];
-        // Largest task with load <= headroom: partition point over the
-        // ascending list, then step back one.
-        let cut = donor_tasks.partition_point(|&(l, _, _)| l <= headroom);
-        if cut == 0 {
+
+        // The best task is the biggest one that fits that headroom
+        // without overloading the receiver (line 12): partition point
+        // over the donor's static ascending slice, then take the last
+        // still-present entry before the cut.
+        let (start, end) = range[donor];
+        let cut = start + entries[start..end].partition_point(|&(l, _)| l <= headroom);
+        let before = present.prefix(start);
+        let avail = present.prefix(cut) - before;
+        if avail == 0 {
             // Nothing fits anywhere (best_core had maximal headroom):
             // this donor cannot be improved; drop it to guarantee
             // termination.
             continue;
         }
-        let (task_load, task_id, _) = donor_tasks.remove(cut - 1);
+        let idx = present.select(before + avail);
+        let (task_load, task_id) = entries[idx];
+        present.clear(idx);
 
         // Line 13: m_bestTask^k = bestCore.
         plan.push(Migration { task: task_id, from: donor, to: best_core });
@@ -201,10 +406,13 @@ pub(crate) fn refine_plan(stats: &LbStats, epsilon_frac: f64, account_bg: bool) 
         if is_heavy(loads[donor]) {
             overheap.push(HeapEntry { load: loads[donor], pe: donor });
         } else if is_light(loads[donor]) {
-            underset.push(donor);
+            underheap.push(MinEntry { load: loads[donor], pe: donor });
+            in_under[donor] = true;
         }
         if !is_light(loads[best_core]) {
-            underset.retain(|&c| c != best_core);
+            in_under[best_core] = false;
+        } else {
+            underheap.push(MinEntry { load: loads[best_core], pe: best_core });
         }
     }
 

@@ -12,7 +12,7 @@
 use crate::db::{LbStats, TaskId};
 use crate::strategy::{LbStrategy, Migration};
 use std::cmp::Ordering;
-use std::collections::{BinaryHeap, HashMap};
+use std::collections::BinaryHeap;
 
 /// Interference- and communication-aware refinement balancer.
 #[derive(Debug, Clone)]
@@ -66,14 +66,20 @@ impl LbStrategy for CommRefineLb {
         let is_heavy = |load: f64| load - t_avg > eps;
         let is_light = |load: f64| t_avg - load > eps;
 
-        // Evolving task→pe mapping (for affinity lookups as we migrate).
-        let mut placement: HashMap<TaskId, usize> =
-            stats.tasks.iter().map(|t| (t.id, t.pe)).collect();
-        let adjacency = stats.comm_adjacency();
-
-        let mut tasks_on: Vec<Vec<(f64, TaskId)>> = vec![Vec::new(); p];
+        // CSR comm graph plus an evolving row→pe placement vector (for
+        // affinity lookups as we migrate) — flat arrays instead of the
+        // old per-call HashMap adjacency.
+        let graph = stats.comm_graph();
+        let mut placement: Vec<usize> = vec![0; graph.num_rows()];
         for t in &stats.tasks {
-            tasks_on[t.pe].push((t.load, t.id));
+            placement[graph.row_of(t.id).expect("task is its own graph row")] = t.pe;
+        }
+
+        // Task lists carry the graph row so affinity needs no id lookup.
+        let mut tasks_on: Vec<Vec<(f64, TaskId, usize)>> = vec![Vec::new(); p];
+        for t in &stats.tasks {
+            let row = graph.row_of(t.id).expect("task is its own graph row");
+            tasks_on[t.pe].push((t.load, t.id, row));
         }
         for list in &mut tasks_on {
             list.sort_by(|a, b| a.0.total_cmp(&b.0).then_with(|| a.1.cmp(&b.1)));
@@ -107,22 +113,20 @@ impl LbStrategy for CommRefineLb {
                 .map(|&c| t_avg + eps - loads[c])
                 .fold(f64::NEG_INFINITY, f64::max);
             let donor_tasks = &mut tasks_on[donor];
-            let cut = donor_tasks.partition_point(|&(l, _)| l <= max_headroom);
+            let cut = donor_tasks.partition_point(|&(l, _, _)| l <= max_headroom);
             if cut == 0 {
                 continue; // nothing fits anywhere
             }
-            let (task_load, task_id) = donor_tasks.remove(cut - 1);
+            let (task_load, task_id, task_row) = donor_tasks.remove(cut - 1);
 
             // Among receivers with room, prefer communication affinity;
             // ties go to the least-loaded core, then the lowest index.
             let affinity = |core: usize| -> u64 {
-                adjacency.get(&task_id).map_or(0, |peers| {
-                    peers
-                        .iter()
-                        .filter(|(peer, _)| placement.get(peer) == Some(&core))
-                        .map(|(_, bytes)| *bytes)
-                        .sum()
-                })
+                graph
+                    .partners(task_row)
+                    .filter(|&(peer, _)| placement[peer] == core)
+                    .map(|(_, bytes)| bytes)
+                    .sum()
             };
             let &best_core = underset
                 .iter()
@@ -136,7 +140,7 @@ impl LbStrategy for CommRefineLb {
                 .expect("cut > 0 implies a receiver with room");
 
             plan.push(Migration { task: task_id, from: donor, to: best_core });
-            placement.insert(task_id, best_core);
+            placement[task_row] = best_core;
             loads[donor] -= task_load;
             loads[best_core] += task_load;
             if is_heavy(loads[donor]) {

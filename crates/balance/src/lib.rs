@@ -20,6 +20,9 @@
 //! * [`CommRefineLb`] — an extension: interference-aware refinement that
 //!   breaks receiver ties by communication affinity (fewer cross-node
 //!   ghost messages on a virtualized network).
+//! * [`HierCloudRefineLb`] — two-level CloudRefine for very large
+//!   clusters: per-node refinement over local chares, then a cross-node
+//!   exchange of only the surplus the node averages cannot absorb.
 //! * [`RobustLb`] — robust `O_p` estimation (median-of-windows + EWMA
 //!   fusion, confidence-weighted loads, outlier rejection) in front of any
 //!   strategy, for corrupted cloud telemetry.
@@ -31,6 +34,7 @@ pub mod comm;
 pub mod db;
 pub mod gated;
 pub mod greedy;
+pub mod hier;
 pub mod hysteresis;
 pub mod metrics;
 pub mod predict;
@@ -44,6 +48,7 @@ pub use comm::CommRefineLb;
 pub use db::{CommEdge, LbStats, TaskId, TaskInfo};
 pub use gated::{GainGatedLb, GateConfig};
 pub use greedy::GreedyLb;
+pub use hier::HierCloudRefineLb;
 pub use hysteresis::{HysteresisConfig, HysteresisLb};
 pub use metrics::{ImbalanceMetrics, PlanMetrics};
 pub use predict::{ExpAverage, LastValue, Predictor};

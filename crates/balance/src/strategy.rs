@@ -77,11 +77,19 @@ impl LbStrategy for NoLb {
 /// matches its current core, destinations are in range, and no task is
 /// migrated twice. Panics with a description on violation.
 pub fn validate_plan(stats: &LbStats, plan: &[Migration]) {
+    if plan.is_empty() {
+        return;
+    }
+    // One id→index map up front keeps validation O(tasks + plan); a
+    // per-migration linear `task()` scan is quadratic at 1M chares.
+    let index: std::collections::HashMap<TaskId, usize> =
+        stats.tasks.iter().enumerate().map(|(i, t)| (t.id, i)).collect();
     let mut seen = std::collections::HashSet::new();
     for m in plan {
         assert!(seen.insert(m.task), "task {:?} migrated twice", m.task);
-        let t = stats
-            .task(m.task)
+        let t = index
+            .get(&m.task)
+            .map(|&i| &stats.tasks[i])
             .unwrap_or_else(|| panic!("plan references unknown task {:?}", m.task));
         assert_eq!(t.pe, m.from, "task {:?} is on pe {}, plan says {}", m.task, t.pe, m.from);
         assert!(m.to < stats.num_pes, "destination pe {} out of range", m.to);
@@ -93,9 +101,14 @@ pub fn validate_plan(stats: &LbStats, plan: &[Migration]) {
 pub fn apply_plan(stats: &LbStats, plan: &[Migration]) -> LbStats {
     validate_plan(stats, plan);
     let mut out = stats.clone();
+    if plan.is_empty() {
+        return out;
+    }
+    let index: std::collections::HashMap<TaskId, usize> =
+        out.tasks.iter().enumerate().map(|(i, t)| (t.id, i)).collect();
     for m in plan {
-        if let Some(t) = out.tasks.iter_mut().find(|t| t.id == m.task) {
-            t.pe = m.to;
+        if let Some(&i) = index.get(&m.task) {
+            out.tasks[i].pe = m.to;
         }
     }
     out
@@ -103,6 +116,8 @@ pub fn apply_plan(stats: &LbStats, plan: &[Migration]) -> LbStats {
 
 /// Construct a strategy by name, for config-driven harnesses. Recognized:
 /// `nolb`, `greedy`, `greedybg`, `refine`, `cloudrefine`, `commrefine`,
+/// `hiercloudrefine` (two-level CloudRefine: per-node refinement plus
+/// cross-node surplus exchange, for very large clusters),
 /// `gatedcloudrefine` (CloudRefine behind the §VI migration cost/benefit
 /// gate), `hysteresiscloudrefine` (CloudRefine behind the anti-thrash gate)
 /// and `robustcloudrefine` (the full guarded stack: robust estimation
@@ -115,6 +130,7 @@ pub fn by_name(name: &str) -> Option<Box<dyn LbStrategy>> {
         "refine" => Some(Box::new(crate::refine::RefineLb::default())),
         "cloudrefine" => Some(Box::new(crate::cloud::CloudRefineLb::default())),
         "commrefine" => Some(Box::new(crate::comm::CommRefineLb::default())),
+        "hiercloudrefine" => Some(Box::new(crate::hier::HierCloudRefineLb::default())),
         "gatedcloudrefine" => Some(Box::new(crate::gated::GainGatedLb::new(
             crate::cloud::CloudRefineLb::default(),
             crate::gated::GateConfig::default(),
@@ -199,6 +215,7 @@ mod tests {
             "refine",
             "CloudRefine",
             "commrefine",
+            "HierCloudRefine",
             "gatedcloudrefine",
             "HysteresisCloudRefine",
             "robustcloudrefine",

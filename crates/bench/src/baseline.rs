@@ -60,18 +60,75 @@ pub struct SweepRecord {
     /// `sim_events`, so events/sec is comparable across modes).
     #[serde(default)]
     pub events_skipped: u64,
-    /// Wall-clock of the same sweep with fast-forward disabled, seconds
-    /// (0 when no comparison arm ran). Only the fastforward bench fills
-    /// these: its gate is on the *fast* arm, and the off arm documents the
-    /// speedup on the same machine.
+    /// Wall-clock of the same sweep with fast-forward disabled, seconds.
+    /// Only the fastforward bench runs a comparison arm: its gate is on
+    /// the *fast* arm, and the off arm documents the speedup on the same
+    /// machine. `None` (serialized as `null`) when no comparison ran —
+    /// older baselines wrote a misleading `0.0` instead.
     #[serde(default)]
-    pub off_wall_s: f64,
-    /// Events/sec of the fast-forward-off comparison arm (0 = none ran).
+    pub off_wall_s: Option<f64>,
+    /// Events/sec of the fast-forward-off comparison arm (`None` = none
+    /// ran).
     #[serde(default)]
-    pub off_events_per_sec: f64,
-    /// `events_per_sec / off_events_per_sec` (0 when no comparison ran).
+    pub off_events_per_sec: Option<f64>,
+    /// `events_per_sec / off_events_per_sec` (`None` when no comparison
+    /// ran).
     #[serde(default)]
-    pub speedup: f64,
+    pub speedup: Option<f64>,
+}
+
+/// One scale run's worth of telemetry (`BENCH_scale.json`): the paper's
+/// setup blown up to cloud-datacenter size — 32k cores, 1M chares — run
+/// clean with fast-forward pinned ON, plus a hierarchical-arm comparison
+/// and a paper-scale quality-parity check.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ScaleRecord {
+    /// Record name; the file is `BENCH_scale.json`.
+    pub name: String,
+    /// Whether `CLOUDLB_FAST` shrank the cluster.
+    pub fast: bool,
+    /// Core count of the scale run.
+    pub cores: usize,
+    /// Total chares (32 per core; 1,048,576 at 32,768 cores).
+    pub chares: usize,
+    /// Over-decomposition factor (chares per core).
+    pub chares_per_core: usize,
+    /// Iterations per run.
+    pub iterations: usize,
+    /// LB period in iterations.
+    pub lb_period: usize,
+    /// Wall-clock of the gated flat-CloudRefine arm, seconds.
+    pub wall_s: f64,
+    /// Simulator events (pops + analytically skipped pops) of that arm.
+    pub sim_events: u64,
+    /// `sim_events / wall_s` — what the regression gate tracks.
+    pub events_per_sec: f64,
+    /// Largest live-event count the run's queue reached.
+    pub peak_queue_depth: usize,
+    /// Steady-state LB windows macro-stepped instead of simulated.
+    pub ff_windows: usize,
+    /// Event pops those windows skipped (folded into `sim_events`).
+    pub events_skipped: u64,
+    /// The flat arm was rerun and compared bit for bit (always true in a
+    /// record that exists — a mismatch fails the bench instead).
+    pub rerun_identical: bool,
+    /// Wall-clock of the hierarchical arm at the same scale, seconds.
+    pub hier_wall_s: f64,
+    /// Events/sec of the hierarchical arm.
+    pub hier_events_per_sec: f64,
+    /// Hierarchical / flat makespan at scale (quality, not speed).
+    pub hier_makespan_ratio: f64,
+    /// Cluster size of the paper-scale quality-parity check (8 × 4).
+    pub parity_cores: usize,
+    /// Seeds the parity check averaged over.
+    pub parity_seeds: Vec<u64>,
+    /// Worst hier/flat makespan ratio across the parity seeds; the bench
+    /// fails above 1.05.
+    pub parity_worst_ratio: f64,
+    /// Wall-clock budget (`CLOUDLB_SCALE_BUDGET_S`) the gated arm was
+    /// held to (`None` = no budget set).
+    #[serde(default)]
+    pub budget_s: Option<f64>,
 }
 
 /// Path for `BENCH_<name>.json`, honouring `CLOUDLB_BENCH_DIR`.
@@ -108,6 +165,20 @@ pub fn read_sweep(path: &str) -> Result<SweepRecord, String> {
     serde_json::from_str(&text).map_err(|e| format!("parse {path}: {e}"))
 }
 
+/// The one field the regression gate needs. Parsing this view instead of
+/// the full record lets [`check_events_per_sec`] gate against any
+/// baseline shape — `BENCH_fast.json` ([`SweepRecord`]) and
+/// `BENCH_scale.json` ([`ScaleRecord`]) alike.
+#[derive(Deserialize)]
+struct GateView {
+    events_per_sec: f64,
+}
+
+fn read_gate(path: &str) -> Result<GateView, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("read {path}: {e}"))?;
+    serde_json::from_str(&text).map_err(|e| format!("parse {path}: {e}"))
+}
+
 /// Regression gate: fail if `current` events/sec fell more than
 /// `max_regression` (a fraction, e.g. `0.25`) below the baseline at
 /// `path`. Returns a human-readable verdict either way.
@@ -116,7 +187,7 @@ pub fn check_events_per_sec(
     path: &str,
     max_regression: f64,
 ) -> Result<String, String> {
-    let base = read_sweep(path)?;
+    let base = read_gate(path)?;
     let floor = base.events_per_sec * (1.0 - max_regression);
     let ratio = current / base.events_per_sec;
     if current < floor {
@@ -174,9 +245,9 @@ mod tests {
             storm_events_per_sec: 1_400_000.0,
             ff_windows: 12,
             events_skipped: 240_000,
-            off_wall_s: 4.5,
-            off_events_per_sec: 600_000.0,
-            speedup: 3.3,
+            off_wall_s: Some(4.5),
+            off_events_per_sec: Some(600_000.0),
+            speedup: Some(3.3),
         }
     }
 
@@ -186,6 +257,53 @@ mod tests {
         let json = serde_json::to_string_pretty(&r).unwrap();
         let back: SweepRecord = serde_json::from_str(&json).unwrap();
         assert_eq!(back, r);
+        // Sweeps without a fast-forward comparison arm write null, not a
+        // misleading 0.0 — and null reads back as None.
+        let mut no_off = record();
+        no_off.off_wall_s = None;
+        no_off.off_events_per_sec = None;
+        no_off.speedup = None;
+        let json = serde_json::to_string_pretty(&no_off).unwrap();
+        assert!(json.contains("\"speedup\": null"), "{json}");
+        let back: SweepRecord = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, no_off);
+    }
+
+    #[test]
+    fn scale_record_round_trips_and_gates() {
+        let r = ScaleRecord {
+            name: "scale".into(),
+            fast: false,
+            cores: 32768,
+            chares: 1_048_576,
+            chares_per_core: 32,
+            iterations: 30,
+            lb_period: 3,
+            wall_s: 60.0,
+            sim_events: 180_000_000,
+            events_per_sec: 3_000_000.0,
+            peak_queue_depth: 4_000_000,
+            ff_windows: 8,
+            events_skipped: 120_000_000,
+            rerun_identical: true,
+            hier_wall_s: 62.0,
+            hier_events_per_sec: 2_900_000.0,
+            hier_makespan_ratio: 1.0,
+            parity_cores: 32,
+            parity_seeds: vec![1, 2, 3],
+            parity_worst_ratio: 1.01,
+            budget_s: Some(600.0),
+        };
+        let json = serde_json::to_string_pretty(&r).unwrap();
+        let back: ScaleRecord = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, r);
+        // The gate reads a ScaleRecord baseline just like a SweepRecord.
+        let dir = std::env::temp_dir().join("cloudlb_scale_gate_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = write_json_at(&dir, "scale_test", &r);
+        let path = path.to_str().unwrap();
+        assert!(check_events_per_sec(2_500_000.0, path, 0.25).is_ok());
+        assert!(check_events_per_sec(2_000_000.0, path, 0.25).is_err());
     }
 
     #[test]

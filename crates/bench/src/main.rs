@@ -3,6 +3,7 @@
 //! ```text
 //! cargo run -p cloudlb-bench --release            # full matrix
 //! CLOUDLB_FAST=1 cargo run -p cloudlb-bench --release   # smoke matrix
+//! cargo run -p cloudlb-bench --release -- scale   # BENCH_scale.json only
 //! ```
 //!
 //! Runs the paper-sweep throughput baseline (fast-forward off) and the
@@ -12,11 +13,16 @@
 //! at-a-glance copies next to EXPERIMENTS.md). Exits non-zero if the
 //! fast-forward differential check finds any divergence.
 //!
+//! The `scale` subcommand refreshes only the 32k-core / 1M-chare scale
+//! baseline (`BENCH_scale.json`), with the same dual-destination write
+//! and the same hard gates as the `scale` bench target.
+//!
 //! The usual knobs apply: `CLOUDLB_FAST`, `CLOUDLB_SEEDS`,
-//! `CLOUDLB_JOBS` (see the crate docs).
+//! `CLOUDLB_JOBS`, `CLOUDLB_SCALE_BUDGET_S` (see the crate docs).
 
-use cloudlb_bench::baseline::{write_json_at, SweepRecord};
+use cloudlb_bench::baseline::write_json_at;
 use cloudlb_bench::{header, sweeps, Settings};
+use serde::Serialize;
 use std::path::{Path, PathBuf};
 
 /// `crates/bench/baselines/` and the repository root, both resolved from
@@ -32,9 +38,9 @@ fn target_dirs() -> Vec<PathBuf> {
     vec![baselines, root]
 }
 
-fn write_everywhere(record: &SweepRecord) {
+fn write_everywhere<T: Serialize>(name: &str, record: &T) {
     for dir in target_dirs() {
-        let path = write_json_at(&dir, &record.name, record);
+        let path = write_json_at(&dir, name, record);
         println!("wrote {}", path.display());
     }
 }
@@ -42,13 +48,26 @@ fn write_everywhere(record: &SweepRecord) {
 fn main() {
     let s = Settings::from_env();
 
+    if std::env::args().nth(1).as_deref() == Some("scale") {
+        header("Scale — 32k cores / 1M chares");
+        match sweeps::scale_sweep(&s) {
+            Ok(record) => write_everywhere(&record.name, &record),
+            Err(e) => {
+                eprintln!("SCALE GATE FAILED: {e}");
+                std::process::exit(1);
+            }
+        }
+        println!("\nscale baseline refreshed");
+        return;
+    }
+
     header("Perf baseline — paper sweep throughput");
     let perf = sweeps::perf_sweep(&s);
-    write_everywhere(&perf);
+    write_everywhere(&perf.name, &perf);
 
     header("Fast-forward — differential check + throughput");
     match sweeps::fastforward_sweep(&s) {
-        Ok(record) => write_everywhere(&record),
+        Ok(record) => write_everywhere(&record.name, &record),
         Err(e) => {
             eprintln!("DIVERGENCE: {e}");
             std::process::exit(1);

@@ -1,10 +1,12 @@
 //! The perf sweeps behind `BENCH_*.json`, shared by the `harness = false`
 //! bench targets and the `cloudlb-bench` baseline-refresh binary.
 
-use crate::baseline::SweepRecord;
+use crate::baseline::{ScaleRecord, SweepRecord};
 use crate::Settings;
+use cloudlb_apps::grids::{near_square_factors, Block2D};
+use cloudlb_apps::Jacobi2D;
 use cloudlb_core::{evaluate_cells, par_map, run_scenario, CellSpec, Scenario};
-use cloudlb_runtime::{FastForward, RunResult};
+use cloudlb_runtime::{FastForward, RunResult, SimExecutor};
 use std::time::Instant;
 
 /// The paper-sweep throughput baseline (`BENCH_fast.json` /
@@ -126,9 +128,11 @@ pub fn perf_sweep(s: &Settings) -> SweepRecord {
         storm_events_per_sec,
         ff_windows: points.iter().map(|p| p.ff_windows).sum(),
         events_skipped: points.iter().map(|p| p.events_skipped).sum(),
-        off_wall_s: 0.0,
-        off_events_per_sec: 0.0,
-        speedup: 0.0,
+        // No fast-forward comparison arm in this sweep (it pins the
+        // engine off): the off-arm fields are genuinely absent, not 0.
+        off_wall_s: None,
+        off_events_per_sec: None,
+        speedup: None,
     }
 }
 
@@ -237,8 +241,159 @@ pub fn fastforward_sweep(s: &Settings) -> Result<SweepRecord, String> {
         storm_events_per_sec: 0.0,
         ff_windows,
         events_skipped,
-        off_wall_s,
-        off_events_per_sec,
-        speedup,
+        off_wall_s: Some(off_wall_s),
+        off_events_per_sec: Some(off_events_per_sec),
+        speedup: Some(speedup),
+    })
+}
+
+/// Over-decomposition factor of the scale run: 32 chares per core, twice
+/// the paper default, so refinement still has fine granules at 32k cores.
+const SCALE_ODF: usize = 32;
+
+/// Points per block edge in the scale grid. Small blocks keep per-task
+/// compute tiny; the event count — what the simulator actually pays for —
+/// is set by the chare count, not the block size.
+const SCALE_BLOCK: usize = 32;
+
+/// The paper's setup blown up to cloud-datacenter size, behind
+/// `BENCH_scale.json`: a clean Jacobi2D run over 32,768 cores and
+/// 1,048,576 chares (`CLOUDLB_FAST`: 2,048 cores / 65,536 chares) with
+/// fast-forward pinned ON, under [`Scenario::scale`].
+///
+/// Four hard gates, any of which fails the bench:
+/// 1. chare conservation — every chare mapped, every home a valid core;
+/// 2. bit-identical rerun of the gated flat-CloudRefine arm;
+/// 3. `CLOUDLB_SCALE_BUDGET_S` wall-clock budget on that arm (unset = no
+///    budget);
+/// 4. paper-scale quality parity — `hiercloudrefine` makespan within 5 %
+///    of flat CloudRefine on the paper's 8 × 4-core cluster across three
+///    seeds.
+///
+/// The hierarchical arm also runs at full scale (informational wall/
+/// events, plus its makespan ratio against the flat arm — at scale the
+/// clean run gives refinement little to do, so the ratio should sit at
+/// 1.0 within noise).
+pub fn scale_sweep(s: &Settings) -> Result<ScaleRecord, String> {
+    let cores = if s.fast { 2_048 } else { 32_768 };
+    let (cx, cy) = near_square_factors(SCALE_ODF * cores);
+    let app = Jacobi2D::new(Block2D::new(cx * SCALE_BLOCK, cy * SCALE_BLOCK, cx, cy));
+    let chares = app.grid.num_chares();
+    let budget_s: Option<f64> = std::env::var("CLOUDLB_SCALE_BUDGET_S")
+        .ok()
+        .map(|v| v.parse().expect("CLOUDLB_SCALE_BUDGET_S: bad number"));
+    let budget_str =
+        budget_s.map_or_else(|| "none".to_string(), |b| format!("{b:.0}s"));
+    println!(
+        "({cores} cores, {chares} chares ({SCALE_ODF}/core), 30 iterations, \
+         LB every 3, fast-forward ON, budget {budget_str})"
+    );
+
+    // Gated arm: flat CloudRefine.
+    let scn = Scenario::scale("jacobi2d", cores, "cloudrefine");
+    let t0 = Instant::now();
+    let flat = SimExecutor::new(&app, scn.run_config(), scn.bg_script(&app)).run();
+    let wall_s = t0.elapsed().as_secs_f64();
+    let events_per_sec = flat.sim_events as f64 / wall_s;
+    println!(
+        "flat:  {wall_s:.2}s — {events_per_sec:.0} events/s ({} events, \
+         {} windows replayed, {} pops skipped, peak queue {})",
+        flat.sim_events, flat.ff_windows, flat.events_skipped, flat.peak_queue_depth
+    );
+
+    // Gate 1: chare conservation — the placement covers every chare and
+    // never points outside the cluster.
+    if flat.final_mapping.len() != chares {
+        return Err(format!(
+            "conservation: final mapping covers {} of {chares} chares",
+            flat.final_mapping.len()
+        ));
+    }
+    if let Some(&bad) = flat.final_mapping.iter().find(|&&pe| pe >= cores) {
+        return Err(format!("conservation: a chare landed on core {bad} of {cores}"));
+    }
+    if flat.iter_times.len() != scn.iterations {
+        return Err(format!(
+            "run completed {} of {} iterations",
+            flat.iter_times.len(),
+            scn.iterations
+        ));
+    }
+
+    // Gate 2: determinism — the same scenario rerun must be bit-identical.
+    let rerun = SimExecutor::new(&app, scn.run_config(), scn.bg_script(&app)).run();
+    if rerun != flat {
+        return Err("rerun of the scale scenario diverged from the first run".to_string());
+    }
+    println!("rerun: bit-identical");
+
+    // Gate 3: wall-clock budget on the gated arm.
+    if let Some(budget) = budget_s {
+        if wall_s > budget {
+            return Err(format!(
+                "budget: flat arm took {wall_s:.2}s, over the {budget:.0}s budget"
+            ));
+        }
+    }
+
+    // Informational at scale: the hierarchical arm.
+    let hscn = Scenario::scale("jacobi2d", cores, "hiercloudrefine");
+    let t1 = Instant::now();
+    let hier = SimExecutor::new(&app, hscn.run_config(), hscn.bg_script(&app)).run();
+    let hier_wall_s = t1.elapsed().as_secs_f64();
+    let hier_events_per_sec = hier.sim_events as f64 / hier_wall_s;
+    let hier_makespan_ratio = hier.app_time.as_secs_f64() / flat.app_time.as_secs_f64();
+    println!(
+        "hier:  {hier_wall_s:.2}s — {hier_events_per_sec:.0} events/s \
+         (makespan ratio vs flat {hier_makespan_ratio:.4})"
+    );
+
+    // Gate 4: quality parity at the paper's own scale (8 nodes × 4
+    // cores, interference on), where refinement genuinely works.
+    let parity_cores = 32;
+    let parity_seeds: Vec<u64> = vec![1, 2, 3];
+    let mut parity_worst_ratio = 0.0f64;
+    for &seed in &parity_seeds {
+        let run_arm = |strategy: &str| {
+            let mut scn = Scenario::paper("jacobi2d", parity_cores, strategy);
+            scn.seed = seed;
+            run_scenario(&scn)
+        };
+        let f = run_arm("cloudrefine");
+        let h = run_arm("hiercloudrefine");
+        let ratio = h.app_time.as_secs_f64() / f.app_time.as_secs_f64();
+        println!("parity seed {seed}: hier/flat makespan {ratio:.4}");
+        parity_worst_ratio = parity_worst_ratio.max(ratio);
+        if ratio > 1.05 {
+            return Err(format!(
+                "parity: hiercloudrefine makespan is {:.1}% of flat CloudRefine \
+                 at {parity_cores} cores, seed {seed} (allowed 105%)",
+                ratio * 100.0
+            ));
+        }
+    }
+
+    Ok(ScaleRecord {
+        name: "scale".to_string(),
+        fast: s.fast,
+        cores,
+        chares,
+        chares_per_core: SCALE_ODF,
+        iterations: scn.iterations,
+        lb_period: scn.lb_period,
+        wall_s,
+        sim_events: flat.sim_events,
+        events_per_sec,
+        peak_queue_depth: flat.peak_queue_depth,
+        ff_windows: flat.ff_windows,
+        events_skipped: flat.events_skipped,
+        rerun_identical: true,
+        hier_wall_s,
+        hier_events_per_sec,
+        hier_makespan_ratio,
+        parity_cores,
+        parity_seeds,
+        parity_worst_ratio,
+        budget_s,
     })
 }

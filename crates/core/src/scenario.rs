@@ -240,6 +240,23 @@ impl Scenario {
         }
     }
 
+    /// Scale preset: a clean, interference-free short run with the
+    /// fast-forward engine pinned ON — the configuration the 32k-core /
+    /// 1M-chare scale bench and tests use. The short horizon (30
+    /// iterations, LB every 3) keeps the live event-by-event prefix
+    /// small; every steady-state window after the first capture
+    /// macro-steps analytically, so wall-clock stays within a CI budget
+    /// even at paper-×1000 cluster sizes.
+    pub fn scale(app: &str, cores: usize, strategy: &str) -> Self {
+        Scenario {
+            bg: BgPattern::None,
+            iterations: 30,
+            lb_period: 3,
+            fast_forward: FastForward::On,
+            ..Self::paper(app, cores, strategy)
+        }
+    }
+
     /// Autoscale preset: the paper scenario plus the
     /// [`MembershipSpec::autoscale`] schedule — two nodes acquired as the
     /// cluster scales up, one original node preempted later as it scales
@@ -633,6 +650,17 @@ mod tests {
         assert_eq!(s.run_config().fast_forward, FastForward::Off);
         // The normalization base keeps the caller's choice.
         assert_eq!(s.base_of().fast_forward, FastForward::Off);
+    }
+
+    #[test]
+    fn scale_preset_is_clean_short_and_macro_stepped() {
+        let s = Scenario::scale("jacobi2d", 32768, "hiercloudrefine");
+        assert_eq!(s.bg, BgPattern::None, "scale runs are interference-free");
+        assert_eq!(s.iterations, 30);
+        assert_eq!(s.lb_period, 3);
+        assert_eq!(s.fast_forward, FastForward::On);
+        assert!(s.validate().is_ok());
+        assert_eq!(s.run_config().fast_forward, FastForward::On);
     }
 
     #[test]

@@ -163,40 +163,51 @@ impl LbWindow {
         let t_lb = self.elapsed(now).as_secs_f64();
         let mut quality = WindowQuality::default();
         let estimates = (0..self.num_pes)
-            .map(|p| {
-                let idle = now_stat.idle_since(&self.start_stat, p).as_secs_f64();
-                let busy = now_stat.busy_since(&self.start_stat, p).as_secs_f64();
-                let tasks = self.pe_task_time[p].as_secs_f64();
-                let raw = t_lb - tasks - idle;
-                if t_lb <= 0.0 {
-                    return OpEstimate { raw: 0.0, value: 0.0, confidence: 1.0 };
-                }
-                let mut confidence: f64 = 1.0;
-                // Counters should account for the whole window.
-                let coverage = (busy + idle) / t_lb;
-                let deviation = (coverage - 1.0).abs();
-                if deviation > REL_TOL {
-                    confidence *= (1.0 - deviation).clamp(0.0, 1.0);
-                    if coverage < 0.5 {
-                        quality.missing_samples += 1;
-                    }
-                }
-                if raw < -REL_TOL * t_lb {
-                    quality.clamped_op += 1;
-                    confidence *= (1.0 + raw / t_lb).clamp(0.0, 1.0);
-                }
-                if tasks > (1.0 + REL_TOL) * t_lb {
-                    quality.task_overrun += 1;
-                    confidence *= (t_lb / tasks).clamp(0.0, 1.0);
-                }
-                if idle > (1.0 + REL_TOL) * t_lb {
-                    quality.implausible_idle += 1;
-                    confidence *= (t_lb / idle).clamp(0.0, 1.0);
-                }
-                OpEstimate { raw, value: raw.max(0.0), confidence }
-            })
+            .map(|p| self.estimate_core(p, t_lb, now_stat, &mut quality))
             .collect();
         (estimates, quality)
+    }
+
+    /// One core's Eq. 2 estimate and validation (the body of
+    /// [`LbWindow::estimate_background`], shared with the allocation-free
+    /// [`LbWindow::build_stats_into`] path).
+    fn estimate_core(
+        &self,
+        p: usize,
+        t_lb: f64,
+        now_stat: &ProcStat,
+        quality: &mut WindowQuality,
+    ) -> OpEstimate {
+        let idle = now_stat.idle_since(&self.start_stat, p).as_secs_f64();
+        let busy = now_stat.busy_since(&self.start_stat, p).as_secs_f64();
+        let tasks = self.pe_task_time[p].as_secs_f64();
+        let raw = t_lb - tasks - idle;
+        if t_lb <= 0.0 {
+            return OpEstimate { raw: 0.0, value: 0.0, confidence: 1.0 };
+        }
+        let mut confidence: f64 = 1.0;
+        // Counters should account for the whole window.
+        let coverage = (busy + idle) / t_lb;
+        let deviation = (coverage - 1.0).abs();
+        if deviation > REL_TOL {
+            confidence *= (1.0 - deviation).clamp(0.0, 1.0);
+            if coverage < 0.5 {
+                quality.missing_samples += 1;
+            }
+        }
+        if raw < -REL_TOL * t_lb {
+            quality.clamped_op += 1;
+            confidence *= (1.0 + raw / t_lb).clamp(0.0, 1.0);
+        }
+        if tasks > (1.0 + REL_TOL) * t_lb {
+            quality.task_overrun += 1;
+            confidence *= (t_lb / tasks).clamp(0.0, 1.0);
+        }
+        if idle > (1.0 + REL_TOL) * t_lb {
+            quality.implausible_idle += 1;
+            confidence *= (t_lb / idle).clamp(0.0, 1.0);
+        }
+        OpEstimate { raw, value: raw.max(0.0), confidence }
     }
 
     /// The clamped Eq. 2 values only (compatibility view over
@@ -215,27 +226,53 @@ impl LbWindow {
         mapping: &[usize],
         state_bytes: impl Fn(usize) -> u64,
     ) -> (LbStats, WindowQuality) {
-        assert_eq!(mapping.len(), self.per_task.len(), "mapping/task mismatch");
         let mut stats = LbStats::new(self.num_pes);
-        stats.tasks = self
-            .per_task
-            .iter()
-            .enumerate()
-            .map(|(i, &(cpu, wall))| TaskInfo {
-                id: TaskId(i as u64),
-                pe: mapping[i],
-                load: match self.mode {
-                    InstrumentMode::CpuTime => cpu.as_secs_f64(),
-                    InstrumentMode::WallTime => wall.as_secs_f64(),
-                },
-                bytes: state_bytes(i),
-            })
-            .collect();
-        let (estimates, quality) = self.estimate_background(now, now_stat);
-        stats.bg_load = estimates.iter().map(|e| e.value).collect();
-        stats.confidence = estimates.iter().map(|e| e.confidence).collect();
-        stats.validate();
+        let quality = self.build_stats_into(now, now_stat, mapping, state_bytes, &mut stats);
         (stats, quality)
+    }
+
+    /// [`LbWindow::build_stats`] into a caller-owned snapshot, reusing its
+    /// vectors. The executor holds one `LbStats` scratch across the whole
+    /// run, so at steady state an LB boundary allocates nothing — at 1M
+    /// chares the per-window task rebuild would otherwise dominate the
+    /// allocator. Every field is rewritten from scratch; advisory fields
+    /// (`comm`, `failed_tasks`, `doomed`, `fresh`) are cleared for the
+    /// caller to refill.
+    pub fn build_stats_into(
+        &self,
+        now: Time,
+        now_stat: &ProcStat,
+        mapping: &[usize],
+        state_bytes: impl Fn(usize) -> u64,
+        stats: &mut LbStats,
+    ) -> WindowQuality {
+        assert_eq!(mapping.len(), self.per_task.len(), "mapping/task mismatch");
+        stats.num_pes = self.num_pes;
+        stats.tasks.clear();
+        stats.tasks.extend(self.per_task.iter().enumerate().map(|(i, &(cpu, wall))| TaskInfo {
+            id: TaskId(i as u64),
+            pe: mapping[i],
+            load: match self.mode {
+                InstrumentMode::CpuTime => cpu.as_secs_f64(),
+                InstrumentMode::WallTime => wall.as_secs_f64(),
+            },
+            bytes: state_bytes(i),
+        }));
+        stats.comm.clear();
+        stats.failed_tasks.clear();
+        stats.doomed.clear();
+        stats.fresh.clear();
+        let t_lb = self.elapsed(now).as_secs_f64();
+        let mut quality = WindowQuality::default();
+        stats.bg_load.clear();
+        stats.confidence.clear();
+        for p in 0..self.num_pes {
+            let e = self.estimate_core(p, t_lb, now_stat, &mut quality);
+            stats.bg_load.push(e.value);
+            stats.confidence.push(e.confidence);
+        }
+        stats.validate();
+        quality
     }
 }
 

@@ -356,8 +356,16 @@ struct Sim<'a> {
     running: Vec<Option<Running>>,
     /// Per-core pending Wake handle and its instant.
     wake: Vec<Option<(EventHandle, Time)>>,
-    /// (chare, iter) → ghost messages received.
-    inbox: HashMap<(usize, usize), usize>,
+    /// Ghost counters, structure-of-arrays: two slots per chare at
+    /// `chare * 2 + (iter & 1)`. At most two in-flight iterations' worth
+    /// of ghosts exist per chare at any instant, so the parity bit
+    /// disambiguates them; `inbox_iter` tags which iteration a slot's
+    /// count belongs to (a stale tag reads as zero). Replaces a
+    /// `HashMap<(chare, iter), count>` whose rehashing dominated the
+    /// delivery hot path at 1M chares.
+    inbox_count: Vec<u32>,
+    /// Iteration tag per inbox slot (see `inbox_count`).
+    inbox_iter: Vec<usize>,
     /// chare → next iteration to execute.
     next_iter: Vec<usize>,
     /// chare → expected ghosts per iteration (= neighbor count).
@@ -396,12 +404,26 @@ struct Sim<'a> {
     ff_enabled: bool,
     /// Capture in progress for the window currently running live.
     ff_capture: Option<Capture>,
+    /// Set by [`Sim::start_lb`] when a capture reaches its window's end;
+    /// the run loop closes it *after* the event popped at that instant has
+    /// been fully handled. Closing inline from the completion-settling
+    /// phase would scan the queue while a same-instant boundary ghost sits
+    /// in the pop buffer — already out of the queue, not yet in the inbox —
+    /// and bake a template that silently drops that ghost (deadlocking
+    /// every replay of it).
+    ff_close_pending: bool,
     /// Last successfully captured steady-state window.
     ff_template: Option<WindowTemplate>,
     /// Windows replayed analytically.
     ff_windows: usize,
     /// Event pops those replays skipped (folded back into `sim_events`).
     events_skipped: u64,
+    /// Scratch for sequence-ordering live queue entries during the
+    /// steady-state replay check (reused every boundary).
+    ff_seq_scratch: Vec<(u64, FfMsg)>,
+    /// The LB-database snapshot, owned across windows so a boundary at 1M
+    /// chares rebuilds it in place instead of reallocating every vector.
+    stats_scratch: LbStats,
 
     /// Current rollback epoch; messages and LbDone/Recovered events from
     /// older epochs are stale and dropped.
@@ -562,9 +584,8 @@ impl<'a> Sim<'a> {
             ready: (0..pes).map(|_| VecDeque::with_capacity(n.div_ceil(pes) + 1)).collect(),
             running: vec![None; pes],
             wake: vec![None; pes],
-            // At most two in-flight iterations' worth of ghost counters per
-            // chare at any instant.
-            inbox: HashMap::with_capacity(2 * n),
+            inbox_count: vec![0; 2 * n],
+            inbox_iter: vec![0; 2 * n],
             next_iter: vec![0; n],
             expected,
             state: vec![CState::Queued; n],
@@ -581,9 +602,12 @@ impl<'a> Sim<'a> {
             comm,
             ff_enabled,
             ff_capture: None,
+            ff_close_pending: false,
             ff_template: None,
             ff_windows: 0,
             events_skipped: 0,
+            ff_seq_scratch: Vec::new(),
+            stats_scratch: LbStats::new(0),
             epoch: 0,
             ckpt,
             lb_boundary: 0,
@@ -691,6 +715,15 @@ impl<'a> Sim<'a> {
             // unchanged).
             for core in 0..self.num_pes() {
                 self.reschedule_wake(core);
+            }
+            // A window that ended at `t` closes its capture only now, so a
+            // boundary ghost that popped at the same instant as the final
+            // park has reached the inbox and the template sees it. The
+            // barrier's LbDone is still pending, so `t` is the boundary
+            // instant the template expects.
+            if self.ff_close_pending {
+                self.ff_close_pending = false;
+                self.ff_finish_capture(t);
             }
         }
 
@@ -841,8 +874,33 @@ impl<'a> Sim<'a> {
         self.try_start(core, now);
     }
 
+    /// Inbox slot of `(chare, iter)` — the iteration's parity bit picks
+    /// between the chare's two slots.
+    fn inbox_slot(chare: usize, iter: usize) -> usize {
+        chare * 2 + (iter & 1)
+    }
+
+    /// Ghosts received so far for `(chare, iter)`; a slot tagged with a
+    /// different iteration holds no ghosts for this one.
+    fn inbox_get(&self, chare: usize, iter: usize) -> usize {
+        let s = Self::inbox_slot(chare, iter);
+        if self.inbox_iter[s] == iter {
+            self.inbox_count[s] as usize
+        } else {
+            0
+        }
+    }
+
     fn on_msg(&mut self, chare: usize, iter: usize, now: Time) {
-        *self.inbox.entry((chare, iter)).or_insert(0) += 1;
+        let s = Self::inbox_slot(chare, iter);
+        if self.inbox_iter[s] != iter {
+            // The two-slot invariant guarantees the slot's previous
+            // iteration was fully consumed before this one reuses it.
+            debug_assert_eq!(self.inbox_count[s], 0, "unconsumed ghosts overwritten");
+            self.inbox_iter[s] = iter;
+            self.inbox_count[s] = 0;
+        }
+        self.inbox_count[s] += 1;
         if self.state[chare] == CState::Waiting && self.next_iter[chare] == iter {
             self.maybe_ready(chare, now);
         }
@@ -852,9 +910,9 @@ impl<'a> Sim<'a> {
     fn maybe_ready(&mut self, chare: usize, now: Time) {
         debug_assert_eq!(self.state[chare], CState::Waiting);
         let iter = self.next_iter[chare];
-        let have = self.inbox.get(&(chare, iter)).copied().unwrap_or(0);
+        let have = self.inbox_get(chare, iter);
         if have >= self.expected[chare] {
-            self.inbox.remove(&(chare, iter));
+            self.inbox_count[Self::inbox_slot(chare, iter)] = 0;
             let pe = self.mapping[chare];
             self.ready[pe].push_back(chare);
             self.state[chare] = CState::Queued;
@@ -979,7 +1037,7 @@ impl<'a> Sim<'a> {
             }
             self.ready[pe].clear();
         }
-        self.inbox.clear();
+        self.inbox_count.fill(0);
         self.atsync.reset();
         // Cancel every in-flight proactive evacuation: the epoch bump
         // already drops their landing events.
@@ -1051,7 +1109,7 @@ impl<'a> Sim<'a> {
         // any migration — through the reliable protocol under chaos.
         let (plan, transfers_done) = self.resolve_transfers(plan, &stats, now);
         self.migration_bytes +=
-            plan.iter().map(|m| stats.task(m.task).map_or(0, |t| t.bytes)).sum::<u64>();
+            plan.iter().map(|m| app.state_bytes(m.task.0 as usize) as u64).sum::<u64>();
         let out = migration::commit(&mut self.mapping, &plan);
         self.migrations += out.applied;
         let cost = Dur::from_secs_f64(self.cfg.fail_detect_s + self.cfg.lb.step_cost_s)
@@ -1496,9 +1554,12 @@ impl<'a> Sim<'a> {
         self.atsync.begin_lb();
         let (now_stat, obs_now) = self.observe(now);
         let app = self.app;
-        let (mut stats, quality) = self.window.build_stats(obs_now, &now_stat, &self.mapping, |i| {
-            app.state_bytes(i) as u64
-        });
+        // The snapshot lives in a Sim-owned scratch so every window after
+        // the first rebuilds it allocation-free.
+        let mut stats = std::mem::replace(&mut self.stats_scratch, LbStats::new(0));
+        let quality = self
+            .window
+            .build_stats_into(obs_now, &now_stat, &self.mapping, |i| app.state_bytes(i) as u64, &mut stats);
         self.window_quality.merge(&quality);
         // Attach the (constant) per-window communication graph in one
         // exactly-sized copy.
@@ -1523,17 +1584,21 @@ impl<'a> Sim<'a> {
         // And which cores are under a spot notice (source-only) or were
         // just acquired (eagerly refill).
         if self.doomed.iter().any(|&d| d) {
-            stats.doomed = self.doomed.clone();
+            stats.doomed.clone_from(&self.doomed);
         }
         if self.fresh.iter().any(|&f| f) {
-            stats.fresh = self.fresh.clone();
+            stats.fresh.clone_from(&self.fresh);
         }
         let plan = self.plan_over_survivors(&stats);
         let (plan, transfers_done) = self.resolve_transfers(plan, &stats, now);
+        self.stats_scratch = stats;
         let end = transfers_done + Dur::from_secs_f64(self.cfg.lb.step_cost_s);
 
+        // Executor task ids are chare indices and their state bytes come
+        // straight from the app, so the per-migration `stats.task` scan
+        // (O(plan × tasks)) is unnecessary.
         self.migration_bytes +=
-            plan.iter().map(|m| stats.task(m.task).map_or(0, |t| t.bytes)).sum::<u64>();
+            plan.iter().map(|m| app.state_bytes(m.task.0 as usize) as u64).sum::<u64>();
         self.lb_steps += 1;
         let out = migration::commit(&mut self.mapping, &plan);
         self.migrations += out.applied;
@@ -1555,7 +1620,9 @@ impl<'a> Sim<'a> {
             }
         }
         self.queue.schedule(end, Ev::LbDone { epoch: self.epoch });
-        self.ff_finish_capture(now);
+        // Ask the run loop to close any open capture once the event popped
+        // at this instant has been delivered (see `ff_close_pending`).
+        self.ff_close_pending = true;
     }
 
     fn on_lb_done(&mut self, now: Time) {
@@ -1650,14 +1717,20 @@ impl<'a> Sim<'a> {
             }
         }
         msgs.sort_unstable_by_key(|&(seq, _)| seq);
-        let mut inbox: Vec<(usize, usize)> = Vec::with_capacity(self.inbox.len());
-        for (&(chare, iter), &count) in &self.inbox {
-            if iter != boundary {
-                return None; // foreign-iteration ghosts buffered
+        let mut inbox: Vec<(usize, usize)> = Vec::new();
+        for chare in 0..self.app.num_chares() {
+            for s in [Self::inbox_slot(chare, 0), Self::inbox_slot(chare, 1)] {
+                let count = self.inbox_count[s] as usize;
+                if count == 0 {
+                    continue;
+                }
+                if self.inbox_iter[s] != boundary {
+                    return None; // foreign-iteration ghosts buffered
+                }
+                inbox.push((chare, count));
             }
-            inbox.push((chare, count));
         }
-        inbox.sort_unstable();
+        // The chare-major slot scan yields the counts already sorted.
         Some((msgs.into_iter().map(|(_, m)| m).collect(), inbox))
     }
 
@@ -1694,10 +1767,12 @@ impl<'a> Sim<'a> {
         });
     }
 
-    /// Close the capture opened at this window's release (called from
-    /// [`Sim::start_lb`] right after the `LbDone` event is scheduled) and
-    /// turn it into a reusable template — or discard it if the window
-    /// turned out not to be steady-state after all.
+    /// Close the capture opened at this window's release and turn it into
+    /// a reusable template — or discard it if the window turned out not to
+    /// be steady-state after all. Runs from the event loop's epilogue (not
+    /// inline from [`Sim::start_lb`]) so a boundary ghost popped at the
+    /// same instant as the final park has been delivered to the inbox
+    /// before the scan; the deferral is requested via `ff_close_pending`.
     fn ff_finish_capture(&mut self, now: Time) {
         let Some(cap) = self.ff_capture.take() else { return };
         let b1 = cap.boundary + self.cfg.lb.period;
@@ -1731,14 +1806,19 @@ impl<'a> Sim<'a> {
             return;
         }
         msgs.sort_unstable_by_key(|&(seq, _)| seq);
-        let mut end_inbox: Vec<(usize, usize)> = Vec::with_capacity(self.inbox.len());
-        for (&(chare, iter), &count) in &self.inbox {
-            if iter != b1 {
-                return;
+        let mut end_inbox: Vec<(usize, usize)> = Vec::new();
+        for chare in 0..self.app.num_chares() {
+            for s in [Self::inbox_slot(chare, 0), Self::inbox_slot(chare, 1)] {
+                let count = self.inbox_count[s] as usize;
+                if count == 0 {
+                    continue;
+                }
+                if self.inbox_iter[s] != b1 {
+                    return;
+                }
+                end_inbox.push((chare, count));
             }
-            end_inbox.push((chare, count));
         }
-        end_inbox.sort_unstable();
         let stat_delta = ProcStat { cores: self.cluster.stats() }
             .delta_since(&ProcStat { cores: cap.start_stat });
         self.ff_template = Some(WindowTemplate {
@@ -1775,16 +1855,73 @@ impl<'a> Sim<'a> {
             && t.mapping == self.mapping
             && t.alive == self.cluster.alive_mask()
             && self.netfault_quiet_until(now, now + t.dur)
-            && self.ff_window_start(now, b0).is_some_and(|(inflight, inbox)| {
-                inflight == t.start_inflight && inbox == t.start_inbox
-            })
-            && t.cost_bits == self.ff_cost_bits(b0);
+            && self.ff_window_start_matches(now, b0, &t)
+            && self.ff_cost_bits_match(b0, &t.cost_bits);
         if !valid {
             return false;
         }
         self.ff_replay(now, &t);
         self.ff_template = Some(t);
         true
+    }
+
+    /// Streaming equivalent of comparing [`Sim::ff_window_start`] against
+    /// the template's fingerprint: `true` iff the live queue holds exactly
+    /// the template's in-flight boundary ghosts (in sequence order) and
+    /// the inbox holds exactly its boundary counts. Runs every steady
+    /// boundary, so it reuses one scratch vector instead of materializing
+    /// a fresh `WindowStart`.
+    fn ff_window_start_matches(&mut self, now: Time, boundary: usize, t: &WindowTemplate) -> bool {
+        let mut seqs = std::mem::take(&mut self.ff_seq_scratch);
+        seqs.clear();
+        let ok = 'scan: {
+            for (_h, at, seq, ev) in self.queue.iter_live() {
+                match *ev {
+                    Ev::Msg { chare, iter, epoch, dup: false }
+                        if iter == boundary && epoch == self.epoch =>
+                    {
+                        seqs.push((seq, FfMsg { rel: at.since(now), chare }));
+                    }
+                    _ => break 'scan false,
+                }
+            }
+            seqs.sort_unstable_by_key(|&(seq, _)| seq);
+            if !seqs.iter().map(|&(_, m)| m).eq(t.start_inflight.iter().copied()) {
+                break 'scan false;
+            }
+            let mut want = t.start_inbox.iter().copied();
+            for chare in 0..self.app.num_chares() {
+                for s in [Self::inbox_slot(chare, 0), Self::inbox_slot(chare, 1)] {
+                    let count = self.inbox_count[s] as usize;
+                    if count == 0 {
+                        continue;
+                    }
+                    if self.inbox_iter[s] != boundary || want.next() != Some((chare, count)) {
+                        break 'scan false;
+                    }
+                }
+            }
+            want.next().is_none()
+        };
+        self.ff_seq_scratch = seqs;
+        ok
+    }
+
+    /// `true` iff the window starting at `boundary` has exactly the cost
+    /// fingerprint `bits` (as produced by [`Sim::ff_cost_bits`]). Streams
+    /// the comparison so the per-boundary replay check allocates nothing —
+    /// the eager `ff_cost_bits` rebuild it replaces was an O(chares ×
+    /// period) allocation on every boundary at 1M chares.
+    fn ff_cost_bits_match(&self, boundary: usize, bits: &[u64]) -> bool {
+        let n = self.app.num_chares();
+        let period = self.cfg.lb.period;
+        bits.len() == n * period
+            && (0..n).all(|chare| {
+                (0..period).all(|off| {
+                    bits[chare * period + off]
+                        == self.app.task_cost(chare, boundary + off).to_bits()
+                })
+            })
     }
 
     /// Apply template `t` to the window starting at `now`: one analytic
@@ -1818,9 +1955,11 @@ impl<'a> Sim<'a> {
                 wall: s.wall,
             });
         }
-        self.inbox.clear();
+        self.inbox_count.fill(0);
         for &(chare, count) in &t.end_inbox {
-            self.inbox.insert((chare, b1), count);
+            let s = Self::inbox_slot(chare, b1);
+            self.inbox_iter[s] = b1;
+            self.inbox_count[s] = count as u32;
         }
         // Re-scheduling in template sequence order preserves FIFO
         // tie-breaks among same-instant arrivals.

@@ -18,13 +18,14 @@ use cloudlb_sim::{
 
 /// LB arms the generator samples, spanning plain strategies and every
 /// robustness wrapper in the registry.
-pub const ARMS: [&str; 9] = [
+pub const ARMS: [&str; 10] = [
     "nolb",
     "greedy",
     "greedybg",
     "refine",
     "cloudrefine",
     "commrefine",
+    "hiercloudrefine",
     "gatedcloudrefine",
     "hysteresiscloudrefine",
     "robustcloudrefine",

@@ -102,7 +102,9 @@ fn candidates(s: &Scenario) -> Vec<Scenario> {
     let rank = |name: &str| match name {
         "nolb" => 0,
         "cloudrefine" => 1,
-        _ => 2,
+        // Hierarchy is one layer over CloudRefine; the wrappers stack more.
+        "hiercloudrefine" => 2,
+        _ => 3,
     };
     for simpler in ["cloudrefine", "nolb"] {
         if rank(simpler) < rank(&s.strategy) {

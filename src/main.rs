@@ -330,7 +330,7 @@ base run, so it drains mid-run).
 
 apps: jacobi2d wave2d mol3d stencil3d
 strategies: nolb greedy greedybg refine cloudrefine commrefine
-  hysteresiscloudrefine robustcloudrefine
+  hiercloudrefine gatedcloudrefine hysteresiscloudrefine robustcloudrefine
 fail specs: kind:index@when[~restore], e.g. core:2@0.5 kills core 2 halfway
   through the estimated run; node:1@0.3~0.8 takes node 1 down over that window
 telemetry noise: 'noisy_cloud', 'none', or a comma list of
