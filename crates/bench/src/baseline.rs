@@ -131,6 +131,118 @@ pub struct ScaleRecord {
     pub budget_s: Option<f64>,
 }
 
+/// One streaming-pipeline bench run (`BENCH_pipeline.json`): the
+/// packet-based sweep engine measured against the chunked `par_map`
+/// substrate it replaced, plus the memory-bound evidence the engine
+/// exists to provide.
+///
+/// Four arms:
+/// 1. **uniform** — the real Jacobi2D cell matrix through
+///    [`cloudlb_core::evaluate_cells_stream`] (throughput, utilization,
+///    reorder/live high-water marks) plus a packet-identical
+///    `par_map`-vs-`pipeline_map` A/B over real runs, gated on
+///    bit-identical results and on the pipeline staying within noise of
+///    `par_map`;
+/// 2. **skew replay** — one Mol3D-heavy straggler per 16 uniform cells;
+///    per-packet costs are *measured* on real runs, then replayed as
+///    timed waits so the arm benchmarks the scheduler (chunked barrier
+///    vs streaming work-stealing) rather than the host's core count.
+///    Gated at ≥ 1.3× over the chunked schedule;
+/// 3. **skew real** — the same skewed profile over real simulator runs,
+///    informational: on a single-core host both schedules serialize to
+///    total work and the ratio sits at 1.0 (capacity-bound), while
+///    multi-core hosts reproduce the replay arm's gap;
+/// 4. **flood** — tens of thousands of trivial packets, gated on the
+///    peak live-results count never exceeding `jobs + reorder window`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PipelineRecord {
+    /// Record name; the file is `BENCH_pipeline.json`.
+    pub name: String,
+    /// Whether `CLOUDLB_FAST` shrank the matrix.
+    pub fast: bool,
+    /// Worker count the pipeline ran with (clamped to ≥ 4: below that
+    /// the scheduling comparison is vacuous).
+    pub jobs: usize,
+    /// Seeds in the uniform cell matrix.
+    pub seeds: Vec<u64>,
+    /// Iterations per uniform run.
+    pub iterations: usize,
+    /// Cells in the uniform matrix.
+    pub cells: usize,
+    /// Wall-clock of the uniform `evaluate_cells_stream` arm, seconds.
+    pub wall_s: f64,
+    /// Simulator events across the uniform arm.
+    pub sim_events: u64,
+    /// `sim_events / wall_s` — the field the `CLOUDLB_CHECK` gate reads.
+    pub events_per_sec: f64,
+    /// Finished cells per second through the streaming reducer.
+    pub cells_per_sec: f64,
+    /// Worker busy-time / (jobs × wall) for the uniform arm.
+    pub utilization: f64,
+    /// Reorder-buffer high-water mark of the uniform arm.
+    pub reorder_peak: usize,
+    /// Peak simultaneously-live results of the uniform arm.
+    pub live_peak: usize,
+    /// The memory bound: `jobs + reorder window`. Every arm's
+    /// `live_peak` is gated ≤ this.
+    pub live_bound: usize,
+    /// Packets claimed straight from the injector (uniform arm).
+    pub injector_claims: u64,
+    /// Packets stolen from sibling workers (uniform arm).
+    pub steals: u64,
+    /// Real runs in the `par_map`-vs-`pipeline_map` A/B.
+    pub uniform_runs: usize,
+    /// Best-of-2 wall-clock of `par_map` over those runs, seconds.
+    pub uniform_par_map_wall_s: f64,
+    /// Best-of-2 wall-clock of `pipeline_map` over the same runs.
+    pub uniform_pipeline_wall_s: f64,
+    /// `par_map / pipeline` wall ratio (≥ 1 = pipeline at least
+    /// matches). Gated ≥ 0.9 (within noise); typically ≥ 1.0.
+    pub uniform_ratio: f64,
+    /// The two A/B arms produced bit-identical `RunResult`s (a record
+    /// that exists always says true — a mismatch fails the bench).
+    pub uniform_identical: bool,
+    /// Measured wall of one uniform Jacobi2D run, milliseconds.
+    pub uniform_run_ms: f64,
+    /// Iterations of the Mol3D straggler (20× the uniform count).
+    pub straggler_iterations: usize,
+    /// Measured wall of one straggler Mol3D run, milliseconds.
+    pub straggler_run_ms: f64,
+    /// `straggler_run_ms / uniform_run_ms` (measured; ≈ 20 on this
+    /// profile).
+    pub straggler_cost_ratio: f64,
+    /// Straggler groups (16 uniform + 1 straggler each) in the skew arms.
+    pub skew_groups: usize,
+    /// Per-packet uniform replay duration, milliseconds.
+    pub skew_replay_ms: f64,
+    /// Replay wall under the chunked barrier schedule, seconds.
+    pub skew_chunked_wall_s: f64,
+    /// Replay wall through the streaming pipeline, seconds.
+    pub skew_pipeline_wall_s: f64,
+    /// `chunked / pipeline` replay ratio — gated ≥ 1.3.
+    pub skew_ratio: f64,
+    /// Replay wall under unchunked `par_map` (informational: dynamic
+    /// claiming already dodges the straggler, at O(n) memory).
+    pub skew_unchunked_wall_s: f64,
+    /// `unchunked / pipeline` replay ratio (informational).
+    pub skew_unchunked_ratio: f64,
+    /// Real-run skew wall under the chunked schedule, seconds.
+    pub skew_real_chunked_wall_s: f64,
+    /// Real-run skew wall through the pipeline, seconds.
+    pub skew_real_pipeline_wall_s: f64,
+    /// `chunked / pipeline` over real runs — informational
+    /// (capacity-bound at 1.0 on single-core hosts).
+    pub skew_real_ratio: f64,
+    /// Trivial packets pushed through the flood arm.
+    pub flood_packets: usize,
+    /// Peak live results during the flood — gated ≤ `live_bound`.
+    pub flood_live_peak: usize,
+    /// Reorder high-water mark during the flood.
+    pub flood_reorder_peak: usize,
+    /// Flood packets per second (pure engine overhead).
+    pub flood_packets_per_sec: f64,
+}
+
 /// Path for `BENCH_<name>.json`, honouring `CLOUDLB_BENCH_DIR`.
 pub fn bench_path(name: &str) -> PathBuf {
     let dir = std::env::var("CLOUDLB_BENCH_DIR").unwrap_or_else(|_| ".".to_string());
@@ -304,6 +416,62 @@ mod tests {
         let path = path.to_str().unwrap();
         assert!(check_events_per_sec(2_500_000.0, path, 0.25).is_ok());
         assert!(check_events_per_sec(2_000_000.0, path, 0.25).is_err());
+    }
+
+    #[test]
+    fn pipeline_record_round_trips_and_gates() {
+        let r = PipelineRecord {
+            name: "pipeline".into(),
+            fast: true,
+            jobs: 4,
+            seeds: vec![1],
+            iterations: 60,
+            cells: 6,
+            wall_s: 0.2,
+            sim_events: 500_000,
+            events_per_sec: 2_500_000.0,
+            cells_per_sec: 30.0,
+            utilization: 0.9,
+            reorder_peak: 5,
+            live_peak: 9,
+            live_bound: 20,
+            injector_claims: 12,
+            steals: 3,
+            uniform_runs: 32,
+            uniform_par_map_wall_s: 0.21,
+            uniform_pipeline_wall_s: 0.20,
+            uniform_ratio: 1.05,
+            uniform_identical: true,
+            uniform_run_ms: 6.0,
+            straggler_iterations: 180,
+            straggler_run_ms: 60.0,
+            straggler_cost_ratio: 10.0,
+            skew_groups: 4,
+            skew_replay_ms: 6.0,
+            skew_chunked_wall_s: 0.34,
+            skew_pipeline_wall_s: 0.16,
+            skew_ratio: 2.1,
+            skew_unchunked_wall_s: 0.17,
+            skew_unchunked_ratio: 1.06,
+            skew_real_chunked_wall_s: 0.3,
+            skew_real_pipeline_wall_s: 0.3,
+            skew_real_ratio: 1.0,
+            flood_packets: 20_000,
+            flood_live_peak: 20,
+            flood_reorder_peak: 16,
+            flood_packets_per_sec: 400_000.0,
+        };
+        let json = serde_json::to_string_pretty(&r).unwrap();
+        let back: PipelineRecord = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, r);
+        // The CLOUDLB_CHECK gate reads a PipelineRecord baseline through
+        // the same events_per_sec view as every other record shape.
+        let dir = std::env::temp_dir().join("cloudlb_pipeline_gate_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = write_json_at(&dir, "pipeline_test", &r);
+        let path = path.to_str().unwrap();
+        assert!(check_events_per_sec(2_400_000.0, path, 0.25).is_ok());
+        assert!(check_events_per_sec(1_000_000.0, path, 0.25).is_err());
     }
 
     #[test]

@@ -15,7 +15,10 @@
 //!
 //! The `scale` subcommand refreshes only the 32k-core / 1M-chare scale
 //! baseline (`BENCH_scale.json`), with the same dual-destination write
-//! and the same hard gates as the `scale` bench target.
+//! and the same hard gates as the `scale` bench target. The `pipeline`
+//! subcommand does the same for the streaming sweep-engine baseline
+//! (`BENCH_pipeline.json`), including the bit-identity, skew-ratio and
+//! live-results-bound gates of the `pipeline` bench target.
 //!
 //! The usual knobs apply: `CLOUDLB_FAST`, `CLOUDLB_SEEDS`,
 //! `CLOUDLB_JOBS`, `CLOUDLB_SCALE_BUDGET_S` (see the crate docs).
@@ -47,6 +50,19 @@ fn write_everywhere<T: Serialize>(name: &str, record: &T) {
 
 fn main() {
     let s = Settings::from_env();
+
+    if std::env::args().nth(1).as_deref() == Some("pipeline") {
+        header("Pipeline — streaming sweep engine");
+        match sweeps::pipeline_sweep(&s) {
+            Ok(record) => write_everywhere(&record.name, &record),
+            Err(e) => {
+                eprintln!("PIPELINE GATE FAILED: {e}");
+                std::process::exit(1);
+            }
+        }
+        println!("\npipeline baseline refreshed");
+        return;
+    }
 
     if std::env::args().nth(1).as_deref() == Some("scale") {
         header("Scale — 32k cores / 1M chares");

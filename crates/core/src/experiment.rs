@@ -14,13 +14,17 @@
 //! # Parallel sweeps
 //!
 //! Every `(app, cores, arm, seed)` run is an independent deterministic
-//! simulation, so [`evaluate_cells`] flattens whole matrices into a list
-//! of scenarios and fans them out over the [`crate::parallel`] work pool.
-//! Results are collected in submission order and reduced with exactly the
-//! serial code's fold, so averaged [`EvalPoint`]s are bit-identical for
-//! any worker count (see `tests/parallel_sweep.rs`).
+//! simulation, so [`evaluate_cells`] streams whole matrices through the
+//! [`crate::pipeline`] work-stealing pipeline as sequence-numbered
+//! packets. Results come back in submission order and are reduced with
+//! exactly the serial code's fold, so averaged [`EvalPoint`]s are
+//! bit-identical for any worker count (see `tests/parallel_sweep.rs`
+//! and `tests/pipeline_stream.rs`); [`evaluate_cells_stream`] exposes
+//! the same sweep with O(jobs + reorder window) peak live runs for
+//! studies too large to materialize.
 
-use crate::parallel::{default_jobs, par_map};
+use crate::parallel::default_jobs;
+use crate::pipeline::{pipeline_stream, PipelineConfig, PipelineStats};
 use crate::scenario::Scenario;
 use cloudlb_runtime::{FastForward, RunResult, RuntimeError, SimExecutor};
 use cloudlb_sim::stats::mean;
@@ -329,97 +333,170 @@ impl CellSpec {
     }
 }
 
-/// Evaluate many cells at once: every `(cell, seed, arm)` run is fanned
-/// out over `jobs` workers (see [`crate::parallel`]), then reduced per
-/// cell in seed order. Bit-identical to running [`evaluate`] serially
-/// per cell, for any `jobs`.
+/// Evaluate many cells at once through the streaming pipeline (see
+/// [`crate::pipeline`]): every `(cell, seed, arm)` run is a packet
+/// fanned out over `jobs` work-stealing workers, and finished runs are
+/// folded per cell in seed order as they stream back. This is the
+/// `collect_all` path — it materializes one [`EvalPoint`] per cell (but
+/// never more than O(jobs + reorder window) `RunResult`s). Bit-identical
+/// to running [`evaluate`] serially per cell, for any `jobs`.
 pub fn evaluate_cells(cells: &[CellSpec], seeds: &[u64], jobs: usize) -> Vec<EvalPoint> {
-    assert!(!seeds.is_empty());
-    let mut runs = Vec::with_capacity(cells.len() * seeds.len() * 3);
-    for cell in cells {
-        for &seed in seeds {
-            runs.extend(cell.arms(seed));
-        }
-    }
-    let results = par_map(jobs, runs, |scn| run_scenario(&scn));
-
-    let per_cell = seeds.len() * 3;
-    cells
-        .iter()
-        .enumerate()
-        .map(|(ci, cell)| {
-            let triples = results[ci * per_cell..(ci + 1) * per_cell].chunks_exact(3);
-            reduce_cell(cell, triples)
-        })
-        .collect()
+    let mut out = Vec::with_capacity(cells.len());
+    evaluate_cells_stream(cells, seeds, jobs, |_ci, point| out.push(point));
+    out
 }
 
-/// Average one cell's base / noLB / LB triples (one per seed, in seed
-/// order) into an [`EvalPoint`]. This is the exact fold the serial code
-/// used, so the averages are reproducible to the last bit.
-fn reduce_cell<'r>(
-    cell: &CellSpec,
-    triples: impl Iterator<Item = &'r [RunResult]>,
-) -> EvalPoint {
-    let mut penalty_nolb = Vec::new();
-    let mut penalty_lb = Vec::new();
-    let mut bg_nolb = Vec::new();
-    let mut bg_lb = Vec::new();
-    let mut power_base = Vec::new();
-    let mut power_nolb = Vec::new();
-    let mut power_lb = Vec::new();
-    let mut energy_nolb = Vec::new();
-    let mut energy_lb = Vec::new();
-    let mut migrations = Vec::new();
-    let mut lb_steps = Vec::new();
-    let mut sim_events = 0u64;
-    let mut peak_queue_depth = 0usize;
-    let mut ff_windows = 0usize;
-    let mut events_skipped = 0u64;
+/// The memory-bounded sweep driver: stream every `(cell, seed, arm)` run
+/// through the pipeline and hand each finished cell's [`EvalPoint`] to
+/// `consume(cell_index, point)` **in cell order**. Scenarios are
+/// generated lazily and at most `jobs + reorder_window` runs are alive
+/// at once, so arbitrarily large cell lists sweep at flat memory — the
+/// consumer decides what to keep (e.g. fold into a
+/// [`crate::stream_agg::StreamSummary`]).
+///
+/// The per-cell fold is exactly the serial code's fold (same push order,
+/// same [`mean`] calls), so the emitted points are bit-identical to the
+/// serial path for any worker count.
+pub fn evaluate_cells_stream<C>(
+    cells: &[CellSpec],
+    seeds: &[u64],
+    jobs: usize,
+    mut consume: C,
+) -> PipelineStats
+where
+    C: FnMut(usize, EvalPoint),
+{
+    assert!(!seeds.is_empty());
+    let cfg = PipelineConfig::new(jobs);
+    let runs = cells
+        .iter()
+        .flat_map(|cell| seeds.iter().flat_map(move |&seed| cell.arms(seed)));
 
-    for triple in triples {
-        let [base, nolb, lb] = triple else { panic!("chunks_exact(3) violated") };
-        penalty_nolb.push(nolb.timing_penalty_vs(base));
-        penalty_lb.push(lb.timing_penalty_vs(base));
-        if let Some(p) = nolb.bg_penalties.get(&0) {
-            bg_nolb.push(*p);
+    let per_cell = seeds.len() * 3;
+    let mut reducer: Option<CellReducer> = None;
+    let stats = pipeline_stream(&cfg, runs, |scn| run_scenario(&scn), |seq, result| {
+        let ci = seq / per_cell;
+        let r = reducer.get_or_insert_with(|| CellReducer::new(cells[ci].clone()));
+        r.push(result);
+        if seq % per_cell == per_cell - 1 {
+            let done = reducer.take().expect("reducer exists at cell boundary");
+            consume(ci, done.finalize());
         }
-        if let Some(p) = lb.bg_penalties.get(&0) {
-            bg_lb.push(*p);
-        }
-        power_base.push(base.energy.avg_power_per_node_w);
-        power_nolb.push(nolb.energy.avg_power_per_node_w);
-        power_lb.push(lb.energy.avg_power_per_node_w);
-        energy_nolb.push(nolb.energy_overhead_vs(base));
-        energy_lb.push(lb.energy_overhead_vs(base));
-        migrations.push(lb.migrations as f64);
-        lb_steps.push(lb.lb_steps as f64);
-        for r in [base, nolb, lb] {
-            sim_events += r.sim_events;
-            peak_queue_depth = peak_queue_depth.max(r.peak_queue_depth);
-            ff_windows += r.ff_windows;
-            events_skipped += r.events_skipped;
+    });
+    debug_assert!(reducer.is_none(), "every cell must close on a triple boundary");
+    stats
+}
+
+/// Incremental per-cell fold: consumes one [`RunResult`] at a time in
+/// `[base, noLB, LB] × seed` submission order and averages into an
+/// [`EvalPoint`]. The push sequence and the final [`mean`] calls are
+/// exactly the batch code's fold, so the averages are reproducible to
+/// the last bit while only the current triple's runs stay alive.
+struct CellReducer {
+    cell: CellSpec,
+    /// Arms of the in-progress triple ([base, noLB]; LB folds eagerly).
+    base: Option<RunResult>,
+    nolb: Option<RunResult>,
+    penalty_nolb: Vec<f64>,
+    penalty_lb: Vec<f64>,
+    bg_nolb: Vec<f64>,
+    bg_lb: Vec<f64>,
+    power_base: Vec<f64>,
+    power_nolb: Vec<f64>,
+    power_lb: Vec<f64>,
+    energy_nolb: Vec<f64>,
+    energy_lb: Vec<f64>,
+    migrations: Vec<f64>,
+    lb_steps: Vec<f64>,
+    sim_events: u64,
+    peak_queue_depth: usize,
+    ff_windows: usize,
+    events_skipped: u64,
+}
+
+impl CellReducer {
+    fn new(cell: CellSpec) -> Self {
+        CellReducer {
+            cell,
+            base: None,
+            nolb: None,
+            penalty_nolb: Vec::new(),
+            penalty_lb: Vec::new(),
+            bg_nolb: Vec::new(),
+            bg_lb: Vec::new(),
+            power_base: Vec::new(),
+            power_nolb: Vec::new(),
+            power_lb: Vec::new(),
+            energy_nolb: Vec::new(),
+            energy_lb: Vec::new(),
+            migrations: Vec::new(),
+            lb_steps: Vec::new(),
+            sim_events: 0,
+            peak_queue_depth: 0,
+            ff_windows: 0,
+            events_skipped: 0,
         }
     }
 
-    EvalPoint {
-        app: cell.app.clone(),
-        cores: cell.cores,
-        penalty_nolb: mean(&penalty_nolb),
-        penalty_lb: mean(&penalty_lb),
-        bg_penalty_nolb: mean(&bg_nolb),
-        bg_penalty_lb: mean(&bg_lb),
-        power_base_w: mean(&power_base),
-        power_nolb_w: mean(&power_nolb),
-        power_lb_w: mean(&power_lb),
-        energy_overhead_nolb: mean(&energy_nolb),
-        energy_overhead_lb: mean(&energy_lb),
-        migrations: mean(&migrations),
-        lb_steps: mean(&lb_steps),
-        sim_events,
-        peak_queue_depth,
-        ff_windows,
-        events_skipped,
+    /// Feed the next run of this cell (submission order: base, noLB, LB
+    /// per seed). The third arm completes a triple and folds it.
+    fn push(&mut self, run: RunResult) {
+        match (&self.base, &self.nolb) {
+            (None, _) => self.base = Some(run),
+            (Some(_), None) => self.nolb = Some(run),
+            (Some(_), Some(_)) => {
+                let base = self.base.take().expect("base arm present");
+                let nolb = self.nolb.take().expect("noLB arm present");
+                let lb = run;
+                self.penalty_nolb.push(nolb.timing_penalty_vs(&base));
+                self.penalty_lb.push(lb.timing_penalty_vs(&base));
+                if let Some(p) = nolb.bg_penalties.get(&0) {
+                    self.bg_nolb.push(*p);
+                }
+                if let Some(p) = lb.bg_penalties.get(&0) {
+                    self.bg_lb.push(*p);
+                }
+                self.power_base.push(base.energy.avg_power_per_node_w);
+                self.power_nolb.push(nolb.energy.avg_power_per_node_w);
+                self.power_lb.push(lb.energy.avg_power_per_node_w);
+                self.energy_nolb.push(nolb.energy_overhead_vs(&base));
+                self.energy_lb.push(lb.energy_overhead_vs(&base));
+                self.migrations.push(lb.migrations as f64);
+                self.lb_steps.push(lb.lb_steps as f64);
+                for r in [&base, &nolb, &lb] {
+                    self.sim_events += r.sim_events;
+                    self.peak_queue_depth = self.peak_queue_depth.max(r.peak_queue_depth);
+                    self.ff_windows += r.ff_windows;
+                    self.events_skipped += r.events_skipped;
+                }
+            }
+        }
+    }
+
+    fn finalize(self) -> EvalPoint {
+        assert!(
+            self.base.is_none() && self.nolb.is_none(),
+            "cell finalized mid-triple"
+        );
+        EvalPoint {
+            app: self.cell.app.clone(),
+            cores: self.cell.cores,
+            penalty_nolb: mean(&self.penalty_nolb),
+            penalty_lb: mean(&self.penalty_lb),
+            bg_penalty_nolb: mean(&self.bg_nolb),
+            bg_penalty_lb: mean(&self.bg_lb),
+            power_base_w: mean(&self.power_base),
+            power_nolb_w: mean(&self.power_nolb),
+            power_lb_w: mean(&self.power_lb),
+            energy_overhead_nolb: mean(&self.energy_nolb),
+            energy_overhead_lb: mean(&self.energy_lb),
+            migrations: mean(&self.migrations),
+            lb_steps: mean(&self.lb_steps),
+            sim_events: self.sim_events,
+            peak_queue_depth: self.peak_queue_depth,
+            ff_windows: self.ff_windows,
+            events_skipped: self.events_skipped,
+        }
     }
 }
 

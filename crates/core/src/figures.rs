@@ -11,8 +11,10 @@
 //!   run matrix (paper Fig. 4 a–c).
 
 use crate::experiment::{run_scenario, CellSpec, EvalPoint};
+use crate::pipeline::PipelineStats;
 use crate::report::{pct, watts, Table};
 use crate::scenario::{BgPattern, Scenario};
+use crate::stream_agg::StreamSummary;
 use cloudlb_sim::stats::mean;
 use cloudlb_trace::timeline::{render_ascii, TimelineOptions};
 use cloudlb_trace::svg::{render_svg, SvgOptions};
@@ -112,19 +114,108 @@ pub fn eval_matrix_jobs(
     crate::experiment::evaluate_cells(&cells, seeds, jobs)
 }
 
+/// Online aggregate over a matrix's [`EvalPoint`]s: one
+/// [`StreamSummary`] per headline metric, fed per cell as the pipeline
+/// emits points, so a million-cell study summarizes at flat memory.
+#[derive(Debug, Clone, Default)]
+pub struct MatrixSummary {
+    /// App timing penalty without LB (fraction).
+    pub penalty_nolb: StreamSummary,
+    /// App timing penalty with LB (fraction).
+    pub penalty_lb: StreamSummary,
+    /// Energy overhead without LB (fraction).
+    pub energy_overhead_nolb: StreamSummary,
+    /// Energy overhead with LB (fraction).
+    pub energy_overhead_lb: StreamSummary,
+    /// Mean migrations per LB run.
+    pub migrations: StreamSummary,
+    /// Simulator events across every run of every cell.
+    pub sim_events: u64,
+    /// Cells folded in.
+    pub cells: u64,
+}
+
+impl MatrixSummary {
+    /// Fold one cell's point into the summary.
+    pub fn push(&mut self, p: &EvalPoint) {
+        self.penalty_nolb.push(p.penalty_nolb);
+        self.penalty_lb.push(p.penalty_lb);
+        self.energy_overhead_nolb.push(p.energy_overhead_nolb);
+        self.energy_overhead_lb.push(p.energy_overhead_lb);
+        self.migrations.push(p.migrations);
+        self.sim_events += p.sim_events;
+        self.cells += 1;
+    }
+
+    /// Multi-line rendering, one metric per line.
+    pub fn render(&self) -> String {
+        format!(
+            "cells={} sim_events={}\n\
+             penalty_nolb       {}\n\
+             penalty_lb         {}\n\
+             energy_oh_nolb     {}\n\
+             energy_oh_lb       {}\n\
+             migrations         {}\n",
+            self.cells,
+            self.sim_events,
+            self.penalty_nolb.render(),
+            self.penalty_lb.render(),
+            self.energy_overhead_nolb.render(),
+            self.energy_overhead_lb.render(),
+            self.migrations.render(),
+        )
+    }
+}
+
+/// Memory-bounded variant of [`eval_matrix_jobs`]: stream the matrix
+/// through the pipeline, fold every emitted [`EvalPoint`] into a
+/// [`MatrixSummary`], and pass each point to `consume` (e.g. to print a
+/// table row incrementally) instead of materializing the matrix. Points
+/// arrive in core-count order and are bit-identical to
+/// [`eval_matrix_jobs`]'s for any worker count.
+pub fn eval_matrix_stream<C>(
+    app: &str,
+    cores: &[usize],
+    iterations: usize,
+    seeds: &[u64],
+    jobs: usize,
+    mut consume: C,
+) -> (MatrixSummary, PipelineStats)
+where
+    C: FnMut(&EvalPoint),
+{
+    let cells: Vec<CellSpec> = cores
+        .iter()
+        .map(|&c| CellSpec::paper(app, c, iterations, "cloudrefine"))
+        .collect();
+    let mut summary = MatrixSummary::default();
+    let stats =
+        crate::experiment::evaluate_cells_stream(&cells, seeds, jobs, |_ci, point| {
+            summary.push(&point);
+            consume(&point);
+        });
+    (summary, stats)
+}
+
 /// Fig. 2 table: timing penalties (%) for the app and the background job.
 pub fn fig2_table(points: &[EvalPoint]) -> Table {
     let mut t = Table::new(&["cores", "noLB %", "LB %", "BG noLB %", "BG LB %"]);
     for p in points {
-        t.row(vec![
-            p.cores.to_string(),
-            pct(p.penalty_nolb),
-            pct(p.penalty_lb),
-            pct(p.bg_penalty_nolb),
-            pct(p.bg_penalty_lb),
-        ]);
+        fig2_row(&mut t, p);
     }
     t
+}
+
+/// Append one cell's Fig. 2 row — lets a streaming consumer build the
+/// table incrementally (start from `fig2_table(&[])`).
+pub fn fig2_row(t: &mut Table, p: &EvalPoint) {
+    t.row(vec![
+        p.cores.to_string(),
+        pct(p.penalty_nolb),
+        pct(p.penalty_lb),
+        pct(p.bg_penalty_nolb),
+        pct(p.bg_penalty_lb),
+    ]);
 }
 
 /// Fig. 4 table: average power per node (W) and energy overheads (%).
@@ -137,15 +228,20 @@ pub fn fig4_table(points: &[EvalPoint]) -> Table {
         "LB energy OH %",
     ]);
     for p in points {
-        t.row(vec![
-            p.cores.to_string(),
-            watts(p.power_nolb_w),
-            watts(p.power_lb_w),
-            pct(p.energy_overhead_nolb),
-            pct(p.energy_overhead_lb),
-        ]);
+        fig4_row(&mut t, p);
     }
     t
+}
+
+/// Append one cell's Fig. 4 row — streaming twin of [`fig2_row`].
+pub fn fig4_row(t: &mut Table, p: &EvalPoint) {
+    t.row(vec![
+        p.cores.to_string(),
+        watts(p.power_nolb_w),
+        watts(p.power_lb_w),
+        pct(p.energy_overhead_nolb),
+        pct(p.energy_overhead_lb),
+    ]);
 }
 
 /// Output of the Fig. 3 reproduction.

@@ -20,13 +20,17 @@
 pub mod experiment;
 pub mod figures;
 pub mod parallel;
+pub mod pipeline;
 pub mod report;
 pub mod scenario;
+pub mod stream_agg;
 
 pub use experiment::{
-    elasticity_impact, evaluate, evaluate_cells, evaluate_jobs, failure_impact, network_impact,
-    run_scenario, try_run_scenario, CellSpec, ElasticityImpact, EvalPoint, FailureImpact,
-    NetworkImpact,
+    elasticity_impact, evaluate, evaluate_cells, evaluate_cells_stream, evaluate_jobs,
+    failure_impact, network_impact, run_scenario, try_run_scenario, CellSpec,
+    ElasticityImpact, EvalPoint, FailureImpact, NetworkImpact,
 };
 pub use parallel::{default_jobs, par_map};
+pub use pipeline::{pipeline_map, pipeline_stream, PipelineConfig, PipelineStats};
 pub use scenario::{BgPattern, FailSpec, Scenario};
+pub use stream_agg::StreamSummary;

@@ -20,20 +20,42 @@
 //! old code path.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{Mutex, OnceLock};
 
 /// Resolve the worker count: `CLOUDLB_JOBS` if set (must be a positive
 /// integer), otherwise the machine's available parallelism.
+///
+/// The environment is read **once** and cached for the life of the
+/// process — CLIs that honour a `--jobs` flag set `CLOUDLB_JOBS` before
+/// the first call (see `src/main.rs`), and every later call sees the
+/// same answer. A value of `0` or garbage is rejected with a warning on
+/// stderr and falls back to the machine's parallelism instead of
+/// silently clamping (or panicking) deep inside a sweep.
 pub fn default_jobs() -> usize {
-    match std::env::var("CLOUDLB_JOBS") {
-        Ok(v) => {
-            let jobs: usize =
-                v.trim().parse().expect("CLOUDLB_JOBS must be a positive integer");
-            assert!(jobs >= 1, "CLOUDLB_JOBS must be >= 1");
-            jobs
+    static JOBS: OnceLock<usize> = OnceLock::new();
+    *JOBS.get_or_init(|| {
+        let fallback = || std::thread::available_parallelism().map_or(1, |n| n.get());
+        match std::env::var("CLOUDLB_JOBS") {
+            Ok(v) => match v.trim().parse::<usize>() {
+                Ok(jobs) if jobs >= 1 => jobs,
+                Ok(_) => {
+                    eprintln!(
+                        "warning: CLOUDLB_JOBS=0 is not a valid worker count; \
+                         using available parallelism instead"
+                    );
+                    fallback()
+                }
+                Err(_) => {
+                    eprintln!(
+                        "warning: CLOUDLB_JOBS={v:?} is not a positive integer; \
+                         using available parallelism instead"
+                    );
+                    fallback()
+                }
+            },
+            Err(_) => fallback(),
         }
-        Err(_) => std::thread::available_parallelism().map_or(1, |n| n.get()),
-    }
+    })
 }
 
 /// Apply `f` to every item on up to `jobs` worker threads, returning the

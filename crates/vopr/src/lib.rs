@@ -26,4 +26,4 @@ pub use gen::generate;
 pub use oracle::{check, FailureKind, InjectBreak, OracleFailure, OracleOpts, Outcome, Verdict};
 pub use repro::ReproBundle;
 pub use shrink::{shrink, ShrinkResult};
-pub use swarm::{run_swarm, SwarmReport};
+pub use swarm::{run_swarm, run_swarm_stream, SwarmReport};

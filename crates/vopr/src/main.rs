@@ -15,7 +15,7 @@
 
 use cloudlb_vopr::oracle::{check, InjectBreak, OracleOpts, Outcome};
 use cloudlb_vopr::repro::{cli_line, ReproBundle};
-use cloudlb_vopr::swarm::{kind_name, run_swarm};
+use cloudlb_vopr::swarm::{kind_name, run_swarm_stream};
 use cloudlb_vopr::{generate, shrink};
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
@@ -133,7 +133,14 @@ fn emit_repro(
 
 fn cmd_swarm(opts: &Opts, n: u64, oracle_opts: &OracleOpts) -> ExitCode {
     let jobs = opts.jobs.unwrap_or_else(cloudlb_core::default_jobs);
-    let report = run_swarm(opts.seed_base, n, jobs, oracle_opts);
+    // Seeds stream through the pipeline and fold as they finish — only
+    // failing rows stay resident. Progress goes to stderr (stdout is
+    // diffed across worker counts in CI and must stay bit-identical).
+    let (report, stats) = run_swarm_stream(opts.seed_base, n, jobs, oracle_opts, true);
+    eprintln!(
+        "swarm pipeline: {:.1} seeds/s, utilization {:.2}, live peak {} (bound {})",
+        stats.packets_per_sec, stats.utilization, stats.live_peak, stats.window,
+    );
     print!("{}", report.summary_table());
     let mut code = ExitCode::SUCCESS;
     for row in report.failures() {

@@ -58,13 +58,38 @@ fn main() -> ExitCode {
             ExitCode::SUCCESS
         }
         "fig2" | "fig4" => {
-            let points = figures::eval_matrix(&opts.app, &opts.cores_list(), opts.iters, &opts.seeds);
-            let table = if cmd == "fig2" {
-                figures::fig2_table(&points)
+            if opts.stream_summary {
+                let mut table = if cmd == "fig2" {
+                    figures::fig2_table(&[])
+                } else {
+                    figures::fig4_table(&[])
+                };
+                let (summary, stats) = figures::eval_matrix_stream(
+                    &opts.app,
+                    &opts.cores_list(),
+                    opts.iters,
+                    &opts.seeds,
+                    default_jobs(),
+                    |p| {
+                        if cmd == "fig2" {
+                            figures::fig2_row(&mut table, p)
+                        } else {
+                            figures::fig4_row(&mut table, p)
+                        }
+                    },
+                );
+                print!("{}", table.markdown());
+                print_stream_summary(&summary, &stats);
             } else {
-                figures::fig4_table(&points)
-            };
-            print!("{}", table.markdown());
+                let points =
+                    figures::eval_matrix(&opts.app, &opts.cores_list(), opts.iters, &opts.seeds);
+                let table = if cmd == "fig2" {
+                    figures::fig2_table(&points)
+                } else {
+                    figures::fig4_table(&points)
+                };
+                print!("{}", table.markdown());
+            }
             ExitCode::SUCCESS
         }
         "fig3" => {
@@ -77,14 +102,39 @@ fn main() -> ExitCode {
         }
         "trace" => cmd_trace(&opts),
         "matrix" => {
-            let points = figures::eval_matrix(&opts.app, &opts.cores_list(), opts.iters, &opts.seeds);
-            if opts.json {
-                println!("{}", serde_json_string(&points));
-            } else {
+            if opts.stream_summary {
+                // Memory-bounded path: cells stream through the pipeline,
+                // table rows accumulate incrementally, and only online
+                // summaries survive the sweep — no Vec<EvalPoint>.
+                let mut t2 = figures::fig2_table(&[]);
+                let mut t4 = figures::fig4_table(&[]);
+                let (summary, stats) = figures::eval_matrix_stream(
+                    &opts.app,
+                    &opts.cores_list(),
+                    opts.iters,
+                    &opts.seeds,
+                    default_jobs(),
+                    |p| {
+                        figures::fig2_row(&mut t2, p);
+                        figures::fig4_row(&mut t4, p);
+                    },
+                );
                 println!("Fig. 2 ({})", opts.app);
-                print!("{}", figures::fig2_table(&points).markdown());
+                print!("{}", t2.markdown());
                 println!("\nFig. 4 ({})", opts.app);
-                print!("{}", figures::fig4_table(&points).markdown());
+                print!("{}", t4.markdown());
+                print_stream_summary(&summary, &stats);
+            } else {
+                let points =
+                    figures::eval_matrix(&opts.app, &opts.cores_list(), opts.iters, &opts.seeds);
+                if opts.json {
+                    println!("{}", serde_json_string(&points));
+                } else {
+                    println!("Fig. 2 ({})", opts.app);
+                    print!("{}", figures::fig2_table(&points).markdown());
+                    println!("\nFig. 4 ({})", opts.app);
+                    print!("{}", figures::fig4_table(&points).markdown());
+                }
             }
             ExitCode::SUCCESS
         }
@@ -302,6 +352,24 @@ fn serde_json_string<T: serde::Serialize>(value: &T) -> String {
     serde_json::to_string_pretty(value).expect("serializable")
 }
 
+/// Footer for `--stream-summary` runs: the online metric summaries plus
+/// the pipeline's own counters.
+fn print_stream_summary(summary: &figures::MatrixSummary, stats: &cloudlb::core_api::PipelineStats) {
+    println!("\nstreaming summary");
+    print!("{}", summary.render());
+    println!(
+        "pipeline: {:.1} cells-arms/s, utilization {:.2}, reorder peak {}, \
+         live peak {} (bound {}), {} steals, {} injector claims",
+        stats.packets_per_sec,
+        stats.utilization,
+        stats.reorder_peak,
+        stats.live_peak,
+        stats.window,
+        stats.steals,
+        stats.injector_claims,
+    );
+}
+
 const USAGE: &str = "usage:
   cloudlb run    --app <name> --cores <n> [--strategy <s>] [--iters <n>] [--seed <s>]
                  [--fail <spec>[,<spec>...]] [--telemetry-noise <spec>]
@@ -311,12 +379,19 @@ const USAGE: &str = "usage:
   cloudlb run    --scenario <file.json> [--fail <spec>[,<spec>...]] [--json]
   cloudlb trace  --app <name> --cores <n> [--strategy <s>] [--iters <n>]
   cloudlb fig1 | fig3
-  cloudlb fig2 | fig4 [--app <name>] [--fast] [--jobs <n>]
-  cloudlb matrix --app <name> [--fast] [--json] [--jobs <n>]
+  cloudlb fig2 | fig4 [--app <name>] [--fast] [--jobs <n>] [--stream-summary]
+  cloudlb matrix --app <name> [--fast] [--json] [--jobs <n>] [--stream-summary]
 
 --jobs <n> (or CLOUDLB_JOBS=<n>) spreads the sweep's independent runs over
 n worker threads; results are bit-identical to --jobs 1. Defaults to the
 machine's available parallelism.
+
+--stream-summary runs the matrix through the streaming pipeline: cells are
+consumed as they finish (peak live runs is O(jobs + reorder window), not
+O(cells×seeds)) and an online count/mean/min/max/quantile summary per
+metric is printed after the tables, plus the pipeline's throughput,
+utilization and high-water marks. Tables stay bit-identical to the
+batch path.
 
 --fast-forward on|off|auto controls the steady-state macro-stepper: clean
 LB windows are replayed analytically instead of event by event, with
@@ -366,6 +441,7 @@ struct Opts {
     jobs: Option<usize>,
     fast_forward: Option<FastForward>,
     bg: Option<BgPattern>,
+    stream_summary: bool,
 }
 
 /// Parse a `--bg` value: `paper` (keep the scenario's own pattern),
@@ -406,6 +482,7 @@ impl Opts {
             jobs: None,
             fast_forward: None,
             bg: None,
+            stream_summary: false,
         };
         let mut it = args.iter();
         while let Some(flag) = it.next() {
@@ -426,6 +503,7 @@ impl Opts {
                 }
                 "--json" => o.json = true,
                 "--fast" => o.fast = true,
+                "--stream-summary" => o.stream_summary = true,
                 "--jobs" => {
                     let jobs: usize =
                         value("--jobs")?.parse().map_err(|e| format!("--jobs: {e}"))?;
@@ -543,6 +621,12 @@ mod tests {
     fn jobs_flag_parses() {
         assert_eq!(parse(&[]).unwrap().jobs, None);
         assert_eq!(parse(&["--jobs", "4"]).unwrap().jobs, Some(4));
+    }
+
+    #[test]
+    fn stream_summary_flag_parses() {
+        assert!(!parse(&[]).unwrap().stream_summary);
+        assert!(parse(&["--stream-summary"]).unwrap().stream_summary);
     }
 
     #[test]
